@@ -1,0 +1,44 @@
+//! Criterion benches for the collective-communication substrate: real
+//! threaded ring vs tree all-reduce, and the analytic latency model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trainbox_collective::{ring_all_reduce, tree_all_reduce, RingModel};
+
+fn buffers(n: usize, len: usize) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(7);
+    (0..n)
+        .map(|_| (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect()
+}
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce");
+    g.sample_size(10);
+    for n in [2usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
+            b.iter(|| ring_all_reduce(buffers(n, 65_536)))
+        });
+        g.bench_with_input(BenchmarkId::new("tree", n), &n, |b, &n| {
+            b.iter(|| tree_all_reduce(buffers(n, 65_536)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    let ring = RingModel::nvlink_default();
+    c.bench_function("ring_latency_model_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 2..=256 {
+                acc += ring.allreduce_secs(97_500_000, n);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_allreduce, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Criterion microbenches for the data-preparation kernels — the per-sample
+//! costs these report are the measured counterparts of the calibration
+//! constants in `trainbox-core::calib` (the same role the authors'
+//! prototype profiling played).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trainbox_dataprep::audio::{fft, mel_spectrogram, Complex, StftConfig};
+use trainbox_dataprep::image::resize_bilinear;
+use trainbox_dataprep::jpeg;
+use trainbox_dataprep::pipeline::{DataItem, PrepPipeline};
+use trainbox_dataprep::flate::{deflate, inflate, zlib_compress};
+use trainbox_dataprep::png;
+use trainbox_dataprep::sampler::AliasTable;
+use trainbox_dataprep::synth::{imagenet_like_jpeg, librispeech_like_clip, synthetic_image};
+
+fn bench_jpeg(c: &mut Criterion) {
+    let img = synthetic_image(256, 256, 1);
+    let encoded = jpeg::encode(&img, 90);
+    let mut g = c.benchmark_group("jpeg");
+    g.sample_size(20);
+    g.bench_function("encode_256", |b| b.iter(|| jpeg::encode(&img, 90)));
+    g.bench_function("decode_256", |b| b.iter(|| jpeg::decode(&encoded).unwrap()));
+    g.finish();
+}
+
+fn bench_image_ops(c: &mut Criterion) {
+    let img = synthetic_image(256, 256, 2);
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut g = c.benchmark_group("image_ops");
+    g.sample_size(30);
+    g.bench_function("random_crop_224", |b| {
+        b.iter(|| img.random_crop(224, 224, &mut rng).unwrap())
+    });
+    g.bench_function("mirror", |b| b.iter(|| img.mirror()));
+    g.bench_function("gaussian_noise", |b| b.iter(|| img.gaussian_noise(2.0, &mut rng)));
+    g.bench_function("cast_float", |b| b.iter(|| img.to_float()));
+    g.bench_function("resize_224", |b| b.iter(|| resize_bilinear(&img, 224, 224)));
+    g.finish();
+}
+
+fn bench_audio(c: &mut Criterion) {
+    let clip = librispeech_like_clip(3);
+    let mut g = c.benchmark_group("audio");
+    g.sample_size(20);
+    g.bench_function("fft_512", |b| {
+        let buf: Vec<Complex> = (0..512)
+            .map(|i| Complex::new((i as f32 * 0.01).sin(), 0.0))
+            .collect();
+        b.iter_batched(|| buf.clone(), |mut buf| fft(&mut buf), BatchSize::SmallInput)
+    });
+    g.bench_function("mel_spectrogram_clip", |b| {
+        b.iter(|| mel_spectrogram(&clip, StftConfig::speech_default(), 80))
+    });
+    g.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let jpeg_bytes = imagenet_like_jpeg(5);
+    let clip = librispeech_like_clip(5);
+    let mut g = c.benchmark_group("pipelines");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(5));
+    g.bench_function("standard_image_sample", |b| {
+        let p = PrepPipeline::standard_image();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            p.run(DataItem::EncodedImage(jpeg_bytes.clone()), &mut rng)
+                .unwrap()
+        })
+    });
+    g.bench_function("standard_audio_sample", |b| {
+        let p = PrepPipeline::standard_audio();
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| p.run(DataItem::Waveform(clip.clone()), &mut rng).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_flate_png(c: &mut Criterion) {
+    let img = synthetic_image(256, 256, 4);
+    let png_bytes = png::encode(&img);
+    let text: Vec<u8> = img.data().to_vec();
+    let deflated = deflate(&text);
+    let mut g = c.benchmark_group("flate_png");
+    g.sample_size(10);
+    g.bench_function("deflate_196k", |b| b.iter(|| deflate(&text)));
+    g.bench_function("inflate_196k", |b| b.iter(|| inflate(&deflated).unwrap()));
+    g.bench_function("zlib_roundtrip_196k", |b| {
+        b.iter(|| {
+            let z = zlib_compress(&text);
+            trainbox_dataprep::flate::zlib_decompress(&z).unwrap()
+        })
+    });
+    g.bench_function("png_encode_256", |b| b.iter(|| png::encode(&img)));
+    g.bench_function("png_decode_256", |b| b.iter(|| png::decode(&png_bytes).unwrap()));
+    g.finish();
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let weights: Vec<f64> = (1..=10_000).map(|i| (i % 97) as f64 + 1.0).collect();
+    c.bench_function("alias_table_build_10k", |b| b.iter(|| AliasTable::new(&weights)));
+    let table = AliasTable::new(&weights);
+    let mut rng = StdRng::seed_from_u64(0);
+    c.bench_function("alias_table_sample", |b| b.iter(|| table.sample(&mut rng)));
+}
+
+criterion_group!(
+    benches,
+    bench_jpeg,
+    bench_image_ops,
+    bench_audio,
+    bench_pipelines,
+    bench_flate_png,
+    bench_sampler
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion benches for the simulation substrate itself: analytic
+//! throughput evaluation, max-min flow rates, and full DES runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use trainbox_core::arch::{ServerConfig, ServerKind};
+use trainbox_core::pipeline::{simulate, SimConfig};
+use trainbox_nn::Workload;
+use trainbox_pcie::boxes::ServerBuilder;
+use trainbox_pcie::flow::{FlowNet, FlowSpec};
+use trainbox_pcie::Generation;
+
+fn bench_analytic(c: &mut Criterion) {
+    let w = Workload::resnet50();
+    c.bench_function("analytic_throughput_trainbox_256", |b| {
+        b.iter(|| {
+            ServerConfig::new(ServerKind::TrainBox, 256)
+                .build()
+                .throughput(&w)
+                .samples_per_sec
+        })
+    });
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let s = ServerBuilder::new(Generation::Gen3).train_boxes(8);
+    let net = FlowNet::from_topology(&s.topo);
+    // One prep->acc flow per leaf FPGA plus cross-box noise flows.
+    let mut flows: Vec<FlowSpec> = Vec::new();
+    for b in &s.boxes {
+        for (&p, accs) in b.preps.iter().zip(b.accs.chunks(4)) {
+            flows.push(FlowSpec::new(s.topo.route(p, accs[0])));
+        }
+    }
+    for i in 0..s.ssds.len() {
+        flows.push(FlowSpec::new(
+            s.topo.route(s.ssds[i], s.accs[(i * 7) % s.accs.len()]),
+        ));
+    }
+    c.bench_function("max_min_rates_8_boxes", |b| b.iter(|| net.max_min_rates(&flows)));
+}
+
+fn bench_des(c: &mut Criterion) {
+    let w = Workload::inception_v4();
+    let cfg = SimConfig {
+        chunk_samples: 256,
+        batches: 5,
+        warmup_batches: 2,
+        prefetch_batches: 1,
+        max_events: 5_000_000,
+    };
+    let mut g = c.benchmark_group("des");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(8));
+    for n in [8usize, 16] {
+        g.bench_with_input(BenchmarkId::new("trainbox", n), &n, |b, &n| {
+            let server = ServerConfig::new(ServerKind::TrainBoxNoPool, n)
+                .batch_size(512)
+                .build();
+            b.iter(|| simulate(&server, &w, &cfg).samples_per_sec)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analytic, bench_maxmin, bench_des);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 5 — importance of data augmentation for model accuracy.
+//!
+//! Runs the real training experiment (MLP over procedural textures, with
+//! the real crop/mirror/noise kernels in the training loop). Epoch count is
+//! adjustable with `TRAINBOX_FIG05_EPOCHS` (default 14).
+
+use trainbox_bench::{banner, compare, emit_json};
+use trainbox_nn::train::{run_experiment, AugExperimentConfig};
+
+fn main() {
+    banner("Figure 5", "Accuracy with vs without data augmentation");
+    let epochs = std::env::var("TRAINBOX_FIG05_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(14);
+    let cfg = AugExperimentConfig { epochs, ..AugExperimentConfig::default() };
+    let res = run_experiment(&cfg);
+    println!("{:>6} {:>18} {:>18}", "epoch", "with aug (top-1)", "w/o aug (top-1)");
+    for e in 0..epochs {
+        println!(
+            "{:>6} {:>18.3} {:>18.3}",
+            e + 1,
+            res.with_augmentation.top1[e],
+            res.without_augmentation.top1[e]
+        );
+    }
+    let gap = res.with_augmentation.top1.last().unwrap()
+        - res.without_augmentation.top1.last().unwrap();
+    compare(
+        "final accuracy gap, percentage points (paper: 29.1)",
+        29.1,
+        100.0 * gap,
+    );
+    emit_json("fig05", &res);
+}

@@ -1,0 +1,44 @@
+//! Figure 11 — decomposition of baseline host-resource consumption by
+//! operation class, for image and audio inputs.
+
+use trainbox_bench::{banner, compare, emit_json};
+use trainbox_core::host::{Datapath, PerSampleUsage};
+use trainbox_nn::InputKind;
+
+fn print_panel(input: InputKind) -> PerSampleUsage {
+    let u = PerSampleUsage::new(Datapath::HostCpu, input);
+    println!("\n({input:?})");
+    println!("{:<20} {:>10} {:>12} {:>12}", "class", "CPU %", "memory %", "PCIe %");
+    let total = (u.cpu_secs.total(), u.mem_bytes.total(), u.rc_pcie_bytes.total());
+    for i in 0..6 {
+        let (label, c) = u.cpu_secs.classes()[i];
+        let (_, m) = u.mem_bytes.classes()[i];
+        let (_, p) = u.rc_pcie_bytes.classes()[i];
+        println!(
+            "{:<20} {:>9.1}% {:>11.1}% {:>11.1}%",
+            label,
+            100.0 * c / total.0,
+            100.0 * m / total.1,
+            100.0 * p / total.2
+        );
+    }
+    u
+}
+
+fn main() {
+    banner("Figure 11", "Decomposition of host resource consumption (baseline)");
+    let img = print_panel(InputKind::Image);
+    let aud = print_panel(InputKind::Audio);
+    println!();
+    compare(
+        "image data-load share of memory BW, % (paper: 36.7)",
+        36.7,
+        100.0 * img.mem_bytes.data_load / img.mem_bytes.total(),
+    );
+    compare(
+        "audio data-load share of memory BW, % (paper: 21.1)",
+        21.1,
+        100.0 * aud.mem_bytes.data_load / aud.mem_bytes.total(),
+    );
+    emit_json("fig11", &[("image", img), ("audio", aud)]);
+}

@@ -1,0 +1,33 @@
+//! Figure 20 — TrainBox's effectiveness vs batch size (ResNet-50, 256
+//! accelerators), normalized to the baseline at each batch size.
+
+use trainbox_bench::{banner, compare, emit_json};
+use trainbox_core::arch::{ServerConfig, ServerKind};
+use trainbox_nn::Workload;
+
+fn main() {
+    banner("Figure 20", "TrainBox vs baseline across batch sizes (ResNet-50)");
+    let w = Workload::resnet50();
+    println!("{:>8} {:>14} {:>14} {:>10}", "batch", "baseline", "trainbox", "speedup");
+    let mut series = Vec::new();
+    for batch in [8u64, 32, 128, 512, 2048, 8192] {
+        let base = ServerConfig::new(ServerKind::Baseline, 256)
+            .batch_size(batch)
+            .build()
+            .throughput(&w)
+            .samples_per_sec;
+        let tb = ServerConfig::new(ServerKind::TrainBox, 256)
+            .batch_size(batch)
+            .build()
+            .throughput(&w)
+            .samples_per_sec;
+        println!("{batch:>8} {base:>14.0} {tb:>14.0} {:>9.1}x", tb / base);
+        series.push((batch, tb / base));
+    }
+    compare(
+        "speedup at the largest batch (paper: ~60x on its axis)",
+        60.0,
+        series.last().unwrap().1,
+    );
+    emit_json("fig20", &series);
+}

@@ -1,0 +1,25 @@
+//! Table I — summary of workloads.
+
+use trainbox_bench::{banner, emit_json};
+use trainbox_nn::Workload;
+
+fn main() {
+    banner("Table I", "Summary of workloads");
+    println!(
+        "{:<6} {:<14} {:<22} {:>8} {:>12} {:>14}",
+        "Type", "Name", "Task", "Batch", "Model (MB)", "Sample/s"
+    );
+    let all = Workload::all();
+    for w in &all {
+        println!(
+            "{:<6} {:<14} {:<22} {:>8} {:>12.1} {:>14.0}",
+            format!("{:?}", w.kind),
+            w.name,
+            w.task,
+            w.batch_size,
+            w.model_mbytes,
+            w.accel_samples_per_sec
+        );
+    }
+    emit_json("table01", &all);
+}

@@ -1,0 +1,80 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper:
+//! it prints the same rows/series the paper reports and, when `--json` or
+//! `TRAINBOX_RESULTS_DIR` is set, also dumps a machine-readable copy for
+//! EXPERIMENTS.md tooling.
+
+use serde::Serialize;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Print a figure/table banner.
+pub fn banner(id: &str, caption: &str) {
+    println!("==== {id} — {caption} ====");
+}
+
+/// Standard accelerator-count sweep used by the scalability figures.
+pub const ACCEL_SWEEP: [usize; 9] = [1, 2, 4, 8, 16, 32, 64, 128, 256];
+
+/// Where to put JSON result dumps, if requested.
+///
+/// Reads `TRAINBOX_RESULTS_DIR`; when the variable is unset, results are not
+/// dumped (stdout remains the artifact).
+pub fn results_dir() -> Option<PathBuf> {
+    std::env::var_os("TRAINBOX_RESULTS_DIR").map(PathBuf::from)
+}
+
+/// Serialize `value` to `<results_dir>/<name>.json` when a results dir is
+/// configured. Errors are reported but non-fatal — the printed table is the
+/// primary artifact.
+pub fn emit_json<T: Serialize>(name: &str, value: &T) {
+    let Some(dir) = results_dir() else {
+        return;
+    };
+    let path = dir.join(format!("{name}.json"));
+    let run = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let mut f = std::fs::File::create(&path)?;
+        let body = serde_json::to_string_pretty(value)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        f.write_all(body.as_bytes())?;
+        Ok(())
+    };
+    match run() {
+        Ok(()) => eprintln!("(wrote {})", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// A `paper vs measured` comparison line for EXPERIMENTS.md-style reporting.
+pub fn compare(metric: &str, paper: f64, measured: f64) {
+    let ratio = if paper != 0.0 { measured / paper } else { f64::NAN };
+    println!("  {metric:<44} paper {paper:>10.2}   measured {measured:>10.2}   (x{ratio:.2})");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_respects_env() {
+        // Serialize access to the env var within this test only.
+        std::env::remove_var("TRAINBOX_RESULTS_DIR");
+        assert!(results_dir().is_none());
+        std::env::set_var("TRAINBOX_RESULTS_DIR", "/tmp/tb-results");
+        assert_eq!(results_dir().unwrap(), PathBuf::from("/tmp/tb-results"));
+        std::env::remove_var("TRAINBOX_RESULTS_DIR");
+    }
+
+    #[test]
+    fn emit_json_writes_when_configured() {
+        let dir = std::env::temp_dir().join(format!("tb-bench-test-{}", std::process::id()));
+        std::env::set_var("TRAINBOX_RESULTS_DIR", &dir);
+        emit_json("unit-test", &vec![1, 2, 3]);
+        let body = std::fs::read_to_string(dir.join("unit-test.json")).unwrap();
+        assert!(body.contains('1'));
+        std::env::remove_var("TRAINBOX_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,226 @@
+//! Recursive halving–doubling all-reduce — the other bandwidth-optimal
+//! collective (§II-B cites tree-/ring-based primitives; NCCL picks between
+//! these families by message size and topology).
+//!
+//! Reduce-scatter by recursive halving (log₂ n rounds, exchanging half the
+//! remaining buffer each round), then all-gather by recursive doubling.
+//! Per-node traffic is `2(n-1)/n × M` — the same optimal volume as the ring
+//! — but in `2 log₂ n` rounds instead of `2(n-1)`, trading hop count for
+//! larger per-round messages.
+
+use crate::ring::ring_bytes_per_link;
+
+/// Elementwise-sum all-reduce via recursive halving–doubling.
+///
+/// Runs the exact communication schedule sequentially (each "round" applies
+/// every pairwise exchange), which is sufficient to validate correctness and
+/// traffic; the latency model below captures timing.
+///
+/// # Panics
+///
+/// Panics if the participant count is not a power of two, buffers are empty,
+/// or lengths mismatch.
+pub fn halving_doubling_all_reduce(mut buffers: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let n = buffers.len();
+    assert!(n.is_power_of_two(), "halving-doubling needs a power-of-two count");
+    let len = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == len),
+        "all participants must hold equal-size buffers"
+    );
+    if n == 1 {
+        return buffers;
+    }
+    // Each rank owns a shrinking active range [start, start+size).
+    let mut start = vec![0usize; n];
+    let mut size = vec![len; n];
+
+    // Phase 1: reduce-scatter by recursive halving.
+    let mut dist = n / 2;
+    while dist >= 1 {
+        for r in 0..n {
+            let peer = r ^ dist;
+            if peer < r {
+                continue; // handle each pair once
+            }
+            // Split the (identical) active range between r and peer: the
+            // lower-numbered rank keeps the first half.
+            debug_assert_eq!(start[r], start[peer]);
+            debug_assert_eq!(size[r], size[peer]);
+            let half = size[r] / 2;
+            let lo = start[r];
+            let hi_start = lo + half;
+            let hi_len = size[r] - half;
+            // r keeps [lo, lo+half): add peer's values there.
+            // peer keeps [hi_start, hi_start+hi_len): add r's values there.
+            let (a, b) = if r < peer {
+                let (x, y) = buffers.split_at_mut(peer);
+                (&mut x[r], &mut y[0])
+            } else {
+                unreachable!("peer > r by construction");
+            };
+            for i in lo..lo + half {
+                a[i] += b[i];
+            }
+            for i in hi_start..hi_start + hi_len {
+                b[i] += a[i];
+            }
+            start[r] = lo;
+            size[r] = half;
+            start[peer] = hi_start;
+            size[peer] = hi_len;
+        }
+        dist /= 2;
+    }
+
+    // Phase 2: all-gather by recursive doubling (reverse order).
+    let mut dist = 1;
+    while dist < n {
+        // Snapshot ranges before merging this round.
+        let pre_start = start.clone();
+        let pre_size = size.clone();
+        for r in 0..n {
+            let peer = r ^ dist;
+            if peer < r {
+                continue;
+            }
+            // Copy each side's owned range to the other.
+            let (a, b) = {
+                let (x, y) = buffers.split_at_mut(peer);
+                (&mut x[r], &mut y[0])
+            };
+            let (ps, pl) = (pre_start[peer], pre_size[peer]);
+            a[ps..ps + pl].copy_from_slice(&b[ps..ps + pl]);
+            let (rs, rl) = (pre_start[r], pre_size[r]);
+            b[rs..rs + rl].copy_from_slice(&a[rs..rs + rl]);
+            // Merged range is the union (contiguous by construction).
+            let lo = pre_start[r].min(pre_start[peer]);
+            let total = pre_size[r] + pre_size[peer];
+            start[r] = lo;
+            size[r] = total;
+            start[peer] = lo;
+            size[peer] = total;
+        }
+        dist *= 2;
+    }
+    buffers
+}
+
+/// Latency model for halving–doubling: `2 log₂ n` rounds; round `k` of the
+/// halving phase moves `M/2^(k+1)` bytes.
+///
+/// `T(n) = 2(n-1)/n · M/B + 2 log₂(n) · α` — same bandwidth term as the
+/// ring, fewer latency terms. With chunked pipelining the ring hides its
+/// extra hops, which is why both families coexist in NCCL.
+pub fn halving_doubling_secs(
+    model_bytes: u64,
+    n: usize,
+    link_bytes_per_sec: f64,
+    hop_latency_secs: f64,
+) -> f64 {
+    assert!(link_bytes_per_sec > 0.0, "bandwidth must be positive");
+    if n <= 1 {
+        return 0.0;
+    }
+    assert!(n.is_power_of_two(), "halving-doubling needs a power-of-two count");
+    let nf = n as f64;
+    let bw = 2.0 * (nf - 1.0) / nf * model_bytes as f64 / link_bytes_per_sec;
+    let rounds = 2.0 * (nf.log2());
+    bw + rounds * hop_latency_secs
+}
+
+/// Bytes each node transmits during halving–doubling — equal to the ring's
+/// per-link volume, confirming both are bandwidth-optimal.
+pub fn halving_doubling_bytes_per_node(model_bytes: u64, n: usize) -> f64 {
+    ring_bytes_per_link(model_bytes, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::ring_all_reduce;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_buffers(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn matches_serial_sum() {
+        for n in [1usize, 2, 4, 8, 16] {
+            let bufs = random_buffers(n, 40, n as u64);
+            let mut want = vec![0.0f32; 40];
+            for b in &bufs {
+                for (w, v) in want.iter_mut().zip(b) {
+                    *w += v;
+                }
+            }
+            for got in halving_doubling_all_reduce(bufs) {
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-4, "{g} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_ring() {
+        let bufs = random_buffers(8, 57, 3);
+        let ring = ring_all_reduce(bufs.clone());
+        let hd = halving_doubling_all_reduce(bufs);
+        for (a, b) in ring.iter().zip(&hd) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn odd_lengths_and_tiny_buffers() {
+        for len in [1usize, 3, 7, 13] {
+            let bufs = random_buffers(4, len, len as u64);
+            let mut want = vec![0.0f32; len];
+            for b in &bufs {
+                for (w, v) in want.iter_mut().zip(b) {
+                    *w += v;
+                }
+            }
+            for got in halving_doubling_all_reduce(bufs) {
+                for (g, w) in got.iter().zip(&want) {
+                    assert!((g - w).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        halving_doubling_all_reduce(random_buffers(6, 8, 0));
+    }
+
+    #[test]
+    fn latency_model_tradeoff() {
+        // Same bandwidth term as the ring; fewer latency terms at scale.
+        let m = 97_500_000u64;
+        let b = 300e9;
+        let alpha = 2e-6; // a fat per-hop latency to expose the difference
+        let ring = crate::RingModel {
+            link_bytes_per_sec: b,
+            hop_latency_secs: alpha,
+            chunk_bytes: 4096,
+        };
+        let hd = halving_doubling_secs(m, 256, b, alpha);
+        let rg = ring.allreduce_secs(m, 256);
+        assert!(hd < rg, "fewer rounds should win at high hop latency: {hd} vs {rg}");
+        // Bandwidth-volume equality.
+        assert_eq!(
+            halving_doubling_bytes_per_node(m, 64),
+            crate::ring::ring_bytes_per_link(m, 64)
+        );
+    }
+}

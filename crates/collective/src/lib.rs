@@ -1,0 +1,22 @@
+//! Model synchronization: collective communication algorithms and their
+//! latency models.
+//!
+//! §II-B of the paper: model synchronization shares each accelerator's
+//! gradients with all others. NCCL-style *ring* reduction exploits the
+//! all-to-all pattern so that latency saturates at about **twice the 2-node
+//! latency** regardless of scale (Fig 2b) — the property that shifts the
+//! bottleneck to data preparation in the first place.
+//!
+//! * [`ring`] — a real, multi-threaded chunked ring all-reduce over
+//!   `crossbeam` channels (reduce-scatter + all-gather), plus a binomial
+//!   tree reduce-broadcast baseline;
+//! * [`model`] — the analytic chunked-ring latency model used by the server
+//!   simulator, which reproduces Fig 2b's saturation shape.
+
+pub mod halving;
+pub mod model;
+pub mod ring;
+
+pub use halving::halving_doubling_all_reduce;
+pub use model::RingModel;
+pub use ring::{ring_all_reduce, tree_all_reduce};

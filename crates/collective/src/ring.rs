@@ -1,0 +1,266 @@
+//! Real collective implementations over threads and channels.
+//!
+//! These are functional reproductions of the synchronization algorithms the
+//! paper's servers rely on (NCCL-style ring, tree baseline). They validate
+//! the algorithmic structure the latency model assumes: the ring moves
+//! `2(n-1)/n × M` bytes per link regardless of `n`, which is why its latency
+//! saturates (Fig 2b).
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread;
+
+/// Elementwise-sum all-reduce over a ring of `buffers.len()` participants.
+///
+/// Each participant runs on its own thread connected to its right-hand
+/// neighbor by a channel; the standard two-phase algorithm runs:
+/// reduce-scatter (`n-1` steps), then all-gather (`n-1` steps). On return,
+/// every buffer holds the elementwise sum of all inputs.
+///
+/// # Panics
+///
+/// Panics if buffers are empty, have mismatched lengths, or a worker thread
+/// panics.
+pub fn ring_all_reduce(buffers: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let n = buffers.len();
+    assert!(n > 0, "need at least one participant");
+    let len = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == len),
+        "all participants must hold equal-size buffers"
+    );
+    if n == 1 {
+        return buffers;
+    }
+
+    // Segment boundaries: segment s covers seg_range(s).
+    let seg_range = move |s: usize| {
+        let base = len / n;
+        let extra = len % n;
+        let start = s * base + s.min(extra);
+        let size = base + usize::from(s < extra);
+        start..start + size
+    };
+
+    // Channel to each participant's *left* inbox; participant r sends to
+    // (r+1) % n.
+    let mut senders: Vec<Option<Sender<Vec<f32>>>> = Vec::with_capacity(n);
+    let mut receivers: Vec<Option<Receiver<Vec<f32>>>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(Some(tx));
+        receivers.push(Some(rx));
+    }
+
+    let mut handles = Vec::with_capacity(n);
+    for (rank, mut buf) in buffers.into_iter().enumerate() {
+        let to_right = senders[(rank + 1) % n].take().expect("sender taken once");
+        let from_left = receivers[rank].take().expect("receiver taken once");
+        handles.push(thread::spawn(move || {
+            // Phase 1: reduce-scatter. After step k, segment (rank - k - 1)
+            // holds partial sums of k+2 contributors.
+            for step in 0..n - 1 {
+                let send_seg = (rank + n - step) % n;
+                let r = seg_range(send_seg);
+                to_right.send(buf[r].to_vec()).expect("ring neighbor alive");
+                let incoming = from_left.recv().expect("ring neighbor alive");
+                let recv_seg = (rank + n - step - 1) % n;
+                let r = seg_range(recv_seg);
+                for (dst, src) in buf[r].iter_mut().zip(incoming) {
+                    *dst += src;
+                }
+            }
+            // Phase 2: all-gather. Each rank starts by sending its fully
+            // reduced segment (rank + 1).
+            for step in 0..n - 1 {
+                let send_seg = (rank + 1 + n - step) % n;
+                let r = seg_range(send_seg);
+                to_right.send(buf[r].to_vec()).expect("ring neighbor alive");
+                let incoming = from_left.recv().expect("ring neighbor alive");
+                let recv_seg = (rank + n - step) % n;
+                let r = seg_range(recv_seg);
+                buf[r].copy_from_slice(&incoming);
+            }
+            (rank, buf)
+        }));
+    }
+
+    let mut out: Vec<Option<Vec<f32>>> = (0..n).map(|_| None).collect();
+    for h in handles {
+        let (rank, buf) = h.join().expect("ring worker panicked");
+        out[rank] = Some(buf);
+    }
+    out.into_iter().map(|b| b.expect("every rank returns")).collect()
+}
+
+/// Elementwise-sum all-reduce via a binomial tree: reduce to rank 0, then
+/// broadcast. The baseline the ring is compared against — per-link traffic
+/// grows with `log n` hops through a root bottleneck instead of staying
+/// constant.
+///
+/// # Panics
+///
+/// Panics if buffers are empty or have mismatched lengths.
+pub fn tree_all_reduce(mut buffers: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
+    let n = buffers.len();
+    assert!(n > 0, "need at least one participant");
+    let len = buffers[0].len();
+    assert!(
+        buffers.iter().all(|b| b.len() == len),
+        "all participants must hold equal-size buffers"
+    );
+    // Reduce: at round k, rank r with r % 2^(k+1) == 0 absorbs r + 2^k.
+    let mut stride = 1;
+    while stride < n {
+        let mut src = stride;
+        while src < n {
+            let dst = src - stride;
+            if src % (stride * 2) == stride {
+                let (a, b) = buffers.split_at_mut(src);
+                for (x, y) in a[dst].iter_mut().zip(&b[0]) {
+                    *x += y;
+                }
+            }
+            src += stride * 2;
+        }
+        stride *= 2;
+    }
+    // Broadcast rank 0's result.
+    let result = buffers[0].clone();
+    for b in buffers.iter_mut().skip(1) {
+        b.copy_from_slice(&result);
+    }
+    buffers
+}
+
+/// Bytes each link carries during a ring all-reduce of `model_bytes` over
+/// `n` participants: `2(n-1)/n × model_bytes` (the quantity that saturates).
+pub fn ring_bytes_per_link(model_bytes: u64, n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    2.0 * (n as f64 - 1.0) / n as f64 * model_bytes as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_buffers(n: usize, len: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    fn expected_sum(buffers: &[Vec<f32>]) -> Vec<f32> {
+        let mut sum = vec![0.0f32; buffers[0].len()];
+        for b in buffers {
+            for (s, v) in sum.iter_mut().zip(b) {
+                *s += v;
+            }
+        }
+        sum
+    }
+
+    fn assert_close(a: &[f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn ring_matches_serial_sum() {
+        for n in [2, 3, 4, 7, 8] {
+            let bufs = random_buffers(n, 100, n as u64);
+            let want = expected_sum(&bufs);
+            let got = ring_all_reduce(bufs);
+            for g in &got {
+                assert_close(g, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_handles_len_not_divisible_by_n() {
+        let bufs = random_buffers(5, 13, 1);
+        let want = expected_sum(&bufs);
+        for g in ring_all_reduce(bufs) {
+            assert_close(&g, &want);
+        }
+    }
+
+    #[test]
+    fn ring_single_participant_is_identity() {
+        let bufs = vec![vec![1.0, 2.0, 3.0]];
+        assert_eq!(ring_all_reduce(bufs.clone()), bufs);
+    }
+
+    #[test]
+    fn ring_small_buffer_large_ring() {
+        // len < n: some segments are empty.
+        let bufs = random_buffers(8, 3, 9);
+        let want = expected_sum(&bufs);
+        for g in ring_all_reduce(bufs) {
+            assert_close(&g, &want);
+        }
+    }
+
+    #[test]
+    fn tree_matches_serial_sum() {
+        for n in [1, 2, 3, 5, 8, 9] {
+            let bufs = random_buffers(n, 64, 100 + n as u64);
+            let want = expected_sum(&bufs);
+            for g in tree_all_reduce(bufs) {
+                assert_close(&g, &want);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_and_tree_agree() {
+        let bufs = random_buffers(6, 50, 77);
+        let r = ring_all_reduce(bufs.clone());
+        let t = tree_all_reduce(bufs);
+        for (a, b) in r.iter().zip(&t) {
+            assert_close(a, b);
+        }
+    }
+
+    #[test]
+    fn per_link_traffic_saturates_at_2x_model() {
+        let m = 1_000_000u64;
+        assert_eq!(ring_bytes_per_link(m, 1), 0.0);
+        assert!((ring_bytes_per_link(m, 2) - 1e6).abs() < 1.0);
+        let big = ring_bytes_per_link(m, 256);
+        assert!(big < 2e6);
+        assert!(big > 1.99e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-size buffers")]
+    fn mismatched_sizes_rejected() {
+        ring_all_reduce(vec![vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ring_all_reduce_is_correct(
+            n in 2usize..6,
+            len in 1usize..40,
+            seed in 0u64..1000,
+        ) {
+            let bufs = random_buffers(n, len, seed);
+            let want = expected_sum(&bufs);
+            for g in ring_all_reduce(bufs) {
+                for (x, y) in g.iter().zip(&want) {
+                    prop_assert!((x - y).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

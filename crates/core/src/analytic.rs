@@ -1,0 +1,239 @@
+//! Latency decomposition: Figures 3 and 9.
+//!
+//! With next-batch prefetching, the *visible* per-batch latency is
+//! `max(prep, compute + sync)`, but Figures 3 and 9 plot the decomposition
+//! of the un-overlapped step times — how long each step takes on its own —
+//! because that ratio is what reveals the bottleneck shift.
+
+use crate::arch::Server;
+use crate::calib::cpu_fractions;
+use serde::{Deserialize, Serialize};
+use trainbox_collective::model::tree_allreduce_secs;
+use trainbox_collective::RingModel;
+use trainbox_nn::Workload;
+
+/// Per-batch step times, seconds (for the whole server to ingest one global
+/// batch of `n × batch` samples).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepLatencies {
+    /// Data transfer share of preparation (SSD reads + loads).
+    pub data_transfer: f64,
+    /// Data formatting share of preparation.
+    pub data_formatting: f64,
+    /// Data augmentation share of preparation.
+    pub data_augmentation: f64,
+    /// Model computation.
+    pub model_computation: f64,
+    /// Model synchronization.
+    pub model_synchronization: f64,
+}
+
+impl StepLatencies {
+    /// Total data-preparation time.
+    pub fn preparation(&self) -> f64 {
+        self.data_transfer + self.data_formatting + self.data_augmentation
+    }
+
+    /// Total of the overlapped "others" (compute + sync).
+    pub fn others(&self) -> f64 {
+        self.model_computation + self.model_synchronization
+    }
+
+    /// Preparation share of the total, in `[0, 1]` (the Fig 9 y-axis).
+    pub fn prep_share(&self) -> f64 {
+        let total = self.preparation() + self.others();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.preparation() / total
+        }
+    }
+
+    /// As percentages in figure-legend order.
+    pub fn percentages(&self) -> [(&'static str, f64); 5] {
+        let total = self.preparation() + self.others();
+        let pct = |v: f64| if total == 0.0 { 0.0 } else { 100.0 * v / total };
+        [
+            ("Data transfer", pct(self.data_transfer)),
+            ("Data formatting", pct(self.data_formatting)),
+            ("Data augmentation", pct(self.data_augmentation)),
+            ("Model computation", pct(self.model_computation)),
+            ("Model synchronization", pct(self.model_synchronization)),
+        ]
+    }
+}
+
+/// Figure 9: step-latency decomposition of `workload` on `server`.
+pub fn latency_decomposition(server: &Server, workload: &Workload) -> StepLatencies {
+    let n = server.n_accels();
+    let batch = server.batch_for(workload);
+    let global_batch = n as f64 * batch as f64;
+
+    // Preparation time for one global batch at the server's prep rate.
+    let prep_rate = server
+        .throughput(workload)
+        .ceilings
+        .iter()
+        .filter(|(b, _)| *b != crate::arch::Bottleneck::Accelerators)
+        .map(|&(_, v)| v)
+        .fold(f64::INFINITY, f64::min);
+    let prep_secs = global_batch / prep_rate;
+    // Split preparation by operation class: transfer = IO-ish classes.
+    let f = cpu_fractions(workload.input);
+    let transfer_frac = f.ssd_read + f.data_load + f.others;
+
+    let t_comp = batch as f64
+        / (workload.accel_samples_per_sec
+            * crate::calib::batch_efficiency(batch, workload.batch_size));
+    let t_sync = server
+        .ring_model()
+        .allreduce_secs(workload.model_bytes(), n);
+
+    StepLatencies {
+        data_transfer: prep_secs * transfer_frac,
+        data_formatting: prep_secs * f.formatting,
+        data_augmentation: prep_secs * f.augmentation,
+        model_computation: t_comp,
+        model_synchronization: t_sync,
+    }
+}
+
+/// One stage of the Figure 3 progression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure3Stage {
+    /// Stage label as printed under the figure.
+    pub label: &'static str,
+    /// Step latencies at this stage (ResNet-50).
+    pub steps: StepLatencies,
+}
+
+/// Figure 3: how successive accelerator/interconnect/algorithm advances
+/// shift the bottleneck into data preparation, for ResNet-50.
+///
+/// * **Current** — 8 Titan XP class GPUs (≈230 sample/s each) on PCIe Gen3,
+///   tree-based synchronization over PCIe;
+/// * **+HW accelerator** — 256 TPU v3-8 class accelerators, still PCIe +
+///   tree synchronization;
+/// * **+ICN** — NVLink-class 300 GB/s fabric, still tree synchronization;
+/// * **+Synch. Optimization** — ring-based reduction on the same fabric.
+///
+/// Preparation stays the 48-core CPU baseline throughout; "others" shrinks
+/// by orders of magnitude, which is exactly the paper's point — at the last
+/// stage preparation is ~55× the rest ("54.9× longer" in §I).
+pub fn figure3_stages() -> Vec<Figure3Stage> {
+    let w = Workload::resnet50();
+    let batch = w.batch_size;
+    let f = cpu_fractions(w.input);
+    let transfer_frac = f.ssd_read + f.data_load + f.others;
+    // The 48-core baseline prepares ~30.6k samples/s regardless of stage.
+    let prep_rate = 48.0 / crate::calib::cpu_secs_per_sample(w.input);
+    let pcie = 16e9;
+    let nvlink = 300e9;
+    let titan_xp_rate = 230.0;
+    let hop = 1e-6;
+    let ring = RingModel { link_bytes_per_sec: nvlink, hop_latency_secs: 100e-9, chunk_bytes: 4096 };
+
+    let stage = |label, n: usize, per_acc: f64, sync_secs: f64| {
+        let global = n as f64 * batch as f64;
+        let prep = global / prep_rate;
+        Figure3Stage {
+            label,
+            steps: StepLatencies {
+                data_transfer: prep * transfer_frac,
+                data_formatting: prep * f.formatting,
+                data_augmentation: prep * f.augmentation,
+                model_computation: batch as f64 / per_acc,
+                model_synchronization: sync_secs,
+            },
+        }
+    };
+
+    vec![
+        stage(
+            "Current",
+            8,
+            titan_xp_rate,
+            tree_allreduce_secs(w.model_bytes(), 8, pcie, hop),
+        ),
+        stage(
+            "+HW accelerator",
+            256,
+            w.accel_samples_per_sec,
+            tree_allreduce_secs(w.model_bytes(), 256, pcie, hop),
+        ),
+        stage(
+            "+ICN",
+            256,
+            w.accel_samples_per_sec,
+            tree_allreduce_secs(w.model_bytes(), 256, nvlink, hop),
+        ),
+        stage(
+            "+Synch. Optimization",
+            256,
+            w.accel_samples_per_sec,
+            ring.allreduce_secs(w.model_bytes(), 256),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ServerConfig, ServerKind};
+
+    #[test]
+    fn fig9_prep_dominates_at_scale() {
+        // §III-B2: "data preparation accounts for 98.1% of the total latency"
+        // on average across the seven workloads at 256 accelerators.
+        let mut shares = Vec::new();
+        for w in Workload::all() {
+            let s = ServerConfig::new(ServerKind::Baseline, 256).build();
+            let d = latency_decomposition(&s, &w);
+            shares.push(d.prep_share());
+        }
+        let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+        assert!((mean - 0.981).abs() < 0.02, "mean prep share = {mean}");
+        for s in shares {
+            assert!(s > 0.9, "every workload is prep-dominated: {s}");
+        }
+    }
+
+    #[test]
+    fn fig9_percentages_sum_to_100() {
+        let s = ServerConfig::new(ServerKind::Baseline, 256).build();
+        let d = latency_decomposition(&s, &Workload::vgg19());
+        let sum: f64 = d.percentages().iter().map(|(_, v)| v).sum();
+        assert!((sum - 100.0).abs() < 1e-6);
+        // Formatting is the largest preparation slice (Fig 9/11).
+        assert!(d.data_formatting > d.data_augmentation);
+        assert!(d.data_formatting > d.data_transfer);
+    }
+
+    #[test]
+    fn fig3_progression_shifts_bottleneck() {
+        let stages = figure3_stages();
+        assert_eq!(stages.len(), 4);
+        // Prep share grows monotonically across stages.
+        let shares: Vec<f64> = stages.iter().map(|s| s.steps.prep_share()).collect();
+        for w in shares.windows(2) {
+            assert!(w[1] >= w[0], "shares must grow: {shares:?}");
+        }
+        // Stage 1 ("Current"): others dominate.
+        assert!(shares[0] < 0.5, "current is compute-bound: {}", shares[0]);
+        // Final stage: prep is tens of times the others (§I reports 54.9x;
+        // our CPU-cost anchor from Fig 10a puts it at ~62x — same regime,
+        // recorded in EXPERIMENTS.md).
+        let last = &stages[3].steps;
+        let ratio = last.preparation() / last.others();
+        assert!((45.0..75.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn trainbox_restores_balance() {
+        // On TrainBox the preparation share collapses back below the others.
+        let w = Workload::inception_v4();
+        let s = ServerConfig::new(ServerKind::TrainBox, 256).build();
+        let d = latency_decomposition(&s, &w);
+        assert!(d.prep_share() < 0.6, "share={}", d.prep_share());
+    }
+}

@@ -1,0 +1,313 @@
+//! FPGA resource model for the data-preparation accelerator (Tables II/III).
+//!
+//! The paper implements its accelerator on a Xilinx XCVU9P and reports
+//! per-engine LUT/FF/BRAM/DSP consumption. This module reproduces that
+//! accounting: a part inventory, the engine resource table, and an allocator
+//! that checks an engine mix fits the die — the same check that gates which
+//! preparation functionality one accelerator can carry (§V-C: partial
+//! reconfiguration swaps the computation engines while interfacing logic
+//! stays).
+
+use serde::{Deserialize, Serialize};
+
+/// Resources of one FPGA part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpgaPart {
+    /// Lookup tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// 36 Kb block RAMs.
+    pub bram: u64,
+    /// DSP slices.
+    pub dsp: u64,
+}
+
+/// Xilinx XCVU9P (Virtex UltraScale+), the paper's part (§VI-A). Totals are
+/// recovered from Table II's own percentages (704K LUTs = 59.6% ⇒ 1,182K
+/// total, etc.) and match the public datasheet.
+pub const XCVU9P: FpgaPart = FpgaPart {
+    lut: 1_182_240,
+    ff: 2_364_480,
+    bram: 2_160,
+    dsp: 6_840,
+};
+
+/// Resource consumption of one engine (one row of Table II or III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineResources {
+    /// Engine name as printed in the table.
+    pub name: &'static str,
+    /// LUTs used.
+    pub lut: u64,
+    /// Flip-flops used.
+    pub ff: u64,
+    /// BRAMs used.
+    pub bram: u64,
+    /// DSP slices used.
+    pub dsp: u64,
+}
+
+/// Table II — the image-version engines.
+pub fn image_engines() -> Vec<EngineResources> {
+    vec![
+        EngineResources { name: "Jpeg decoder", lut: 704_000, ff: 665_000, bram: 0, dsp: 1040 },
+        EngineResources { name: "Crop", lut: 500, ff: 300, bram: 0, dsp: 27 },
+        EngineResources { name: "Mirror", lut: 6_500, ff: 4_700, bram: 0, dsp: 381 },
+        EngineResources { name: "Gaussian noise", lut: 24_500, ff: 33_000, bram: 80, dsp: 400 },
+        EngineResources { name: "Cast", lut: 5_700, ff: 3_000, bram: 0, dsp: 240 },
+        EngineResources { name: "Ethernet + Protocol parser", lut: 166_000, ff: 169_000, bram: 1024, dsp: 0 },
+        EngineResources { name: "P2P Handler", lut: 22_700, ff: 24_700, bram: 153, dsp: 0 },
+    ]
+}
+
+/// Table III — the audio-version engines.
+pub fn audio_engines() -> Vec<EngineResources> {
+    vec![
+        EngineResources { name: "Spectrogram", lut: 622_000, ff: 755_000, bram: 228, dsp: 0 },
+        EngineResources { name: "Masking", lut: 21_000, ff: 17_000, bram: 53, dsp: 260 },
+        EngineResources { name: "Norm", lut: 14_000, ff: 11_000, bram: 0, dsp: 0 },
+        EngineResources { name: "Mel Filter bank", lut: 103_000, ff: 119_000, bram: 208, dsp: 572 },
+        EngineResources { name: "Ethernet + Protocol parser", lut: 166_000, ff: 169_000, bram: 1024, dsp: 0 },
+        EngineResources { name: "P2P Handler", lut: 22_700, ff: 24_700, bram: 153, dsp: 0 },
+    ]
+}
+
+/// Utilization of a part by an engine mix, as fractions in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Utilization {
+    /// LUT fraction used.
+    pub lut: f64,
+    /// FF fraction used.
+    pub ff: f64,
+    /// BRAM fraction used.
+    pub bram: f64,
+    /// DSP fraction used.
+    pub dsp: f64,
+}
+
+impl Utilization {
+    /// The most-utilized resource fraction (what binds further additions).
+    pub fn max_fraction(&self) -> f64 {
+        self.lut.max(self.ff).max(self.bram).max(self.dsp)
+    }
+}
+
+/// Error when an engine mix does not fit a part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitError {
+    /// Resource that overflowed ("LUT", "FF", "BRAM", or "DSP").
+    pub resource: &'static str,
+    /// Amount requested.
+    pub requested: u64,
+    /// Amount available on the part.
+    pub available: u64,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "engine mix needs {} {} but the part has {}",
+            self.requested, self.resource, self.available
+        )
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Check that `engines` fit on `part` and report the utilization.
+///
+/// # Errors
+///
+/// Returns a [`FitError`] naming the first overflowing resource.
+pub fn allocate(part: FpgaPart, engines: &[EngineResources]) -> Result<Utilization, FitError> {
+    let lut: u64 = engines.iter().map(|e| e.lut).sum();
+    let ff: u64 = engines.iter().map(|e| e.ff).sum();
+    let bram: u64 = engines.iter().map(|e| e.bram).sum();
+    let dsp: u64 = engines.iter().map(|e| e.dsp).sum();
+    for (name, requested, available) in [
+        ("LUT", lut, part.lut),
+        ("FF", ff, part.ff),
+        ("BRAM", bram, part.bram),
+        ("DSP", dsp, part.dsp),
+    ] {
+        if requested > available {
+            return Err(FitError { resource: name, requested, available });
+        }
+    }
+    Ok(Utilization {
+        lut: lut as f64 / part.lut as f64,
+        ff: ff as f64 / part.ff as f64,
+        bram: bram as f64 / part.bram as f64,
+        dsp: dsp as f64 / part.dsp as f64,
+    })
+}
+
+/// Per-engine utilization row for table printing: `(name, resources,
+/// fraction-of-part per resource)`.
+pub fn engine_rows(part: FpgaPart, engines: &[EngineResources]) -> Vec<(EngineResources, Utilization)> {
+    engines
+        .iter()
+        .map(|&e| {
+            (
+                e,
+                Utilization {
+                    lut: e.lut as f64 / part.lut as f64,
+                    ff: e.ff as f64 / part.ff as f64,
+                    bram: e.bram as f64 / part.bram as f64,
+                    dsp: e.dsp as f64 / part.dsp as f64,
+                },
+            )
+        })
+        .collect()
+}
+
+
+/// Time to partially reconfigure a computation region (bitstream load over
+/// PCIe; §V-C cites Xilinx partial reconfiguration \[49\]). Order of a
+/// hundred milliseconds for a large region — negligible against training
+/// jobs but relevant when flipping per-batch.
+pub const RECONFIG_SECS: f64 = 0.2;
+
+/// Assign image/audio bitstreams to `fpgas` identical devices to cover both
+/// modalities of a multi-modal job mix (§V-C + footnote 2): choose the split
+/// minimizing the larger *relative* deficit, breaking ties toward fewer
+/// reconfigurations from `current_image` image-configured devices.
+///
+/// `image_demand`/`audio_demand` are samples/s; `image_rate`/`audio_rate`
+/// are per-FPGA throughputs. Returns `(n_image, n_audio, reconfigs)`.
+///
+/// # Panics
+///
+/// Panics if `fpgas` is zero or a rate is not positive.
+pub fn assign_bitstreams(
+    fpgas: usize,
+    current_image: usize,
+    image_demand: f64,
+    audio_demand: f64,
+    image_rate: f64,
+    audio_rate: f64,
+) -> (usize, usize, usize) {
+    assert!(fpgas > 0, "need at least one FPGA");
+    assert!(current_image <= fpgas, "current assignment exceeds inventory");
+    assert!(image_rate > 0.0 && audio_rate > 0.0, "rates must be positive");
+    let satisfaction = |n_img: usize| -> f64 {
+        let img = if image_demand > 0.0 {
+            (n_img as f64 * image_rate / image_demand).min(1.0)
+        } else {
+            1.0
+        };
+        let aud = if audio_demand > 0.0 {
+            ((fpgas - n_img) as f64 * audio_rate / audio_demand).min(1.0)
+        } else {
+            1.0
+        };
+        img.min(aud)
+    };
+    let mut best = (0usize, f64::NEG_INFINITY, usize::MAX);
+    for n_img in 0..=fpgas {
+        let sat = satisfaction(n_img);
+        let reconfigs = n_img.abs_diff(current_image);
+        if sat > best.1 + 1e-12 || ((sat - best.1).abs() <= 1e-12 && reconfigs < best.2) {
+            best = (n_img, sat, reconfigs);
+        }
+    }
+    (best.0, fpgas - best.0, best.2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_engine_mix_fits_and_matches_table2_totals() {
+        let u = allocate(XCVU9P, &image_engines()).expect("image mix fits XCVU9P");
+        // Table II totals: 78.7% LUTs, 38.1% FF, 30.5% DSP. (The paper's
+        // printed BRAM total of 51.5% is inconsistent with its own rows,
+        // which sum to 1257 blocks = 58.2%; we assert our row sum.)
+        assert!((u.lut - 0.787).abs() < 0.005, "lut={}", u.lut);
+        assert!((u.ff - 0.381).abs() < 0.005, "ff={}", u.ff);
+        assert!((u.dsp - 0.305).abs() < 0.005, "dsp={}", u.dsp);
+        assert!((u.bram - 1257.0 / 2160.0).abs() < 0.005, "bram={}", u.bram);
+    }
+
+    #[test]
+    fn audio_engine_mix_fits_and_matches_table3_totals() {
+        let u = allocate(XCVU9P, &audio_engines()).expect("audio mix fits XCVU9P");
+        // Table III totals: 80.2% LUTs, 46.3% FF, 12.2% DSP.
+        assert!((u.lut - 0.802).abs() < 0.005, "lut={}", u.lut);
+        assert!((u.ff - 0.463).abs() < 0.01, "ff={}", u.ff);
+        assert!((u.dsp - 0.122).abs() < 0.005, "dsp={}", u.dsp);
+        // BRAM rows sum to 1666 blocks = 77.1% — here the paper's total
+        // matches its rows.
+        assert!((u.bram - 0.771).abs() < 0.005, "bram={}", u.bram);
+    }
+
+    #[test]
+    fn jpeg_decoder_dominates_image_luts() {
+        // §VI-B: "the JPEG decoder takes most of the resources".
+        let rows = engine_rows(XCVU9P, &image_engines());
+        let jpeg = rows.iter().find(|(e, _)| e.name == "Jpeg decoder").unwrap();
+        assert!((jpeg.1.lut - 0.596).abs() < 0.005);
+        for (e, u) in &rows {
+            if e.name != "Jpeg decoder" {
+                assert!(u.lut < jpeg.1.lut);
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_is_reported_with_resource_name() {
+        let tiny = FpgaPart { lut: 1000, ff: 1_000_000, bram: 100, dsp: 100 };
+        let err = allocate(tiny, &image_engines()).unwrap_err();
+        assert_eq!(err.resource, "LUT");
+        assert_eq!(err.available, 1000);
+        assert!(err.to_string().contains("LUT"));
+    }
+
+    #[test]
+    fn both_mixes_cannot_coexist_on_one_part() {
+        // Image + audio engines together overflow the die — the reason the
+        // paper uses partial reconfiguration to swap them (§V-C).
+        let mut both = image_engines();
+        both.extend(audio_engines());
+        assert!(allocate(XCVU9P, &both).is_err());
+    }
+
+
+    #[test]
+    fn bitstream_assignment_balances_modalities() {
+        // 4 FPGAs, image 20k/s each, audio 5.2k/s each; equal demands favor
+        // more audio devices (audio throughput per device is lower).
+        let (img, aud, _) = assign_bitstreams(4, 4, 20_000.0, 10_400.0, 20_000.0, 5_200.0);
+        assert_eq!(img + aud, 4);
+        assert!(aud >= 2, "audio needs at least 2 devices: got {aud}");
+        // Pure-image demand keeps everything on the image bitstream.
+        let (img, aud, re) = assign_bitstreams(4, 4, 50_000.0, 0.0, 20_000.0, 5_200.0);
+        assert_eq!((img, aud, re), (4, 0, 0));
+    }
+
+    #[test]
+    fn bitstream_assignment_minimizes_reconfigurations_on_ties() {
+        // Demand satisfiable several ways: keep the current layout.
+        let (img, _, re) = assign_bitstreams(4, 1, 1_000.0, 1_000.0, 20_000.0, 5_200.0);
+        assert_eq!(re, 0, "no reconfiguration needed");
+        assert_eq!(img, 1);
+    }
+
+    #[test]
+    fn bitstream_assignment_reports_swap_count() {
+        let (img, aud, re) = assign_bitstreams(2, 2, 0.0, 10_400.0, 20_000.0, 5_200.0);
+        assert_eq!((img, aud), (0, 2));
+        assert_eq!(re, 2);
+        // Total swap latency is modest even per the conservative constant.
+        assert!(re as f64 * RECONFIG_SECS < 1.0);
+    }
+
+    #[test]
+    fn max_fraction_picks_binding_resource() {
+        let u = allocate(XCVU9P, &image_engines()).unwrap();
+        assert_eq!(u.max_fraction(), u.lut);
+    }
+}

@@ -1,0 +1,161 @@
+//! The train initializer of §V-A.
+//!
+//! Before training starts, the initializer (1) measures per-batch execution
+//! time with dummy batches, (2) computes the data-preparation throughput the
+//! accelerators will demand, (3) compares it against the train boxes' own
+//! FPGA capability, and (4) requests extra accelerators from the prep-pool
+//! through the cluster resource manager, assigning them to the per-box FPGA
+//! groups.
+
+use crate::arch::Server;
+use crate::calib::{ethernet_bytes_per_offloaded_sample, fpga_samples_per_sec, ETHERNET_BYTES_PER_SEC};
+use serde::{Deserialize, Serialize};
+use trainbox_nn::Workload;
+use trainbox_pcie::boxes::{ACCS_PER_TRAIN_BOX, PREPS_PER_TRAIN_BOX};
+
+/// The plan the initializer hands to the TrainBox driver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainPlan {
+    /// Workload name.
+    pub workload: String,
+    /// Per-accelerator batch size in effect.
+    pub batch_size: u64,
+    /// Measured per-batch execution time (compute + synchronization), s.
+    pub batch_secs: f64,
+    /// Required preparation throughput to keep every accelerator fed,
+    /// samples/s.
+    pub required_prep_rate: f64,
+    /// What the in-box FPGAs deliver on their own, samples/s.
+    pub in_box_prep_rate: f64,
+    /// Extra prep-pool FPGAs the initializer requests (0 when the boxes
+    /// suffice).
+    pub pool_fpgas_requested: usize,
+    /// Pool FPGAs actually granted by the resource manager.
+    pub pool_fpgas_granted: usize,
+    /// Preparation throughput achievable after the grant, samples/s
+    /// (includes the Ethernet offload ceiling).
+    pub achievable_prep_rate: f64,
+}
+
+impl TrainPlan {
+    /// Does the plan meet the accelerators' demand?
+    pub fn meets_target(&self) -> bool {
+        // Tolerate float round-off at exact equality.
+        self.achievable_prep_rate >= self.required_prep_rate * (1.0 - 1e-9)
+    }
+
+    /// Pool FPGAs granted as a fraction of the in-box FPGA count — the
+    /// "+54% more FPGA resources" of §VI-D.
+    pub fn pool_fraction(&self, in_box_fpgas: usize) -> f64 {
+        if in_box_fpgas == 0 {
+            0.0
+        } else {
+            self.pool_fpgas_granted as f64 / in_box_fpgas as f64
+        }
+    }
+}
+
+/// Run the initializer for `workload` on `server`, with `pool_available`
+/// FPGAs offered by the cluster resource manager.
+///
+/// Mirrors §V-A: measure the batch time, derive required throughput from the
+/// synchronization model, size the pool request by dividing the deficit by
+/// the per-FPGA throughput (measured offline), and cap the grant by both the
+/// pool and the Ethernet links.
+pub fn plan(server: &Server, workload: &Workload, pool_available: usize) -> TrainPlan {
+    let n = server.n_accels();
+    let batch = server.batch_for(workload);
+    // Step "measure": per-batch execution time from the throughput model +
+    // synchronization model (the prototype feeds dummy batches; we query the
+    // calibrated accelerator model).
+    let accel_rate = server.accelerator_side(workload);
+    let batch_secs = n as f64 * batch as f64 / accel_rate;
+    let required = accel_rate;
+
+    let boxes = n.div_ceil(ACCS_PER_TRAIN_BOX);
+    let in_box_fpgas = boxes * PREPS_PER_TRAIN_BOX;
+    let f = fpga_samples_per_sec(workload.input);
+    let in_box_rate = in_box_fpgas as f64 * f;
+
+    let deficit = (required - in_box_rate).max(0.0);
+    let requested = (deficit / f).ceil() as usize;
+    let granted = requested.min(pool_available);
+
+    // Ethernet ceiling on what the granted pool can actually deliver.
+    let eth_cap = in_box_fpgas as f64 * ETHERNET_BYTES_PER_SEC
+        / ethernet_bytes_per_offloaded_sample(workload.input);
+    let pool_rate = (granted as f64 * f).min(eth_cap);
+
+    TrainPlan {
+        workload: workload.name.to_string(),
+        batch_size: batch,
+        batch_secs,
+        required_prep_rate: required,
+        in_box_prep_rate: in_box_rate,
+        pool_fpgas_requested: requested,
+        pool_fpgas_granted: granted,
+        achievable_prep_rate: in_box_rate + pool_rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ServerConfig, ServerKind};
+
+    fn server(n: usize) -> Server {
+        ServerConfig::new(ServerKind::TrainBox, n).build()
+    }
+
+    #[test]
+    fn inception_needs_no_pool() {
+        // §VI-D: Inception-v4 reaches the target without the prep-pool.
+        let s = server(256);
+        let p = plan(&s, &Workload::inception_v4(), 256);
+        assert_eq!(p.pool_fpgas_requested, 0);
+        assert!(p.meets_target());
+        assert!(p.in_box_prep_rate >= p.required_prep_rate);
+    }
+
+    #[test]
+    fn tf_sr_requests_about_54_percent_extra() {
+        // §VI-D: TF-SR reaches the target with ~54% more FPGA resources.
+        let s = server(256);
+        let p = plan(&s, &Workload::transformer_sr(), 256);
+        assert!(p.pool_fpgas_requested > 0);
+        assert!(p.meets_target());
+        let frac = p.pool_fraction(64);
+        assert!((frac - 0.54).abs() < 0.03, "frac={frac}");
+    }
+
+    #[test]
+    fn starved_pool_fails_target() {
+        let s = server(256);
+        let p = plan(&s, &Workload::transformer_aa(), 4);
+        assert_eq!(p.pool_fpgas_granted, 4);
+        assert!(p.pool_fpgas_requested > 4);
+        assert!(!p.meets_target());
+    }
+
+    #[test]
+    fn batch_time_is_consistent_with_demand() {
+        let s = server(64);
+        let w = Workload::resnet50();
+        let p = plan(&s, &w, 0);
+        // required = n*batch / batch_secs by construction.
+        let derived = 64.0 * p.batch_size as f64 / p.batch_secs;
+        assert!((derived - p.required_prep_rate).abs() < 1e-6 * derived);
+    }
+
+    #[test]
+    fn ethernet_caps_huge_grants() {
+        // Granting far more pool FPGAs than the NICs can use must not claim
+        // unbounded achievable throughput.
+        let s = server(8);
+        let w = Workload::rnn_s();
+        let p = plan(&s, &w, 10_000);
+        let eth_cap = 2.0 * ETHERNET_BYTES_PER_SEC
+            / ethernet_bytes_per_offloaded_sample(w.input);
+        assert!(p.achievable_prep_rate <= p.in_box_prep_rate + eth_cap * 1.0001);
+    }
+}

@@ -1,0 +1,228 @@
+//! Multi-job training and prep-pool sharing.
+//!
+//! Footnote 2 of the paper: scale-up servers can host multiple training
+//! jobs; §V-D adds that *"if a single TrainBox rack serves multiple jobs or
+//! some train boxes are unused, we can leverage FPGAs in underutilized train
+//! boxes as a prep-pool"* because workloads demand different amounts of
+//! preparation (Fig 10). This module implements that scheduler: partition a
+//! rack's train boxes among jobs, compute each partition's FPGA surplus or
+//! deficit, and route surplus FPGA capacity (over the Ethernet prep network)
+//! to the jobs that need it.
+
+use crate::calib::{ethernet_bytes_per_offloaded_sample, fpga_samples_per_sec, ETHERNET_BYTES_PER_SEC};
+use crate::initializer;
+use serde::{Deserialize, Serialize};
+use trainbox_nn::Workload;
+use trainbox_pcie::boxes::{ACCS_PER_TRAIN_BOX, PREPS_PER_TRAIN_BOX};
+
+/// One job's slice of the rack.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct JobPlacement {
+    /// Workload the job trains.
+    pub workload: Workload,
+    /// Train boxes assigned.
+    pub boxes: usize,
+}
+
+impl JobPlacement {
+    /// Place `workload` on `boxes` train boxes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boxes` is zero.
+    pub fn new(workload: Workload, boxes: usize) -> Self {
+        assert!(boxes > 0, "a job needs at least one train box");
+        JobPlacement { workload, boxes }
+    }
+
+    /// Accelerators in this placement.
+    pub fn accels(&self) -> usize {
+        self.boxes * ACCS_PER_TRAIN_BOX
+    }
+
+    /// In-box prep FPGAs in this placement.
+    pub fn fpgas(&self) -> usize {
+        self.boxes * PREPS_PER_TRAIN_BOX
+    }
+}
+
+/// The outcome for one job after pool balancing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Preparation demand at the accelerator target, samples/s.
+    pub demand: f64,
+    /// In-box FPGA supply, samples/s.
+    pub local_supply: f64,
+    /// Samples/s borrowed from (negative: lent to) the shared pool.
+    pub borrowed: f64,
+    /// Achieved preparation throughput, samples/s.
+    pub achieved: f64,
+}
+
+impl JobOutcome {
+    /// Fraction of the demand met, in `[0, 1]`.
+    pub fn satisfaction(&self) -> f64 {
+        (self.achieved / self.demand).min(1.0)
+    }
+}
+
+/// The rack-level balancing result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RackPlan {
+    /// Per-job outcomes, in placement order.
+    pub jobs: Vec<JobOutcome>,
+    /// Total surplus FPGA throughput offered to the pool, samples/s
+    /// (normalized per-donor workload rates).
+    pub surplus_offered: f64,
+    /// Total deficit requested from the pool, samples/s.
+    pub deficit_requested: f64,
+}
+
+/// Balance a rack shared by `jobs`: each job first uses its own boxes'
+/// FPGAs; jobs with surplus lend it to the pool, jobs with deficits draw
+/// from the pool (bounded by their Ethernet links), deficits served
+/// proportionally when the pool is short.
+///
+/// Surplus lent by a donor job is expressed in the *borrower's* sample rate
+/// by converting through FPGA-time: a donor FPGA second spent preparing the
+/// borrower's input type delivers the borrower's per-FPGA rate.
+pub fn balance_rack(jobs: &[JobPlacement]) -> RackPlan {
+    // Per-job demand and local capability.
+    struct Tmp {
+        demand: f64,
+        local: f64,
+        fpga_rate: f64,
+        eth_cap: f64,
+        name: String,
+    }
+    let tmp: Vec<Tmp> = jobs
+        .iter()
+        .map(|j| {
+            let server = crate::arch::ServerConfig::new(
+                crate::arch::ServerKind::TrainBoxNoPool,
+                j.accels(),
+            )
+            .build();
+            let plan = initializer::plan(&server, &j.workload, 0);
+            let fpga_rate = fpga_samples_per_sec(j.workload.input);
+            let eth_cap = j.fpgas() as f64 * ETHERNET_BYTES_PER_SEC
+                / ethernet_bytes_per_offloaded_sample(j.workload.input);
+            Tmp {
+                demand: plan.required_prep_rate,
+                local: plan.in_box_prep_rate,
+                fpga_rate,
+                eth_cap,
+                name: j.workload.name.to_string(),
+            }
+        })
+        .collect();
+
+    // Surplus and deficit in FPGA-seconds per second (device-time currency).
+    let mut surplus_devs = 0.0f64;
+    let mut deficits: Vec<f64> = Vec::with_capacity(jobs.len());
+    for t in &tmp {
+        if t.local >= t.demand {
+            surplus_devs += (t.local - t.demand) / t.fpga_rate;
+            deficits.push(0.0);
+        } else {
+            // Deficit in device-time, bounded by what Ethernet can carry.
+            let want = (t.demand - t.local).min(t.eth_cap);
+            deficits.push(want / t.fpga_rate);
+        }
+    }
+    let total_deficit: f64 = deficits.iter().sum();
+    let fill = if total_deficit <= surplus_devs || total_deficit == 0.0 {
+        1.0
+    } else {
+        surplus_devs / total_deficit
+    };
+
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    let mut surplus_offered = 0.0;
+    let mut deficit_requested = 0.0;
+    for (t, &deficit_devs) in tmp.iter().zip(&deficits) {
+        let borrowed = deficit_devs * fill * t.fpga_rate;
+        let lent_devs = if t.local > t.demand { (t.local - t.demand) / t.fpga_rate } else { 0.0 };
+        surplus_offered += lent_devs * t.fpga_rate;
+        deficit_requested += deficit_devs * t.fpga_rate;
+        let achieved = (t.local + borrowed).min(t.demand.max(t.local));
+        outcomes.push(JobOutcome {
+            workload: t.name.clone(),
+            demand: t.demand,
+            local_supply: t.local,
+            borrowed: if lent_devs > 0.0 { -(lent_devs * t.fpga_rate) } else { borrowed },
+            achieved,
+        });
+    }
+    RackPlan { jobs: outcomes, surplus_offered, deficit_requested }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_underprovisioned_job_stays_short() {
+        // TF-AA alone on 4 boxes: no donors, deficit unmet.
+        let plan = balance_rack(&[JobPlacement::new(Workload::transformer_aa(), 4)]);
+        assert_eq!(plan.jobs.len(), 1);
+        let j = &plan.jobs[0];
+        assert!(j.satisfaction() < 1.0, "sat={}", j.satisfaction());
+        assert!(plan.surplus_offered == 0.0);
+        assert!(plan.deficit_requested > 0.0);
+    }
+
+    #[test]
+    fn underutilized_image_job_feeds_audio_job() {
+        // §V-D's scenario: Inception (image, surplus FPGA capacity) shares a
+        // rack with TF-SR (audio, deficit). The pool closes TF-SR's gap.
+        let jobs = [
+            JobPlacement::new(Workload::inception_v4(), 16),
+            JobPlacement::new(Workload::transformer_sr(), 16),
+        ];
+        let plan = balance_rack(&jobs);
+        let inception = &plan.jobs[0];
+        let sr = &plan.jobs[1];
+        assert!(inception.borrowed < 0.0, "inception lends: {}", inception.borrowed);
+        assert!(sr.borrowed > 0.0, "tf-sr borrows: {}", sr.borrowed);
+        assert!((sr.satisfaction() - 1.0).abs() < 1e-9, "sat={}", sr.satisfaction());
+        assert!((inception.satisfaction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_pool_fills_proportionally() {
+        // Two hungry audio jobs and one small donor: both get the same fill
+        // fraction.
+        let jobs = [
+            JobPlacement::new(Workload::inception_v4(), 2),
+            JobPlacement::new(Workload::transformer_sr(), 8),
+            JobPlacement::new(Workload::transformer_aa(), 8),
+        ];
+        let plan = balance_rack(&jobs);
+        let sr = &plan.jobs[1];
+        let aa = &plan.jobs[2];
+        assert!(sr.satisfaction() < 1.0);
+        assert!(aa.satisfaction() < 1.0);
+        // Equal fill fraction of their (ethernet-bounded) deficits.
+        let fill_sr = sr.borrowed / (sr.demand - sr.local_supply);
+        let fill_aa = aa.borrowed / (aa.demand - aa.local_supply);
+        assert!((fill_sr - fill_aa).abs() < 0.05, "{fill_sr} vs {fill_aa}");
+    }
+
+    #[test]
+    fn satisfied_jobs_do_not_borrow() {
+        let plan = balance_rack(&[JobPlacement::new(Workload::vgg19(), 8)]);
+        let j = &plan.jobs[0];
+        assert!(j.borrowed <= 0.0);
+        assert!((j.satisfaction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn placement_accounting() {
+        let p = JobPlacement::new(Workload::resnet50(), 4);
+        assert_eq!(p.accels(), 32);
+        assert_eq!(p.fpgas(), 8);
+    }
+}

@@ -1,0 +1,882 @@
+//! Discrete-event simulation of the full training datapath.
+//!
+//! The analytic model in [`crate::arch`] is a closed-form bottleneck
+//! analysis; this module *simulates* the same server at chunk granularity —
+//! SSD reads through queued devices, DMA transfers as fluid flows over the
+//! actual PCIe tree (with max-min fair link sharing), preparation on queued
+//! CPU/FPGA servers, accelerator compute, and a global ring-synchronization
+//! barrier with next-batch prefetching. Contention *emerges* from the
+//! topology here instead of being assumed, which is how we cross-validate
+//! the analytic model (and how the paper validated its own simulator against
+//! a prototype, §VI-A).
+//!
+//! Granularity: samples move in chunks (default 256 samples) to bound the
+//! event count; each accelerator may prefetch up to two batches ahead, the
+//! overlap discipline of §II-B.
+
+use crate::arch::{Server, ServerKind};
+use crate::calib::{
+    cpu_secs_per_sample, fpga_samples_per_sec, gpu_prep_samples_per_sec, SampleSizes, DGX2,
+    SSD_READ_BYTES_PER_SEC,
+};
+use std::collections::HashMap;
+use trainbox_nn::Workload;
+use trainbox_pcie::boxes::{PrepPoolNet, ServerTopology};
+use trainbox_pcie::flow::{FlowId, FlowNet, FlowSim, FlowSpec};
+use trainbox_pcie::NodeId;
+use trainbox_sim::{Engine, FifoServer, Model, Scheduler, SimTime};
+
+/// Configuration of one DES run.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Samples per chunk (event granularity).
+    pub chunk_samples: u64,
+    /// Batches each accelerator must complete before the run ends.
+    pub batches: u64,
+    /// Batches to skip at the start when measuring steady-state throughput.
+    pub warmup_batches: u64,
+    /// Prefetch credit per accelerator, in batches (1 = the paper's
+    /// next-batch prefetching).
+    pub prefetch_batches: u64,
+    /// Safety valve on total processed events.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            chunk_samples: 256,
+            batches: 8,
+            warmup_batches: 4,
+            prefetch_batches: 1,
+            max_events: 20_000_000,
+        }
+    }
+}
+
+/// Result of a DES run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Steady-state throughput over the measured window, samples/s.
+    pub samples_per_sec: f64,
+    /// Completion time of every global batch (after synchronization).
+    pub batch_done_at: Vec<SimTime>,
+    /// Events processed.
+    pub events: u64,
+    /// Total bytes carried by each directed PCIe link over the whole run,
+    /// indexed like the topology's links.
+    pub link_bytes: Vec<f64>,
+    /// Bytes that crossed the root complex (sum over RC-incident links).
+    pub rc_bytes: f64,
+}
+
+impl SimResult {
+    /// Fraction of all transferred bytes that crossed the root complex —
+    /// the quantity Step 3 (clustering) drives to zero.
+    pub fn rc_share(&self) -> f64 {
+        let total: f64 = self.link_bytes.iter().sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.rc_bytes / total
+        }
+    }
+}
+
+/// Where a chunk currently is in the datapath.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Stage {
+    /// In flight from its SSD toward the preparation site (via host memory
+    /// on staged designs, direct P2P otherwise).
+    ToPrep,
+    /// In flight host → prep accelerator (staged designs, second leg).
+    HostToPrep,
+    /// Queued/processing on the preparation device.
+    Prep,
+    /// In flight prep accelerator → host (staged designs, return leg).
+    PrepToHost,
+    /// In flight over Ethernet toward a prep-pool FPGA (TrainBox offload).
+    EthToPool,
+    /// Queued/processing on a prep-pool FPGA.
+    PoolPrep,
+    /// Prepared tensor returning over Ethernet to the in-box FPGA.
+    EthFromPool,
+    /// In flight toward its accelerator (final leg).
+    ToAccel,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Chunk {
+    acc: usize,
+    samples: u64,
+    stage: Stage,
+    prep_dev: usize,
+    ssd: usize,
+    /// Prep-pool FPGA handling this chunk (only meaningful mid-offload).
+    pool_dev: usize,
+}
+
+/// Ethernet prep-pool state for the DES.
+struct EthPool {
+    net: PrepPoolNet,
+    flows: FlowSim,
+    epoch: u64,
+    cont: HashMap<FlowId, u64>,
+    pool_servers: Vec<FifoServer>,
+    pool_service: SimTime,
+    /// Offload every `period`-th chunk per in-box FPGA (0 = never).
+    period: u64,
+    counters: Vec<u64>,
+    rr_pool: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AccelState {
+    /// Prepared samples buffered at the accelerator, ready to consume.
+    buffered: u64,
+    /// Samples issued to the pipeline but not yet delivered.
+    in_flight: u64,
+    /// Samples issued over this accelerator's lifetime.
+    issued_total: u64,
+    /// Currently computing a batch.
+    computing: bool,
+    /// Batches fully computed (waiting on or past sync).
+    batches_computed: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Prime the pipeline at t = 0.
+    Start,
+    /// An SSD finished reading a chunk.
+    SsdDone(u64),
+    /// Re-examine the flow network (epoch-stamped; stale ones are ignored).
+    FlowCheck(u64),
+    /// Re-examine the Ethernet prep network.
+    EthFlowCheck(u64),
+    /// A prep-pool FPGA finished a chunk.
+    PoolPrepDone(u64),
+    /// A preparation device finished a chunk.
+    PrepDone(u64),
+    /// An accelerator finished computing its current batch.
+    ComputeDone(usize),
+    /// The ring synchronization for the current generation completed.
+    SyncDone,
+}
+
+struct PipelineModel {
+    kind: ServerKind,
+    topo: ServerTopology,
+    sizes: SampleSizes,
+    chunk: u64,
+    batch: u64,
+    prefetch: u64,
+    target_batches: u64,
+    t_comp: SimTime,
+    t_sync: SimTime,
+
+    flows: FlowSim,
+    flow_epoch: u64,
+    flow_cont: HashMap<FlowId, u64>,
+    link_bytes: Vec<f64>,
+
+    /// Ethernet prep network (TrainBox with pool): flow sim over the star
+    /// topology, pool FPGA queues, and the offload cadence.
+    eth: Option<EthPool>,
+
+    ssds: Vec<FifoServer>,
+    preps: Vec<FifoServer>,
+    prep_service: SimTime,
+
+    chunks: HashMap<u64, Chunk>,
+    next_chunk: u64,
+    accels: Vec<AccelState>,
+    arrived: usize,
+    sync_gen: u64,
+    sync_in_progress: bool,
+    batch_done_at: Vec<SimTime>,
+    rr_ssd: usize,
+    rr_prep: usize,
+    done: bool,
+}
+
+impl PipelineModel {
+    fn new(server: &Server, workload: &Workload, cfg: &SimConfig) -> Self {
+        let kind = server.kind();
+        let topo = server.topology().clone();
+        let sizes = SampleSizes::for_input(workload.input);
+        let batch = server.batch_for(workload);
+        let n = server.n_accels();
+        let eff = crate::calib::batch_efficiency(batch, workload.batch_size);
+        let t_comp =
+            SimTime::from_secs_f64(batch as f64 / (workload.accel_samples_per_sec * eff));
+        let t_sync = server.ring_model().allreduce_time(workload.model_bytes(), n);
+
+        let n_links = topo.topo.link_count();
+        let flows = FlowSim::new(FlowNet::from_topology(&topo.topo));
+        // TrainBox-with-pool: set up the Ethernet network and the offload
+        // cadence from the initializer's deficit analysis.
+        let eth = if kind == ServerKind::TrainBox {
+            server.prep_pool().and_then(|net| {
+                if net.pool_nics.is_empty() {
+                    return None;
+                }
+                let f = fpga_samples_per_sec(workload.input);
+                let plan = crate::initializer::plan(server, workload, net.pool_nics.len());
+                let demand = plan.required_prep_rate;
+                let local = plan.in_box_prep_rate;
+                if demand <= local {
+                    return None;
+                }
+                // Offload fraction of all chunks = deficit / demand; send
+                // every period-th chunk to the pool.
+                let frac = ((demand - local) / demand).clamp(0.0, 1.0);
+                let period = (1.0 / frac).round().max(1.0) as u64;
+                Some(EthPool {
+                    flows: FlowSim::new(FlowNet::from_topology(&net.topo)),
+                    pool_servers: net.pool_nics.iter().map(|_| FifoServer::new(1)).collect(),
+                    pool_service: SimTime::from_secs_f64(cfg.chunk_samples as f64 / f),
+                    period,
+                    counters: vec![0; net.box_nics.len()],
+                    epoch: 0,
+                    cont: HashMap::new(),
+                    rr_pool: 0,
+                    net: net.clone(),
+                })
+            })
+        } else {
+            None
+        };
+        let ssds = topo.ssds.iter().map(|_| FifoServer::new(1)).collect();
+        let (preps, prep_service): (Vec<FifoServer>, SimTime) = match kind {
+            ServerKind::Baseline => {
+                // One fluid CPU pool: each chunk occupies one of the 48
+                // core-slots for `chunk x per-sample-core-time`.
+                let per = cpu_secs_per_sample(workload.input);
+                (
+                    vec![FifoServer::new(DGX2.cpu_cores as usize)],
+                    SimTime::from_secs_f64(cfg.chunk_samples as f64 * per),
+                )
+            }
+            ServerKind::AccGpu => {
+                let per = gpu_prep_samples_per_sec(workload.input);
+                (
+                    topo.preps.iter().map(|_| FifoServer::new(1)).collect(),
+                    SimTime::from_secs_f64(cfg.chunk_samples as f64 / per),
+                )
+            }
+            _ => {
+                let per = fpga_samples_per_sec(workload.input);
+                (
+                    topo.preps.iter().map(|_| FifoServer::new(1)).collect(),
+                    SimTime::from_secs_f64(cfg.chunk_samples as f64 / per),
+                )
+            }
+        };
+
+        PipelineModel {
+            kind,
+            topo,
+            sizes,
+            chunk: cfg.chunk_samples,
+            batch,
+            prefetch: cfg.prefetch_batches,
+            target_batches: cfg.batches,
+            t_comp,
+            t_sync,
+            link_bytes: vec![0.0; n_links],
+            flows,
+            flow_epoch: 0,
+            flow_cont: HashMap::new(),
+            eth,
+            ssds,
+            preps,
+            prep_service,
+            chunks: HashMap::new(),
+            next_chunk: 0,
+            accels: vec![AccelState::default(); n],
+            arrived: 0,
+            sync_gen: 0,
+            sync_in_progress: false,
+            batch_done_at: Vec::new(),
+            rr_ssd: 0,
+            rr_prep: 0,
+            done: false,
+        }
+    }
+
+    /// The SSD and prep device serving accelerator `acc`.
+    fn assign_devices(&mut self, acc: usize) -> (usize, usize) {
+        match self.kind {
+            ServerKind::TrainBox | ServerKind::TrainBoxNoPool => {
+                // Everything local to the accelerator's train box: 8 accs,
+                // 2 SSDs, 2 FPGAs per box; accelerator halves map to the
+                // FPGA sharing their leaf switch.
+                let bx = acc / 8;
+                let half = (acc / 4) % 2;
+                (bx * 2 + half, bx * 2 + half)
+            }
+            ServerKind::Baseline => {
+                let ssd = self.rr_ssd % self.ssds.len();
+                self.rr_ssd += 1;
+                (ssd, 0)
+            }
+            _ => {
+                let ssd = self.rr_ssd % self.ssds.len();
+                self.rr_ssd += 1;
+                let prep = self.rr_prep % self.preps.len();
+                self.rr_prep += 1;
+                (ssd, prep)
+            }
+        }
+    }
+
+    /// Spawn chunks for `acc` while prefetch credit remains.
+    fn refill(&mut self, now: SimTime, acc: usize, sched: &mut Scheduler<Ev>) {
+        if self.done {
+            return;
+        }
+        let credit = self.prefetch * self.batch;
+        loop {
+            let st = &self.accels[acc];
+            let lifetime_target = self.target_batches * self.batch;
+            if st.issued_total >= lifetime_target || st.buffered + st.in_flight >= credit {
+                return;
+            }
+            let samples = self.chunk.min(lifetime_target - st.issued_total);
+            let (ssd, prep_dev) = self.assign_devices(acc);
+            let id = self.next_chunk;
+            self.next_chunk += 1;
+            self.chunks
+                .insert(id, Chunk { acc, samples, stage: Stage::ToPrep, prep_dev, ssd, pool_dev: 0 });
+            let st = &mut self.accels[acc];
+            st.in_flight += samples;
+            st.issued_total += samples;
+            let read = SimTime::from_secs_f64(
+                samples as f64 * self.sizes.stored / SSD_READ_BYTES_PER_SEC,
+            );
+            let done_at = self.ssds[ssd].enqueue(now, read);
+            sched.schedule_at(done_at, Ev::SsdDone(id));
+        }
+    }
+
+    fn add_flow(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: f64,
+        cont: u64,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let route = self.topo.topo.route(from, to);
+        for l in &route {
+            self.link_bytes[l.index()] += bytes;
+        }
+        let spec = if route.is_empty() {
+            // Node-local hand-off: sequence it through the flow machinery at
+            // an effectively infinite rate.
+            FlowSpec::with_demand(route, 1e15)
+        } else {
+            FlowSpec::new(route)
+        };
+        let fid = self.flows.add_flow(now, spec, bytes.max(1.0));
+        self.flow_cont.insert(fid, cont);
+        self.bump_flows(sched);
+    }
+
+    /// Re-arm the earliest flow completion under the current rate set.
+    fn bump_flows(&mut self, sched: &mut Scheduler<Ev>) {
+        self.flow_epoch += 1;
+        if let Some((t, _)) = self.flows.next_completion() {
+            sched.schedule_at(t, Ev::FlowCheck(self.flow_epoch));
+        }
+    }
+
+    fn bump_eth(&mut self, sched: &mut Scheduler<Ev>) {
+        let eth = self.eth.as_mut().expect("ethernet pool active");
+        eth.epoch += 1;
+        if let Some((t, _)) = eth.flows.next_completion() {
+            sched.schedule_at(t, Ev::EthFlowCheck(eth.epoch));
+        }
+    }
+
+    fn add_eth_flow(
+        &mut self,
+        now: SimTime,
+        from: trainbox_pcie::NodeId,
+        to: trainbox_pcie::NodeId,
+        bytes: f64,
+        cont: u64,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let eth = self.eth.as_mut().expect("ethernet pool active");
+        let route = eth.net.topo.route(from, to);
+        let fid = eth.flows.add_flow(now, FlowSpec::new(route), bytes.max(1.0));
+        eth.cont.insert(fid, cont);
+        self.bump_eth(sched);
+    }
+
+    fn queue_prep(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
+        let chunk = self.chunks[&id];
+        // TrainBox with a pool: ship every period-th chunk of this in-box
+        // FPGA to the pool over Ethernet instead of preparing locally.
+        if let Some(eth) = self.eth.as_mut() {
+            let dev = chunk.prep_dev;
+            eth.counters[dev] += 1;
+            if eth.period > 0 && eth.counters[dev] % eth.period == 0 {
+                let from = eth.net.box_nics[dev];
+                let pool_idx = eth.rr_pool % eth.pool_servers.len();
+                eth.rr_pool += 1;
+                let to = eth.net.pool_nics[pool_idx];
+                // Stash the chosen pool device in the chunk's ssd field? No —
+                // keep a dedicated map: encode pool index via counters order
+                // is fragile; instead store in chunk.pool_dev.
+                self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::EthToPool;
+                self.chunks.get_mut(&id).expect("chunk exists").pool_dev = pool_idx;
+                let bytes = chunk.samples as f64 * self.sizes.stored;
+                self.add_eth_flow(now, from, to, bytes, id, sched);
+                return;
+            }
+        }
+        self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::Prep;
+        let done = self.preps[chunk.prep_dev].enqueue(now, self.prep_service);
+        sched.schedule_at(done, Ev::PrepDone(id));
+    }
+
+    fn on_eth_flow_done(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
+        let chunk = self.chunks[&id];
+        match chunk.stage {
+            Stage::EthToPool => {
+                self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::PoolPrep;
+                let eth = self.eth.as_mut().expect("ethernet pool active");
+                let done = eth.pool_servers[chunk.pool_dev].enqueue(now, eth.pool_service);
+                sched.schedule_at(done, Ev::PoolPrepDone(id));
+            }
+            Stage::EthFromPool => {
+                // Back at the in-box FPGA: final P2P hop to the accelerator.
+                let tensor = chunk.samples as f64 * self.sizes.tensor;
+                let prep_node = self.topo.preps[chunk.prep_dev];
+                let acc_node = self.topo.accs[chunk.acc];
+                self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::ToAccel;
+                self.add_flow(now, prep_node, acc_node, tensor, id, sched);
+            }
+            other => unreachable!("unexpected ethernet completion in {other:?}"),
+        }
+    }
+
+    fn on_pool_prep_done(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
+        let chunk = self.chunks[&id];
+        let eth = self.eth.as_ref().expect("ethernet pool active");
+        let from = eth.net.pool_nics[chunk.pool_dev];
+        let to = eth.net.box_nics[chunk.prep_dev];
+        let tensor = chunk.samples as f64 * self.sizes.tensor;
+        self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::EthFromPool;
+        self.add_eth_flow(now, from, to, tensor, id, sched);
+    }
+
+    fn on_ssd_done(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
+        let chunk = self.chunks[&id];
+        let ssd_node = self.topo.ssds[chunk.ssd];
+        let stored = chunk.samples as f64 * self.sizes.stored;
+        match self.kind {
+            // Staged designs: SSD -> host memory first.
+            ServerKind::Baseline | ServerKind::AccFpga | ServerKind::AccGpu => {
+                self.add_flow(now, ssd_node, self.topo.topo.root(), stored, id, sched);
+            }
+            // P2P / clustered: SSD -> prep accelerator directly.
+            _ => {
+                let dst = self.topo.preps[chunk.prep_dev];
+                self.add_flow(now, ssd_node, dst, stored, id, sched);
+            }
+        }
+    }
+
+    fn on_flow_done(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
+        let chunk = self.chunks[&id];
+        match chunk.stage {
+            Stage::ToPrep => match self.kind {
+                ServerKind::AccFpga | ServerKind::AccGpu => {
+                    // Second leg: host -> prep accelerator.
+                    let dst = self.topo.preps[chunk.prep_dev];
+                    let bytes = chunk.samples as f64 * self.sizes.stored;
+                    self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::HostToPrep;
+                    self.add_flow(now, self.topo.topo.root(), dst, bytes, id, sched);
+                }
+                // Baseline preps on the host itself; P2P/clustered arrive at
+                // the prep device directly.
+                _ => self.queue_prep(now, id, sched),
+            },
+            Stage::HostToPrep => self.queue_prep(now, id, sched),
+            Stage::PrepToHost => {
+                // Final leg: host -> accelerator.
+                let tensor = chunk.samples as f64 * self.sizes.tensor;
+                let acc_node = self.topo.accs[chunk.acc];
+                self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::ToAccel;
+                self.add_flow(now, self.topo.topo.root(), acc_node, tensor, id, sched);
+            }
+            Stage::ToAccel => self.deliver(now, id, sched),
+            Stage::Prep | Stage::PoolPrep => {
+                unreachable!("flows never complete while queued on a device")
+            }
+            Stage::EthToPool | Stage::EthFromPool => {
+                unreachable!("ethernet legs complete through EthFlowCheck")
+            }
+        }
+    }
+
+    fn on_prep_done(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
+        let chunk = self.chunks[&id];
+        let tensor = chunk.samples as f64 * self.sizes.tensor;
+        let acc_node = self.topo.accs[chunk.acc];
+        match self.kind {
+            ServerKind::Baseline => {
+                // Prepared in host memory; ship host -> accelerator.
+                self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::ToAccel;
+                self.add_flow(now, self.topo.topo.root(), acc_node, tensor, id, sched);
+            }
+            ServerKind::AccFpga | ServerKind::AccGpu => {
+                // Staged: prep -> host, then host -> acc.
+                let prep_node = self.topo.preps[chunk.prep_dev];
+                self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::PrepToHost;
+                self.add_flow(now, prep_node, self.topo.topo.root(), tensor, id, sched);
+            }
+            _ => {
+                // P2P / clustered: prep -> accelerator directly.
+                let prep_node = self.topo.preps[chunk.prep_dev];
+                self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::ToAccel;
+                self.add_flow(now, prep_node, acc_node, tensor, id, sched);
+            }
+        }
+    }
+
+    fn deliver(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
+        let chunk = self.chunks.remove(&id).expect("chunk exists");
+        let st = &mut self.accels[chunk.acc];
+        st.in_flight -= chunk.samples;
+        st.buffered += chunk.samples;
+        self.try_start_compute(now, chunk.acc, sched);
+        self.refill(now, chunk.acc, sched);
+    }
+
+    fn try_start_compute(&mut self, now: SimTime, acc: usize, sched: &mut Scheduler<Ev>) {
+        if self.sync_in_progress || self.done {
+            return;
+        }
+        let st = &mut self.accels[acc];
+        // Lockstep generations: an accelerator computes batch g only after
+        // the global sync of batch g-1, with a full batch buffered.
+        if !st.computing && st.batches_computed == self.sync_gen && st.buffered >= self.batch {
+            st.buffered -= self.batch;
+            st.computing = true;
+            sched.schedule_in(now, self.t_comp, Ev::ComputeDone(acc));
+            // Consuming a batch frees prefetch credit: start preparing the
+            // next batch right away (next-batch prefetching).
+            self.refill(now, acc, sched);
+        }
+    }
+
+    fn on_compute_done(&mut self, now: SimTime, acc: usize, sched: &mut Scheduler<Ev>) {
+        self.accels[acc].computing = false;
+        self.accels[acc].batches_computed += 1;
+        self.arrived += 1;
+        self.refill(now, acc, sched);
+        if self.arrived == self.accels.len() {
+            self.arrived = 0;
+            self.sync_in_progress = true;
+            sched.schedule_in(now, self.t_sync, Ev::SyncDone);
+        }
+    }
+
+    fn on_sync_done(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        self.sync_in_progress = false;
+        self.sync_gen += 1;
+        self.batch_done_at.push(now);
+        if self.sync_gen >= self.target_batches {
+            self.done = true;
+            return;
+        }
+        for acc in 0..self.accels.len() {
+            self.try_start_compute(now, acc, sched);
+        }
+    }
+}
+
+impl Model for PipelineModel {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Start => {
+                for acc in 0..self.accels.len() {
+                    self.refill(now, acc, sched);
+                }
+            }
+            Ev::SsdDone(id) => self.on_ssd_done(now, id, sched),
+            Ev::FlowCheck(epoch) => {
+                if epoch != self.flow_epoch {
+                    return; // superseded by a later flow-set change
+                }
+                if let Some((t, fid)) = self.flows.next_completion() {
+                    self.flows.complete(t.max(self.flows.now()), fid);
+                    let cont = self
+                        .flow_cont
+                        .remove(&fid)
+                        .expect("every flow has a continuation");
+                    self.on_flow_done(now, cont, sched);
+                    self.bump_flows(sched);
+                }
+            }
+            Ev::EthFlowCheck(epoch) => {
+                let Some(eth) = self.eth.as_mut() else { return };
+                if epoch != eth.epoch {
+                    return;
+                }
+                if let Some((t, fid)) = eth.flows.next_completion() {
+                    let at = t.max(eth.flows.now());
+                    eth.flows.complete(at, fid);
+                    let cont = eth.cont.remove(&fid).expect("eth continuation registered");
+                    self.on_eth_flow_done(now, cont, sched);
+                    self.bump_eth(sched);
+                }
+            }
+            Ev::PoolPrepDone(id) => self.on_pool_prep_done(now, id, sched),
+            Ev::PrepDone(id) => self.on_prep_done(now, id, sched),
+            Ev::ComputeDone(acc) => self.on_compute_done(now, acc, sched),
+            Ev::SyncDone => self.on_sync_done(now, sched),
+        }
+    }
+}
+
+/// Simulate `workload` on `server` and report steady-state throughput.
+///
+/// # Panics
+///
+/// Panics if `cfg.batches <= cfg.warmup_batches`, or if the simulation
+/// stalls (queue drains or `cfg.max_events` is exceeded before the requested
+/// batches complete).
+pub fn simulate(server: &Server, workload: &Workload, cfg: &SimConfig) -> SimResult {
+    assert!(cfg.batches > cfg.warmup_batches, "need batches after warmup");
+    let model = PipelineModel::new(server, workload, cfg);
+    let mut engine = Engine::new(model);
+    engine.schedule_at(SimTime::ZERO, Ev::Start);
+    let hit = engine.run_while(cfg.max_events, |m| m.done);
+    assert!(
+        hit,
+        "simulation ended without completing {} batches (events={}, queued={})",
+        cfg.batches,
+        engine.events_processed(),
+        engine.queued(),
+    );
+    let m = engine.model();
+    let n = m.accels.len() as f64;
+    let first = m.batch_done_at[cfg.warmup_batches as usize - 1];
+    let last = *m.batch_done_at.last().expect("batches completed");
+    let batches_measured = (cfg.batches - cfg.warmup_batches) as f64;
+    let samples = batches_measured * n * m.batch as f64;
+    let rc_bytes = m
+        .topo
+        .rc_links()
+        .iter()
+        .map(|l| m.link_bytes[l.index()])
+        .sum();
+    SimResult {
+        samples_per_sec: samples / (last - first).as_secs_f64(),
+        batch_done_at: m.batch_done_at.clone(),
+        events: engine.events_processed(),
+        link_bytes: m.link_bytes.clone(),
+        rc_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ServerConfig;
+
+    fn quick_cfg() -> SimConfig {
+        SimConfig {
+            chunk_samples: 128,
+            batches: 8,
+            warmup_batches: 4,
+            prefetch_batches: 1,
+            max_events: 5_000_000,
+        }
+    }
+
+    /// Build a scaled-down server: n accelerators, reduced batch.
+    fn sim_tp(kind: ServerKind, n: usize, w: &Workload, batch: u64) -> f64 {
+        let server = ServerConfig::new(kind, n).batch_size(batch).build();
+        simulate(&server, w, &quick_cfg()).samples_per_sec
+    }
+
+    fn analytic_tp(kind: ServerKind, n: usize, w: &Workload, batch: u64) -> f64 {
+        ServerConfig::new(kind, n)
+            .batch_size(batch)
+            .build()
+            .throughput(w)
+            .samples_per_sec
+    }
+
+    #[test]
+    fn des_matches_analytic_when_accelerator_bound() {
+        // Small scale: accelerators bind; DES must track the analytic value.
+        let w = Workload::inception_v4();
+        let des = sim_tp(ServerKind::Baseline, 8, &w, 512);
+        let ana = analytic_tp(ServerKind::Baseline, 8, &w, 512);
+        let err = (des - ana).abs() / ana;
+        assert!(err < 0.1, "des={des} ana={ana} err={err}");
+    }
+
+    #[test]
+    fn des_matches_analytic_when_cpu_bound() {
+        // 64 accelerators on the baseline: host CPU binds.
+        let w = Workload::inception_v4();
+        let des = sim_tp(ServerKind::Baseline, 64, &w, 256);
+        let ana = analytic_tp(ServerKind::Baseline, 64, &w, 256);
+        let err = (des - ana).abs() / ana;
+        assert!(err < 0.15, "des={des} ana={ana} err={err}");
+    }
+
+    #[test]
+    fn des_trainbox_matches_analytic() {
+        let w = Workload::inception_v4();
+        let des = sim_tp(ServerKind::TrainBoxNoPool, 32, &w, 512);
+        let ana = analytic_tp(ServerKind::TrainBoxNoPool, 32, &w, 512);
+        let err = (des - ana).abs() / ana;
+        assert!(err < 0.1, "des={des} ana={ana} err={err}");
+    }
+
+    #[test]
+    fn des_reproduces_the_ordering_baseline_acc_trainbox() {
+        // The Fig 19 ordering must emerge from the simulated datapath alone.
+        let w = Workload::resnet50();
+        let base = sim_tp(ServerKind::Baseline, 64, &w, 1024);
+        let acc = sim_tp(ServerKind::AccFpga, 64, &w, 1024);
+        let tb = sim_tp(ServerKind::TrainBoxNoPool, 64, &w, 1024);
+        assert!(acc > base, "acc={acc} base={base}");
+        assert!(tb > acc, "tb={tb} acc={acc}");
+    }
+
+    #[test]
+    fn des_p2p_removes_no_rc_traffic_vs_staged() {
+        // P2P between chained boxes still crosses the root complex: the
+        // simulated throughput must not improve materially over staged.
+        let w = Workload::resnet50();
+        let staged = sim_tp(ServerKind::AccFpga, 32, &w, 1024);
+        let p2p = sim_tp(ServerKind::AccFpgaP2p, 32, &w, 1024);
+        let ratio = p2p / staged;
+        assert!((0.8..1.6).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn des_audio_workload_runs() {
+        let w = Workload::transformer_sr();
+        let des = sim_tp(ServerKind::TrainBoxNoPool, 16, &w, 128);
+        assert!(des > 0.0);
+        // Prep-bound at this scale: 4 FPGAs x 5200 = 20.8k.
+        let ana = analytic_tp(ServerKind::TrainBoxNoPool, 16, &w, 128);
+        let err = (des - ana).abs() / ana;
+        assert!(err < 0.2, "des={des} ana={ana}");
+    }
+
+    #[test]
+    fn batch_completion_times_are_monotone() {
+        let w = Workload::rnn_s();
+        let server = ServerConfig::new(ServerKind::Baseline, 8)
+            .batch_size(256)
+            .build();
+        let r = simulate(&server, &w, &quick_cfg());
+        assert_eq!(r.batch_done_at.len(), 8);
+        for w in r.batch_done_at.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        assert!(r.events > 0);
+    }
+
+    #[test]
+    fn clustering_eliminates_rc_traffic_in_the_des() {
+        // The Step-3 mechanism, *measured* from the simulated flows: the
+        // baseline pushes every byte through the root complex; the train-box
+        // design keeps the RC share at zero.
+        let w = Workload::inception_v4();
+        let base_server = ServerConfig::new(ServerKind::Baseline, 16)
+            .batch_size(512)
+            .build();
+        let base = simulate(&base_server, &w, &quick_cfg());
+        assert!(base.rc_bytes > 0.0);
+        assert!(base.rc_share() > 0.3, "rc share {}", base.rc_share());
+        let tb_server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .batch_size(512)
+            .build();
+        let tb = simulate(&tb_server, &w, &quick_cfg());
+        assert_eq!(tb.rc_bytes, 0.0, "clustered prep traffic must stay in-box");
+        assert!(tb.link_bytes.iter().sum::<f64>() > 0.0, "data did move");
+    }
+
+    #[test]
+    fn staged_design_doubles_simulated_rc_bytes_per_sample() {
+        // §IV-D's doubling argument, measured: per delivered sample, the
+        // staged design moves ~2x the baseline's bytes through the RC.
+        let w = Workload::inception_v4();
+        let cfg = quick_cfg();
+        let run = |kind| {
+            let s = ServerConfig::new(kind, 16).batch_size(512).build();
+            let r = simulate(&s, &w, &cfg);
+            r.rc_bytes / (cfg.batches as f64 * 16.0 * 512.0)
+        };
+        let base = run(ServerKind::Baseline);
+        let staged = run(ServerKind::AccFpga);
+        let ratio = staged / base;
+        assert!((1.8..2.2).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn des_is_deterministic() {
+        let w = Workload::rnn_s();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 8)
+            .batch_size(256)
+            .build();
+        let a = simulate(&server, &w, &quick_cfg());
+        let b = simulate(&server, &w, &quick_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pool_offload_raises_simulated_audio_throughput() {
+        // Fig 21b, simulated: TF-SR on 16 accelerators is prep-bound without
+        // the pool; with pool FPGAs the DES throughput rises toward the
+        // accelerator side.
+        let w = Workload::transformer_sr();
+        let cfg = SimConfig {
+            chunk_samples: 64,
+            batches: 8,
+            warmup_batches: 4,
+            prefetch_batches: 1,
+            max_events: 5_000_000,
+        };
+        let no_pool = ServerConfig::new(ServerKind::TrainBoxNoPool, 16).build();
+        let without = simulate(&no_pool, &w, &cfg).samples_per_sec;
+        let with_pool = ServerConfig::new(ServerKind::TrainBox, 16)
+            .pool_fpgas(8)
+            .build();
+        let with = simulate(&with_pool, &w, &cfg).samples_per_sec;
+        assert!(
+            with > without * 1.2,
+            "pool should raise simulated throughput: {without} -> {with}"
+        );
+        // And it should approach the analytic TrainBox value.
+        let ana = with_pool.throughput(&w).samples_per_sec;
+        let err = (with - ana).abs() / ana;
+        assert!(err < 0.25, "with={with} ana={ana}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need batches after warmup")]
+    fn bad_sim_config_rejected() {
+        let w = Workload::resnet50();
+        let server = ServerConfig::new(ServerKind::Baseline, 8).build();
+        let cfg = SimConfig { batches: 2, warmup_batches: 2, ..quick_cfg() };
+        simulate(&server, &w, &cfg);
+    }
+}

@@ -1,0 +1,208 @@
+//! Scale-up vs scale-out (§III-A).
+//!
+//! The paper justifies a single giant node over a cluster with three
+//! arguments: (1) shared host resources lower TCO; (2) intra-node
+//! accelerator fabrics are an order of magnitude faster than NICs, so
+//! scale-out synchronization drags — *"a scale-out system with 96 DGX-2
+//! shows only 39.7× improvement over one DGX-2 in MLPerf results"*; (3) a
+//! single OS keeps the software simple. This module models (1) and (2).
+
+use serde::{Deserialize, Serialize};
+use trainbox_collective::RingModel;
+use trainbox_nn::Workload;
+
+/// A scale-out cluster: `nodes` hosts of `accels_per_node` accelerators,
+/// NVLink-class fabric inside a node, NIC-grade links between nodes.
+///
+/// The model captures the two effects that make scale-out drag (§III-A):
+/// the inter-node ring runs at NIC speed, and — because the *global* batch
+/// is capped to preserve accuracy — adding nodes shrinks each accelerator's
+/// local batch, eroding its efficiency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleOutCluster {
+    /// Number of hosts.
+    pub nodes: usize,
+    /// Accelerators per host (16 for a DGX-2 class node).
+    pub accels_per_node: usize,
+    /// Inter-node link bandwidth, bytes/s (§III-A: "100 Gbps NIC").
+    pub nic_bytes_per_sec: f64,
+    /// Inter-node per-hop latency, seconds (kernel network stack + switch;
+    /// orders of magnitude above NVLink's).
+    pub nic_hop_secs: f64,
+    /// Intra-node fabric model.
+    pub fabric: RingModel,
+    /// Largest global batch that preserves accuracy (§II-B third fold).
+    pub global_batch_cap: u64,
+}
+
+impl ScaleOutCluster {
+    /// A DGX-2-style cluster: 16 accelerators per node, 100 Gb NICs, ~10 µs
+    /// effective per-hop network latency.
+    pub fn dgx2_style(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        ScaleOutCluster {
+            nodes,
+            accels_per_node: 16,
+            nic_bytes_per_sec: 12.5e9,
+            nic_hop_secs: 10e-6,
+            fabric: RingModel::nvlink_default(),
+            global_batch_cap: 32_768,
+        }
+    }
+
+    /// Accelerator efficiency at local batch `b` relative to large batches:
+    /// `b/(b+16)` — the gentle GPU-utilization curve of the scale-out era
+    /// (half rate at batch 16), distinct from the aggressive TPU curve in
+    /// `calib::batch_efficiency`.
+    fn local_efficiency(b: f64) -> f64 {
+        b / (b + 16.0)
+    }
+
+    /// Total accelerators.
+    pub fn accels(&self) -> usize {
+        self.nodes * self.accels_per_node
+    }
+
+    /// Hierarchical synchronization time: intra-node ring, then an
+    /// inter-node ring over the NICs, then intra-node broadcast (folded into
+    /// the intra term). The inter-node ring's bandwidth term runs at NIC
+    /// speed — the §III-A bottleneck.
+    pub fn sync_secs(&self, model_bytes: u64) -> f64 {
+        let intra = self.fabric.allreduce_secs(model_bytes, self.accels_per_node);
+        if self.nodes == 1 {
+            return intra;
+        }
+        let inter = RingModel {
+            link_bytes_per_sec: self.nic_bytes_per_sec,
+            hop_latency_secs: self.nic_hop_secs,
+            chunk_bytes: 64 * 1024,
+        }
+        .allreduce_secs(model_bytes, self.nodes);
+        intra + inter
+    }
+
+    /// Cluster training throughput for `workload`, assuming per-node data
+    /// preparation is fully provisioned (the comparison isolates
+    /// synchronization + batch effects, as MLPerf entries do). The global
+    /// batch is capped, so each accelerator runs `cap / accels` samples per
+    /// step.
+    pub fn throughput(&self, workload: &Workload) -> f64 {
+        let local = (self.global_batch_cap as f64 / self.accels() as f64).max(1.0);
+        let rate = workload.accel_samples_per_sec * Self::local_efficiency(local);
+        let t_comp = local / rate;
+        let t_sync = self.sync_secs(workload.model_bytes());
+        self.accels() as f64 * local / (t_comp + t_sync)
+    }
+
+    /// Throughput relative to a single node of the same design.
+    pub fn speedup_over_one_node(&self, workload: &Workload) -> f64 {
+        let one = ScaleOutCluster { nodes: 1, ..*self };
+        self.throughput(workload) / one.throughput(workload)
+    }
+}
+
+/// Host-resource TCO model (§III-A benefit 1): every node of a scale-out
+/// cluster carries its own CPUs, DRAM, NICs, and chassis; a scale-up system
+/// amortizes one host across all accelerators (plus its prep FPGAs).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TcoModel {
+    /// Cost of one accelerator (the dominant, design-independent term).
+    pub accel_cost: f64,
+    /// Cost of one host (CPUs + DRAM + chassis + NICs).
+    pub host_cost: f64,
+    /// Cost of one prep FPGA (TrainBox adds 1 per 4 accelerators).
+    pub fpga_cost: f64,
+}
+
+impl TcoModel {
+    /// Working dollar figures: $10k accelerator, $30k host, $5k FPGA.
+    pub fn default_costs() -> Self {
+        TcoModel { accel_cost: 10_000.0, host_cost: 30_000.0, fpga_cost: 5_000.0 }
+    }
+
+    /// Cost of a scale-out cluster serving `accels` accelerators with
+    /// `accels_per_node` per host.
+    pub fn scale_out_cost(&self, accels: usize, accels_per_node: usize) -> f64 {
+        assert!(accels_per_node > 0, "need accelerators per node");
+        let nodes = accels.div_ceil(accels_per_node) as f64;
+        accels as f64 * self.accel_cost + nodes * self.host_cost
+    }
+
+    /// Cost of a scale-up TrainBox rack serving `accels` accelerators: one
+    /// host plus a prep FPGA per four accelerators.
+    pub fn scale_up_cost(&self, accels: usize) -> f64 {
+        accels as f64 * self.accel_cost
+            + self.host_cost
+            + (accels as f64 / 4.0).ceil() * self.fpga_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlperf_scale_out_inefficiency_reproduced() {
+        // §III-A: 96 DGX-2 give only ~39.7x one DGX-2 (41% efficiency) in
+        // MLPerf. Across the Table-I workloads our model's 96-node speedups
+        // span the same far-below-linear regime, with the best workload in
+        // the tens and parameter-heavy VGG-19 in the single digits.
+        let mut best = 0.0f64;
+        for w in Workload::all() {
+            let s = ScaleOutCluster::dgx2_style(96).speedup_over_one_node(&w);
+            assert!(s < 60.0, "{}: {s} should be far below 96", w.name);
+            best = best.max(s);
+        }
+        assert!((15.0..60.0).contains(&best), "best speedup {best}");
+        let vgg = ScaleOutCluster::dgx2_style(96).speedup_over_one_node(&Workload::vgg19());
+        assert!(vgg < 15.0, "parameter-heavy models scale worst: {vgg}");
+        // Scale-up with the same 1536 accelerators on one fabric syncs far
+        // faster than the NIC ring.
+        let w = Workload::vgg19();
+        let fabric = RingModel::nvlink_default();
+        let scale_up_sync = fabric.allreduce_secs(w.model_bytes(), 1536);
+        assert!(scale_up_sync < ScaleOutCluster::dgx2_style(96).sync_secs(w.model_bytes()) / 5.0);
+    }
+
+    #[test]
+    fn small_models_scale_out_fine_at_modest_node_counts() {
+        // RNN-S has 1 MB of gradients: at 4 nodes the NIC ring is cheap and
+        // local batches are still healthy — near-linear scaling. The penalty
+        // is model-size and scale dependent.
+        let w = Workload::rnn_s();
+        let s = ScaleOutCluster::dgx2_style(4).speedup_over_one_node(&w);
+        assert!(s > 3.4, "4-node small-model scaling should be near-linear: {s}");
+    }
+
+    #[test]
+    fn single_node_is_the_baseline() {
+        let w = Workload::resnet50();
+        let one = ScaleOutCluster::dgx2_style(1);
+        assert!((one.speedup_over_one_node(&w) - 1.0).abs() < 1e-12);
+        assert_eq!(one.accels(), 16);
+    }
+
+    #[test]
+    fn sync_grows_with_nodes_but_sublinearly() {
+        let m = 97_500_000u64;
+        let t2 = ScaleOutCluster::dgx2_style(2).sync_secs(m);
+        let t32 = ScaleOutCluster::dgx2_style(32).sync_secs(m);
+        assert!(t32 > t2);
+        assert!(t32 < t2 * 4.0, "ring saturates inter-node too: {t2} vs {t32}");
+    }
+
+    #[test]
+    fn tco_favors_scale_up() {
+        // §III-A: "one node with 256 accelerators vs 256 nodes with one
+        // accelerator per node" — the extreme case — and the DGX-2 case.
+        let tco = TcoModel::default_costs();
+        let up = tco.scale_up_cost(256);
+        let out_1 = tco.scale_out_cost(256, 1);
+        let out_16 = tco.scale_out_cost(256, 16);
+        assert!(up < out_1 / 2.0, "vs 1-acc nodes: {up} vs {out_1}");
+        assert!(up < out_16, "vs 16-acc nodes: {up} vs {out_16}");
+        // The FPGA adder is small relative to the host savings.
+        let plain_accels = 256.0 * tco.accel_cost;
+        assert!(up - plain_accels < out_16 - plain_accels);
+    }
+}

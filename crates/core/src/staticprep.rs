@@ -1,0 +1,205 @@
+//! Static (offline) data preparation — the naive alternative of §III-D and
+//! why it is infeasible.
+//!
+//! §III-D: *"static data preparation requires about 2.2 PBs
+//! (32×32×0.15MB×14M)"* for random cropping alone, because every crop basis
+//! of every image would have to be materialized on storage. This module
+//! computes storage and bandwidth requirements for arbitrary augmentation
+//! stacks, so the trade-off against on-line preparation can be quantified.
+
+use serde::{Deserialize, Serialize};
+use trainbox_nn::InputKind;
+
+/// Number of items in an ImageNet-scale dataset (§III-D: "14 million").
+pub const IMAGENET_ITEMS: u64 = 14_000_000;
+
+/// One augmentation dimension and how many distinct variants it multiplies
+/// into the materialized dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AugmentationAxis {
+    /// Name (e.g. "random crop basis").
+    pub name: String,
+    /// Number of distinct variants.
+    pub variants: u64,
+}
+
+impl AugmentationAxis {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, variants: u64) -> Self {
+        assert!(variants >= 1, "an axis has at least one variant");
+        AugmentationAxis { name: name.into(), variants: variants.max(1) }
+    }
+}
+
+/// The paper's §III-D example: a 256×256 image admits 32×32 distinct
+/// 224×224 crop bases.
+pub fn paper_crop_axis() -> AugmentationAxis {
+    AugmentationAxis::new("random crop basis (256->224)", 32 * 32)
+}
+
+/// Generic crop-basis axis for arbitrary stored/crop sizes.
+pub fn crop_axis(stored_edge: usize, crop_edge: usize) -> AugmentationAxis {
+    assert!(crop_edge <= stored_edge, "crop larger than stored image");
+    let offsets = (stored_edge - crop_edge + 1) as u64;
+    AugmentationAxis::new(
+        format!("random crop basis ({stored_edge}->{crop_edge})"),
+        offsets * offsets,
+    )
+}
+
+/// Horizontal mirror: 2 variants.
+pub fn mirror_axis() -> AugmentationAxis {
+    AugmentationAxis::new("horizontal mirror", 2)
+}
+
+/// Storage analysis of materializing every augmented variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticPrepAnalysis {
+    /// Dataset items.
+    pub items: u64,
+    /// Bytes per materialized variant.
+    pub bytes_per_variant: u64,
+    /// Product of all axis variant counts.
+    pub variants_per_item: u64,
+    /// Axes considered.
+    pub axes: Vec<AugmentationAxis>,
+}
+
+impl StaticPrepAnalysis {
+    /// Analyze materializing `axes` over `items` items of
+    /// `bytes_per_variant` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the variant product overflows `u64`.
+    pub fn new(items: u64, bytes_per_variant: u64, axes: Vec<AugmentationAxis>) -> Self {
+        let variants_per_item = axes
+            .iter()
+            .map(|a| a.variants)
+            .try_fold(1u64, |acc, v| acc.checked_mul(v))
+            .expect("variant product overflows u64");
+        StaticPrepAnalysis { items, bytes_per_variant, variants_per_item, axes }
+    }
+
+    /// The §III-D example: crop-basis materialization of 224×224 RGB
+    /// (0.15 MB per variant) over ImageNet.
+    pub fn paper_example() -> Self {
+        StaticPrepAnalysis::new(IMAGENET_ITEMS, 150_528, vec![paper_crop_axis()])
+    }
+
+    /// Total storage required, bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.items as f64 * self.variants_per_item as f64 * self.bytes_per_variant as f64
+    }
+
+    /// Storage amplification over keeping one stored variant per item.
+    pub fn amplification(&self) -> f64 {
+        self.variants_per_item as f64
+    }
+
+    /// Storage in petabytes (decimal).
+    pub fn total_petabytes(&self) -> f64 {
+        self.total_bytes() / 1e15
+    }
+
+    /// How many SSDs of `ssd_bytes` capacity the materialized dataset needs.
+    pub fn ssds_required(&self, ssd_bytes: u64) -> u64 {
+        assert!(ssd_bytes > 0, "ssd capacity must be positive");
+        (self.total_bytes() / ssd_bytes as f64).ceil() as u64
+    }
+}
+
+/// Break-even: on-line preparation is preferable whenever the static
+/// materialization exceeds `storage_budget_bytes` — practically always, per
+/// §III-D. Returns the largest variant count per item the budget affords.
+pub fn max_affordable_variants(
+    items: u64,
+    bytes_per_variant: u64,
+    storage_budget_bytes: u64,
+) -> u64 {
+    if items == 0 || bytes_per_variant == 0 {
+        return u64::MAX;
+    }
+    storage_budget_bytes / (items * bytes_per_variant)
+}
+
+/// Bytes-per-sample a static pipeline would read from SSDs at training time
+/// (the full prepared tensor, vs. the compressed original for on-line prep).
+pub fn static_read_amplification(input: InputKind) -> f64 {
+    let s = crate::calib::SampleSizes::for_input(input);
+    s.tensor / s.stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_2_2_petabyte_example() {
+        // §III-D: "about 2.2 PBs (32x32x0.15MB x14M)".
+        let a = StaticPrepAnalysis::paper_example();
+        assert_eq!(a.variants_per_item, 1024);
+        let pb = a.total_petabytes();
+        assert!((pb - 2.2).abs() < 0.1, "petabytes={pb}");
+        assert_eq!(a.amplification(), 1024.0);
+    }
+
+    #[test]
+    fn axes_multiply() {
+        let a = StaticPrepAnalysis::new(
+            1000,
+            100,
+            vec![paper_crop_axis(), mirror_axis(), AugmentationAxis::new("noise draws", 16)],
+        );
+        assert_eq!(a.variants_per_item, 1024 * 2 * 16);
+    }
+
+    #[test]
+    fn crop_axis_counts_offsets() {
+        assert_eq!(crop_axis(256, 224).variants, 33 * 33);
+        assert_eq!(crop_axis(224, 224).variants, 1);
+        // The paper rounds 33x33 down to 32x32; both are in the same regime.
+        let paper = paper_crop_axis();
+        assert_eq!(paper.variants, 1024);
+    }
+
+    #[test]
+    fn ssd_count_is_infeasible() {
+        // 2.2 PB over 4 TB SSDs: hundreds of drives for one dataset's crops.
+        let a = StaticPrepAnalysis::paper_example();
+        let ssds = a.ssds_required(4_000_000_000_000);
+        assert!(ssds > 500, "ssds={ssds}");
+    }
+
+    #[test]
+    fn affordable_variants_are_tiny() {
+        // A generous 100 TB budget affords only ~47 variants per item — far
+        // short of the 1024 crop bases alone.
+        let v = max_affordable_variants(IMAGENET_ITEMS, 150_528, 100_000_000_000_000);
+        assert!(v < 64, "v={v}");
+        assert!(v > 8);
+    }
+
+    #[test]
+    fn static_read_amplification_matches_cast() {
+        // Reading prepared float tensors from SSD costs ~17x the compressed
+        // JPEG bytes — the bandwidth half of §III-D's storage argument.
+        let amp = static_read_amplification(InputKind::Image);
+        assert!((15.0..20.0).contains(&amp), "amp={amp}");
+        let audio = static_read_amplification(InputKind::Audio);
+        assert!(audio > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "variant product overflows")]
+    fn overflow_detected() {
+        StaticPrepAnalysis::new(
+            1,
+            1,
+            vec![
+                AugmentationAxis::new("a", u64::MAX / 2),
+                AugmentationAxis::new("b", 3),
+            ],
+        );
+    }
+}

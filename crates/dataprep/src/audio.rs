@@ -1,0 +1,694 @@
+//! Audio formatting and augmentation: FFT → STFT → Mel spectrogram →
+//! SpecAugment masking → normalization.
+//!
+//! This is the audio path of the paper's data-preparation engine (Fig 17 and
+//! Table III: spectrogram, masking, norm, Mel filter bank). §II-A: *"For
+//! audio, we convert a stream of sound into a 'Mel spectrogram', which is the
+//! STFT-based feature set of frames in the stream."* The masking stage is the
+//! SpecAugment-style time/frequency masking the paper cites (\[35\]).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A mono PCM waveform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Waveform {
+    samples: Vec<f32>,
+    sample_rate: u32,
+}
+
+impl Waveform {
+    /// Wrap raw samples at `sample_rate` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty or `sample_rate` is zero.
+    pub fn new(samples: Vec<f32>, sample_rate: u32) -> Self {
+        assert!(!samples.is_empty(), "waveform must not be empty");
+        assert!(sample_rate > 0, "sample rate must be positive");
+        Waveform { samples, sample_rate }
+    }
+
+    /// The PCM samples.
+    pub fn samples(&self) -> &[f32] {
+        &self.samples
+    }
+
+    /// Sample rate in Hz.
+    pub fn sample_rate(&self) -> u32 {
+        self.sample_rate
+    }
+
+    /// Duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate as f64
+    }
+
+    /// Size in bytes when stored as 16-bit PCM (the on-SSD format).
+    pub fn stored_byte_len(&self) -> usize {
+        self.samples.len() * 2
+    }
+
+    /// Add uniform noise of amplitude `level` (an audio augmentation of
+    /// §II-A: "add some noise into sound").
+    pub fn with_noise<R: Rng + ?Sized>(&self, level: f32, rng: &mut R) -> Waveform {
+        assert!(level >= 0.0 && level.is_finite(), "noise level must be nonnegative");
+        let samples = self
+            .samples
+            .iter()
+            .map(|&s| s + rng.gen_range(-1.0f32..1.0) * level)
+            .collect();
+        Waveform { samples, sample_rate: self.sample_rate }
+    }
+}
+
+/// A complex number for the FFT (kept minimal on purpose).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Construct from parts.
+    pub fn new(re: f32, im: f32) -> Self {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft(buf: &mut [Complex]) {
+    fft_dir(buf, false);
+}
+
+/// Inverse FFT (scaled by `1/n`).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn ifft(buf: &mut [Complex]) {
+    fft_dir(buf, true);
+    let n = buf.len() as f32;
+    for c in buf.iter_mut() {
+        c.re /= n;
+        c.im /= n;
+    }
+}
+
+fn fft_dir(buf: &mut [Complex], inverse: bool) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f32::consts::TAU / len as f32;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = buf[start + k];
+                let v = buf[start + k + len / 2].mul(w);
+                buf[start + k] = u.add(v);
+                buf[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// STFT parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StftConfig {
+    /// FFT size (power of two).
+    pub n_fft: usize,
+    /// Hop between frames in samples.
+    pub hop: usize,
+}
+
+impl StftConfig {
+    /// The common speech setting: 25 ms windows, 10 ms hop at 16 kHz,
+    /// rounded up to a 512-point FFT.
+    pub fn speech_default() -> Self {
+        StftConfig { n_fft: 512, hop: 160 }
+    }
+
+    /// Number of frames produced for `n_samples` input samples.
+    pub fn frames(&self, n_samples: usize) -> usize {
+        if n_samples < self.n_fft {
+            return if n_samples == 0 { 0 } else { 1 };
+        }
+        (n_samples - self.n_fft) / self.hop + 1
+    }
+}
+
+/// A time–frequency matrix, `frames × bins`, row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spectrogram {
+    frames: usize,
+    bins: usize,
+    data: Vec<f32>,
+}
+
+impl Spectrogram {
+    /// Wrap raw data.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn new(frames: usize, bins: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), frames * bins, "spectrogram shape mismatch");
+        Spectrogram { frames, bins, data }
+    }
+
+    /// Number of time frames.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Number of frequency bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Value at `(frame, bin)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn at(&self, frame: usize, bin: usize) -> f32 {
+        assert!(frame < self.frames && bin < self.bins, "index out of bounds");
+        self.data[frame * self.bins + bin]
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Size in bytes when shipped to an accelerator.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// SpecAugment-style masking: `n_time_masks` random time stripes of up to
+    /// `max_time` frames and `n_freq_masks` stripes of up to `max_freq` bins
+    /// are zeroed.
+    pub fn masked<R: Rng + ?Sized>(
+        &self,
+        n_time_masks: usize,
+        max_time: usize,
+        n_freq_masks: usize,
+        max_freq: usize,
+        rng: &mut R,
+    ) -> Spectrogram {
+        let mut out = self.clone();
+        for _ in 0..n_time_masks {
+            if self.frames == 0 || max_time == 0 {
+                break;
+            }
+            let w = rng.gen_range(1..=max_time.min(self.frames));
+            let t0 = rng.gen_range(0..=self.frames - w);
+            for t in t0..t0 + w {
+                for b in 0..self.bins {
+                    out.data[t * self.bins + b] = 0.0;
+                }
+            }
+        }
+        for _ in 0..n_freq_masks {
+            if self.bins == 0 || max_freq == 0 {
+                break;
+            }
+            let w = rng.gen_range(1..=max_freq.min(self.bins));
+            let b0 = rng.gen_range(0..=self.bins - w);
+            for t in 0..self.frames {
+                for b in b0..b0 + w {
+                    out.data[t * self.bins + b] = 0.0;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-bin zero-mean unit-variance normalization across frames (the
+    /// "Norm" engine of Table III).
+    pub fn normalized(&self) -> Spectrogram {
+        let mut out = self.clone();
+        for b in 0..self.bins {
+            let mut mean = 0.0f64;
+            for t in 0..self.frames {
+                mean += self.at(t, b) as f64;
+            }
+            mean /= self.frames.max(1) as f64;
+            let mut var = 0.0f64;
+            for t in 0..self.frames {
+                var += (self.at(t, b) as f64 - mean).powi(2);
+            }
+            var /= self.frames.max(1) as f64;
+            let std = var.sqrt().max(1e-8);
+            for t in 0..self.frames {
+                out.data[t * self.bins + b] = ((self.at(t, b) as f64 - mean) / std) as f32;
+            }
+        }
+        out
+    }
+}
+
+/// Hann-windowed power STFT: `frames × (n_fft/2 + 1)` power values.
+///
+/// # Panics
+///
+/// Panics if `cfg.n_fft` is not a power of two or `cfg.hop` is zero.
+pub fn stft(wave: &Waveform, cfg: StftConfig) -> Spectrogram {
+    assert!(cfg.n_fft.is_power_of_two(), "n_fft must be a power of two");
+    assert!(cfg.hop > 0, "hop must be positive");
+    let n = cfg.n_fft;
+    let bins = n / 2 + 1;
+    let window: Vec<f32> = (0..n)
+        .map(|i| 0.5 - 0.5 * (std::f32::consts::TAU * i as f32 / n as f32).cos())
+        .collect();
+    let nframes = cfg.frames(wave.samples().len());
+    let mut data = Vec::with_capacity(nframes * bins);
+    let samples = wave.samples();
+    let mut buf = vec![Complex::default(); n];
+    for f in 0..nframes {
+        let start = f * cfg.hop;
+        for i in 0..n {
+            let s = samples.get(start + i).copied().unwrap_or(0.0);
+            buf[i] = Complex::new(s * window[i], 0.0);
+        }
+        fft(&mut buf);
+        for b in buf.iter().take(bins) {
+            data.push(b.norm_sq());
+        }
+    }
+    Spectrogram::new(nframes, bins, data)
+}
+
+/// Hz → Mel (HTK formula).
+pub fn hz_to_mel(hz: f32) -> f32 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Mel → Hz (HTK formula).
+pub fn mel_to_hz(mel: f32) -> f32 {
+    700.0 * (10f32.powf(mel / 2595.0) - 1.0)
+}
+
+/// A triangular Mel filter bank mapping `n_fft/2+1` linear bins to `n_mels`
+/// Mel bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MelBank {
+    n_mels: usize,
+    n_bins: usize,
+    /// `n_mels × n_bins` filter weights, row-major.
+    weights: Vec<f32>,
+}
+
+impl MelBank {
+    /// Build a bank of `n_mels` triangular filters for spectra of `n_bins`
+    /// linear bins covering `[0, sample_rate/2]` Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_mels` or `n_bins` is too small to place the triangles.
+    pub fn new(n_mels: usize, n_bins: usize, sample_rate: u32) -> Self {
+        assert!(n_mels > 0, "need at least one mel band");
+        assert!(n_bins > n_mels, "need more linear bins than mel bands");
+        let f_max = sample_rate as f32 / 2.0;
+        let m_max = hz_to_mel(f_max);
+        // n_mels + 2 edge points, evenly spaced in Mel.
+        let edges_hz: Vec<f32> = (0..n_mels + 2)
+            .map(|i| mel_to_hz(m_max * i as f32 / (n_mels + 1) as f32))
+            .collect();
+        let bin_hz = |b: usize| b as f32 * f_max / (n_bins - 1) as f32;
+        let mut weights = vec![0.0f32; n_mels * n_bins];
+        for m in 0..n_mels {
+            let (lo, mid, hi) = (edges_hz[m], edges_hz[m + 1], edges_hz[m + 2]);
+            for b in 0..n_bins {
+                let f = bin_hz(b);
+                let w = if f <= lo || f >= hi {
+                    0.0
+                } else if f <= mid {
+                    (f - lo) / (mid - lo).max(1e-6)
+                } else {
+                    (hi - f) / (hi - mid).max(1e-6)
+                };
+                weights[m * n_bins + b] = w;
+            }
+        }
+        MelBank { n_mels, n_bins, weights }
+    }
+
+    /// Number of Mel bands.
+    pub fn n_mels(&self) -> usize {
+        self.n_mels
+    }
+
+    /// Apply to a power spectrogram, producing a log-Mel spectrogram
+    /// (`frames × n_mels`, natural log with a small floor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectrogram's bin count differs from this bank's.
+    pub fn apply(&self, spec: &Spectrogram) -> Spectrogram {
+        assert_eq!(spec.bins(), self.n_bins, "bin count mismatch");
+        let mut data = Vec::with_capacity(spec.frames() * self.n_mels);
+        for t in 0..spec.frames() {
+            for m in 0..self.n_mels {
+                let mut s = 0.0f32;
+                for b in 0..self.n_bins {
+                    let w = self.weights[m * self.n_bins + b];
+                    if w > 0.0 {
+                        s += w * spec.at(t, b);
+                    }
+                }
+                data.push((s + 1e-10).ln());
+            }
+        }
+        Spectrogram::new(spec.frames(), self.n_mels, data)
+    }
+}
+
+/// Full audio formatting path: waveform → power STFT → log-Mel spectrogram.
+pub fn mel_spectrogram(wave: &Waveform, cfg: StftConfig, n_mels: usize) -> Spectrogram {
+    let spec = stft(wave, cfg);
+    MelBank::new(n_mels, spec.bins(), wave.sample_rate()).apply(&spec)
+}
+
+
+/// Pre-emphasis filter `y[n] = x[n] - alpha·x[n-1]`, the classic speech
+/// front-end high-pass (part of "emerging complex data preparation
+/// algorithms", §III-C).
+///
+/// # Panics
+///
+/// Panics if `alpha` is not in `[0, 1)`.
+pub fn pre_emphasis(wave: &Waveform, alpha: f32) -> Waveform {
+    assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+    let s = wave.samples();
+    let mut out = Vec::with_capacity(s.len());
+    out.push(s[0]);
+    for i in 1..s.len() {
+        out.push(s[i] - alpha * s[i - 1]);
+    }
+    Waveform::new(out, wave.sample_rate())
+}
+
+/// Type-II DCT over the Mel axis of a log-Mel spectrogram — MFCC features,
+/// keeping the first `n_coeffs` coefficients per frame.
+///
+/// # Panics
+///
+/// Panics if `n_coeffs` is zero or exceeds the Mel band count.
+pub fn mfcc(log_mel: &Spectrogram, n_coeffs: usize) -> Spectrogram {
+    let m = log_mel.bins();
+    assert!(n_coeffs >= 1 && n_coeffs <= m, "invalid coefficient count");
+    // Orthonormal DCT-II basis.
+    let mut basis = vec![0.0f32; n_coeffs * m];
+    for k in 0..n_coeffs {
+        let scale = if k == 0 {
+            (1.0 / m as f32).sqrt()
+        } else {
+            (2.0 / m as f32).sqrt()
+        };
+        for j in 0..m {
+            basis[k * m + j] =
+                scale * (std::f32::consts::PI * k as f32 * (j as f32 + 0.5) / m as f32).cos();
+        }
+    }
+    let mut data = Vec::with_capacity(log_mel.frames() * n_coeffs);
+    for t in 0..log_mel.frames() {
+        for k in 0..n_coeffs {
+            let mut acc = 0.0f32;
+            for j in 0..m {
+                acc += basis[k * m + j] * log_mel.at(t, j);
+            }
+            data.push(acc);
+        }
+    }
+    Spectrogram::new(log_mel.frames(), n_coeffs, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tone(freq: f32, secs: f32, rate: u32) -> Waveform {
+        let n = (secs * rate as f32) as usize;
+        Waveform::new(
+            (0..n)
+                .map(|i| (std::f32::consts::TAU * freq * i as f32 / rate as f32).sin())
+                .collect(),
+            rate,
+        )
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut buf = vec![Complex::default(); 8];
+        buf[0] = Complex::new(1.0, 0.0);
+        fft(&mut buf);
+        for c in &buf {
+            assert!((c.re - 1.0).abs() < 1e-5 && c.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fft_peaks_at_tone_bin() {
+        // 64-sample FFT of sin at bin 5.
+        let n = 64;
+        let mut buf: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((std::f32::consts::TAU * 5.0 * i as f32 / n as f32).sin(), 0.0))
+            .collect();
+        fft(&mut buf);
+        let mags: Vec<f32> = buf.iter().map(|c| c.norm_sq().sqrt()).collect();
+        let peak = mags
+            .iter()
+            .enumerate()
+            .take(n / 2)
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 5);
+        assert!((mags[5] - 32.0).abs() < 1e-3); // n/2 for a unit sine
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let mut rng = StdRng::seed_from_u64(3);
+        use rand::Rng;
+        let orig: Vec<Complex> = (0..128)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut buf = orig.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (a, b) in orig.iter().zip(&buf) {
+            assert!((a.re - b.re).abs() < 1e-4 && (a.im - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Complex::default(); 12];
+        fft(&mut buf);
+    }
+
+    #[test]
+    fn stft_shape_matches_config() {
+        let w = tone(440.0, 1.0, 16_000);
+        let cfg = StftConfig::speech_default();
+        let s = stft(&w, cfg);
+        assert_eq!(s.bins(), 257);
+        assert_eq!(s.frames(), cfg.frames(16_000));
+        assert_eq!(s.frames(), (16_000 - 512) / 160 + 1);
+    }
+
+    #[test]
+    fn stft_localizes_tone_frequency() {
+        let rate = 16_000;
+        let w = tone(1000.0, 0.5, rate);
+        let cfg = StftConfig::speech_default();
+        let s = stft(&w, cfg);
+        // Expected bin: 1000 Hz / (16000/512) = 32.
+        let mid = s.frames() / 2;
+        let peak = (0..s.bins()).max_by(|&a, &b| s.at(mid, a).partial_cmp(&s.at(mid, b)).unwrap()).unwrap();
+        assert!((peak as i32 - 32).abs() <= 1, "peak bin {peak}");
+    }
+
+    #[test]
+    fn mel_scale_round_trips() {
+        for hz in [0.0f32, 100.0, 440.0, 4000.0, 8000.0] {
+            assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 0.5);
+        }
+        assert!(hz_to_mel(1000.0) > hz_to_mel(500.0));
+    }
+
+    #[test]
+    fn mel_bank_rows_cover_spectrum() {
+        let bank = MelBank::new(40, 257, 16_000);
+        assert_eq!(bank.n_mels(), 40);
+        // Every filter has some mass; interior bins are covered by >= 1 filter.
+        for m in 0..40 {
+            let sum: f32 = (0..257).map(|b| bank.weights[m * 257 + b]).sum();
+            assert!(sum > 0.0, "empty mel filter {m}");
+        }
+    }
+
+    #[test]
+    fn mel_spectrogram_shape_for_librispeech_clip() {
+        let w = crate::synth::librispeech_like_clip(1);
+        let cfg = StftConfig::speech_default();
+        let mel = mel_spectrogram(&w, cfg, 80);
+        assert_eq!(mel.bins(), 80);
+        assert!(mel.frames() > 400, "frames={}", mel.frames());
+        // ~100 frames/s at 10ms hop.
+        let fps = mel.frames() as f64 / w.duration_secs();
+        assert!((95.0..105.0).contains(&fps), "fps={fps}");
+    }
+
+    #[test]
+    fn masking_zeroes_stripes_only() {
+        let s = Spectrogram::new(20, 10, vec![1.0; 200]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = s.masked(1, 4, 1, 3, &mut rng);
+        let zeros = m.data().iter().filter(|&&v| v == 0.0).count();
+        assert!(zeros > 0);
+        assert!(zeros < 200, "masking must not erase everything");
+        // Unmasked entries are untouched.
+        assert!(m.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn masking_zero_masks_is_identity() {
+        let s = Spectrogram::new(5, 4, (0..20).map(|i| i as f32).collect());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(s.masked(0, 5, 0, 5, &mut rng), s);
+    }
+
+    #[test]
+    fn normalization_centers_bins() {
+        let w = crate::synth::speech_like_waveform(1.0, 16_000, 6);
+        let mel = mel_spectrogram(&w, StftConfig::speech_default(), 40).normalized();
+        for b in 0..mel.bins() {
+            let mean: f64 = (0..mel.frames()).map(|t| mel.at(t, b) as f64).sum::<f64>()
+                / mel.frames() as f64;
+            assert!(mean.abs() < 1e-3, "bin {b} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn noise_augmentation_perturbs() {
+        let w = tone(220.0, 0.1, 8000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let noisy = w.with_noise(0.1, &mut rng);
+        assert_ne!(w.samples(), noisy.samples());
+        let clean = w.with_noise(0.0, &mut rng);
+        assert_eq!(w.samples(), clean.samples());
+    }
+
+
+    #[test]
+    fn pre_emphasis_flattens_dc_keeps_highs() {
+        // DC input is almost eliminated; an alternating signal is boosted.
+        let dc = Waveform::new(vec![1.0; 256], 8000);
+        let hp = pre_emphasis(&dc, 0.97);
+        let tail_energy: f32 = hp.samples()[1..].iter().map(|v| v * v).sum();
+        assert!(tail_energy < 0.5, "dc should vanish: {tail_energy}");
+        let alt = Waveform::new((0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(), 8000);
+        let hp = pre_emphasis(&alt, 0.97);
+        let energy: f32 = hp.samples()[1..].iter().map(|v| v * v).sum();
+        let orig: f32 = alt.samples()[1..].iter().map(|v| v * v).sum();
+        assert!(energy > orig, "highs should be boosted");
+    }
+
+    #[test]
+    fn mfcc_shape_and_dc_coefficient() {
+        let w = crate::synth::speech_like_waveform(0.5, 16_000, 3);
+        let mel = mel_spectrogram(&w, StftConfig::speech_default(), 40);
+        let coeffs = mfcc(&mel, 13);
+        assert_eq!(coeffs.bins(), 13);
+        assert_eq!(coeffs.frames(), mel.frames());
+        // Coefficient 0 is the (scaled) frame mean of the log-Mel energies.
+        let t = coeffs.frames() / 2;
+        let mean: f32 = (0..40).map(|j| mel.at(t, j)).sum::<f32>() / 40.0;
+        let expect = mean * (40.0f32).sqrt();
+        assert!((coeffs.at(t, 0) - expect).abs() < 1e-3 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn mfcc_dct_is_orthonormal() {
+        // Full-size DCT preserves per-frame energy (Parseval).
+        let mel = Spectrogram::new(3, 16, (0..48).map(|i| ((i * 13) % 7) as f32 - 3.0).collect());
+        let c = mfcc(&mel, 16);
+        for t in 0..3 {
+            let e_in: f32 = (0..16).map(|j| mel.at(t, j).powi(2)).sum();
+            let e_out: f32 = (0..16).map(|k| c.at(t, k).powi(2)).sum();
+            assert!((e_in - e_out).abs() < 1e-3 * e_in.max(1.0), "{e_in} vs {e_out}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid coefficient count")]
+    fn mfcc_rejects_too_many_coeffs() {
+        let mel = Spectrogram::new(1, 8, vec![0.0; 8]);
+        mfcc(&mel, 9);
+    }
+
+    proptest! {
+        #[test]
+        fn stft_frames_formula(n in 1usize..60_000) {
+            let cfg = StftConfig::speech_default();
+            let f = cfg.frames(n);
+            if n >= cfg.n_fft {
+                prop_assert!(f >= 1);
+                // Last frame fits entirely.
+                prop_assert!((f - 1) * cfg.hop + cfg.n_fft <= n);
+                // One more frame would not fit.
+                prop_assert!(f * cfg.hop + cfg.n_fft > n);
+            } else {
+                prop_assert_eq!(f, 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Error types for data preparation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure while decoding a compressed input (JPEG today).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended before the decoder was done.
+    UnexpectedEof,
+    /// A marker or field had an invalid or unsupported value.
+    Malformed(String),
+    /// The stream is valid JPEG but uses a feature this baseline decoder
+    /// does not implement (e.g. progressive scans, arithmetic coding).
+    Unsupported(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of stream"),
+            DecodeError::Malformed(what) => write!(f, "malformed stream: {what}"),
+            DecodeError::Unsupported(what) => write!(f, "unsupported feature: {what}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Failure in a data-preparation stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrepError {
+    /// Decoding a compressed input failed.
+    Decode(DecodeError),
+    /// A stage received an item of the wrong type (e.g. an audio waveform
+    /// fed into a JPEG decoder).
+    TypeMismatch {
+        /// Stage that rejected the item.
+        stage: String,
+        /// What the stage expected.
+        expected: &'static str,
+        /// What it got.
+        got: &'static str,
+    },
+    /// A geometric parameter is out of range (e.g. crop larger than image).
+    InvalidParam(String),
+}
+
+impl fmt::Display for PrepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrepError::Decode(e) => write!(f, "decode failed: {e}"),
+            PrepError::TypeMismatch { stage, expected, got } => {
+                write!(f, "stage {stage} expected {expected}, got {got}")
+            }
+            PrepError::InvalidParam(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for PrepError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PrepError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for PrepError {
+    fn from(e: DecodeError) -> Self {
+        PrepError::Decode(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DecodeError::Malformed("bad SOF length".into());
+        assert_eq!(e.to_string(), "malformed stream: bad SOF length");
+        let p = PrepError::from(e);
+        assert!(p.to_string().starts_with("decode failed"));
+        assert!(Error::source(&p).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<DecodeError>();
+        check::<PrepError>();
+    }
+}

@@ -1,0 +1,189 @@
+//! LSB-first bit I/O for DEFLATE (RFC 1951 packs bits starting at the
+//! least-significant bit of each byte — the opposite of JPEG).
+
+use crate::error::DecodeError;
+
+/// LSB-first bit reader over a byte slice.
+#[derive(Debug)]
+pub struct LsbReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+}
+
+impl<'a> LsbReader<'a> {
+    /// Read from `data` starting at bit 0 of byte 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        LsbReader { data, pos: 0, acc: 0, nbits: 0 }
+    }
+
+    fn refill(&mut self) -> Result<(), DecodeError> {
+        let Some(&b) = self.data.get(self.pos) else {
+            return Err(DecodeError::UnexpectedEof);
+        };
+        self.pos += 1;
+        self.acc |= (b as u32) << self.nbits;
+        self.nbits += 8;
+        Ok(())
+    }
+
+    /// Read one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEof`] at end of input.
+    pub fn bit(&mut self) -> Result<u32, DecodeError> {
+        if self.nbits == 0 {
+            self.refill()?;
+        }
+        let v = self.acc & 1;
+        self.acc >>= 1;
+        self.nbits -= 1;
+        Ok(v)
+    }
+
+    /// Read `n` bits, LSB-first (the value of a DEFLATE "extra bits" field).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEof`] at end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 16`.
+    pub fn bits(&mut self, n: u32) -> Result<u32, DecodeError> {
+        assert!(n <= 16, "at most 16 bits per read");
+        while self.nbits < n {
+            self.refill()?;
+        }
+        let v = self.acc & ((1u32 << n) - 1).max(0);
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(if n == 0 { 0 } else { v })
+    }
+
+    /// Discard buffered bits to realign on a byte boundary (stored blocks).
+    pub fn align_byte(&mut self) {
+        self.acc = 0;
+        self.nbits = 0;
+    }
+
+    /// Copy `n` raw bytes (caller must be byte-aligned).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEof`] if fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        debug_assert_eq!(self.nbits, 0, "bytes() requires byte alignment");
+        if self.pos + n > self.data.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// LSB-first bit writer.
+#[derive(Debug, Default)]
+pub struct LsbWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl LsbWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        LsbWriter::default()
+    }
+
+    /// Append the low `n` bits of `bits`, LSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 16`.
+    pub fn put(&mut self, bits: u32, n: u32) {
+        assert!(n <= 16, "at most 16 bits per put");
+        self.acc |= (bits & ((1u32 << n) - 1)) << self.nbits;
+        self.nbits += n;
+        while self.nbits >= 8 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc >>= 8;
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pad to a byte boundary with zero bits.
+    pub fn align_byte(&mut self) {
+        if self.nbits > 0 {
+            self.out.push((self.acc & 0xff) as u8);
+            self.acc = 0;
+            self.nbits = 0;
+        }
+    }
+
+    /// Append raw bytes (caller must be byte-aligned).
+    pub fn bytes(&mut self, data: &[u8]) {
+        debug_assert_eq!(self.nbits, 0, "bytes() requires byte alignment");
+        self.out.extend_from_slice(data);
+    }
+
+    /// Flush and return the stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.align_byte();
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_roundtrip() {
+        let mut w = LsbWriter::new();
+        w.put(0b101, 3);
+        w.put(0b11, 2);
+        w.put(0x1234, 16);
+        let bytes = w.finish();
+        let mut r = LsbReader::new(&bytes);
+        assert_eq!(r.bits(3).unwrap(), 0b101);
+        assert_eq!(r.bits(2).unwrap(), 0b11);
+        assert_eq!(r.bits(16).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn lsb_bit_order_matches_deflate() {
+        // First written bit is the LSB of the first byte.
+        let mut w = LsbWriter::new();
+        w.put(1, 1);
+        w.put(0, 1);
+        w.put(1, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0000_0101]);
+    }
+
+    #[test]
+    fn aligned_raw_bytes() {
+        let mut w = LsbWriter::new();
+        w.put(0b1, 1);
+        w.align_byte();
+        w.bytes(b"ok");
+        let bytes = w.finish();
+        let mut r = LsbReader::new(&bytes);
+        assert_eq!(r.bit().unwrap(), 1);
+        r.align_byte();
+        assert_eq!(r.bytes(2).unwrap(), b"ok");
+    }
+
+    #[test]
+    fn reader_eof() {
+        let mut r = LsbReader::new(&[0xff]);
+        assert_eq!(r.bits(8).unwrap(), 0xff);
+        assert!(r.bit().is_err());
+        let mut r2 = LsbReader::new(&[]);
+        assert!(r2.bytes(1).is_err());
+    }
+}

@@ -1,0 +1,301 @@
+//! DEFLATE compression: greedy hash-chain LZ77 with fixed-Huffman encoding,
+//! falling back to stored blocks for incompressible data.
+
+use super::bits::LsbWriter;
+use super::huffman::{put_code, CanonicalCode};
+use super::inflate::{
+    fixed_dist_lengths, fixed_lit_lengths, DIST_BASE, DIST_EXTRA, LENGTH_BASE, LENGTH_EXTRA,
+};
+
+const MIN_MATCH: usize = 3;
+const MAX_MATCH: usize = 258;
+const WINDOW: usize = 32 * 1024;
+const HASH_BITS: u32 = 15;
+const MAX_CHAIN: usize = 64;
+
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (data[i] as u32) | ((data[i + 1] as u32) << 8) | ((data[i + 2] as u32) << 16);
+    (h.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Token {
+    /// A raw byte.
+    Literal(u8),
+    /// A back-reference of `len` bytes at `dist`.
+    Match { len: u16, dist: u16 },
+}
+
+/// Crate-visible views of the code mappings for the dynamic-block emitter.
+pub(crate) fn length_code_pub(len: u16) -> (u16, u8, u16) {
+    length_code(len)
+}
+
+/// See [`length_code_pub`].
+pub(crate) fn distance_code_pub(dist: u16) -> (u16, u8, u16) {
+    distance_code(dist)
+}
+
+/// Fixed-only encoding, exposed for size-comparison tests.
+#[cfg(test)]
+pub(crate) fn deflate_fixed_for_tests(data: &[u8]) -> Vec<u8> {
+    emit_fixed_block(&tokenize(data))
+}
+
+/// Greedy LZ77 tokenization with hash chains.
+fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+    let mut prev = vec![usize::MAX; data.len()];
+    let mut i = 0;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut chain = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && chain < MAX_CHAIN {
+                let limit = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < limit && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == MAX_MATCH {
+                        break;
+                    }
+                }
+                cand = prev[cand];
+                chain += 1;
+            }
+            // Insert current position into the chain.
+            prev[i] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
+            // Insert the skipped positions so later matches can find them.
+            let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            for j in i + 1..end {
+                let h = hash3(data, j);
+                prev[j] = head[h];
+                head[h] = j;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Map a match length to its (code, extra-bit count, extra-bit value).
+fn length_code(len: u16) -> (u16, u8, u16) {
+    debug_assert!((MIN_MATCH as u16..=MAX_MATCH as u16).contains(&len));
+    let mut idx = LENGTH_BASE.len() - 1;
+    for (k, &base) in LENGTH_BASE.iter().enumerate() {
+        if base > len {
+            idx = k - 1;
+            break;
+        }
+    }
+    if LENGTH_BASE[idx] > len {
+        idx -= 1;
+    }
+    (257 + idx as u16, LENGTH_EXTRA[idx], len - LENGTH_BASE[idx])
+}
+
+/// Map a distance to its (code, extra-bit count, extra-bit value).
+fn distance_code(dist: u16) -> (u16, u8, u16) {
+    debug_assert!(dist >= 1);
+    let mut idx = DIST_BASE.len() - 1;
+    for (k, &base) in DIST_BASE.iter().enumerate() {
+        if base > dist {
+            idx = k - 1;
+            break;
+        }
+    }
+    if DIST_BASE[idx] > dist {
+        idx -= 1;
+    }
+    (idx as u16, DIST_EXTRA[idx], dist - DIST_BASE[idx])
+}
+
+/// Compress `data` into a raw DEFLATE stream.
+///
+/// Tokenizes once, then emits whichever representation is smallest: a
+/// dynamic-Huffman block (tables matched to the symbol distribution), a
+/// fixed-Huffman block, or stored blocks for incompressible data.
+pub fn deflate(data: &[u8]) -> Vec<u8> {
+    let tokens = tokenize(data);
+    let fixed = emit_fixed_block(&tokens);
+    let dynamic = super::dynamic::emit_dynamic_block(&tokens);
+    // Stored framing costs 5 bytes per 65535-byte block.
+    let stored_size = 1 + data.len() + 5 * (data.len() / 65_535 + 1);
+    let best = fixed.len().min(dynamic.len()).min(stored_size);
+    if best == dynamic.len() {
+        dynamic
+    } else if best == fixed.len() {
+        fixed
+    } else {
+        deflate_stored(data)
+    }
+}
+
+fn emit_fixed_block(tokens: &[Token]) -> Vec<u8> {
+    let lit_table =
+        CanonicalCode::encoder_table(&fixed_lit_lengths()).expect("fixed table is valid");
+    let dist_table =
+        CanonicalCode::encoder_table(&fixed_dist_lengths()).expect("fixed table is valid");
+    let mut w = LsbWriter::new();
+    w.put(1, 1); // BFINAL
+    w.put(1, 2); // BTYPE = fixed
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => {
+                let (c, l) = lit_table[b as usize];
+                put_code(&mut w, c, l);
+            }
+            Token::Match { len, dist } => {
+                let (code, extra, bits) = length_code(len);
+                let (c, l) = lit_table[code as usize];
+                put_code(&mut w, c, l);
+                w.put(bits as u32, extra as u32);
+                let (dcode, dextra, dbits) = distance_code(dist);
+                let (c, l) = dist_table[dcode as usize];
+                put_code(&mut w, c, l);
+                w.put(dbits as u32, dextra as u32);
+            }
+        }
+    }
+    let (c, l) = lit_table[256]; // end of block
+    put_code(&mut w, c, l);
+    w.finish()
+}
+
+fn deflate_stored(data: &[u8]) -> Vec<u8> {
+    let mut w = LsbWriter::new();
+    let mut chunks = data.chunks(65_535).peekable();
+    if data.is_empty() {
+        w.put(1, 1);
+        w.put(0, 2);
+        w.align_byte();
+        w.bytes(&0u16.to_le_bytes());
+        w.bytes(&(!0u16).to_le_bytes());
+        return w.finish();
+    }
+    while let Some(chunk) = chunks.next() {
+        let last = chunks.peek().is_none();
+        w.put(last as u32, 1);
+        w.put(0, 2);
+        w.align_byte();
+        let len = chunk.len() as u16;
+        w.bytes(&len.to_le_bytes());
+        w.bytes(&(!len).to_le_bytes());
+        w.bytes(chunk);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::inflate::inflate;
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn length_code_boundaries() {
+        assert_eq!(length_code(3), (257, 0, 0));
+        assert_eq!(length_code(10), (264, 0, 0));
+        assert_eq!(length_code(11), (265, 1, 0));
+        assert_eq!(length_code(12), (265, 1, 1));
+        assert_eq!(length_code(258), (285, 0, 0));
+        assert_eq!(length_code(257), (284, 5, 30));
+    }
+
+    #[test]
+    fn distance_code_boundaries() {
+        assert_eq!(distance_code(1), (0, 0, 0));
+        assert_eq!(distance_code(4), (3, 0, 0));
+        assert_eq!(distance_code(5), (4, 1, 0));
+        assert_eq!(distance_code(24577), (29, 13, 0));
+        assert_eq!(distance_code(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn roundtrip_repetitive() {
+        let data = b"abcabcabcabcabcabcabcabcabcabc".to_vec();
+        let z = deflate(&data);
+        assert!(z.len() < data.len());
+        assert_eq!(inflate(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_run() {
+        let data = vec![b'x'; 100_000];
+        let z = deflate(&data);
+        assert!(z.len() < 1000, "run should compress hugely: {}", z.len());
+        assert_eq!(inflate(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let z = deflate(&[]);
+        assert_eq!(inflate(&z).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn incompressible_falls_back_to_stored() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let data: Vec<u8> = (0..70_000).map(|_| rng.gen()).collect();
+        let z = deflate(&data);
+        // Stored framing only adds a handful of bytes.
+        assert!(z.len() < data.len() + 64);
+        assert_eq!(inflate(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn max_match_and_long_distances() {
+        // A pattern that forces 258-byte matches at >1k distances.
+        let unit: Vec<u8> = (0..=255u8).cycle().take(2000).collect();
+        let mut data = unit.clone();
+        data.extend_from_slice(&unit);
+        data.extend_from_slice(&unit);
+        let z = deflate(&data);
+        assert_eq!(inflate(&z).unwrap(), data);
+        assert!(z.len() < data.len() / 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn roundtrip_random(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
+            let z = deflate(&data);
+            prop_assert_eq!(inflate(&z).unwrap(), data);
+        }
+
+        #[test]
+        fn roundtrip_structured(seed in 0u64..1000, n in 1usize..5000) {
+            // Markov-ish structured data compresses and round-trips.
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut data = Vec::with_capacity(n);
+            let mut b = 0u8;
+            for _ in 0..n {
+                if rng.gen_bool(0.7) {
+                    // stay in a small alphabet
+                    b = rng.gen_range(b'a'..=b'f');
+                }
+                data.push(b);
+            }
+            let z = deflate(&data);
+            prop_assert_eq!(inflate(&z).unwrap(), data);
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Dynamic-Huffman DEFLATE blocks (RFC 1951 §3.2.7).
+//!
+//! The fixed tables in [`super::deflate`] are calibrated for text-ish data;
+//! a dynamic block ships code tables matched to the actual symbol
+//! distribution. This module builds length-limited Huffman codes with the
+//! package-merge algorithm, serializes the table definitions (including the
+//! 16/17/18 run-length meta-coding), and emits a complete dynamic block —
+//! which also gives the decoder's dynamic path a same-crate exerciser.
+
+use super::bits::LsbWriter;
+use super::huffman::{put_code, CanonicalCode};
+
+/// Transmission order of code-length-code lengths (RFC 1951 §3.2.7).
+const CLC_ORDER: [usize; 19] = [16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15];
+
+/// Length-limited Huffman code lengths via package-merge.
+///
+/// Returns one length per symbol (0 for zero-frequency symbols), with every
+/// nonzero length ≤ `max_len`. A single used symbol gets length 1 (DEFLATE
+/// cannot express zero-bit codes).
+///
+/// # Panics
+///
+/// Panics if the used symbols cannot fit in `max_len` bits
+/// (`2^max_len < used`).
+pub fn package_merge_lengths(freqs: &[u64], max_len: usize) -> Vec<u8> {
+    let used: Vec<usize> = (0..freqs.len()).filter(|&i| freqs[i] > 0).collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match used.len() {
+        0 => return lengths,
+        1 => {
+            lengths[used[0]] = 1;
+            return lengths;
+        }
+        n => assert!(
+            (1usize << max_len.min(63)) >= n,
+            "{n} symbols cannot fit in {max_len}-bit codes"
+        ),
+    }
+    // Items are (weight, contained leaf symbols). Leaves sorted by weight.
+    let mut leaves: Vec<(u64, Vec<usize>)> =
+        used.iter().map(|&s| (freqs[s], vec![s])).collect();
+    leaves.sort_by_key(|(w, _)| *w);
+    // Level 1 list = leaves; each next level = merge(leaves, pairs(prev)).
+    let mut prev = leaves.clone();
+    for _ in 1..max_len {
+        let mut pairs: Vec<(u64, Vec<usize>)> = Vec::with_capacity(prev.len() / 2);
+        let mut it = prev.chunks_exact(2);
+        for pair in &mut it {
+            let mut syms = pair[0].1.clone();
+            syms.extend_from_slice(&pair[1].1);
+            pairs.push((pair[0].0 + pair[1].0, syms));
+        }
+        // Merge leaves and pairs by weight (stable: leaves first on ties,
+        // which keeps codes shorter for lighter packages).
+        let mut merged = Vec::with_capacity(leaves.len() + pairs.len());
+        let (mut i, mut j) = (0, 0);
+        while i < leaves.len() || j < pairs.len() {
+            let take_leaf = j >= pairs.len()
+                || (i < leaves.len() && leaves[i].0 <= pairs[j].0);
+            if take_leaf {
+                merged.push(leaves[i].clone());
+                i += 1;
+            } else {
+                merged.push(pairs[j].clone());
+                j += 1;
+            }
+        }
+        prev = merged;
+    }
+    // Choose the first 2n-2 items of the final list; each leaf occurrence
+    // adds one bit to that symbol's code length.
+    let n = used.len();
+    for item in prev.iter().take(2 * n - 2) {
+        for &s in &item.1 {
+            lengths[s] += 1;
+        }
+    }
+    lengths
+}
+
+/// Symbol stream for the RFC 1951 code-length meta-coding: `(symbol,
+/// extra_bits, extra_len)` triples where symbols 16/17/18 carry repeats.
+fn rle_code_lengths(lengths: &[u8]) -> Vec<(u8, u32, u32)> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < lengths.len() {
+        let v = lengths[i];
+        let mut run = 1usize;
+        while i + run < lengths.len() && lengths[i + run] == v {
+            run += 1;
+        }
+        if v == 0 {
+            let mut left = run;
+            while left >= 11 {
+                let take = left.min(138);
+                out.push((18, (take - 11) as u32, 7));
+                left -= take;
+            }
+            while left >= 3 {
+                let take = left.min(10);
+                out.push((17, (take - 3) as u32, 3));
+                left -= take;
+            }
+            for _ in 0..left {
+                out.push((0, 0, 0));
+            }
+        } else {
+            out.push((v, 0, 0));
+            let mut left = run - 1;
+            while left >= 3 {
+                let take = left.min(6);
+                out.push((16, (take - 3) as u32, 2));
+                left -= take;
+            }
+            for _ in 0..left {
+                out.push((v, 0, 0));
+            }
+        }
+        i += run;
+    }
+    out
+}
+
+/// Emit one final dynamic-Huffman block coding `tokens` (the shared LZ77
+/// token stream of [`super::deflate`]).
+pub(crate) fn emit_dynamic_block(tokens: &[super::deflate::Token]) -> Vec<u8> {
+    // 1. Symbol frequencies.
+    let mut lit_freq = [0u64; 286];
+    let mut dist_freq = [0u64; 30];
+    for t in tokens {
+        match *t {
+            super::deflate::Token::Literal(b) => lit_freq[b as usize] += 1,
+            super::deflate::Token::Match { len, dist } => {
+                let (lc, _, _) = super::deflate::length_code_pub(len);
+                lit_freq[lc as usize] += 1;
+                let (dc, _, _) = super::deflate::distance_code_pub(dist);
+                dist_freq[dc as usize] += 1;
+            }
+        }
+    }
+    lit_freq[256] += 1; // end of block
+    // The distance table must describe at least one code even when unused.
+    if dist_freq.iter().all(|&f| f == 0) {
+        dist_freq[0] = 1;
+    }
+
+    // 2. Length-limited code lengths and canonical tables.
+    let lit_lengths = package_merge_lengths(&lit_freq, 15);
+    let dist_lengths = package_merge_lengths(&dist_freq, 15);
+    let lit_table = CanonicalCode::encoder_table(&lit_lengths).expect("valid lit code");
+    let dist_table = CanonicalCode::encoder_table(&dist_lengths).expect("valid dist code");
+
+    // 3. Trim trailing zeros (but HLIT >= 257, HDIST >= 1).
+    let hlit = (257..=286)
+        .rev()
+        .find(|&n| n == 257 || lit_lengths[n - 1] != 0)
+        .expect("range nonempty");
+    let hdist = (1..=30)
+        .rev()
+        .find(|&n| n == 1 || dist_lengths[n - 1] != 0)
+        .expect("range nonempty");
+
+    // 4. Meta-code the combined length list.
+    let mut combined = Vec::with_capacity(hlit + hdist);
+    combined.extend_from_slice(&lit_lengths[..hlit]);
+    combined.extend_from_slice(&dist_lengths[..hdist]);
+    let rle = rle_code_lengths(&combined);
+    let mut clc_freq = [0u64; 19];
+    for &(sym, _, _) in &rle {
+        clc_freq[sym as usize] += 1;
+    }
+    let clc_lengths = package_merge_lengths(&clc_freq, 7);
+    let clc_table = CanonicalCode::encoder_table(&clc_lengths).expect("valid clc code");
+    let hclen = (4..=19)
+        .rev()
+        .find(|&n| n == 4 || clc_lengths[CLC_ORDER[n - 1]] != 0)
+        .expect("range nonempty");
+
+    // 5. Emit.
+    let mut w = LsbWriter::new();
+    w.put(1, 1); // BFINAL
+    w.put(2, 2); // BTYPE = dynamic
+    w.put((hlit - 257) as u32, 5);
+    w.put((hdist - 1) as u32, 5);
+    w.put((hclen - 4) as u32, 4);
+    for &slot in CLC_ORDER.iter().take(hclen) {
+        w.put(clc_lengths[slot] as u32, 3);
+    }
+    for &(sym, extra, extra_len) in &rle {
+        let (c, l) = clc_table[sym as usize];
+        put_code(&mut w, c, l);
+        if extra_len > 0 {
+            w.put(extra, extra_len);
+        }
+    }
+    for t in tokens {
+        match *t {
+            super::deflate::Token::Literal(b) => {
+                let (c, l) = lit_table[b as usize];
+                put_code(&mut w, c, l);
+            }
+            super::deflate::Token::Match { len, dist } => {
+                let (code, extra, bits) = super::deflate::length_code_pub(len);
+                let (c, l) = lit_table[code as usize];
+                put_code(&mut w, c, l);
+                w.put(bits as u32, extra as u32);
+                let (dcode, dextra, dbits) = super::deflate::distance_code_pub(dist);
+                let (c, l) = dist_table[dcode as usize];
+                put_code(&mut w, c, l);
+                w.put(dbits as u32, dextra as u32);
+            }
+        }
+    }
+    let (c, l) = lit_table[256];
+    put_code(&mut w, c, l);
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::deflate::deflate;
+    use super::super::inflate::inflate;
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn package_merge_matches_known_optimal() {
+        // Freqs 1,1,2,4: optimal lengths 3,3,2,1.
+        let l = package_merge_lengths(&[1, 1, 2, 4], 15);
+        assert_eq!(l, vec![3, 3, 2, 1]);
+        // Degenerate cases.
+        assert_eq!(package_merge_lengths(&[0, 5, 0], 15), vec![0, 1, 0]);
+        assert_eq!(package_merge_lengths(&[], 15), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn package_merge_respects_limit() {
+        // Fibonacci-ish weights force deep unlimited Huffman trees; the
+        // limited version must cap at the bound and stay a valid prefix code.
+        let freqs: Vec<u64> = vec![1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233];
+        for limit in [4usize, 5, 7, 15] {
+            let l = package_merge_lengths(&freqs, limit);
+            assert!(l.iter().all(|&x| x as usize <= limit), "limit {limit}: {l:?}");
+            // Kraft equality for an optimal complete code.
+            let kraft: f64 = l
+                .iter()
+                .filter(|&&x| x > 0)
+                .map(|&x| 1.0 / (1u64 << x) as f64)
+                .sum();
+            assert!(kraft <= 1.0 + 1e-12, "limit {limit}: kraft {kraft}");
+            assert!(CanonicalCode::from_lengths(&l).is_ok());
+        }
+    }
+
+    #[test]
+    fn rle_encodes_runs() {
+        // 4 zeros -> one 17-with-extra; long zero run -> 18s.
+        let r = rle_code_lengths(&[0, 0, 0, 0]);
+        assert_eq!(r, vec![(17, 1, 3)]);
+        let r = rle_code_lengths(&[5, 5, 5, 5, 5]);
+        assert_eq!(r[0], (5, 0, 0));
+        assert_eq!(r[1], (16, 1, 2)); // repeat previous 4 times
+        let long = vec![0u8; 140];
+        let r = rle_code_lengths(&long);
+        assert_eq!(r[0], (18, 127, 7)); // 138 zeros
+        assert_eq!(r[1].0, 0);
+    }
+
+    #[test]
+    fn dynamic_block_roundtrips_and_beats_fixed_on_skewed_data() {
+        // Heavily skewed byte distribution: dynamic tables should win.
+        let mut data = Vec::new();
+        for i in 0..30_000u32 {
+            data.push(if i % 97 == 0 { (i % 251) as u8 } else { 0xAA });
+        }
+        let z = deflate(&data);
+        assert_eq!(inflate(&z).unwrap(), data);
+        // The chosen encoding must beat the fixed-table size.
+        let fixed_only = super::super::deflate::deflate_fixed_for_tests(&data);
+        assert!(
+            z.len() < fixed_only.len(),
+            "dynamic {} should beat fixed {}",
+            z.len(),
+            fixed_only.len()
+        );
+    }
+
+    #[test]
+    fn dynamic_block_with_no_matches() {
+        // All-distinct short input: literals only, distance table unused.
+        let data: Vec<u8> = (0..200u8).collect();
+        let tokens: Vec<super::super::deflate::Token> =
+            data.iter().map(|&b| super::super::deflate::Token::Literal(b)).collect();
+        let block = emit_dynamic_block(&tokens);
+        assert_eq!(inflate(&block).unwrap(), data);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        #[test]
+        fn dynamic_roundtrip_random(data in proptest::collection::vec(any::<u8>(), 0..6000)) {
+            let z = deflate(&data);
+            prop_assert_eq!(inflate(&z).unwrap(), data);
+        }
+
+        #[test]
+        fn package_merge_always_prefix_valid(
+            freqs in proptest::collection::vec(0u64..1000, 1..80),
+            limit in 8usize..16,
+        ) {
+            prop_assume!(freqs.iter().any(|&f| f > 0));
+            let l = package_merge_lengths(&freqs, limit);
+            prop_assert!(l.iter().all(|&x| (x as usize) <= limit));
+            prop_assert!(CanonicalCode::from_lengths(&l).is_ok());
+            // Every used symbol got a code; unused symbols got none.
+            for (f, &len) in freqs.iter().zip(&l) {
+                prop_assert_eq!(*f > 0, len > 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Canonical Huffman codes from code lengths (RFC 1951 §3.2.2).
+//!
+//! DEFLATE transmits only the per-symbol code *lengths*; codes are assigned
+//! canonically (shorter codes first, ties by symbol order) with bits sent
+//! MSB-of-code-first even though the stream is otherwise LSB-first.
+
+use super::bits::LsbReader;
+use crate::error::DecodeError;
+
+/// A canonical Huffman decoding table.
+#[derive(Debug, Clone)]
+pub struct CanonicalCode {
+    /// `counts[l]` = number of codes of length `l` (index 0 unused).
+    counts: [u16; 16],
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u16>,
+}
+
+impl CanonicalCode {
+    /// Build from per-symbol code lengths (0 = symbol absent).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Malformed`] if the lengths oversubscribe the code
+    /// space (not a valid prefix code). Incomplete codes are accepted — RFC
+    /// 1951 permits them for distance trees; hitting the unassigned code
+    /// space during decode reports a malformed stream.
+    pub fn from_lengths(lengths: &[u8]) -> Result<Self, DecodeError> {
+        let mut counts = [0u16; 16];
+        for &l in lengths {
+            if l > 15 {
+                return Err(DecodeError::Malformed("code length > 15".into()));
+            }
+            if l > 0 {
+                counts[l as usize] += 1;
+            }
+        }
+        // Kraft check.
+        let mut space: i64 = 1;
+        for l in 1..16 {
+            space = space * 2 - counts[l] as i64;
+            if space < 0 {
+                return Err(DecodeError::Malformed("oversubscribed huffman code".into()));
+            }
+        }
+        let nsyms: usize = counts.iter().map(|&c| c as usize).sum();
+        let mut symbols = Vec::with_capacity(nsyms);
+        for want in 1..16u8 {
+            for (sym, &l) in lengths.iter().enumerate() {
+                if l == want {
+                    symbols.push(sym as u16);
+                }
+            }
+        }
+        Ok(CanonicalCode { counts, symbols })
+    }
+
+    /// Decode one symbol from an LSB-first stream (code bits arrive
+    /// MSB-of-code-first).
+    ///
+    /// # Errors
+    ///
+    /// Reader errors, or [`DecodeError::Malformed`] if no code matches.
+    pub fn decode(&self, r: &mut LsbReader<'_>) -> Result<u16, DecodeError> {
+        let mut code: i32 = 0;
+        let mut first: i32 = 0;
+        let mut index: i32 = 0;
+        for l in 1..16 {
+            code |= r.bit()? as i32;
+            let count = self.counts[l] as i32;
+            if code - first < count {
+                return Ok(self.symbols[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err(DecodeError::Malformed("invalid huffman code".into()))
+    }
+
+    /// Encoder view: `(code, length)` per symbol, canonical assignment.
+    pub fn encoder_table(lengths: &[u8]) -> Result<Vec<(u16, u8)>, DecodeError> {
+        // Validate via the decoder constructor.
+        let _ = CanonicalCode::from_lengths(lengths)?;
+        let mut bl_count = [0u16; 16];
+        for &l in lengths {
+            if l > 0 {
+                bl_count[l as usize] += 1;
+            }
+        }
+        let mut next_code = [0u16; 16];
+        let mut code = 0u16;
+        for l in 1..16 {
+            code = (code + bl_count[l - 1]) << 1;
+            next_code[l] = code;
+        }
+        let mut table = vec![(0u16, 0u8); lengths.len()];
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l > 0 {
+                table[sym] = (next_code[l as usize], l);
+                next_code[l as usize] += 1;
+            }
+        }
+        Ok(table)
+    }
+}
+
+/// Emit a canonical code MSB-first into an LSB-first writer (RFC 1951 §3.1.1:
+/// "Huffman codes are packed starting with the most-significant bit").
+pub fn put_code(w: &mut super::bits::LsbWriter, code: u16, len: u8) {
+    debug_assert!(len > 0, "cannot emit an absent code");
+    for i in (0..len).rev() {
+        w.put(((code >> i) & 1) as u32, 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::bits::LsbWriter;
+    use super::*;
+
+    #[test]
+    fn rfc_example_code_assignment() {
+        // RFC 1951 §3.2.2 example: lengths (3,3,3,3,3,2,4,4) ->
+        // codes 010,011,100,101,110,00,1110,1111.
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let table = CanonicalCode::encoder_table(&lengths).unwrap();
+        let want = [
+            (0b010, 3),
+            (0b011, 3),
+            (0b100, 3),
+            (0b101, 3),
+            (0b110, 3),
+            (0b00, 2),
+            (0b1110, 4),
+            (0b1111, 4),
+        ];
+        for (sym, &(code, len)) in want.iter().enumerate() {
+            assert_eq!(table[sym], (code, len), "symbol {sym}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let lengths = [3u8, 3, 3, 3, 3, 2, 4, 4];
+        let table = CanonicalCode::encoder_table(&lengths).unwrap();
+        let dec = CanonicalCode::from_lengths(&lengths).unwrap();
+        let mut w = LsbWriter::new();
+        let seq: Vec<u16> = vec![5, 0, 7, 3, 6, 1, 2, 4, 5, 5];
+        for &s in &seq {
+            let (c, l) = table[s as usize];
+            put_code(&mut w, c, l);
+        }
+        let bytes = w.finish();
+        let mut r = LsbReader::new(&bytes);
+        for &s in &seq {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn oversubscribed_rejected() {
+        // Three codes of length 1 cannot exist.
+        assert!(CanonicalCode::from_lengths(&[1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn incomplete_codes_accepted_but_gaps_fail_at_decode() {
+        // Incomplete tables are legal (RFC 1951 distance trees)...
+        let dec = CanonicalCode::from_lengths(&[2, 2]).unwrap();
+        // ...but reading into the unassigned space is malformed.
+        let mut r = LsbReader::new(&[0xff, 0xff, 0xff]);
+        assert!(dec.decode(&mut r).is_err());
+        assert!(CanonicalCode::from_lengths(&[1]).is_ok());
+        assert!(CanonicalCode::from_lengths(&[0, 0, 1]).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let dec = CanonicalCode::from_lengths(&[1, 0, 0]).unwrap();
+        // Only code "0" exists; an endless string of 1s never matches.
+        let mut r = LsbReader::new(&[0xff, 0xff]);
+        assert!(dec.decode(&mut r).is_err());
+    }
+}

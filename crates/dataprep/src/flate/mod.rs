@@ -1,0 +1,177 @@
+//! DEFLATE (RFC 1951) and zlib (RFC 1950), from scratch.
+//!
+//! §VII-A of the paper lists PNG decoding among the data-processing
+//! accelerators TrainBox can host via partial reconfiguration. PNG's pixel
+//! stream is zlib-compressed, so a functional PNG engine needs a real
+//! inflate — and a deflate to generate synthetic stored datasets. This
+//! module implements both:
+//!
+//! * [`inflate()`] — all three block types (stored, fixed Huffman, dynamic
+//!   Huffman) with the full LZ77 length/distance alphabet;
+//! * [`deflate()`] — a greedy hash-chain LZ77 compressor emitting fixed-
+//!   Huffman blocks (stored blocks when incompressible);
+//! * [`dynamic`] — dynamic-Huffman block emission with package-merge
+//!   length-limited code construction;
+//! * [`zlib_compress`] / [`zlib_decompress`] — the RFC 1950 wrapper with
+//!   Adler-32 integrity checking.
+
+mod bits;
+mod huffman;
+
+pub mod deflate;
+pub mod dynamic;
+pub mod inflate;
+
+pub use deflate::deflate;
+pub use inflate::inflate;
+
+use crate::error::DecodeError;
+
+/// Adler-32 checksum (RFC 1950 §8.2).
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    for chunk in data.chunks(5552) {
+        for &x in chunk {
+            a += x as u32;
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// Compress `data` into a zlib stream (RFC 1950).
+pub fn zlib_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    // CMF: deflate, 32K window; FLG chosen so (CMF<<8 | FLG) % 31 == 0.
+    out.push(0x78);
+    out.push(0x9c);
+    out.extend_from_slice(&deflate(data));
+    out.extend_from_slice(&adler32(data).to_be_bytes());
+    out
+}
+
+/// Decompress a zlib stream.
+///
+/// # Errors
+///
+/// [`DecodeError`] on malformed headers, corrupt deflate data, or an
+/// Adler-32 mismatch.
+pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    if data.len() < 6 {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let cmf = data[0];
+    let flg = data[1];
+    if cmf & 0x0f != 8 {
+        return Err(DecodeError::Unsupported(format!(
+            "zlib compression method {}",
+            cmf & 0x0f
+        )));
+    }
+    if (u16::from_be_bytes([cmf, flg])) % 31 != 0 {
+        return Err(DecodeError::Malformed("zlib header check failed".into()));
+    }
+    if flg & 0x20 != 0 {
+        return Err(DecodeError::Unsupported("preset dictionary".into()));
+    }
+    let body = &data[2..data.len() - 4];
+    let out = inflate(body)?;
+    let expect = u32::from_be_bytes(
+        data[data.len() - 4..].try_into().expect("4 bytes sliced"),
+    );
+    if adler32(&out) != expect {
+        return Err(DecodeError::Malformed("adler32 mismatch".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn adler32_known_vectors() {
+        // "Wikipedia" from the Adler-32 article.
+        assert_eq!(adler32(b"Wikipedia"), 0x11E60398);
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"a"), 0x00620062);
+    }
+
+    #[test]
+    fn zlib_roundtrip_text() {
+        let data = b"the quick brown fox jumps over the lazy dog. \
+                     the quick brown fox jumps over the lazy dog.";
+        let z = zlib_compress(data);
+        assert!(z.len() < data.len(), "repetitive text should compress");
+        assert_eq!(zlib_decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn zlib_roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"x", b"ab", b"\0\0\0"] {
+            let z = zlib_compress(data);
+            assert_eq!(zlib_decompress(&z).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn zlib_roundtrip_incompressible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<u8> = (0..10_000).map(|_| rng.gen()).collect();
+        let z = zlib_compress(&data);
+        assert_eq!(zlib_decompress(&z).unwrap(), data);
+    }
+
+    #[test]
+    fn zlib_detects_corruption() {
+        let mut z = zlib_compress(b"hello hello hello hello");
+        let n = z.len();
+        z[n - 1] ^= 0xff; // clobber the checksum
+        assert!(zlib_decompress(&z).is_err());
+        // Header corruption.
+        let mut z2 = zlib_compress(b"hello");
+        z2[0] = 0x79;
+        assert!(zlib_decompress(&z2).is_err());
+    }
+
+    #[test]
+    fn zlib_rejects_preset_dictionary() {
+        // CMF=0x78, FLG with FDICT set and valid check bits.
+        let mut flg = 0x20u8;
+        while u16::from_be_bytes([0x78, flg]) % 31 != 0 {
+            flg += 1;
+        }
+        let data = [0x78, flg, 0, 0, 0, 0, 0, 0];
+        assert!(matches!(
+            zlib_decompress(&data),
+            Err(DecodeError::Unsupported(_))
+        ));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn zlib_roundtrip_random(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+            let z = zlib_compress(&data);
+            prop_assert_eq!(zlib_decompress(&z).unwrap(), data);
+        }
+
+        #[test]
+        fn zlib_roundtrip_repetitive(byte: u8, len in 0usize..20_000) {
+            let data = vec![byte; len];
+            let z = zlib_compress(&data);
+            // Long runs compress drastically.
+            if len > 1000 {
+                prop_assert!(z.len() < len / 10);
+            }
+            prop_assert_eq!(zlib_decompress(&z).unwrap(), data);
+        }
+    }
+}

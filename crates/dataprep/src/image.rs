@@ -1,0 +1,531 @@
+//! Image types and the formatting/augmentation kernels of Fig 17.
+//!
+//! The image path of the paper's data-preparation engine is: JPEG decode →
+//! crop (256×256 → 224×224, with a random basis as augmentation) → mirror →
+//! Gaussian noise → cast (`u8` → `f32`). All of those kernels live here
+//! except the decoder (see [`crate::jpeg`]).
+
+use crate::error::PrepError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit interleaved RGB image (row-major, `height * width * 3` bytes).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Image {
+    /// Create an image from raw interleaved RGB bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height * 3` or a dimension is zero.
+    pub fn from_rgb(width: usize, height: usize, data: Vec<u8>) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        assert_eq!(data.len(), width * height * 3, "RGB buffer size mismatch");
+        Image { width, height, data }
+    }
+
+    /// A solid-color image.
+    pub fn filled(width: usize, height: usize, rgb: [u8; 3]) -> Self {
+        let mut data = Vec::with_capacity(width * height * 3);
+        for _ in 0..width * height {
+            data.extend_from_slice(&rgb);
+        }
+        Image::from_rgb(width, height, data)
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw interleaved RGB bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Size of the raw buffer in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 3;
+        [self.data[i], self.data[i + 1], self.data[i + 2]]
+    }
+
+    /// Set pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set_pixel(&mut self, x: usize, y: usize, rgb: [u8; 3]) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        let i = (y * self.width + x) * 3;
+        self.data[i..i + 3].copy_from_slice(&rgb);
+    }
+
+    /// Crop the `cw × ch` window whose top-left corner is `(cx, cy)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepError::InvalidParam`] if the window exceeds the image.
+    pub fn crop(&self, cx: usize, cy: usize, cw: usize, ch: usize) -> Result<Image, PrepError> {
+        if cw == 0 || ch == 0 || cx + cw > self.width || cy + ch > self.height {
+            return Err(PrepError::InvalidParam(format!(
+                "crop {cw}x{ch}+{cx}+{cy} exceeds image {}x{}",
+                self.width, self.height
+            )));
+        }
+        let mut data = Vec::with_capacity(cw * ch * 3);
+        for y in cy..cy + ch {
+            let row = &self.data[(y * self.width + cx) * 3..(y * self.width + cx + cw) * 3];
+            data.extend_from_slice(row);
+        }
+        Ok(Image::from_rgb(cw, ch, data))
+    }
+
+    /// Crop a `cw × ch` window with a random basis — the paper's example
+    /// augmentation (§III-D: 256×256 → 32×32 distinct 224×224 crops).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PrepError::InvalidParam`] if the window exceeds the image.
+    pub fn random_crop<R: Rng + ?Sized>(&self, cw: usize, ch: usize, rng: &mut R) -> Result<Image, PrepError> {
+        if cw == 0 || ch == 0 || cw > self.width || ch > self.height {
+            return Err(PrepError::InvalidParam(format!(
+                "crop {cw}x{ch} exceeds image {}x{}",
+                self.width, self.height
+            )));
+        }
+        let cx = rng.gen_range(0..=self.width - cw);
+        let cy = rng.gen_range(0..=self.height - ch);
+        self.crop(cx, cy, cw, ch)
+    }
+
+    /// Horizontally mirrored copy (the flip augmentation of §II-A).
+    pub fn mirror(&self) -> Image {
+        let mut data = Vec::with_capacity(self.data.len());
+        for y in 0..self.height {
+            for x in (0..self.width).rev() {
+                let i = (y * self.width + x) * 3;
+                data.extend_from_slice(&self.data[i..i + 3]);
+            }
+        }
+        Image::from_rgb(self.width, self.height, data)
+    }
+
+    /// Add zero-mean Gaussian noise with standard deviation `sigma` (in
+    /// 8-bit counts), clamping to `[0, 255]`. Box–Muller over the provided RNG.
+    pub fn gaussian_noise<R: Rng + ?Sized>(&self, sigma: f32, rng: &mut R) -> Image {
+        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be nonnegative");
+        let mut data = Vec::with_capacity(self.data.len());
+        let mut pending: Option<f32> = None;
+        for &b in &self.data {
+            let n = match pending.take() {
+                Some(z) => z,
+                None => {
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen();
+                    let r = (-2.0 * u1.ln()).sqrt();
+                    let (s, c) = (2.0 * std::f32::consts::PI * u2).sin_cos();
+                    pending = Some(r * s);
+                    r * c
+                }
+            };
+            let v = (b as f32 + n * sigma).round().clamp(0.0, 255.0) as u8;
+            data.push(v);
+        }
+        Image::from_rgb(self.width, self.height, data)
+    }
+
+    /// Cast to `f32` and scale to `[0, 1]` in CHW layout — the paper's
+    /// `char → float` type cast that amplifies data volume 4× (§III-C).
+    pub fn to_float(&self) -> FloatImage {
+        let (w, h) = (self.width, self.height);
+        let mut data = vec![0.0f32; w * h * 3];
+        for y in 0..h {
+            for x in 0..w {
+                let i = (y * w + x) * 3;
+                for ch in 0..3 {
+                    data[ch * w * h + y * w + x] = self.data[i + ch] as f32 / 255.0;
+                }
+            }
+        }
+        FloatImage { width: w, height: h, data }
+    }
+}
+
+/// An `f32` image in planar CHW layout, values nominally in `[0, 1]` —
+/// the tensor format fed to a neural-network accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloatImage {
+    width: usize,
+    height: usize,
+    data: Vec<f32>,
+}
+
+impl FloatImage {
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Planar CHW data (`3 * height * width` floats).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Size in bytes when shipped to an accelerator.
+    pub fn byte_len(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Channel-`c` value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn at(&self, c: usize, x: usize, y: usize) -> f32 {
+        assert!(c < 3 && x < self.width && y < self.height, "index out of bounds");
+        self.data[c * self.width * self.height + y * self.width + x]
+    }
+
+    /// Per-channel mean/std normalization (ImageNet-style).
+    pub fn normalize(&self, mean: [f32; 3], std: [f32; 3]) -> FloatImage {
+        assert!(std.iter().all(|&s| s > 0.0), "std must be positive");
+        let plane = self.width * self.height;
+        let mut data = self.data.clone();
+        for c in 0..3 {
+            for v in &mut data[c * plane..(c + 1) * plane] {
+                *v = (*v - mean[c]) / std[c];
+            }
+        }
+        FloatImage { width: self.width, height: self.height, data }
+    }
+}
+
+
+/// RICAP augmentation (Takahashi et al., cited as \[43\] in §VII-B): randomly
+/// crop four source images and patch them into one new training image. The
+/// boundary point is drawn uniformly; each quadrant is filled with a random
+/// crop of the corresponding source.
+///
+/// Returns the composed image and the area fraction each source contributes
+/// (the label-mixing weights RICAP trains with).
+///
+/// # Errors
+///
+/// Returns [`PrepError::InvalidParam`] if any source is smaller than the
+/// output or the output has a zero dimension.
+pub fn ricap<R: Rng + ?Sized>(
+    sources: &[Image; 4],
+    out_w: usize,
+    out_h: usize,
+    rng: &mut R,
+) -> Result<(Image, [f64; 4]), PrepError> {
+    if out_w == 0 || out_h == 0 {
+        return Err(PrepError::InvalidParam("output dimensions must be positive".into()));
+    }
+    for s in sources {
+        if s.width() < out_w || s.height() < out_h {
+            return Err(PrepError::InvalidParam(format!(
+                "source {}x{} smaller than output {out_w}x{out_h}",
+                s.width(),
+                s.height()
+            )));
+        }
+    }
+    // Boundary point strictly inside so every quadrant is nonempty... RICAP
+    // allows degenerate quadrants; we draw over the full range.
+    let bx = rng.gen_range(0..=out_w);
+    let by = rng.gen_range(0..=out_h);
+    let quads = [
+        (0, 0, bx, by),
+        (bx, 0, out_w - bx, by),
+        (0, by, bx, out_h - by),
+        (bx, by, out_w - bx, out_h - by),
+    ];
+    let mut out = Image::filled(out_w, out_h, [0, 0, 0]);
+    let mut weights = [0.0f64; 4];
+    for (k, &(ox, oy, qw, qh)) in quads.iter().enumerate() {
+        weights[k] = (qw * qh) as f64 / (out_w * out_h) as f64;
+        if qw == 0 || qh == 0 {
+            continue;
+        }
+        let patch = sources[k].random_crop(qw, qh, rng)?;
+        for y in 0..qh {
+            for x in 0..qw {
+                out.set_pixel(ox + x, oy + y, patch.pixel(x, y));
+            }
+        }
+    }
+    Ok((out, weights))
+}
+
+/// Color-jitter augmentation: scale brightness and contrast around the
+/// mid-gray point, clamping to `[0, 255]`.
+///
+/// # Panics
+///
+/// Panics if a factor is not finite and positive.
+pub fn color_jitter(img: &Image, brightness: f32, contrast: f32) -> Image {
+    assert!(
+        brightness.is_finite() && brightness > 0.0 && contrast.is_finite() && contrast > 0.0,
+        "jitter factors must be positive"
+    );
+    let data = img
+        .data()
+        .iter()
+        .map(|&b| {
+            let v = b as f32 * brightness;
+            let v = (v - 128.0) * contrast + 128.0;
+            v.round().clamp(0.0, 255.0) as u8
+        })
+        .collect();
+    Image::from_rgb(img.width(), img.height(), data)
+}
+
+/// Bilinear resize (used when the stored size differs from the model input
+/// size; part of "cropping to match the model-specific size" in §II-A).
+///
+/// # Panics
+///
+/// Panics if a target dimension is zero.
+pub fn resize_bilinear(src: &Image, new_w: usize, new_h: usize) -> Image {
+    assert!(new_w > 0 && new_h > 0, "target dimensions must be positive");
+    let (w, h) = (src.width(), src.height());
+    let mut data = Vec::with_capacity(new_w * new_h * 3);
+    for y in 0..new_h {
+        // Align centers (standard half-pixel convention).
+        let fy = ((y as f32 + 0.5) * h as f32 / new_h as f32 - 0.5).clamp(0.0, (h - 1) as f32);
+        let y0 = fy.floor() as usize;
+        let y1 = (y0 + 1).min(h - 1);
+        let wy = fy - y0 as f32;
+        for x in 0..new_w {
+            let fx = ((x as f32 + 0.5) * w as f32 / new_w as f32 - 0.5).clamp(0.0, (w - 1) as f32);
+            let x0 = fx.floor() as usize;
+            let x1 = (x0 + 1).min(w - 1);
+            let wx = fx - x0 as f32;
+            let p00 = src.pixel(x0, y0);
+            let p01 = src.pixel(x1, y0);
+            let p10 = src.pixel(x0, y1);
+            let p11 = src.pixel(x1, y1);
+            for c in 0..3 {
+                let top = p00[c] as f32 * (1.0 - wx) + p01[c] as f32 * wx;
+                let bot = p10[c] as f32 * (1.0 - wx) + p11[c] as f32 * wx;
+                data.push((top * (1.0 - wy) + bot * wy).round().clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+    Image::from_rgb(new_w, new_h, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gradient(w: usize, h: usize) -> Image {
+        let mut img = Image::filled(w, h, [0, 0, 0]);
+        for y in 0..h {
+            for x in 0..w {
+                img.set_pixel(x, y, [(x * 7 % 256) as u8, (y * 11 % 256) as u8, ((x + y) % 256) as u8]);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn crop_extracts_window() {
+        let img = gradient(16, 12);
+        let c = img.crop(4, 2, 8, 6).unwrap();
+        assert_eq!(c.width(), 8);
+        assert_eq!(c.height(), 6);
+        assert_eq!(c.pixel(0, 0), img.pixel(4, 2));
+        assert_eq!(c.pixel(7, 5), img.pixel(11, 7));
+    }
+
+    #[test]
+    fn crop_out_of_bounds_is_error() {
+        let img = gradient(8, 8);
+        assert!(img.crop(5, 0, 4, 4).is_err());
+        assert!(img.crop(0, 0, 0, 4).is_err());
+        assert!(img.crop(0, 0, 8, 9).is_err());
+    }
+
+    #[test]
+    fn random_crop_respects_bounds_and_seed() {
+        let img = gradient(256, 256);
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = img.random_crop(224, 224, &mut rng).unwrap();
+        assert_eq!((a.width(), a.height()), (224, 224));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let b = img.random_crop(224, 224, &mut rng2).unwrap();
+        assert_eq!(a, b, "same seed must give the same crop");
+    }
+
+    #[test]
+    fn mirror_is_involutive() {
+        let img = gradient(9, 5);
+        assert_eq!(img.mirror().mirror(), img);
+        assert_eq!(img.mirror().pixel(0, 0), img.pixel(8, 0));
+    }
+
+    #[test]
+    fn gaussian_noise_zero_sigma_is_identity() {
+        let img = gradient(8, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(img.gaussian_noise(0.0, &mut rng), img);
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs_but_bounded() {
+        let img = Image::filled(32, 32, [128, 128, 128]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let noisy = img.gaussian_noise(5.0, &mut rng);
+        assert_ne!(noisy, img);
+        let mean: f64 = noisy.data().iter().map(|&b| b as f64).sum::<f64>() / noisy.data().len() as f64;
+        assert!((mean - 128.0).abs() < 1.0, "noise should be zero-mean, got {mean}");
+    }
+
+    #[test]
+    fn to_float_is_chw_and_scaled() {
+        let mut img = Image::filled(2, 2, [0, 0, 0]);
+        img.set_pixel(1, 0, [255, 51, 102]);
+        let f = img.to_float();
+        assert_eq!(f.byte_len(), 2 * 2 * 3 * 4);
+        assert!((f.at(0, 1, 0) - 1.0).abs() < 1e-6);
+        assert!((f.at(1, 1, 0) - 0.2).abs() < 1e-6);
+        assert!((f.at(2, 1, 0) - 0.4).abs() < 1e-6);
+        assert_eq!(f.at(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn float_amplification_matches_paper_claim() {
+        // §III-C: data load is amplified over SSD read by decompression and
+        // char->float casting. A 224x224 u8 image is 147 KB; float is 588 KB.
+        let img = gradient(224, 224);
+        let f = img.to_float();
+        assert_eq!(f.byte_len(), img.byte_len() * 4);
+        assert_eq!(img.byte_len(), 150_528);
+    }
+
+    #[test]
+    fn normalize_centers_channels() {
+        let img = Image::filled(4, 4, [255, 0, 127]);
+        let f = img.to_float().normalize([1.0, 0.0, 0.5], [2.0, 1.0, 1.0]);
+        assert!((f.at(0, 0, 0) - 0.0).abs() < 1e-6);
+        assert!((f.at(1, 0, 0) - 0.0).abs() < 1e-6);
+        assert!((f.at(2, 0, 0) - (127.0 / 255.0 - 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resize_identity_and_downscale() {
+        let img = gradient(16, 16);
+        let same = resize_bilinear(&img, 16, 16);
+        assert_eq!(same, img);
+        let small = resize_bilinear(&img, 8, 8);
+        assert_eq!((small.width(), small.height()), (8, 8));
+        let up = resize_bilinear(&img, 32, 32);
+        assert_eq!((up.width(), up.height()), (32, 32));
+    }
+
+    #[test]
+    fn resize_solid_stays_solid() {
+        let img = Image::filled(10, 10, [42, 99, 200]);
+        let r = resize_bilinear(&img, 7, 13);
+        for y in 0..13 {
+            for x in 0..7 {
+                assert_eq!(r.pixel(x, y), [42, 99, 200]);
+            }
+        }
+    }
+
+
+    #[test]
+    fn ricap_composes_four_sources() {
+        let sources = [
+            Image::filled(32, 32, [255, 0, 0]),
+            Image::filled(32, 32, [0, 255, 0]),
+            Image::filled(32, 32, [0, 0, 255]),
+            Image::filled(32, 32, [255, 255, 0]),
+        ];
+        let mut rng = StdRng::seed_from_u64(5);
+        let (img, w) = ricap(&sources, 24, 24, &mut rng).unwrap();
+        assert_eq!((img.width(), img.height()), (24, 24));
+        // Weights are a probability distribution over the four sources.
+        let sum: f64 = w.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Every pixel comes from one of the four solid sources.
+        for y in 0..24 {
+            for x in 0..24 {
+                let p = img.pixel(x, y);
+                assert!(
+                    [[255, 0, 0], [0, 255, 0], [0, 0, 255], [255, 255, 0]].contains(&p),
+                    "unexpected pixel {p:?}"
+                );
+            }
+        }
+        // Corner pixels identify their quadrant's source when nonempty.
+        if w[0] > 0.0 {
+            assert_eq!(img.pixel(0, 0), [255, 0, 0]);
+        }
+        if w[3] > 0.0 {
+            assert_eq!(img.pixel(23, 23), [255, 255, 0]);
+        }
+    }
+
+    #[test]
+    fn ricap_rejects_small_sources() {
+        let sources = [
+            Image::filled(8, 8, [0; 3]),
+            Image::filled(32, 32, [0; 3]),
+            Image::filled(32, 32, [0; 3]),
+            Image::filled(32, 32, [0; 3]),
+        ];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(ricap(&sources, 24, 24, &mut rng).is_err());
+    }
+
+    #[test]
+    fn color_jitter_identity_and_extremes() {
+        let img = gradient(16, 16);
+        assert_eq!(color_jitter(&img, 1.0, 1.0), img);
+        let dark = color_jitter(&img, 0.5, 1.0);
+        let mean = |i: &Image| i.data().iter().map(|&b| b as f64).sum::<f64>() / i.data().len() as f64;
+        assert!(mean(&dark) < mean(&img));
+        // Zero contrast collapses toward mid-gray.
+        let flat = color_jitter(&img, 1.0, 0.01);
+        for &b in flat.data() {
+            assert!((b as i32 - 128).abs() <= 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "RGB buffer size mismatch")]
+    fn bad_buffer_rejected() {
+        Image::from_rgb(4, 4, vec![0; 10]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Entropy-stream bit I/O with JPEG byte stuffing.
+//!
+//! JPEG entropy data is a big-endian bit stream in which a raw `0xFF` byte is
+//! escaped as `0xFF 0x00` (stuffing); an unescaped `0xFF` introduces a
+//! marker. The writer stuffs on emit; the reader unstuffs and surfaces
+//! restart markers to the decoder.
+
+use crate::error::DecodeError;
+
+/// MSB-first bit writer with `0xFF` stuffing.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Append the low `n` bits of `bits`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 24`.
+    pub fn put(&mut self, bits: u32, n: u32) {
+        assert!(n <= 24, "at most 24 bits per put");
+        if n == 0 {
+            return;
+        }
+        self.acc = (self.acc << n) | (bits & ((1u32 << n) - 1));
+        self.nbits += n;
+        while self.nbits >= 8 {
+            let byte = ((self.acc >> (self.nbits - 8)) & 0xff) as u8;
+            self.out.push(byte);
+            if byte == 0xff {
+                self.out.push(0x00); // stuffing
+            }
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pad the final partial byte with 1-bits (per the standard) and return
+    /// the stuffed stream.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put((1u32 << pad) - 1, pad);
+        }
+        self.out
+    }
+
+#[cfg_attr(not(test), allow(dead_code))]
+    /// Bytes emitted so far (excluding buffered bits).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True when nothing has been emitted or buffered.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty() && self.nbits == 0
+    }
+}
+
+/// MSB-first bit reader that unstuffs `0xFF 0x00` and stops at markers.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+    /// Set when the reader ran into an unescaped marker; its second byte.
+    marker: Option<u8>,
+}
+
+impl<'a> BitReader<'a> {
+    /// Read bits from `data` starting at offset 0.
+    pub fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, acc: 0, nbits: 0, marker: None }
+    }
+
+    /// Load exactly one more byte into the accumulator, unstuffing `0xFF 0x00`.
+    fn load_byte(&mut self) -> Result<(), DecodeError> {
+        if self.marker.is_some() {
+            return Err(DecodeError::Malformed("read past marker".into()));
+        }
+        let Some(&b) = self.data.get(self.pos) else {
+            return Err(DecodeError::UnexpectedEof);
+        };
+        if b == 0xff {
+            match self.data.get(self.pos + 1) {
+                Some(0x00) => {
+                    self.pos += 2;
+                    self.acc = (self.acc << 8) | 0xff;
+                    self.nbits += 8;
+                    Ok(())
+                }
+                Some(&m) => {
+                    self.marker = Some(m);
+                    Err(DecodeError::Malformed(format!(
+                        "unexpected marker 0xff{m:02x} in entropy data"
+                    )))
+                }
+                None => Err(DecodeError::UnexpectedEof),
+            }
+        } else {
+            self.pos += 1;
+            self.acc = (self.acc << 8) | b as u32;
+            self.nbits += 8;
+            Ok(())
+        }
+    }
+
+    /// Read one bit.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEof`] at end of data, or
+    /// [`DecodeError::Malformed`] when hitting a non-restart marker.
+    pub fn bit(&mut self) -> Result<u32, DecodeError> {
+        if self.nbits == 0 {
+            self.load_byte()?;
+        }
+        self.nbits -= 1;
+        Ok((self.acc >> self.nbits) & 1)
+    }
+
+    /// Read `n` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BitReader::bit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 16`.
+    pub fn bits(&mut self, n: u32) -> Result<u32, DecodeError> {
+        assert!(n <= 16, "at most 16 bits per read");
+        let mut v = 0;
+        for _ in 0..n {
+            v = (v << 1) | self.bit()?;
+        }
+        Ok(v)
+    }
+
+    /// Align to a byte boundary, expect a restart marker `RSTm`, and consume
+    /// it. Returns the marker index `m` (0..=7).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::Malformed`] if the next marker is not RSTn.
+    pub fn sync_restart(&mut self) -> Result<u8, DecodeError> {
+        // Drop buffered padding bits.
+        self.nbits = 0;
+        self.acc = 0;
+        if let Some(m) = self.marker.take() {
+            if (0xd0..=0xd7).contains(&m) {
+                return Ok(m - 0xd0);
+            }
+            return Err(DecodeError::Malformed(format!("expected RSTn, found 0xff{m:02x}")));
+        }
+        // Marker not yet consumed from the raw stream.
+        if self.data.get(self.pos) == Some(&0xff) {
+            if let Some(&m) = self.data.get(self.pos + 1) {
+                if (0xd0..=0xd7).contains(&m) {
+                    self.pos += 2;
+                    return Ok(m - 0xd0);
+                }
+                return Err(DecodeError::Malformed(format!("expected RSTn, found 0xff{m:02x}")));
+            }
+        }
+        Err(DecodeError::Malformed("expected restart marker".into()))
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put(0b101, 3);
+        w.put(0b0011_0101_1, 9);
+        w.put(0xffff, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(3).unwrap(), 0b101);
+        assert_eq!(r.bits(9).unwrap(), 0b0011_0101_1);
+        assert_eq!(r.bits(16).unwrap(), 0xffff);
+    }
+
+    #[test]
+    fn ff_bytes_are_stuffed() {
+        let mut w = BitWriter::new();
+        w.put(0xff, 8);
+        w.put(0xff, 8);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0xff, 0x00, 0xff, 0x00]);
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(8).unwrap(), 0xff);
+        assert_eq!(r.bits(8).unwrap(), 0xff);
+    }
+
+    #[test]
+    fn final_byte_padded_with_ones() {
+        let mut w = BitWriter::new();
+        w.put(0b0, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b0111_1111]);
+    }
+
+    #[test]
+    fn reader_eof() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.bit(), Err(DecodeError::UnexpectedEof));
+        let mut r = BitReader::new(&[0xab]);
+        assert_eq!(r.bits(8).unwrap(), 0xab);
+        assert!(r.bit().is_err());
+    }
+
+    #[test]
+    fn reader_stops_at_marker() {
+        let data = [0x12, 0xff, 0xd9]; // EOI after one byte
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.bits(8).unwrap(), 0x12);
+        assert!(matches!(r.bit(), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn restart_sync_consumes_rst() {
+        let data = [0xab, 0xff, 0xd3, 0xcd];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.bits(8).unwrap(), 0xab);
+        assert_eq!(r.sync_restart().unwrap(), 3);
+        assert_eq!(r.bits(8).unwrap(), 0xcd);
+    }
+
+    #[test]
+    fn restart_sync_rejects_other_markers() {
+        let data = [0xff, 0xd9];
+        let mut r = BitReader::new(&data);
+        assert!(r.sync_restart().is_err());
+    }
+
+    #[test]
+    fn empty_writer() {
+        let w = BitWriter::new();
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert!(w.finish().is_empty());
+    }
+}

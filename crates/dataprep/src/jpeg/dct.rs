@@ -1,0 +1,143 @@
+//! 8×8 forward and inverse DCT-II, the transform at the heart of JPEG.
+//!
+//! Straightforward separable implementation in `f32`. The FPGA engine of the
+//! paper would use a fixed-point pipelined butterfly; for a functional and
+//! calibration-grade kernel the separable float version is equivalent.
+
+use std::f32::consts::PI;
+
+/// Precomputed cosine basis: `COS[u][x] = cos((2x+1)uπ/16)`.
+fn basis() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0.0f32; 8]; 8];
+        for (u, row) in b.iter_mut().enumerate() {
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = ((2.0 * x as f32 + 1.0) * u as f32 * PI / 16.0).cos();
+            }
+        }
+        b
+    })
+}
+
+fn alpha(u: usize) -> f32 {
+    if u == 0 {
+        1.0 / (2.0f32).sqrt()
+    } else {
+        1.0
+    }
+}
+
+/// Forward 8×8 DCT-II of a row-major block (level-shifted samples in,
+/// frequency coefficients out).
+pub fn fdct_8x8(block: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    // Rows first.
+    let mut tmp = [0.0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut s = 0.0;
+            for x in 0..8 {
+                s += block[y * 8 + x] * b[u][x];
+            }
+            tmp[y * 8 + u] = s * alpha(u) * 0.5;
+        }
+    }
+    // Then columns.
+    let mut out = [0.0f32; 64];
+    for u in 0..8 {
+        for v in 0..8 {
+            let mut s = 0.0;
+            for y in 0..8 {
+                s += tmp[y * 8 + u] * b[v][y];
+            }
+            out[v * 8 + u] = s * alpha(v) * 0.5;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT (DCT-III), reconstructing samples from coefficients.
+pub fn idct_8x8(coef: &[f32; 64]) -> [f32; 64] {
+    let b = basis();
+    // Columns first.
+    let mut tmp = [0.0f32; 64];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut s = 0.0;
+            for v in 0..8 {
+                s += alpha(v) * coef[v * 8 + u] * b[v][y];
+            }
+            tmp[y * 8 + u] = s * 0.5;
+        }
+    }
+    // Then rows.
+    let mut out = [0.0f32; 64];
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut s = 0.0;
+            for u in 0..8 {
+                s += alpha(u) * tmp[y * 8 + u] * b[u][x];
+            }
+            out[y * 8 + x] = s * 0.5;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dc_only_block() {
+        // A constant block transforms to a single DC coefficient = 8 * value.
+        let block = [10.0f32; 64];
+        let coef = fdct_8x8(&block);
+        assert!((coef[0] - 80.0).abs() < 1e-3, "dc={}", coef[0]);
+        for &c in &coef[1..] {
+            assert!(c.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity_on_ramp() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (i as f32) - 32.0;
+        }
+        let back = idct_8x8(&fdct_8x8(&block));
+        for (a, b) in block.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut block = [0.0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37 + 11) % 256) as f32 - 128.0;
+        }
+        let coef = fdct_8x8(&block);
+        let e_spatial: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = coef.iter().map(|v| v * v).sum();
+        assert!(
+            (e_spatial - e_freq).abs() < 1e-1 * e_spatial.max(1.0),
+            "{e_spatial} vs {e_freq}"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_within_tolerance(samples in proptest::collection::vec(-128.0f32..128.0, 64)) {
+            let mut block = [0.0f32; 64];
+            block.copy_from_slice(&samples);
+            let back = idct_8x8(&fdct_8x8(&block));
+            for (a, b) in block.iter().zip(&back) {
+                prop_assert!((a - b).abs() < 1e-2);
+            }
+        }
+    }
+}

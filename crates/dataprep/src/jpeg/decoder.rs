@@ -1,0 +1,493 @@
+//! Baseline JFIF decoder.
+//!
+//! Handles baseline sequential DCT streams with Huffman coding: grayscale or
+//! YCbCr with any sampling factors in `{1, 2}` (4:4:4, 4:2:2, 4:2:0), DQT /
+//! DHT / DRI segments in any legal order, and restart markers. Progressive
+//! and arithmetic-coded streams are rejected as unsupported.
+
+use super::bits::BitReader;
+use super::dct::idct_8x8;
+use super::huffman::{extend, HuffDecoder};
+use super::tables::ZIGZAG;
+use crate::error::DecodeError;
+use crate::image::Image;
+
+#[derive(Debug, Clone, Copy)]
+struct Component {
+    id: u8,
+    h: usize,
+    v: usize,
+    quant_id: usize,
+    dc_table: usize,
+    ac_table: usize,
+}
+
+#[derive(Debug, Default)]
+struct DecoderState {
+    quant: [Option<[u16; 64]>; 4],
+    dc_tables: [Option<HuffDecoder>; 4],
+    ac_tables: [Option<HuffDecoder>; 4],
+    width: usize,
+    height: usize,
+    components: Vec<Component>,
+    restart_interval: usize,
+}
+
+/// Decode a baseline JFIF stream into an RGB image.
+///
+/// # Errors
+///
+/// * [`DecodeError::UnexpectedEof`] — truncated stream;
+/// * [`DecodeError::Malformed`] — structural errors (bad markers, lengths,
+///   table references, invalid Huffman codes);
+/// * [`DecodeError::Unsupported`] — valid JPEG features outside the baseline
+///   subset (progressive, arithmetic coding, 12-bit precision, >2 sampling).
+pub fn decode(data: &[u8]) -> Result<Image, DecodeError> {
+    let mut pos = 0usize;
+    let need = |pos: usize, n: usize| -> Result<(), DecodeError> {
+        if pos + n > data.len() {
+            Err(DecodeError::UnexpectedEof)
+        } else {
+            Ok(())
+        }
+    };
+    need(pos, 2)?;
+    if data[0] != 0xff || data[1] != 0xd8 {
+        return Err(DecodeError::Malformed("missing SOI".into()));
+    }
+    pos += 2;
+
+    let mut st = DecoderState::default();
+
+    loop {
+        need(pos, 2)?;
+        if data[pos] != 0xff {
+            return Err(DecodeError::Malformed(format!(
+                "expected marker at offset {pos}, found 0x{:02x}",
+                data[pos]
+            )));
+        }
+        // Skip fill bytes (0xff 0xff ...).
+        let mut m = data[pos + 1];
+        while m == 0xff {
+            pos += 1;
+            need(pos, 2)?;
+            m = data[pos + 1];
+        }
+        pos += 2;
+        match m {
+            0xd9 => return Err(DecodeError::Malformed("EOI before scan data".into())),
+            0x01 | 0xd0..=0xd7 => {} // standalone markers: skip
+            0xc0 | 0xc1 => {
+                let seg = segment(data, &mut pos)?;
+                parse_sof(seg, &mut st)?;
+            }
+            0xc2 => return Err(DecodeError::Unsupported("progressive DCT (SOF2)".into())),
+            0xc3 | 0xc5..=0xc7 | 0xc9..=0xcb | 0xcd..=0xcf => {
+                return Err(DecodeError::Unsupported(format!("SOF marker 0xff{m:02x}")))
+            }
+            0xc4 => {
+                let seg = segment(data, &mut pos)?;
+                parse_dht(seg, &mut st)?;
+            }
+            0xdb => {
+                let seg = segment(data, &mut pos)?;
+                parse_dqt(seg, &mut st)?;
+            }
+            0xdd => {
+                let seg = segment(data, &mut pos)?;
+                if seg.len() != 2 {
+                    return Err(DecodeError::Malformed("bad DRI length".into()));
+                }
+                st.restart_interval = u16::from_be_bytes([seg[0], seg[1]]) as usize;
+            }
+            0xda => {
+                let seg = segment(data, &mut pos)?;
+                parse_sos(seg, &mut st)?;
+                // Entropy data follows until the next marker.
+                return decode_scan(&data[pos..], &st);
+            }
+            // APPn, COM, and anything else with a length: skip.
+            _ => {
+                let _ = segment(data, &mut pos)?;
+            }
+        }
+    }
+}
+
+/// Read one length-prefixed segment, advancing `pos` past it.
+fn segment<'a>(data: &'a [u8], pos: &mut usize) -> Result<&'a [u8], DecodeError> {
+    if *pos + 2 > data.len() {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let len = u16::from_be_bytes([data[*pos], data[*pos + 1]]) as usize;
+    if len < 2 {
+        return Err(DecodeError::Malformed("segment length < 2".into()));
+    }
+    if *pos + len > data.len() {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let seg = &data[*pos + 2..*pos + len];
+    *pos += len;
+    Ok(seg)
+}
+
+fn parse_sof(seg: &[u8], st: &mut DecoderState) -> Result<(), DecodeError> {
+    if seg.len() < 6 {
+        return Err(DecodeError::Malformed("short SOF".into()));
+    }
+    if seg[0] != 8 {
+        return Err(DecodeError::Unsupported(format!("{}-bit precision", seg[0])));
+    }
+    st.height = u16::from_be_bytes([seg[1], seg[2]]) as usize;
+    st.width = u16::from_be_bytes([seg[3], seg[4]]) as usize;
+    if st.width == 0 || st.height == 0 {
+        return Err(DecodeError::Malformed("zero image dimension".into()));
+    }
+    let ncomp = seg[5] as usize;
+    if ncomp != 1 && ncomp != 3 {
+        return Err(DecodeError::Unsupported(format!("{ncomp}-component image")));
+    }
+    if seg.len() != 6 + 3 * ncomp {
+        return Err(DecodeError::Malformed("bad SOF length".into()));
+    }
+    st.components.clear();
+    for c in 0..ncomp {
+        let id = seg[6 + 3 * c];
+        let hv = seg[7 + 3 * c];
+        let (h, v) = ((hv >> 4) as usize, (hv & 0xf) as usize);
+        if !(1..=2).contains(&h) || !(1..=2).contains(&v) {
+            return Err(DecodeError::Unsupported(format!("sampling factors {h}x{v}")));
+        }
+        let quant_id = seg[8 + 3 * c] as usize;
+        if quant_id > 3 {
+            return Err(DecodeError::Malformed("quant table id > 3".into()));
+        }
+        st.components.push(Component { id, h, v, quant_id, dc_table: 0, ac_table: 0 });
+    }
+    Ok(())
+}
+
+fn parse_dqt(mut seg: &[u8], st: &mut DecoderState) -> Result<(), DecodeError> {
+    while !seg.is_empty() {
+        let pq_tq = seg[0];
+        let (pq, tq) = ((pq_tq >> 4) as usize, (pq_tq & 0xf) as usize);
+        if tq > 3 {
+            return Err(DecodeError::Malformed("quant table id > 3".into()));
+        }
+        let entry = if pq == 0 { 1 } else { 2 };
+        if pq > 1 || seg.len() < 1 + 64 * entry {
+            return Err(DecodeError::Malformed("bad DQT".into()));
+        }
+        let mut table = [0u16; 64];
+        for i in 0..64 {
+            let v = if pq == 0 {
+                seg[1 + i] as u16
+            } else {
+                u16::from_be_bytes([seg[1 + 2 * i], seg[2 + 2 * i]])
+            };
+            if v == 0 {
+                return Err(DecodeError::Malformed("zero quantizer".into()));
+            }
+            table[ZIGZAG[i]] = v;
+        }
+        st.quant[tq] = Some(table);
+        seg = &seg[1 + 64 * entry..];
+    }
+    Ok(())
+}
+
+fn parse_dht(mut seg: &[u8], st: &mut DecoderState) -> Result<(), DecodeError> {
+    while !seg.is_empty() {
+        if seg.len() < 17 {
+            return Err(DecodeError::Malformed("short DHT".into()));
+        }
+        let tc_th = seg[0];
+        let (tc, th) = ((tc_th >> 4) as usize, (tc_th & 0xf) as usize);
+        if tc > 1 || th > 3 {
+            return Err(DecodeError::Malformed("bad DHT class/id".into()));
+        }
+        let mut bits = [0u8; 16];
+        bits.copy_from_slice(&seg[1..17]);
+        let total: usize = bits.iter().map(|&b| b as usize).sum();
+        if total > 256 || seg.len() < 17 + total {
+            return Err(DecodeError::Malformed("bad DHT symbol count".into()));
+        }
+        let values = seg[17..17 + total].to_vec();
+        let dec = HuffDecoder::from_bits_values(&bits, values);
+        if tc == 0 {
+            st.dc_tables[th] = Some(dec);
+        } else {
+            st.ac_tables[th] = Some(dec);
+        }
+        seg = &seg[17 + total..];
+    }
+    Ok(())
+}
+
+fn parse_sos(seg: &[u8], st: &mut DecoderState) -> Result<(), DecodeError> {
+    if st.components.is_empty() {
+        return Err(DecodeError::Malformed("SOS before SOF".into()));
+    }
+    if seg.len() < 1 {
+        return Err(DecodeError::Malformed("empty SOS".into()));
+    }
+    let ns = seg[0] as usize;
+    if ns != st.components.len() {
+        return Err(DecodeError::Unsupported("partial/interleaved-subset scans".into()));
+    }
+    if seg.len() != 1 + 2 * ns + 3 {
+        return Err(DecodeError::Malformed("bad SOS length".into()));
+    }
+    for s in 0..ns {
+        let id = seg[1 + 2 * s];
+        let tables = seg[2 + 2 * s];
+        let comp = st
+            .components
+            .iter_mut()
+            .find(|c| c.id == id)
+            .ok_or_else(|| DecodeError::Malformed(format!("SOS references unknown component {id}")))?;
+        comp.dc_table = (tables >> 4) as usize;
+        comp.ac_table = (tables & 0xf) as usize;
+        if comp.dc_table > 3 || comp.ac_table > 3 {
+            return Err(DecodeError::Malformed("bad SOS table id".into()));
+        }
+    }
+    Ok(())
+}
+
+/// Per-component plane storage during the scan.
+struct Plane {
+    w: usize,
+    h: usize,
+    data: Vec<f32>,
+}
+
+fn decode_scan(entropy: &[u8], st: &DecoderState) -> Result<Image, DecodeError> {
+    let hmax = st.components.iter().map(|c| c.h).max().unwrap();
+    let vmax = st.components.iter().map(|c| c.v).max().unwrap();
+    let mcux = st.width.div_ceil(8 * hmax);
+    let mcuy = st.height.div_ceil(8 * vmax);
+
+    let mut planes: Vec<Plane> = st
+        .components
+        .iter()
+        .map(|c| {
+            let w = mcux * c.h * 8;
+            let h = mcuy * c.v * 8;
+            Plane { w, h, data: vec![0.0; w * h] }
+        })
+        .collect();
+
+    // Resolve tables up front so the hot loop borrows are simple.
+    let mut comp_tables = Vec::new();
+    for c in &st.components {
+        let q = st.quant[c.quant_id]
+            .as_ref()
+            .ok_or_else(|| DecodeError::Malformed("missing quant table".into()))?;
+        let dc = st.dc_tables[c.dc_table]
+            .as_ref()
+            .ok_or_else(|| DecodeError::Malformed("missing DC huffman table".into()))?;
+        let ac = st.ac_tables[c.ac_table]
+            .as_ref()
+            .ok_or_else(|| DecodeError::Malformed("missing AC huffman table".into()))?;
+        comp_tables.push((q, dc, ac));
+    }
+
+    let mut reader = BitReader::new(entropy);
+    let mut preds = vec![0i32; st.components.len()];
+    let total_mcus = mcux * mcuy;
+    let mut next_rst = 0u8;
+
+    for mcu in 0..total_mcus {
+        if st.restart_interval > 0 && mcu > 0 && mcu % st.restart_interval == 0 {
+            let got = reader.sync_restart()?;
+            if got != next_rst {
+                return Err(DecodeError::Malformed(format!(
+                    "restart marker out of order: expected RST{next_rst}, got RST{got}"
+                )));
+            }
+            next_rst = (next_rst + 1) % 8;
+            preds.iter_mut().for_each(|p| *p = 0);
+        }
+        let (mx, my) = (mcu % mcux, mcu / mcux);
+        for (ci, c) in st.components.iter().enumerate() {
+            let (q, dc, ac) = comp_tables[ci];
+            for by in 0..c.v {
+                for bx in 0..c.h {
+                    let block = decode_block(&mut reader, dc, ac, q, &mut preds[ci])?;
+                    let px = (mx * c.h + bx) * 8;
+                    let py = (my * c.v + by) * 8;
+                    let plane = &mut planes[ci];
+                    for y in 0..8 {
+                        for x in 0..8 {
+                            plane.data[(py + y) * plane.w + px + x] = block[y * 8 + x] + 128.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(assemble(st, &planes, hmax, vmax))
+}
+
+fn decode_block(
+    r: &mut BitReader<'_>,
+    dc: &HuffDecoder,
+    ac: &HuffDecoder,
+    q: &[u16; 64],
+    pred: &mut i32,
+) -> Result<[f32; 64], DecodeError> {
+    let mut coef = [0.0f32; 64];
+    // DC
+    let t = dc.get(r)? as u32;
+    if t > 11 {
+        return Err(DecodeError::Malformed("DC category > 11".into()));
+    }
+    let diff = extend(r.bits(t)?, t);
+    *pred += diff;
+    coef[0] = (*pred * q[0] as i32) as f32;
+    // AC
+    let mut k = 1usize;
+    while k < 64 {
+        let rs = ac.get(r)?;
+        let (run, size) = ((rs >> 4) as usize, (rs & 0xf) as u32);
+        if size == 0 {
+            if run == 15 {
+                k += 16; // ZRL
+                continue;
+            }
+            break; // EOB
+        }
+        k += run;
+        if k >= 64 {
+            return Err(DecodeError::Malformed("AC run exceeds block".into()));
+        }
+        let v = extend(r.bits(size)?, size);
+        coef[ZIGZAG[k]] = (v * q[ZIGZAG[k]] as i32) as f32;
+        k += 1;
+    }
+    Ok(idct_8x8(&coef))
+}
+
+fn assemble(st: &DecoderState, planes: &[Plane], hmax: usize, vmax: usize) -> Image {
+    let (w, h) = (st.width, st.height);
+    let mut rgb = vec![0u8; w * h * 3];
+    let sample = |ci: usize, x: usize, y: usize| -> f32 {
+        let c = &st.components[ci];
+        let p = &planes[ci];
+        // Map full-res coordinates into the (possibly subsampled) plane.
+        let sx = (x * c.h / hmax).min(p.w - 1);
+        let sy = (y * c.v / vmax).min(p.h - 1);
+        p.data[sy * p.w + sx]
+    };
+    for y in 0..h {
+        for x in 0..w {
+            let i = (y * w + x) * 3;
+            if st.components.len() == 1 {
+                let v = sample(0, x, y).round().clamp(0.0, 255.0) as u8;
+                rgb[i] = v;
+                rgb[i + 1] = v;
+                rgb[i + 2] = v;
+            } else {
+                let yv = sample(0, x, y);
+                let cb = sample(1, x, y) - 128.0;
+                let cr = sample(2, x, y) - 128.0;
+                let r = yv + 1.402 * cr;
+                let g = yv - 0.344_136 * cb - 0.714_136 * cr;
+                let b = yv + 1.772 * cb;
+                rgb[i] = r.round().clamp(0.0, 255.0) as u8;
+                rgb[i + 1] = g.round().clamp(0.0, 255.0) as u8;
+                rgb[i + 2] = b.round().clamp(0.0, 255.0) as u8;
+            }
+        }
+    }
+    Image::from_rgb(w, h, rgb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_soi_rejected() {
+        assert!(matches!(
+            decode(&[0x00, 0x01, 0x02]),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn progressive_rejected_as_unsupported() {
+        // SOI + SOF2 header stub.
+        let mut data = vec![0xff, 0xd8, 0xff, 0xc2, 0x00, 0x0b, 8, 0, 16, 0, 16, 1, 1, 0x11, 0];
+        data.extend_from_slice(&[0xff, 0xd9]);
+        assert!(matches!(decode(&data), Err(DecodeError::Unsupported(_))));
+    }
+
+    #[test]
+    fn scan_without_tables_rejected() {
+        // SOI, SOF0 (1 comp), SOS immediately: no DQT/DHT.
+        let mut data = vec![0xff, 0xd8];
+        data.extend_from_slice(&[0xff, 0xc0, 0x00, 0x0b, 8, 0, 8, 0, 8, 1, 1, 0x11, 0]);
+        data.extend_from_slice(&[0xff, 0xda, 0x00, 0x08, 1, 1, 0x00, 0, 63, 0]);
+        data.push(0x00);
+        data.extend_from_slice(&[0xff, 0xd9]);
+        assert!(matches!(decode(&data), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn eoi_before_scan_rejected() {
+        assert!(matches!(
+            decode(&[0xff, 0xd8, 0xff, 0xd9]),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn grayscale_roundtrip_via_manual_stream() {
+        // Encode an 8x8 grayscale JPEG by hand using our own tables: a
+        // constant 128 block is all-zero coefficients -> DC cat 0 + EOB.
+        use crate::jpeg::bits::BitWriter;
+        use crate::jpeg::huffman::HuffEncoder;
+        use crate::jpeg::tables::{LUMA_AC, LUMA_DC, LUMA_QUANT};
+        let mut data = vec![0xff, 0xd8];
+        // DQT id 0
+        data.extend_from_slice(&[0xff, 0xdb, 0x00, 0x43, 0x00]);
+        for i in 0..64 {
+            data.push(LUMA_QUANT[ZIGZAG[i]] as u8);
+        }
+        // SOF0: 8x8, 1 component, 1x1 sampling, quant 0
+        data.extend_from_slice(&[0xff, 0xc0, 0x00, 0x0b, 8, 0, 8, 0, 8, 1, 1, 0x11, 0]);
+        // DHT DC0 + AC0
+        for (class, spec) in [(0x00u8, LUMA_DC), (0x10, LUMA_AC)] {
+            let len = (2 + 1 + 16 + spec.values.len()) as u16;
+            data.extend_from_slice(&[0xff, 0xc4]);
+            data.extend_from_slice(&len.to_be_bytes());
+            data.push(class);
+            data.extend_from_slice(&spec.bits);
+            data.extend_from_slice(spec.values);
+        }
+        // SOS
+        data.extend_from_slice(&[0xff, 0xda, 0x00, 0x08, 1, 1, 0x00, 0, 63, 0]);
+        let mut w = BitWriter::new();
+        let dc = HuffEncoder::from_spec(&LUMA_DC);
+        let ac = HuffEncoder::from_spec(&LUMA_AC);
+        dc.put(&mut w, 0); // DC diff category 0
+        ac.put(&mut w, 0); // EOB
+        data.extend_from_slice(&w.finish());
+        data.extend_from_slice(&[0xff, 0xd9]);
+
+        let img = decode(&data).unwrap();
+        assert_eq!((img.width(), img.height()), (8, 8));
+        for y in 0..8 {
+            for x in 0..8 {
+                let [r, g, b] = img.pixel(x, y);
+                assert_eq!(r, g);
+                assert_eq!(g, b);
+                assert!((r as i32 - 128).abs() <= 1, "pixel={r}");
+            }
+        }
+    }
+}

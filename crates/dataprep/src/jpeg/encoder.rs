@@ -1,0 +1,357 @@
+//! Baseline JFIF encoder: YCbCr with 4:2:0 or 4:4:4 subsampling, Annex K
+//! quantization and Huffman tables.
+
+use super::bits::BitWriter;
+use super::dct::fdct_8x8;
+use super::huffman::{categorize, HuffEncoder};
+use super::tables::{
+    scaled_quant, CHROMA_AC, CHROMA_DC, CHROMA_QUANT, LUMA_AC, LUMA_DC, LUMA_QUANT, ZIGZAG,
+};
+use crate::image::Image;
+
+/// Chroma subsampling mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Subsampling {
+    /// 2x2 chroma subsampling (16x16 MCUs) — the common photographic choice.
+    #[default]
+    S420,
+    /// Full-resolution chroma (8x8 MCUs) — higher fidelity, larger files.
+    S444,
+}
+
+/// Encode `img` as a baseline 4:2:0 JFIF byte stream at `quality` (1..=100).
+///
+/// # Panics
+///
+/// Panics if `quality` is outside `1..=100`.
+pub fn encode(img: &Image, quality: u8) -> Vec<u8> {
+    encode_with(img, quality, Subsampling::S420)
+}
+
+/// Encode with an explicit chroma [`Subsampling`] mode.
+///
+/// # Panics
+///
+/// Panics if `quality` is outside `1..=100`.
+pub fn encode_with(img: &Image, quality: u8, sub: Subsampling) -> Vec<u8> {
+    encode_full(img, quality, sub, 0)
+}
+
+/// Encode with a restart interval: a DRI marker plus an `RSTn` marker every
+/// `restart_interval` MCUs (0 disables). Restart markers bound error
+/// propagation and are what lets hardware decoders parallelize across MCU
+/// runs — directly relevant to the paper's Huffman-irregularity argument
+/// (§V-B).
+///
+/// # Panics
+///
+/// Panics if `quality` is outside `1..=100`.
+pub fn encode_with_restart(
+    img: &Image,
+    quality: u8,
+    sub: Subsampling,
+    restart_interval: u16,
+) -> Vec<u8> {
+    encode_full(img, quality, sub, restart_interval)
+}
+
+fn encode_full(img: &Image, quality: u8, sub: Subsampling, restart_interval: u16) -> Vec<u8> {
+    let lq = scaled_quant(&LUMA_QUANT, quality);
+    let cq = scaled_quant(&CHROMA_QUANT, quality);
+    let (w, h) = (img.width(), img.height());
+
+    let mut out = Vec::new();
+    // SOI
+    out.extend_from_slice(&[0xff, 0xd8]);
+    // APP0 JFIF header
+    out.extend_from_slice(&[0xff, 0xe0, 0x00, 0x10]);
+    out.extend_from_slice(b"JFIF\0");
+    out.extend_from_slice(&[0x01, 0x01, 0x00, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00]);
+    // DQT: two tables
+    write_dqt(&mut out, 0, &lq);
+    write_dqt(&mut out, 1, &cq);
+    // SOF0: baseline, 3 components, 4:2:0
+    out.extend_from_slice(&[0xff, 0xc0]);
+    out.extend_from_slice(&17u16.to_be_bytes());
+    out.push(8); // precision
+    out.extend_from_slice(&(h as u16).to_be_bytes());
+    out.extend_from_slice(&(w as u16).to_be_bytes());
+    out.push(3);
+    let y_sampling = match sub {
+        Subsampling::S420 => 0x22,
+        Subsampling::S444 => 0x11,
+    };
+    out.extend_from_slice(&[1, y_sampling, 0]); // Y
+    out.extend_from_slice(&[2, 0x11, 1]); // Cb
+    out.extend_from_slice(&[3, 0x11, 1]); // Cr
+    // DHT: four tables
+    write_dht(&mut out, 0x00, &LUMA_DC);
+    write_dht(&mut out, 0x10, &LUMA_AC);
+    write_dht(&mut out, 0x01, &CHROMA_DC);
+    write_dht(&mut out, 0x11, &CHROMA_AC);
+    if restart_interval > 0 {
+        out.extend_from_slice(&[0xff, 0xdd, 0x00, 0x04]);
+        out.extend_from_slice(&restart_interval.to_be_bytes());
+    }
+    // SOS
+    out.extend_from_slice(&[0xff, 0xda]);
+    out.extend_from_slice(&12u16.to_be_bytes());
+    out.push(3);
+    out.extend_from_slice(&[1, 0x00, 2, 0x11, 3, 0x11]);
+    out.extend_from_slice(&[0, 63, 0]); // spectral selection (baseline fixed)
+
+    // Entropy-coded data.
+    out.extend_from_slice(&encode_scan(img, &lq, &cq, sub, restart_interval));
+    // EOI
+    out.extend_from_slice(&[0xff, 0xd9]);
+    out
+}
+
+fn write_dqt(out: &mut Vec<u8>, id: u8, table: &[u16; 64]) {
+    out.extend_from_slice(&[0xff, 0xdb]);
+    out.extend_from_slice(&67u16.to_be_bytes());
+    out.push(id); // 8-bit precision, table id
+    for i in 0..64 {
+        out.push(table[ZIGZAG[i]] as u8);
+    }
+}
+
+fn write_dht(out: &mut Vec<u8>, class_id: u8, spec: &super::tables::HuffSpec) {
+    out.extend_from_slice(&[0xff, 0xc4]);
+    let len = 2 + 1 + 16 + spec.values.len();
+    out.extend_from_slice(&(len as u16).to_be_bytes());
+    out.push(class_id);
+    out.extend_from_slice(&spec.bits);
+    out.extend_from_slice(spec.values);
+}
+
+/// Convert RGB to full-resolution Y and subsampled Cb/Cr planes, padded up
+/// to whole MCUs (16×16 for 4:2:0, 8×8 for 4:4:4) by edge replication.
+fn to_ycbcr(img: &Image, sub: Subsampling) -> (Vec<f32>, Vec<f32>, Vec<f32>, usize, usize) {
+    let (w, h) = (img.width(), img.height());
+    let mcu = match sub {
+        Subsampling::S420 => 16,
+        Subsampling::S444 => 8,
+    };
+    let pw = w.div_ceil(mcu) * mcu;
+    let ph = h.div_ceil(mcu) * mcu;
+    let mut y_plane = vec![0.0f32; pw * ph];
+    let mut cb_full = vec![0.0f32; pw * ph];
+    let mut cr_full = vec![0.0f32; pw * ph];
+    for yy in 0..ph {
+        let sy = yy.min(h - 1);
+        for xx in 0..pw {
+            let sx = xx.min(w - 1);
+            let [r, g, b] = img.pixel(sx, sy);
+            let (r, g, b) = (r as f32, g as f32, b as f32);
+            let y = 0.299 * r + 0.587 * g + 0.114 * b;
+            let cb = -0.168_736 * r - 0.331_264 * g + 0.5 * b + 128.0;
+            let cr = 0.5 * r - 0.418_688 * g - 0.081_312 * b + 128.0;
+            y_plane[yy * pw + xx] = y;
+            cb_full[yy * pw + xx] = cb;
+            cr_full[yy * pw + xx] = cr;
+        }
+    }
+    if sub == Subsampling::S444 {
+        return (y_plane, cb_full, cr_full, pw, ph);
+    }
+    // 2x2 box-filter subsample.
+    let (cw, ch) = (pw / 2, ph / 2);
+    let mut cb = vec![0.0f32; cw * ch];
+    let mut cr = vec![0.0f32; cw * ch];
+    for yy in 0..ch {
+        for xx in 0..cw {
+            let mut scb = 0.0;
+            let mut scr = 0.0;
+            for dy in 0..2 {
+                for dx in 0..2 {
+                    scb += cb_full[(yy * 2 + dy) * pw + xx * 2 + dx];
+                    scr += cr_full[(yy * 2 + dy) * pw + xx * 2 + dx];
+                }
+            }
+            cb[yy * cw + xx] = scb / 4.0;
+            cr[yy * cw + xx] = scr / 4.0;
+        }
+    }
+    (y_plane, cb, cr, pw, ph)
+}
+
+/// Extract the 8×8 block at `(bx, by)` blocks from a plane of width `pw`.
+fn block_at(plane: &[f32], pw: usize, bx: usize, by: usize) -> [f32; 64] {
+    let mut b = [0.0f32; 64];
+    for y in 0..8 {
+        let row = (by * 8 + y) * pw + bx * 8;
+        for x in 0..8 {
+            b[y * 8 + x] = plane[row + x] - 128.0;
+        }
+    }
+    b
+}
+
+fn quantize(coef: &[f32; 64], table: &[u16; 64]) -> [i32; 64] {
+    let mut q = [0i32; 64];
+    for i in 0..64 {
+        q[i] = (coef[i] / table[i] as f32).round() as i32;
+    }
+    q
+}
+
+struct BlockCoder {
+    dc: HuffEncoder,
+    ac: HuffEncoder,
+    pred: i32,
+}
+
+impl BlockCoder {
+    fn encode(&mut self, w: &mut BitWriter, q: &[i32; 64]) {
+        // DC difference.
+        let dc = q[0];
+        let diff = dc - self.pred;
+        self.pred = dc;
+        let (t, bits) = categorize(diff);
+        self.dc.put(w, t as u8);
+        w.put(bits, t);
+        // AC run-length coding in zig-zag order.
+        let mut run = 0u32;
+        for i in 1..64 {
+            let v = q[ZIGZAG[i]];
+            if v == 0 {
+                run += 1;
+                continue;
+            }
+            while run >= 16 {
+                self.ac.put(w, 0xf0); // ZRL
+                run -= 16;
+            }
+            let (t, bits) = categorize(v);
+            self.ac.put(w, ((run as u8) << 4) | t as u8);
+            w.put(bits, t);
+            run = 0;
+        }
+        if run > 0 {
+            self.ac.put(w, 0x00); // EOB
+        }
+    }
+}
+
+fn encode_scan(
+    img: &Image,
+    lq: &[u16; 64],
+    cq: &[u16; 64],
+    sub: Subsampling,
+    restart_interval: u16,
+) -> Vec<u8> {
+    let (y, cb, cr, pw, ph) = to_ycbcr(img, sub);
+    let cw = match sub {
+        Subsampling::S420 => pw / 2,
+        Subsampling::S444 => pw,
+    };
+    let mut w = BitWriter::new();
+    let mut ycoder = BlockCoder {
+        dc: HuffEncoder::from_spec(&LUMA_DC),
+        ac: HuffEncoder::from_spec(&LUMA_AC),
+        pred: 0,
+    };
+    let mut cbcoder = BlockCoder {
+        dc: HuffEncoder::from_spec(&CHROMA_DC),
+        ac: HuffEncoder::from_spec(&CHROMA_AC),
+        pred: 0,
+    };
+    let mut crcoder = BlockCoder {
+        dc: HuffEncoder::from_spec(&CHROMA_DC),
+        ac: HuffEncoder::from_spec(&CHROMA_AC),
+        pred: 0,
+    };
+    let mcu = match sub {
+        Subsampling::S420 => 16,
+        Subsampling::S444 => 8,
+    };
+    let mcux = pw / mcu;
+    let mcuy = ph / mcu;
+    let mut scan = Vec::new();
+    let mut mcu_count = 0u64;
+    let mut rst = 0u8;
+    for my in 0..mcuy {
+        for mx in 0..mcux {
+            if restart_interval > 0 && mcu_count > 0 && mcu_count % restart_interval as u64 == 0 {
+                // Flush the bit stream, emit RSTn, reset DC predictions.
+                let finished = std::mem::take(&mut w).finish();
+                scan.extend_from_slice(&finished);
+                scan.extend_from_slice(&[0xff, 0xd0 + rst]);
+                rst = (rst + 1) % 8;
+                ycoder.pred = 0;
+                cbcoder.pred = 0;
+                crcoder.pred = 0;
+            }
+            mcu_count += 1;
+            match sub {
+                Subsampling::S420 => {
+                    // Four Y blocks per MCU.
+                    for dy in 0..2 {
+                        for dx in 0..2 {
+                            let blk = block_at(&y, pw, mx * 2 + dx, my * 2 + dy);
+                            let q = quantize(&fdct_8x8(&blk), lq);
+                            ycoder.encode(&mut w, &q);
+                        }
+                    }
+                }
+                Subsampling::S444 => {
+                    let blk = block_at(&y, pw, mx, my);
+                    let q = quantize(&fdct_8x8(&blk), lq);
+                    ycoder.encode(&mut w, &q);
+                }
+            }
+            // One Cb, one Cr block either way.
+            let blk = block_at(&cb, cw, mx, my);
+            let q = quantize(&fdct_8x8(&blk), cq);
+            cbcoder.encode(&mut w, &q);
+            let blk = block_at(&cr, cw, mx, my);
+            let q = quantize(&fdct_8x8(&blk), cq);
+            crcoder.encode(&mut w, &q);
+        }
+    }
+    scan.extend_from_slice(&w.finish());
+    scan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_starts_soi_ends_eoi() {
+        let img = Image::filled(16, 16, [1, 2, 3]);
+        let bytes = encode(&img, 75);
+        assert_eq!(&bytes[..2], &[0xff, 0xd8]);
+        assert_eq!(&bytes[bytes.len() - 2..], &[0xff, 0xd9]);
+    }
+
+    #[test]
+    fn sof_encodes_dimensions() {
+        let img = Image::filled(300, 200, [0, 0, 0]);
+        let bytes = encode(&img, 75);
+        // Find SOF0 and read height/width.
+        let pos = bytes.windows(2).position(|w| w == [0xff, 0xc0]).unwrap();
+        let h = u16::from_be_bytes([bytes[pos + 5], bytes[pos + 6]]);
+        let w = u16::from_be_bytes([bytes[pos + 7], bytes[pos + 8]]);
+        assert_eq!((w, h), (300, 200));
+    }
+
+    #[test]
+    fn padding_replicates_edges_without_panic() {
+        // 1x1: everything is padding except one pixel.
+        let img = Image::filled(1, 1, [255, 0, 0]);
+        let bytes = encode(&img, 75);
+        assert!(bytes.len() > 100);
+    }
+
+    #[test]
+    fn ycbcr_conversion_grey_has_neutral_chroma() {
+        let img = Image::filled(16, 16, [128, 128, 128]);
+        let (y, cb, cr, pw, _) = to_ycbcr(&img, Subsampling::S420);
+        assert_eq!(pw, 16);
+        assert!((y[0] - 128.0).abs() < 0.5);
+        assert!((cb[0] - 128.0).abs() < 0.5);
+        assert!((cr[0] - 128.0).abs() < 0.5);
+    }
+}

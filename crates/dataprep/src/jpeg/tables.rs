@@ -1,0 +1,172 @@
+//! Standard JPEG tables: zig-zag order, Annex K quantization matrices with
+//! libjpeg-style quality scaling, and the Annex K "typical" Huffman tables.
+
+/// Zig-zag scan order: `ZIGZAG[i]` is the natural (row-major) index of the
+/// `i`-th coefficient in zig-zag order.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Annex K Table K.1 — luminance quantization (natural order).
+pub const LUMA_QUANT: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Annex K Table K.2 — chrominance quantization (natural order).
+pub const CHROMA_QUANT: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Scale an Annex K table by a quality factor 1..=100 (libjpeg convention).
+///
+/// # Panics
+///
+/// Panics if `quality` is outside `1..=100`.
+pub fn scaled_quant(base: &[u16; 64], quality: u8) -> [u16; 64] {
+    assert!((1..=100).contains(&quality), "quality must be in 1..=100");
+    let scale: u32 = if quality < 50 {
+        5000 / quality as u32
+    } else {
+        200 - 2 * quality as u32
+    };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(base.iter()) {
+        let v = (b as u32 * scale + 50) / 100;
+        *o = v.clamp(1, 255) as u16;
+    }
+    out
+}
+
+/// A Huffman table specification: `bits[i]` codes of length `i+1`, and the
+/// symbol values in code order.
+#[derive(Debug, Clone, Copy)]
+pub struct HuffSpec {
+    /// Count of codes of each length 1..=16.
+    pub bits: [u8; 16],
+    /// Symbols in increasing code order.
+    pub values: &'static [u8],
+}
+
+/// Annex K Table K.3 — typical luminance DC table.
+pub const LUMA_DC: HuffSpec = HuffSpec {
+    bits: [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0],
+    values: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+};
+
+/// Annex K Table K.4 — typical chrominance DC table.
+pub const CHROMA_DC: HuffSpec = HuffSpec {
+    bits: [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0],
+    values: &[0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
+};
+
+/// Annex K Table K.5 — typical luminance AC table.
+pub const LUMA_AC: HuffSpec = HuffSpec {
+    bits: [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 125],
+    values: &[
+        0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61,
+        0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08, 0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52,
+        0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x25,
+        0x26, 0x27, 0x28, 0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44, 0x45,
+        0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63, 0x64,
+        0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x83,
+        0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99,
+        0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+        0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3,
+        0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8,
+        0xe9, 0xea, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+    ],
+};
+
+/// Annex K Table K.6 — typical chrominance AC table.
+pub const CHROMA_AC: HuffSpec = HuffSpec {
+    bits: [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 119],
+    values: &[
+        0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61,
+        0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xa1, 0xb1, 0xc1, 0x09, 0x23, 0x33,
+        0x52, 0xf0, 0x15, 0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24, 0x34, 0xe1, 0x25, 0xf1, 0x17, 0x18,
+        0x19, 0x1a, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44,
+        0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63,
+        0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a,
+        0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97,
+        0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4,
+        0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca,
+        0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7,
+        0xe8, 0xe9, 0xea, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+    ],
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in &ZIGZAG {
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Spot-check the canonical start of the pattern.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn huffman_specs_are_consistent() {
+        for spec in [LUMA_DC, CHROMA_DC, LUMA_AC, CHROMA_AC] {
+            let total: usize = spec.bits.iter().map(|&b| b as usize).sum();
+            assert_eq!(total, spec.values.len(), "bits/values mismatch");
+            // Kraft inequality must hold (prefix code exists).
+            let kraft: f64 = spec
+                .bits
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b as f64 / (1u64 << (i + 1)) as f64)
+                .sum();
+            assert!(kraft <= 1.0 + 1e-12, "kraft violated: {kraft}");
+        }
+        assert_eq!(LUMA_AC.values.len(), 162);
+        assert_eq!(CHROMA_AC.values.len(), 162);
+    }
+
+    #[test]
+    fn quality_scaling_monotone() {
+        let q10 = scaled_quant(&LUMA_QUANT, 10);
+        let q50 = scaled_quant(&LUMA_QUANT, 50);
+        let q90 = scaled_quant(&LUMA_QUANT, 90);
+        let q100 = scaled_quant(&LUMA_QUANT, 100);
+        for i in 0..64 {
+            assert!(q10[i] >= q50[i]);
+            assert!(q50[i] >= q90[i]);
+            assert!(q90[i] >= q100[i]);
+            assert!(q100[i] >= 1);
+        }
+        // q50 is the base table.
+        assert_eq!(q50, LUMA_QUANT);
+        // q100 is all ones-or-base/50ish: every entry minimal where base small.
+        assert_eq!(q100[0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quality must be in 1..=100")]
+    fn quality_zero_rejected() {
+        scaled_quant(&LUMA_QUANT, 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! A from-scratch PNG codec (RFC 2083 subset) on top of [`crate::flate`].
+//!
+//! §VII-A of the paper: TrainBox "can leverage existing data processing
+//! accelerators" including PNG decoders, swapped onto the FPGA with partial
+//! reconfiguration. This module provides the functional PNG engine for that
+//! input form: 8-bit grayscale/RGB/RGBA images, all five scanline filters on
+//! decode, and an encoder using Up-filtered zlib streams.
+//!
+//! Out of scope (rejected as unsupported): interlacing, palettes, and bit
+//! depths other than 8.
+//!
+//! # Example
+//!
+//! ```
+//! use trainbox_dataprep::image::Image;
+//! use trainbox_dataprep::png;
+//!
+//! # fn main() -> Result<(), trainbox_dataprep::DecodeError> {
+//! let img = Image::filled(20, 10, [10, 200, 30]);
+//! let bytes = png::encode(&img);
+//! let back = png::decode(&bytes)?;
+//! assert_eq!(back, img);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::DecodeError;
+use crate::flate::{zlib_compress, zlib_decompress};
+use crate::image::Image;
+
+const SIGNATURE: [u8; 8] = [0x89, b'P', b'N', b'G', b'\r', b'\n', 0x1a, b'\n'];
+
+/// CRC-32 (ISO 3309 / PNG) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    fn table() -> &'static [u32; 256] {
+        use std::sync::OnceLock;
+        static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+        TABLE.get_or_init(|| {
+            let mut t = [0u32; 256];
+            for (n, e) in t.iter_mut().enumerate() {
+                let mut c = n as u32;
+                for _ in 0..8 {
+                    c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                }
+                *e = c;
+            }
+            t
+        })
+    }
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = t[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn write_chunk(out: &mut Vec<u8>, kind: &[u8; 4], body: &[u8]) {
+    out.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    out.extend_from_slice(kind);
+    out.extend_from_slice(body);
+    let mut crc_input = Vec::with_capacity(4 + body.len());
+    crc_input.extend_from_slice(kind);
+    crc_input.extend_from_slice(body);
+    out.extend_from_slice(&crc32(&crc_input).to_be_bytes());
+}
+
+/// Encode an RGB image as an 8-bit truecolor PNG (Up filter on every row).
+pub fn encode(img: &Image) -> Vec<u8> {
+    let (w, h) = (img.width(), img.height());
+    let mut out = Vec::new();
+    out.extend_from_slice(&SIGNATURE);
+    // IHDR
+    let mut ihdr = Vec::with_capacity(13);
+    ihdr.extend_from_slice(&(w as u32).to_be_bytes());
+    ihdr.extend_from_slice(&(h as u32).to_be_bytes());
+    ihdr.extend_from_slice(&[8, 2, 0, 0, 0]); // depth 8, RGB, deflate, adaptive, no interlace
+    write_chunk(&mut out, b"IHDR", &ihdr);
+    // IDAT: each scanline prefixed by its filter byte. Up-filter rows after
+    // the first (cheap and effective on photographic gradients).
+    let stride = w * 3;
+    let mut raw = Vec::with_capacity(h * (stride + 1));
+    let data = img.data();
+    for y in 0..h {
+        let row = &data[y * stride..(y + 1) * stride];
+        if y == 0 {
+            raw.push(0); // None filter
+            raw.extend_from_slice(row);
+        } else {
+            raw.push(2); // Up filter
+            let above = &data[(y - 1) * stride..y * stride];
+            for (cur, up) in row.iter().zip(above) {
+                raw.push(cur.wrapping_sub(*up));
+            }
+        }
+    }
+    write_chunk(&mut out, b"IDAT", &zlib_compress(&raw));
+    write_chunk(&mut out, b"IEND", &[]);
+    out
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Header {
+    width: usize,
+    height: usize,
+    channels: usize,
+}
+
+/// Decode an 8-bit grayscale/RGB/RGBA PNG into an RGB image (alpha is
+/// composited over black; grayscale replicates into the three channels).
+///
+/// # Errors
+///
+/// [`DecodeError`] on a bad signature, chunk CRC mismatch, malformed
+/// structure, or unsupported features (interlace, palette, depth ≠ 8).
+pub fn decode(data: &[u8]) -> Result<Image, DecodeError> {
+    if data.len() < 8 || data[..8] != SIGNATURE {
+        return Err(DecodeError::Malformed("missing PNG signature".into()));
+    }
+    let mut pos = 8usize;
+    let mut header: Option<Header> = None;
+    let mut idat = Vec::new();
+    let mut seen_end = false;
+    while pos < data.len() {
+        if pos + 8 > data.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let len = u32::from_be_bytes(data[pos..pos + 4].try_into().expect("sliced")) as usize;
+        let kind: [u8; 4] = data[pos + 4..pos + 8].try_into().expect("sliced");
+        if pos + 12 + len > data.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let body = &data[pos + 8..pos + 8 + len];
+        let crc = u32::from_be_bytes(data[pos + 8 + len..pos + 12 + len].try_into().expect("sliced"));
+        let mut crc_input = Vec::with_capacity(4 + len);
+        crc_input.extend_from_slice(&kind);
+        crc_input.extend_from_slice(body);
+        if crc32(&crc_input) != crc {
+            return Err(DecodeError::Malformed(format!(
+                "CRC mismatch in {} chunk",
+                String::from_utf8_lossy(&kind)
+            )));
+        }
+        match &kind {
+            b"IHDR" => {
+                if body.len() != 13 {
+                    return Err(DecodeError::Malformed("bad IHDR length".into()));
+                }
+                let width = u32::from_be_bytes(body[0..4].try_into().expect("sliced")) as usize;
+                let height = u32::from_be_bytes(body[4..8].try_into().expect("sliced")) as usize;
+                let (depth, color, _comp, _filter, interlace) =
+                    (body[8], body[9], body[10], body[11], body[12]);
+                if depth != 8 {
+                    return Err(DecodeError::Unsupported(format!("bit depth {depth}")));
+                }
+                if interlace != 0 {
+                    return Err(DecodeError::Unsupported("Adam7 interlacing".into()));
+                }
+                let channels = match color {
+                    0 => 1,
+                    2 => 3,
+                    6 => 4,
+                    3 => return Err(DecodeError::Unsupported("palette color".into())),
+                    4 => 2,
+                    other => {
+                        return Err(DecodeError::Malformed(format!("color type {other}")))
+                    }
+                };
+                if width == 0 || height == 0 {
+                    return Err(DecodeError::Malformed("zero dimension".into()));
+                }
+                header = Some(Header { width, height, channels });
+            }
+            b"IDAT" => idat.extend_from_slice(body),
+            b"IEND" => {
+                seen_end = true;
+                break;
+            }
+            _ => {} // ancillary chunks skipped
+        }
+        pos += 12 + len;
+    }
+    let header = header.ok_or_else(|| DecodeError::Malformed("missing IHDR".into()))?;
+    if !seen_end {
+        return Err(DecodeError::Malformed("missing IEND".into()));
+    }
+    let raw = zlib_decompress(&idat)?;
+    unfilter(&raw, header)
+}
+
+/// Paeth predictor (RFC 2083 §6.6).
+fn paeth(a: u8, b: u8, c: u8) -> u8 {
+    let (a, b, c) = (a as i16, b as i16, c as i16);
+    let p = a + b - c;
+    let (pa, pb, pc) = ((p - a).abs(), (p - b).abs(), (p - c).abs());
+    if pa <= pb && pa <= pc {
+        a as u8
+    } else if pb <= pc {
+        b as u8
+    } else {
+        c as u8
+    }
+}
+
+fn unfilter(raw: &[u8], h: Header) -> Result<Image, DecodeError> {
+    let stride = h.width * h.channels;
+    if raw.len() != h.height * (stride + 1) {
+        return Err(DecodeError::Malformed(format!(
+            "pixel data length {} does not match {}x{}x{}",
+            raw.len(),
+            h.width,
+            h.height,
+            h.channels
+        )));
+    }
+    let bpp = h.channels;
+    let mut pixels = vec![0u8; h.height * stride];
+    for y in 0..h.height {
+        let filter = raw[y * (stride + 1)];
+        let row_in = &raw[y * (stride + 1) + 1..(y + 1) * (stride + 1)];
+        for x in 0..stride {
+            let left = if x >= bpp { pixels[y * stride + x - bpp] } else { 0 };
+            let up = if y > 0 { pixels[(y - 1) * stride + x] } else { 0 };
+            let up_left = if y > 0 && x >= bpp {
+                pixels[(y - 1) * stride + x - bpp]
+            } else {
+                0
+            };
+            let v = match filter {
+                0 => row_in[x],
+                1 => row_in[x].wrapping_add(left),
+                2 => row_in[x].wrapping_add(up),
+                3 => row_in[x].wrapping_add(((left as u16 + up as u16) / 2) as u8),
+                4 => row_in[x].wrapping_add(paeth(left, up, up_left)),
+                other => {
+                    return Err(DecodeError::Malformed(format!("filter type {other}")))
+                }
+            };
+            pixels[y * stride + x] = v;
+        }
+    }
+    // Convert to RGB.
+    let mut rgb = Vec::with_capacity(h.width * h.height * 3);
+    for px in pixels.chunks(h.channels) {
+        match h.channels {
+            1 => rgb.extend_from_slice(&[px[0], px[0], px[0]]),
+            2 => {
+                // gray + alpha over black
+                let g = ((px[0] as u16 * px[1] as u16) / 255) as u8;
+                rgb.extend_from_slice(&[g, g, g]);
+            }
+            3 => rgb.extend_from_slice(px),
+            4 => {
+                let a = px[3] as u16;
+                for c in 0..3 {
+                    rgb.push(((px[c] as u16 * a) / 255) as u8);
+                }
+            }
+            _ => unreachable!("channel count validated"),
+        }
+    }
+    Ok(Image::from_rgb(h.width, h.height, rgb))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthetic_image;
+    use proptest::prelude::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"IEND"), 0xAE42_6082);
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        // PNG is lossless — exact equality, unlike JPEG.
+        for seed in 0..4 {
+            let img = synthetic_image(37, 23, seed);
+            assert_eq!(decode(&encode(&img)).unwrap(), img);
+        }
+    }
+
+    #[test]
+    fn roundtrip_large_photo_like() {
+        let img = synthetic_image(256, 256, 9);
+        let bytes = encode(&img);
+        assert!(bytes.len() < img.byte_len(), "png should compress smooth images");
+        assert_eq!(decode(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn bad_signature_rejected() {
+        assert!(decode(b"JFIF....").is_err());
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn crc_corruption_detected() {
+        let mut bytes = encode(&synthetic_image(16, 16, 1));
+        // Flip one byte inside the IDAT body.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x55;
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = encode(&synthetic_image(16, 16, 2));
+        for cut in [7, 20, bytes.len() - 5] {
+            assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn hand_built_grayscale_with_all_filters() {
+        // 3x5 grayscale image exercising filters None/Sub/Up/Average/Paeth.
+        let w = 5usize;
+        let rows: [[u8; 5]; 3] = [[10, 20, 30, 40, 50], [15, 25, 35, 45, 55], [5, 6, 7, 8, 9]];
+        let mut raw = Vec::new();
+        // Row 0: Sub filter.
+        raw.push(1);
+        let mut prev = 0u8;
+        for &v in &rows[0] {
+            raw.push(v.wrapping_sub(prev));
+            prev = v;
+        }
+        // Row 1: Up filter.
+        raw.push(2);
+        for x in 0..w {
+            raw.push(rows[1][x].wrapping_sub(rows[0][x]));
+        }
+        // Row 2: Paeth filter.
+        raw.push(4);
+        for x in 0..w {
+            let left = if x > 0 { rows[2][x - 1] } else { 0 };
+            let up = rows[1][x];
+            let up_left = if x > 0 { rows[1][x - 1] } else { 0 };
+            raw.push(rows[2][x].wrapping_sub(paeth(left, up, up_left)));
+        }
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SIGNATURE);
+        let mut ihdr = Vec::new();
+        ihdr.extend_from_slice(&(w as u32).to_be_bytes());
+        ihdr.extend_from_slice(&3u32.to_be_bytes());
+        ihdr.extend_from_slice(&[8, 0, 0, 0, 0]); // grayscale
+        write_chunk(&mut bytes, b"IHDR", &ihdr);
+        write_chunk(&mut bytes, b"IDAT", &zlib_compress(&raw));
+        write_chunk(&mut bytes, b"IEND", &[]);
+        let img = decode(&bytes).unwrap();
+        for (y, row) in rows.iter().enumerate() {
+            for (x, &v) in row.iter().enumerate() {
+                assert_eq!(img.pixel(x, y), [v, v, v], "({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn rgba_composites_over_black() {
+        // 1x1 RGBA pixel, half transparent red.
+        let mut raw = vec![0u8]; // filter None
+        raw.extend_from_slice(&[200, 100, 50, 128]);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SIGNATURE);
+        let mut ihdr = Vec::new();
+        ihdr.extend_from_slice(&1u32.to_be_bytes());
+        ihdr.extend_from_slice(&1u32.to_be_bytes());
+        ihdr.extend_from_slice(&[8, 6, 0, 0, 0]);
+        write_chunk(&mut bytes, b"IHDR", &ihdr);
+        write_chunk(&mut bytes, b"IDAT", &zlib_compress(&raw));
+        write_chunk(&mut bytes, b"IEND", &[]);
+        let img = decode(&bytes).unwrap();
+        assert_eq!(img.pixel(0, 0), [100, 50, 25]);
+    }
+
+    #[test]
+    fn unsupported_features_named() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SIGNATURE);
+        let mut ihdr = Vec::new();
+        ihdr.extend_from_slice(&1u32.to_be_bytes());
+        ihdr.extend_from_slice(&1u32.to_be_bytes());
+        ihdr.extend_from_slice(&[16, 2, 0, 0, 0]); // 16-bit depth
+        write_chunk(&mut bytes, b"IHDR", &ihdr);
+        write_chunk(&mut bytes, b"IEND", &[]);
+        assert!(matches!(decode(&bytes), Err(DecodeError::Unsupported(_))));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn roundtrip_random_sizes(w in 1usize..64, h in 1usize..64, seed: u64) {
+            let img = synthetic_image(w, h, seed);
+            prop_assert_eq!(decode(&encode(&img)).unwrap(), img);
+        }
+    }
+}

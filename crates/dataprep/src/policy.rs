@@ -1,0 +1,219 @@
+//! Composable augmentation policies.
+//!
+//! §VII-B surveys augmentation beyond the basics — Perez et al.'s exploration
+//! of method mixes, RICAP's multi-image patching — and §VIII expects "more
+//! data augmentation methodologies will emerge", with TrainBox absorbing
+//! their cost. An [`AugPolicy`] is the AutoAugment-style object those
+//! methods plug into: a set of candidate operations, of which a random
+//! subset is applied per sample.
+
+use crate::image::{color_jitter, Image};
+use crate::pipeline::{DataItem, PrepStage, StageClass};
+use crate::error::PrepError;
+use rand::Rng;
+use rand::RngCore;
+
+/// One candidate augmentation operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AugOp {
+    /// Horizontal mirror.
+    Mirror,
+    /// Gaussian pixel noise with the given sigma.
+    GaussianNoise(f32),
+    /// Brightness jitter: factor drawn from `[1-delta, 1+delta]`.
+    Brightness(f32),
+    /// Contrast jitter: factor drawn from `[1-delta, 1+delta]`.
+    Contrast(f32),
+    /// Random crop to the given edge, then resize back to the input size.
+    CropResize(usize),
+}
+
+impl AugOp {
+    /// Apply to an image.
+    fn apply<R: Rng + ?Sized>(&self, img: &Image, rng: &mut R) -> Result<Image, PrepError> {
+        Ok(match *self {
+            AugOp::Mirror => img.mirror(),
+            AugOp::GaussianNoise(sigma) => img.gaussian_noise(sigma, rng),
+            AugOp::Brightness(delta) => {
+                let f = rng.gen_range((1.0 - delta).max(0.05)..=1.0 + delta);
+                color_jitter(img, f, 1.0)
+            }
+            AugOp::Contrast(delta) => {
+                let f = rng.gen_range((1.0 - delta).max(0.05)..=1.0 + delta);
+                color_jitter(img, 1.0, f)
+            }
+            AugOp::CropResize(edge) => {
+                let (w, h) = (img.width(), img.height());
+                if edge > w || edge > h {
+                    return Err(PrepError::InvalidParam(format!(
+                        "crop edge {edge} exceeds image {w}x{h}"
+                    )));
+                }
+                let c = img.random_crop(edge, edge, rng)?;
+                crate::image::resize_bilinear(&c, w, h)
+            }
+        })
+    }
+}
+
+/// A randomized augmentation policy: apply `k` operations drawn (without
+/// replacement) from the candidate set, in draw order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AugPolicy {
+    ops: Vec<AugOp>,
+    k: usize,
+}
+
+impl AugPolicy {
+    /// A policy drawing `k` of `ops` per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty or `k` is zero or exceeds the candidate count.
+    pub fn new(ops: Vec<AugOp>, k: usize) -> Self {
+        assert!(!ops.is_empty(), "policy needs candidate operations");
+        assert!(k >= 1 && k <= ops.len(), "k must be in 1..=ops.len()");
+        AugPolicy { ops, k }
+    }
+
+    /// A reasonable default: mirror, light noise, brightness/contrast
+    /// jitter, crop-resize; two per sample.
+    pub fn standard(crop_edge: usize) -> Self {
+        AugPolicy::new(
+            vec![
+                AugOp::Mirror,
+                AugOp::GaussianNoise(3.0),
+                AugOp::Brightness(0.2),
+                AugOp::Contrast(0.2),
+                AugOp::CropResize(crop_edge),
+            ],
+            2,
+        )
+    }
+
+    /// Candidate operations.
+    pub fn ops(&self) -> &[AugOp] {
+        &self.ops
+    }
+
+    /// Operations applied per sample.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Apply the policy to one image.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operation failures (e.g. crop larger than image).
+    pub fn apply<R: Rng + ?Sized>(&self, img: &Image, rng: &mut R) -> Result<Image, PrepError> {
+        // Partial Fisher–Yates draw of k indices.
+        let mut idx: Vec<usize> = (0..self.ops.len()).collect();
+        for i in 0..self.k {
+            let j = rng.gen_range(i..idx.len());
+            idx.swap(i, j);
+        }
+        let mut out = img.clone();
+        for &i in idx.iter().take(self.k) {
+            out = self.ops[i].apply(&out, rng)?;
+        }
+        Ok(out)
+    }
+}
+
+/// Pipeline stage wrapping an [`AugPolicy`].
+#[derive(Debug, Clone)]
+pub struct PolicyStage {
+    /// The policy to apply.
+    pub policy: AugPolicy,
+}
+
+impl PrepStage for PolicyStage {
+    fn name(&self) -> &'static str {
+        "augment-policy"
+    }
+    fn class(&self) -> StageClass {
+        StageClass::Augmentation
+    }
+    fn apply(&self, item: DataItem, rng: &mut dyn RngCore) -> Result<DataItem, PrepError> {
+        match item {
+            DataItem::Image(img) => Ok(DataItem::Image(self.policy.apply(&img, rng)?)),
+            other => Err(PrepError::TypeMismatch {
+                stage: "augment-policy".into(),
+                expected: "image",
+                got: other.kind_name(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::synthetic_image;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn policy_applies_k_ops_and_preserves_shape() {
+        let img = synthetic_image(48, 48, 1);
+        let p = AugPolicy::standard(40);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10 {
+            let out = p.apply(&img, &mut rng).unwrap();
+            assert_eq!((out.width(), out.height()), (48, 48));
+        }
+    }
+
+    #[test]
+    fn policy_is_random_but_seeded() {
+        let img = synthetic_image(32, 32, 2);
+        let p = AugPolicy::standard(24);
+        let a = p.apply(&img, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = p.apply(&img, &mut StdRng::seed_from_u64(7)).unwrap();
+        let c = p.apply(&img, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_eq!(a, b, "same seed, same augmentation");
+        assert_ne!(a, c, "different seed, different augmentation");
+    }
+
+    #[test]
+    fn single_op_policies_match_direct_calls() {
+        let img = synthetic_image(20, 20, 3);
+        let p = AugPolicy::new(vec![AugOp::Mirror], 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(p.apply(&img, &mut rng).unwrap(), img.mirror());
+    }
+
+    #[test]
+    fn crop_resize_failure_propagates() {
+        let img = synthetic_image(16, 16, 4);
+        let p = AugPolicy::new(vec![AugOp::CropResize(32)], 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(p.apply(&img, &mut rng).is_err());
+    }
+
+    #[test]
+    fn policy_stage_in_pipeline() {
+        use crate::pipeline::{CastFloat, JpegDecode, PrepPipeline};
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = PrepPipeline::new()
+            .then(JpegDecode)
+            .then(PolicyStage { policy: AugPolicy::standard(224) })
+            .then(CastFloat)
+            .run(
+                DataItem::EncodedImage(crate::synth::imagenet_like_jpeg(1)),
+                &mut rng,
+            )
+            .unwrap();
+        match out {
+            DataItem::FloatImage(f) => assert_eq!((f.width(), f.height()), (256, 256)),
+            other => panic!("expected tensor, got {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn invalid_k_rejected() {
+        AugPolicy::new(vec![AugOp::Mirror], 2);
+    }
+}

@@ -1,0 +1,309 @@
+//! Dataset sampling: shuffling and weighted sampling.
+//!
+//! Footnote 3 of the paper: *"Current implementation does not cover some
+//! preparation operations (e.g., shuffling, weighted sampling) which have
+//! dependency among items. TrainBox can support them in either data
+//! replication among SSDs or communication through the prep-pool network."*
+//! These are the functional kernels for that support:
+//!
+//! * [`fisher_yates`] — in-place full-epoch shuffle;
+//! * [`EpochSampler`] — without-replacement sampling as fresh permutations
+//!   per epoch (the classic training-loader behaviour);
+//! * [`ShuffleBuffer`] — streaming bounded-buffer shuffle (what a prep
+//!   accelerator with limited on-board DRAM would actually run);
+//! * [`AliasTable`] — Walker's alias method for O(1) weighted sampling.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// In-place Fisher–Yates shuffle.
+pub fn fisher_yates<T, R: Rng + ?Sized>(items: &mut [T], rng: &mut R) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+/// Epoch-based without-replacement sampler over item indices `0..n`.
+///
+/// Each epoch visits every index exactly once in a fresh random order.
+#[derive(Debug, Clone)]
+pub struct EpochSampler {
+    n: usize,
+    order: Vec<usize>,
+    cursor: usize,
+    epoch: u64,
+}
+
+impl EpochSampler {
+    /// A sampler over `n` items (first epoch order is drawn lazily).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "dataset must not be empty");
+        EpochSampler { n, order: Vec::new(), cursor: 0, epoch: 0 }
+    }
+
+    /// Number of items per epoch.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty (constructor forbids `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Completed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Next index, reshuffling at epoch boundaries.
+    pub fn next_index<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        if self.cursor == self.order.len() {
+            self.order = (0..self.n).collect();
+            fisher_yates(&mut self.order, rng);
+            self.cursor = 0;
+            if !self.order.is_empty() {
+                self.epoch += u64::from(self.order.len() == self.n && self.epoch_started());
+            }
+        }
+        let idx = self.order[self.cursor];
+        self.cursor += 1;
+        idx
+    }
+
+    fn epoch_started(&self) -> bool {
+        true
+    }
+}
+
+/// Streaming shuffle with a bounded buffer: items enter in storage order and
+/// leave in randomized order, with reordering distance limited by the buffer
+/// capacity — exactly the trade-off a DRAM-limited prep accelerator makes.
+#[derive(Debug, Clone)]
+pub struct ShuffleBuffer<T> {
+    buf: Vec<T>,
+    capacity: usize,
+}
+
+impl<T> ShuffleBuffer<T> {
+    /// A buffer holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "shuffle buffer needs capacity");
+        ShuffleBuffer { buf: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Items currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Offer one item; returns a randomly evicted item once the buffer is
+    /// full, `None` while it is still filling.
+    pub fn push<R: Rng + ?Sized>(&mut self, item: T, rng: &mut R) -> Option<T> {
+        if self.buf.len() < self.capacity {
+            self.buf.push(item);
+            return None;
+        }
+        let j = rng.gen_range(0..self.buf.len());
+        let out = std::mem::replace(&mut self.buf[j], item);
+        Some(out)
+    }
+
+    /// Drain the remaining items in random order (end of stream).
+    pub fn drain<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<T> {
+        fisher_yates(&mut self.buf, rng);
+        std::mem::take(&mut self.buf)
+    }
+}
+
+/// Walker's alias method: O(n) build, O(1) weighted sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Build from nonnegative weights (not all zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative/non-finite value,
+    /// or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "need at least one weight");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and nonnegative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let n = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut alias = vec![0usize; n];
+        let mut small: Vec<usize> = (0..n).filter(|&i| prob[i] < 1.0).collect();
+        let mut large: Vec<usize> = (0..n).filter(|&i| prob[i] >= 1.0).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = prob[l] + prob[s] - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Numerical leftovers settle to probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Never empty (constructor forbids empty weights).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw one index with probability proportional to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fisher_yates_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        fisher_yates(&mut v, &mut rng);
+        let set: HashSet<usize> = v.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "should actually shuffle");
+    }
+
+    #[test]
+    fn epoch_sampler_visits_everything_once() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = EpochSampler::new(50);
+        assert_eq!(s.len(), 50);
+        assert!(!s.is_empty());
+        let first: Vec<usize> = (0..50).map(|_| s.next_index(&mut rng)).collect();
+        let set: HashSet<usize> = first.iter().copied().collect();
+        assert_eq!(set.len(), 50, "one epoch covers every index once");
+        let second: Vec<usize> = (0..50).map(|_| s.next_index(&mut rng)).collect();
+        assert_ne!(first, second, "epochs reshuffle");
+        let set2: HashSet<usize> = second.iter().copied().collect();
+        assert_eq!(set2.len(), 50);
+    }
+
+    #[test]
+    fn shuffle_buffer_preserves_items() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sb = ShuffleBuffer::new(16);
+        let mut out = Vec::new();
+        for i in 0..100 {
+            if let Some(v) = sb.push(i, &mut rng) {
+                out.push(v);
+            }
+        }
+        out.extend(sb.drain(&mut rng));
+        assert!(sb.is_empty());
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(out, (0..100).collect::<Vec<_>>(), "order should change");
+    }
+
+    #[test]
+    fn shuffle_buffer_reordering_is_bounded() {
+        // With capacity c, an item entering at position p cannot leave
+        // before output position p - c.
+        let mut rng = StdRng::seed_from_u64(4);
+        let c = 8;
+        let mut sb = ShuffleBuffer::new(c);
+        let mut out = Vec::new();
+        for i in 0..200usize {
+            if let Some(v) = sb.push(i, &mut rng) {
+                out.push(v);
+            }
+        }
+        for (pos, &item) in out.iter().enumerate() {
+            assert!(item <= pos + c, "item {item} left too early at {pos}");
+        }
+    }
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights);
+        assert_eq!(t.len(), 4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 4];
+        let draws = 100_000;
+        for _ in 0..draws {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "category {i}: expected {expect:.3}, got {got:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_zero_weight_never_sampled() {
+        let t = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..10_000 {
+            let s = t.sample(&mut rng);
+            assert!(s == 1 || s == 3);
+        }
+    }
+
+    #[test]
+    fn alias_table_single_category() {
+        let t = AliasTable::new(&[7.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(t.sample(&mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn all_zero_weights_rejected() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,203 @@
+//! WAV (RIFF) audio file encoding and decoding — the on-SSD audio container.
+//!
+//! LibriSpeech-style corpora store PCM audio in container files; the paper's
+//! data-preparation path starts by loading those from SSDs (§II-A). This is
+//! a from-scratch reader/writer for the canonical subset: RIFF/WAVE with a
+//! PCM `fmt ` chunk (16-bit signed, mono or multi-channel downmixed on read)
+//! and a `data` chunk.
+
+use crate::audio::Waveform;
+use crate::error::DecodeError;
+
+/// Encode a waveform as a 16-bit PCM mono WAV file.
+pub fn encode(wave: &Waveform) -> Vec<u8> {
+    let n = wave.samples().len();
+    let byte_rate = wave.sample_rate() * 2;
+    let data_len = (n * 2) as u32;
+    let mut out = Vec::with_capacity(44 + n * 2);
+    out.extend_from_slice(b"RIFF");
+    out.extend_from_slice(&(36 + data_len).to_le_bytes());
+    out.extend_from_slice(b"WAVE");
+    // fmt chunk
+    out.extend_from_slice(b"fmt ");
+    out.extend_from_slice(&16u32.to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes()); // PCM
+    out.extend_from_slice(&1u16.to_le_bytes()); // mono
+    out.extend_from_slice(&wave.sample_rate().to_le_bytes());
+    out.extend_from_slice(&byte_rate.to_le_bytes());
+    out.extend_from_slice(&2u16.to_le_bytes()); // block align
+    out.extend_from_slice(&16u16.to_le_bytes()); // bits per sample
+    // data chunk
+    out.extend_from_slice(b"data");
+    out.extend_from_slice(&data_len.to_le_bytes());
+    for &s in wave.samples() {
+        let v = (s.clamp(-1.0, 1.0) * 32767.0).round() as i16;
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a PCM WAV file into a mono waveform (multi-channel input is
+/// averaged down to mono).
+///
+/// # Errors
+///
+/// [`DecodeError`] on bad RIFF structure, or unsupported format tags /
+/// sample widths (only 16-bit integer PCM is supported).
+pub fn decode(data: &[u8]) -> Result<Waveform, DecodeError> {
+    if data.len() < 12 || &data[0..4] != b"RIFF" || &data[8..12] != b"WAVE" {
+        return Err(DecodeError::Malformed("not a RIFF/WAVE file".into()));
+    }
+    let mut pos = 12usize;
+    let mut fmt: Option<(u16, u16, u32, u16)> = None; // (tag, channels, rate, bits)
+    let mut pcm: Option<&[u8]> = None;
+    while pos + 8 <= data.len() {
+        let id: [u8; 4] = data[pos..pos + 4].try_into().expect("sliced");
+        let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("sliced")) as usize;
+        let body_end = pos + 8 + len;
+        if body_end > data.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let body = &data[pos + 8..body_end];
+        match &id {
+            b"fmt " => {
+                if body.len() < 16 {
+                    return Err(DecodeError::Malformed("short fmt chunk".into()));
+                }
+                let tag = u16::from_le_bytes([body[0], body[1]]);
+                let channels = u16::from_le_bytes([body[2], body[3]]);
+                let rate = u32::from_le_bytes([body[4], body[5], body[6], body[7]]);
+                let bits = u16::from_le_bytes([body[14], body[15]]);
+                fmt = Some((tag, channels, rate, bits));
+            }
+            b"data" => pcm = Some(body),
+            _ => {} // LIST, fact, etc. skipped
+        }
+        // Chunks are word-aligned.
+        pos = body_end + (len & 1);
+    }
+    let (tag, channels, rate, bits) =
+        fmt.ok_or_else(|| DecodeError::Malformed("missing fmt chunk".into()))?;
+    if tag != 1 {
+        return Err(DecodeError::Unsupported(format!("WAV format tag {tag}")));
+    }
+    if bits != 16 {
+        return Err(DecodeError::Unsupported(format!("{bits}-bit samples")));
+    }
+    if channels == 0 {
+        return Err(DecodeError::Malformed("zero channels".into()));
+    }
+    if rate == 0 {
+        return Err(DecodeError::Malformed("zero sample rate".into()));
+    }
+    let pcm = pcm.ok_or_else(|| DecodeError::Malformed("missing data chunk".into()))?;
+    let frame = 2 * channels as usize;
+    if pcm.len() % frame != 0 {
+        return Err(DecodeError::Malformed("data chunk not frame-aligned".into()));
+    }
+    let nframes = pcm.len() / frame;
+    if nframes == 0 {
+        return Err(DecodeError::Malformed("empty data chunk".into()));
+    }
+    let mut samples = Vec::with_capacity(nframes);
+    for f in 0..nframes {
+        let mut acc = 0.0f32;
+        for c in 0..channels as usize {
+            let off = f * frame + c * 2;
+            let v = i16::from_le_bytes([pcm[off], pcm[off + 1]]);
+            acc += v as f32 / 32768.0;
+        }
+        samples.push(acc / channels as f32);
+    }
+    Ok(Waveform::new(samples, rate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::speech_like_waveform;
+
+    #[test]
+    fn roundtrip_preserves_audio() {
+        let w = speech_like_waveform(0.25, 16_000, 1);
+        let bytes = encode(&w);
+        assert_eq!(&bytes[..4], b"RIFF");
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back.sample_rate(), 16_000);
+        assert_eq!(back.samples().len(), w.samples().len());
+        // 16-bit quantization error only.
+        for (a, b) in w.samples().iter().zip(back.samples()) {
+            assert!((a - b).abs() < 2.0 / 32768.0 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn stored_size_matches_calibration() {
+        // stored_byte_len() is defined as 16-bit PCM; WAV adds a 44-byte header.
+        let w = speech_like_waveform(1.0, 16_000, 2);
+        let bytes = encode(&w);
+        assert_eq!(bytes.len(), w.stored_byte_len() + 44);
+    }
+
+    #[test]
+    fn stereo_downmixes_to_mono() {
+        // Hand-build a 2-channel file: L = 0.5, R = -0.5 -> mono 0.
+        let mut out = Vec::new();
+        out.extend_from_slice(b"RIFF");
+        out.extend_from_slice(&(36u32 + 8).to_le_bytes());
+        out.extend_from_slice(b"WAVE");
+        out.extend_from_slice(b"fmt ");
+        out.extend_from_slice(&16u32.to_le_bytes());
+        out.extend_from_slice(&1u16.to_le_bytes());
+        out.extend_from_slice(&2u16.to_le_bytes());
+        out.extend_from_slice(&8000u32.to_le_bytes());
+        out.extend_from_slice(&32000u32.to_le_bytes());
+        out.extend_from_slice(&4u16.to_le_bytes());
+        out.extend_from_slice(&16u16.to_le_bytes());
+        out.extend_from_slice(b"data");
+        out.extend_from_slice(&8u32.to_le_bytes());
+        for _ in 0..2 {
+            out.extend_from_slice(&16384i16.to_le_bytes());
+            out.extend_from_slice(&(-16384i16).to_le_bytes());
+        }
+        let w = decode(&out).unwrap();
+        assert_eq!(w.samples().len(), 2);
+        for &s in w.samples() {
+            assert!(s.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_structure() {
+        assert!(decode(b"").is_err());
+        assert!(decode(b"RIFFxxxxWAVE").is_err()); // no chunks at all
+        let w = speech_like_waveform(0.05, 8000, 3);
+        let bytes = encode(&w);
+        assert!(decode(&bytes[..30]).is_err()); // truncated
+    }
+
+    #[test]
+    fn rejects_unsupported_formats() {
+        let w = speech_like_waveform(0.05, 8000, 3);
+        let mut bytes = encode(&w);
+        bytes[20] = 3; // format tag = IEEE float
+        assert!(matches!(decode(&bytes), Err(DecodeError::Unsupported(_))));
+        let mut bytes = encode(&w);
+        bytes[34] = 8; // bits per sample
+        assert!(matches!(decode(&bytes), Err(DecodeError::Unsupported(_))));
+    }
+
+    #[test]
+    fn odd_sized_skipped_chunks_are_word_aligned() {
+        // Insert a 3-byte LIST chunk (padded to 4) before data.
+        let w = speech_like_waveform(0.01, 8000, 4);
+        let full = encode(&w);
+        let mut out = full[..12].to_vec();
+        out.extend_from_slice(b"LIST");
+        out.extend_from_slice(&3u32.to_le_bytes());
+        out.extend_from_slice(&[1, 2, 3, 0]); // body + pad
+        out.extend_from_slice(&full[12..]);
+        let back = decode(&out).unwrap();
+        assert_eq!(back.samples().len(), w.samples().len());
+    }
+}

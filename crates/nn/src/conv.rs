@@ -1,0 +1,539 @@
+//! Convolution and pooling layers — the CNN building blocks of the Table-I
+//! image workloads, small but real (forward + backward, gradient-checked).
+//!
+//! Layout convention: a batch is a flat `f32` buffer in `[n][c][h][w]`
+//! order, with the shape carried alongside as a [`FeatShape`].
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Shape of a feature map batch (`channels × height × width`; the batch
+/// dimension is implied by buffer length).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatShape {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl FeatShape {
+    /// Elements per sample.
+    pub fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// A feature map is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// 2-D convolution, stride 1, no padding ("valid"), with SGD+momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    /// Weights `[out_ch][in_ch][k][k]`.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    vw: Vec<f32>,
+    vb: Vec<f32>,
+    cache: Option<(Vec<f32>, FeatShape, usize)>,
+}
+
+impl Conv2d {
+    /// He-initialized `k × k` convolution from `in_ch` to `out_ch` channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new<R: Rng + ?Sized>(in_ch: usize, out_ch: usize, k: usize, rng: &mut R) -> Self {
+        assert!(in_ch > 0 && out_ch > 0 && k > 0, "dimensions must be positive");
+        let fan_in = (in_ch * k * k) as f32;
+        let scale = (2.0 / fan_in).sqrt();
+        let w = (0..out_ch * in_ch * k * k)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * scale
+            })
+            .collect();
+        Conv2d {
+            in_ch,
+            out_ch,
+            k,
+            vw: vec![0.0; out_ch * in_ch * k * k],
+            vb: vec![0.0; out_ch],
+            b: vec![0.0; out_ch],
+            w,
+            cache: None,
+        }
+    }
+
+    /// Output shape for an input shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on channel mismatch or inputs smaller than the kernel.
+    pub fn out_shape(&self, input: FeatShape) -> FeatShape {
+        assert_eq!(input.c, self.in_ch, "channel mismatch");
+        assert!(
+            input.h >= self.k && input.w >= self.k,
+            "input smaller than kernel"
+        );
+        FeatShape { c: self.out_ch, h: input.h - self.k + 1, w: input.w - self.k + 1 }
+    }
+
+    fn widx(&self, o: usize, i: usize, dy: usize, dx: usize) -> usize {
+        ((o * self.in_ch + i) * self.k + dy) * self.k + dx
+    }
+
+    /// Forward pass over a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of the input shape.
+    pub fn forward(&mut self, x: &[f32], shape: FeatShape) -> (Vec<f32>, FeatShape) {
+        let per = shape.len();
+        assert_eq!(x.len() % per, 0, "batch buffer size mismatch");
+        let n = x.len() / per;
+        let os = self.out_shape(shape);
+        let mut y = vec![0.0f32; n * os.len()];
+        for s in 0..n {
+            let xin = &x[s * per..(s + 1) * per];
+            let yout = &mut y[s * os.len()..(s + 1) * os.len()];
+            for o in 0..self.out_ch {
+                for oy in 0..os.h {
+                    for ox in 0..os.w {
+                        let mut acc = self.b[o];
+                        for i in 0..self.in_ch {
+                            for dy in 0..self.k {
+                                let row = i * shape.h * shape.w + (oy + dy) * shape.w + ox;
+                                let wrow = self.widx(o, i, dy, 0);
+                                for dx in 0..self.k {
+                                    acc += xin[row + dx] * self.w[wrow + dx];
+                                }
+                            }
+                        }
+                        yout[o * os.h * os.w + oy * os.w + ox] = acc;
+                    }
+                }
+            }
+        }
+        self.cache = Some((x.to_vec(), shape, n));
+        (y, os)
+    }
+
+    /// Backward pass: update parameters, return `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward` or with a mismatched gradient size.
+    pub fn backward(&mut self, dy: &[f32], lr: f32, momentum: f32) -> Vec<f32> {
+        let (x, shape, n) = self.cache.take().expect("backward before forward");
+        let os = self.out_shape(shape);
+        assert_eq!(dy.len(), n * os.len(), "gradient size mismatch");
+        let per = shape.len();
+        let mut dw = vec![0.0f32; self.w.len()];
+        let mut db = vec![0.0f32; self.out_ch];
+        let mut dx = vec![0.0f32; x.len()];
+        let inv_n = 1.0 / n as f32;
+        for s in 0..n {
+            let xin = &x[s * per..(s + 1) * per];
+            let dys = &dy[s * os.len()..(s + 1) * os.len()];
+            let dxs = &mut dx[s * per..(s + 1) * per];
+            for o in 0..self.out_ch {
+                for oy in 0..os.h {
+                    for ox in 0..os.w {
+                        let g = dys[o * os.h * os.w + oy * os.w + ox];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        db[o] += g * inv_n;
+                        for i in 0..self.in_ch {
+                            for dyk in 0..self.k {
+                                let row = i * shape.h * shape.w + (oy + dyk) * shape.w + ox;
+                                let wrow = self.widx(o, i, dyk, 0);
+                                for dxk in 0..self.k {
+                                    dw[wrow + dxk] += g * xin[row + dxk] * inv_n;
+                                    dxs[row + dxk] += g * self.w[wrow + dxk];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (j, g) in dw.iter().enumerate() {
+            self.vw[j] = momentum * self.vw[j] - lr * g;
+            self.w[j] += self.vw[j];
+        }
+        for (o, g) in db.iter().enumerate() {
+            self.vb[o] = momentum * self.vb[o] - lr * g;
+            self.b[o] += self.vb[o];
+        }
+        dx
+    }
+}
+
+/// 2×2 max pooling, stride 2.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MaxPool2 {
+    /// Cached argmax indices into the input buffer.
+    cache: Option<(Vec<usize>, usize)>,
+}
+
+impl MaxPool2 {
+    /// A fresh pooling layer.
+    pub fn new() -> Self {
+        MaxPool2::default()
+    }
+
+    /// Output shape (floor division; odd trailing rows/cols are dropped).
+    pub fn out_shape(&self, input: FeatShape) -> FeatShape {
+        FeatShape { c: input.c, h: input.h / 2, w: input.w / 2 }
+    }
+
+    /// Forward pass over a batch.
+    pub fn forward(&mut self, x: &[f32], shape: FeatShape) -> (Vec<f32>, FeatShape) {
+        let per = shape.len();
+        let n = x.len() / per;
+        let os = self.out_shape(shape);
+        let mut y = vec![0.0f32; n * os.len()];
+        let mut argmax = vec![0usize; n * os.len()];
+        for s in 0..n {
+            for c in 0..shape.c {
+                for oy in 0..os.h {
+                    for ox in 0..os.w {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_i = 0;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                let idx = s * per
+                                    + c * shape.h * shape.w
+                                    + (oy * 2 + dy) * shape.w
+                                    + (ox * 2 + dx);
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_i = idx;
+                                }
+                            }
+                        }
+                        let oidx = s * os.len() + c * os.h * os.w + oy * os.w + ox;
+                        y[oidx] = best;
+                        argmax[oidx] = best_i;
+                    }
+                }
+            }
+        }
+        self.cache = Some((argmax, x.len()));
+        (y, os)
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &[f32]) -> Vec<f32> {
+        let (argmax, in_len) = self.cache.take().expect("backward before forward");
+        let mut dx = vec![0.0f32; in_len];
+        for (oidx, &iidx) in argmax.iter().enumerate() {
+            dx[iidx] += dy[oidx];
+        }
+        dx
+    }
+}
+
+
+/// A small CNN classifier: conv → ReLU → pool → conv → ReLU → pool →
+/// flatten → dense. Enough structure to validate the convolution stack on
+/// the augmentation dataset.
+#[derive(Debug, Clone)]
+pub struct SmallCnn {
+    conv1: Conv2d,
+    pool1: MaxPool2,
+    conv2: Conv2d,
+    pool2: MaxPool2,
+    head: crate::layers::Dense,
+    input: FeatShape,
+    relu1_mask: Vec<f32>,
+    relu2_mask: Vec<f32>,
+    flat_shape: usize,
+}
+
+impl SmallCnn {
+    /// Build for inputs of `input` shape with `classes` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is too small for two conv+pool stages.
+    pub fn new<R: Rng + ?Sized>(input: FeatShape, classes: usize, rng: &mut R) -> Self {
+        let conv1 = Conv2d::new(input.c, 8, 3, rng);
+        let s1 = conv1.out_shape(input);
+        let pool1 = MaxPool2::new();
+        let s1p = pool1.out_shape(s1);
+        let conv2 = Conv2d::new(8, 16, 3, rng);
+        let s2 = conv2.out_shape(s1p);
+        let pool2 = MaxPool2::new();
+        let s2p = pool2.out_shape(s2);
+        assert!(s2p.h >= 1 && s2p.w >= 1, "input too small for the network");
+        let flat = s2p.len();
+        SmallCnn {
+            conv1,
+            pool1,
+            conv2,
+            pool2,
+            head: crate::layers::Dense::new(flat, classes, rng),
+            input,
+            relu1_mask: Vec::new(),
+            relu2_mask: Vec::new(),
+            flat_shape: flat,
+        }
+    }
+
+    fn relu(buf: &mut [f32], mask: &mut Vec<f32>) {
+        mask.clear();
+        mask.extend(buf.iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }));
+        for v in buf.iter_mut() {
+            *v = v.max(0.0);
+        }
+    }
+
+    /// Forward pass producing logits (`batch × classes`).
+    pub fn forward(&mut self, x: &[f32]) -> crate::tensor::Matrix {
+        let n = x.len() / self.input.len();
+        let (mut h1, s1) = self.conv1.forward(x, self.input);
+        Self::relu(&mut h1, &mut self.relu1_mask);
+        let (h1p, s1p) = self.pool1.forward(&h1, s1);
+        let (mut h2, s2) = self.conv2.forward(&h1p, s1p);
+        Self::relu(&mut h2, &mut self.relu2_mask);
+        let (h2p, _s2p) = self.pool2.forward(&h2, s2);
+        let flat = crate::tensor::Matrix::from_vec(n, self.flat_shape, h2p);
+        self.head.forward(&flat)
+    }
+
+    /// One SGD step on a labeled batch; returns the loss.
+    pub fn train_step(&mut self, x: &[f32], labels: &[usize], lr: f32, momentum: f32) -> f32 {
+        let logits = self.forward(x);
+        let (loss, grad) = crate::layers::softmax_cross_entropy(&logits, labels);
+        let dflat = self.head.backward(&grad, lr, momentum);
+        let dpool2 = self.pool2.backward(dflat.data());
+        let drelu2: Vec<f32> = dpool2
+            .iter()
+            .zip(&self.relu2_mask)
+            .map(|(g, m)| g * m)
+            .collect();
+        let dpool1_in = self.conv2.backward(&drelu2, lr, momentum);
+        let dpool1 = self.pool1.backward(&dpool1_in);
+        let drelu1: Vec<f32> = dpool1
+            .iter()
+            .zip(&self.relu1_mask)
+            .map(|(g, m)| g * m)
+            .collect();
+        let _ = self.conv1.backward(&drelu1, lr, momentum);
+        loss
+    }
+
+    /// Top-1 accuracy on a labeled batch.
+    pub fn accuracy(&mut self, x: &[f32], labels: &[usize]) -> f64 {
+        let logits = self.forward(x);
+        let mut hits = 0;
+        for r in 0..logits.rows() {
+            let row = logits.row(r);
+            let best = (0..row.len())
+                .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                .unwrap();
+            if best == labels[r] {
+                hits += 1;
+            }
+        }
+        hits as f64 / logits.rows() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_identity_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 1, &mut rng);
+        // Force weight 1, bias 0: a 1x1 identity.
+        conv.w[0] = 1.0;
+        conv.b[0] = 0.0;
+        let shape = FeatShape { c: 1, h: 3, w: 3 };
+        let x: Vec<f32> = (0..9).map(|v| v as f32).collect();
+        let (y, os) = conv.forward(&x, shape);
+        assert_eq!(os, shape);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn conv_known_sum_kernel() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 2, &mut rng);
+        conv.w.iter_mut().for_each(|w| *w = 1.0);
+        conv.b[0] = 0.5;
+        let shape = FeatShape { c: 1, h: 2, w: 3 };
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let (y, os) = conv.forward(&x, shape);
+        assert_eq!((os.h, os.w), (1, 2));
+        assert_eq!(y, vec![1.0 + 2.0 + 4.0 + 5.0 + 0.5, 2.0 + 3.0 + 5.0 + 6.0 + 0.5]);
+    }
+
+    #[test]
+    fn conv_gradient_matches_finite_difference() {
+        let shape = FeatShape { c: 2, h: 5, w: 4 };
+        let x: Vec<f32> = (0..2 * shape.len()).map(|i| ((i * 31) % 17) as f32 / 17.0 - 0.5).collect();
+        // Loss = sum(y * probe) with a fixed probe.
+        let mk = || {
+            let mut r = StdRng::seed_from_u64(3);
+            Conv2d::new(2, 3, 3, &mut r)
+        };
+        let mut conv = mk();
+        let os = conv.out_shape(shape);
+        let probe: Vec<f32> = (0..2 * os.len()).map(|i| ((i * 7) % 5) as f32 / 5.0 - 0.4).collect();
+        let (_y, _) = conv.forward(&x, shape);
+        // lr=0 so parameters stay put; we only want dx.
+        let dx = conv.backward(&probe, 0.0, 0.0);
+        let loss = |xs: &[f32]| -> f32 {
+            let mut c = mk();
+            let (y, _) = c.forward(xs, shape);
+            y.iter().zip(&probe).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 7, 19, 40, x.len() - 1] {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            let num = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx[idx]).abs() < 2e-2 * (1.0 + num.abs()),
+                "idx {idx}: numeric {num} vs analytic {}",
+                dx[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_weight_gradient_direction_reduces_loss() {
+        // One SGD step on loss = sum(y) must reduce sum(y) (descent check).
+        let mut rng = StdRng::seed_from_u64(4);
+        let shape = FeatShape { c: 1, h: 6, w: 6 };
+        let x: Vec<f32> = (0..shape.len()).map(|i| (i % 7) as f32 / 7.0).collect();
+        let mut conv = Conv2d::new(1, 2, 3, &mut rng);
+        let (y0, _) = conv.forward(&x, shape);
+        let s0: f32 = y0.iter().sum();
+        let ones = vec![1.0f32; y0.len()];
+        conv.backward(&ones, 0.05, 0.0);
+        let (y1, _) = conv.forward(&x, shape);
+        let s1: f32 = y1.iter().sum();
+        assert!(s1 < s0, "descent failed: {s0} -> {s1}");
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let shape = FeatShape { c: 1, h: 4, w: 4 };
+        #[rustfmt::skip]
+        let x = vec![
+            1.0, 2.0,  3.0, 4.0,
+            5.0, 6.0,  7.0, 8.0,
+            9.0, 1.0,  2.0, 3.0,
+            4.0, 5.0,  6.0, 7.0,
+        ];
+        let mut pool = MaxPool2::new();
+        let (y, os) = pool.forward(&x, shape);
+        assert_eq!((os.h, os.w), (2, 2));
+        assert_eq!(y, vec![6.0, 8.0, 9.0, 7.0]);
+        let dy = vec![1.0, 2.0, 3.0, 4.0];
+        let dx = pool.backward(&dy);
+        // Gradient lands exactly on the argmax cells.
+        assert_eq!(dx[5], 1.0); // 6.0
+        assert_eq!(dx[7], 2.0); // 8.0
+        assert_eq!(dx[8], 3.0); // 9.0
+        assert_eq!(dx[15], 4.0); // 7.0
+        assert_eq!(dx.iter().filter(|&&v| v != 0.0).count(), 4);
+    }
+
+    #[test]
+    fn maxpool_drops_odd_edges() {
+        let shape = FeatShape { c: 1, h: 5, w: 3 };
+        let x = vec![0.0; shape.len()];
+        let mut pool = MaxPool2::new();
+        let (_, os) = pool.forward(&x, shape);
+        assert_eq!((os.h, os.w), (2, 1));
+    }
+
+    #[test]
+    fn conv_batch_independence() {
+        // Processing two samples in one batch equals processing them alone.
+        let mut rng = StdRng::seed_from_u64(5);
+        let shape = FeatShape { c: 1, h: 4, w: 4 };
+        let a: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..16).map(|i| (15 - i) as f32).collect();
+        let mut conv = Conv2d::new(1, 2, 2, &mut rng);
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let (y, os) = conv.forward(&both, shape);
+        let (ya, _) = conv.forward(&a, shape);
+        let (yb, _) = conv.forward(&b, shape);
+        assert_eq!(&y[..os.len()], &ya[..]);
+        assert_eq!(&y[os.len()..], &yb[..]);
+    }
+
+    #[test]
+    fn small_cnn_learns_two_patterns() {
+        // Two 12x12 single-channel patterns (vertical vs horizontal stripes),
+        // noisy instances; the CNN must separate them quickly.
+        let mut rng = StdRng::seed_from_u64(9);
+        use rand::Rng;
+        let shape = FeatShape { c: 1, h: 12, w: 12 };
+        let sample = |class: usize, rng: &mut StdRng| -> Vec<f32> {
+            let mut v = vec![0.0f32; shape.len()];
+            for y in 0..12 {
+                for x in 0..12 {
+                    let stripe = if class == 0 { x / 2 % 2 } else { y / 2 % 2 };
+                    v[y * 12 + x] = stripe as f32 + rng.gen_range(-0.2..0.2);
+                }
+            }
+            v
+        };
+        let mut cnn = SmallCnn::new(shape, 2, &mut rng);
+        for _ in 0..60 {
+            let mut xs = Vec::new();
+            let mut labels = Vec::new();
+            for _ in 0..16 {
+                let class = rng.gen_range(0..2usize);
+                xs.extend(sample(class, &mut rng));
+                labels.push(class);
+            }
+            cnn.train_step(&xs, &labels, 0.05, 0.9);
+        }
+        let mut xs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let class = i % 2;
+            xs.extend(sample(class, &mut rng));
+            labels.push(class);
+        }
+        let acc = cnn.accuracy(&xs, &labels);
+        assert!(acc > 0.9, "cnn should separate stripes: acc={acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "input smaller than kernel")]
+    fn kernel_larger_than_input_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let conv = Conv2d::new(1, 1, 5, &mut rng);
+        conv.out_shape(FeatShape { c: 1, h: 3, w: 3 });
+    }
+}

@@ -1,0 +1,329 @@
+//! Dense layers, activations, loss, and SGD — enough of a training stack to
+//! run the Fig 5 augmentation-accuracy experiment for real.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = xW + b` with cached activations for backprop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    w: Matrix,
+    b: Vec<f32>,
+    // Momentum buffers.
+    vw: Matrix,
+    vb: Vec<f32>,
+    // Forward cache.
+    last_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// He-initialized layer mapping `inputs` features to `outputs`.
+    pub fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        let scale = (2.0 / inputs as f32).sqrt();
+        let w = Matrix::from_fn(inputs, outputs, |_, _| {
+            // Box–Muller standard normal.
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen();
+            (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * scale
+        });
+        Dense {
+            vw: Matrix::zeros(inputs, outputs),
+            vb: vec![0.0; outputs],
+            b: vec![0.0; outputs],
+            w,
+            last_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn inputs(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Number of output features.
+    pub fn outputs(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass over a batch (`batch × inputs`), caching the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics on feature-count mismatch.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows() {
+            for c in 0..y.cols() {
+                y.set(r, c, y.at(r, c) + self.b[c]);
+            }
+        }
+        self.last_input = Some(x.clone());
+        y
+    }
+
+    /// Backward pass: given `dL/dy`, update parameters with SGD+momentum and
+    /// return `dL/dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, dy: &Matrix, lr: f32, momentum: f32) -> Matrix {
+        let x = self.last_input.as_ref().expect("backward before forward");
+        let batch = x.rows() as f32;
+        let dw = x.transpose().matmul(dy).map(|v| v / batch);
+        let mut db = vec![0.0f32; self.b.len()];
+        for r in 0..dy.rows() {
+            for c in 0..dy.cols() {
+                db[c] += dy.at(r, c) / batch;
+            }
+        }
+        let dx = dy.matmul(&self.w.transpose());
+        // Momentum update.
+        self.vw = self.vw.map(|v| v * momentum);
+        self.vw.add_scaled(&dw, -lr);
+        self.w.add_scaled(&self.vw, 1.0);
+        for c in 0..self.b.len() {
+            self.vb[c] = momentum * self.vb[c] - lr * db[c];
+            self.b[c] += self.vb[c];
+        }
+        dx
+    }
+}
+
+/// ReLU activation with cached mask.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    mask: Option<Matrix>,
+}
+
+impl Relu {
+    /// A fresh activation.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.mask = Some(x.map(|v| if v > 0.0 { 1.0 } else { 0.0 }));
+        x.map(|v| v.max(0.0))
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&self, dy: &Matrix) -> Matrix {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        dy.hadamard(mask)
+    }
+}
+
+/// Softmax over rows followed by cross-entropy against integer labels.
+///
+/// Returns `(loss, dlogits)` where `dlogits` is ready to feed backward.
+///
+/// # Panics
+///
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix) {
+    assert_eq!(labels.len(), logits.rows(), "one label per row");
+    let classes = logits.cols();
+    let mut dlogits = Matrix::zeros(logits.rows(), classes);
+    let mut loss = 0.0f64;
+    for r in 0..logits.rows() {
+        let label = labels[r];
+        assert!(label < classes, "label {label} out of range");
+        let row = logits.row(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        for c in 0..classes {
+            let p = exps[c] / sum;
+            dlogits.set(r, c, p - if c == label { 1.0 } else { 0.0 });
+            if c == label {
+                loss -= (p.max(1e-12)).ln() as f64;
+            }
+        }
+    }
+    (loss as f32 / logits.rows() as f32, dlogits)
+}
+
+/// A small multi-layer perceptron classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    relus: Vec<Relu>,
+}
+
+impl Mlp {
+    /// Build with the given layer widths, e.g. `&[432, 64, 10]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new<R: Rng + ?Sized>(widths: &[usize], rng: &mut R) -> Self {
+        assert!(widths.len() >= 2, "an MLP needs input and output widths");
+        let layers: Vec<Dense> = widths
+            .windows(2)
+            .map(|w| Dense::new(w[0], w[1], rng))
+            .collect();
+        let relus = (0..layers.len() - 1).map(|_| Relu::new()).collect();
+        Mlp { layers, relus }
+    }
+
+    /// Number of dense layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward pass producing logits.
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let n = self.layers.len();
+        for i in 0..n {
+            h = self.layers[i].forward(&h);
+            if i + 1 < n {
+                h = self.relus[i].forward(&h);
+            }
+        }
+        h
+    }
+
+    /// One SGD step on a batch; returns the loss.
+    pub fn train_step(&mut self, x: &Matrix, labels: &[usize], lr: f32, momentum: f32) -> f32 {
+        let logits = self.forward(x);
+        let (loss, mut grad) = softmax_cross_entropy(&logits, labels);
+        let n = self.layers.len();
+        for i in (0..n).rev() {
+            grad = self.layers[i].backward(&grad, lr, momentum);
+            if i > 0 {
+                grad = self.relus[i - 1].backward(&grad);
+            }
+        }
+        loss
+    }
+
+    /// Top-`k` accuracy of the current model on a labeled batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero or exceeds the class count.
+    pub fn top_k_accuracy(&mut self, x: &Matrix, labels: &[usize], k: usize) -> f64 {
+        let logits = self.forward(x);
+        assert!(k >= 1 && k <= logits.cols(), "invalid k");
+        let mut hits = 0usize;
+        for r in 0..logits.rows() {
+            let row = logits.row(r);
+            let mut idx: Vec<usize> = (0..row.len()).collect();
+            idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
+            if idx[..k].contains(&labels[r]) {
+                hits += 1;
+            }
+        }
+        hits as f64 / logits.rows() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut d = Dense::new(3, 2, &mut rng);
+        assert_eq!((d.inputs(), d.outputs()), (3, 2));
+        let x = Matrix::zeros(4, 3);
+        let y = d.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (4, 2));
+        // Zero input -> output equals bias (zero-initialized).
+        assert!(y.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn softmax_loss_at_uniform_is_log_classes() {
+        let logits = Matrix::zeros(2, 4);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        // Gradient rows sum to zero.
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // Check dL/dlogits from softmax_cross_entropy numerically.
+        let logits = Matrix::from_rows(&[&[0.3, -0.7, 1.2]]);
+        let labels = [2usize];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3f32;
+        for c in 0..3 {
+            let mut plus = logits.clone();
+            plus.set(0, c, logits.at(0, c) + eps);
+            let mut minus = logits.clone();
+            minus.set(0, c, logits.at(0, c) - eps);
+            let (lp, _) = softmax_cross_entropy(&plus, &labels);
+            let (lm, _) = softmax_cross_entropy(&minus, &labels);
+            let num = (lp - lm) / (2.0 * eps);
+            assert!(
+                (num - grad.at(0, c)).abs() < 1e-3,
+                "c={c}: numeric {num} vs analytic {}",
+                grad.at(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn relu_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Matrix::from_rows(&[&[-1.0, 2.0, -3.0, 4.0]]);
+        let y = relu.forward(&x);
+        assert_eq!(y, Matrix::from_rows(&[&[0.0, 2.0, 0.0, 4.0]]));
+        let dy = Matrix::from_rows(&[&[1.0, 1.0, 1.0, 1.0]]);
+        assert_eq!(relu.backward(&dy), Matrix::from_rows(&[&[0.0, 1.0, 0.0, 1.0]]));
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut mlp = Mlp::new(&[2, 8, 2], &mut rng);
+        assert_eq!(mlp.depth(), 2);
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let labels = [0usize, 1, 1, 0];
+        let mut last = f32::INFINITY;
+        for epoch in 0..2000 {
+            last = mlp.train_step(&x, &labels, 0.1, 0.9);
+            if epoch % 500 == 0 && last < 0.01 {
+                break;
+            }
+        }
+        assert!(last < 0.05, "XOR did not converge: loss={last}");
+        assert_eq!(mlp.top_k_accuracy(&x, &labels, 1), 1.0);
+    }
+
+    #[test]
+    fn top_k_accuracy_monotone_in_k() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mlp = Mlp::new(&[4, 6], &mut rng);
+        let x = Matrix::from_fn(10, 4, |r, c| ((r * 3 + c) % 5) as f32 / 5.0);
+        let labels: Vec<usize> = (0..10).map(|i| i % 6).collect();
+        let a1 = mlp.top_k_accuracy(&x, &labels, 1);
+        let a3 = mlp.top_k_accuracy(&x, &labels, 3);
+        let a6 = mlp.top_k_accuracy(&x, &labels, 6);
+        assert!(a1 <= a3 && a3 <= a6);
+        assert_eq!(a6, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label 9 out of range")]
+    fn bad_label_rejected() {
+        let logits = Matrix::zeros(1, 3);
+        softmax_cross_entropy(&logits, &[9]);
+    }
+}

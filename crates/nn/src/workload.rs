@@ -1,0 +1,240 @@
+//! The seven Table-I workloads and their derived quantities.
+//!
+//! Table I of the paper:
+//!
+//! | Type | Name | Task | Batch | Model (MB) | Throughput (sample/s) |
+//! |------|------|------|-------|-----------|----------------------|
+//! | CNN | VGG-19 | Image classification | 2,048 | 548.0 | 3,062 |
+//! | CNN | Resnet-50 | Image classification | 8,192 | 97.5 | 7,431 |
+//! | CNN | Inception-v4 | Image classification | 2,048 | 162.7 | 1,669 |
+//! | RNN | RNN-S | Image captioning | 4,096 | 1.0 | 12,022 |
+//! | RNN | RNN-L | Image captioning | 2,048 | 16.0 | 6,495 |
+//! | TF | TF-SR | Speech recognition | 512 | 268.3 | 2,001 |
+//! | TF | TF-AA | Audio analysis | 512 | 162.5 | 2,889 |
+//!
+//! Throughput is the measured rate of one TPU v3-8 at the largest batch it
+//! can run (§III-B1); batch size is that largest batch. These numbers drive
+//! every evaluation figure.
+
+use serde::{Deserialize, Serialize};
+
+/// Neural-network family (Table I "NN Type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NnKind {
+    /// Convolutional network.
+    Cnn,
+    /// LSTM-based recurrent network.
+    Rnn,
+    /// Transformer.
+    Transformer,
+}
+
+/// Input data modality, which selects the data-preparation pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InputKind {
+    /// JPEG images (ImageNet-style).
+    Image,
+    /// PCM audio streams (LibriSpeech-style).
+    Audio,
+}
+
+/// One training workload (a row of Table I).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Display name, exactly as the paper prints it.
+    pub name: &'static str,
+    /// Network family.
+    pub kind: NnKind,
+    /// Input modality.
+    pub input: InputKind,
+    /// Task description.
+    pub task: &'static str,
+    /// Batch size (largest a single TPU v3-8 runs).
+    pub batch_size: u64,
+    /// Model parameter size in MB.
+    pub model_mbytes: f64,
+    /// Per-accelerator training throughput, samples/s.
+    pub accel_samples_per_sec: f64,
+}
+
+impl Workload {
+    /// VGG-19 image classification.
+    pub fn vgg19() -> Self {
+        Workload {
+            name: "VGG-19",
+            kind: NnKind::Cnn,
+            input: InputKind::Image,
+            task: "Image classification",
+            batch_size: 2048,
+            model_mbytes: 548.0,
+            accel_samples_per_sec: 3062.0,
+        }
+    }
+
+    /// ResNet-50 image classification.
+    pub fn resnet50() -> Self {
+        Workload {
+            name: "Resnet-50",
+            kind: NnKind::Cnn,
+            input: InputKind::Image,
+            task: "Image classification",
+            batch_size: 8192,
+            model_mbytes: 97.5,
+            accel_samples_per_sec: 7431.0,
+        }
+    }
+
+    /// Inception-v4 image classification.
+    pub fn inception_v4() -> Self {
+        Workload {
+            name: "Inception-v4",
+            kind: NnKind::Cnn,
+            input: InputKind::Image,
+            task: "Image classification",
+            batch_size: 2048,
+            model_mbytes: 162.7,
+            accel_samples_per_sec: 1669.0,
+        }
+    }
+
+    /// Small LSTM captioning model.
+    pub fn rnn_s() -> Self {
+        Workload {
+            name: "RNN-S",
+            kind: NnKind::Rnn,
+            input: InputKind::Image,
+            task: "Image captioning",
+            batch_size: 4096,
+            model_mbytes: 1.0,
+            accel_samples_per_sec: 12022.0,
+        }
+    }
+
+    /// Large LSTM captioning model.
+    pub fn rnn_l() -> Self {
+        Workload {
+            name: "RNN-L",
+            kind: NnKind::Rnn,
+            input: InputKind::Image,
+            task: "Image captioning",
+            batch_size: 2048,
+            model_mbytes: 16.0,
+            accel_samples_per_sec: 6495.0,
+        }
+    }
+
+    /// Transformer speech recognition.
+    pub fn transformer_sr() -> Self {
+        Workload {
+            name: "TF-SR",
+            kind: NnKind::Transformer,
+            input: InputKind::Audio,
+            task: "Speech recognition",
+            batch_size: 512,
+            model_mbytes: 268.3,
+            accel_samples_per_sec: 2001.0,
+        }
+    }
+
+    /// Transformer audio analysis.
+    pub fn transformer_aa() -> Self {
+        Workload {
+            name: "TF-AA",
+            kind: NnKind::Transformer,
+            input: InputKind::Audio,
+            task: "Audio analysis",
+            batch_size: 512,
+            model_mbytes: 162.5,
+            accel_samples_per_sec: 2889.0,
+        }
+    }
+
+    /// All seven Table-I workloads, in the paper's order.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Workload::vgg19(),
+            Workload::resnet50(),
+            Workload::inception_v4(),
+            Workload::rnn_s(),
+            Workload::rnn_l(),
+            Workload::transformer_sr(),
+            Workload::transformer_aa(),
+        ]
+    }
+
+    /// Look up a workload by its Table-I name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<Workload> {
+        Workload::all()
+            .into_iter()
+            .find(|w| w.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Model size in bytes.
+    pub fn model_bytes(&self) -> u64 {
+        (self.model_mbytes * 1e6) as u64
+    }
+
+    /// Seconds one accelerator spends computing one batch.
+    pub fn batch_compute_secs(&self) -> f64 {
+        self.batch_size as f64 / self.accel_samples_per_sec
+    }
+
+    /// Aggregate demand of `n` accelerators in samples/s (the data-prep
+    /// throughput required to keep them fed).
+    pub fn aggregate_demand(&self, n_accels: usize) -> f64 {
+        self.accel_samples_per_sec * n_accels as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_seven_rows_in_paper_order() {
+        let all = Workload::all();
+        assert_eq!(all.len(), 7);
+        let names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec!["VGG-19", "Resnet-50", "Inception-v4", "RNN-S", "RNN-L", "TF-SR", "TF-AA"]
+        );
+    }
+
+    #[test]
+    fn modality_split_matches_paper() {
+        // Five image-input workloads (CNNs + caption RNNs), two audio.
+        let all = Workload::all();
+        assert_eq!(all.iter().filter(|w| w.input == InputKind::Image).count(), 5);
+        assert_eq!(all.iter().filter(|w| w.input == InputKind::Audio).count(), 2);
+        assert!(all
+            .iter()
+            .filter(|w| w.kind == NnKind::Transformer)
+            .all(|w| w.input == InputKind::Audio));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(Workload::by_name("resnet-50").unwrap().name, "Resnet-50");
+        assert_eq!(Workload::by_name("TF-sr").unwrap().name, "TF-SR");
+        assert!(Workload::by_name("AlexNet").is_none());
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let r = Workload::resnet50();
+        assert_eq!(r.model_bytes(), 97_500_000);
+        assert!((r.batch_compute_secs() - 8192.0 / 7431.0).abs() < 1e-9);
+        assert!((r.aggregate_demand(256) - 256.0 * 7431.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rnn_s_is_fastest_per_accelerator() {
+        let all = Workload::all();
+        let fastest = all
+            .iter()
+            .max_by(|a, b| a.accel_samples_per_sec.partial_cmp(&b.accel_samples_per_sec).unwrap())
+            .unwrap();
+        assert_eq!(fastest.name, "RNN-S");
+    }
+}

@@ -1,0 +1,571 @@
+//! Fluid bandwidth sharing: max-min fair rates and an event-driven transfer
+//! simulator.
+//!
+//! Concurrent DMA transfers that share a directed link split its capacity.
+//! PCIe switches arbitrate per-port roughly fairly, so we model the steady
+//! state as the classic **max-min fair allocation** computed by progressive
+//! filling: all flows grow at the same rate; when a link saturates, the flows
+//! crossing it freeze at their current rate; repeat. Flows can additionally
+//! carry a *demand cap* (a device that cannot source data faster than its own
+//! throughput), which progressive filling honors by freezing a flow when it
+//! reaches its demand.
+//!
+//! [`FlowSim`] layers finite-size transfers on top: it tracks the remaining
+//! bytes of each active flow, recomputes rates whenever the flow set changes,
+//! and exposes the next completion instant for a discrete-event driver.
+
+use crate::topology::{LinkId, Topology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use trainbox_sim::{SimTime, TimeWeighted};
+
+/// Identifier of an active flow in a [`FlowSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(u64);
+
+/// Specification of one flow for a rate computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowSpec {
+    /// Directed links the flow traverses (may be empty for node-local copies).
+    pub route: Vec<LinkId>,
+    /// Optional source/sink throughput cap in bytes/s.
+    pub demand: Option<f64>,
+}
+
+impl FlowSpec {
+    /// A flow over `route` limited only by the network.
+    pub fn new(route: Vec<LinkId>) -> Self {
+        FlowSpec { route, demand: None }
+    }
+
+    /// A flow over `route` that additionally cannot exceed `demand` bytes/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is not finite and positive.
+    pub fn with_demand(route: Vec<LinkId>, demand: f64) -> Self {
+        assert!(demand.is_finite() && demand > 0.0, "demand must be positive");
+        FlowSpec { route, demand: Some(demand) }
+    }
+}
+
+/// The link-capacity view used for rate computations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowNet {
+    /// Capacity of each directed link in bytes/s, indexed by [`LinkId`].
+    capacity: Vec<f64>,
+}
+
+impl FlowNet {
+    /// Capacities taken from a topology's directed links.
+    pub fn from_topology(topo: &Topology) -> Self {
+        FlowNet {
+            capacity: topo
+                .links()
+                .map(|(_, l)| l.bandwidth.bytes_per_sec() as f64)
+                .collect(),
+        }
+    }
+
+    /// Capacities given directly (mainly for tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any capacity is not finite and positive.
+    pub fn from_capacities(capacity: Vec<f64>) -> Self {
+        assert!(
+            capacity.iter().all(|&c| c.is_finite() && c > 0.0),
+            "link capacities must be positive"
+        );
+        FlowNet { capacity }
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Capacity of one link in bytes/s.
+    pub fn capacity(&self, link: LinkId) -> f64 {
+        self.capacity[link.index()]
+    }
+
+    /// Max-min fair rates (bytes/s) for `flows`, honoring demand caps.
+    ///
+    /// Progressive filling: all unfrozen flows grow together; the binding
+    /// constraint each round is either a saturating link or a flow hitting
+    /// its demand. Flows with an empty route and no demand are unconstrained
+    /// and rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flow has an empty route and no demand, or if a route
+    /// references an unknown link.
+    pub fn max_min_rates(&self, flows: &[FlowSpec]) -> Vec<f64> {
+        for f in flows {
+            assert!(
+                !f.route.is_empty() || f.demand.is_some(),
+                "a flow with an empty route needs a demand cap"
+            );
+            for l in &f.route {
+                assert!(l.index() < self.capacity.len(), "route references unknown link");
+            }
+        }
+        let n = flows.len();
+        let mut rate = vec![0.0f64; n];
+        let mut frozen = vec![false; n];
+        let mut residual = self.capacity.clone();
+        // Flows crossing each link.
+        let mut on_link: Vec<Vec<usize>> = vec![Vec::new(); self.capacity.len()];
+        for (i, f) in flows.iter().enumerate() {
+            for l in &f.route {
+                on_link[l.index()].push(i);
+            }
+        }
+
+        loop {
+            // Unfrozen flow count per link.
+            let mut unfrozen_on: Vec<usize> = vec![0; self.capacity.len()];
+            for (li, fl) in on_link.iter().enumerate() {
+                unfrozen_on[li] = fl.iter().filter(|&&i| !frozen[i]).count();
+            }
+            // Smallest head-room per unfrozen flow: link constraint.
+            let mut inc = f64::INFINITY;
+            for li in 0..self.capacity.len() {
+                if unfrozen_on[li] > 0 {
+                    inc = inc.min(residual[li] / unfrozen_on[li] as f64);
+                }
+            }
+            // Demand constraints.
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                if let Some(d) = f.demand {
+                    inc = inc.min(d - rate[i]);
+                }
+            }
+            if !inc.is_finite() {
+                // No unfrozen flow crosses any link and none has a demand gap
+                // left: all remaining flows are empty-route demand flows that
+                // were already frozen, or there are no unfrozen flows at all.
+                break;
+            }
+            let inc = inc.max(0.0);
+            // Apply the increment.
+            let mut progressed = false;
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                rate[i] += inc;
+                progressed = true;
+                for l in &f.route {
+                    residual[l.index()] -= inc;
+                }
+            }
+            if !progressed {
+                break;
+            }
+            // Freeze: flows at demand, and flows crossing a saturated link.
+            const EPS: f64 = 1e-9;
+            for (i, f) in flows.iter().enumerate() {
+                if frozen[i] {
+                    continue;
+                }
+                let at_demand = f.demand.is_some_and(|d| rate[i] >= d - EPS * d.max(1.0));
+                let on_saturated = f.route.iter().any(|l| {
+                    residual[l.index()] <= EPS * self.capacity[l.index()]
+                });
+                if at_demand || on_saturated {
+                    frozen[i] = true;
+                }
+            }
+            if frozen.iter().all(|&f| f) {
+                break;
+            }
+        }
+        rate
+    }
+
+    /// Total traffic each link carries (bytes/s) under the given rates —
+    /// useful for utilization accounting and for checking feasibility.
+    pub fn link_loads(&self, flows: &[FlowSpec], rates: &[f64]) -> Vec<f64> {
+        assert_eq!(flows.len(), rates.len(), "flows and rates must correspond");
+        let mut load = vec![0.0; self.capacity.len()];
+        for (f, &r) in flows.iter().zip(rates) {
+            for l in &f.route {
+                load[l.index()] += r;
+            }
+        }
+        load
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ActiveFlow {
+    spec: FlowSpec,
+    remaining: f64,
+}
+
+/// Event-driven finite-transfer simulator over a [`FlowNet`].
+///
+/// Drive it from a DES loop: add flows as transfers start, query
+/// [`FlowSim::next_completion`], advance to that instant, and call
+/// [`FlowSim::complete`] on the finished flow.
+///
+/// # Example
+///
+/// ```
+/// use trainbox_pcie::flow::{FlowNet, FlowSim, FlowSpec};
+/// use trainbox_pcie::topology::LinkId;
+/// use trainbox_sim::{SimTime, TimeWeighted};
+///
+/// // One 1 GB/s link shared by two 1 MB transfers: each gets 0.5 GB/s,
+/// // both complete at 2 ms.
+/// let net = FlowNet::from_capacities(vec![1e9]);
+/// let mut sim = FlowSim::new(net);
+/// let l = trainbox_pcie::test_util::link(0);
+/// let a = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![l]), 1_000_000.0);
+/// let b = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![l]), 1_000_000.0);
+/// let (t, first) = sim.next_completion().unwrap();
+/// assert_eq!(t, SimTime::from_millis(2));
+/// assert!(first == a || first == b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowSim {
+    net: FlowNet,
+    flows: HashMap<FlowId, ActiveFlow>,
+    order: Vec<FlowId>,
+    rates: HashMap<FlowId, f64>,
+    now: SimTime,
+    next_id: u64,
+    utilization: Vec<TimeWeighted>,
+}
+
+impl FlowSim {
+    /// Create a simulator over `net` at time zero with no flows.
+    pub fn new(net: FlowNet) -> Self {
+        let utilization = (0..net.link_count())
+            .map(|i| TimeWeighted::new(format!("link-{i}")))
+            .collect();
+        FlowSim {
+            net,
+            flows: HashMap::new(),
+            order: Vec::new(),
+            rates: HashMap::new(),
+            now: SimTime::ZERO,
+            next_id: 0,
+            utilization,
+        }
+    }
+
+    /// Current simulator time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of active flows.
+    pub fn active(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Borrow the capacity view.
+    pub fn net(&self) -> &FlowNet {
+        &self.net
+    }
+
+    fn recompute(&mut self) {
+        let specs: Vec<FlowSpec> = self
+            .order
+            .iter()
+            .map(|id| self.flows[id].spec.clone())
+            .collect();
+        let rates = self.net.max_min_rates(&specs);
+        // Record the new per-link utilization from this instant onward.
+        let loads = self.net.link_loads(&specs, &rates);
+        for (li, load) in loads.iter().enumerate() {
+            self.utilization[li].set(self.now, load / self.net.capacity[li]);
+        }
+        self.rates = self.order.iter().copied().zip(rates).collect();
+    }
+
+    /// Time-weighted mean utilization of `link` over `[0, now]`, in `[0, 1]`
+    /// (zero before any time has elapsed).
+    pub fn mean_utilization(&self, link: LinkId) -> f64 {
+        if self.now == SimTime::ZERO {
+            0.0
+        } else {
+            self.utilization[link.index()].mean(self.now)
+        }
+    }
+
+    /// Peak instantaneous utilization observed on `link`.
+    pub fn peak_utilization(&self, link: LinkId) -> f64 {
+        self.utilization[link.index()].peak()
+    }
+
+    /// Advance the clock to `now`, draining bytes at current rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is in the past.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(now >= self.now, "FlowSim cannot go backwards in time");
+        let dt = (now - self.now).as_secs_f64();
+        if dt > 0.0 {
+            for (id, f) in self.flows.iter_mut() {
+                let r = self.rates.get(id).copied().unwrap_or(0.0);
+                f.remaining = (f.remaining - r * dt).max(0.0);
+            }
+        }
+        self.now = now;
+    }
+
+    /// Start a transfer of `bytes` over `spec` at time `now` (advancing the
+    /// clock there first). Returns the flow's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not finite and positive, or `now` is in the past.
+    pub fn add_flow(&mut self, now: SimTime, spec: FlowSpec, bytes: f64) -> FlowId {
+        assert!(bytes.is_finite() && bytes > 0.0, "transfer size must be positive");
+        self.advance(now);
+        let id = FlowId(self.next_id);
+        self.next_id += 1;
+        self.flows.insert(id, ActiveFlow { spec, remaining: bytes });
+        self.order.push(id);
+        self.recompute();
+        id
+    }
+
+    /// Remaining bytes of a flow (`None` if unknown/completed).
+    pub fn remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.get(&id).map(|f| f.remaining)
+    }
+
+    /// Current rate of a flow in bytes/s (`None` if unknown).
+    pub fn rate(&self, id: FlowId) -> Option<f64> {
+        self.rates.get(&id).copied()
+    }
+
+    /// The earliest `(time, flow)` completion under current rates, if any
+    /// flow is active. Ties break toward the earliest-started flow.
+    pub fn next_completion(&self) -> Option<(SimTime, FlowId)> {
+        let mut best: Option<(SimTime, FlowId)> = None;
+        for id in &self.order {
+            let f = &self.flows[id];
+            let r = self.rates.get(id).copied().unwrap_or(0.0);
+            if r <= 0.0 {
+                continue;
+            }
+            let dt = f.remaining / r;
+            let t = self.now + SimTime::from_secs_f64(dt);
+            if best.map_or(true, |(bt, _)| t < bt) {
+                best = Some((t, *id));
+            }
+        }
+        best
+    }
+
+    /// Remove a completed (or cancelled) flow at time `now` and recompute
+    /// remaining rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not active or `now` is in the past.
+    pub fn complete(&mut self, now: SimTime, id: FlowId) {
+        self.advance(now);
+        assert!(self.flows.remove(&id).is_some(), "unknown flow {id:?}");
+        self.order.retain(|&f| f != id);
+        self.rates.remove(&id);
+        self.recompute();
+    }
+
+    /// Run all active flows to completion, returning `(time, flow)` pairs in
+    /// completion order.
+    pub fn drain(&mut self) -> Vec<(SimTime, FlowId)> {
+        let mut done = Vec::new();
+        while let Some((t, id)) = self.next_completion() {
+            self.complete(t, id);
+            done.push((t, id));
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::link;
+
+    #[test]
+    fn equal_flows_split_a_link_evenly() {
+        let net = FlowNet::from_capacities(vec![10.0]);
+        let flows = vec![FlowSpec::new(vec![link(0)]); 4];
+        let rates = net.max_min_rates(&flows);
+        for r in rates {
+            assert!((r - 2.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classic_max_min_example() {
+        // Links: L0 cap 10 shared by f0,f1,f2; L1 cap 4 crossed by f2 only.
+        // f2 is limited to 4 by L1? No: progressive filling freezes at
+        // min(10/3, 4/1) = 10/3 on L0 first; all freeze at 10/3.
+        let net = FlowNet::from_capacities(vec![10.0, 4.0]);
+        let flows = vec![
+            FlowSpec::new(vec![link(0)]),
+            FlowSpec::new(vec![link(0)]),
+            FlowSpec::new(vec![link(0), link(1)]),
+        ];
+        let rates = net.max_min_rates(&flows);
+        for r in &rates {
+            assert!((r - 10.0 / 3.0).abs() < 1e-9, "rates={rates:?}");
+        }
+    }
+
+    #[test]
+    fn bottlenecked_flow_releases_capacity_to_others() {
+        // L0 cap 10 shared by f0,f1; f1 also crosses L1 cap 2.
+        // f1 freezes at 2 (L1 saturates), f0 then takes 8.
+        let net = FlowNet::from_capacities(vec![10.0, 2.0]);
+        let flows = vec![
+            FlowSpec::new(vec![link(0)]),
+            FlowSpec::new(vec![link(0), link(1)]),
+        ];
+        let rates = net.max_min_rates(&flows);
+        assert!((rates[1] - 2.0).abs() < 1e-9);
+        assert!((rates[0] - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_caps_respected_and_redistributed() {
+        let net = FlowNet::from_capacities(vec![10.0]);
+        let flows = vec![
+            FlowSpec::with_demand(vec![link(0)], 1.0),
+            FlowSpec::new(vec![link(0)]),
+        ];
+        let rates = net.max_min_rates(&flows);
+        assert!((rates[0] - 1.0).abs() < 1e-9);
+        assert!((rates[1] - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_route_flow_runs_at_demand() {
+        let net = FlowNet::from_capacities(vec![10.0]);
+        let flows = vec![FlowSpec::with_demand(vec![], 3.5)];
+        let rates = net.max_min_rates(&flows);
+        assert!((rates[0] - 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty route needs a demand cap")]
+    fn unconstrained_empty_flow_rejected() {
+        let net = FlowNet::from_capacities(vec![10.0]);
+        net.max_min_rates(&[FlowSpec::new(vec![])]);
+    }
+
+    #[test]
+    fn no_link_oversubscribed() {
+        let net = FlowNet::from_capacities(vec![7.0, 3.0, 11.0]);
+        let flows = vec![
+            FlowSpec::new(vec![link(0), link(1)]),
+            FlowSpec::new(vec![link(0), link(2)]),
+            FlowSpec::new(vec![link(1), link(2)]),
+            FlowSpec::with_demand(vec![link(2)], 2.0),
+        ];
+        let rates = net.max_min_rates(&flows);
+        let loads = net.link_loads(&flows, &rates);
+        for (li, &l) in loads.iter().enumerate() {
+            assert!(
+                l <= net.capacity[li] * (1.0 + 1e-6),
+                "link {li} oversubscribed: {l} > {}",
+                net.capacity[li]
+            );
+        }
+    }
+
+    #[test]
+    fn flow_sim_shares_then_speeds_up() {
+        // 1 GB/s link; two 1 MB transfers start together. After the first
+        // completes at 2ms... they tie; complete one, the other finishes at
+        // the same instant since both drained together.
+        let net = FlowNet::from_capacities(vec![1e9]);
+        let mut sim = FlowSim::new(net);
+        let a = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 1e6);
+        let b = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 1e6);
+        assert!((sim.rate(a).unwrap() - 5e8).abs() < 1.0);
+        let done = sim.drain();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0, SimTime::from_millis(2));
+        assert_eq!(done[1].0, SimTime::from_millis(2));
+        let _ = b;
+    }
+
+    #[test]
+    fn late_flow_slows_early_flow() {
+        // 1 GB/s link. Flow A (2 MB) alone for 1 ms (1 MB done), then B
+        // (0.5 MB) joins: both at 0.5 GB/s. B finishes at 1ms + 1ms = 2ms;
+        // A has 0.5 MB left at 2ms, alone again -> finishes at 2.5ms.
+        let net = FlowNet::from_capacities(vec![1e9]);
+        let mut sim = FlowSim::new(net);
+        let a = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 2e6);
+        let b = sim.add_flow(SimTime::from_millis(1), FlowSpec::new(vec![link(0)]), 5e5);
+        let done = sim.drain();
+        assert_eq!(done[0].1, b);
+        assert_eq!(done[0].0, SimTime::from_millis(2));
+        assert_eq!(done[1].1, a);
+        assert_eq!(done[1].0, SimTime::from_micros(2500));
+    }
+
+    #[test]
+    fn completion_frees_bandwidth() {
+        let net = FlowNet::from_capacities(vec![1e9]);
+        let mut sim = FlowSim::new(net);
+        let a = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 1e6);
+        let _b = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 2e6);
+        let (t, id) = sim.next_completion().unwrap();
+        assert_eq!(id, a);
+        sim.complete(t, a);
+        // b now runs at full rate.
+        let (_tb, idb) = sim.next_completion().unwrap();
+        assert!((sim.rate(idb).unwrap() - 1e9).abs() < 1.0);
+        assert_eq!(sim.active(), 1);
+    }
+
+    #[test]
+    fn utilization_tracks_load_over_time() {
+        // One 1 GB/s link: a flow saturates it for 1 ms, then idle 1 ms.
+        let net = FlowNet::from_capacities(vec![1e9]);
+        let mut sim = FlowSim::new(net);
+        let f = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 1e6);
+        let (t, _) = sim.next_completion().unwrap();
+        sim.complete(t, f);
+        assert_eq!(sim.peak_utilization(link(0)), 1.0);
+        sim.advance(SimTime::from_millis(2));
+        let mean = sim.mean_utilization(link(0));
+        assert!((mean - 0.5).abs() < 1e-6, "mean={mean}");
+    }
+
+    #[test]
+    fn utilization_shares_between_flows() {
+        // Demand-capped flow uses half the link.
+        let net = FlowNet::from_capacities(vec![10.0]);
+        let mut sim = FlowSim::new(net);
+        let _ = sim.add_flow(SimTime::ZERO, FlowSpec::with_demand(vec![link(0)], 5.0), 50.0);
+        sim.advance(SimTime::from_secs(1));
+        assert!((sim.mean_utilization(link(0)) - 0.5).abs() < 1e-6);
+        assert_eq!(sim.peak_utilization(link(0)), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot go backwards")]
+    fn flow_sim_rejects_time_travel() {
+        let net = FlowNet::from_capacities(vec![1e9]);
+        let mut sim = FlowSim::new(net);
+        sim.advance(SimTime::from_millis(5));
+        sim.advance(SimTime::from_millis(1));
+    }
+}

@@ -1,0 +1,451 @@
+//! Deterministic discrete-event simulation (DES) engine.
+//!
+//! This crate is the simulation substrate of the TrainBox reproduction. The
+//! paper's evaluation is a *system-level simulator* built from profiled
+//! performance models (§VI-A); this engine provides the event queue, the
+//! simulated clock, and the statistics machinery that the server-architecture
+//! model in `trainbox-core` is built on.
+//!
+//! # Design
+//!
+//! * Time is an integral number of **picoseconds** ([`SimTime`]). Integral time
+//!   keeps the simulation fully deterministic: two events scheduled for the
+//!   same instant compare equal exactly, and are then ordered by their
+//!   scheduling sequence number (FIFO among ties).
+//! * The engine is generic over a user-defined [`Model`]. Events are values of
+//!   the model's associated `Event` type; the engine owns the queue and the
+//!   clock and hands each popped event back to the model together with a
+//!   [`Scheduler`] for follow-up events. This avoids `Rc<RefCell<...>>`
+//!   callback graphs entirely — the model is plain owned data.
+//!
+//! # Example
+//!
+//! ```
+//! use trainbox_sim::{Engine, Model, Scheduler, SimTime};
+//!
+//! struct Counter {
+//!     fired: u32,
+//! }
+//!
+//! impl Model for Counter {
+//!     type Event = &'static str;
+//!     fn handle(&mut self, now: SimTime, ev: &'static str, sched: &mut Scheduler<&'static str>) {
+//!         self.fired += 1;
+//!         if ev == "tick" && self.fired < 3 {
+//!             sched.schedule_in(now, SimTime::from_nanos(5), "tick");
+//!         }
+//!     }
+//! }
+//!
+//! let mut engine = Engine::new(Counter { fired: 0 });
+//! engine.schedule_at(SimTime::ZERO, "tick");
+//! engine.run();
+//! assert_eq!(engine.model().fired, 3);
+//! assert_eq!(engine.now(), SimTime::from_nanos(10));
+//! ```
+
+pub mod queue;
+pub mod stats;
+pub mod time;
+
+pub use queue::FifoServer;
+pub use stats::{Counter, Histogram, TimeWeighted};
+pub use time::SimTime;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A simulation model: owns all mutable simulation state and interprets events.
+///
+/// The engine calls [`Model::handle`] once per popped event, in nondecreasing
+/// time order. Events scheduled for the same instant are delivered in the
+/// order they were scheduled.
+pub trait Model {
+    /// The event payload type interpreted by this model.
+    type Event;
+
+    /// Handle one event occurring at simulated time `now`.
+    ///
+    /// Follow-up events are scheduled through `sched`; they must not be
+    /// scheduled in the past (the engine panics on time-travel).
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Handle used by a [`Model`] to schedule follow-up events during handling.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    pending: Vec<(SimTime, E)>,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler { pending: Vec::new() }
+    }
+
+    /// Schedule `event` at absolute simulated time `at`.
+    ///
+    /// # Panics
+    ///
+    /// The engine panics when draining this scheduler if `at` is earlier than
+    /// the current simulation time.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        self.pending.push((at, event));
+    }
+
+    /// Schedule `event` to fire `delay` after `now`.
+    pub fn schedule_in(&mut self, now: SimTime, delay: SimTime, event: E) {
+        self.schedule_at(now + delay, event);
+    }
+}
+
+/// Bounded ring buffer of recent event descriptions for debugging. The
+/// formatter is captured when tracing is enabled, which is where the
+/// `Debug` requirement on the event type lives.
+struct Trace<E> {
+    capacity: usize,
+    entries: std::collections::VecDeque<(SimTime, String)>,
+    formatter: fn(&E) -> String,
+}
+
+impl<E> Trace<E> {
+    fn record(&mut self, at: SimTime, event: &E) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((at, (self.formatter)(event)));
+    }
+
+    fn entries(&self) -> Vec<(SimTime, String)> {
+        self.entries.iter().cloned().collect()
+    }
+}
+
+/// An entry in the event queue. Ordered by `(time, seq)`: earlier time first,
+/// then FIFO among same-time events.
+struct QueueEntry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for QueueEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for QueueEntry<E> {}
+impl<E> PartialOrd for QueueEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for QueueEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulation engine.
+///
+/// Owns the event queue, the simulated clock, and the user [`Model`].
+pub struct Engine<M: Model> {
+    model: M,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+    queue: BinaryHeap<Reverse<QueueEntry<M::Event>>>,
+    trace: Option<Trace<M::Event>>,
+}
+
+impl<M: Model> std::fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<M: Model> Engine<M> {
+    /// Create an engine wrapping `model` with an empty queue at time zero.
+    pub fn new(model: M) -> Self {
+        Engine {
+            model,
+            now: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+            queue: BinaryHeap::new(),
+            trace: None,
+        }
+    }
+
+    /// Enable event tracing with a bounded ring buffer of `capacity`
+    /// entries (the most recent events win). Requires the event type to be
+    /// `Debug`; entries record `(time, format!("{event:?}"))`.
+    pub fn enable_trace(&mut self, capacity: usize)
+    where
+        M::Event: std::fmt::Debug,
+    {
+        self.trace = Some(Trace {
+            capacity: capacity.max(1),
+            entries: std::collections::VecDeque::new(),
+            formatter: |e| format!("{e:?}"),
+        });
+    }
+
+    /// The trace buffer contents, oldest first (empty when tracing is off).
+    pub fn trace(&self) -> Vec<(SimTime, String)> {
+        self.trace.as_ref().map(Trace::entries).unwrap_or_default()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Borrow the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutably borrow the model (for configuration between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the engine, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Number of events currently queued.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule an event at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueueEntry { at, seq, event }));
+    }
+
+    /// Schedule an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimTime, event: M::Event) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Pop and handle a single event. Returns `false` if the queue was empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(entry)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "event queue yielded past event");
+        self.now = entry.at;
+        self.events_processed += 1;
+        if let Some(t) = self.trace.as_mut() {
+            t.record(entry.at, &entry.event);
+        }
+        let mut sched = Scheduler::new();
+        self.model.handle(self.now, entry.event, &mut sched);
+        for (at, event) in sched.pending {
+            self.schedule_at(at, event);
+        }
+        true
+    }
+
+    /// Run until the queue is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue is empty or the clock passes `deadline`.
+    ///
+    /// Events at exactly `deadline` are processed; the first event strictly
+    /// after `deadline` is left queued and the clock is advanced to
+    /// `deadline`. Returns the number of events processed by this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let start = self.events_processed;
+        loop {
+            match self.queue.peek() {
+                None => break,
+                Some(Reverse(entry)) if entry.at > deadline => {
+                    self.now = deadline.max(self.now);
+                    break;
+                }
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+        if self.queue.is_empty() && self.now < deadline {
+            self.now = deadline;
+        }
+        self.events_processed - start
+    }
+
+    /// Run until `predicate(model)` becomes true after handling some event, the
+    /// queue empties, or `max_events` are processed. Returns `true` if the
+    /// predicate fired.
+    pub fn run_while(&mut self, max_events: u64, mut predicate: impl FnMut(&M) -> bool) -> bool {
+        for _ in 0..max_events {
+            if !self.step() {
+                return false;
+            }
+            if predicate(&self.model) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.log.push((now, ev));
+            // Event 100 fans out two follow-ups.
+            if ev == 100 {
+                sched.schedule_in(now, SimTime::from_nanos(1), 101);
+                sched.schedule_in(now, SimTime::from_nanos(1), 102);
+            }
+        }
+    }
+
+    fn engine() -> Engine<Recorder> {
+        Engine::new(Recorder { log: Vec::new() })
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut e = engine();
+        e.schedule_at(SimTime::from_nanos(30), 3);
+        e.schedule_at(SimTime::from_nanos(10), 1);
+        e.schedule_at(SimTime::from_nanos(20), 2);
+        e.run();
+        assert_eq!(
+            e.model().log,
+            vec![
+                (SimTime::from_nanos(10), 1),
+                (SimTime::from_nanos(20), 2),
+                (SimTime::from_nanos(30), 3),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_time_events_fire_fifo() {
+        let mut e = engine();
+        for i in 0..100 {
+            e.schedule_at(SimTime::from_nanos(5), i);
+        }
+        e.run();
+        let order: Vec<u32> = e.model().log.iter().map(|&(_, ev)| ev).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn follow_up_events_fire() {
+        let mut e = engine();
+        e.schedule_at(SimTime::from_nanos(10), 100);
+        e.run();
+        assert_eq!(e.model().log.len(), 3);
+        assert_eq!(e.model().log[1], (SimTime::from_nanos(11), 101));
+        assert_eq!(e.model().log[2], (SimTime::from_nanos(11), 102));
+        assert_eq!(e.events_processed(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut e = engine();
+        e.schedule_at(SimTime::from_nanos(10), 0);
+        e.run();
+        e.schedule_at(SimTime::from_nanos(5), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = engine();
+        for i in 0..10 {
+            e.schedule_at(SimTime::from_nanos(i * 10), i as u32);
+        }
+        let n = e.run_until(SimTime::from_nanos(45));
+        assert_eq!(n, 5); // events at 0,10,20,30,40
+        assert_eq!(e.now(), SimTime::from_nanos(45));
+        assert_eq!(e.queued(), 5);
+        e.run();
+        assert_eq!(e.model().log.len(), 10);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_queue_empty() {
+        let mut e = engine();
+        e.run_until(SimTime::from_micros(7));
+        assert_eq!(e.now(), SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn run_while_predicate() {
+        let mut e = engine();
+        for i in 0..10 {
+            e.schedule_at(SimTime::from_nanos(i), i as u32);
+        }
+        let hit = e.run_while(u64::MAX, |m| m.log.len() == 4);
+        assert!(hit);
+        assert_eq!(e.model().log.len(), 4);
+        let hit = e.run_while(2, |m| m.log.len() == 100);
+        assert!(!hit);
+        assert_eq!(e.model().log.len(), 6);
+    }
+
+    #[test]
+    fn trace_records_recent_events() {
+        let mut e = engine();
+        e.enable_trace(3);
+        for i in 0..6 {
+            e.schedule_at(SimTime::from_nanos(i), i as u32);
+        }
+        e.run();
+        let trace = e.trace();
+        assert_eq!(trace.len(), 3, "ring buffer keeps the most recent");
+        assert_eq!(trace[0].1, "3");
+        assert_eq!(trace[2].1, "5");
+        assert_eq!(trace[2].0, SimTime::from_nanos(5));
+        // Disabled by default.
+        let e2 = engine();
+        assert!(e2.trace().is_empty());
+    }
+
+    #[test]
+    fn empty_engine_runs_to_completion() {
+        let mut e = engine();
+        e.run();
+        assert_eq!(e.now(), SimTime::ZERO);
+        assert_eq!(e.events_processed(), 0);
+        assert!(!e.step());
+    }
+}

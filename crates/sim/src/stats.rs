@@ -1,0 +1,330 @@
+//! Statistics collection for simulation models.
+
+use crate::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A monotonically increasing event counter with a rate helper.
+///
+/// # Example
+///
+/// ```
+/// use trainbox_sim::{Counter, SimTime};
+///
+/// let mut samples = Counter::new("samples");
+/// samples.add(300);
+/// assert_eq!(samples.value(), 300);
+/// assert!((samples.rate(SimTime::from_secs(3)) - 100.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Create a counter with a diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter { name: name.into(), value: 0 }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Increment by one.
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increment by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Current count.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Events per second over the elapsed simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elapsed` is zero.
+    pub fn rate(&self, elapsed: SimTime) -> f64 {
+        assert!(elapsed > SimTime::ZERO, "elapsed must be positive");
+        self.value as f64 / elapsed.as_secs_f64()
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue depth,
+/// link utilization).
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the integral of the
+/// signal over time is maintained exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    name: String,
+    last_time: SimTime,
+    current: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Create a gauge starting at 0 at time 0.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeWeighted {
+            name: name.into(),
+            last_time: SimTime::ZERO,
+            current: 0.0,
+            integral: 0.0,
+            peak: 0.0,
+        }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record that the signal takes value `v` from time `now` onward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, v: f64) {
+        assert!(now >= self.last_time, "TimeWeighted updates must be in time order");
+        self.integral += self.current * (now - self.last_time).as_secs_f64();
+        self.last_time = now;
+        self.current = v;
+        if v > self.peak {
+            self.peak = v;
+        }
+    }
+
+    /// Adjust the signal by `delta` at `now` (convenience for queue depths).
+    pub fn adjust(&mut self, now: SimTime, delta: f64) {
+        let v = self.current + delta;
+        self.set(now, v);
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Peak value observed.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted mean over `[0, now]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is zero or precedes the last update.
+    pub fn mean(&self, now: SimTime) -> f64 {
+        assert!(now > SimTime::ZERO, "mean requires positive horizon");
+        assert!(now >= self.last_time, "horizon precedes last update");
+        let integral = self.integral + self.current * (now - self.last_time).as_secs_f64();
+        integral / now.as_secs_f64()
+    }
+}
+
+/// A fixed-bucket histogram over `f64` observations.
+///
+/// Buckets are `[lo + i*width, lo + (i+1)*width)`, with underflow and
+/// overflow counted separately.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    name: String,
+    lo: f64,
+    width: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Create a histogram spanning `[lo, hi)` with `buckets` equal bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi <= lo` or `buckets == 0`.
+    pub fn new(name: impl Into<String>, lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo, "histogram range must be nonempty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            name: name.into(),
+            lo,
+            width: (hi - lo) / buckets as f64,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v < self.lo {
+            self.underflow += 1;
+        } else {
+            let idx = ((v - self.lo) / self.width) as usize;
+            if idx >= self.buckets.len() {
+                self.overflow += 1;
+            } else {
+                self.buckets[idx] += 1;
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum observation (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum observation (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile `q in [0,1]` from bucket boundaries.
+    ///
+    /// Returns `None` when empty. Underflow observations clamp to `lo`,
+    /// overflow to the upper bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return Some(self.lo);
+        }
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(self.lo + (i as u64 + 1) as f64 * self.width);
+            }
+        }
+        Some(self.lo + self.buckets.len() as f64 * self.width)
+    }
+
+    /// Counts in `(underflow, buckets, overflow)` form.
+    pub fn raw_counts(&self) -> (u64, &[u64], u64) {
+        (self.underflow, &self.buckets, self.overflow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_and_rates() {
+        let mut c = Counter::new("c");
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        assert_eq!(c.name(), "c");
+        assert!((c.rate(SimTime::from_secs(2)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_mean_integrates_exactly() {
+        let mut g = TimeWeighted::new("depth");
+        g.set(SimTime::ZERO, 2.0);
+        g.set(SimTime::from_secs(1), 4.0);
+        // mean over [0,2): (2*1 + 4*1)/2 = 3
+        assert!((g.mean(SimTime::from_secs(2)) - 3.0).abs() < 1e-12);
+        assert_eq!(g.peak(), 4.0);
+        assert_eq!(g.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_adjust_tracks_deltas() {
+        let mut g = TimeWeighted::new("q");
+        g.adjust(SimTime::ZERO, 1.0);
+        g.adjust(SimTime::from_secs(1), 1.0);
+        g.adjust(SimTime::from_secs(2), -2.0);
+        assert_eq!(g.current(), 0.0);
+        // integral = 1*1 + 2*1 = 3 over horizon 3
+        assert!((g.mean(SimTime::from_secs(3)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn time_weighted_rejects_time_travel() {
+        let mut g = TimeWeighted::new("g");
+        g.set(SimTime::from_secs(2), 1.0);
+        g.set(SimTime::from_secs(1), 2.0);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new("lat", 0.0, 10.0, 10);
+        for v in [1.5, 2.5, 2.6, 7.0, -1.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.min(), Some(-1.0));
+        assert_eq!(h.max(), Some(100.0));
+        let (u, b, o) = h.raw_counts();
+        assert_eq!(u, 1);
+        assert_eq!(o, 1);
+        assert_eq!(b[1], 1);
+        assert_eq!(b[2], 2);
+        assert_eq!(b[7], 1);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_data() {
+        let mut h = Histogram::new("q", 0.0, 100.0, 100);
+        for i in 0..100 {
+            h.observe(i as f64 + 0.5);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((45.0..=55.0).contains(&median), "median={median}");
+        assert_eq!(h.quantile(1.0).unwrap(), 100.0);
+        assert!(Histogram::new("e", 0.0, 1.0, 2).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn histogram_mean() {
+        let mut h = Histogram::new("m", 0.0, 10.0, 2);
+        assert!(h.mean().is_none());
+        h.observe(2.0);
+        h.observe(4.0);
+        assert_eq!(h.mean(), Some(3.0));
+    }
+}

@@ -1,0 +1,78 @@
+//! Audio-training scenario: speech recognition / audio analysis on
+//! LibriSpeech-style clips — the workloads where the prep-pool matters most.
+//!
+//! Synthesizes speech-like waveforms, extracts log-Mel features through the
+//! real DSP kernels (STFT, Mel filter bank, SpecAugment masking, norm), then
+//! shows the TF-SR scaling picture of Fig 21b: the baseline saturates at
+//! ~4.4 accelerators, train boxes alone fall short, and the Ethernet
+//! prep-pool closes the gap with ~54% extra FPGA resources.
+//!
+//! ```sh
+//! cargo run --release --example audio_training
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trainbox::core::arch::{ServerConfig, ServerKind};
+use trainbox::core::initializer;
+use trainbox::dataprep::audio::{mel_spectrogram, StftConfig};
+use trainbox::dataprep::synth::librispeech_like_clip;
+use trainbox::nn::Workload;
+
+fn main() {
+    // --- 1. Format one clip through the real audio kernels.
+    let clip = librispeech_like_clip(3);
+    println!(
+        "clip: {:.2} s at {} Hz ({} KB stored)",
+        clip.duration_secs(),
+        clip.sample_rate(),
+        clip.stored_byte_len() / 1024
+    );
+    let mel = mel_spectrogram(&clip, StftConfig::speech_default(), 80);
+    let mut rng = StdRng::seed_from_u64(5);
+    let masked = mel.masked(2, 40, 2, 15, &mut rng).normalized();
+    println!(
+        "log-Mel features: {} frames x {} bins ({} KB to ship per clip)",
+        masked.frames(),
+        masked.bins(),
+        masked.byte_len() / 1024
+    );
+
+    // --- 2. The Fig 21b scaling story for TF-SR.
+    let w = Workload::transformer_sr();
+    println!("\n{} scalability (normalized to one accelerator):", w.name);
+    println!(
+        "{:<8} {:>10} {:>14} {:>12} {:>10}",
+        "n", "baseline", "tb w/o pool", "trainbox", "target"
+    );
+    for n in [1usize, 4, 16, 64, 256] {
+        let norm = |kind| {
+            ServerConfig::new(kind, n).build().throughput(&w).samples_per_sec
+                / w.accel_samples_per_sec
+        };
+        println!(
+            "{:<8} {:>10.1} {:>14.1} {:>12.1} {:>10}",
+            n,
+            norm(ServerKind::Baseline),
+            norm(ServerKind::TrainBoxNoPool),
+            norm(ServerKind::TrainBox),
+            n
+        );
+    }
+
+    // --- 3. The train initializer's pool sizing (§V-A / §VI-D).
+    let server = ServerConfig::new(ServerKind::TrainBox, 256).build();
+    for w in [Workload::transformer_sr(), Workload::transformer_aa()] {
+        let plan = initializer::plan(&server, &w, 256);
+        println!(
+            "\n{}: demand {:.0} samples/s, in-box FPGAs supply {:.0}",
+            plan.workload, plan.required_prep_rate, plan.in_box_prep_rate
+        );
+        println!(
+            "  initializer requests {} pool FPGAs (+{:.0}% of in-box) -> target {}",
+            plan.pool_fpgas_requested,
+            100.0 * plan.pool_fraction(64),
+            if plan.meets_target() { "met" } else { "MISSED" }
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Capacity planning: what does it take to feed N accelerators?
+//!
+//! For a target accelerator count this example prints (a) the host resources
+//! a naive scale-up would need (the Fig 10 story), (b) the train-box count,
+//! FPGA inventory, and prep-pool allocation TrainBox uses instead, and (c)
+//! the resulting bottleneck per workload — the table an operator would
+//! actually size a rack from.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning [n_accels]
+//! ```
+
+use trainbox::core::arch::{ServerConfig, ServerKind};
+use trainbox::core::fpga::{allocate, audio_engines, image_engines, XCVU9P};
+use trainbox::core::host::RequiredResources;
+use trainbox::core::initializer;
+use trainbox::nn::{InputKind, Workload};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(256);
+
+    println!("== capacity plan for {n} neural-network accelerators ==\n");
+
+    // (a) What naive scale-up would demand from the host.
+    println!("naive scale-up host demand (normalized to a DGX-2 class host):");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10}",
+        "workload", "cpu cores", "mem BW", "PCIe BW"
+    );
+    for w in Workload::all() {
+        let (c, m, p) = RequiredResources::baseline(&w, n).normalized();
+        println!("{:<14} {:>11.1}x {:>9.1}x {:>9.1}x", w.name, c, m, p);
+    }
+
+    // (b) The TrainBox inventory for the same target.
+    let boxes = n.div_ceil(8);
+    println!("\ntrainbox inventory: {boxes} train boxes");
+    println!("  per box: 8 accelerators, 2 prep FPGAs, 2 NVMe SSDs");
+    for (label, engines) in [("image", image_engines()), ("audio", audio_engines())] {
+        let u = allocate(XCVU9P, &engines).expect("engine mix fits");
+        println!(
+            "  {label} engine bitstream: {:.1}% LUT / {:.1}% FF / {:.1}% BRAM / {:.1}% DSP of an XCVU9P",
+            100.0 * u.lut,
+            100.0 * u.ff,
+            100.0 * u.bram,
+            100.0 * u.dsp
+        );
+    }
+
+    // (c) Prep-pool sizing and the final bottleneck per workload.
+    let server = ServerConfig::new(ServerKind::TrainBox, n).build();
+    println!("\nper-workload plan (pool of 256 FPGAs offered):");
+    println!(
+        "{:<14} {:>7} {:>12} {:>12} {:>10} {:>22}",
+        "workload", "input", "demand/s", "pool FPGAs", "target", "bottleneck"
+    );
+    for w in Workload::all() {
+        let plan = initializer::plan(&server, &w, 256);
+        let tp = server.throughput(&w);
+        let input = match w.input {
+            InputKind::Image => "image",
+            InputKind::Audio => "audio",
+        };
+        println!(
+            "{:<14} {:>7} {:>12.0} {:>12} {:>10} {:>22}",
+            w.name,
+            input,
+            plan.required_prep_rate,
+            plan.pool_fpgas_granted,
+            if plan.meets_target() { "met" } else { "missed" },
+            tp.bottleneck.label()
+        );
+    }
+}

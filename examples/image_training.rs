@@ -1,0 +1,84 @@
+//! Image-training scenario: the workloads the paper's introduction motivates
+//! (ImageNet-style classification).
+//!
+//! Walks the full stack: synthesize a stored dataset shard (JPEGs), run the
+//! real preparation pipeline with per-stage cost measurement, train a small
+//! classifier with and without augmentation (the Fig 5 mechanism), then
+//! evaluate how the server designs scale on the CNN workloads — including a
+//! discrete-event simulation of a 32-accelerator TrainBox.
+//!
+//! ```sh
+//! cargo run --release --example image_training
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trainbox::core::arch::{ServerConfig, ServerKind};
+use trainbox::core::pipeline::{simulate, SimConfig};
+use trainbox::dataprep::pipeline::{DataItem, PrepPipeline};
+use trainbox::dataprep::synth::imagenet_like_jpeg;
+use trainbox::nn::train::{run_experiment, AugExperimentConfig};
+use trainbox::nn::Workload;
+
+fn main() {
+    // --- 1. Prepare a shard through the real kernels, measuring each stage.
+    let shard: Vec<DataItem> = (0..8)
+        .map(|i| DataItem::EncodedImage(imagenet_like_jpeg(i)))
+        .collect();
+    let stored: usize = shard.iter().map(DataItem::byte_len).sum();
+    let mut rng = StdRng::seed_from_u64(1);
+    let costs = PrepPipeline::standard_image()
+        .measure(shard, &mut rng)
+        .expect("pipeline runs on synthetic data");
+    println!("prepared 8 samples ({} KB stored on SSD)", stored / 1024);
+    println!("{:<16} {:>12} {:>14}", "stage", "ms/sample", "amplification");
+    for c in &costs {
+        println!("{:<16} {:>12.3} {:>13.2}x", c.name, c.mean_secs() * 1e3, c.amplification());
+    }
+
+    // --- 2. Why augmentation must stay on-line (Fig 5's mechanism).
+    let cfg = AugExperimentConfig { epochs: 8, ..AugExperimentConfig::default() };
+    let res = run_experiment(&cfg);
+    println!(
+        "\naugmentation experiment ({} epochs): top-1 with={:.2} without={:.2}",
+        cfg.epochs,
+        res.with_augmentation.top1.last().unwrap(),
+        res.without_augmentation.top1.last().unwrap(),
+    );
+
+    // --- 3. Scaling the CNN workloads across designs.
+    println!("\nthroughput at 256 accelerators (samples/s):");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>9}",
+        "workload", "baseline", "trainbox", "target", "speedup"
+    );
+    for w in [Workload::vgg19(), Workload::resnet50(), Workload::inception_v4()] {
+        let base = ServerConfig::new(ServerKind::Baseline, 256).build().throughput(&w);
+        let tb = ServerConfig::new(ServerKind::TrainBox, 256).build().throughput(&w);
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>12.0} {:>8.1}x",
+            w.name,
+            base.samples_per_sec,
+            tb.samples_per_sec,
+            w.aggregate_demand(256),
+            tb.samples_per_sec / base.samples_per_sec
+        );
+    }
+
+    // --- 4. Cross-check one point with the discrete-event simulator.
+    let w = Workload::inception_v4();
+    let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 32)
+        .batch_size(512)
+        .build();
+    let des = simulate(&server, &w, &SimConfig::default());
+    let ana = server.throughput(&w).samples_per_sec;
+    println!(
+        "\nDES cross-check (TrainBox, 32 accelerators, Inception-v4, batch 512):"
+    );
+    println!(
+        "  simulated {:.0} samples/s vs analytic {:.0} samples/s ({:+.1}%)",
+        des.samples_per_sec,
+        ana,
+        100.0 * (des.samples_per_sec - ana) / ana
+    );
+}

@@ -1,0 +1,61 @@
+//! Multi-job rack sharing: underutilized train boxes feed hungry ones.
+//!
+//! §V-D (and footnote 2): when a TrainBox rack serves several jobs, FPGAs in
+//! underutilized train boxes can act as the prep-pool for overutilized ones
+//! because workloads demand very different amounts of preparation (Fig 10).
+//! This example also quantifies why the *static* alternative — materialize
+//! augmented data offline — is a non-starter (§III-D).
+//!
+//! ```sh
+//! cargo run --release --example multi_job
+//! ```
+
+use trainbox::core::multijob::{balance_rack, JobPlacement};
+use trainbox::core::staticprep::StaticPrepAnalysis;
+use trainbox::nn::Workload;
+
+fn main() {
+    // --- 1. A rack shared by an image job and two audio jobs.
+    let jobs = [
+        JobPlacement::new(Workload::inception_v4(), 12),
+        JobPlacement::new(Workload::transformer_sr(), 12),
+        JobPlacement::new(Workload::transformer_aa(), 8),
+    ];
+    println!("rack: {} train boxes across {} jobs\n", 12 + 12 + 8, jobs.len());
+    let plan = balance_rack(&jobs);
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "job", "demand/s", "local/s", "borrowed/s", "achieved/s", "met"
+    );
+    for j in &plan.jobs {
+        println!(
+            "{:<14} {:>12.0} {:>12.0} {:>12.0} {:>12.0} {:>7.0}%",
+            j.workload,
+            j.demand,
+            j.local_supply,
+            j.borrowed,
+            j.achieved,
+            100.0 * j.satisfaction()
+        );
+    }
+    println!(
+        "\npool flow: {:.0} samples/s-equivalent offered, {:.0} requested",
+        plan.surplus_offered, plan.deficit_requested
+    );
+
+    // --- 2. Why not just precompute the augmented data? (§III-D)
+    println!("\nstatic preparation alternative (ImageNet, random crops only):");
+    let a = StaticPrepAnalysis::paper_example();
+    println!(
+        "  {} items x {} crop bases x {} KB  =  {:.1} PB",
+        a.items,
+        a.variants_per_item,
+        a.bytes_per_variant / 1000,
+        a.total_petabytes()
+    );
+    println!(
+        "  that is {} four-TB SSDs for one dataset's crops alone",
+        a.ssds_required(4_000_000_000_000)
+    );
+    println!("  => on-line preparation is the only viable design (paper §III-D)");
+}

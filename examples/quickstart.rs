@@ -1,0 +1,53 @@
+//! Quickstart: evaluate the TrainBox architecture against the baseline on
+//! one workload, and run one sample through the real data-preparation
+//! kernels.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trainbox::core::arch::{ServerConfig, ServerKind};
+use trainbox::dataprep::pipeline::{prepare_image_sample, DataItem};
+use trainbox::nn::Workload;
+
+fn main() {
+    // 1. One real data-preparation sample: synthetic 256x256 JPEG through
+    //    decode -> random crop -> mirror -> noise -> cast.
+    let mut rng = StdRng::seed_from_u64(42);
+    let item = prepare_image_sample(7, &mut rng).expect("pipeline runs");
+    match &item {
+        DataItem::FloatImage(t) => println!(
+            "prepared one sample: {}x{} float tensor, {} bytes to ship to an accelerator",
+            t.width(),
+            t.height(),
+            t.byte_len()
+        ),
+        other => unreachable!("image pipeline yields a tensor, got {}", other.kind_name()),
+    }
+
+    // 2. The architecture question: what happens at 256 accelerators?
+    let w = Workload::resnet50();
+    println!("\nworkload: {} ({} samples/s per accelerator)", w.name, w.accel_samples_per_sec);
+    println!("{:<24} {:>16} {:>10} {:>24}", "design", "samples/s", "speedup", "bottleneck");
+    let baseline = ServerConfig::new(ServerKind::Baseline, 256).build();
+    let base_tp = baseline.throughput(&w).samples_per_sec;
+    for kind in [
+        ServerKind::Baseline,
+        ServerKind::AccFpga,
+        ServerKind::AccFpgaP2p,
+        ServerKind::AccFpgaP2pGen4,
+        ServerKind::TrainBox,
+    ] {
+        let server = ServerConfig::new(kind, 256).build();
+        let tp = server.throughput(&w);
+        println!(
+            "{:<24} {:>16.0} {:>9.1}x {:>24}",
+            kind.label(),
+            tp.samples_per_sec,
+            tp.samples_per_sec / base_tp,
+            tp.bottleneck.label()
+        );
+    }
+}

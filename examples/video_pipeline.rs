@@ -1,0 +1,78 @@
+//! Video input: the "new input form" of §V-C, end to end.
+//!
+//! Builds a synthetic MJPEG-style clip, stores it as a record shard (the
+//! on-SSD layout), temporally samples frames, runs them through the image
+//! preparation pipeline, and sizes a video workload against the TrainBox
+//! designs using a custom Table-I-style entry.
+//!
+//! ```sh
+//! cargo run --release --example video_pipeline
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use trainbox::core::arch::{ServerConfig, ServerKind};
+use trainbox::dataprep::pipeline::{CastFloat, DataItem, JpegDecode, PrepPipeline, RandomCrop};
+use trainbox::dataprep::video::{sample_frames, synthetic_clip, VideoClip};
+use trainbox::nn::{InputKind, NnKind, Workload};
+
+fn main() {
+    // --- 1. A clip on "SSD": shard container of JPEG frames.
+    let clip = synthetic_clip(256, 64, 16, 11);
+    let shard = clip.to_shard();
+    println!(
+        "clip: {} frames @ {} fps ({:.1} s, {} KB stored as a shard)",
+        clip.frame_count(),
+        clip.fps(),
+        clip.duration_secs(),
+        shard.len() / 1024
+    );
+    let restored = VideoClip::from_shard(&shard).expect("shard round-trips");
+
+    // --- 2. Temporal sampling + per-frame image preparation.
+    let mut rng = StdRng::seed_from_u64(2);
+    let picks = sample_frames(&restored, 8, &mut rng).expect("clip has enough frames");
+    let pipeline = PrepPipeline::new()
+        .then(JpegDecode)
+        .then(RandomCrop { width: 224, height: 224 })
+        .then(CastFloat);
+    let mut shipped = 0usize;
+    for &i in &picks {
+        let frame = restored.decode_frame(i).expect("frame decodes");
+        let bytes = trainbox::dataprep::jpeg::encode(&frame, 85);
+        let out = pipeline
+            .run(DataItem::EncodedImage(bytes), &mut rng)
+            .expect("pipeline runs");
+        shipped += out.byte_len();
+    }
+    println!(
+        "sampled frames {picks:?} -> {} KB of tensors to accelerators",
+        shipped / 1024
+    );
+
+    // --- 3. Size a hypothetical video workload on the server designs.
+    //     Per "sample" = one 8-frame clip; the accelerator consumes clips
+    //     at a video-transformer-ish rate.
+    let video = Workload {
+        name: "Video-TF",
+        kind: NnKind::Transformer,
+        input: InputKind::Image, // per-frame preparation is the image path
+        task: "Video understanding",
+        batch_size: 256,
+        model_mbytes: 300.0,
+        accel_samples_per_sec: 900.0,
+    };
+    println!("\nhypothetical {} at 256 accelerators:", video.name);
+    for kind in [ServerKind::Baseline, ServerKind::TrainBox] {
+        // 8 prepared frames per clip: scale the demand accordingly by
+        // treating each frame as one prep sample.
+        let frames = Workload { accel_samples_per_sec: video.accel_samples_per_sec * 8.0, ..video.clone() };
+        let tp = ServerConfig::new(kind, 256).build().throughput(&frames);
+        println!(
+            "  {:<24} {:>12.0} frames/s ({})",
+            kind.label(),
+            tp.samples_per_sec,
+            tp.bottleneck.label()
+        );
+    }
+}

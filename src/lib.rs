@@ -1,0 +1,37 @@
+//! # TrainBox reproduction — facade crate
+//!
+//! This crate re-exports the full reproduction of *TrainBox: An Extreme-Scale
+//! Neural Network Training Server Architecture by Systematically Balancing
+//! Operations* (MICRO 2020).
+//!
+//! The reproduction is organized as a workspace of substrate crates:
+//!
+//! * [`sim`] — discrete-event simulation engine
+//! * [`pcie`] — PCIe tree interconnect model (switches, routing, P2P, bandwidth)
+//! * [`dataprep`] — real data-preparation kernels (JPEG codec, image ops, audio DSP)
+//! * [`nn`] — minimal neural-network training substrate and workload models
+//! * [`collective`] — ring/tree all-reduce (real, threaded) and analytic latency model
+//! * [`core`] — the TrainBox architecture itself: server configurations, devices,
+//!   host-resource accounting, and end-to-end throughput simulation
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use trainbox::core::arch::{ServerConfig, ServerKind};
+//! use trainbox::nn::workload::Workload;
+//!
+//! # fn main() {
+//! let resnet = Workload::resnet50();
+//! let baseline = ServerConfig::new(ServerKind::Baseline, 256).build();
+//! let tb = ServerConfig::new(ServerKind::TrainBox, 256).build();
+//! let base_tp = baseline.throughput(&resnet);
+//! let tb_tp = tb.throughput(&resnet);
+//! assert!(tb_tp.samples_per_sec > base_tp.samples_per_sec);
+//! # }
+//! ```
+pub use trainbox_collective as collective;
+pub use trainbox_core as core;
+pub use trainbox_dataprep as dataprep;
+pub use trainbox_nn as nn;
+pub use trainbox_pcie as pcie;
+pub use trainbox_sim as sim;

@@ -1,0 +1,242 @@
+//! The paper's headline claims, asserted end to end.
+//!
+//! Each test names the figure/section it reproduces. Absolute values are
+//! checked only where this reproduction is calibrated to them (see
+//! `trainbox-core/src/calib.rs`); otherwise we assert the *shape* — who
+//! wins, where curves saturate, which resource binds.
+
+use trainbox::collective::RingModel;
+use trainbox::core::analytic::{figure3_stages, latency_decomposition};
+use trainbox::core::arch::{ServerConfig, ServerKind};
+use trainbox::core::host::{figure22_rows, Datapath};
+use trainbox::core::initializer;
+use trainbox::nn::{InputKind, Workload};
+
+fn tp(kind: ServerKind, n: usize, w: &Workload) -> f64 {
+    ServerConfig::new(kind, n).build().throughput(w).samples_per_sec
+}
+
+/// §I / Fig 19: "44.4× higher training throughput on average over a naively
+/// extended server architecture with 256 neural network accelerators."
+#[test]
+fn headline_average_speedup() {
+    let speedups: Vec<f64> = Workload::all()
+        .iter()
+        .map(|w| tp(ServerKind::TrainBox, 256, w) / tp(ServerKind::Baseline, 256, w))
+        .collect();
+    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+    // Paper: 44.4x. Our calibration lands at ~55x (recorded in
+    // EXPERIMENTS.md); the claim under test is the order of magnitude and
+    // that every workload improves by >10x.
+    assert!((40.0..70.0).contains(&mean), "mean speedup {mean}");
+    assert!(speedups.iter().all(|&s| s > 10.0), "{speedups:?}");
+}
+
+/// §VI-C: "the improvement (84.3×) is the largest with TF-AA."
+#[test]
+fn largest_improvement_is_tf_aa() {
+    let mut best = ("", 0.0f64);
+    for w in Workload::all() {
+        let s = tp(ServerKind::TrainBox, 256, &w) / tp(ServerKind::Baseline, 256, &w);
+        if s > best.1 {
+            best = (w.name, s);
+        }
+    }
+    assert_eq!(best.0, "TF-AA");
+    assert!((best.1 - 84.3).abs() < 2.0, "TF-AA speedup {}", best.1);
+}
+
+/// Fig 8 / §III-B2: baseline throughput saturates early — "after 18 neural
+/// network accelerators, all models do not benefit from more accelerators."
+#[test]
+fn fig8_baseline_saturates_by_18() {
+    for w in Workload::all() {
+        let t18 = tp(ServerKind::Baseline, 18, &w);
+        let t256 = tp(ServerKind::Baseline, 256, &w);
+        assert!(
+            t256 <= t18 * 1.02,
+            "{}: 256-acc baseline should not beat 18-acc ({t18} -> {t256})",
+            w.name
+        );
+    }
+}
+
+/// §III-B2: "data preparation accounts for 98.1% of the total latency."
+#[test]
+fn fig9_prep_share() {
+    let shares: Vec<f64> = Workload::all()
+        .iter()
+        .map(|w| {
+            let s = ServerConfig::new(ServerKind::Baseline, 256).build();
+            latency_decomposition(&s, w).prep_share()
+        })
+        .collect();
+    let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+    assert!((mean - 0.981).abs() < 0.02, "mean prep share {mean}");
+}
+
+/// Fig 2b: ring synchronization latency saturates at ~2× the 2-node latency.
+#[test]
+fn fig2b_ring_saturation() {
+    let ring = RingModel::nvlink_default();
+    let series = ring.figure_2b_series(97_500_000, &[2, 4, 8, 16, 32, 64, 128, 256]);
+    let last = series.last().unwrap().1;
+    assert!((1.8..2.5).contains(&last), "saturation {last}");
+}
+
+/// Fig 3: the optimization progression turns a compute-bound system into a
+/// preparation-bound one.
+#[test]
+fn fig3_bottleneck_shift() {
+    let stages = figure3_stages();
+    assert!(stages[0].steps.prep_share() < 0.10, "GPUs-era systems hide prep");
+    assert!(stages[3].steps.prep_share() > 0.95, "modern systems expose prep");
+}
+
+/// §VI-C: step-wise gains — acceleration ~3.3×, P2P alone nothing,
+/// clustering unlocks the rest.
+#[test]
+fn fig19_stepwise_gains() {
+    let mut acc_gain = Vec::new();
+    let mut p2p_gain = Vec::new();
+    let mut cluster_gain = Vec::new();
+    for w in Workload::all() {
+        let b = tp(ServerKind::Baseline, 256, &w);
+        let a = tp(ServerKind::AccFpga, 256, &w);
+        let p = tp(ServerKind::AccFpgaP2p, 256, &w);
+        let t = tp(ServerKind::TrainBox, 256, &w);
+        acc_gain.push(a / b);
+        p2p_gain.push(p / a);
+        cluster_gain.push(t / p);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Paper: acceleration boosts 3.32x on average (audio gains more than
+    // image, §VI-C; in our calibration the audio gain is larger still, so
+    // the mean lands near 5x — see EXPERIMENTS.md).
+    assert!((2.0..6.5).contains(&mean(&acc_gain)), "acc {:?}", acc_gain);
+    assert!(acc_gain.iter().all(|g| *g > 1.5), "every workload gains: {acc_gain:?}");
+    // Paper: P2P alone does not increase throughput.
+    assert!(p2p_gain.iter().all(|g| (g - 1.0).abs() < 0.01), "{p2p_gain:?}");
+    // Paper: clustering adds another 13.4x on average.
+    assert!((8.0..25.0).contains(&mean(&cluster_gain)), "cluster {:?}", cluster_gain);
+}
+
+/// §VI-C: "While doubling the PCIe bandwidth (B+Acc+P2P+Gen4) is beneficial,
+/// TrainBox without Gen4 shows even higher improvement."
+#[test]
+fn gen4_helps_but_clustering_wins() {
+    for w in Workload::all() {
+        let p2p = tp(ServerKind::AccFpgaP2p, 256, &w);
+        let gen4 = tp(ServerKind::AccFpgaP2pGen4, 256, &w);
+        let tb = tp(ServerKind::TrainBox, 256, &w);
+        assert!(gen4 >= p2p, "{}", w.name);
+        assert!(tb > gen4, "{}: trainbox {tb} vs gen4 {gen4}", w.name);
+    }
+}
+
+/// Fig 21: FPGA prep outperforms GPU prep at small scale; GPU prep starts
+/// below the CPU baseline.
+#[test]
+fn fig21_prep_device_comparison() {
+    let w = Workload::inception_v4();
+    assert!(tp(ServerKind::AccGpu, 16, &w) < tp(ServerKind::Baseline, 16, &w));
+    assert!(tp(ServerKind::AccFpga, 16, &w) > tp(ServerKind::AccGpu, 16, &w));
+    assert!(tp(ServerKind::AccGpu, 256, &w) > tp(ServerKind::Baseline, 256, &w));
+}
+
+/// §VI-D: TF-SR needs the prep-pool and reaches the target with ~54% more
+/// FPGA resources; Inception-v4 does not need the pool at all.
+#[test]
+fn prep_pool_sizing() {
+    let server = ServerConfig::new(ServerKind::TrainBox, 256).build();
+    let sr = initializer::plan(&server, &Workload::transformer_sr(), 256);
+    assert!(sr.meets_target());
+    assert!((sr.pool_fraction(64) - 0.54).abs() < 0.03);
+    let inc = initializer::plan(&server, &Workload::inception_v4(), 256);
+    assert_eq!(inc.pool_fpgas_requested, 0);
+}
+
+/// Fig 22: each optimization removes its slice of host-resource usage.
+#[test]
+fn fig22_resource_reductions() {
+    for input in [InputKind::Image, InputKind::Audio] {
+        let rows = figure22_rows(input);
+        let get = |d: Datapath| {
+            rows.iter()
+                .find(|(dp, _)| *dp == d)
+                .map(|(_, u)| *u)
+                .expect("row present")
+        };
+        let base = get(Datapath::HostCpu);
+        let acc = get(Datapath::HostStagedAccel);
+        let p2p = get(Datapath::P2pAccel);
+        let tb = get(Datapath::Clustered);
+        // CPU collapses with acceleration.
+        assert!(acc.cpu_secs.total() < 0.05 * base.cpu_secs.total());
+        // Memory collapses with P2P.
+        assert!(p2p.mem_bytes.total() < 0.05 * base.mem_bytes.total());
+        // PCIe doubles with acceleration, collapses with clustering.
+        assert!(acc.rc_pcie_bytes.total() > 1.9 * base.rc_pcie_bytes.total());
+        assert!(tb.rc_pcie_bytes.total() < 0.05 * base.rc_pcie_bytes.total());
+    }
+}
+
+/// §III-C headline: at 256 accelerators the baseline needs roughly
+/// 50×/7.6×/7.1× the CPU/memory/PCIe of a DGX-2 on average.
+#[test]
+fn host_resource_multipliers() {
+    use trainbox::core::host::RequiredResources;
+    let mut cpu = Vec::new();
+    let mut mem = Vec::new();
+    let mut pcie = Vec::new();
+    for w in Workload::all() {
+        let (c, m, p) = RequiredResources::baseline(&w, 256).normalized();
+        cpu.push(c);
+        mem.push(m);
+        pcie.push(p);
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    // Paper: 50.0x / 7.6x / 7.1x average. Our calibration: ~57x / ~7.6x /
+    // ~7.3x (EXPERIMENTS.md discusses the CPU deviation).
+    assert!((45.0..65.0).contains(&mean(&cpu)), "cpu {:?}", mean(&cpu));
+    assert!((6.5..9.0).contains(&mean(&mem)), "mem {:?}", mean(&mem));
+    assert!((6.0..8.5).contains(&mean(&pcie)), "pcie {:?}", mean(&pcie));
+}
+
+/// Fig 20: TrainBox's advantage grows with batch size.
+#[test]
+fn fig20_batch_sweep_shape() {
+    let w = Workload::resnet50();
+    let mut prev = 0.0;
+    for batch in [8u64, 32, 128, 512, 2048, 8192] {
+        let tb = ServerConfig::new(ServerKind::TrainBox, 256)
+            .batch_size(batch)
+            .build();
+        let base = ServerConfig::new(ServerKind::Baseline, 256)
+            .batch_size(batch)
+            .build();
+        let s = tb.speedup_over(&base, &w);
+        assert!(s >= prev, "speedup should grow with batch: {s} after {prev}");
+        prev = s;
+    }
+    assert!(prev > 30.0, "largest-batch speedup {prev}");
+}
+
+/// §VI-C: improvements are larger for workloads with higher throughput
+/// demand (heavier pressure on preparation).
+#[test]
+fn speedup_correlates_with_demand() {
+    // Among image CNNs, ordering by per-accelerator throughput must match
+    // ordering by TrainBox speedup.
+    let mut rows: Vec<(f64, f64)> = [Workload::vgg19(), Workload::resnet50(), Workload::inception_v4()]
+        .iter()
+        .map(|w| {
+            (
+                w.accel_samples_per_sec,
+                tp(ServerKind::TrainBox, 256, w) / tp(ServerKind::Baseline, 256, w),
+            )
+        })
+        .collect();
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    assert!(rows.windows(2).all(|w| w[1].1 >= w[0].1), "{rows:?}");
+}
