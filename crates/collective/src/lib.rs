@@ -11,12 +11,16 @@
 //!   `crossbeam` channels (reduce-scatter + all-gather), plus a binomial
 //!   tree reduce-broadcast baseline;
 //! * [`model`] — the analytic chunked-ring latency model used by the server
-//!   simulator, which reproduces Fig 2b's saturation shape.
+//!   simulator, which reproduces Fig 2b's saturation shape;
+//! * [`reform`] — ring re-formation over the survivors after an
+//!   accelerator dropout (degraded-mode synchronization).
 
 pub mod halving;
 pub mod model;
+pub mod reform;
 pub mod ring;
 
 pub use halving::halving_doubling_all_reduce;
 pub use model::RingModel;
+pub use reform::{reformed_ring_all_reduce, surviving_ring};
 pub use ring::{ring_all_reduce, tree_all_reduce};

@@ -1,0 +1,132 @@
+//! Ring re-formation after accelerator loss.
+//!
+//! When an accelerator drops out of a training server, the remaining
+//! participants must keep synchronizing: the ring is *re-formed* over the
+//! survivors by splicing the dead rank's neighbors together. The re-formed
+//! ring is a smaller instance of the same chunked algorithm, so its latency
+//! is exactly [`crate::RingModel::allreduce_secs`] evaluated at the survivor
+//! count — the property the degraded-mode simulator relies on.
+
+use crate::ring::ring_all_reduce;
+
+/// The ranks that remain in ring order after dropouts.
+///
+/// Ring order is inherited from the original ring: survivors keep their
+/// relative order, and each survivor's right-hand neighbor becomes the next
+/// surviving rank (wrapping). Returns an empty vector if nobody survives.
+pub fn surviving_ring(alive: &[bool]) -> Vec<usize> {
+    alive
+        .iter()
+        .enumerate()
+        .filter_map(|(rank, &a)| a.then_some(rank))
+        .collect()
+}
+
+/// All-reduce over the survivors of a degraded ring.
+///
+/// `buffers[r]` is the gradient buffer of original rank `r`; `alive[r]` says
+/// whether that rank still participates. The reduction runs the real
+/// threaded ring over the spliced ring and returns `(original_rank, summed
+/// buffer)` per survivor, in ring order. Dead ranks contribute nothing —
+/// their gradients are lost with the device, exactly as in a real dropout.
+///
+/// # Panics
+///
+/// Panics if `buffers` and `alive` have different lengths, if no rank
+/// survives, or if the survivors' buffers have mismatched lengths.
+pub fn reformed_ring_all_reduce(
+    buffers: Vec<Vec<f32>>,
+    alive: &[bool],
+) -> Vec<(usize, Vec<f32>)> {
+    assert_eq!(buffers.len(), alive.len(), "one alive flag per rank");
+    let ring = surviving_ring(alive);
+    assert!(!ring.is_empty(), "at least one rank must survive");
+    let mut pool: Vec<Option<Vec<f32>>> = buffers.into_iter().map(Some).collect();
+    let survivors: Vec<Vec<f32>> = ring
+        .iter()
+        .map(|&r| pool[r].take().expect("rank appears once in the ring"))
+        .collect();
+    let reduced = ring_all_reduce(survivors);
+    ring.into_iter().zip(reduced).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splices_out_dead_ranks_in_order() {
+        let alive = [true, false, true, true, false, true];
+        assert_eq!(surviving_ring(&alive), vec![0, 2, 3, 5]);
+        assert!(surviving_ring(&[false, false]).is_empty());
+    }
+
+    #[test]
+    fn reformed_ring_sums_only_survivors() {
+        let buffers = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0], // dies
+            vec![4.0, 40.0],
+            vec![8.0, 80.0],
+        ];
+        let alive = [true, false, true, true];
+        let out = reformed_ring_all_reduce(buffers, &alive);
+        assert_eq!(out.len(), 3);
+        for (rank, buf) in &out {
+            assert!([0usize, 2, 3].contains(rank));
+            assert_eq!(buf.as_slice(), &[13.0, 130.0]);
+        }
+    }
+
+    #[test]
+    fn single_survivor_keeps_its_own_gradients() {
+        let out = reformed_ring_all_reduce(
+            vec![vec![1.0], vec![7.0], vec![3.0]],
+            &[false, true, false],
+        );
+        assert_eq!(out, vec![(1, vec![7.0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank must survive")]
+    fn total_loss_rejected() {
+        reformed_ring_all_reduce(vec![vec![1.0]], &[false]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn matches_serial_sum_over_survivors(
+            vals in proptest::collection::vec(
+                proptest::collection::vec(-8.0f32..8.0, 6),
+                1..7,
+            ),
+            mask_seed in 0u32..64,
+        ) {
+            let n = vals.len();
+            let mut alive: Vec<bool> =
+                (0..n).map(|r| (mask_seed >> (r % 6)) & 1 == 1).collect();
+            // Guarantee a survivor so the call is well-formed.
+            if alive.iter().all(|&a| !a) {
+                alive[0] = true;
+            }
+            let expect: Vec<f32> = (0..6)
+                .map(|i| {
+                    (0..n)
+                        .filter(|&r| alive[r])
+                        .map(|r| vals[r][i])
+                        .sum()
+                })
+                .collect();
+            let out = reformed_ring_all_reduce(vals.clone(), &alive);
+            prop_assert_eq!(out.len(), alive.iter().filter(|&&a| a).count());
+            for (_, buf) in &out {
+                for (got, want) in buf.iter().zip(&expect) {
+                    prop_assert!((got - want).abs() < 1e-3, "{got} vs {want}");
+                }
+            }
+        }
+    }
+}

@@ -24,7 +24,11 @@
 //! * [`analytic`] — latency decomposition (Figures 3, 9);
 //! * [`initializer`] — the §V-A train initializer (prep-pool sizing);
 //! * [`pipeline`] — a discrete-event simulation of the full datapath that
-//!   cross-validates the analytic model.
+//!   cross-validates the analytic model;
+//! * [`faults`] — deterministic fault injection (SSD stalls, prep crashes
+//!   and slowdowns, link degradation, accelerator dropout, transient
+//!   request failures) and the degraded-mode accounting the pipeline
+//!   reports.
 //!
 //! # Quickstart
 //!
@@ -43,6 +47,7 @@
 pub mod analytic;
 pub mod arch;
 pub mod calib;
+pub mod faults;
 pub mod fpga;
 pub mod host;
 pub mod initializer;

@@ -19,11 +19,13 @@ use crate::calib::{
     cpu_secs_per_sample, fpga_samples_per_sec, gpu_prep_samples_per_sec, SampleSizes, DGX2,
     SSD_READ_BYTES_PER_SEC,
 };
+use crate::faults::{FaultDomain, FaultDowntime, FaultKind, FaultPlan, FaultStats, RetryPolicy};
 use std::collections::HashMap;
+use trainbox_collective::RingModel;
 use trainbox_nn::Workload;
 use trainbox_pcie::boxes::{PrepPoolNet, ServerTopology};
 use trainbox_pcie::flow::{FlowId, FlowNet, FlowSim, FlowSpec};
-use trainbox_pcie::NodeId;
+use trainbox_pcie::{LinkId, NodeId};
 use trainbox_sim::{Engine, FifoServer, Model, Scheduler, SimTime};
 
 /// Configuration of one DES run.
@@ -68,6 +70,9 @@ pub struct SimResult {
     pub link_bytes: Vec<f64>,
     /// Bytes that crossed the root complex (sum over RC-incident links).
     pub rc_bytes: f64,
+    /// What the fault layer injected and observed (all-zero for a run
+    /// without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl SimResult {
@@ -103,6 +108,8 @@ enum Stage {
     EthFromPool,
     /// In flight toward its accelerator (final leg).
     ToAccel,
+    /// Waiting out a retry backoff after a transiently failed prep request.
+    PrepRetryWait,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -114,6 +121,9 @@ struct Chunk {
     ssd: usize,
     /// Prep-pool FPGA handling this chunk (only meaningful mid-offload).
     pool_dev: usize,
+    /// Dispatch attempt, bumped on retries and crash re-dispatch; prep
+    /// completions stamped with an older attempt are stale and ignored.
+    attempt: u32,
 }
 
 /// Ethernet prep-pool state for the DES.
@@ -156,12 +166,80 @@ enum Ev {
     EthFlowCheck(u64),
     /// A prep-pool FPGA finished a chunk.
     PoolPrepDone(u64),
-    /// A preparation device finished a chunk.
-    PrepDone(u64),
+    /// A preparation device finished a chunk (attempt-stamped; completions
+    /// from before a crash re-dispatch are stale and ignored).
+    PrepDone(u64, u32),
     /// An accelerator finished computing its current batch.
     ComputeDone(usize),
     /// The ring synchronization for the current generation completed.
     SyncDone,
+    /// Injection instant of fault plan entry `i`.
+    Fault(usize),
+    /// End of fault plan entry `i`'s degradation window.
+    FaultRecover(usize),
+    /// Backoff elapsed: re-dispatch the chunk's prep request.
+    PrepRetry(u64),
+}
+
+/// Mutable degraded-mode state: who is alive, how fast, and what the fault
+/// layer has observed so far. Constructed all-healthy; an empty plan leaves
+/// it untouched for the whole run.
+struct FaultRuntime {
+    /// The plan, sorted by injection time.
+    events: Vec<(SimTime, FaultKind)>,
+    retry: RetryPolicy,
+    accel_alive: Vec<bool>,
+    prep_alive: Vec<bool>,
+    /// Speed multiplier per prep device (1.0 nominal; < 1 while throttled).
+    prep_speed: Vec<f64>,
+    /// Until when each prep device rejects new requests.
+    prep_flaky_until: Vec<SimTime>,
+    /// Chunks assigned to each prep device's local queue and not yet
+    /// prepared — the load metric for greedy max-min rebalancing.
+    prep_outstanding: Vec<u64>,
+    /// Nominal capacity of every PCIe link, for restoring after degradation.
+    nominal_caps: Vec<f64>,
+    stats: FaultStats,
+}
+
+impl FaultRuntime {
+    fn new(plan: &FaultPlan, n_accels: usize, n_preps: usize, nominal_caps: Vec<f64>) -> Self {
+        FaultRuntime {
+            events: plan
+                .sorted_events()
+                .iter()
+                .map(|ev| (SimTime::from_secs_f64(ev.at_secs), ev.kind))
+                .collect(),
+            retry: plan.retry,
+            accel_alive: vec![true; n_accels],
+            prep_alive: vec![true; n_preps],
+            prep_speed: vec![1.0; n_preps],
+            prep_flaky_until: vec![SimTime::ZERO; n_preps],
+            prep_outstanding: vec![0; n_preps],
+            nominal_caps,
+            stats: FaultStats::default(),
+        }
+    }
+
+    fn alive_accels(&self) -> usize {
+        self.accel_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Least-loaded surviving prep device (greedy water-filling; ties break
+    /// toward the lowest index for determinism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no prep device survives.
+    fn least_loaded_prep(&self) -> usize {
+        self.prep_alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &alive)| alive)
+            .min_by_key(|&(dev, _)| self.prep_outstanding[dev])
+            .map(|(dev, _)| dev)
+            .expect("no preparation device survives its faults")
+    }
 }
 
 struct PipelineModel {
@@ -191,17 +269,25 @@ struct PipelineModel {
     chunks: HashMap<u64, Chunk>,
     next_chunk: u64,
     accels: Vec<AccelState>,
-    arrived: usize,
     sync_gen: u64,
     sync_in_progress: bool,
     batch_done_at: Vec<SimTime>,
+    /// Samples contributed by each completed generation (surviving
+    /// accelerators x batch at sync time).
+    batch_samples: Vec<u64>,
     rr_ssd: usize,
     rr_prep: usize,
     done: bool,
+
+    /// Ring latency model and gradient size, kept so the synchronization
+    /// time can be recomputed when the ring re-forms after a dropout.
+    ring: RingModel,
+    model_bytes: u64,
+    faults: FaultRuntime,
 }
 
 impl PipelineModel {
-    fn new(server: &Server, workload: &Workload, cfg: &SimConfig) -> Self {
+    fn new(server: &Server, workload: &Workload, cfg: &SimConfig, plan: &FaultPlan) -> Self {
         let kind = server.kind();
         let topo = server.topology().clone();
         let sizes = SampleSizes::for_input(workload.input);
@@ -247,7 +333,7 @@ impl PipelineModel {
         } else {
             None
         };
-        let ssds = topo.ssds.iter().map(|_| FifoServer::new(1)).collect();
+        let ssds: Vec<FifoServer> = topo.ssds.iter().map(|_| FifoServer::new(1)).collect();
         let (preps, prep_service): (Vec<FifoServer>, SimTime) = match kind {
             ServerKind::Baseline => {
                 // One fluid CPU pool: each chunk occupies one of the 48
@@ -274,6 +360,21 @@ impl PipelineModel {
             }
         };
 
+        let domain = FaultDomain {
+            n_ssds: ssds.len(),
+            n_preps: preps.len(),
+            n_accels: n,
+            n_links,
+            horizon_secs: f64::INFINITY,
+        };
+        if let Err(e) = plan.validate(&domain) {
+            panic!("invalid fault plan: {e}");
+        }
+        let nominal_caps: Vec<f64> = (0..n_links)
+            .map(|i| flows.net().capacity(LinkId::from_index(i)))
+            .collect();
+        let faults = FaultRuntime::new(plan, n, preps.len(), nominal_caps);
+
         PipelineModel {
             kind,
             topo,
@@ -295,18 +396,32 @@ impl PipelineModel {
             chunks: HashMap::new(),
             next_chunk: 0,
             accels: vec![AccelState::default(); n],
-            arrived: 0,
             sync_gen: 0,
             sync_in_progress: false,
             batch_done_at: Vec::new(),
+            batch_samples: Vec::new(),
             rr_ssd: 0,
             rr_prep: 0,
             done: false,
+            ring: *server.ring_model(),
+            model_bytes: workload.model_bytes(),
+            faults,
         }
     }
 
-    /// The SSD and prep device serving accelerator `acc`.
+    /// The SSD and prep device serving accelerator `acc`. A preferred prep
+    /// device that has crashed is replaced by the least-loaded survivor
+    /// (greedy max-min rebalancing of future work).
     fn assign_devices(&mut self, acc: usize) -> (usize, usize) {
+        let (ssd, prep) = self.assign_devices_nominal(acc);
+        if self.faults.prep_alive[prep] {
+            (ssd, prep)
+        } else {
+            (ssd, self.faults.least_loaded_prep())
+        }
+    }
+
+    fn assign_devices_nominal(&mut self, acc: usize) -> (usize, usize) {
         match self.kind {
             ServerKind::TrainBox | ServerKind::TrainBoxNoPool => {
                 // Everything local to the accelerator's train box: 8 accs,
@@ -333,7 +448,7 @@ impl PipelineModel {
 
     /// Spawn chunks for `acc` while prefetch credit remains.
     fn refill(&mut self, now: SimTime, acc: usize, sched: &mut Scheduler<Ev>) {
-        if self.done {
+        if self.done || !self.faults.accel_alive[acc] {
             return;
         }
         let credit = self.prefetch * self.batch;
@@ -345,10 +460,13 @@ impl PipelineModel {
             }
             let samples = self.chunk.min(lifetime_target - st.issued_total);
             let (ssd, prep_dev) = self.assign_devices(acc);
+            self.faults.prep_outstanding[prep_dev] += 1;
             let id = self.next_chunk;
             self.next_chunk += 1;
-            self.chunks
-                .insert(id, Chunk { acc, samples, stage: Stage::ToPrep, prep_dev, ssd, pool_dev: 0 });
+            self.chunks.insert(
+                id,
+                Chunk { acc, samples, stage: Stage::ToPrep, prep_dev, ssd, pool_dev: 0, attempt: 0 },
+            );
             let st = &mut self.accels[acc];
             st.in_flight += samples;
             st.issued_total += samples;
@@ -435,13 +553,123 @@ impl PipelineModel {
                 self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::EthToPool;
                 self.chunks.get_mut(&id).expect("chunk exists").pool_dev = pool_idx;
                 let bytes = chunk.samples as f64 * self.sizes.stored;
+                // Offloaded chunks never touch the local prep queue.
+                self.faults.prep_outstanding[dev] = self.faults.prep_outstanding[dev].saturating_sub(1);
                 self.add_eth_flow(now, from, to, bytes, id, sched);
                 return;
             }
         }
-        self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::Prep;
-        let done = self.preps[chunk.prep_dev].enqueue(now, self.prep_service);
-        sched.schedule_at(done, Ev::PrepDone(id));
+        self.dispatch_prep(now, id, sched);
+    }
+
+    /// Hand the chunk to its prep device's queue, handling a crashed target
+    /// (data re-routed to the least-loaded survivor) and a transiently
+    /// failing one (retry with exponential backoff per the plan's policy).
+    fn dispatch_prep(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
+        let chunk = self.chunks[&id];
+        let dev = chunk.prep_dev;
+        if !self.faults.prep_alive[dev] {
+            // The device died while this chunk was in flight toward it: move
+            // the data to a surviving device and restart from the transfer.
+            let new_dev = self.faults.least_loaded_prep();
+            self.faults.prep_outstanding[dev] =
+                self.faults.prep_outstanding[dev].saturating_sub(1);
+            self.faults.prep_outstanding[new_dev] += 1;
+            let c = self.chunks.get_mut(&id).expect("chunk exists");
+            c.prep_dev = new_dev;
+            c.attempt = c.attempt.saturating_add(1);
+            self.reroute_to_prep(now, id, dev, new_dev, sched);
+            return;
+        }
+        if now < self.faults.prep_flaky_until[dev] {
+            // Request rejected. Retry after timeout + exponential backoff,
+            // or give up and re-read the chunk from its SSD.
+            let attempt = chunk.attempt;
+            let c = self.chunks.get_mut(&id).expect("chunk exists");
+            c.attempt = c.attempt.saturating_add(1);
+            if attempt < self.faults.retry.max_retries {
+                c.stage = Stage::PrepRetryWait;
+                self.faults.stats.retries += 1;
+                let delay = SimTime::from_secs_f64(
+                    self.faults.retry.timeout_secs + self.faults.retry.backoff_secs(attempt),
+                );
+                sched.schedule_in(now, delay, Ev::PrepRetry(id));
+            } else {
+                // Retries exhausted: the read is wasted; fetch a fresh copy.
+                c.attempt = 0;
+                c.stage = Stage::ToPrep;
+                self.faults.stats.failed_requests += 1;
+                self.faults.stats.wasted_samples += chunk.samples;
+                let read = SimTime::from_secs_f64(
+                    chunk.samples as f64 * self.sizes.stored / SSD_READ_BYTES_PER_SEC,
+                );
+                let done_at = self.ssds[chunk.ssd].enqueue(now, read);
+                sched.schedule_at(done_at, Ev::SsdDone(id));
+            }
+            return;
+        }
+        let c = self.chunks.get_mut(&id).expect("chunk exists");
+        c.stage = Stage::Prep;
+        let attempt = c.attempt;
+        let service =
+            SimTime::from_secs_f64(self.prep_service.as_secs_f64() / self.faults.prep_speed[dev]);
+        let done = self.preps[dev].enqueue(now, service);
+        sched.schedule_at(done, Ev::PrepDone(id, attempt));
+    }
+
+    /// Model the data movement that re-dispatching a chunk from a crashed
+    /// prep device requires: staged designs re-send the copy held in host
+    /// memory, P2P/clustered designs move it device-to-device.
+    fn reroute_to_prep(
+        &mut self,
+        now: SimTime,
+        id: u64,
+        old_dev: usize,
+        new_dev: usize,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        let chunk = self.chunks[&id];
+        let stored = chunk.samples as f64 * self.sizes.stored;
+        match self.kind {
+            ServerKind::Baseline => {
+                unreachable!("the baseline's single CPU pool cannot crash and survive")
+            }
+            ServerKind::AccFpga | ServerKind::AccGpu => {
+                self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::HostToPrep;
+                let dst = self.topo.preps[new_dev];
+                self.add_flow(now, self.topo.topo.root(), dst, stored, id, sched);
+            }
+            _ => {
+                self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::ToPrep;
+                let from = self.topo.preps[old_dev];
+                let to = self.topo.preps[new_dev];
+                self.add_flow(now, from, to, stored, id, sched);
+            }
+        }
+    }
+
+    /// A retry backoff elapsed: re-pick the best target and dispatch again.
+    fn on_prep_retry(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
+        let Some(&chunk) = self.chunks.get(&id) else { return };
+        debug_assert_eq!(chunk.stage, Stage::PrepRetryWait);
+        // Prefer a healthy (alive, not flaky) device; if all survivors are
+        // flaky the dispatch fails again and backs off further.
+        let healthy = self
+            .faults
+            .prep_alive
+            .iter()
+            .enumerate()
+            .filter(|&(dev, &alive)| alive && now >= self.faults.prep_flaky_until[dev])
+            .min_by_key(|&(dev, _)| self.faults.prep_outstanding[dev])
+            .map(|(dev, _)| dev);
+        let target = healthy.unwrap_or_else(|| self.faults.least_loaded_prep());
+        if target != chunk.prep_dev {
+            self.faults.prep_outstanding[chunk.prep_dev] =
+                self.faults.prep_outstanding[chunk.prep_dev].saturating_sub(1);
+            self.faults.prep_outstanding[target] += 1;
+            self.chunks.get_mut(&id).expect("chunk exists").prep_dev = target;
+        }
+        self.dispatch_prep(now, id, sched);
     }
 
     fn on_eth_flow_done(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
@@ -516,7 +744,7 @@ impl PipelineModel {
                 self.add_flow(now, self.topo.topo.root(), acc_node, tensor, id, sched);
             }
             Stage::ToAccel => self.deliver(now, id, sched),
-            Stage::Prep | Stage::PoolPrep => {
+            Stage::Prep | Stage::PoolPrep | Stage::PrepRetryWait => {
                 unreachable!("flows never complete while queued on a device")
             }
             Stage::EthToPool | Stage::EthFromPool => {
@@ -525,8 +753,15 @@ impl PipelineModel {
         }
     }
 
-    fn on_prep_done(&mut self, now: SimTime, id: u64, sched: &mut Scheduler<Ev>) {
-        let chunk = self.chunks[&id];
+    fn on_prep_done(&mut self, now: SimTime, id: u64, attempt: u32, sched: &mut Scheduler<Ev>) {
+        let Some(&chunk) = self.chunks.get(&id) else { return };
+        if chunk.attempt != attempt {
+            // A completion from before this chunk was re-dispatched (its
+            // device crashed with the chunk queued): stale, ignore.
+            return;
+        }
+        self.faults.prep_outstanding[chunk.prep_dev] =
+            self.faults.prep_outstanding[chunk.prep_dev].saturating_sub(1);
         let tensor = chunk.samples as f64 * self.sizes.tensor;
         let acc_node = self.topo.accs[chunk.acc];
         match self.kind {
@@ -554,13 +789,18 @@ impl PipelineModel {
         let chunk = self.chunks.remove(&id).expect("chunk exists");
         let st = &mut self.accels[chunk.acc];
         st.in_flight -= chunk.samples;
+        if !self.faults.accel_alive[chunk.acc] {
+            // Delivered to a dropped accelerator: the prepared data is lost.
+            self.faults.stats.wasted_samples += chunk.samples;
+            return;
+        }
         st.buffered += chunk.samples;
         self.try_start_compute(now, chunk.acc, sched);
         self.refill(now, chunk.acc, sched);
     }
 
     fn try_start_compute(&mut self, now: SimTime, acc: usize, sched: &mut Scheduler<Ev>) {
-        if self.sync_in_progress || self.done {
+        if self.sync_in_progress || self.done || !self.faults.accel_alive[acc] {
             return;
         }
         let st = &mut self.accels[acc];
@@ -577,12 +817,30 @@ impl PipelineModel {
     }
 
     fn on_compute_done(&mut self, now: SimTime, acc: usize, sched: &mut Scheduler<Ev>) {
+        if !self.faults.accel_alive[acc] {
+            // The device died mid-batch: its result is discarded.
+            self.faults.stats.wasted_samples += self.batch;
+            return;
+        }
         self.accels[acc].computing = false;
         self.accels[acc].batches_computed += 1;
-        self.arrived += 1;
         self.refill(now, acc, sched);
-        if self.arrived == self.accels.len() {
-            self.arrived = 0;
+        self.maybe_start_sync(now, sched);
+    }
+
+    /// Start the ring synchronization once every *surviving* accelerator has
+    /// finished the current generation. (A dropout can satisfy the barrier
+    /// retroactively when the dead device was the holdout.)
+    fn maybe_start_sync(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.sync_in_progress || self.done {
+            return;
+        }
+        let all_arrived = self
+            .accels
+            .iter()
+            .zip(&self.faults.accel_alive)
+            .all(|(st, &alive)| !alive || st.batches_computed > self.sync_gen);
+        if all_arrived {
             self.sync_in_progress = true;
             sched.schedule_in(now, self.t_sync, Ev::SyncDone);
         }
@@ -592,12 +850,128 @@ impl PipelineModel {
         self.sync_in_progress = false;
         self.sync_gen += 1;
         self.batch_done_at.push(now);
+        self.batch_samples.push(self.faults.alive_accels() as u64 * self.batch);
         if self.sync_gen >= self.target_batches {
             self.done = true;
             return;
         }
         for acc in 0..self.accels.len() {
             self.try_start_compute(now, acc, sched);
+        }
+    }
+
+    /// Inject fault plan entry `i`.
+    fn on_fault(&mut self, now: SimTime, i: usize, sched: &mut Scheduler<Ev>) {
+        let (_, kind) = self.faults.events[i];
+        self.faults.stats.injected += 1;
+        let at_secs = now.as_secs_f64();
+        let label = kind.label();
+        // Windowed faults know their downtime up front; permanent losses are
+        // recorded as NaN and resolved to time-to-end-of-run afterwards.
+        let downtime = |secs: f64, stats: &mut FaultStats| {
+            stats.downtime.push(FaultDowntime { at_secs, kind: label, secs });
+        };
+        match kind {
+            FaultKind::SsdStall { ssd, secs } => {
+                // The stall occupies the device queue like a zero-value job:
+                // reads already queued finish first, later ones wait it out.
+                let _ = self.ssds[ssd].enqueue(now, SimTime::from_secs_f64(secs));
+                downtime(secs, &mut self.faults.stats);
+            }
+            FaultKind::PrepCrash { dev } => {
+                if !self.faults.prep_alive[dev] {
+                    downtime(0.0, &mut self.faults.stats);
+                    return;
+                }
+                self.faults.prep_alive[dev] = false;
+                self.faults.stats.preps_lost += 1;
+                downtime(f64::NAN, &mut self.faults.stats);
+                // Re-dispatch the chunks queued on the dead device to the
+                // least-loaded survivors (greedy max-min water-filling).
+                // Sorted ids keep the event sequence deterministic.
+                let mut stranded: Vec<u64> = self
+                    .chunks
+                    .iter()
+                    .filter(|(_, c)| c.prep_dev == dev && c.stage == Stage::Prep)
+                    .map(|(&id, _)| id)
+                    .collect();
+                stranded.sort_unstable();
+                for id in stranded {
+                    let new_dev = self.faults.least_loaded_prep();
+                    self.faults.prep_outstanding[dev] =
+                        self.faults.prep_outstanding[dev].saturating_sub(1);
+                    self.faults.prep_outstanding[new_dev] += 1;
+                    let c = self.chunks.get_mut(&id).expect("chunk exists");
+                    c.prep_dev = new_dev;
+                    c.attempt = c.attempt.saturating_add(1); // stale the old completion
+                    self.reroute_to_prep(now, id, dev, new_dev, sched);
+                }
+                // Chunks still in flight toward the dead device re-route when
+                // they arrive (dispatch_prep checks liveness); chunks waiting
+                // on a retry backoff re-pick their target when the timer
+                // fires.
+            }
+            FaultKind::PrepSlowdown { dev, factor, secs } => {
+                if self.faults.prep_alive[dev] {
+                    self.faults.prep_speed[dev] = factor;
+                    sched.schedule_in(now, SimTime::from_secs_f64(secs), Ev::FaultRecover(i));
+                }
+                downtime(secs, &mut self.faults.stats);
+            }
+            FaultKind::LinkDegrade { link, fraction, secs } => {
+                let cap = self.faults.nominal_caps[link] * fraction;
+                self.flows.set_capacity(now, LinkId::from_index(link), cap);
+                self.bump_flows(sched);
+                sched.schedule_in(now, SimTime::from_secs_f64(secs), Ev::FaultRecover(i));
+                downtime(secs, &mut self.faults.stats);
+            }
+            FaultKind::AccelDropout { acc } => {
+                if !self.faults.accel_alive[acc] {
+                    downtime(0.0, &mut self.faults.stats);
+                    return;
+                }
+                self.faults.accel_alive[acc] = false;
+                self.faults.stats.accels_lost += 1;
+                downtime(f64::NAN, &mut self.faults.stats);
+                // Prepared samples buffered at the dead device are lost; data
+                // in flight toward it is counted when it arrives.
+                let st = &mut self.accels[acc];
+                self.faults.stats.wasted_samples += st.buffered;
+                st.buffered = 0;
+                let survivors = self.faults.alive_accels();
+                assert!(survivors > 0, "all accelerators dropped out");
+                // Re-form the ring over the survivors: the synchronization
+                // latency from here on is the smaller ring's.
+                self.t_sync = self.ring.allreduce_time(self.model_bytes, survivors);
+                // The dead device may have been the barrier holdout.
+                self.maybe_start_sync(now, sched);
+            }
+            FaultKind::PrepTransient { dev, secs } => {
+                if self.faults.prep_alive[dev] {
+                    let until = now + SimTime::from_secs_f64(secs);
+                    self.faults.prep_flaky_until[dev] =
+                        self.faults.prep_flaky_until[dev].max(until);
+                }
+                downtime(secs, &mut self.faults.stats);
+            }
+        }
+    }
+
+    /// End of fault plan entry `i`'s degradation window.
+    fn on_fault_recover(&mut self, now: SimTime, i: usize, sched: &mut Scheduler<Ev>) {
+        let (_, kind) = self.faults.events[i];
+        match kind {
+            FaultKind::PrepSlowdown { dev, .. } => {
+                if self.faults.prep_alive[dev] {
+                    self.faults.prep_speed[dev] = 1.0;
+                }
+            }
+            FaultKind::LinkDegrade { link, .. } => {
+                let cap = self.faults.nominal_caps[link];
+                self.flows.set_capacity(now, LinkId::from_index(link), cap);
+                self.bump_flows(sched);
+            }
+            other => unreachable!("no recovery scheduled for {other:?}"),
         }
     }
 }
@@ -608,6 +982,10 @@ impl Model for PipelineModel {
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
         match ev {
             Ev::Start => {
+                for i in 0..self.faults.events.len() {
+                    let (at, _) = self.faults.events[i];
+                    sched.schedule_at(at, Ev::Fault(i));
+                }
                 for acc in 0..self.accels.len() {
                     self.refill(now, acc, sched);
                 }
@@ -641,14 +1019,21 @@ impl Model for PipelineModel {
                 }
             }
             Ev::PoolPrepDone(id) => self.on_pool_prep_done(now, id, sched),
-            Ev::PrepDone(id) => self.on_prep_done(now, id, sched),
+            Ev::PrepDone(id, attempt) => self.on_prep_done(now, id, attempt, sched),
             Ev::ComputeDone(acc) => self.on_compute_done(now, acc, sched),
             Ev::SyncDone => self.on_sync_done(now, sched),
+            Ev::Fault(i) => self.on_fault(now, i, sched),
+            Ev::FaultRecover(i) => self.on_fault_recover(now, i, sched),
+            Ev::PrepRetry(id) => self.on_prep_retry(now, id, sched),
         }
     }
 }
 
 /// Simulate `workload` on `server` and report steady-state throughput.
+///
+/// Equivalent to [`simulate_with_faults`] with the empty plan: the fault
+/// layer is strictly additive, so this produces exactly the fault-free
+/// behavior (and an all-zero [`FaultStats`]).
 ///
 /// # Panics
 ///
@@ -656,8 +1041,39 @@ impl Model for PipelineModel {
 /// stalls (queue drains or `cfg.max_events` is exceeded before the requested
 /// batches complete).
 pub fn simulate(server: &Server, workload: &Workload, cfg: &SimConfig) -> SimResult {
+    simulate_with_faults(server, workload, cfg, &FaultPlan::empty())
+}
+
+/// Simulate `workload` on `server` while replaying `plan`'s faults, and
+/// report achieved throughput plus degraded-mode accounting.
+///
+/// The run is deterministic: the same `(server, workload, cfg, plan)`
+/// produces the identical result, and an empty plan reproduces
+/// [`simulate`] exactly.
+///
+/// Degraded modes exercised here:
+///
+/// * crashed prep devices have their queued and future work re-dispatched
+///   max-min fairly (greedy water-filling) over the survivors;
+/// * dropped accelerators leave the barrier, and the synchronization ring
+///   re-forms over the survivors at the smaller ring's latency;
+/// * degraded links reshape every transfer's max-min fair rate until they
+///   recover;
+/// * transiently failing prep requests retry with exponential backoff and,
+///   after `plan.retry.max_retries`, re-read their chunk from the SSD.
+///
+/// # Panics
+///
+/// Panics on an invalid plan (see [`FaultPlan::validate`]), if every prep
+/// device or accelerator is lost, or under the conditions of [`simulate`].
+pub fn simulate_with_faults(
+    server: &Server,
+    workload: &Workload,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+) -> SimResult {
     assert!(cfg.batches > cfg.warmup_batches, "need batches after warmup");
-    let model = PipelineModel::new(server, workload, cfg);
+    let model = PipelineModel::new(server, workload, cfg, plan);
     let mut engine = Engine::new(model);
     engine.schedule_at(SimTime::ZERO, Ev::Start);
     let hit = engine.run_while(cfg.max_events, |m| m.done);
@@ -669,23 +1085,49 @@ pub fn simulate(server: &Server, workload: &Workload, cfg: &SimConfig) -> SimRes
         engine.queued(),
     );
     let m = engine.model();
-    let n = m.accels.len() as f64;
+    let n0 = m.accels.len() as f64;
     let first = m.batch_done_at[cfg.warmup_batches as usize - 1];
     let last = *m.batch_done_at.last().expect("batches completed");
     let batches_measured = (cfg.batches - cfg.warmup_batches) as f64;
-    let samples = batches_measured * n * m.batch as f64;
+    let window = (last - first).as_secs_f64();
+    // Samples actually synchronized in the measured window (with dropouts,
+    // later generations contribute fewer samples than the first).
+    let samples: u64 = m.batch_samples[cfg.warmup_batches as usize..].iter().sum();
+    let effective = samples as f64 / window;
     let rc_bytes = m
         .topo
         .rc_links()
         .iter()
         .map(|l| m.link_bytes[l.index()])
         .sum();
+
+    let mut stats = m.faults.stats.clone();
+    // Permanent losses were logged with NaN downtime; they lasted from
+    // injection to the end of the run.
+    let end = last.as_secs_f64();
+    for d in &mut stats.downtime {
+        if d.secs.is_nan() {
+            d.secs = (end - d.at_secs).max(0.0);
+        }
+    }
+    // Nominal: what the initial device complement would have synchronized
+    // over the same window. Goodput: achieved throughput discounted by the
+    // fraction of prepared/computed work that was thrown away.
+    stats.nominal_samples_per_sec = batches_measured * n0 * m.batch as f64 / window;
+    let useful: u64 = m.batch_samples.iter().sum();
+    stats.goodput_samples_per_sec = if stats.wasted_samples == 0 {
+        effective
+    } else {
+        effective * useful as f64 / (useful + stats.wasted_samples) as f64
+    };
+
     SimResult {
-        samples_per_sec: samples / (last - first).as_secs_f64(),
+        samples_per_sec: effective,
         batch_done_at: m.batch_done_at.clone(),
         events: engine.events_processed(),
         link_bytes: m.link_bytes.clone(),
         rc_bytes,
+        faults: stats,
     }
 }
 
@@ -878,5 +1320,212 @@ mod tests {
         let server = ServerConfig::new(ServerKind::Baseline, 8).build();
         let cfg = SimConfig { batches: 2, warmup_batches: 2, ..quick_cfg() };
         simulate(&server, &w, &cfg);
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_the_fault_free_run() {
+        // The fault layer must be strictly additive: an empty plan yields
+        // the identical result, counters and all.
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .batch_size(512)
+            .build();
+        let plain = simulate(&server, &w, &quick_cfg());
+        let faulted = simulate_with_faults(&server, &w, &quick_cfg(), &FaultPlan::empty());
+        assert_eq!(plain, faulted);
+        assert_eq!(plain.faults.injected, 0);
+        assert_eq!(plain.faults.wasted_samples, 0);
+        assert_eq!(plain.faults.goodput_samples_per_sec, plain.samples_per_sec);
+        assert_eq!(plain.faults.nominal_samples_per_sec, plain.samples_per_sec);
+    }
+
+    #[test]
+    fn seeded_fault_storm_is_deterministic() {
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .batch_size(512)
+            .build();
+        let probe = simulate(&server, &w, &quick_cfg());
+        let horizon = probe.batch_done_at.last().unwrap().as_secs_f64();
+        let domain = crate::faults::FaultDomain {
+            n_ssds: 4,
+            n_preps: 4,
+            n_accels: 16,
+            n_links: probe.link_bytes.len(),
+            horizon_secs: horizon,
+        };
+        let plan = FaultPlan::seeded(42, 6.0 / horizon, &domain);
+        assert!(!plan.is_empty());
+        let a = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        let b = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.injected, plan.events.len() as u64);
+    }
+
+    #[test]
+    fn accel_dropout_reforms_the_ring_within_the_analytic_bound() {
+        // Drop half the accelerators of a 16-accel train-box server at the
+        // very start: the survivors re-form an 8-way ring and the steady
+        // state must approach the analytic 8-accel configuration.
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .batch_size(512)
+            .build();
+        let mut plan = FaultPlan::empty();
+        for acc in 8..16 {
+            plan = plan.at(1e-9, FaultKind::AccelDropout { acc });
+        }
+        let r = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        assert_eq!(r.faults.accels_lost, 8);
+        assert!(r.faults.wasted_samples > 0, "in-flight data to dead devices is wasted");
+        let ana = analytic_tp(ServerKind::TrainBoxNoPool, 8, &w, 512);
+        let err = (r.samples_per_sec - ana).abs() / ana;
+        assert!(err < 0.15, "des={} ana={ana} err={err}", r.samples_per_sec);
+        // Accounting invariants: achieved <= nominal, goodput <= achieved.
+        assert!(r.samples_per_sec < r.faults.nominal_samples_per_sec);
+        assert!(r.faults.goodput_samples_per_sec < r.samples_per_sec);
+        // Dropouts are permanent: downtime runs to the end of the run.
+        let end = r.batch_done_at.last().unwrap().as_secs_f64();
+        for d in &r.faults.downtime {
+            assert_eq!(d.kind, "accel-dropout");
+            assert!((d.secs - end).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn prep_crash_rebalances_work_onto_survivors() {
+        // Crash one of the four FPGAs mid-run: the run still completes, the
+        // work lands on the survivors, and throughput does not exceed the
+        // fault-free value.
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .batch_size(512)
+            .build();
+        let healthy = simulate(&server, &w, &quick_cfg());
+        let horizon = healthy.batch_done_at.last().unwrap().as_secs_f64();
+        let plan = FaultPlan::empty().at(horizon * 0.25, FaultKind::PrepCrash { dev: 0 });
+        let r = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        assert_eq!(r.faults.preps_lost, 1);
+        assert_eq!(r.batch_done_at.len(), quick_cfg().batches as usize);
+        assert!(
+            r.samples_per_sec <= healthy.samples_per_sec * 1.001,
+            "losing a prep device cannot speed the server up: {} vs {}",
+            r.samples_per_sec,
+            healthy.samples_per_sec
+        );
+    }
+
+    #[test]
+    fn degrading_the_hottest_links_lowers_throughput() {
+        // Find the busiest links of a baseline run, then throttle them to 2%
+        // for the whole run: the simulated throughput must drop.
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::Baseline, 16).batch_size(512).build();
+        let healthy = simulate(&server, &w, &quick_cfg());
+        let mut hot: Vec<usize> = (0..healthy.link_bytes.len()).collect();
+        hot.sort_by(|&a, &b| healthy.link_bytes[b].total_cmp(&healthy.link_bytes[a]));
+        let mut plan = FaultPlan::empty();
+        for &link in hot.iter().take(4) {
+            plan = plan.at(0.0, FaultKind::LinkDegrade { link, fraction: 0.02, secs: 1e3 });
+        }
+        let r = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        assert!(
+            r.samples_per_sec < healthy.samples_per_sec * 0.9,
+            "degraded {} vs healthy {}",
+            r.samples_per_sec,
+            healthy.samples_per_sec
+        );
+    }
+
+    #[test]
+    fn link_degradation_with_recovery_is_transient() {
+        // A short degradation delays early batches but the server recovers:
+        // the run completes and later batches proceed at full pace.
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::Baseline, 16).batch_size(512).build();
+        let healthy = simulate(&server, &w, &quick_cfg());
+        let hot = (0..healthy.link_bytes.len())
+            .max_by(|&a, &b| healthy.link_bytes[a].total_cmp(&healthy.link_bytes[b]))
+            .unwrap();
+        let window = healthy.batch_done_at[0].as_secs_f64();
+        let plan = FaultPlan::empty()
+            .at(0.0, FaultKind::LinkDegrade { link: hot, fraction: 0.05, secs: window });
+        let r = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        assert!(r.batch_done_at[0] >= healthy.batch_done_at[0]);
+        assert_eq!(r.batch_done_at.len(), healthy.batch_done_at.len());
+    }
+
+    #[test]
+    fn transient_prep_failures_retry_with_backoff() {
+        // Make one FPGA reject requests early on: affected chunks retry
+        // (rerouting to the healthy sibling) and the run completes.
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 8)
+            .batch_size(512)
+            .build();
+        let healthy = simulate(&server, &w, &quick_cfg());
+        let horizon = healthy.batch_done_at.last().unwrap().as_secs_f64();
+        let plan = FaultPlan::empty()
+            .at(0.0, FaultKind::PrepTransient { dev: 0, secs: horizon * 0.3 });
+        let r = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        assert!(r.faults.retries > 0, "flaky device must force retries");
+        assert_eq!(r.batch_done_at.len(), quick_cfg().batches as usize);
+        let again = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        assert_eq!(r, again);
+    }
+
+    #[test]
+    fn ssd_stall_delays_the_run() {
+        // Stall every SSD for most of the run: reads issued after the stall
+        // wait it out (the initial prefetched wave is already queued ahead),
+        // so the run must finish later than the healthy one.
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .batch_size(512)
+            .build();
+        let healthy = simulate(&server, &w, &quick_cfg());
+        let horizon = healthy.batch_done_at.last().unwrap().as_secs_f64();
+        let mut plan = FaultPlan::empty();
+        for ssd in 0..4 {
+            plan = plan.at(0.0, FaultKind::SsdStall { ssd, secs: horizon });
+        }
+        let r = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        assert!(
+            *r.batch_done_at.last().unwrap() > *healthy.batch_done_at.last().unwrap(),
+            "stalled SSDs must delay the run"
+        );
+        assert_eq!(r.batch_done_at.len(), healthy.batch_done_at.len());
+    }
+
+    #[test]
+    fn prep_slowdown_throttles_a_prep_bound_workload() {
+        let w = Workload::transformer_sr();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16).build();
+        let healthy = simulate(&server, &w, &quick_cfg());
+        let horizon = healthy.batch_done_at.last().unwrap().as_secs_f64();
+        // Quarter every FPGA for far longer than the run: TF-SR is
+        // prep-bound at this scale, so the measured window sees the full
+        // slowdown.
+        let mut plan = FaultPlan::empty();
+        for dev in 0..4 {
+            plan = plan
+                .at(0.0, FaultKind::PrepSlowdown { dev, factor: 0.25, secs: horizon * 20.0 });
+        }
+        let r = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        assert!(
+            r.samples_per_sec < healthy.samples_per_sec * 0.6,
+            "throttled {} vs healthy {}",
+            r.samples_per_sec,
+            healthy.samples_per_sec
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn out_of_range_fault_target_rejected() {
+        let w = Workload::resnet50();
+        let server = ServerConfig::new(ServerKind::Baseline, 8).build();
+        let plan = FaultPlan::empty().at(0.0, FaultKind::AccelDropout { acc: 99 });
+        simulate_with_faults(&server, &w, &quick_cfg(), &plan);
     }
 }

@@ -57,7 +57,7 @@ impl<'a> LsbReader<'a> {
         while self.nbits < n {
             self.refill()?;
         }
-        let v = self.acc & ((1u32 << n) - 1).max(0);
+        let v = self.acc & ((1u32 << n) - 1);
         self.acc >>= n;
         self.nbits -= n;
         Ok(if n == 0 { 0 } else { v })

@@ -80,6 +80,7 @@ fn tokenize(data: &[u8]) -> Vec<Token> {
             tokens.push(Token::Match { len: best_len as u16, dist: best_dist as u16 });
             // Insert the skipped positions so later matches can find them.
             let end = (i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1));
+            #[allow(clippy::needless_range_loop)] // `j` both indexes `prev` and feeds `hash3`
             for j in i + 1..end {
                 let h = hash3(data, j);
                 prev[j] = head[h];

@@ -37,8 +37,8 @@ impl CanonicalCode {
         }
         // Kraft check.
         let mut space: i64 = 1;
-        for l in 1..16 {
-            space = space * 2 - counts[l] as i64;
+        for &c in &counts[1..16] {
+            space = space * 2 - c as i64;
             if space < 0 {
                 return Err(DecodeError::Malformed("oversubscribed huffman code".into()));
             }

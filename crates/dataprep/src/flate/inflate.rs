@@ -119,11 +119,11 @@ fn read_dynamic_tables(
             }
             17 => {
                 let n = 3 + r.bits(3)?;
-                lengths.extend(std::iter::repeat(0u8).take(n as usize));
+                lengths.extend(std::iter::repeat_n(0u8, n as usize));
             }
             18 => {
                 let n = 11 + r.bits(7)?;
-                lengths.extend(std::iter::repeat(0u8).take(n as usize));
+                lengths.extend(std::iter::repeat_n(0u8, n as usize));
             }
             _ => return Err(DecodeError::Malformed("bad code-length symbol".into())),
         }

@@ -72,7 +72,7 @@ pub fn zlib_decompress(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
             cmf & 0x0f
         )));
     }
-    if (u16::from_be_bytes([cmf, flg])) % 31 != 0 {
+    if !(u16::from_be_bytes([cmf, flg])).is_multiple_of(31) {
         return Err(DecodeError::Malformed("zlib header check failed".into()));
     }
     if flg & 0x20 != 0 {
@@ -145,7 +145,7 @@ mod tests {
     fn zlib_rejects_preset_dictionary() {
         // CMF=0x78, FLG with FDICT set and valid check bits.
         let mut flg = 0x20u8;
-        while u16::from_be_bytes([0x78, flg]) % 31 != 0 {
+        while !u16::from_be_bytes([0x78, flg]).is_multiple_of(31) {
             flg += 1;
         }
         let data = [0x78, flg, 0, 0, 0, 0, 0, 0];

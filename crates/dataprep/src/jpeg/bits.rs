@@ -186,12 +186,12 @@ mod tests {
     fn write_read_roundtrip() {
         let mut w = BitWriter::new();
         w.put(0b101, 3);
-        w.put(0b0011_0101_1, 9);
+        w.put(0b0_0110_1011, 9);
         w.put(0xffff, 16);
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.bits(3).unwrap(), 0b101);
-        assert_eq!(r.bits(9).unwrap(), 0b0011_0101_1);
+        assert_eq!(r.bits(9).unwrap(), 0b0_0110_1011);
         assert_eq!(r.bits(16).unwrap(), 0xffff);
     }
 

@@ -229,7 +229,7 @@ fn parse_sos(seg: &[u8], st: &mut DecoderState) -> Result<(), DecodeError> {
     if st.components.is_empty() {
         return Err(DecodeError::Malformed("SOS before SOF".into()));
     }
-    if seg.len() < 1 {
+    if seg.is_empty() {
         return Err(DecodeError::Malformed("empty SOS".into()));
     }
     let ns = seg[0] as usize;
@@ -264,8 +264,20 @@ struct Plane {
 }
 
 fn decode_scan(entropy: &[u8], st: &DecoderState) -> Result<Image, DecodeError> {
-    let hmax = st.components.iter().map(|c| c.h).max().unwrap();
-    let vmax = st.components.iter().map(|c| c.v).max().unwrap();
+    // The component list comes from the (attacker-controlled) SOF segment;
+    // never assume it is non-empty.
+    let hmax = st
+        .components
+        .iter()
+        .map(|c| c.h)
+        .max()
+        .ok_or_else(|| DecodeError::Malformed("scan with no components".into()))?;
+    let vmax = st
+        .components
+        .iter()
+        .map(|c| c.v)
+        .max()
+        .ok_or_else(|| DecodeError::Malformed("scan with no components".into()))?;
     let mcux = st.width.div_ceil(8 * hmax);
     let mcuy = st.height.div_ceil(8 * vmax);
 

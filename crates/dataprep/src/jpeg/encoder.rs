@@ -273,7 +273,7 @@ fn encode_scan(
     let mut rst = 0u8;
     for my in 0..mcuy {
         for mx in 0..mcux {
-            if restart_interval > 0 && mcu_count > 0 && mcu_count % restart_interval as u64 == 0 {
+            if restart_interval > 0 && mcu_count > 0 && mcu_count.is_multiple_of(restart_interval as u64) {
                 // Flush the bit stream, emit RSTn, reset DC predictions.
                 let finished = std::mem::take(&mut w).finish();
                 scan.extend_from_slice(&finished);

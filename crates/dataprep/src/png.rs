@@ -252,8 +252,8 @@ fn unfilter(raw: &[u8], h: Header) -> Result<Image, DecodeError> {
             3 => rgb.extend_from_slice(px),
             4 => {
                 let a = px[3] as u16;
-                for c in 0..3 {
-                    rgb.push(((px[c] as u16 * a) / 255) as u8);
+                for &p in &px[..3] {
+                    rgb.push(((p as u16 * a) / 255) as u8);
                 }
             }
             _ => unreachable!("channel count validated"),
@@ -330,8 +330,8 @@ mod tests {
         }
         // Row 1: Up filter.
         raw.push(2);
-        for x in 0..w {
-            raw.push(rows[1][x].wrapping_sub(rows[0][x]));
+        for (&cur, &up) in rows[1].iter().zip(&rows[0]) {
+            raw.push(cur.wrapping_sub(up));
         }
         // Row 2: Paeth filter.
         raw.push(4);

@@ -342,13 +342,14 @@ impl SmallCnn {
     /// Top-1 accuracy on a labeled batch.
     pub fn accuracy(&mut self, x: &[f32], labels: &[usize]) -> f64 {
         let logits = self.forward(x);
+        assert_eq!(labels.len(), logits.rows(), "one label per row");
         let mut hits = 0;
-        for r in 0..logits.rows() {
+        for (r, &label) in labels.iter().enumerate() {
             let row = logits.row(r);
             let best = (0..row.len())
                 .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
                 .unwrap();
-            if best == labels[r] {
+            if best == label {
                 hits += 1;
             }
         }

@@ -74,8 +74,8 @@ impl Dense {
         let dw = x.transpose().matmul(dy).map(|v| v / batch);
         let mut db = vec![0.0f32; self.b.len()];
         for r in 0..dy.rows() {
-            for c in 0..dy.cols() {
-                db[c] += dy.at(r, c) / batch;
+            for (c, d) in db.iter_mut().enumerate() {
+                *d += dy.at(r, c) / batch;
             }
         }
         let dx = dy.matmul(&self.w.transpose());
@@ -83,9 +83,9 @@ impl Dense {
         self.vw = self.vw.map(|v| v * momentum);
         self.vw.add_scaled(&dw, -lr);
         self.w.add_scaled(&self.vw, 1.0);
-        for c in 0..self.b.len() {
-            self.vb[c] = momentum * self.vb[c] - lr * db[c];
-            self.b[c] += self.vb[c];
+        for ((vb, b), &d) in self.vb.iter_mut().zip(&mut self.b).zip(&db) {
+            *vb = momentum * *vb - lr * d;
+            *b += *vb;
         }
         dx
     }
@@ -132,15 +132,14 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
     let classes = logits.cols();
     let mut dlogits = Matrix::zeros(logits.rows(), classes);
     let mut loss = 0.0f64;
-    for r in 0..logits.rows() {
-        let label = labels[r];
+    for (r, &label) in labels.iter().enumerate() {
         assert!(label < classes, "label {label} out of range");
         let row = logits.row(r);
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        for c in 0..classes {
-            let p = exps[c] / sum;
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / sum;
             dlogits.set(r, c, p - if c == label { 1.0 } else { 0.0 });
             if c == label {
                 loss -= (p.max(1e-12)).ln() as f64;
@@ -213,12 +212,13 @@ impl Mlp {
     pub fn top_k_accuracy(&mut self, x: &Matrix, labels: &[usize], k: usize) -> f64 {
         let logits = self.forward(x);
         assert!(k >= 1 && k <= logits.cols(), "invalid k");
+        assert_eq!(labels.len(), logits.rows(), "one label per row");
         let mut hits = 0usize;
-        for r in 0..logits.rows() {
+        for (r, label) in labels.iter().enumerate() {
             let row = logits.row(r);
             let mut idx: Vec<usize> = (0..row.len()).collect();
             idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
-            if idx[..k].contains(&labels[r]) {
+            if idx[..k].contains(label) {
                 hits += 1;
             }
         }

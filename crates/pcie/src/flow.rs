@@ -90,6 +90,22 @@ impl FlowNet {
         self.capacity[link.index()]
     }
 
+    /// Change one link's capacity — the fault-injection hook for modeling a
+    /// degraded PCIe link (e.g. retraining to fewer lanes or a lower rate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is unknown or `bytes_per_sec` is not finite and
+    /// positive.
+    pub fn set_capacity(&mut self, link: LinkId, bytes_per_sec: f64) {
+        assert!(
+            bytes_per_sec.is_finite() && bytes_per_sec > 0.0,
+            "link capacity must be positive"
+        );
+        assert!(link.index() < self.capacity.len(), "unknown link");
+        self.capacity[link.index()] = bytes_per_sec;
+    }
+
     /// Max-min fair rates (bytes/s) for `flows`, honoring demand caps.
     ///
     /// Progressive filling: all unfrozen flows grow together; the binding
@@ -339,6 +355,21 @@ impl FlowSim {
         id
     }
 
+    /// Change one link's capacity at time `now` and redistribute the active
+    /// flows' rates max-min fairly over the new capacities. Bytes already in
+    /// flight drain at the old rates up to `now`, then at the new ones — the
+    /// fluid analogue of a PCIe link degrading (or recovering) mid-transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is unknown, `bytes_per_sec` is not finite and
+    /// positive, or `now` is in the past.
+    pub fn set_capacity(&mut self, now: SimTime, link: LinkId, bytes_per_sec: f64) {
+        self.advance(now);
+        self.net.set_capacity(link, bytes_per_sec);
+        self.recompute();
+    }
+
     /// Remaining bytes of a flow (`None` if unknown/completed).
     pub fn remaining(&self, id: FlowId) -> Option<f64> {
         self.flows.get(&id).map(|f| f.remaining)
@@ -361,7 +392,7 @@ impl FlowSim {
             }
             let dt = f.remaining / r;
             let t = self.now + SimTime::from_secs_f64(dt);
-            if best.map_or(true, |(bt, _)| t < bt) {
+            if best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, *id));
             }
         }
@@ -558,6 +589,39 @@ mod tests {
         sim.advance(SimTime::from_secs(1));
         assert!((sim.mean_utilization(link(0)) - 0.5).abs() < 1e-6);
         assert_eq!(sim.peak_utilization(link(0)), 0.5);
+    }
+
+    #[test]
+    fn degrading_a_link_slows_the_flow_crossing_it() {
+        // 1 GB/s link, 2 MB transfer. After 1 ms (1 MB done) the link
+        // degrades to a quarter: the remaining 1 MB takes 4 ms -> 5 ms total.
+        let net = FlowNet::from_capacities(vec![1e9]);
+        let mut sim = FlowSim::new(net);
+        let f = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 2e6);
+        sim.set_capacity(SimTime::from_millis(1), link(0), 0.25e9);
+        let (t, id) = sim.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert_eq!(t, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn restoring_a_link_speeds_the_flow_back_up() {
+        let net = FlowNet::from_capacities(vec![1e9]);
+        let mut sim = FlowSim::new(net);
+        let f = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 2e6);
+        sim.set_capacity(SimTime::ZERO, link(0), 0.5e9);
+        sim.set_capacity(SimTime::from_millis(2), link(0), 1e9);
+        // 1 MB drained in the degraded first 2 ms, 1 MB at full rate after.
+        let (t, id) = sim.next_completion().unwrap();
+        assert_eq!(id, f);
+        assert_eq!(t, SimTime::from_millis(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let mut net = FlowNet::from_capacities(vec![1e9]);
+        net.set_capacity(link(0), 0.0);
     }
 
     #[test]

@@ -29,6 +29,13 @@ impl LinkId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Rebuild a link id from a raw index, e.g. one recorded in a fault
+    /// plan. The caller is responsible for the index naming a link of the
+    /// topology it is used against (out-of-range ids panic at use sites).
+    pub fn from_index(index: usize) -> Self {
+        LinkId(u32::try_from(index).expect("link index fits in u32"))
+    }
 }
 
 /// What kind of device sits at an endpoint.

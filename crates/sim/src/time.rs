@@ -182,7 +182,7 @@ impl fmt::Display for SimTime {
         let ps = self.0;
         if ps == 0 {
             write!(f, "0s")
-        } else if ps % PS_PER_S == 0 {
+        } else if ps.is_multiple_of(PS_PER_S) {
             write!(f, "{}s", ps / PS_PER_S)
         } else if ps >= PS_PER_S {
             write!(f, "{:.6}s", self.as_secs_f64())

@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! minimal serialization framework with the same spelling as serde: a
+//! [`Serialize`] / [`Deserialize`] trait pair plus `#[derive(Serialize,
+//! Deserialize)]` re-exported from the companion `serde_derive` stub.
+//!
+//! Instead of serde's visitor-based data model, everything funnels through a
+//! single JSON-like value tree ([`json::Json`]). That is all the workspace
+//! needs: the only serializer in use is `serde_json::to_string_pretty`, and
+//! the derive targets carry no `#[serde(...)]` attributes. Struct fields
+//! serialize in declaration order (objects are ordered key/value vectors, not
+//! maps), and enums use serde's externally-tagged representation, so output
+//! is byte-compatible with what real serde_json produced for the committed
+//! `results/*.json` files.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json {
+    //! The JSON-like value tree used as the serialization data model.
+
+    use std::fmt;
+
+    /// A JSON value. Numbers keep their Rust flavor (`U64`/`I64`/`F64`/`F32`)
+    /// so integers never pick up a fractional point and floats format with
+    /// the right precision.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        Null,
+        Bool(bool),
+        U64(u64),
+        I64(i64),
+        F64(f64),
+        F32(f32),
+        Str(String),
+        Array(Vec<Json>),
+        /// Ordered key/value pairs: preserves struct field declaration order.
+        Object(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        pub fn as_object(&self) -> Option<&[(String, Json)]> {
+            match self {
+                Json::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+
+        pub fn as_array(&self) -> Option<&[Json]> {
+            match self {
+                Json::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        pub fn as_u64(&self) -> Option<u64> {
+            match *self {
+                Json::U64(v) => Some(v),
+                Json::I64(v) if v >= 0 => Some(v as u64),
+                _ => None,
+            }
+        }
+
+        pub fn as_i64(&self) -> Option<i64> {
+            match *self {
+                Json::I64(v) => Some(v),
+                Json::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Json::F64(v) => Some(v),
+                Json::F32(v) => Some(v as f64),
+                Json::U64(v) => Some(v as f64),
+                Json::I64(v) => Some(v as f64),
+                _ => None,
+            }
+        }
+
+        pub fn as_bool(&self) -> Option<bool> {
+            match *self {
+                Json::Bool(b) => Some(b),
+                _ => None,
+            }
+        }
+    }
+
+    /// Deserialization error: what was expected, and for which type/field.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct JsonError {
+        message: String,
+    }
+
+    impl JsonError {
+        pub fn new(message: impl Into<String>) -> Self {
+            JsonError { message: message.into() }
+        }
+
+        pub fn missing_field(ty: &str, field: &str) -> Self {
+            JsonError::new(format!("missing field `{field}` while deserializing {ty}"))
+        }
+
+        pub fn type_mismatch(ty: &str, expected: &str) -> Self {
+            JsonError::new(format!("expected {expected} while deserializing {ty}"))
+        }
+    }
+
+    impl fmt::Display for JsonError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for JsonError {}
+}
+
+use json::{Json, JsonError};
+
+/// A type that can render itself as a [`Json`] value.
+pub trait Serialize {
+    fn to_json(&self) -> Json;
+}
+
+/// A type that can reconstruct itself from a [`Json`] value.
+pub trait Deserialize: Sized {
+    fn from_json(v: &Json) -> Result<Self, JsonError>;
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::U64(*self as u64) }
+        }
+    )*};
+}
+impl_ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::I64(*self as i64) }
+        }
+    )*};
+}
+impl_ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F32(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+/// Types usable as JSON object keys (serde requires map keys to be strings).
+pub trait JsonKey {
+    fn as_key(&self) -> String;
+}
+
+impl JsonKey for String {
+    fn as_key(&self) -> String {
+        self.clone()
+    }
+}
+
+impl JsonKey for str {
+    fn as_key(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl<K: JsonKey + ?Sized> JsonKey for &K {
+    fn as_key(&self) -> String {
+        (**self).as_key()
+    }
+}
+
+impl<K: JsonKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(self.iter().map(|(k, v)| (k.as_key(), v.to_json())).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$n.to_json()),+])
+            }
+        }
+    )+};
+}
+impl_ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for primitives and std containers.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let raw = v
+                    .as_u64()
+                    .ok_or_else(|| JsonError::type_mismatch(stringify!($t), "unsigned integer"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| JsonError::type_mismatch(stringify!($t), "in-range integer"))
+            }
+        }
+    )*};
+}
+impl_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let raw = v
+                    .as_i64()
+                    .ok_or_else(|| JsonError::type_mismatch(stringify!($t), "integer"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| JsonError::type_mismatch(stringify!($t), "in-range integer"))
+            }
+        }
+    )*};
+}
+impl_de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64().ok_or_else(|| JsonError::type_mismatch("f64", "number"))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_f64()
+            .map(|x| x as f32)
+            .ok_or_else(|| JsonError::type_mismatch("f32", "number"))
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_bool().ok_or_else(|| JsonError::type_mismatch("bool", "boolean"))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| JsonError::type_mismatch("String", "string"))
+    }
+}
+
+/// Deserializing into `&'static str` (used by table-like structs whose
+/// fields are string literals) leaks the decoded string. That is acceptable
+/// here: these types are deserialized at most a handful of times per process,
+/// and the vendored data model has no borrowed-input mode to hand out
+/// non-static references.
+impl Deserialize for &'static str {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_str()
+            .map(|s| &*Box::leak(s.to_string().into_boxed_str()))
+            .ok_or_else(|| JsonError::type_mismatch("&str", "string"))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_array()
+            .ok_or_else(|| JsonError::type_mismatch("Vec", "array"))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_object()
+            .ok_or_else(|| JsonError::type_mismatch("BTreeMap", "object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_json(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(v: &Json) -> Result<Self, JsonError> {
+                let arr = v
+                    .as_array()
+                    .ok_or_else(|| JsonError::type_mismatch("tuple", "array"))?;
+                if arr.len() != $len {
+                    return Err(JsonError::type_mismatch("tuple", "array of matching arity"));
+                }
+                Ok(($($t::from_json(&arr[$n])?,)+))
+            }
+        }
+    )+};
+}
+impl_de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+    (5; 0 A, 1 B, 2 C, 3 D, 4 E)
+    (6; 0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::json::Json;
+    use super::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(42u64.to_json(), Json::U64(42));
+        assert_eq!((-3i32).to_json(), Json::I64(-3));
+        assert_eq!(u64::from_json(&Json::U64(42)), Ok(42));
+        assert_eq!(i32::from_json(&Json::I64(-3)), Ok(-3));
+        assert!(u8::from_json(&Json::U64(300)).is_err());
+        assert_eq!(Option::<u32>::from_json(&Json::Null), Ok(None));
+    }
+
+    #[test]
+    fn containers_serialize_structurally() {
+        let v = vec![(1usize, 2.5f64), (3, 4.0)];
+        assert_eq!(
+            v.to_json(),
+            Json::Array(vec![
+                Json::Array(vec![Json::U64(1), Json::F64(2.5)]),
+                Json::Array(vec![Json::U64(3), Json::F64(4.0)]),
+            ])
+        );
+        let mut m: BTreeMap<&str, u32> = BTreeMap::new();
+        m.insert("b", 2);
+        m.insert("a", 1);
+        // BTreeMap iterates sorted.
+        assert_eq!(
+            m.to_json(),
+            Json::Object(vec![
+                ("a".to_string(), Json::U64(1)),
+                ("b".to_string(), Json::U64(2)),
+            ])
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io is unreachable in this build environment, so the workspace
+//! vendors its own `serde` with a JSON-value data model (`serde::json::Json`)
+//! and this proc-macro derives the two traits against that model. Parsing is
+//! done directly on `proc_macro::TokenStream` (no `syn`/`quote`), which is
+//! sufficient because the workspace only derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, wider tuples as
+//!   arrays),
+//! * enums with unit / tuple / struct variants (externally tagged, matching
+//!   serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and panic with a
+//! clear message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with N fields.
+    TupleStruct(usize),
+    /// Unit struct.
+    UnitStruct,
+    /// Enum variants: `(name, fields)` where fields describes the payload.
+    Enum(Vec<(String, VariantFields)>),
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Skip attributes (`#[...]` / `#![...]`) and visibility (`pub`,
+/// `pub(...)`) tokens at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+                    if p.as_char() == '!' {
+                        i += 1;
+                    }
+                }
+                // The bracketed attribute body.
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                } else {
+                    panic!("serde_derive stub: malformed attribute");
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split the tokens of a brace/paren group on top-level commas.
+fn split_top_level_commas(group: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in group {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            other => cur.push(other.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field body (brace group contents).
+fn parse_named_fields(body: &[TokenTree]) -> Vec<String> {
+    split_top_level_commas(body)
+        .iter()
+        .map(|field| {
+            let i = skip_attrs_and_vis(field, 0);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde_derive stub: expected field name, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn parse_input(input: TokenStream) -> (String, Shape) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic types are not supported (derive on `{name}`)");
+    }
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                (name, Shape::Struct(parse_named_fields(&body)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                (name, Shape::TupleStruct(split_top_level_commas(&body).len()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::UnitStruct),
+            other => panic!("serde_derive stub: unsupported struct body {other:?}"),
+        },
+        "enum" => {
+            let Some(TokenTree::Group(g)) = tokens.get(i) else {
+                panic!("serde_derive stub: expected enum body");
+            };
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            let variants = split_top_level_commas(&body)
+                .iter()
+                .map(|v| {
+                    let j = skip_attrs_and_vis(v, 0);
+                    let vname = match v.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => panic!("serde_derive stub: expected variant name, got {other:?}"),
+                    };
+                    let fields = match v.get(j + 1) {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let b: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantFields::Tuple(split_top_level_commas(&b).len())
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            let b: Vec<TokenTree> = g.stream().into_iter().collect();
+                            VariantFields::Named(parse_named_fields(&b))
+                        }
+                        _ => VariantFields::Unit,
+                    };
+                    (vname, fields)
+                })
+                .collect();
+            (name, Shape::Enum(variants))
+        }
+        other => panic!("serde_derive stub: cannot derive on `{other}` items"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__obj.push((\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f})));\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __obj: Vec<(String, ::serde::json::Json)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::json::Json::Object(__obj)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::json::Json::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::json::Json::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, fields)| match fields {
+                    VariantFields::Unit => format!(
+                        "{name}::{v} => ::serde::json::Json::Str(\"{v}\".to_string()),\n"
+                    ),
+                    VariantFields::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::json::Json::Object(vec![\
+                         (\"{v}\".to_string(), ::serde::Serialize::to_json(__f0))]),\n"
+                    ),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::json::Json::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::json::Json::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                    VariantFields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let pushes: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::json::Json::Object(vec![\
+                             (\"{v}\".to_string(), ::serde::json::Json::Object(vec![{}]))]),\n",
+                            pushes.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::json::Json {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_input(input);
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json(__obj.iter()\
+                         .find(|(k, _)| k == \"{f}\")\
+                         .map(|(_, v)| v)\
+                         .ok_or_else(|| ::serde::json::JsonError::missing_field(\"{name}\", \"{f}\"))?)?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "let __obj = v.as_object().ok_or_else(|| \
+                     ::serde::json::JsonError::type_mismatch(\"{name}\", \"object\"))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_json(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?"))
+                .collect();
+            format!(
+                "let __arr = v.as_array().ok_or_else(|| \
+                     ::serde::json::JsonError::type_mismatch(\"{name}\", \"array\"))?;\n\
+                 if __arr.len() != {n} {{\n\
+                     return Err(::serde::json::JsonError::type_mismatch(\"{name}\", \"array of {n}\"));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("Ok({name})"),
+        Shape::Enum(variants) => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, VariantFields::Unit))
+                .map(|(v, _)| format!("Some(\"{v}\") => return Ok({name}::{v}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    VariantFields::Unit => None,
+                    VariantFields::Tuple(1) => Some(format!(
+                        "\"{v}\" => return Ok({name}::{v}(::serde::Deserialize::from_json(__payload)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json(&__arr[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let __arr = __payload.as_array().ok_or_else(|| \
+                                     ::serde::json::JsonError::type_mismatch(\"{name}::{v}\", \"array\"))?;\n\
+                                 if __arr.len() != {n} {{\n\
+                                     return Err(::serde::json::JsonError::type_mismatch(\"{name}::{v}\", \"array of {n}\"));\n\
+                                 }}\n\
+                                 return Ok({name}::{v}({}));\n\
+                             }}\n",
+                            items.join(", ")
+                        ))
+                    }
+                    VariantFields::Named(fs) => {
+                        let inits: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json(__inner.iter()\
+                                     .find(|(k, _)| k == \"{f}\")\
+                                     .map(|(_, v)| v)\
+                                     .ok_or_else(|| ::serde::json::JsonError::missing_field(\"{name}::{v}\", \"{f}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let __inner = __payload.as_object().ok_or_else(|| \
+                                     ::serde::json::JsonError::type_mismatch(\"{name}::{v}\", \"object\"))?;\n\
+                                 return Ok({name}::{v} {{ {} }});\n\
+                             }}\n",
+                            inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "match v.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 if let Some(__obj) = v.as_object() {{\n\
+                     if __obj.len() == 1 {{\n\
+                         let (__tag, __payload) = &__obj[0];\n\
+                         match __tag.as_str() {{\n{tagged_arms}_ => {{}}\n}}\n\
+                     }}\n\
+                 }}\n\
+                 Err(::serde::json::JsonError::type_mismatch(\"{name}\", \"known enum variant\"))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(v: &::serde::json::Json) -> Result<Self, ::serde::json::JsonError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive stub: generated Deserialize impl must parse")
+}

@@ -1,0 +1,254 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes the vendored `serde`'s [`Json`] value tree to text. The output
+//! is byte-compatible with upstream `serde_json`:
+//!
+//! * `to_string_pretty` uses 2-space indentation, `": "` after keys, and
+//!   multi-line arrays/objects (empty ones collapse to `[]` / `{}`);
+//! * floats use ryu-style shortest round-trip formatting — scientific
+//!   notation exactly when the decimal exponent is `>= 16` or `< -5`
+//!   (`5e-8`, `2e-6`), plain otherwise with a `.0` suffix on integral values
+//!   (`20000.0`, `1.0`), matching the committed `results/*.json` corpus.
+//!
+//! The shortest-digit search itself is delegated to Rust's `{:e}` formatting,
+//! which (like ryu) produces the minimal digit string that round-trips.
+
+use serde::json::Json;
+use serde::Serialize;
+use std::fmt;
+
+/// Serialization error. The vendored data model is infallible, so this only
+/// exists to keep call-site signatures (`Result<String, serde_json::Error>`)
+/// compiling; it is never constructed by this crate.
+#[derive(Debug)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    pub fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Re-export of the value type for call sites that name `serde_json::Value`.
+pub type Value = Json;
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_compact(&value.to_json(), &mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as a pretty-printed JSON string (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&value.to_json(), 0, &mut out);
+    Ok(out)
+}
+
+fn write_compact(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::U64(n) => out.push_str(&n.to_string()),
+        Json::I64(n) => out.push_str(&n.to_string()),
+        Json::F64(x) => out.push_str(&format_f64(*x)),
+        Json::F32(x) => out.push_str(&format_f32(*x)),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Json, depth: usize, out: &mut String) {
+    match v {
+        Json::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                write_pretty(item, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push(']');
+        }
+        Json::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(depth + 1, out);
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(val, depth + 1, out);
+            }
+            out.push('\n');
+            push_indent(depth, out);
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+fn push_indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format an f64 the way serde_json's ryu backend does.
+fn format_f64(x: f64) -> String {
+    if !x.is_finite() {
+        // serde_json emits null for non-finite floats.
+        return "null".to_string();
+    }
+    if x == 0.0 {
+        return if x.is_sign_negative() { "-0.0".to_string() } else { "0.0".to_string() };
+    }
+    // `{:e}` gives the shortest round-trip digits as `d[.ddd]e<exp>`.
+    assemble_float(&format!("{:e}", x))
+}
+
+/// Format an f32 with f32-precision shortest digits (widening to f64 would
+/// print spurious precision, e.g. 0.1f32 -> 0.10000000149011612).
+fn format_f32(x: f32) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == 0.0 {
+        return if x.is_sign_negative() { "-0.0".to_string() } else { "0.0".to_string() };
+    }
+    assemble_float(&format!("{:e}", x))
+}
+
+/// Reassemble `{:e}` output (`-d.ddde<exp>`) into ryu presentation form.
+fn assemble_float(sci: &str) -> String {
+    let (mantissa, exp) = sci.split_once('e').expect("`{:e}` always contains an exponent");
+    let exp: i32 = exp.parse().expect("`{:e}` exponent is a valid integer");
+    let (neg, mantissa) = match mantissa.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, mantissa),
+    };
+    let digits: String = mantissa.chars().filter(|&c| c != '.').collect();
+    let sign = if neg { "-" } else { "" };
+
+    if !(-5..16).contains(&exp) {
+        // Scientific: `d[.ddd]e<exp>`, no `+`, no leading zeros.
+        return format!("{sign}{mantissa}e{exp}");
+    }
+
+    if exp < 0 {
+        // 0.0…digits
+        let zeros = "0".repeat((-exp - 1) as usize);
+        return format!("{sign}0.{zeros}{digits}");
+    }
+
+    let point = exp as usize + 1;
+    if digits.len() <= point {
+        // Integral value: pad with zeros and append `.0`.
+        let zeros = "0".repeat(point - digits.len());
+        format!("{sign}{digits}{zeros}.0")
+    } else {
+        format!("{sign}{}.{}", &digits[..point], &digits[point..])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_match_ryu_presentation() {
+        // Cases taken verbatim from the committed results/*.json corpus.
+        assert_eq!(format_f64(1.0), "1.0");
+        assert_eq!(format_f64(20000.0), "20000.0");
+        assert_eq!(format_f64(1.9991160805676373), "1.9991160805676373");
+        assert_eq!(format_f64(0.05), "0.05");
+        assert_eq!(format_f64(0.036568500000000004), "0.036568500000000004");
+        assert_eq!(format_f64(0.000047115), "0.000047115");
+        assert_eq!(format_f64(5e-8), "5e-8");
+        assert_eq!(format_f64(1e-7), "1e-7");
+        assert_eq!(format_f64(2e-6), "2e-6");
+        assert_eq!(format_f64(5e-7), "5e-7");
+        // Boundary behavior around the scientific-notation thresholds.
+        assert_eq!(format_f64(1e-5), "0.00001");
+        assert_eq!(format_f64(1e15), "1000000000000000.0");
+        assert_eq!(format_f64(1e16), "1e16");
+        assert_eq!(format_f64(1.25e17), "1.25e17");
+        assert_eq!(format_f64(-0.5), "-0.5");
+        assert_eq!(format_f64(0.0), "0.0");
+        assert_eq!(format_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn f32_keeps_its_own_precision() {
+        assert_eq!(format_f32(0.1f32), "0.1");
+        assert_eq!(format_f32(1.0f32), "1.0");
+    }
+
+    #[test]
+    fn pretty_layout_matches_upstream() {
+        let v = vec![(1usize, 1.0f64), (2, 0.5)];
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "[\n  [\n    1,\n    1.0\n  ],\n  [\n    2,\n    0.5\n  ]\n]"
+        );
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+        assert_eq!(to_string(&"a\"b\\c\n").unwrap(), "\"a\\\"b\\\\c\\n\"");
+    }
+}
