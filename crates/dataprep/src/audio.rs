@@ -95,13 +95,138 @@ impl Complex {
     }
 }
 
-/// In-place iterative radix-2 Cooley–Tukey FFT.
+/// A precomputed radix-2 FFT plan for one transform size: twiddle factors
+/// (`e^(∓2πik/n)` for `k < n/2`) and the bit-reversal permutation. Building a
+/// plan costs one trig call per twiddle; every subsequent transform is pure
+/// table lookups and butterflies — the layout of the paper's FPGA
+/// "Spectrogram" engine, which similarly bakes its twiddles into ROM.
+///
+/// Plans are cheap to share (`Arc`); [`fft`]/[`ifft`] keep a process-wide
+/// cache keyed by size so casual callers never rebuild tables.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversed index of each position (identity-filtered swaps applied
+    /// in order).
+    bitrev: Vec<u32>,
+    /// Forward twiddles `e^(-2πik/n)`, `k < n/2`.
+    fwd: Vec<Complex>,
+    /// Inverse twiddles `e^(+2πik/n)`, `k < n/2`.
+    inv: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Build a plan for `n`-point transforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n)
+            .map(|i| {
+                if n <= 1 {
+                    0
+                } else {
+                    (i.reverse_bits() >> (usize::BITS - bits)) as u32
+                }
+            })
+            .collect();
+        let half = n / 2;
+        let mut fwd = Vec::with_capacity(half);
+        let mut inv = Vec::with_capacity(half);
+        for k in 0..half {
+            let ang = std::f32::consts::TAU * k as f32 / n as f32;
+            let (s, c) = ang.sin_cos();
+            fwd.push(Complex::new(c, -s));
+            inv.push(Complex::new(c, s));
+        }
+        FftPlan { n, bitrev, fwd, inv }
+    }
+
+    /// Transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate 1-point plan.
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place forward FFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan size.
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.run(buf, &self.fwd);
+    }
+
+    /// In-place inverse FFT, scaled by `1/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf.len()` differs from the plan size.
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.run(buf, &self.inv);
+        let s = 1.0 / self.n as f32;
+        for c in buf.iter_mut() {
+            c.re *= s;
+            c.im *= s;
+        }
+    }
+
+    fn run(&self, buf: &mut [Complex], tw: &[Complex]) {
+        let n = self.n;
+        assert_eq!(buf.len(), n, "buffer length must match plan size");
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation from the precomputed table.
+        for (i, &j) in self.bitrev.iter().enumerate() {
+            let j = j as usize;
+            if j > i {
+                buf.swap(i, j);
+            }
+        }
+        // Butterflies; stage `len` uses every (n/len)-th table entry.
+        let mut len = 2;
+        while len <= n {
+            let stride = n / len;
+            let half = len / 2;
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let w = tw[k * stride];
+                    let u = buf[start + k];
+                    let v = buf[start + k + half].mul(w);
+                    buf[start + k] = u.add(v);
+                    buf[start + k + half] = u.sub(v);
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+fn plan_cache(n: usize) -> std::sync::Arc<FftPlan> {
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+    map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))).clone()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT (precomputed-table plan,
+/// cached per size).
 ///
 /// # Panics
 ///
 /// Panics if the length is not a power of two.
 pub fn fft(buf: &mut [Complex]) {
-    fft_dir(buf, false);
+    plan_cache(buf.len()).forward(buf);
 }
 
 /// Inverse FFT (scaled by `1/n`).
@@ -110,45 +235,38 @@ pub fn fft(buf: &mut [Complex]) {
 ///
 /// Panics if the length is not a power of two.
 pub fn ifft(buf: &mut [Complex]) {
-    fft_dir(buf, true);
-    let n = buf.len() as f32;
-    for c in buf.iter_mut() {
-        c.re /= n;
-        c.im /= n;
-    }
+    plan_cache(buf.len()).inverse(buf);
 }
 
-fn fft_dir(buf: &mut [Complex], inverse: bool) {
-    let n = buf.len();
+/// Out-of-place recursive radix-2 decimation-in-time FFT — the
+/// obviously-correct reference oracle for [`FftPlan`]. Shares the plan's
+/// twiddle table, so the iterative transform matches it **bit-for-bit**: both
+/// evaluate the identical butterfly expression tree per output, only in a
+/// different loop order.
+pub fn fft_recursive_ref(input: &[Complex]) -> Vec<Complex> {
+    let n = input.len();
     assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
-    if n <= 1 {
+    let plan = plan_cache(n);
+    let mut out = input.to_vec();
+    rec_fft(&mut out, &plan.fwd, n);
+    out
+}
+
+fn rec_fft(buf: &mut [Complex], tw: &[Complex], full_n: usize) {
+    let m = buf.len();
+    if m <= 1 {
         return;
     }
-    // Bit-reversal permutation.
-    let bits = n.trailing_zeros();
-    for i in 0..n {
-        let j = i.reverse_bits() >> (usize::BITS - bits);
-        if j > i {
-            buf.swap(i, j);
-        }
-    }
-    // Butterflies.
-    let sign = if inverse { 1.0 } else { -1.0 };
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * std::f32::consts::TAU / len as f32;
-        let wlen = Complex::new(ang.cos(), ang.sin());
-        for start in (0..n).step_by(len) {
-            let mut w = Complex::new(1.0, 0.0);
-            for k in 0..len / 2 {
-                let u = buf[start + k];
-                let v = buf[start + k + len / 2].mul(w);
-                buf[start + k] = u.add(v);
-                buf[start + k + len / 2] = u.sub(v);
-                w = w.mul(wlen);
-            }
-        }
-        len <<= 1;
+    let half = m / 2;
+    let mut even: Vec<Complex> = (0..half).map(|i| buf[2 * i]).collect();
+    let mut odd: Vec<Complex> = (0..half).map(|i| buf[2 * i + 1]).collect();
+    rec_fft(&mut even, tw, full_n);
+    rec_fft(&mut odd, tw, full_n);
+    let stride = full_n / m;
+    for k in 0..half {
+        let v = odd[k].mul(tw[k * stride]);
+        buf[k] = even[k].add(v);
+        buf[k + half] = even[k].sub(v);
     }
 }
 
@@ -305,14 +423,18 @@ pub fn stft(wave: &Waveform, cfg: StftConfig) -> Spectrogram {
     let nframes = cfg.frames(wave.samples().len());
     let mut data = Vec::with_capacity(nframes * bins);
     let samples = wave.samples();
+    let plan = plan_cache(n);
     let mut buf = vec![Complex::default(); n];
     for f in 0..nframes {
         let start = f * cfg.hop;
-        for i in 0..n {
-            let s = samples.get(start + i).copied().unwrap_or(0.0);
-            buf[i] = Complex::new(s * window[i], 0.0);
+        let avail = samples.len().saturating_sub(start).min(n);
+        for ((b, &s), &w) in buf[..avail].iter_mut().zip(&samples[start..start + avail]).zip(&window[..avail]) {
+            *b = Complex::new(s * w, 0.0);
         }
-        fft(&mut buf);
+        for b in buf[avail..].iter_mut() {
+            *b = Complex::default();
+        }
+        plan.forward(&mut buf);
         for b in buf.iter().take(bins) {
             data.push(b.norm_sq());
         }
@@ -338,6 +460,10 @@ pub struct MelBank {
     n_bins: usize,
     /// `n_mels × n_bins` filter weights, row-major.
     weights: Vec<f32>,
+    /// Per-filter `[start, end)` range of nonzero bins. Each triangle only
+    /// touches a narrow bin band, so [`MelBank::apply`] iterates these slices
+    /// instead of the full row (~30× less work for speech-sized banks).
+    support: Vec<(u32, u32)>,
 }
 
 impl MelBank {
@@ -358,8 +484,10 @@ impl MelBank {
             .collect();
         let bin_hz = |b: usize| b as f32 * f_max / (n_bins - 1) as f32;
         let mut weights = vec![0.0f32; n_mels * n_bins];
+        let mut support = Vec::with_capacity(n_mels);
         for m in 0..n_mels {
             let (lo, mid, hi) = (edges_hz[m], edges_hz[m + 1], edges_hz[m + 2]);
+            let (mut first, mut last) = (n_bins, 0usize);
             for b in 0..n_bins {
                 let f = bin_hz(b);
                 let w = if f <= lo || f >= hi {
@@ -369,15 +497,25 @@ impl MelBank {
                 } else {
                     (hi - f) / (hi - mid).max(1e-6)
                 };
+                if w > 0.0 {
+                    first = first.min(b);
+                    last = b + 1;
+                }
                 weights[m * n_bins + b] = w;
             }
+            support.push((first.min(last) as u32, last as u32));
         }
-        MelBank { n_mels, n_bins, weights }
+        MelBank { n_mels, n_bins, weights, support }
     }
 
     /// Number of Mel bands.
     pub fn n_mels(&self) -> usize {
         self.n_mels
+    }
+
+    /// Number of linear input bins this bank was built for.
+    pub fn n_bins(&self) -> usize {
+        self.n_bins
     }
 
     /// Apply to a power spectrogram, producing a log-Mel spectrogram
@@ -390,14 +528,11 @@ impl MelBank {
         assert_eq!(spec.bins(), self.n_bins, "bin count mismatch");
         let mut data = Vec::with_capacity(spec.frames() * self.n_mels);
         for t in 0..spec.frames() {
-            for m in 0..self.n_mels {
-                let mut s = 0.0f32;
-                for b in 0..self.n_bins {
-                    let w = self.weights[m * self.n_bins + b];
-                    if w > 0.0 {
-                        s += w * spec.at(t, b);
-                    }
-                }
+            let row = &spec.data()[t * self.n_bins..(t + 1) * self.n_bins];
+            for (m, &(b0, b1)) in self.support.iter().enumerate() {
+                let (b0, b1) = (b0 as usize, b1 as usize);
+                let w = &self.weights[m * self.n_bins + b0..m * self.n_bins + b1];
+                let s: f32 = w.iter().zip(&row[b0..b1]).map(|(&w, &p)| w * p).sum();
                 data.push((s + 1e-10).ln());
             }
         }
@@ -532,6 +667,45 @@ mod tests {
     fn fft_rejects_non_power_of_two() {
         let mut buf = vec![Complex::default(); 12];
         fft(&mut buf);
+    }
+
+    #[test]
+    fn iterative_fft_matches_recursive_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        use rand::Rng;
+        for n in [1usize, 2, 4, 8, 64, 512, 1024] {
+            let orig: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                .collect();
+            let mut iterative = orig.clone();
+            fft(&mut iterative);
+            let recursive = fft_recursive_ref(&orig);
+            for (i, (a, b)) in iterative.iter().zip(&recursive).enumerate() {
+                assert_eq!(a.re.to_bits(), b.re.to_bits(), "n={n} bin {i} re");
+                assert_eq!(a.im.to_bits(), b.im.to_bits(), "n={n} bin {i} im");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_reuse_is_consistent_with_free_function() {
+        let plan = FftPlan::new(256);
+        assert_eq!(plan.len(), 256);
+        assert!(!plan.is_empty());
+        let mut rng = StdRng::seed_from_u64(4);
+        use rand::Rng;
+        let orig: Vec<Complex> = (0..256)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
+        let mut a = orig.clone();
+        let mut b = orig.clone();
+        plan.forward(&mut a);
+        fft(&mut b);
+        assert_eq!(a, b);
+        plan.inverse(&mut a);
+        for (x, y) in a.iter().zip(&orig) {
+            assert!((x.re - y.re).abs() < 1e-5 && (x.im - y.im).abs() < 1e-5);
+        }
     }
 
     #[test]
@@ -676,6 +850,26 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn iterative_fft_matches_recursive_on_random_sizes(
+            log_n in 0u32..11,
+            seed in 0u64..1_000,
+        ) {
+            let n = 1usize << log_n;
+            let mut rng = StdRng::seed_from_u64(seed);
+            use rand::Rng;
+            let orig: Vec<Complex> = (0..n)
+                .map(|_| Complex::new(rng.gen_range(-8.0..8.0), rng.gen_range(-8.0..8.0)))
+                .collect();
+            let mut iterative = orig.clone();
+            fft(&mut iterative);
+            let recursive = fft_recursive_ref(&orig);
+            for (a, b) in iterative.iter().zip(&recursive) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+
         #[test]
         fn stft_frames_formula(n in 1usize..60_000) {
             let cfg = StftConfig::speech_default();

@@ -1,0 +1,369 @@
+//! Multi-core batch execution engine for [`PrepPipeline`].
+//!
+//! The paper's central observation (§III) is that data preparation saturates
+//! host CPUs long before the accelerators saturate: the authors measured a
+//! 48-core Xeon host feeding 8 V100s and found *preparation* throughput, not
+//! gradient computation, capping end-to-end training. This module is the
+//! software baseline for that experiment: it runs a preparation pipeline
+//! over a batch of samples on a pool of worker threads, exactly the
+//! configuration whose scaling ceiling motivates TrainBox's dedicated
+//! preparation hardware.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Output is byte-identical to the sequential reference
+//!    ([`run_batch_sequential`]) for *any* worker count and queue depth.
+//!    Every sample gets its own RNG derived from `(batch seed, sample
+//!    index)` ([`sample_rng`]), so no sample's randomness depends on
+//!    scheduling. Failures are reported as the error of the
+//!    smallest-indexed failing sample — the one the sequential reference
+//!    would have hit first.
+//! 2. **Backpressure.** Work and results flow through bounded channels
+//!    ([`std::sync::mpsc::sync_channel`]); a slow consumer stalls the
+//!    feeder instead of ballooning memory. The paper makes the same point
+//!    about bounded staging buffers in the preparation server (§V).
+//! 3. **No detached threads.** Workers live inside a
+//!    [`std::thread::scope`], so a panic or early return cannot leak
+//!    threads past the call.
+
+use crate::error::PrepError;
+use crate::pipeline::{DataItem, PrepPipeline};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::num::NonZeroUsize;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tuning knobs for [`BatchExecutor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    /// Worker thread count. `0` means "one per available hardware thread"
+    /// (resolved at run time via [`std::thread::available_parallelism`]).
+    pub workers: usize,
+    /// Capacity of the bounded work and result queues, in samples. Larger
+    /// values smooth out per-sample cost variance; smaller values bound
+    /// in-flight memory more tightly. Must be ≥ 1.
+    pub queue_depth: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig { workers: 0, queue_depth: 8 }
+    }
+}
+
+impl ExecutorConfig {
+    /// The effective worker count: explicit, or the host's available
+    /// parallelism when `workers == 0`.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        }
+    }
+}
+
+/// Timing summary of one batch run, for scaling-curve measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutorReport {
+    /// Samples successfully processed.
+    pub samples: usize,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock duration of the whole batch.
+    pub elapsed_secs: f64,
+}
+
+impl ExecutorReport {
+    /// Batch throughput in samples per second.
+    pub fn samples_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.samples as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Deterministic per-sample generator: every sample's randomness is a pure
+/// function of the batch seed and its index, independent of which worker
+/// processes it or in what order.
+pub fn sample_rng(batch_seed: u64, index: usize) -> StdRng {
+    // Weyl-sequence spacing by the 64-bit golden ratio keeps neighbouring
+    // indices' seeds far apart before SplitMix64 mixing in `seed_from_u64`.
+    StdRng::seed_from_u64(
+        batch_seed.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    )
+}
+
+/// Sequential reference implementation: the exact semantics the parallel
+/// executor must reproduce. Processes samples in index order, stopping at
+/// the first failure.
+///
+/// # Errors
+///
+/// The error of the smallest-indexed failing sample.
+pub fn run_batch_sequential(
+    pipeline: &PrepPipeline,
+    batch: Vec<DataItem>,
+    batch_seed: u64,
+) -> Result<Vec<DataItem>, PrepError> {
+    let mut out = Vec::with_capacity(batch.len());
+    for (i, item) in batch.into_iter().enumerate() {
+        let mut rng = sample_rng(batch_seed, i);
+        out.push(pipeline.run(item, &mut rng)?);
+    }
+    Ok(out)
+}
+
+/// Multi-core batch engine; see the module docs for the contract.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchExecutor {
+    cfg: ExecutorConfig,
+}
+
+impl BatchExecutor {
+    /// An executor with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.queue_depth` is 0.
+    pub fn new(cfg: ExecutorConfig) -> Self {
+        assert!(cfg.queue_depth >= 1, "queue_depth must be at least 1");
+        BatchExecutor { cfg }
+    }
+
+    /// The configuration this executor runs with.
+    pub fn config(&self) -> ExecutorConfig {
+        self.cfg
+    }
+
+    /// Run `batch` through `pipeline`, returning outputs in input order.
+    ///
+    /// # Errors
+    ///
+    /// The error of the smallest-indexed failing sample (identical to what
+    /// [`run_batch_sequential`] would return).
+    pub fn run(
+        &self,
+        pipeline: &PrepPipeline,
+        batch: Vec<DataItem>,
+        batch_seed: u64,
+    ) -> Result<Vec<DataItem>, PrepError> {
+        self.run_timed(pipeline, batch, batch_seed).map(|(items, _)| items)
+    }
+
+    /// [`BatchExecutor::run`] plus a timing report for scaling measurement.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BatchExecutor::run`].
+    pub fn run_timed(
+        &self,
+        pipeline: &PrepPipeline,
+        batch: Vec<DataItem>,
+        batch_seed: u64,
+    ) -> Result<(Vec<DataItem>, ExecutorReport), PrepError> {
+        let workers = self.cfg.effective_workers();
+        let n = batch.len();
+        let t0 = Instant::now();
+
+        if n == 0 {
+            let report =
+                ExecutorReport { samples: 0, workers, elapsed_secs: t0.elapsed().as_secs_f64() };
+            return Ok((Vec::new(), report));
+        }
+
+        let mut slots: Vec<Option<DataItem>> = Vec::new();
+        slots.resize_with(n, || None);
+        // Error of the smallest failing index seen so far.
+        let mut first_err: Option<(usize, PrepError)> = None;
+
+        let (work_tx, work_rx) = sync_channel::<(usize, DataItem)>(self.cfg.queue_depth);
+        let (res_tx, res_rx) =
+            sync_channel::<(usize, Result<DataItem, PrepError>)>(self.cfg.queue_depth);
+        // Workers pull from one shared receiver; the mutex is held only for
+        // the dequeue, never while a sample is being processed. Declared
+        // outside the scope so scoped threads can borrow it.
+        let work_rx: Mutex<Receiver<(usize, DataItem)>> = Mutex::new(work_rx);
+
+        std::thread::scope(|scope| {
+            let work_rx = &work_rx;
+
+            // Feeder: drives the bounded work queue; blocks (backpressure)
+            // when workers fall behind.
+            scope.spawn(move || {
+                for pair in batch.into_iter().enumerate() {
+                    if work_tx.send(pair).is_err() {
+                        break; // receivers gone: results no longer needed
+                    }
+                }
+            });
+
+            for _ in 0..workers {
+                let res_tx = res_tx.clone();
+                scope.spawn(move || {
+                    loop {
+                        let msg = {
+                            let guard = work_rx.lock().expect("work queue poisoned");
+                            guard.recv()
+                        };
+                        let Ok((idx, item)) = msg else { break };
+                        let mut rng = sample_rng(batch_seed, idx);
+                        let out = pipeline.run(item, &mut rng);
+                        if res_tx.send((idx, out)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            // The workers hold the only remaining senders; dropping ours
+            // lets the collection loop below terminate when they finish.
+            drop(res_tx);
+
+            for (idx, res) in res_rx {
+                match res {
+                    Ok(item) => slots[idx] = Some(item),
+                    Err(e) => {
+                        if first_err.as_ref().is_none_or(|(i, _)| idx < *i) {
+                            first_err = Some((idx, e));
+                        }
+                    }
+                }
+            }
+        });
+
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        let items: Vec<DataItem> = slots
+            .into_iter()
+            .map(|s| s.expect("every index produced exactly one result"))
+            .collect();
+        let report = ExecutorReport {
+            samples: items.len(),
+            workers,
+            elapsed_secs: t0.elapsed().as_secs_f64(),
+        };
+        Ok((items, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{CastFloat, GaussianNoise, JpegDecode, Mirror, RandomCrop};
+    use crate::synth;
+    use proptest::prelude::*;
+
+    fn image_batch(count: usize, seed: u64) -> Vec<DataItem> {
+        (0..count)
+            .map(|i| {
+                let img = synth::synthetic_image(48, 40, seed + i as u64);
+                DataItem::EncodedImage(crate::jpeg::encode(&img, 88))
+            })
+            .collect()
+    }
+
+    fn test_pipeline() -> PrepPipeline {
+        PrepPipeline::new()
+            .then(JpegDecode)
+            .then(RandomCrop { width: 32, height: 32 })
+            .then(Mirror { prob: 0.5 })
+            .then(GaussianNoise { sigma: 2.0 })
+            .then(CastFloat)
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let ex = BatchExecutor::new(ExecutorConfig { workers: 2, queue_depth: 4 });
+        let out = ex.run(&test_pipeline(), Vec::new(), 1).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matches_sequential_for_various_worker_counts() {
+        let pipeline = test_pipeline();
+        let batch = image_batch(9, 100);
+        let reference = run_batch_sequential(&pipeline, batch.clone(), 42).unwrap();
+        for workers in [1usize, 2, 3, 8] {
+            let ex = BatchExecutor::new(ExecutorConfig { workers, queue_depth: 2 });
+            let got = ex.run(&pipeline, batch.clone(), 42).unwrap();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn default_workers_resolve_to_host_parallelism() {
+        let cfg = ExecutorConfig::default();
+        assert!(cfg.effective_workers() >= 1);
+    }
+
+    #[test]
+    fn error_reported_at_smallest_failing_index() {
+        let pipeline = test_pipeline();
+        let mut batch = image_batch(6, 7);
+        // Corrupt two samples; the sequential reference hits index 2 first.
+        batch[2] = DataItem::EncodedImage(b"definitely not a jpeg".to_vec());
+        batch[4] = DataItem::EncodedImage(Vec::new());
+        let reference = run_batch_sequential(&pipeline, batch.clone(), 5).unwrap_err();
+        for workers in [1usize, 2, 4] {
+            let ex = BatchExecutor::new(ExecutorConfig { workers, queue_depth: 3 });
+            let got = ex.run(&pipeline, batch.clone(), 5).unwrap_err();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn report_counts_samples_and_workers() {
+        let pipeline = test_pipeline();
+        let batch = image_batch(4, 3);
+        let ex = BatchExecutor::new(ExecutorConfig { workers: 2, queue_depth: 2 });
+        let (items, report) = ex.run_timed(&pipeline, batch, 11).unwrap();
+        assert_eq!(items.len(), 4);
+        assert_eq!(report.samples, 4);
+        assert_eq!(report.workers, 2);
+        assert!(report.elapsed_secs > 0.0);
+        assert!(report.samples_per_sec() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue_depth")]
+    fn zero_queue_depth_rejected() {
+        let _ = BatchExecutor::new(ExecutorConfig { workers: 1, queue_depth: 0 });
+    }
+
+    #[test]
+    fn sample_rng_is_index_stable() {
+        use rand::RngCore;
+        let mut a = sample_rng(9, 3);
+        let mut b = sample_rng(9, 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = sample_rng(9, 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// The tentpole contract: for any batch size, worker count, queue
+        /// depth, and seed, the parallel executor's output is byte-identical
+        /// to the sequential reference.
+        #[test]
+        fn executor_matches_sequential(
+            count in 0usize..8,
+            workers in 1usize..6,
+            queue_depth in 1usize..5,
+            seed in any::<u64>(),
+        ) {
+            let pipeline = test_pipeline();
+            let batch = image_batch(count, seed ^ 0xabcd);
+            let reference = run_batch_sequential(&pipeline, batch.clone(), seed);
+            let ex = BatchExecutor::new(ExecutorConfig { workers, queue_depth });
+            let got = ex.run(&pipeline, batch, seed);
+            prop_assert_eq!(got, reference);
+        }
+    }
+}

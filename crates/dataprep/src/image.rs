@@ -131,25 +131,27 @@ impl Image {
     }
 
     /// Add zero-mean Gaussian noise with standard deviation `sigma` (in
-    /// 8-bit counts), clamping to `[0, 255]`. Box–Muller over the provided RNG.
+    /// 8-bit counts), clamping to `[0, 255]`. Ziggurat sampling
+    /// (Marsaglia–Tsang) over the provided RNG: one random word, one table
+    /// compare, and one multiply per pixel on the fast path, against the
+    /// ln/sqrt/sincos per pair that Box–Muller pays.
     pub fn gaussian_noise<R: Rng + ?Sized>(&self, sigma: f32, rng: &mut R) -> Image {
         assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be nonnegative");
-        let mut data = Vec::with_capacity(self.data.len());
-        let mut pending: Option<f32> = None;
-        for &b in &self.data {
-            let n = match pending.take() {
-                Some(z) => z,
-                None => {
-                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-                    let u2: f32 = rng.gen();
-                    let r = (-2.0 * u1.ln()).sqrt();
-                    let (s, c) = (2.0 * std::f32::consts::PI * u2).sin_cos();
-                    pending = Some(r * s);
-                    r * c
-                }
-            };
-            let v = (b as f32 + n * sigma).round().clamp(0.0, 255.0) as u8;
-            data.push(v);
+        let mut data = vec![0u8; self.data.len()];
+        let mut rng = crate::ziggurat::BufferedRng::new(rng);
+        // `as u8` saturates, so `+ 0.5` + truncation rounds-and-clamps in
+        // one step — `f32::round` is not a single instruction on x86-64.
+        let mut out_pairs = data.chunks_exact_mut(2);
+        let src_pairs = self.data.chunks_exact(2);
+        let src_rem = src_pairs.remainder();
+        for (out, src) in (&mut out_pairs).zip(src_pairs) {
+            let (n0, n1) = crate::ziggurat::standard_normal_pair(&mut rng);
+            out[0] = (src[0] as f32 + n0 * sigma + 0.5) as u8;
+            out[1] = (src[1] as f32 + n1 * sigma + 0.5) as u8;
+        }
+        for (out, &b) in out_pairs.into_remainder().iter_mut().zip(src_rem) {
+            let n = crate::ziggurat::standard_normal(&mut rng);
+            *out = (b as f32 + n * sigma + 0.5) as u8;
         }
         Image::from_rgb(self.width, self.height, data)
     }
@@ -158,14 +160,23 @@ impl Image {
     /// `char → float` type cast that amplifies data volume 4× (§III-C).
     pub fn to_float(&self) -> FloatImage {
         let (w, h) = (self.width, self.height);
-        let mut data = vec![0.0f32; w * h * 3];
-        for y in 0..h {
-            for x in 0..w {
-                let i = (y * w + x) * 3;
-                for ch in 0..3 {
-                    data[ch * w * h + y * w + x] = self.data[i + ch] as f32 / 255.0;
-                }
-            }
+        let plane = w * h;
+        let mut data = vec![0.0f32; plane * 3];
+        // One pass over the interleaved source, three sequential plane
+        // writes: no per-pixel index arithmetic in the inner loop.
+        let (r_plane, rest) = data.split_at_mut(plane);
+        let (g_plane, b_plane) = rest.split_at_mut(plane);
+        const INV: f32 = 1.0 / 255.0;
+        for (((src, r), g), b) in self
+            .data
+            .chunks_exact(3)
+            .zip(r_plane.iter_mut())
+            .zip(g_plane.iter_mut())
+            .zip(b_plane.iter_mut())
+        {
+            *r = src[0] as f32 * INV;
+            *g = src[1] as f32 * INV;
+            *b = src[2] as f32 * INV;
         }
         FloatImage { width: w, height: h, data }
     }

@@ -67,52 +67,108 @@ impl BitWriter {
 }
 
 /// MSB-first bit reader that unstuffs `0xFF 0x00` and stops at markers.
+///
+/// The accumulator is 64 bits wide and refilled eagerly up to the next
+/// marker (or end of data), so the Huffman hot loop can *peek* a code-length
+/// window of bits without a `Result` per bit, then *consume* only the bits a
+/// matched code actually used. Peeks past the end of real data are padded
+/// with zero bits and never fail; the error (EOF vs. marker) is reported by
+/// [`BitReader::consume`] only when fabricated bits would actually be
+/// consumed — preserving the strict truncation semantics of the byte-at-a-
+/// time reader this replaces.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     data: &'a [u8],
     pos: usize,
-    acc: u32,
+    /// Holds `nbits` valid bits in its low-order positions (bits above that
+    /// are stale).
+    acc: u64,
     nbits: u32,
-    /// Set when the reader ran into an unescaped marker; its second byte.
-    marker: Option<u8>,
 }
 
 impl<'a> BitReader<'a> {
     /// Read bits from `data` starting at offset 0.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, acc: 0, nbits: 0, marker: None }
+        BitReader { data, pos: 0, acc: 0, nbits: 0 }
     }
 
-    /// Load exactly one more byte into the accumulator, unstuffing `0xFF 0x00`.
-    fn load_byte(&mut self) -> Result<(), DecodeError> {
-        if self.marker.is_some() {
-            return Err(DecodeError::Malformed("read past marker".into()));
-        }
-        let Some(&b) = self.data.get(self.pos) else {
-            return Err(DecodeError::UnexpectedEof);
-        };
-        if b == 0xff {
-            match self.data.get(self.pos + 1) {
-                Some(0x00) => {
-                    self.pos += 2;
-                    self.acc = (self.acc << 8) | 0xff;
+    /// Top up the accumulator, unstuffing `0xFF 0x00`, stopping silently at
+    /// end of data or at an unescaped marker (leaving `pos` on its `0xFF`).
+    fn refill(&mut self) {
+        while self.nbits <= 56 {
+            match self.data.get(self.pos) {
+                Some(&0xff) => match self.data.get(self.pos + 1) {
+                    Some(0x00) => {
+                        self.pos += 2;
+                        self.acc = (self.acc << 8) | 0xff;
+                        self.nbits += 8;
+                    }
+                    // Marker, or a trailing lone 0xFF: stop here.
+                    _ => break,
+                },
+                Some(&b) => {
+                    self.pos += 1;
+                    self.acc = (self.acc << 8) | b as u64;
                     self.nbits += 8;
-                    Ok(())
                 }
-                Some(&m) => {
-                    self.marker = Some(m);
-                    Err(DecodeError::Malformed(format!(
-                        "unexpected marker 0xff{m:02x} in entropy data"
-                    )))
-                }
-                None => Err(DecodeError::UnexpectedEof),
+                None => break,
             }
-        } else {
-            self.pos += 1;
-            self.acc = (self.acc << 8) | b as u32;
-            self.nbits += 8;
-            Ok(())
         }
+    }
+
+    /// Look at the next `n` bits without consuming them, zero-padded past the
+    /// end of real data. Never fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or greater than 32.
+    #[inline]
+    pub fn peek(&mut self, n: u32) -> u32 {
+        debug_assert!((1..=32).contains(&n), "peek of 1..=32 bits");
+        if self.nbits < n {
+            self.refill();
+        }
+        if self.nbits >= n {
+            ((self.acc >> (self.nbits - n)) as u32) & (((1u64 << n) - 1) as u32)
+        } else {
+            // Fewer real bits than asked: mask off stale high bits and pad
+            // with zeros on the right.
+            let have = self.nbits;
+            let v = (self.acc as u32) & (((1u64 << have) - 1) as u32);
+            v << (n - have)
+        }
+    }
+
+    /// Consume `n` bits previously seen via [`BitReader::peek`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEof`] if fewer than `n` real bits remain, or
+    /// [`DecodeError::Malformed`] when the shortfall is due to an unescaped
+    /// marker in the entropy data.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<(), DecodeError> {
+        if self.nbits < n {
+            self.refill();
+            if self.nbits < n {
+                return Err(self.starved());
+            }
+        }
+        self.nbits -= n;
+        Ok(())
+    }
+
+    /// Why the accumulator cannot be refilled: marker or end of data.
+    #[cold]
+    fn starved(&self) -> DecodeError {
+        if self.data.get(self.pos) == Some(&0xff) {
+            if let Some(&m) = self.data.get(self.pos + 1) {
+                return DecodeError::Malformed(format!(
+                    "unexpected marker 0xff{m:02x} in entropy data"
+                ));
+            }
+        }
+        DecodeError::UnexpectedEof
     }
 
     /// Read one bit.
@@ -121,15 +177,14 @@ impl<'a> BitReader<'a> {
     ///
     /// [`DecodeError::UnexpectedEof`] at end of data, or
     /// [`DecodeError::Malformed`] when hitting a non-restart marker.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn bit(&mut self) -> Result<u32, DecodeError> {
-        if self.nbits == 0 {
-            self.load_byte()?;
-        }
-        self.nbits -= 1;
-        Ok((self.acc >> self.nbits) & 1)
+        let v = self.peek(1);
+        self.consume(1)?;
+        Ok(v)
     }
 
-    /// Read `n` bits MSB-first.
+    /// Read `n` bits MSB-first. `n = 0` reads nothing and returns 0.
     ///
     /// # Errors
     ///
@@ -138,12 +193,14 @@ impl<'a> BitReader<'a> {
     /// # Panics
     ///
     /// Panics if `n > 16`.
+    #[inline]
     pub fn bits(&mut self, n: u32) -> Result<u32, DecodeError> {
         assert!(n <= 16, "at most 16 bits per read");
-        let mut v = 0;
-        for _ in 0..n {
-            v = (v << 1) | self.bit()?;
+        if n == 0 {
+            return Ok(0);
         }
+        let v = self.peek(n);
+        self.consume(n)?;
         Ok(v)
     }
 
@@ -154,16 +211,11 @@ impl<'a> BitReader<'a> {
     ///
     /// [`DecodeError::Malformed`] if the next marker is not RSTn.
     pub fn sync_restart(&mut self) -> Result<u8, DecodeError> {
-        // Drop buffered padding bits.
+        // Drop buffered padding bits. Refill never crosses a marker, so in a
+        // well-formed stream everything buffered here is byte-alignment
+        // padding that precedes the marker `pos` points at.
         self.nbits = 0;
         self.acc = 0;
-        if let Some(m) = self.marker.take() {
-            if (0xd0..=0xd7).contains(&m) {
-                return Ok(m - 0xd0);
-            }
-            return Err(DecodeError::Malformed(format!("expected RSTn, found 0xff{m:02x}")));
-        }
-        // Marker not yet consumed from the raw stream.
         if self.data.get(self.pos) == Some(&0xff) {
             if let Some(&m) = self.data.get(self.pos + 1) {
                 if (0xd0..=0xd7).contains(&m) {
@@ -175,7 +227,6 @@ impl<'a> BitReader<'a> {
         }
         Err(DecodeError::Malformed("expected restart marker".into()))
     }
-
 }
 
 #[cfg(test)]

@@ -33,6 +33,15 @@ struct DecoderState {
     restart_interval: usize,
 }
 
+/// Reusable decoder scratch memory: the per-component sample planes that a
+/// single-shot [`decode`] would otherwise allocate per frame. A batch decoder
+/// (one `Scratch` per worker thread) amortizes those allocations across the
+/// whole scan loop — the prep executor's workers each hold one.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    planes: [Vec<u8>; 3],
+}
+
 /// Decode a baseline JFIF stream into an RGB image.
 ///
 /// # Errors
@@ -43,6 +52,16 @@ struct DecoderState {
 /// * [`DecodeError::Unsupported`] — valid JPEG features outside the baseline
 ///   subset (progressive, arithmetic coding, 12-bit precision, >2 sampling).
 pub fn decode(data: &[u8]) -> Result<Image, DecodeError> {
+    decode_with(data, &mut Scratch::default())
+}
+
+/// [`decode`] with caller-provided scratch buffers, for allocation-free
+/// steady-state batch decoding.
+///
+/// # Errors
+///
+/// Same as [`decode`].
+pub fn decode_with(data: &[u8], scratch: &mut Scratch) -> Result<Image, DecodeError> {
     let mut pos = 0usize;
     let need = |pos: usize, n: usize| -> Result<(), DecodeError> {
         if pos + n > data.len() {
@@ -105,7 +124,7 @@ pub fn decode(data: &[u8]) -> Result<Image, DecodeError> {
                 let seg = segment(data, &mut pos)?;
                 parse_sos(seg, &mut st)?;
                 // Entropy data follows until the next marker.
-                return decode_scan(&data[pos..], &st);
+                return decode_scan(&data[pos..], &st, scratch);
             }
             // APPn, COM, and anything else with a length: skip.
             _ => {
@@ -256,14 +275,58 @@ fn parse_sos(seg: &[u8], st: &mut DecoderState) -> Result<(), DecodeError> {
     Ok(())
 }
 
-/// Per-component plane storage during the scan.
-struct Plane {
-    w: usize,
-    h: usize,
-    data: Vec<f32>,
+/// Clamped `YCbCr → RGB` lookup tables, 8.16 fixed point for the green
+/// cross-terms. Indexing by the already-clamped `u8` chroma sample replaces
+/// three float multiplies + three rounds per pixel with table adds.
+struct YccTables {
+    /// `round(1.402·(cr−128))`.
+    cr_r: [i32; 256],
+    /// `round(1.772·(cb−128))`.
+    cb_b: [i32; 256],
+    /// `−0.344136·(cb−128)` in 16.16 fixed point.
+    cb_g: [i32; 256],
+    /// `−0.714136·(cr−128)` in 16.16 fixed point.
+    cr_g: [i32; 256],
 }
 
-fn decode_scan(entropy: &[u8], st: &DecoderState) -> Result<Image, DecodeError> {
+fn ycc_tables() -> &'static YccTables {
+    use std::sync::OnceLock;
+    static T: OnceLock<YccTables> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut t = YccTables {
+            cr_r: [0; 256],
+            cb_b: [0; 256],
+            cb_g: [0; 256],
+            cr_g: [0; 256],
+        };
+        for v in 0..256usize {
+            let d = v as f64 - 128.0;
+            t.cr_r[v] = (1.402 * d).round() as i32;
+            t.cb_b[v] = (1.772 * d).round() as i32;
+            t.cb_g[v] = (-0.344_136 * d * 65_536.0).round() as i32;
+            t.cr_g[v] = (-0.714_136 * d * 65_536.0).round() as i32;
+        }
+        t
+    })
+}
+
+#[inline]
+fn clamp_u8(v: i32) -> u8 {
+    v.clamp(0, 255) as u8
+}
+
+/// Per-component plane storage during the scan (clamped 8-bit samples; the
+/// backing buffers live in [`Scratch`] and are reused across frames).
+struct Plane<'a> {
+    w: usize,
+    /// Right-shift mapping full-resolution x/y to plane coordinates (0 or 1 —
+    /// sampling factors are restricted to {1, 2}).
+    xshift: u32,
+    yshift: u32,
+    data: &'a mut Vec<u8>,
+}
+
+fn decode_scan(entropy: &[u8], st: &DecoderState, scratch: &mut Scratch) -> Result<Image, DecodeError> {
     // The component list comes from the (attacker-controlled) SOF segment;
     // never assume it is non-empty.
     let hmax = st
@@ -272,22 +335,27 @@ fn decode_scan(entropy: &[u8], st: &DecoderState) -> Result<Image, DecodeError> 
         .map(|c| c.h)
         .max()
         .ok_or_else(|| DecodeError::Malformed("scan with no components".into()))?;
-    let vmax = st
-        .components
-        .iter()
-        .map(|c| c.v)
-        .max()
-        .ok_or_else(|| DecodeError::Malformed("scan with no components".into()))?;
+    let vmax = st.components.iter().map(|c| c.v).max().unwrap_or(1);
     let mcux = st.width.div_ceil(8 * hmax);
     let mcuy = st.height.div_ceil(8 * vmax);
 
-    let mut planes: Vec<Plane> = st
+    let mut planes: Vec<Plane<'_>> = st
         .components
         .iter()
-        .map(|c| {
+        .zip(scratch.planes.iter_mut())
+        .map(|(c, buf)| {
             let w = mcux * c.h * 8;
             let h = mcuy * c.v * 8;
-            Plane { w, h, data: vec![0.0; w * h] }
+            // Every byte is overwritten by some block below, so growth is the
+            // only cost; steady-state batch decodes reuse the allocation.
+            buf.clear();
+            buf.resize(w * h, 0);
+            Plane {
+                w,
+                xshift: (hmax / c.h).trailing_zeros(),
+                yshift: (vmax / c.v).trailing_zeros(),
+                data: buf,
+            }
         })
         .collect();
 
@@ -307,9 +375,10 @@ fn decode_scan(entropy: &[u8], st: &DecoderState) -> Result<Image, DecodeError> 
     }
 
     let mut reader = BitReader::new(entropy);
-    let mut preds = vec![0i32; st.components.len()];
+    let mut preds = [0i32; 3];
     let total_mcus = mcux * mcuy;
     let mut next_rst = 0u8;
+    let mut block = [0.0f32; 64];
 
     for mcu in 0..total_mcus {
         if st.restart_interval > 0 && mcu > 0 && mcu % st.restart_interval == 0 {
@@ -320,20 +389,25 @@ fn decode_scan(entropy: &[u8], st: &DecoderState) -> Result<Image, DecodeError> 
                 )));
             }
             next_rst = (next_rst + 1) % 8;
-            preds.iter_mut().for_each(|p| *p = 0);
+            preds = [0; 3];
         }
         let (mx, my) = (mcu % mcux, mcu / mcux);
         for (ci, c) in st.components.iter().enumerate() {
             let (q, dc, ac) = comp_tables[ci];
             for by in 0..c.v {
                 for bx in 0..c.h {
-                    let block = decode_block(&mut reader, dc, ac, q, &mut preds[ci])?;
+                    decode_block(&mut reader, dc, ac, q, &mut preds[ci], &mut block)?;
                     let px = (mx * c.h + bx) * 8;
                     let py = (my * c.v + by) * 8;
                     let plane = &mut planes[ci];
                     for y in 0..8 {
-                        for x in 0..8 {
-                            plane.data[(py + y) * plane.w + px + x] = block[y * 8 + x] + 128.0;
+                        let row = (py + y) * plane.w + px;
+                        // `(v + 128.5) as u8` saturates at both ends; trunc
+                        // differs from floor only in (-1, 0), which clamps to
+                        // 0 either way.
+                        let dst = &mut plane.data[row..row + 8];
+                        for (d, &s) in dst.iter_mut().zip(&block[y * 8..y * 8 + 8]) {
+                            *d = (s + 128.5) as u8;
                         }
                     }
                 }
@@ -341,7 +415,7 @@ fn decode_scan(entropy: &[u8], st: &DecoderState) -> Result<Image, DecodeError> 
         }
     }
 
-    Ok(assemble(st, &planes, hmax, vmax))
+    Ok(assemble(st, &planes))
 }
 
 fn decode_block(
@@ -350,7 +424,8 @@ fn decode_block(
     ac: &HuffDecoder,
     q: &[u16; 64],
     pred: &mut i32,
-) -> Result<[f32; 64], DecodeError> {
+    out: &mut [f32; 64],
+) -> Result<(), DecodeError> {
     let mut coef = [0.0f32; 64];
     // DC
     let t = dc.get(r)? as u32;
@@ -380,39 +455,41 @@ fn decode_block(
         coef[ZIGZAG[k]] = (v * q[ZIGZAG[k]] as i32) as f32;
         k += 1;
     }
-    Ok(idct_8x8(&coef))
+    *out = idct_8x8(&coef);
+    Ok(())
 }
 
-fn assemble(st: &DecoderState, planes: &[Plane], hmax: usize, vmax: usize) -> Image {
+fn assemble(st: &DecoderState, planes: &[Plane<'_>]) -> Image {
     let (w, h) = (st.width, st.height);
     let mut rgb = vec![0u8; w * h * 3];
-    let sample = |ci: usize, x: usize, y: usize| -> f32 {
-        let c = &st.components[ci];
-        let p = &planes[ci];
-        // Map full-res coordinates into the (possibly subsampled) plane.
-        let sx = (x * c.h / hmax).min(p.w - 1);
-        let sy = (y * c.v / vmax).min(p.h - 1);
-        p.data[sy * p.w + sx]
-    };
-    for y in 0..h {
-        for x in 0..w {
-            let i = (y * w + x) * 3;
-            if st.components.len() == 1 {
-                let v = sample(0, x, y).round().clamp(0.0, 255.0) as u8;
-                rgb[i] = v;
-                rgb[i + 1] = v;
-                rgb[i + 2] = v;
-            } else {
-                let yv = sample(0, x, y);
-                let cb = sample(1, x, y) - 128.0;
-                let cr = sample(2, x, y) - 128.0;
-                let r = yv + 1.402 * cr;
-                let g = yv - 0.344_136 * cb - 0.714_136 * cr;
-                let b = yv + 1.772 * cb;
-                rgb[i] = r.round().clamp(0.0, 255.0) as u8;
-                rgb[i + 1] = g.round().clamp(0.0, 255.0) as u8;
-                rgb[i + 2] = b.round().clamp(0.0, 255.0) as u8;
+    if st.components.len() == 1 {
+        let p = &planes[0];
+        for y in 0..h {
+            let src = &p.data[(y >> p.yshift) * p.w..];
+            let dst = &mut rgb[y * w * 3..(y + 1) * w * 3];
+            for x in 0..w {
+                let v = src[x >> p.xshift];
+                dst[x * 3] = v;
+                dst[x * 3 + 1] = v;
+                dst[x * 3 + 2] = v;
             }
+        }
+        return Image::from_rgb(w, h, rgb);
+    }
+    let t = ycc_tables();
+    let (py, pcb, pcr) = (&planes[0], &planes[1], &planes[2]);
+    for y in 0..h {
+        let yrow = &py.data[(y >> py.yshift) * py.w..];
+        let cbrow = &pcb.data[(y >> pcb.yshift) * pcb.w..];
+        let crrow = &pcr.data[(y >> pcr.yshift) * pcr.w..];
+        let dst = &mut rgb[y * w * 3..(y + 1) * w * 3];
+        for (x, px) in dst.chunks_exact_mut(3).enumerate() {
+            let yv = yrow[x >> py.xshift] as i32;
+            let cb = cbrow[x >> pcb.xshift] as usize;
+            let cr = crrow[x >> pcr.xshift] as usize;
+            px[0] = clamp_u8(yv + t.cr_r[cr]);
+            px[1] = clamp_u8(yv + ((t.cb_g[cb] + t.cr_g[cr] + 0x8000) >> 16));
+            px[2] = clamp_u8(yv + t.cb_b[cb]);
         }
     }
     Image::from_rgb(w, h, rgb)

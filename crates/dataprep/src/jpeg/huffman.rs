@@ -53,6 +53,12 @@ impl HuffEncoder {
     }
 }
 
+/// Number of bits resolved by the single-lookup fast path in
+/// [`HuffDecoder::get`]. The Annex K tables put every frequent symbol at 8
+/// bits or fewer, so the canonical bit-by-bit search only runs for rare long
+/// codes.
+const LUT_BITS: u32 = 8;
+
 /// Decoder-side canonical table (T.81 §F.2.2.3).
 #[derive(Debug, Clone)]
 pub struct HuffDecoder {
@@ -63,6 +69,9 @@ pub struct HuffDecoder {
     /// Index into `values` of the first code of each length.
     val_ptr: [usize; 17],
     values: Vec<u8>,
+    /// `lut[p]` for an `LUT_BITS`-bit peek `p` = `(symbol, code length)` when
+    /// the prefix starts a code of length ≤ `LUT_BITS`, else length 0.
+    lut: [(u8, u8); 1 << LUT_BITS],
 }
 
 impl HuffDecoder {
@@ -90,7 +99,23 @@ impl HuffDecoder {
             }
             code <<= 1;
         }
-        HuffDecoder { min_code, max_code, val_ptr, values }
+        // Expand every code of length ≤ LUT_BITS into all LUT slots sharing
+        // its prefix.
+        let mut lut = [(0u8, 0u8); 1 << LUT_BITS];
+        for l in 1..=LUT_BITS as usize {
+            if max_code[l] < 0 {
+                continue;
+            }
+            for c in min_code[l]..=max_code[l] {
+                let idx = val_ptr[l] + (c - min_code[l]) as usize;
+                let Some(&sym) = values.get(idx) else { continue };
+                let base = (c as usize) << (LUT_BITS as usize - l);
+                for slot in &mut lut[base..base + (1 << (LUT_BITS as usize - l))] {
+                    *slot = (sym, l as u8);
+                }
+            }
+        }
+        HuffDecoder { min_code, max_code, val_ptr, values, lut }
     }
 
     /// Decode one symbol from the bit stream.
@@ -99,11 +124,25 @@ impl HuffDecoder {
     ///
     /// Propagates reader errors; returns [`DecodeError::Malformed`] when no
     /// code matches within 16 bits.
+    #[inline]
     pub fn get(&self, r: &mut BitReader<'_>) -> Result<u8, DecodeError> {
-        let mut code: i32 = 0;
-        for l in 1..=16 {
-            code = (code << 1) | r.bit()? as i32;
+        // Fast path: one peek resolves any code of ≤ LUT_BITS bits.
+        let (sym, len) = self.lut[r.peek(LUT_BITS) as usize];
+        if len != 0 {
+            r.consume(len as u32)?;
+            return Ok(sym);
+        }
+        self.get_long(r)
+    }
+
+    /// Canonical search for codes longer than `LUT_BITS` (rare symbols).
+    #[cold]
+    fn get_long(&self, r: &mut BitReader<'_>) -> Result<u8, DecodeError> {
+        let window = r.peek(16) as i32;
+        for l in (LUT_BITS as usize + 1)..=16 {
+            let code = window >> (16 - l);
             if self.max_code[l] >= 0 && code <= self.max_code[l] && code >= self.min_code[l] {
+                r.consume(l as u32)?;
                 let idx = self.val_ptr[l] + (code - self.min_code[l]) as usize;
                 return self
                     .values

@@ -32,13 +32,13 @@
 //! ```
 
 mod bits;
-mod dct;
+pub mod dct;
 mod decoder;
 mod encoder;
 mod huffman;
 mod tables;
 
-pub use decoder::decode;
+pub use decoder::{decode, decode_with, Scratch};
 pub use encoder::{encode, encode_with, encode_with_restart, Subsampling};
 
 /// Peak signal-to-noise ratio between two same-size RGB images, in dB.

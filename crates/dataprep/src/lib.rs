@@ -28,6 +28,7 @@
 
 pub mod audio;
 pub mod error;
+pub mod executor;
 pub mod flate;
 pub mod image;
 pub mod jpeg;
@@ -39,6 +40,7 @@ pub mod shard;
 pub mod synth;
 pub mod video;
 pub mod wav;
+pub mod ziggurat;
 
 pub use error::{DecodeError, PrepError};
 pub use image::{FloatImage, Image};

@@ -103,8 +103,16 @@ impl PrepStage for JpegDecode {
         StageClass::Formatting
     }
     fn apply(&self, item: DataItem, _rng: &mut dyn RngCore) -> Result<DataItem, PrepError> {
+        thread_local! {
+            // One reusable plane-buffer set per worker thread: steady-state
+            // batch decoding allocates nothing but the output image.
+            static SCRATCH: std::cell::RefCell<jpeg::Scratch> =
+                std::cell::RefCell::new(jpeg::Scratch::default());
+        }
         match item {
-            DataItem::EncodedImage(bytes) => Ok(DataItem::Image(jpeg::decode(&bytes)?)),
+            DataItem::EncodedImage(bytes) => SCRATCH.with(|s| {
+                Ok(DataItem::Image(jpeg::decode_with(&bytes, &mut s.borrow_mut())?))
+            }),
             other => Err(mismatch(self, "encoded image", &other)),
         }
     }
@@ -244,12 +252,30 @@ impl PrepStage for SpectrogramStage {
 }
 
 /// Mel filter bank over a power spectrogram (Table III's "Mel Filter bank").
-#[derive(Debug, Clone)]
+///
+/// The triangle weights depend only on `(n_mels, bins, sample_rate)`, so the
+/// stage builds the bank once on first use and reuses it for every sample —
+/// rebuilding per item used to dominate the audio pipeline's cost.
+#[derive(Debug)]
 pub struct MelStage {
     /// Number of Mel bands.
     pub n_mels: usize,
     /// Input sample rate used to place the triangles.
     pub sample_rate: u32,
+    bank: std::sync::OnceLock<MelBank>,
+}
+
+impl MelStage {
+    /// A Mel stage of `n_mels` bands for inputs sampled at `sample_rate` Hz.
+    pub fn new(n_mels: usize, sample_rate: u32) -> Self {
+        MelStage { n_mels, sample_rate, bank: std::sync::OnceLock::new() }
+    }
+}
+
+impl Clone for MelStage {
+    fn clone(&self) -> Self {
+        MelStage::new(self.n_mels, self.sample_rate)
+    }
 }
 
 impl PrepStage for MelStage {
@@ -262,7 +288,13 @@ impl PrepStage for MelStage {
     fn apply(&self, item: DataItem, _rng: &mut dyn RngCore) -> Result<DataItem, PrepError> {
         match item {
             DataItem::Spectrogram(s) => {
-                let bank = MelBank::new(self.n_mels, s.bins(), self.sample_rate);
+                let bank = self.bank.get_or_init(|| MelBank::new(self.n_mels, s.bins(), self.sample_rate));
+                if bank.n_bins() != s.bins() {
+                    // Bin count changed between items; rebuild rather than
+                    // feed the cached bank a mismatched spectrogram.
+                    let fresh = MelBank::new(self.n_mels, s.bins(), self.sample_rate);
+                    return Ok(DataItem::Spectrogram(fresh.apply(&s)));
+                }
                 Ok(DataItem::Spectrogram(bank.apply(&s)))
             }
             other => Err(mismatch(self, "spectrogram", &other)),
@@ -436,7 +468,7 @@ impl PrepPipeline {
         let cfg = StftConfig::speech_default();
         PrepPipeline::new()
             .then(SpectrogramStage { cfg })
-            .then(MelStage { n_mels: 80, sample_rate: crate::synth::SPEECH_SAMPLE_RATE })
+            .then(MelStage::new(80, crate::synth::SPEECH_SAMPLE_RATE))
             .then(MaskStage { n_time: 2, max_time: 40, n_freq: 2, max_freq: 15 })
             .then(NormalizeStage)
     }

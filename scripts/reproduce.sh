@@ -1,14 +1,46 @@
 #!/usr/bin/env bash
 # Regenerate every table and figure of the paper, plus the ablations.
-# Usage: scripts/reproduce.sh [results_dir]
+#
+# Usage: scripts/reproduce.sh [-j N] [results_dir]
+#   -j N   run up to N figure binaries concurrently (default 1)
+#
+# All binaries are built once up front; the loop then invokes the compiled
+# artifacts directly, so per-figure cost is pure simulation time instead of
+# 21 cargo invocations each re-checking the workspace.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+jobs=1
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: scripts/reproduce.sh [-j N] [results_dir]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
 export TRAINBOX_RESULTS_DIR="${1:-results}"
+
 bins=(table01 fig02b fig03 fig05 fig08 fig09 fig10 fig11 table02 table03
       fig19 fig20 fig21 fig22
       ablation_ring ablation_boxes ablation_nextgen ablation_prepnet
       ablation_prefetch batch_lr scale_up_vs_out ablation_faults)
+
+cargo build --release -q -p trainbox-bench "${bins[@]/#/--bin=}"
+
+target_dir="${CARGO_TARGET_DIR:-target}"
+running=0
 for b in "${bins[@]}"; do
-  echo
-  cargo run --release -q -p trainbox-bench --bin "$b"
+  if [ "$jobs" -gt 1 ]; then
+    "$target_dir/release/$b" &
+    running=$((running + 1))
+    if [ "$running" -ge "$jobs" ]; then
+      wait -n
+      running=$((running - 1))
+    fi
+  else
+    echo
+    "$target_dir/release/$b"
+  fi
 done
+wait

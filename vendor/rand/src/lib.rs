@@ -232,10 +232,12 @@ pub mod rngs {
     }
 
     impl RngCore for StdRng {
+        #[inline]
         fn next_u32(&mut self) -> u32 {
             (self.next_u64() >> 32) as u32
         }
 
+        #[inline]
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ (public domain, Blackman & Vigna).
             let result = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
