@@ -48,6 +48,7 @@ fn bench_des(c: &mut Criterion) {
         warmup_batches: 2,
         prefetch_batches: 1,
         max_events: 5_000_000,
+        reference_allocator: false,
     };
     let mut g = c.benchmark_group("des");
     g.sample_size(10);

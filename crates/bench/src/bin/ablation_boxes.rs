@@ -5,7 +5,7 @@
 //! locally versus how much Ethernet/pool help it needs — the sizing question
 //! a TrainBox operator faces.
 
-use trainbox_bench::{banner, emit_json};
+use trainbox_bench::{banner, bench_cli, emit_json};
 use trainbox_core::calib::{
     ethernet_bytes_per_offloaded_sample, fpga_samples_per_sec, ETHERNET_BYTES_PER_SEC,
     SSD_READ_BYTES_PER_SEC,
@@ -14,6 +14,9 @@ use trainbox_core::calib::SampleSizes;
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Ablation", "Train-box composition: FPGAs per 8-accelerator box");
     println!(
         "{:<14} {:>12} | {:>14} {:>14} {:>14} {:>14}",

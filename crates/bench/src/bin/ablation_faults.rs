@@ -8,7 +8,7 @@
 //! JSON dump — reproduces byte-identically run to run (asserted below).
 
 use serde::Serialize;
-use trainbox_bench::{banner, emit_json};
+use trainbox_bench::{banner, bench_cli, emit_json, run_sweep};
 use trainbox_core::arch::{Server, ServerConfig, ServerKind};
 use trainbox_core::faults::{FaultDomain, FaultPlan};
 use trainbox_core::pipeline::{simulate, simulate_with_faults, SimConfig, SimResult};
@@ -23,6 +23,7 @@ fn cfg() -> SimConfig {
         warmup_batches: 4,
         prefetch_batches: 1,
         max_events: 10_000_000,
+        reference_allocator: false,
     }
 }
 
@@ -65,34 +66,34 @@ fn run(server: &Server, w: &Workload, intensity_faults: u64, healthy: &SimResult
     }
 }
 
-fn sweep(label: &str, server: &Server, w: &Workload) -> Vec<Row> {
+fn sweep(jobs: usize, label: &str, server: &Server, w: &Workload) -> Vec<Row> {
     let healthy = simulate(server, w, &cfg());
     println!("\n{label}: healthy {:.0} samples/s", healthy.samples_per_sec);
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>6} {:>6}",
         "faults", "effective", "goodput", "nominal", "retries", "wasted", "-accel", "-prep"
     );
-    [0u64, 2, 4, 8, 16]
-        .iter()
-        .map(|&k| {
-            let row = run(server, w, k, &healthy);
-            println!(
-                "{:>8} {:>10.0} {:>10.0} {:>10.0} {:>8} {:>8} {:>6} {:>6}",
-                row.faults_per_run,
-                row.effective,
-                row.goodput,
-                row.nominal,
-                row.retries,
-                row.wasted_samples,
-                row.accels_lost,
-                row.preps_lost
-            );
-            row
-        })
-        .collect()
+    // Each fault intensity is an independent seeded simulation; fan the rows
+    // out and print them in sweep order once all are back.
+    let rows = run_sweep(jobs, vec![0u64, 2, 4, 8, 16], |_, k| run(server, w, k, &healthy));
+    for row in &rows {
+        println!(
+            "{:>8} {:>10.0} {:>10.0} {:>10.0} {:>8} {:>8} {:>6} {:>6}",
+            row.faults_per_run,
+            row.effective,
+            row.goodput,
+            row.nominal,
+            row.retries,
+            row.wasted_samples,
+            row.accels_lost,
+            row.preps_lost
+        );
+    }
+    rows
 }
 
 fn main() {
+    let jobs = bench_cli();
     banner("Ablation", "Fault intensity vs. delivered throughput");
     println!("Seeded fault storms (seed {SEED:#x}) over 10 simulated batches,");
     println!("Inception-v4, 16 accelerators, batch 512.");
@@ -103,8 +104,8 @@ fn main() {
         .build();
     let baseline = ServerConfig::new(ServerKind::Baseline, 16).batch_size(512).build();
 
-    let tb = sweep("TrainBox (no pool)", &trainbox, &w);
-    let base = sweep("Baseline (host-centric)", &baseline, &w);
+    let tb = sweep(jobs, "TrainBox (no pool)", &trainbox, &w);
+    let base = sweep(jobs, "Baseline (host-centric)", &baseline, &w);
 
     println!("\nGoodput tracks effective throughput minus wasted work; nominal");
     println!("is what the initial device complement would have sustained.");

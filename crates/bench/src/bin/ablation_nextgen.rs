@@ -6,11 +6,14 @@
 //! (next-gen TPUs) and PCIe generation, and shows (a) the baseline falls
 //! further behind and (b) where TrainBox itself starts to need bigger boxes.
 
-use trainbox_bench::{banner, emit_json};
+use trainbox_bench::{banner, bench_cli, emit_json};
 use trainbox_core::arch::{ServerConfig, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Ablation", "Next-generation accelerators and links");
     let base_w = Workload::resnet50();
     println!("ResNet-50 at 256 accelerators, accelerator speed scaled:");

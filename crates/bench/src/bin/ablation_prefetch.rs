@@ -6,12 +6,27 @@
 //! (deeper prefetch only adds buffer memory) and (b) the measured throughput
 //! is insensitive to the event granularity — a stability check on the DES.
 
-use trainbox_bench::{banner, emit_json};
+use trainbox_bench::{banner, bench_cli, emit_json, run_sweep};
 use trainbox_core::arch::{ServerConfig, ServerKind};
-use trainbox_core::pipeline::{simulate, SimConfig};
+use trainbox_core::pipeline::{simulate, SimConfig, SimResult};
 use trainbox_nn::Workload;
 
+const DEPTHS: [u64; 3] = [1, 2, 4];
+const CHUNKS: [u64; 4] = [32, 64, 128, 256];
+
+fn cfg_for(depth: u64, chunk: u64) -> SimConfig {
+    SimConfig {
+        chunk_samples: chunk,
+        batches: 10,
+        warmup_batches: 5,
+        prefetch_batches: depth,
+        max_events: 10_000_000,
+        reference_allocator: false,
+    }
+}
+
 fn main() {
+    let jobs = bench_cli();
     banner("Ablation", "Prefetch depth and DES granularity");
     let w = Workload::inception_v4();
     let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
@@ -21,17 +36,19 @@ fn main() {
     println!("TrainBox, 16 accelerators, Inception-v4, batch 512");
     println!("analytic reference: {ana:.0} samples/s\n");
 
+    // All sweep points are independent simulations: depth rows at chunk 128,
+    // then chunk rows at depth 1, fanned out together.
+    let points: Vec<SimConfig> = DEPTHS
+        .iter()
+        .map(|&d| cfg_for(d, 128))
+        .chain(CHUNKS.iter().map(|&c| cfg_for(1, c)))
+        .collect();
+    let results: Vec<SimResult> = run_sweep(jobs, points, |_, cfg| simulate(&server, &w, &cfg));
+    let (depth_runs, chunk_runs) = results.split_at(DEPTHS.len());
+
     println!("{:>16} {:>14} {:>10} {:>10}", "prefetch depth", "samples/s", "vs analytic", "events");
     let mut dump = Vec::new();
-    for depth in [1u64, 2, 4] {
-        let cfg = SimConfig {
-            chunk_samples: 128,
-            batches: 10,
-            warmup_batches: 5,
-            prefetch_batches: depth,
-            max_events: 10_000_000,
-        };
-        let r = simulate(&server, &w, &cfg);
+    for (&depth, r) in DEPTHS.iter().zip(depth_runs) {
         println!(
             "{:>16} {:>14.0} {:>9.1}% {:>10}",
             depth,
@@ -43,15 +60,7 @@ fn main() {
     }
 
     println!("\n{:>16} {:>14} {:>10} {:>10}", "chunk samples", "samples/s", "vs analytic", "events");
-    for chunk in [32u64, 64, 128, 256] {
-        let cfg = SimConfig {
-            chunk_samples: chunk,
-            batches: 10,
-            warmup_batches: 5,
-            prefetch_batches: 1,
-            max_events: 10_000_000,
-        };
-        let r = simulate(&server, &w, &cfg);
+    for (&chunk, r) in CHUNKS.iter().zip(chunk_runs) {
         println!(
             "{:>16} {:>14.0} {:>9.1}% {:>10}",
             chunk,

@@ -6,12 +6,15 @@
 //! network bandwidth and shows which audio/image workloads can still reach
 //! their targets through the pool.
 
-use trainbox_bench::{banner, emit_json};
+use trainbox_bench::{banner, bench_cli, emit_json};
 use trainbox_core::calib::{ethernet_bytes_per_offloaded_sample, fpga_samples_per_sec};
 use trainbox_nn::Workload;
 use trainbox_pcie::boxes::PREPS_PER_TRAIN_BOX;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Ablation", "Prep-pool network bandwidth");
     let nets = [
         ("25 GbE", 3.125e9),

@@ -6,10 +6,13 @@
 //! chunks stop mattering once fill is amortized, and hop latency is what
 //! ultimately breaks the ~2× saturation.
 
-use trainbox_bench::{banner, emit_json};
+use trainbox_bench::{banner, bench_cli, emit_json};
 use trainbox_collective::RingModel;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Ablation", "Ring synchronization: chunk size and hop latency");
     let model_bytes = 97_500_000; // ResNet-50 gradients
 

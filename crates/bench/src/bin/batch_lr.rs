@@ -3,10 +3,14 @@
 //! algorithmic advance that makes large-batch training viable and thereby
 //! shifts the bottleneck toward data preparation.
 
-use trainbox_bench::{banner, emit_json};
-use trainbox_nn::train::{run_batch_scaling, AugExperimentConfig};
+use trainbox_bench::{banner, bench_cli, emit_json, run_sweep};
+use trainbox_nn::train::{
+    batch_scaling_points, prepare_scaling, reduce_batch_scaling, run_with_batch_prepared,
+    AugExperimentConfig,
+};
 
 fn main() {
+    let jobs = bench_cli();
     banner(
         "Batch/LR",
         "Large-batch accuracy: base learning rate vs retuned rate",
@@ -15,7 +19,17 @@ fn main() {
         epochs: 16,
         ..AugExperimentConfig::default()
     };
-    let rows = run_batch_scaling(&cfg, 32, &[32, 128, 256]);
+    // Each (batch, lr) training run is independent and self-seeded, so the
+    // sweep fans out across threads and folds back deterministically. The
+    // test set, initial weights, and augmented sample stream are identical
+    // at every point, so they are generated once and shared.
+    let batches = [32usize, 128, 256];
+    let points = batch_scaling_points(32, &batches, cfg.lr);
+    let prep = prepare_scaling(&cfg);
+    let accs = run_sweep(jobs, points, |_, (batch, lr)| {
+        run_with_batch_prepared(&prep, batch, lr)
+    });
+    let rows = reduce_batch_scaling(32, &batches, cfg.lr, &accs);
     println!(
         "{:>8} {:>16} {:>16} {:>10}",
         "batch", "base-lr top-1", "tuned-lr top-1", "best lr"

@@ -27,7 +27,7 @@ use trainbox_dataprep::executor::{BatchExecutor, ExecutorConfig};
 use trainbox_dataprep::jpeg::dct;
 use trainbox_dataprep::pipeline::{DataItem, PrepPipeline};
 use trainbox_dataprep::synth;
-use trainbox_bench::{banner, emit_json};
+use trainbox_bench::{banner, bench_cli, emit_json};
 
 /// Throughputs measured at commit a901391 (the parent of this PR's kernel
 /// rewrite) on the same harness, single thread. These anchor the
@@ -266,6 +266,7 @@ fn kernel_benches(smoke: bool, reps: usize) -> Vec<KernelBench> {
 }
 
 fn main() {
+    let _ = bench_cli();
     let smoke = std::env::var_os("TRAINBOX_BENCH_SMOKE").is_some();
     let reps = if smoke { 1 } else { 9 };
     let host = host_parallelism();

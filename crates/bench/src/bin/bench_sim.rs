@@ -1,0 +1,296 @@
+//! Perf-trajectory benchmark for the discrete-event simulator core.
+//!
+//! Unlike the `fig*`/`tab*` binaries — whose outputs must be byte-identical
+//! run to run — this binary *measures* wall-clock on the current host:
+//!
+//! * the DES pipeline itself: events/sec, rate recomputations, and wall time
+//!   for a representative TrainBox simulation;
+//! * the classed fast max-min allocator against the per-flow reference
+//!   allocator on the same live workload (results are asserted bit-identical
+//!   — only the clock may differ);
+//! * a seeded fault storm, exercising batched capacity changes and lazy
+//!   event cancellation;
+//! * every figure/table binary, timed end to end, summed into the full
+//!   figure-regeneration wall-clock the repo's perf trajectory tracks.
+//!
+//! With `TRAINBOX_RESULTS_DIR` set, writes `bench_sim.json` including the
+//! pre-optimization baseline measured at the anchor commit on the same
+//! host. Timings are best-of-`reps`: on a noisy shared host the minimum
+//! wall-clock is the best estimate of true cost. Set
+//! `TRAINBOX_BENCH_SMOKE=1` (CI) for a seconds-long run whose numbers are
+//! not meaningful but whose code paths are all exercised.
+
+use serde::Serialize;
+use std::time::Instant;
+use trainbox_bench::{banner, bench_cli, emit_json};
+use trainbox_core::arch::{ServerConfig, ServerKind};
+use trainbox_core::faults::{FaultDomain, FaultPlan};
+use trainbox_core::pipeline::{simulate, simulate_with_faults, SimConfig};
+use trainbox_nn::Workload;
+
+/// Anchor commit: the tree immediately before this PR's simulator-core
+/// optimizations (classed allocator, lazy event cancellation, nn matmul
+/// tiling). The constants below were measured on the same host with
+/// binaries built at that commit, best of 3.
+const PRE_PR_COMMIT: &str = "23614d9";
+const PRE_PR_FULL_REGEN_MS: f64 = 1545.0;
+const PRE_PR_FIGURE_MS: &[(&str, f64)] = &[
+    ("batch_lr", 887.0),
+    ("fig05", 381.0),
+    ("ablation_faults", 205.0),
+    ("ablation_prefetch", 53.0),
+];
+
+/// The figure/table binaries of `scripts/reproduce.sh`, in the same order
+/// (keep the two lists in sync).
+const FIGURE_BINS: &[&str] = &[
+    "table01", "fig02b", "fig03", "fig05", "fig08", "fig09", "fig10", "fig11",
+    "table02", "table03", "fig19", "fig20", "fig21", "fig22", "ablation_ring",
+    "ablation_boxes", "ablation_nextgen", "ablation_prepnet", "ablation_prefetch",
+    "batch_lr", "scale_up_vs_out", "ablation_faults",
+];
+
+fn sim_cfg(reference_allocator: bool) -> SimConfig {
+    SimConfig {
+        chunk_samples: 32,
+        batches: 10,
+        warmup_batches: 4,
+        prefetch_batches: 1,
+        max_events: 10_000_000,
+        reference_allocator,
+    }
+}
+
+#[derive(Serialize)]
+struct DesBench {
+    wall_ms: f64,
+    events: u64,
+    events_per_sec: f64,
+    recomputes: u64,
+    samples_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct AllocatorBench {
+    fast_ms: f64,
+    reference_ms: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct FaultBench {
+    wall_ms: f64,
+    events: u64,
+    recomputes: u64,
+    injected: u64,
+}
+
+#[derive(Serialize)]
+struct FigureMs {
+    name: String,
+    wall_ms: f64,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    commit: &'static str,
+    note: &'static str,
+    full_regen_ms: f64,
+    figures: Vec<FigureMs>,
+}
+
+#[derive(Serialize)]
+struct FigureSpeedup {
+    name: String,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Speedups {
+    full_regen: Option<f64>,
+    figures: Vec<FigureSpeedup>,
+}
+
+#[derive(Serialize)]
+struct BenchSim {
+    schema: &'static str,
+    smoke: bool,
+    reps: usize,
+    des: DesBench,
+    allocator: AllocatorBench,
+    faults: FaultBench,
+    figures: Vec<FigureMs>,
+    full_regen_ms: Option<f64>,
+    pre_pr_baseline: Baseline,
+    speedup_vs_pre_pr: Speedups,
+}
+
+/// Best-of-`reps` wall time of `f`, in milliseconds, with the last result.
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+/// Time each figure binary (siblings of this executable) end to end,
+/// best-of-`reps`. `TRAINBOX_RESULTS_DIR` is stripped from the children so a
+/// benchmark run never rewrites the committed figure JSONs.
+fn time_figures(reps: usize) -> Vec<FigureMs> {
+    let dir = match std::env::current_exe().ok().and_then(|p| p.parent().map(|d| d.to_owned())) {
+        Some(d) => d,
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    for &name in FIGURE_BINS {
+        let bin = dir.join(name);
+        if !bin.exists() {
+            eprintln!("bench_sim: skipping {name} (binary not built)");
+            continue;
+        }
+        let mut best = f64::MAX;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let status = std::process::Command::new(&bin)
+                .env_remove("TRAINBOX_RESULTS_DIR")
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .status()
+                .unwrap_or_else(|e| panic!("failed to run {name}: {e}"));
+            assert!(status.success(), "{name} exited with {status}");
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        out.push(FigureMs { name: name.to_string(), wall_ms: best });
+    }
+    out
+}
+
+fn main() {
+    let _ = bench_cli();
+    let smoke = std::env::var_os("TRAINBOX_BENCH_SMOKE").is_some();
+    let reps = if smoke { 1 } else { 5 };
+
+    banner("bench_sim", "discrete-event simulator core throughput");
+    println!(
+        "reps: {reps}{}",
+        if smoke { "   (smoke mode: numbers not meaningful)" } else { "" }
+    );
+
+    let w = Workload::inception_v4();
+    let server = ServerConfig::new(ServerKind::TrainBox, 16).batch_size(512).build();
+
+    // --- DES pipeline --------------------------------------------------
+    let (fast_ms, fast) = best_of(reps, || simulate(&server, &w, &sim_cfg(false)));
+    let des = DesBench {
+        wall_ms: fast_ms,
+        events: fast.events,
+        events_per_sec: fast.events as f64 / (fast_ms / 1e3),
+        recomputes: fast.recomputes,
+        samples_per_sec: fast.samples_per_sec,
+    };
+    println!(
+        "DES pipeline: {:.1} ms, {} events ({:.0} events/s), {} rate recomputes",
+        des.wall_ms, des.events, des.events_per_sec, des.recomputes
+    );
+
+    // --- fast vs reference allocator ----------------------------------
+    let (ref_ms, reference) = best_of(reps, || simulate(&server, &w, &sim_cfg(true)));
+    assert_eq!(
+        fast, reference,
+        "fast and reference allocators must produce identical simulations"
+    );
+    let allocator = AllocatorBench {
+        fast_ms,
+        reference_ms: ref_ms,
+        speedup: ref_ms / fast_ms,
+    };
+    println!(
+        "allocator: fast {:.1} ms vs reference {:.1} ms (x{:.2}), results identical",
+        allocator.fast_ms, allocator.reference_ms, allocator.speedup
+    );
+
+    // --- seeded fault storm --------------------------------------------
+    let healthy = &fast;
+    let horizon = healthy.batch_done_at.last().expect("batches ran").as_secs_f64();
+    let domain = FaultDomain {
+        n_ssds: server.topology().ssds.len(),
+        n_preps: server.topology().preps.len(),
+        n_accels: server.n_accels(),
+        n_links: healthy.link_bytes.len(),
+        horizon_secs: horizon,
+    };
+    let plan = FaultPlan::seeded(0x5eed_0b5e, 16.0 / horizon, &domain);
+    let (fault_ms, faulted) =
+        best_of(reps, || simulate_with_faults(&server, &w, &sim_cfg(false), &plan));
+    let faults = FaultBench {
+        wall_ms: fault_ms,
+        events: faulted.events,
+        recomputes: faulted.recomputes,
+        injected: faulted.faults.injected,
+    };
+    println!(
+        "fault storm: {:.1} ms, {} events, {} recomputes, {} faults injected",
+        faults.wall_ms, faults.events, faults.recomputes, faults.injected
+    );
+
+    // --- per-figure wall-clock ----------------------------------------
+    let figures = time_figures(reps.min(3));
+    let full_regen_ms = (figures.len() == FIGURE_BINS.len())
+        .then(|| figures.iter().map(|f| f.wall_ms).sum::<f64>());
+    for f in &figures {
+        println!("  {:<20} {:>8.1} ms", f.name, f.wall_ms);
+    }
+
+    // --- trajectory vs. the pre-PR simulator core ----------------------
+    let fig_speedups: Vec<FigureSpeedup> = PRE_PR_FIGURE_MS
+        .iter()
+        .filter_map(|&(name, pre_ms)| {
+            figures.iter().find(|f| f.name == name).map(|f| FigureSpeedup {
+                name: name.to_string(),
+                speedup: pre_ms / f.wall_ms,
+            })
+        })
+        .collect();
+    let speedup = Speedups {
+        full_regen: full_regen_ms.map(|ms| PRE_PR_FULL_REGEN_MS / ms),
+        figures: fig_speedups,
+    };
+    match (full_regen_ms, speedup.full_regen) {
+        (Some(ms), Some(s)) => println!(
+            "full figure regeneration: {ms:.0} ms vs {PRE_PR_FULL_REGEN_MS:.0} ms at \
+             {PRE_PR_COMMIT} (x{s:.2})"
+        ),
+        _ => println!("full figure regeneration: skipped (not all binaries built)"),
+    }
+    for f in &speedup.figures {
+        println!("  {:<20} x{:.2} vs {PRE_PR_COMMIT}", f.name, f.speedup);
+    }
+
+    let results = BenchSim {
+        schema: "trainbox.bench_sim.v1",
+        smoke,
+        reps,
+        des,
+        allocator,
+        faults,
+        figures,
+        full_regen_ms,
+        pre_pr_baseline: Baseline {
+            commit: PRE_PR_COMMIT,
+            note: "wall-clock of the unoptimized simulator core, measured with binaries \
+                   built at the anchor commit on the same host, best of 3",
+            full_regen_ms: PRE_PR_FULL_REGEN_MS,
+            figures: PRE_PR_FIGURE_MS
+                .iter()
+                .map(|&(name, ms)| FigureMs { name: name.to_string(), wall_ms: ms })
+                .collect(),
+        },
+        speedup_vs_pre_pr: speedup,
+    };
+    emit_json("bench_sim", &results);
+}

@@ -1,10 +1,13 @@
 //! Figure 2b — model-synchronization latency of a 4-KB-chunked ring,
 //! normalized to the latency with two accelerators.
 
-use trainbox_bench::{banner, compare, emit_json};
+use trainbox_bench::{banner, bench_cli, compare, emit_json};
 use trainbox_collective::RingModel;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner(
         "Figure 2b",
         "Ring synchronization latency vs accelerator count (normalized to n=2)",

@@ -1,10 +1,13 @@
 //! Figure 3 — latency decomposition of ResNet-50 under successive
 //! accelerator/interconnect/synchronization advances.
 
-use trainbox_bench::{banner, compare, emit_json};
+use trainbox_bench::{banner, bench_cli, compare, emit_json};
 use trainbox_core::analytic::figure3_stages;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner(
         "Figure 3",
         "Latency decomposition (ResNet-50) as optimizations stack up",

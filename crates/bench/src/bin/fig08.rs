@@ -2,11 +2,14 @@
 //! (throughput normalized to one accelerator).
 
 use std::collections::BTreeMap;
-use trainbox_bench::{banner, compare, emit_json, ACCEL_SWEEP};
+use trainbox_bench::{ACCEL_SWEEP, banner, bench_cli, compare, emit_json};
 use trainbox_core::arch::{throughput_of, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Figure 8", "Baseline throughput scalability (normalized to n=1)");
     let mut table: BTreeMap<&str, Vec<(usize, f64)>> = BTreeMap::new();
     print!("{:<14}", "workload");

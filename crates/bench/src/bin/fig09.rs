@@ -1,12 +1,15 @@
 //! Figure 9 — latency decomposition of every workload on the 256-accelerator
 //! baseline.
 
-use trainbox_bench::{banner, compare, emit_json};
+use trainbox_bench::{banner, bench_cli, compare, emit_json};
 use trainbox_core::analytic::latency_decomposition;
 use trainbox_core::arch::{ServerConfig, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Figure 9", "Latency decomposition per workload (baseline, 256 accelerators)");
     println!(
         "{:<14} {:>10} {:>12} {:>8} {:>10} {:>8} {:>10}",

@@ -2,11 +2,14 @@
 //! normalized to a DGX-2 class host: (a) CPU cores, (b) memory bandwidth,
 //! (c) PCIe bandwidth at the root complex.
 
-use trainbox_bench::{banner, compare, emit_json, ACCEL_SWEEP};
+use trainbox_bench::{ACCEL_SWEEP, banner, bench_cli, compare, emit_json};
 use trainbox_core::host::RequiredResources;
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Figure 10", "Required host resources vs accelerator count (normalized to DGX-2)");
     let mut dump = Vec::new();
     for (panel, pick) in [

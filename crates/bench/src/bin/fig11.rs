@@ -1,7 +1,7 @@
 //! Figure 11 — decomposition of baseline host-resource consumption by
 //! operation class, for image and audio inputs.
 
-use trainbox_bench::{banner, compare, emit_json};
+use trainbox_bench::{banner, bench_cli, compare, emit_json};
 use trainbox_core::host::{Datapath, PerSampleUsage};
 use trainbox_nn::InputKind;
 
@@ -26,6 +26,9 @@ fn print_panel(input: InputKind) -> PerSampleUsage {
 }
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Figure 11", "Decomposition of host resource consumption (baseline)");
     let img = print_panel(InputKind::Image);
     let aud = print_panel(InputKind::Audio);

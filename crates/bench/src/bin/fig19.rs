@@ -1,11 +1,14 @@
 //! Figure 19 — impact of TrainBox's optimizations at 256 accelerators:
 //! Baseline, B+Acc, B+Acc+P2P, B+Acc+P2P+Gen4, TrainBox.
 
-use trainbox_bench::{banner, compare, emit_json};
+use trainbox_bench::{banner, bench_cli, compare, emit_json};
 use trainbox_core::arch::{throughput_of, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner(
         "Figure 19",
         "Throughput of each optimization step at 256 accelerators (normalized to baseline)",

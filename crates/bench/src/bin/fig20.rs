@@ -1,11 +1,14 @@
 //! Figure 20 — TrainBox's effectiveness vs batch size (ResNet-50, 256
 //! accelerators), normalized to the baseline at each batch size.
 
-use trainbox_bench::{banner, compare, emit_json};
+use trainbox_bench::{banner, bench_cli, compare, emit_json};
 use trainbox_core::arch::{ServerConfig, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Figure 20", "TrainBox vs baseline across batch sizes (ResNet-50)");
     let w = Workload::resnet50();
     println!("{:>8} {:>14} {:>14} {:>10}", "batch", "baseline", "trainbox", "speedup");

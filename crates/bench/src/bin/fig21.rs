@@ -2,11 +2,14 @@
 //! preparation designs: Baseline (CPU), B+Acc (GPU), B+Acc (FPGA),
 //! TrainBox without prep-pool, TrainBox.
 
-use trainbox_bench::{banner, compare, emit_json, ACCEL_SWEEP};
+use trainbox_bench::{ACCEL_SWEEP, banner, bench_cli, compare, emit_json};
 use trainbox_core::arch::{throughput_of, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Figure 21", "Scalability for Inception-v4 and TF-SR (normalized to 1 accelerator)");
     let designs = [
         ServerKind::Baseline,

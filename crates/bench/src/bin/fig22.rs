@@ -1,7 +1,7 @@
 //! Figure 22 — host-side resource utilization of each server design,
 //! normalized to the baseline, decomposed by operation class.
 
-use trainbox_bench::{banner, emit_json};
+use trainbox_bench::{banner, bench_cli, emit_json};
 use trainbox_core::host::{figure22_rows, Datapath};
 use trainbox_nn::InputKind;
 
@@ -15,6 +15,9 @@ fn label(d: Datapath) -> &'static str {
 }
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Figure 22", "Host resource utilization by design (normalized to baseline)");
     let mut dump = Vec::new();
     for input in [InputKind::Image, InputKind::Audio] {

@@ -1,11 +1,14 @@
 //! §III-A's scale-up vs scale-out argument, quantified: synchronization
 //! efficiency of a DGX-2-style cluster vs one fabric, and host-resource TCO.
 
-use trainbox_bench::{banner, compare, emit_json};
+use trainbox_bench::{banner, bench_cli, compare, emit_json};
 use trainbox_core::scaleout::{ScaleOutCluster, TcoModel};
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Scale-up vs scale-out", "§III-A's case for the single giant node");
 
     println!("scale-out speedup over one 16-accelerator node (global batch capped):");

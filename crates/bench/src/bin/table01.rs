@@ -1,9 +1,12 @@
 //! Table I — summary of workloads.
 
-use trainbox_bench::{banner, emit_json};
+use trainbox_bench::{banner, bench_cli, emit_json};
 use trainbox_nn::Workload;
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Table I", "Summary of workloads");
     println!(
         "{:<6} {:<14} {:<22} {:>8} {:>12} {:>14}",

@@ -1,9 +1,12 @@
 //! Table II — FPGA resource utilization, image version.
 
-use trainbox_bench::{banner, compare, emit_json};
+use trainbox_bench::{banner, bench_cli, compare, emit_json};
 use trainbox_core::fpga::{allocate, engine_rows, image_engines, XCVU9P};
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Table II", "Resource utilization on an FPGA (image version, XCVU9P)");
     println!(
         "{:<28} {:>14} {:>14} {:>12} {:>12}",

@@ -1,9 +1,12 @@
 //! Table III — FPGA resource utilization, audio version.
 
-use trainbox_bench::{banner, compare, emit_json};
+use trainbox_bench::{banner, bench_cli, compare, emit_json};
 use trainbox_core::fpga::{allocate, audio_engines, engine_rows, XCVU9P};
 
 fn main() {
+    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
+    // too quickly to benefit from the sweep-runner.
+    let _ = bench_cli();
     banner("Table III", "Resource utilization on an FPGA (audio version, XCVU9P)");
     println!(
         "{:<28} {:>14} {:>14} {:>12} {:>12}",

@@ -8,6 +8,7 @@
 use serde::Serialize;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Print a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
@@ -53,6 +54,107 @@ pub fn compare(metric: &str, paper: f64, measured: f64) {
     println!("  {metric:<44} paper {paper:>10.2}   measured {measured:>10.2}   (x{ratio:.2})");
 }
 
+fn usage_exit(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: <fig-binary> [-j N | --jobs N] [--print-jobs]");
+    std::process::exit(2);
+}
+
+fn parse_jobs(s: &str) -> usize {
+    match s.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => usage_exit(&format!("invalid job count {s:?} (want an integer >= 1)")),
+    }
+}
+
+/// Parse the standard figure-binary command line, returning the requested
+/// sweep parallelism for [`run_sweep`].
+///
+/// Accepted: `-j N` / `-jN` / `--jobs N` / `--jobs=N` (also via the
+/// `TRAINBOX_JOBS` env var, with the flag taking precedence) and
+/// `--print-jobs`, which prints `jobs=N` and exits 0 — `scripts/reproduce.sh`
+/// probes it so a binary that silently ignores `-j` fails the run instead of
+/// quietly degrading to sequential. Unknown arguments exit with status 2.
+pub fn bench_cli() -> usize {
+    let mut jobs: usize = std::env::var("TRAINBOX_JOBS")
+        .ok()
+        .map(|v| parse_jobs(&v))
+        .unwrap_or(1);
+    let mut print_jobs = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-j" | "--jobs" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_exit("missing value after -j/--jobs"));
+                jobs = parse_jobs(&v);
+            }
+            "--print-jobs" => print_jobs = true,
+            s if s.starts_with("--jobs=") => jobs = parse_jobs(&s["--jobs=".len()..]),
+            s if s.starts_with("-j") => jobs = parse_jobs(&s[2..]),
+            other => usage_exit(&format!("unknown argument {other:?}")),
+        }
+    }
+    if print_jobs {
+        println!("jobs={jobs}");
+        std::process::exit(0);
+    }
+    jobs
+}
+
+/// Run `f` over every sweep point on up to `jobs` scoped worker threads and
+/// return the results **in item order**.
+///
+/// Same determinism contract as `dataprep`'s BatchExecutor: every point's
+/// result is a pure function of `(index, item)` — workers pull from a shared
+/// queue but results land in per-index slots, so the output is byte-identical
+/// to the sequential run for *any* worker count. Sweep points must therefore
+/// not share mutable state; the figure binaries' points are independently
+/// seeded simulations, which satisfy this by construction.
+///
+/// # Panics
+///
+/// A panicking sweep point propagates out of the scope (no detached threads,
+/// no half-written output).
+pub fn run_sweep<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let work = Mutex::new(items.into_iter().enumerate());
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let work = &work;
+            let f = &f;
+            s.spawn(move || loop {
+                let next = work.lock().expect("sweep queue poisoned").next();
+                let Some((i, item)) = next else { break };
+                if tx.send((i, f(i, item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every sweep point produced a result"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +167,48 @@ mod tests {
         std::env::set_var("TRAINBOX_RESULTS_DIR", "/tmp/tb-results");
         assert_eq!(results_dir().unwrap(), PathBuf::from("/tmp/tb-results"));
         std::env::remove_var("TRAINBOX_RESULTS_DIR");
+    }
+
+    #[test]
+    fn run_sweep_preserves_item_order() {
+        let items: Vec<u64> = (0..57).collect();
+        let out = run_sweep(8, items, |i, x| (i as u64) * 1000 + x * x);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as u64) * 1000 + (i as u64) * (i as u64));
+        }
+    }
+
+    #[test]
+    fn run_sweep_handles_degenerate_shapes() {
+        assert!(run_sweep(4, Vec::<u32>::new(), |_, x| x).is_empty());
+        assert_eq!(run_sweep(16, vec![9u32], |_, x| x + 1), vec![10]);
+        assert_eq!(run_sweep(1, vec![1u32, 2, 3], |_, x| x * 2), vec![2, 4, 6]);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(48))]
+
+        /// The sweep-runner contract: output byte-identical to sequential for
+        /// any `-j`, with per-point work that's deliberately uneven so fast
+        /// points overtake slow ones.
+        #[test]
+        fn run_sweep_matches_sequential_for_any_jobs(
+            items in proptest::collection::vec(0u64..1_000_000, 0..40),
+            jobs in 1usize..9,
+        ) {
+            let point = |i: usize, x: u64| -> u64 {
+                // Uneven, deterministic work per point.
+                let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64;
+                for _ in 0..(x % 97) {
+                    h = h.rotate_left(13).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+                }
+                h
+            };
+            let sequential: Vec<u64> =
+                items.iter().copied().enumerate().map(|(i, x)| point(i, x)).collect();
+            let parallel = run_sweep(jobs, items, point);
+            proptest::prop_assert_eq!(parallel, sequential);
+        }
     }
 
     #[test]

@@ -20,13 +20,12 @@ use crate::calib::{
     SSD_READ_BYTES_PER_SEC,
 };
 use crate::faults::{FaultDomain, FaultDowntime, FaultKind, FaultPlan, FaultStats, RetryPolicy};
-use std::collections::HashMap;
 use trainbox_collective::RingModel;
 use trainbox_nn::Workload;
 use trainbox_pcie::boxes::{PrepPoolNet, ServerTopology};
 use trainbox_pcie::flow::{FlowId, FlowNet, FlowSim, FlowSpec};
 use trainbox_pcie::{LinkId, NodeId};
-use trainbox_sim::{Engine, FifoServer, Model, Scheduler, SimTime};
+use trainbox_sim::{Engine, EventKey, FifoServer, FxHashMap, Model, Scheduler, SimTime};
 
 /// Configuration of one DES run.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +41,9 @@ pub struct SimConfig {
     pub prefetch_batches: u64,
     /// Safety valve on total processed events.
     pub max_events: u64,
+    /// Use the per-flow reference max-min allocator instead of the fast
+    /// classed one (same results bit-for-bit; kept for A/B benchmarking).
+    pub reference_allocator: bool,
 }
 
 impl Default for SimConfig {
@@ -52,6 +54,7 @@ impl Default for SimConfig {
             warmup_batches: 4,
             prefetch_batches: 1,
             max_events: 20_000_000,
+            reference_allocator: false,
         }
     }
 }
@@ -65,6 +68,9 @@ pub struct SimResult {
     pub batch_done_at: Vec<SimTime>,
     /// Events processed.
     pub events: u64,
+    /// Max-min rate recomputations performed across both flow simulators —
+    /// the simulator-core cost metric `bench_sim` tracks.
+    pub recomputes: u64,
     /// Total bytes carried by each directed PCIe link over the whole run,
     /// indexed like the topology's links.
     pub link_bytes: Vec<f64>,
@@ -130,8 +136,9 @@ struct Chunk {
 struct EthPool {
     net: PrepPoolNet,
     flows: FlowSim,
-    epoch: u64,
-    cont: HashMap<FlowId, u64>,
+    /// Outstanding keyed completion-check event, cancelled when superseded.
+    check: Option<EventKey>,
+    cont: FxHashMap<FlowId, u64>,
     pool_servers: Vec<FifoServer>,
     pool_service: SimTime,
     /// Offload every `period`-th chunk per in-box FPGA (0 = never).
@@ -160,10 +167,11 @@ enum Ev {
     Start,
     /// An SSD finished reading a chunk.
     SsdDone(u64),
-    /// Re-examine the flow network (epoch-stamped; stale ones are ignored).
-    FlowCheck(u64),
+    /// Re-examine the flow network (keyed; superseded checks are lazily
+    /// cancelled and never fire).
+    FlowCheck,
     /// Re-examine the Ethernet prep network.
-    EthFlowCheck(u64),
+    EthFlowCheck,
     /// A prep-pool FPGA finished a chunk.
     PoolPrepDone(u64),
     /// A preparation device finished a chunk (attempt-stamped; completions
@@ -254,8 +262,9 @@ struct PipelineModel {
     t_sync: SimTime,
 
     flows: FlowSim,
-    flow_epoch: u64,
-    flow_cont: HashMap<FlowId, u64>,
+    /// Outstanding keyed completion-check event, cancelled when superseded.
+    flow_check: Option<EventKey>,
+    flow_cont: FxHashMap<FlowId, u64>,
     link_bytes: Vec<f64>,
 
     /// Ethernet prep network (TrainBox with pool): flow sim over the star
@@ -266,7 +275,7 @@ struct PipelineModel {
     preps: Vec<FifoServer>,
     prep_service: SimTime,
 
-    chunks: HashMap<u64, Chunk>,
+    chunks: FxHashMap<u64, Chunk>,
     next_chunk: u64,
     accels: Vec<AccelState>,
     sync_gen: u64,
@@ -299,7 +308,8 @@ impl PipelineModel {
         let t_sync = server.ring_model().allreduce_time(workload.model_bytes(), n);
 
         let n_links = topo.topo.link_count();
-        let flows = FlowSim::new(FlowNet::from_topology(&topo.topo));
+        let mut flows = FlowSim::new(FlowNet::from_topology(&topo.topo));
+        flows.set_reference_allocator(cfg.reference_allocator);
         // TrainBox-with-pool: set up the Ethernet network and the offload
         // cadence from the initializer's deficit analysis.
         let eth = if kind == ServerKind::TrainBox {
@@ -318,14 +328,16 @@ impl PipelineModel {
                 // every period-th chunk to the pool.
                 let frac = ((demand - local) / demand).clamp(0.0, 1.0);
                 let period = (1.0 / frac).round().max(1.0) as u64;
+                let mut eth_flows = FlowSim::new(FlowNet::from_topology(&net.topo));
+                eth_flows.set_reference_allocator(cfg.reference_allocator);
                 Some(EthPool {
-                    flows: FlowSim::new(FlowNet::from_topology(&net.topo)),
+                    flows: eth_flows,
                     pool_servers: net.pool_nics.iter().map(|_| FifoServer::new(1)).collect(),
                     pool_service: SimTime::from_secs_f64(cfg.chunk_samples as f64 / f),
                     period,
                     counters: vec![0; net.box_nics.len()],
-                    epoch: 0,
-                    cont: HashMap::new(),
+                    check: None,
+                    cont: FxHashMap::default(),
                     rr_pool: 0,
                     net: net.clone(),
                 })
@@ -387,13 +399,13 @@ impl PipelineModel {
             t_sync,
             link_bytes: vec![0.0; n_links],
             flows,
-            flow_epoch: 0,
-            flow_cont: HashMap::new(),
+            flow_check: None,
+            flow_cont: FxHashMap::default(),
             eth,
             ssds,
             preps,
             prep_service,
-            chunks: HashMap::new(),
+            chunks: FxHashMap::default(),
             next_chunk: 0,
             accels: vec![AccelState::default(); n],
             sync_gen: 0,
@@ -503,19 +515,25 @@ impl PipelineModel {
         self.bump_flows(sched);
     }
 
-    /// Re-arm the earliest flow completion under the current rate set.
+    /// Re-arm the earliest flow completion under the current rate set. The
+    /// previous check (if still pending) is superseded: lazily cancelled so
+    /// the engine drops it unfired instead of delivering a stale event.
     fn bump_flows(&mut self, sched: &mut Scheduler<Ev>) {
-        self.flow_epoch += 1;
+        if let Some(key) = self.flow_check.take() {
+            sched.cancel(key);
+        }
         if let Some((t, _)) = self.flows.next_completion() {
-            sched.schedule_at(t, Ev::FlowCheck(self.flow_epoch));
+            self.flow_check = Some(sched.schedule_keyed_at(t, Ev::FlowCheck));
         }
     }
 
     fn bump_eth(&mut self, sched: &mut Scheduler<Ev>) {
         let eth = self.eth.as_mut().expect("ethernet pool active");
-        eth.epoch += 1;
+        if let Some(key) = eth.check.take() {
+            sched.cancel(key);
+        }
         if let Some((t, _)) = eth.flows.next_completion() {
-            sched.schedule_at(t, Ev::EthFlowCheck(eth.epoch));
+            eth.check = Some(sched.schedule_keyed_at(t, Ev::EthFlowCheck));
         }
     }
 
@@ -991,10 +1009,10 @@ impl Model for PipelineModel {
                 }
             }
             Ev::SsdDone(id) => self.on_ssd_done(now, id, sched),
-            Ev::FlowCheck(epoch) => {
-                if epoch != self.flow_epoch {
-                    return; // superseded by a later flow-set change
-                }
+            Ev::FlowCheck => {
+                // Only the latest check can fire: superseded ones were
+                // cancelled in bump_flows and dropped by the engine.
+                self.flow_check = None;
                 if let Some((t, fid)) = self.flows.next_completion() {
                     self.flows.complete(t.max(self.flows.now()), fid);
                     let cont = self
@@ -1005,11 +1023,9 @@ impl Model for PipelineModel {
                     self.bump_flows(sched);
                 }
             }
-            Ev::EthFlowCheck(epoch) => {
+            Ev::EthFlowCheck => {
                 let Some(eth) = self.eth.as_mut() else { return };
-                if epoch != eth.epoch {
-                    return;
-                }
+                eth.check = None;
                 if let Some((t, fid)) = eth.flows.next_completion() {
                     let at = t.max(eth.flows.now());
                     eth.flows.complete(at, fid);
@@ -1125,6 +1141,7 @@ pub fn simulate_with_faults(
         samples_per_sec: effective,
         batch_done_at: m.batch_done_at.clone(),
         events: engine.events_processed(),
+        recomputes: m.flows.recomputes() + m.eth.as_ref().map_or(0, |e| e.flows.recomputes()),
         link_bytes: m.link_bytes.clone(),
         rc_bytes,
         faults: stats,
@@ -1143,6 +1160,7 @@ mod tests {
             warmup_batches: 4,
             prefetch_batches: 1,
             max_events: 5_000_000,
+            reference_allocator: false,
         }
     }
 
@@ -1296,6 +1314,7 @@ mod tests {
             warmup_batches: 4,
             prefetch_batches: 1,
             max_events: 5_000_000,
+            reference_allocator: false,
         };
         let no_pool = ServerConfig::new(ServerKind::TrainBoxNoPool, 16).build();
         let without = simulate(&no_pool, &w, &cfg).samples_per_sec;

@@ -52,13 +52,21 @@ impl Dense {
     ///
     /// Panics on feature-count mismatch.
     pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        self.forward_owned(x.clone())
+    }
+
+    /// [`Dense::forward`] taking ownership of the batch, so callers that
+    /// already own it (the layer-to-layer handoff in [`Mlp`]) skip the
+    /// input-cache clone.
+    pub fn forward_owned(&mut self, x: Matrix) -> Matrix {
         let mut y = x.matmul(&self.w);
-        for r in 0..y.rows() {
-            for c in 0..y.cols() {
-                y.set(r, c, y.at(r, c) + self.b[c]);
+        let cols = y.cols();
+        for row in y.data_mut().chunks_exact_mut(cols) {
+            for (v, &b) in row.iter_mut().zip(&self.b) {
+                *v += b;
             }
         }
-        self.last_input = Some(x.clone());
+        self.last_input = Some(x);
         y
     }
 
@@ -69,18 +77,39 @@ impl Dense {
     ///
     /// Panics if called before `forward`.
     pub fn backward(&mut self, dy: &Matrix, lr: f32, momentum: f32) -> Matrix {
+        self.backward_steps(dy, lr, momentum, true).expect("dx requested")
+    }
+
+    /// [`Dense::backward`] with the input gradient made optional: the first
+    /// layer of a network has no upstream to feed, and `dL/dx` is its single
+    /// most expensive product — a full `dy · Wᵀ` product per step that would
+    /// be dropped on the floor.
+    pub fn backward_steps(
+        &mut self,
+        dy: &Matrix,
+        lr: f32,
+        momentum: f32,
+        need_dx: bool,
+    ) -> Option<Matrix> {
         let x = self.last_input.as_ref().expect("backward before forward");
         let batch = x.rows() as f32;
-        let dw = x.transpose().matmul(dy).map(|v| v / batch);
+        let mut dw = x.transpose().matmul(dy);
+        for v in dw.data_mut() {
+            *v /= batch;
+        }
         let mut db = vec![0.0f32; self.b.len()];
-        for r in 0..dy.rows() {
-            for (c, d) in db.iter_mut().enumerate() {
-                *d += dy.at(r, c) / batch;
+        let cols = dy.cols();
+        for row in dy.data().chunks_exact(cols) {
+            for (d, &v) in db.iter_mut().zip(row) {
+                *d += v / batch;
             }
         }
-        let dx = dy.matmul(&self.w.transpose());
-        // Momentum update.
-        self.vw = self.vw.map(|v| v * momentum);
+        let dx = if need_dx { Some(dy.matmul(&self.w.transpose())) } else { None };
+        // Momentum update, in place (same arithmetic as `v*momentum - lr*d`
+        // built into a fresh buffer, without the per-step allocation).
+        for v in self.vw.data_mut() {
+            *v *= momentum;
+        }
         self.vw.add_scaled(&dw, -lr);
         self.w.add_scaled(&self.vw, 1.0);
         for ((vb, b), &d) in self.vb.iter_mut().zip(&mut self.b).zip(&db) {
@@ -182,7 +211,7 @@ impl Mlp {
         let mut h = x.clone();
         let n = self.layers.len();
         for i in 0..n {
-            h = self.layers[i].forward(&h);
+            h = self.layers[i].forward_owned(h);
             if i + 1 < n {
                 h = self.relus[i].forward(&h);
             }
@@ -196,9 +225,10 @@ impl Mlp {
         let (loss, mut grad) = softmax_cross_entropy(&logits, labels);
         let n = self.layers.len();
         for i in (0..n).rev() {
-            grad = self.layers[i].backward(&grad, lr, momentum);
-            if i > 0 {
-                grad = self.relus[i - 1].backward(&grad);
+            // The first layer has nothing upstream — skip its dL/dx product.
+            match self.layers[i].backward_steps(&grad, lr, momentum, i > 0) {
+                Some(dx) => grad = self.relus[i - 1].backward(&dx),
+                None => break,
             }
         }
         loss
@@ -210,19 +240,35 @@ impl Mlp {
     ///
     /// Panics if `k` is zero or exceeds the class count.
     pub fn top_k_accuracy(&mut self, x: &Matrix, labels: &[usize], k: usize) -> f64 {
+        self.top_k_accuracies(x, labels, &[k])[0]
+    }
+
+    /// Top-`k` accuracy for several `k` values from a *single* forward pass —
+    /// evaluating top-1 and top-5 per epoch costs one inference, not two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `k` is zero or exceeds the class count.
+    pub fn top_k_accuracies(&mut self, x: &Matrix, labels: &[usize], ks: &[usize]) -> Vec<f64> {
         let logits = self.forward(x);
-        assert!(k >= 1 && k <= logits.cols(), "invalid k");
         assert_eq!(labels.len(), logits.rows(), "one label per row");
-        let mut hits = 0usize;
+        for &k in ks {
+            assert!(k >= 1 && k <= logits.cols(), "invalid k");
+        }
+        let mut hits = vec![0usize; ks.len()];
+        let mut idx: Vec<usize> = Vec::new();
         for (r, label) in labels.iter().enumerate() {
             let row = logits.row(r);
-            let mut idx: Vec<usize> = (0..row.len()).collect();
+            idx.clear();
+            idx.extend(0..row.len());
             idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap());
-            if idx[..k].contains(label) {
-                hits += 1;
+            for (h, &k) in hits.iter_mut().zip(ks) {
+                if idx[..k].contains(label) {
+                    *h += 1;
+                }
             }
         }
-        hits as f64 / logits.rows() as f64
+        hits.iter().map(|&h| h as f64 / logits.rows() as f64).collect()
     }
 }
 

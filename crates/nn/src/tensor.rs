@@ -132,18 +132,51 @@ impl Matrix {
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let n = rhs.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        // Register-tiled i-k-j product: each output element still accumulates
+        // its terms in ascending-k order (skipping zero lhs entries), exactly
+        // like the naive loop — only the memory traffic changes, so results
+        // are bit-identical. The tile keeps a strip of the output row in
+        // registers across the whole k loop instead of re-loading and
+        // re-storing it once per k.
+        const TILE: usize = 48;
         for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[r * self.cols + k];
-                if a == 0.0 {
-                    continue;
+            let a_row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let out_row = &mut out.data[r * n..(r + 1) * n];
+            let mut c0 = 0;
+            // Full tiles: the compile-time strip width lets the accumulator
+            // live entirely in vector registers across the k loop.
+            while c0 + TILE <= n {
+                let mut acc = [0.0f32; TILE];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let base = k * n + c0;
+                    let strip: &[f32; TILE] =
+                        rhs.data[base..base + TILE].try_into().expect("tile-sized strip");
+                    for (t, &b) in acc.iter_mut().zip(strip) {
+                        *t += a * b;
+                    }
                 }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let out_row = &mut out.data[r * rhs.cols..(r + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
+                out_row[c0..c0 + TILE].copy_from_slice(&acc);
+                c0 += TILE;
+            }
+            // Ragged tail strip, if the output width is not a tile multiple.
+            if c0 < n {
+                let w = n - c0;
+                let mut acc = [0.0f32; TILE];
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let base = k * n + c0;
+                    for (t, &b) in acc[..w].iter_mut().zip(&rhs.data[base..base + w]) {
+                        *t += a * b;
+                    }
                 }
+                out_row[c0..].copy_from_slice(&acc[..w]);
             }
         }
         out
@@ -151,7 +184,14 @@ impl Matrix {
 
     /// Transpose.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |r, c| self.at(c, r))
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (c, &v) in row.iter().enumerate() {
+                out.data[c * self.rows + r] = v;
+            }
+        }
+        out
     }
 
     /// Elementwise map.

@@ -188,9 +188,10 @@ pub fn run_arm(cfg: &AugExperimentConfig, augment: bool) -> AccuracyCurve {
             mlp.train_step(&x, &labels, cfg.lr, 0.9);
             done += take;
         }
-        curve.top1.push(mlp.top_k_accuracy(&test_x, &test_labels, 1));
         let k5 = 5.min(cfg.classes);
-        curve.top5.push(mlp.top_k_accuracy(&test_x, &test_labels, k5));
+        let accs = mlp.top_k_accuracies(&test_x, &test_labels, &[1, k5]);
+        curve.top1.push(accs[0]);
+        curve.top5.push(accs[1]);
     }
     curve
 }
@@ -218,40 +219,127 @@ pub fn run_batch_scaling(
     base_batch: usize,
     batches: &[usize],
 ) -> Vec<(usize, f64, f64, f32)> {
+    let points = batch_scaling_points(base_batch, batches, cfg.lr);
+    let prep = prepare_scaling(cfg);
+    let accs: Vec<f64> =
+        points.iter().map(|&(b, lr)| run_with_batch_prepared(&prep, b, lr)).collect();
+    reduce_batch_scaling(base_batch, batches, cfg.lr, &accs)
+}
+
+/// Every `(batch, learning rate)` training run [`run_batch_scaling`]
+/// performs, in evaluation order. Each run is independent and fully
+/// self-seeded ([`run_with_batch`]), so callers may execute the points in
+/// parallel and fold the accuracies back with [`reduce_batch_scaling`] for a
+/// result identical to the sequential one.
+pub fn batch_scaling_points(
+    base_batch: usize,
+    batches: &[usize],
+    base_lr: f32,
+) -> Vec<(usize, f32)> {
     assert!(base_batch > 0, "base batch must be positive");
-    let mut rows = Vec::with_capacity(batches.len());
+    let mut points = Vec::new();
     for &batch in batches {
         assert!(batch > 0, "batch must be positive");
-        let fixed = run_with_batch(cfg, batch, cfg.lr);
+        points.push((batch, base_lr));
         let ratio = (batch as f32 / base_batch as f32).max(1.0);
         // Rate grid from the base up to the linear-rule value.
-        let mut best = (fixed, cfg.lr);
         for mult in [ratio.sqrt() / 2.0, ratio.sqrt(), ratio / 2.0, ratio] {
             if mult <= 1.0 {
                 continue;
             }
-            let acc = run_with_batch(cfg, batch, cfg.lr * mult);
+            points.push((batch, base_lr * mult));
+        }
+    }
+    points
+}
+
+/// Fold per-point accuracies (in [`batch_scaling_points`] order) into the
+/// `(batch, top1_base_lr, top1_best_tuned_lr, best_lr)` rows of
+/// [`run_batch_scaling`]. Ties keep the earlier grid entry, exactly like the
+/// sequential strict-improvement scan.
+pub fn reduce_batch_scaling(
+    base_batch: usize,
+    batches: &[usize],
+    base_lr: f32,
+    accs: &[f64],
+) -> Vec<(usize, f64, f64, f32)> {
+    assert!(base_batch > 0, "base batch must be positive");
+    let mut it = accs.iter().copied();
+    let mut rows = Vec::with_capacity(batches.len());
+    for &batch in batches {
+        let fixed = it.next().expect("accuracy for the base-rate run");
+        let ratio = (batch as f32 / base_batch as f32).max(1.0);
+        let mut best = (fixed, base_lr);
+        for mult in [ratio.sqrt() / 2.0, ratio.sqrt(), ratio / 2.0, ratio] {
+            if mult <= 1.0 {
+                continue;
+            }
+            let acc = it.next().expect("accuracy for a tuned-rate run");
             if acc > best.0 {
-                best = (acc, cfg.lr * mult);
+                best = (acc, base_lr * mult);
             }
         }
         rows.push((batch, fixed, best.0, best.1));
     }
+    assert!(it.next().is_none(), "more accuracies than sweep points");
     rows
 }
 
-/// Train the augmented arm with an explicit batch size and learning rate
-/// (with the gradual-warmup schedule Goyal et al. pair with the scaling
-/// rule: the rate ramps linearly over the first quarter of the updates);
-/// returns final test top-1 accuracy.
-fn run_with_batch(cfg: &AugExperimentConfig, batch: usize, lr: f32) -> f64 {
+/// Everything a batch-scaling sweep point needs that does *not* depend on
+/// `(batch, lr)`: the test set, the freshly initialized model, and the full
+/// augmented training stream in draw order.
+///
+/// The RNG draw sequence of [`run_with_batch`] — test set, then weight init,
+/// then one `(class, observation)` draw per training sample — is independent
+/// of how samples are grouped into batches, so every point of a sweep over
+/// the same `cfg` consumes the *identical* stream. Materializing it once
+/// turns O(points) augmentation work into O(1).
+pub struct PreparedScaling {
+    cfg: AugExperimentConfig,
+    test_x: Matrix,
+    test_labels: Vec<usize>,
+    mlp0: Mlp,
+    /// Training features, flattened `total × dim` in draw order.
+    feats: Vec<f32>,
+    /// Training labels in draw order.
+    labels: Vec<usize>,
+    dim: usize,
+}
+
+/// Generate the shared state for [`run_with_batch_prepared`], replaying the
+/// exact RNG consumption order of a standalone [`run_with_batch`] call.
+///
+/// # Panics
+///
+/// Panics if `crop_edge > proto_edge` or `classes < 2`.
+pub fn prepare_scaling(cfg: &AugExperimentConfig) -> PreparedScaling {
+    assert!(cfg.crop_edge <= cfg.proto_edge, "crop larger than prototype");
+    assert!(cfg.classes >= 2, "need at least two classes");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let protos: Vec<Image> = (0..cfg.classes)
         .map(|c| prototype(cfg.proto_edge, cfg.seed * 1000 + c as u64))
         .collect();
     let (test_x, test_labels) = test_set(&protos, cfg, &mut rng);
     let dim = cfg.crop_edge * cfg.crop_edge * 3;
-    let mut mlp = Mlp::new(&[dim, cfg.hidden, cfg.classes], &mut rng);
+    let mlp0 = Mlp::new(&[dim, cfg.hidden, cfg.classes], &mut rng);
+    let total = cfg.epochs * cfg.train_per_epoch;
+    let mut feats = Vec::with_capacity(total * dim);
+    let mut labels = Vec::with_capacity(total);
+    for _ in 0..total {
+        let class = rng.gen_range(0..cfg.classes);
+        let img = observe(&protos[class], cfg.crop_edge, true, cfg.noise_sigma, &mut rng);
+        feats.extend(features(&img));
+        labels.push(class);
+    }
+    PreparedScaling { cfg: *cfg, test_x, test_labels, mlp0, feats, labels, dim }
+}
+
+/// [`run_with_batch`] over pre-generated data: clone the shared initial
+/// model and train it on the shared stream with this point's batch size and
+/// learning rate. Bit-identical to the standalone path.
+pub fn run_with_batch_prepared(prep: &PreparedScaling, batch: usize, lr: f32) -> f64 {
+    let cfg = &prep.cfg;
+    let mut mlp = prep.mlp0.clone();
     // Fixed sample budget across batch sizes: epochs x train_per_epoch.
     let total = cfg.epochs * cfg.train_per_epoch;
     let updates = total.div_ceil(batch).max(1);
@@ -263,19 +351,24 @@ fn run_with_batch(cfg: &AugExperimentConfig, batch: usize, lr: f32) -> f64 {
         let lr_t = lr * ramp;
         step += 1;
         let take = batch.min(total - done);
-        let mut rows = Vec::with_capacity(take * dim);
-        let mut labels = Vec::with_capacity(take);
-        for _ in 0..take {
-            let class = rng.gen_range(0..cfg.classes);
-            let img = observe(&protos[class], cfg.crop_edge, true, cfg.noise_sigma, &mut rng);
-            rows.extend(features(&img));
-            labels.push(class);
-        }
-        let x = Matrix::from_vec(take, dim, rows);
-        mlp.train_step(&x, &labels, lr_t, 0.9);
+        let x = Matrix::from_vec(
+            take,
+            prep.dim,
+            prep.feats[done * prep.dim..(done + take) * prep.dim].to_vec(),
+        );
+        let labels = &prep.labels[done..done + take];
+        mlp.train_step(&x, labels, lr_t, 0.9);
         done += take;
     }
-    mlp.top_k_accuracy(&test_x, &test_labels, 1)
+    mlp.top_k_accuracy(&prep.test_x, &prep.test_labels, 1)
+}
+
+/// Train the augmented arm with an explicit batch size and learning rate
+/// (with the gradual-warmup schedule Goyal et al. pair with the scaling
+/// rule: the rate ramps linearly over the first quarter of the updates);
+/// returns final test top-1 accuracy. Fully self-seeded from `cfg.seed`.
+pub fn run_with_batch(cfg: &AugExperimentConfig, batch: usize, lr: f32) -> f64 {
+    run_with_batch_prepared(&prepare_scaling(cfg), batch, lr)
 }
 
 #[cfg(test)]

@@ -16,8 +16,7 @@
 
 use crate::topology::{LinkId, Topology};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use trainbox_sim::{SimTime, TimeWeighted};
+use trainbox_sim::{FxHashMap, SimTime, TimeWeighted};
 
 /// Identifier of an active flow in a [`FlowSim`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -106,6 +105,30 @@ impl FlowNet {
         self.capacity[link.index()] = bytes_per_sec;
     }
 
+    /// Batched capacity change: apply every `(link, bytes_per_sec)` update in
+    /// one call. The fault-injection hook for a *storm* of link degradations
+    /// — callers holding a [`FlowSim`] get a single rate recomputation for
+    /// the whole batch instead of one per link.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`FlowNet::set_capacity`].
+    pub fn set_capacities(&mut self, updates: &[(LinkId, f64)]) {
+        for &(link, bytes_per_sec) in updates {
+            self.set_capacity(link, bytes_per_sec);
+        }
+    }
+
+    fn validate(&self, f: &FlowSpec) {
+        assert!(
+            !f.route.is_empty() || f.demand.is_some(),
+            "a flow with an empty route needs a demand cap"
+        );
+        for l in &f.route {
+            assert!(l.index() < self.capacity.len(), "route references unknown link");
+        }
+    }
+
     /// Max-min fair rates (bytes/s) for `flows`, honoring demand caps.
     ///
     /// Progressive filling: all unfrozen flows grow together; the binding
@@ -113,19 +136,54 @@ impl FlowNet {
     /// its demand. Flows with an empty route and no demand are unconstrained
     /// and rejected.
     ///
+    /// This is the fast path: flows with identical route and demand are
+    /// collapsed into *flow classes* and the waterfill runs at class
+    /// granularity. The result is bit-identical to [`FlowNet::max_min_rates_ref`]
+    /// (see [`solve_classes`] for why), just cheaper when flows repeat —
+    /// which they do heavily in the DES, where every in-flight chunk on the
+    /// same leg shares one route.
+    ///
     /// # Panics
     ///
     /// Panics if a flow has an empty route and no demand, or if a route
     /// references an unknown link.
     pub fn max_min_rates(&self, flows: &[FlowSpec]) -> Vec<f64> {
         for f in flows {
-            assert!(
-                !f.route.is_empty() || f.demand.is_some(),
-                "a flow with an empty route needs a demand cap"
-            );
-            for l in &f.route {
-                assert!(l.index() < self.capacity.len(), "route references unknown link");
-            }
+            self.validate(f);
+        }
+        // Classes in first-occurrence order.
+        let mut index: FxHashMap<ClassKey, usize> = FxHashMap::default();
+        let mut classes: Vec<FlowClass> = Vec::new();
+        let mut membership = Vec::with_capacity(flows.len());
+        for f in flows {
+            let key = ClassKey::of(f);
+            let c = *index.entry(key).or_insert_with(|| {
+                classes.push(FlowClass {
+                    route: f.route.clone(),
+                    demand: f.demand,
+                    members: 0,
+                });
+                classes.len() - 1
+            });
+            classes[c].members += 1;
+            membership.push(c);
+        }
+        let mut scratch = AllocScratch::default();
+        solve_classes(&self.capacity, &classes, &mut scratch);
+        membership.into_iter().map(|c| scratch.rate[c]).collect()
+    }
+
+    /// Reference max-min allocator: the direct per-flow progressive-filling
+    /// implementation, kept as the semantic (and bit-level) baseline the
+    /// fast classed allocator is tested against. Identical contract to
+    /// [`FlowNet::max_min_rates`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`FlowNet::max_min_rates`].
+    pub fn max_min_rates_ref(&self, flows: &[FlowSpec]) -> Vec<f64> {
+        for f in flows {
+            self.validate(f);
         }
         let n = flows.len();
         let mut rate = vec![0.0f64; n];
@@ -139,9 +197,10 @@ impl FlowNet {
             }
         }
 
+        // Per-round unfrozen counts, allocated once and refilled in place.
+        let mut unfrozen_on: Vec<usize> = vec![0; self.capacity.len()];
         loop {
             // Unfrozen flow count per link.
-            let mut unfrozen_on: Vec<usize> = vec![0; self.capacity.len()];
             for (li, fl) in on_link.iter().enumerate() {
                 unfrozen_on[li] = fl.iter().filter(|&&i| !frozen[i]).count();
             }
@@ -218,10 +277,158 @@ impl FlowNet {
     }
 }
 
+/// Identity of a flow class: flows sharing a route and demand cap are
+/// interchangeable to the max-min allocator. Demand is keyed by its bit
+/// pattern so `HashMap` lookups stay exact (the allocator never treats two
+/// different f64 values as the same class).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ClassKey {
+    route: Vec<LinkId>,
+    demand_bits: u64,
+}
+
+impl ClassKey {
+    fn of(spec: &FlowSpec) -> Self {
+        ClassKey {
+            route: spec.route.clone(),
+            // All NaN/None collisions are impossible: demand is validated
+            // finite-positive, and u64::MAX is not a finite f64's bit pattern.
+            demand_bits: spec.demand.map_or(u64::MAX, f64::to_bits),
+        }
+    }
+}
+
+/// One equivalence class of flows for the fast allocator.
+#[derive(Debug, Clone)]
+struct FlowClass {
+    route: Vec<LinkId>,
+    demand: Option<f64>,
+    /// Active flows in this class; 0 marks a tombstoned (reusable) slot.
+    members: usize,
+}
+
+/// Persistent scratch buffers for [`solve_classes`]: reused across calls so
+/// the hot loop allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct AllocScratch {
+    residual: Vec<f64>,
+    unfrozen_on: Vec<usize>,
+    /// Per-class rate (the solver output).
+    rate: Vec<f64>,
+    frozen: Vec<bool>,
+    /// Per-link load accumulator for utilization accounting.
+    load: Vec<f64>,
+}
+
+/// Progressive filling at flow-class granularity.
+///
+/// Bit-identical to the per-flow reference by construction:
+///
+/// * within a round every unfrozen flow receives the *same* increment, so a
+///   link crossed by `k` unfrozen flows ends the round after `k` identical
+///   subtractions — the result depends only on `k`, not on which flows or in
+///   what order, and the per-member subtraction loop below replays exactly
+///   that chain;
+/// * members of a class have bit-equal rates at every round (same start,
+///   same increments), so tracking one rate per class loses nothing;
+/// * the round increment is a `min` over link head-rooms and demand gaps,
+///   which is order-independent for finite f64 values.
+///
+/// Per-link unfrozen counts are maintained incrementally (decremented when a
+/// class freezes) instead of rescanned from the flow list each round, which
+/// is where the reference spends most of its time.
+fn solve_classes(capacity: &[f64], classes: &[FlowClass], scratch: &mut AllocScratch) {
+    let n_links = capacity.len();
+    scratch.residual.clear();
+    scratch.residual.extend_from_slice(capacity);
+    scratch.unfrozen_on.clear();
+    scratch.unfrozen_on.resize(n_links, 0);
+    scratch.rate.clear();
+    scratch.rate.resize(classes.len(), 0.0);
+    scratch.frozen.clear();
+    scratch.frozen.resize(classes.len(), false);
+
+    let mut unfrozen_classes = 0usize;
+    for (c, cl) in classes.iter().enumerate() {
+        if cl.members == 0 {
+            scratch.frozen[c] = true; // tombstoned slot
+            continue;
+        }
+        unfrozen_classes += 1;
+        for l in &cl.route {
+            scratch.unfrozen_on[l.index()] += cl.members;
+        }
+    }
+
+    while unfrozen_classes > 0 {
+        // Smallest head-room per unfrozen flow: link constraint, then demand.
+        let mut inc = f64::INFINITY;
+        for li in 0..n_links {
+            if scratch.unfrozen_on[li] > 0 {
+                inc = inc.min(scratch.residual[li] / scratch.unfrozen_on[li] as f64);
+            }
+        }
+        for (c, cl) in classes.iter().enumerate() {
+            if scratch.frozen[c] {
+                continue;
+            }
+            if let Some(d) = cl.demand {
+                inc = inc.min(d - scratch.rate[c]);
+            }
+        }
+        if !inc.is_finite() {
+            // No unfrozen flow crosses any link and none has a demand gap
+            // left (cannot happen while a validated unfrozen class remains,
+            // but mirrors the reference's termination guard).
+            break;
+        }
+        let inc = inc.max(0.0);
+        // Apply the increment. A link crossed by k unfrozen members takes k
+        // identical subtractions — the reference's exact arithmetic chain.
+        for (c, cl) in classes.iter().enumerate() {
+            if scratch.frozen[c] {
+                continue;
+            }
+            scratch.rate[c] += inc;
+            for l in &cl.route {
+                let r = &mut scratch.residual[l.index()];
+                for _ in 0..cl.members {
+                    *r -= inc;
+                }
+            }
+        }
+        // Freeze: classes at demand, and classes crossing a saturated link.
+        const EPS: f64 = 1e-9;
+        for (c, cl) in classes.iter().enumerate() {
+            if scratch.frozen[c] {
+                continue;
+            }
+            let at_demand = cl
+                .demand
+                .is_some_and(|d| scratch.rate[c] >= d - EPS * d.max(1.0));
+            let on_saturated = cl
+                .route
+                .iter()
+                .any(|l| scratch.residual[l.index()] <= EPS * capacity[l.index()]);
+            if at_demand || on_saturated {
+                scratch.frozen[c] = true;
+                unfrozen_classes -= 1;
+                for l in &cl.route {
+                    scratch.unfrozen_on[l.index()] -= cl.members;
+                }
+            }
+        }
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ActiveFlow {
-    spec: FlowSpec,
+    /// Index into the simulator's class table.
+    class: usize,
     remaining: f64,
+    /// Current max-min rate, written in place by `recompute` so the hot
+    /// advance/next-completion loops touch one map instead of two.
+    rate: f64,
 }
 
 /// Event-driven finite-transfer simulator over a [`FlowNet`].
@@ -251,9 +458,19 @@ struct ActiveFlow {
 #[derive(Debug, Clone)]
 pub struct FlowSim {
     net: FlowNet,
-    flows: HashMap<FlowId, ActiveFlow>,
+    flows: FxHashMap<FlowId, ActiveFlow>,
     order: Vec<FlowId>,
-    rates: HashMap<FlowId, f64>,
+    /// Flow classes (route + demand equivalence); tombstoned slots are
+    /// reused so indices stay stable while flows churn.
+    classes: Vec<FlowClass>,
+    class_index: FxHashMap<ClassKey, usize>,
+    free_classes: Vec<usize>,
+    scratch: AllocScratch,
+    /// Set when the flow set or a capacity changed since the last
+    /// recomputation; a clean simulator skips the allocator entirely.
+    dirty: bool,
+    recomputes: u64,
+    reference: bool,
     now: SimTime,
     next_id: u64,
     utilization: Vec<TimeWeighted>,
@@ -261,15 +478,22 @@ pub struct FlowSim {
 
 impl FlowSim {
     /// Create a simulator over `net` at time zero with no flows.
+    ///
+    /// Per-link utilization tracking starts disabled; call
+    /// [`FlowSim::set_track_utilization`] before adding flows to record it.
     pub fn new(net: FlowNet) -> Self {
-        let utilization = (0..net.link_count())
-            .map(|i| TimeWeighted::new(format!("link-{i}")))
-            .collect();
+        let utilization = Vec::new();
         FlowSim {
             net,
-            flows: HashMap::new(),
+            flows: FxHashMap::default(),
             order: Vec::new(),
-            rates: HashMap::new(),
+            classes: Vec::new(),
+            class_index: FxHashMap::default(),
+            free_classes: Vec::new(),
+            scratch: AllocScratch::default(),
+            dirty: false,
+            recomputes: 0,
+            reference: false,
             now: SimTime::ZERO,
             next_id: 0,
             utilization,
@@ -291,24 +515,126 @@ impl FlowSim {
         &self.net
     }
 
+    /// Number of rate recomputations performed so far — the simulator-core
+    /// cost metric `bench_sim` tracks.
+    pub fn recomputes(&self) -> u64 {
+        self.recomputes
+    }
+
+    /// Route every recomputation through the per-flow reference allocator
+    /// ([`FlowNet::max_min_rates_ref`]) instead of the classed fast path.
+    /// Rates are bit-identical either way; this exists so `bench_sim` can
+    /// measure the fast path's win on live DES workloads.
+    pub fn set_reference_allocator(&mut self, reference: bool) {
+        self.reference = reference;
+    }
+
+    /// Enable (or disable) per-link time-weighted utilization tracking.
+    ///
+    /// Off by default: it costs O(links) samples per rate recomputation and
+    /// no figure reads it, so the DES pipelines leave it off. Enable before
+    /// adding flows — samples only accumulate from that point on.
+    pub fn set_track_utilization(&mut self, on: bool) {
+        if on && self.utilization.is_empty() {
+            self.utilization = (0..self.net.link_count())
+                .map(|i| TimeWeighted::new(format!("link-{i}")))
+                .collect();
+        } else if !on {
+            self.utilization = Vec::new();
+        }
+    }
+
+    /// Find or create the class for `spec`, consuming its route.
+    fn intern_class(&mut self, spec: FlowSpec) -> usize {
+        let key = ClassKey::of(&spec);
+        if let Some(&c) = self.class_index.get(&key) {
+            self.classes[c].members += 1;
+            return c;
+        }
+        let class = FlowClass { route: spec.route, demand: spec.demand, members: 1 };
+        let c = match self.free_classes.pop() {
+            Some(slot) => {
+                self.classes[slot] = class;
+                slot
+            }
+            None => {
+                self.classes.push(class);
+                self.classes.len() - 1
+            }
+        };
+        self.class_index.insert(key, c);
+        c
+    }
+
+    /// Drop one membership from class `c`, tombstoning the slot when empty.
+    fn release_class(&mut self, c: usize) {
+        let cl = &mut self.classes[c];
+        cl.members -= 1;
+        if cl.members == 0 {
+            let key = ClassKey {
+                route: std::mem::take(&mut cl.route),
+                demand_bits: cl.demand.map_or(u64::MAX, f64::to_bits),
+            };
+            self.class_index.remove(&key);
+            self.free_classes.push(c);
+        }
+    }
+
     fn recompute(&mut self) {
-        let specs: Vec<FlowSpec> = self
-            .order
-            .iter()
-            .map(|id| self.flows[id].spec.clone())
-            .collect();
-        let rates = self.net.max_min_rates(&specs);
-        // Record the new per-link utilization from this instant onward.
-        let loads = self.net.link_loads(&specs, &rates);
-        for (li, load) in loads.iter().enumerate() {
+        if !self.dirty {
+            return;
+        }
+        self.dirty = false;
+        self.recomputes += 1;
+        if self.reference {
+            // Rebuild per-flow specs in arrival order and run the reference
+            // allocator — the pre-classes hot path, kept for benchmarking.
+            let specs: Vec<FlowSpec> = self
+                .order
+                .iter()
+                .map(|id| {
+                    let cl = &self.classes[self.flows[id].class];
+                    FlowSpec { route: cl.route.clone(), demand: cl.demand }
+                })
+                .collect();
+            let rates = self.net.max_min_rates_ref(&specs);
+            for (id, r) in self.order.iter().zip(&rates) {
+                self.flows.get_mut(id).expect("ordered flow is active").rate = *r;
+            }
+        } else {
+            solve_classes(&self.net.capacity, &self.classes, &mut self.scratch);
+            for id in &self.order {
+                let f = self.flows.get_mut(id).expect("ordered flow is active");
+                f.rate = self.scratch.rate[f.class];
+            }
+        }
+        if self.utilization.is_empty() {
+            return;
+        }
+        // Record the new per-link utilization from this instant onward,
+        // accumulating loads in flow arrival order (the same summation order
+        // as the per-flow reference, so the statistics match bit for bit).
+        self.scratch.load.clear();
+        self.scratch.load.resize(self.net.capacity.len(), 0.0);
+        for id in &self.order {
+            let f = &self.flows[id];
+            for l in &self.classes[f.class].route {
+                self.scratch.load[l.index()] += f.rate;
+            }
+        }
+        for (li, load) in self.scratch.load.iter().enumerate() {
             self.utilization[li].set(self.now, load / self.net.capacity[li]);
         }
-        self.rates = self.order.iter().copied().zip(rates).collect();
     }
 
     /// Time-weighted mean utilization of `link` over `[0, now]`, in `[0, 1]`
     /// (zero before any time has elapsed).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`FlowSim::set_track_utilization`] enabled tracking.
     pub fn mean_utilization(&self, link: LinkId) -> f64 {
+        assert!(!self.utilization.is_empty(), "utilization tracking is off");
         if self.now == SimTime::ZERO {
             0.0
         } else {
@@ -317,7 +643,12 @@ impl FlowSim {
     }
 
     /// Peak instantaneous utilization observed on `link`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`FlowSim::set_track_utilization`] enabled tracking.
     pub fn peak_utilization(&self, link: LinkId) -> f64 {
+        assert!(!self.utilization.is_empty(), "utilization tracking is off");
         self.utilization[link.index()].peak()
     }
 
@@ -330,9 +661,8 @@ impl FlowSim {
         assert!(now >= self.now, "FlowSim cannot go backwards in time");
         let dt = (now - self.now).as_secs_f64();
         if dt > 0.0 {
-            for (id, f) in self.flows.iter_mut() {
-                let r = self.rates.get(id).copied().unwrap_or(0.0);
-                f.remaining = (f.remaining - r * dt).max(0.0);
+            for f in self.flows.values_mut() {
+                f.remaining = (f.remaining - f.rate * dt).max(0.0);
             }
         }
         self.now = now;
@@ -346,11 +676,14 @@ impl FlowSim {
     /// Panics if `bytes` is not finite and positive, or `now` is in the past.
     pub fn add_flow(&mut self, now: SimTime, spec: FlowSpec, bytes: f64) -> FlowId {
         assert!(bytes.is_finite() && bytes > 0.0, "transfer size must be positive");
+        self.net.validate(&spec);
         self.advance(now);
         let id = FlowId(self.next_id);
         self.next_id += 1;
-        self.flows.insert(id, ActiveFlow { spec, remaining: bytes });
+        let class = self.intern_class(spec);
+        self.flows.insert(id, ActiveFlow { class, remaining: bytes, rate: 0.0 });
         self.order.push(id);
+        self.dirty = true;
         self.recompute();
         id
     }
@@ -360,13 +693,34 @@ impl FlowSim {
     /// flight drain at the old rates up to `now`, then at the new ones — the
     /// fluid analogue of a PCIe link degrading (or recovering) mid-transfer.
     ///
+    /// Setting a link to its current capacity is a no-op (no recomputation).
+    ///
     /// # Panics
     ///
     /// Panics if `link` is unknown, `bytes_per_sec` is not finite and
     /// positive, or `now` is in the past.
     pub fn set_capacity(&mut self, now: SimTime, link: LinkId, bytes_per_sec: f64) {
+        self.set_capacities(now, &[(link, bytes_per_sec)]);
+    }
+
+    /// Apply a batch of capacity changes at time `now` with a *single* rate
+    /// redistribution — a fault storm degrading N links costs one
+    /// recomputation instead of N. Updates that leave a link's capacity
+    /// unchanged are ignored; if the whole batch is no-op the allocator is
+    /// skipped entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`FlowSim::set_capacity`].
+    pub fn set_capacities(&mut self, now: SimTime, updates: &[(LinkId, f64)]) {
         self.advance(now);
-        self.net.set_capacity(link, bytes_per_sec);
+        for &(link, bytes_per_sec) in updates {
+            assert!(link.index() < self.net.capacity.len(), "unknown link");
+            if self.net.capacity(link) != bytes_per_sec {
+                self.net.set_capacity(link, bytes_per_sec);
+                self.dirty = true;
+            }
+        }
         self.recompute();
     }
 
@@ -377,7 +731,7 @@ impl FlowSim {
 
     /// Current rate of a flow in bytes/s (`None` if unknown).
     pub fn rate(&self, id: FlowId) -> Option<f64> {
-        self.rates.get(&id).copied()
+        self.flows.get(&id).map(|f| f.rate)
     }
 
     /// The earliest `(time, flow)` completion under current rates, if any
@@ -386,11 +740,10 @@ impl FlowSim {
         let mut best: Option<(SimTime, FlowId)> = None;
         for id in &self.order {
             let f = &self.flows[id];
-            let r = self.rates.get(id).copied().unwrap_or(0.0);
-            if r <= 0.0 {
+            if f.rate <= 0.0 {
                 continue;
             }
-            let dt = f.remaining / r;
+            let dt = f.remaining / f.rate;
             let t = self.now + SimTime::from_secs_f64(dt);
             if best.is_none_or(|(bt, _)| t < bt) {
                 best = Some((t, *id));
@@ -407,9 +760,12 @@ impl FlowSim {
     /// Panics if `id` is not active or `now` is in the past.
     pub fn complete(&mut self, now: SimTime, id: FlowId) {
         self.advance(now);
-        assert!(self.flows.remove(&id).is_some(), "unknown flow {id:?}");
+        let Some(flow) = self.flows.remove(&id) else {
+            panic!("unknown flow {id:?}")
+        };
+        self.release_class(flow.class);
         self.order.retain(|&f| f != id);
-        self.rates.remove(&id);
+        self.dirty = true;
         self.recompute();
     }
 
@@ -429,6 +785,7 @@ impl FlowSim {
 mod tests {
     use super::*;
     use crate::test_util::link;
+    use proptest::prelude::*;
 
     #[test]
     fn equal_flows_split_a_link_evenly() {
@@ -571,6 +928,7 @@ mod tests {
         // One 1 GB/s link: a flow saturates it for 1 ms, then idle 1 ms.
         let net = FlowNet::from_capacities(vec![1e9]);
         let mut sim = FlowSim::new(net);
+        sim.set_track_utilization(true);
         let f = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 1e6);
         let (t, _) = sim.next_completion().unwrap();
         sim.complete(t, f);
@@ -585,6 +943,7 @@ mod tests {
         // Demand-capped flow uses half the link.
         let net = FlowNet::from_capacities(vec![10.0]);
         let mut sim = FlowSim::new(net);
+        sim.set_track_utilization(true);
         let _ = sim.add_flow(SimTime::ZERO, FlowSpec::with_demand(vec![link(0)], 5.0), 50.0);
         sim.advance(SimTime::from_secs(1));
         assert!((sim.mean_utilization(link(0)) - 0.5).abs() < 1e-6);
@@ -631,5 +990,168 @@ mod tests {
         let mut sim = FlowSim::new(net);
         sim.advance(SimTime::from_millis(5));
         sim.advance(SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn fast_allocator_is_bit_identical_to_reference() {
+        // Not just close: the classed waterfill replays the reference's exact
+        // arithmetic, so the DES results it feeds stay byte-identical.
+        let net = FlowNet::from_capacities(vec![7.0, 3.0, 11.0, 1e9]);
+        let flows = vec![
+            FlowSpec::new(vec![link(0), link(1)]),
+            FlowSpec::new(vec![link(0), link(1)]), // same class as above
+            FlowSpec::new(vec![link(0), link(2)]),
+            FlowSpec::with_demand(vec![link(2)], 2.0),
+            FlowSpec::with_demand(vec![link(2)], 2.0),
+            FlowSpec::with_demand(vec![], 3.5),
+            FlowSpec::new(vec![link(3)]),
+            FlowSpec::new(vec![link(1), link(2), link(3)]),
+        ];
+        let fast = net.max_min_rates(&flows);
+        let reference = net.max_min_rates_ref(&flows);
+        for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+            assert_eq!(f.to_bits(), r.to_bits(), "flow {i}: fast={f} ref={r}");
+        }
+    }
+
+    #[test]
+    fn batched_capacity_change_recomputes_once() {
+        let net = FlowNet::from_capacities(vec![10.0, 10.0, 10.0]);
+        let mut sim = FlowSim::new(net);
+        let _ = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0), link(1)]), 100.0);
+        let _ = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(2)]), 100.0);
+        let before = sim.recomputes();
+        sim.set_capacities(
+            SimTime::ZERO,
+            &[(link(0), 5.0), (link(1), 4.0), (link(2), 2.0)],
+        );
+        assert_eq!(sim.recomputes(), before + 1, "storm must cost one recompute");
+        assert!((sim.rate(FlowId(0)).unwrap() - 4.0).abs() < 1e-9);
+        assert!((sim.rate(FlowId(1)).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noop_capacity_change_skips_the_allocator() {
+        let net = FlowNet::from_capacities(vec![10.0]);
+        let mut sim = FlowSim::new(net);
+        let f = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 100.0);
+        let before = sim.recomputes();
+        sim.set_capacity(SimTime::from_millis(1), link(0), 10.0);
+        sim.set_capacities(SimTime::from_millis(2), &[]);
+        assert_eq!(sim.recomputes(), before, "unchanged capacities must be free");
+        assert!((sim.rate(f).unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reference_mode_drains_identically() {
+        let run = |reference: bool| {
+            let net = FlowNet::from_capacities(vec![1e9, 0.5e9]);
+            let mut sim = FlowSim::new(net);
+            sim.set_reference_allocator(reference);
+            let _ = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 2e6);
+            let _ = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0), link(1)]), 1e6);
+            let _ = sim.add_flow(SimTime::from_millis(1), FlowSpec::new(vec![link(1)]), 3e6);
+            sim.set_capacity(SimTime::from_millis(2), link(0), 0.25e9);
+            sim.drain()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn class_slots_are_reclaimed() {
+        let net = FlowNet::from_capacities(vec![1e9]);
+        let mut sim = FlowSim::new(net);
+        for _ in 0..100 {
+            let f = sim.add_flow(sim.now(), FlowSpec::new(vec![link(0)]), 1e3);
+            let (t, _) = sim.next_completion().unwrap();
+            sim.complete(t, f);
+        }
+        assert!(
+            sim.classes.len() <= 1,
+            "churning one route must reuse its tombstoned class slot"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// The tentpole contract: on random topologies and flow sets the
+        /// classed fast allocator matches the per-flow reference to 1e-9
+        /// relative (in fact bit-for-bit, which is asserted too — the
+        /// byte-identical `results/` invariant rides on it).
+        #[test]
+        fn fast_matches_reference_on_random_inputs(
+            caps in proptest::collection::vec(0.5f64..1e4, 1..8),
+            flow_picks in proptest::collection::vec(
+                (proptest::collection::vec(0u32..8, 0..5), any::<bool>(), 0.1f64..1e3),
+                0..24,
+            ),
+        ) {
+            let n_links = caps.len() as u32;
+            let net = FlowNet::from_capacities(caps);
+            let flows: Vec<FlowSpec> = flow_picks
+                .into_iter()
+                .map(|(route, capped, d)| {
+                    let route: Vec<LinkId> =
+                        route.into_iter().map(|l| link(l % n_links)).collect();
+                    if capped || route.is_empty() {
+                        FlowSpec::with_demand(route, d)
+                    } else {
+                        FlowSpec::new(route)
+                    }
+                })
+                .collect();
+            let fast = net.max_min_rates(&flows);
+            let reference = net.max_min_rates_ref(&flows);
+            for (i, (f, r)) in fast.iter().zip(&reference).enumerate() {
+                let rel = (f - r).abs() / r.abs().max(1.0);
+                prop_assert!(rel <= 1e-9, "flow {i}: fast={f} ref={r} rel={rel}");
+                prop_assert_eq!(f.to_bits(), r.to_bits(), "flow {}: bit mismatch", i);
+            }
+            // And no link is oversubscribed under the fast rates.
+            let loads = net.link_loads(&flows, &fast);
+            for (li, &l) in loads.iter().enumerate() {
+                prop_assert!(l <= net.capacity[li] * (1.0 + 1e-6));
+            }
+        }
+
+        /// An interleaved add/complete/degrade history produces the same
+        /// completions under the fast and reference allocators.
+        #[test]
+        fn flow_sim_histories_match_reference(
+            ops in proptest::collection::vec((0u8..3, 0u32..4, 1u64..1_000_000), 1..30),
+        ) {
+            let run = |reference: bool| {
+                let net = FlowNet::from_capacities(vec![1e9, 2e9, 0.5e9, 1e9]);
+                let mut sim = FlowSim::new(net);
+                sim.set_reference_allocator(reference);
+                let mut t = SimTime::ZERO;
+                for &(op, l, v) in &ops {
+                    t += SimTime::from_nanos(v % 977);
+                    match op {
+                        0 => {
+                            let _ = sim.add_flow(
+                                t,
+                                FlowSpec::new(vec![link(l), link((l + 1) % 4)]),
+                                v as f64,
+                            );
+                        }
+                        1 => {
+                            if let Some((ct, id)) = sim.next_completion() {
+                                sim.complete(ct.max(t), id);
+                                t = ct.max(t);
+                            }
+                        }
+                        _ => {
+                            sim.set_capacity(t, link(l), 0.25e9 + v as f64);
+                        }
+                    }
+                }
+                let mut done = sim.drain();
+                done.truncate(64);
+                done
+            };
+            prop_assert_eq!(run(false), run(true));
+        }
     }
 }

@@ -1,0 +1,124 @@
+//! Fast, deterministic hashing for simulator-internal maps.
+//!
+//! The DES hot loop performs several hash-map operations per event (flow
+//! tables, chunk tables, the engine's live-key set). `std`'s default SipHash
+//! is keyed and DoS-resistant — properties simulator-internal integer keys
+//! don't need — and measurably slower. This module provides the well-known
+//! Fx multiply-xor hash (the rustc hasher): a few cycles per word,
+//! deterministic across runs and platforms for our fixed-width keys.
+//!
+//! Only use these maps for *internal* state keyed by trusted values (ids,
+//! small structs). Nothing here may affect simulation results beyond timing:
+//! every result-bearing iteration in the simulator walks an explicitly
+//! ordered `Vec`, never a map, so the hasher choice cannot leak into
+//! figures.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `rustc-hash`-style multiply-xor hasher. Not DoS-resistant; internal use
+/// with trusted keys only.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// 64-bit Fx multiplier (floor(2^64 / golden ratio), forced odd).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` with the Fx hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let h = |x: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(x);
+            h.finish()
+        };
+        assert_eq!(h(42), h(42));
+        assert_ne!(h(42), h(43));
+    }
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(u64::MAX, "max");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&u64::MAX), Some(&"max"));
+        let mut s: FxHashSet<(u32, u32)> = FxHashSet::default();
+        assert!(s.insert((7, 9)));
+        assert!(!s.insert((7, 9)));
+        assert!(s.remove(&(7, 9)));
+    }
+
+    #[test]
+    fn unaligned_byte_tails_hash_consistently() {
+        let h = |b: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(b);
+            h.finish()
+        };
+        assert_eq!(h(b"hello world"), h(b"hello world"));
+        assert_ne!(h(b"hello world"), h(b"hello worlD"));
+        assert_ne!(h(b"ab"), h(b"ba"));
+    }
+}

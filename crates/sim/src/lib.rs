@@ -44,16 +44,28 @@
 //! assert_eq!(engine.now(), SimTime::from_nanos(10));
 //! ```
 
+pub mod hash;
 pub mod queue;
 pub mod stats;
 pub mod time;
 
+pub use hash::{FxHashMap, FxHashSet};
 pub use queue::FifoServer;
 pub use stats::{Counter, Histogram, TimeWeighted};
 pub use time::SimTime;
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Generation-stamped handle to a cancellable scheduled event.
+///
+/// Returned by [`Engine::schedule_keyed_at`] / [`Scheduler::schedule_keyed_at`]
+/// and accepted by the matching `cancel` methods. Keys are unique for the
+/// lifetime of an engine (a monotonically increasing generation counter), so a
+/// stale handle can never accidentally cancel a newer event that reused its
+/// queue slot — there are no slots to reuse.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventKey(u64);
 
 /// A simulation model: owns all mutable simulation state and interprets events.
 ///
@@ -71,17 +83,35 @@ pub trait Model {
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
+/// One deferred scheduling operation recorded by a [`Scheduler`]. Ops are
+/// replayed by the engine in recording order after the handler returns, so a
+/// cancel-then-reschedule sequence inside one handler behaves as written.
+enum SchedOp<E> {
+    Schedule {
+        at: SimTime,
+        key: Option<EventKey>,
+        event: E,
+    },
+    Cancel(EventKey),
+}
+
 /// Handle used by a [`Model`] to schedule follow-up events during handling.
-#[derive(Debug)]
 pub struct Scheduler<E> {
-    pending: Vec<(SimTime, E)>,
+    ops: Vec<SchedOp<E>>,
+    /// Next key generation; seeded from the engine so keys allocated here are
+    /// globally unique, and adopted back by the engine after the handler.
+    next_key: u64,
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("pending_ops", &self.ops.len())
+            .finish()
+    }
 }
 
 impl<E> Scheduler<E> {
-    fn new() -> Self {
-        Scheduler { pending: Vec::new() }
-    }
-
     /// Schedule `event` at absolute simulated time `at`.
     ///
     /// # Panics
@@ -89,12 +119,33 @@ impl<E> Scheduler<E> {
     /// The engine panics when draining this scheduler if `at` is earlier than
     /// the current simulation time.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
-        self.pending.push((at, event));
+        self.ops.push(SchedOp::Schedule { at, key: None, event });
     }
 
     /// Schedule `event` to fire `delay` after `now`.
     pub fn schedule_in(&mut self, now: SimTime, delay: SimTime, event: E) {
         self.schedule_at(now + delay, event);
+    }
+
+    /// Schedule a cancellable `event` at absolute time `at`; see
+    /// [`Engine::schedule_keyed_at`].
+    pub fn schedule_keyed_at(&mut self, at: SimTime, event: E) -> EventKey {
+        let key = EventKey(self.next_key);
+        self.next_key += 1;
+        self.ops.push(SchedOp::Schedule { at, key: Some(key), event });
+        key
+    }
+
+    /// Schedule a cancellable `event` to fire `delay` after `now`.
+    pub fn schedule_keyed_in(&mut self, now: SimTime, delay: SimTime, event: E) -> EventKey {
+        self.schedule_keyed_at(now + delay, event)
+    }
+
+    /// Lazily cancel a keyed event; see [`Engine::cancel`]. The cancellation
+    /// takes effect when the engine replays this scheduler's operations, in
+    /// order with any schedules recorded around it.
+    pub fn cancel(&mut self, key: EventKey) {
+        self.ops.push(SchedOp::Cancel(key));
     }
 }
 
@@ -125,6 +176,7 @@ impl<E> Trace<E> {
 struct QueueEntry<E> {
     at: SimTime,
     seq: u64,
+    key: Option<EventKey>,
     event: E,
 }
 
@@ -155,13 +207,27 @@ pub struct Engine<M: Model> {
     events_processed: u64,
     queue: BinaryHeap<Reverse<QueueEntry<M::Event>>>,
     trace: Option<Trace<M::Event>>,
+    /// Keys of keyed events that have been scheduled but neither fired nor
+    /// cancelled. A keyed queue entry whose key is absent here is stale.
+    live: FxHashSet<EventKey>,
+    next_key: u64,
+    /// Cancelled entries still sitting in the heap (lazy cancellation).
+    stale_in_queue: usize,
+    /// Cancelled entries popped and dropped so far.
+    stale_dropped: u64,
+    /// Recycled op buffer handed to each [`Scheduler`], so handling an event
+    /// costs no allocation once the buffer has grown to the working set.
+    ops_scratch: Vec<SchedOp<M::Event>>,
 }
 
 impl<M: Model> std::fmt::Debug for Engine<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
-            .field("queued", &self.queue.len())
+            .field("queued", &self.queued())
+            .field("queue_len", &self.queue_len())
+            .field("stale_in_queue", &self.stale_in_queue)
+            .field("stale_dropped", &self.stale_dropped)
             .field("events_processed", &self.events_processed)
             .finish()
     }
@@ -177,6 +243,11 @@ impl<M: Model> Engine<M> {
             events_processed: 0,
             queue: BinaryHeap::new(),
             trace: None,
+            live: FxHashSet::default(),
+            next_key: 0,
+            stale_in_queue: 0,
+            stale_dropped: 0,
+            ops_scratch: Vec::new(),
         }
     }
 
@@ -224,9 +295,25 @@ impl<M: Model> Engine<M> {
         self.model
     }
 
-    /// Number of events currently queued.
+    /// Number of *live* events currently queued (stale cancelled entries are
+    /// excluded; see [`Engine::queue_len`] for the raw heap size).
     pub fn queued(&self) -> usize {
+        self.queue.len() - self.stale_in_queue
+    }
+
+    /// Raw heap size, including lazily-cancelled entries not yet dropped.
+    pub fn queue_len(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Cancelled entries still occupying heap slots (lazy cancellation debt).
+    pub fn stale_in_queue(&self) -> usize {
+        self.stale_in_queue
+    }
+
+    /// Total cancelled entries popped and dropped over the engine's lifetime.
+    pub fn stale_dropped(&self) -> u64 {
+        self.stale_dropped
     }
 
     /// Schedule an event at absolute time `at`.
@@ -235,14 +322,7 @@ impl<M: Model> Engine<M> {
     ///
     /// Panics if `at` is in the past.
     pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
-        assert!(
-            at >= self.now,
-            "cannot schedule event in the past: at={at:?} now={:?}",
-            self.now
-        );
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Reverse(QueueEntry { at, seq, event }));
+        self.push_entry(at, None, event);
     }
 
     /// Schedule an event `delay` after the current time.
@@ -250,22 +330,100 @@ impl<M: Model> Engine<M> {
         self.schedule_at(self.now + delay, event);
     }
 
-    /// Pop and handle a single event. Returns `false` if the queue was empty.
+    /// Schedule a cancellable event at absolute time `at`, returning a handle
+    /// that [`Engine::cancel`] (or [`Scheduler::cancel`]) accepts.
+    ///
+    /// Keyed events cost one `HashSet` insert over plain ones; use them for
+    /// completion estimates that may be superseded (rate changes, faults).
+    pub fn schedule_keyed_at(&mut self, at: SimTime, event: M::Event) -> EventKey {
+        let key = EventKey(self.next_key);
+        self.next_key += 1;
+        self.live.insert(key);
+        self.push_entry(at, Some(key), event);
+        key
+    }
+
+    /// Schedule a cancellable event `delay` after the current time.
+    pub fn schedule_keyed_in(&mut self, delay: SimTime, event: M::Event) -> EventKey {
+        self.schedule_keyed_at(self.now + delay, event)
+    }
+
+    /// Lazily cancel a keyed event. Returns `true` if the event was still
+    /// pending (it will never fire), `false` if it already fired or was
+    /// already cancelled. O(1): the heap entry is dropped when popped, not
+    /// searched for now.
+    pub fn cancel(&mut self, key: EventKey) -> bool {
+        let was_live = self.live.remove(&key);
+        if was_live {
+            self.stale_in_queue += 1;
+        }
+        was_live
+    }
+
+    fn push_entry(&mut self, at: SimTime, key: Option<EventKey>, event: M::Event) {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(QueueEntry { at, seq, key, event }));
+    }
+
+    /// Drop cancelled entries off the front of the heap so `peek`/emptiness
+    /// reflect live events only.
+    fn purge_stale_front(&mut self) {
+        while let Some(Reverse(entry)) = self.queue.peek() {
+            match entry.key {
+                Some(k) if !self.live.contains(&k) => {
+                    self.queue.pop();
+                    self.stale_in_queue -= 1;
+                    self.stale_dropped += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Pop and handle a single live event. Returns `false` if no live events
+    /// remain (stale cancelled entries are discarded, not delivered).
     pub fn step(&mut self) -> bool {
+        self.purge_stale_front();
         let Some(Reverse(entry)) = self.queue.pop() else {
             return false;
         };
+        if let Some(k) = entry.key {
+            self.live.remove(&k);
+        }
         debug_assert!(entry.at >= self.now, "event queue yielded past event");
         self.now = entry.at;
         self.events_processed += 1;
         if let Some(t) = self.trace.as_mut() {
+            // Trace strings are only built here, behind the enable check.
             t.record(entry.at, &entry.event);
         }
-        let mut sched = Scheduler::new();
+        let mut sched = Scheduler {
+            ops: std::mem::take(&mut self.ops_scratch),
+            next_key: self.next_key,
+        };
         self.model.handle(self.now, entry.event, &mut sched);
-        for (at, event) in sched.pending {
-            self.schedule_at(at, event);
+        self.next_key = sched.next_key;
+        let mut ops = sched.ops;
+        for op in ops.drain(..) {
+            match op {
+                SchedOp::Schedule { at, key, event } => {
+                    if let Some(k) = key {
+                        self.live.insert(k);
+                    }
+                    self.push_entry(at, key, event);
+                }
+                SchedOp::Cancel(key) => {
+                    self.cancel(key);
+                }
+            }
         }
+        self.ops_scratch = ops;
         true
     }
 
@@ -282,6 +440,7 @@ impl<M: Model> Engine<M> {
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let start = self.events_processed;
         loop {
+            self.purge_stale_front();
             match self.queue.peek() {
                 None => break,
                 Some(Reverse(entry)) if entry.at > deadline => {
@@ -318,6 +477,7 @@ impl<M: Model> Engine<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     struct Recorder {
         log: Vec<(SimTime, u32)>,
@@ -447,5 +607,131 @@ mod tests {
         assert_eq!(e.now(), SimTime::ZERO);
         assert_eq!(e.events_processed(), 0);
         assert!(!e.step());
+    }
+
+    #[test]
+    fn cancelled_event_never_fires() {
+        let mut e = engine();
+        let k = e.schedule_keyed_at(SimTime::from_nanos(10), 7);
+        e.schedule_at(SimTime::from_nanos(20), 8);
+        assert_eq!(e.queued(), 2);
+        assert!(e.cancel(k));
+        assert!(!e.cancel(k), "double-cancel reports not-pending");
+        assert_eq!(e.queued(), 1, "live count excludes the stale entry");
+        assert_eq!(e.queue_len(), 2, "heap still holds it (lazy)");
+        assert_eq!(e.stale_in_queue(), 1);
+        e.run();
+        assert_eq!(e.model().log, vec![(SimTime::from_nanos(20), 8)]);
+        assert_eq!(e.stale_dropped(), 1);
+        assert_eq!(e.stale_in_queue(), 0);
+        assert_eq!(e.events_processed(), 1, "stale entries are not events");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop() {
+        let mut e = engine();
+        let k = e.schedule_keyed_at(SimTime::from_nanos(1), 1);
+        e.run();
+        assert_eq!(e.model().log.len(), 1);
+        assert!(!e.cancel(k));
+        assert_eq!(e.stale_in_queue(), 0);
+    }
+
+    #[test]
+    fn run_until_skips_stale_front_without_overshooting() {
+        let mut e = engine();
+        let k = e.schedule_keyed_at(SimTime::from_nanos(10), 1);
+        e.schedule_at(SimTime::from_nanos(50), 2);
+        e.cancel(k);
+        // The stale entry at t=10 must not cause the live t=50 event to fire
+        // "instead of it" before the deadline.
+        let n = e.run_until(SimTime::from_nanos(30));
+        assert_eq!(n, 0);
+        assert_eq!(e.now(), SimTime::from_nanos(30));
+        assert!(e.model().log.is_empty());
+        e.run();
+        assert_eq!(e.model().log, vec![(SimTime::from_nanos(50), 2)]);
+    }
+
+    struct Rescheduler {
+        fired: Vec<u32>,
+        pending: Option<EventKey>,
+    }
+
+    impl Model for Rescheduler {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.fired.push(ev);
+            if ev == 0 {
+                // Supersede the previously scheduled completion estimate.
+                if let Some(k) = self.pending.take() {
+                    sched.cancel(k);
+                }
+                self.pending = Some(sched.schedule_keyed_in(now, SimTime::from_nanos(100), 99));
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_cancel_and_reschedule_within_handler() {
+        let mut e = Engine::new(Rescheduler { fired: Vec::new(), pending: None });
+        let k0 = e.schedule_keyed_at(SimTime::from_nanos(500), 99);
+        e.model_mut().pending = Some(k0);
+        e.schedule_at(SimTime::from_nanos(1), 0);
+        e.schedule_at(SimTime::from_nanos(2), 0);
+        e.run();
+        // The two triggers each cancel the outstanding 99 and schedule a new
+        // one; exactly one 99 fires, at 2+100.
+        assert_eq!(e.model().fired, vec![0, 0, 99]);
+        assert_eq!(e.now(), SimTime::from_nanos(102));
+        assert_eq!(e.stale_dropped(), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Lazy-cancelled events never fire, regardless of the interleaving of
+        /// keyed/unkeyed schedules and cancels, and live events all do.
+        #[test]
+        fn cancelled_events_never_fire(
+            ops in collection::vec((0u8..3, 0u64..1000), 1..60),
+        ) {
+            let mut e = engine();
+            let mut keys: Vec<(EventKey, u32)> = Vec::new();
+            let mut expected: Vec<(SimTime, u32)> = Vec::new();
+            let mut tag = 0u32;
+            for &(op, v) in &ops {
+                match op {
+                    0 => {
+                        let at = SimTime::from_nanos(v);
+                        e.schedule_at(at, tag);
+                        expected.push((at, tag));
+                        tag += 1;
+                    }
+                    1 => {
+                        let at = SimTime::from_nanos(v);
+                        let k = e.schedule_keyed_at(at, tag);
+                        keys.push((k, tag));
+                        expected.push((at, tag));
+                        tag += 1;
+                    }
+                    _ => {
+                        if keys.is_empty() {
+                            continue;
+                        }
+                        let (k, t) = keys.remove((v as usize) % keys.len());
+                        prop_assert!(e.cancel(k));
+                        expected.retain(|&(_, et)| et != t);
+                    }
+                }
+            }
+            e.run();
+            expected.sort_by_key(|&(at, t)| (at, t));
+            let mut fired = e.model().log.clone();
+            fired.sort_by_key(|&(at, t)| (at, t));
+            prop_assert_eq!(fired, expected);
+            prop_assert_eq!(e.stale_in_queue(), 0);
+            prop_assert_eq!(e.queue_len(), 0);
+        }
     }
 }

@@ -2,15 +2,19 @@
 # Regenerate every table and figure of the paper, plus the ablations.
 #
 # Usage: scripts/reproduce.sh [-j N] [results_dir]
-#   -j N   run up to N figure binaries concurrently (default 1)
+#   -j N   run each figure binary's internal sweep on up to N worker
+#          threads (default 1; also settable via TRAINBOX_JOBS)
 #
 # All binaries are built once up front; the loop then invokes the compiled
 # artifacts directly, so per-figure cost is pure simulation time instead of
-# 21 cargo invocations each re-checking the workspace.
+# 22 cargo invocations each re-checking the workspace. Parallelism lives
+# inside each binary (deterministic ordered sweeps), not at the shell
+# level, so figures always print in order and results stay byte-identical
+# at any -j.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-jobs=1
+jobs="${TRAINBOX_JOBS:-1}"
 while getopts "j:" opt; do
   case "$opt" in
     j) jobs="$OPTARG" ;;
@@ -29,18 +33,24 @@ bins=(table01 fig02b fig03 fig05 fig08 fig09 fig10 fig11 table02 table03
 cargo build --release -q -p trainbox-bench "${bins[@]/#/--bin=}"
 
 target_dir="${CARGO_TARGET_DIR:-target}"
-running=0
+
+# Every figure binary must honor the shared -j CLI: probe each one and fail
+# loudly if it ignores the flag — a binary that silently ran single-threaded
+# would make -j a lie, and one with a divergent CLI would error mid-run.
 for b in "${bins[@]}"; do
-  if [ "$jobs" -gt 1 ]; then
-    "$target_dir/release/$b" &
-    running=$((running + 1))
-    if [ "$running" -ge "$jobs" ]; then
-      wait -n
-      running=$((running - 1))
-    fi
-  else
-    echo
-    "$target_dir/release/$b"
+  got="$("$target_dir/release/$b" -j "$jobs" --print-jobs)" || {
+    echo "error: $b rejected '-j $jobs --print-jobs'" >&2; exit 1; }
+  if [ "$got" != "jobs=$jobs" ]; then
+    echo "error: $b ignores -j (probe printed '$got', want 'jobs=$jobs')" >&2
+    exit 1
   fi
 done
-wait
+
+start_ns="$(date +%s%N)"
+for b in "${bins[@]}"; do
+  echo
+  "$target_dir/release/$b" -j "$jobs"
+done
+elapsed_ms=$(( ($(date +%s%N) - start_ns) / 1000000 ))
+echo
+echo "regenerated ${#bins[@]} figures into $TRAINBOX_RESULTS_DIR in ${elapsed_ms} ms (jobs=$jobs)"

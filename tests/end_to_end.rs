@@ -64,6 +64,7 @@ fn des_and_analytic_agree_across_designs() {
         warmup_batches: 4,
         prefetch_batches: 1,
         max_events: 5_000_000,
+        reference_allocator: false,
     };
     for (kind, n, batch, tol) in [
         (ServerKind::Baseline, 16, 512u64, 0.10),
