@@ -52,7 +52,7 @@ fn bench_audio(c: &mut Criterion) {
         b.iter_batched(|| buf.clone(), |mut buf| fft(&mut buf), BatchSize::SmallInput)
     });
     g.bench_function("mel_spectrogram_clip", |b| {
-        b.iter(|| mel_spectrogram(&clip, StftConfig::speech_default(), 80))
+        b.iter(|| mel_spectrogram(&clip, StftConfig::speech_default(), 80).unwrap())
     });
     g.finish();
 }

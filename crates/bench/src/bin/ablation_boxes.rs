@@ -62,4 +62,5 @@ fn main() {
         );
     }
     emit_json("ablation_boxes", &dump);
+    trainbox_bench::emit_default_trace();
 }

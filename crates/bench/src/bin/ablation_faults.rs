@@ -8,7 +8,7 @@
 //! JSON dump — reproduces byte-identically run to run (asserted below).
 
 use serde::Serialize;
-use trainbox_bench::{banner, bench_cli, emit_json, run_sweep};
+use trainbox_bench::{banner, bench_cli, emit_json, emit_scenario_trace, run_sweep};
 use trainbox_core::arch::{Server, ServerConfig, ServerKind};
 use trainbox_core::faults::{FaultDomain, FaultPlan};
 use trainbox_core::pipeline::{simulate, simulate_with_faults, SimConfig, SimResult};
@@ -110,4 +110,21 @@ fn main() {
     println!("\nGoodput tracks effective throughput minus wasted work; nominal");
     println!("is what the initial device complement would have sustained.");
     emit_json("ablation_faults", &vec![("trainbox", tb), ("baseline", base)]);
+
+    // --trace: replay the 8-fault TrainBox storm with the tracer attached so
+    // the dump carries fault instants alongside the pipeline/flow/collective
+    // spans.
+    if trainbox_bench::trace_out().is_some() {
+        let healthy = simulate(&trainbox, &w, &cfg());
+        let horizon = healthy.batch_done_at.last().unwrap().as_secs_f64();
+        let domain = FaultDomain {
+            n_ssds: trainbox.topology().ssds.len(),
+            n_preps: trainbox.topology().preps.len(),
+            n_accels: trainbox.n_accels(),
+            n_links: healthy.link_bytes.len(),
+            horizon_secs: horizon,
+        };
+        let plan = FaultPlan::seeded(SEED, 8.0 / horizon, &domain);
+        emit_scenario_trace(&trainbox, &w, &cfg(), &plan);
+    }
 }

@@ -66,4 +66,5 @@ fn main() {
         );
     }
     emit_json("ablation_nextgen", &dump);
+    trainbox_bench::emit_default_trace();
 }

@@ -71,4 +71,5 @@ fn main() {
         dump.push(("chunk", chunk, r.samples_per_sec));
     }
     emit_json("ablation_prefetch", &dump);
+    trainbox_bench::emit_default_trace();
 }

@@ -49,4 +49,5 @@ fn main() {
     println!("\n(100 GbE covers every deficit the 2-FPGA box leaves; halving it to");
     println!(" 50 GbE starts to strand the caption RNNs, quantifying §IV-D's choice)");
     emit_json("ablation_prepnet", &dump);
+    trainbox_bench::emit_default_trace();
 }

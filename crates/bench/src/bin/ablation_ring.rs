@@ -45,4 +45,5 @@ fn main() {
         println!("  n={n:<4} sync = {:.4}% of batch compute", 100.0 * r);
     }
     emit_json("ablation_ring", &dump);
+    trainbox_bench::emit_default_trace();
 }

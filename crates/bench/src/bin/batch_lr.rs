@@ -43,4 +43,5 @@ fn main() {
          instability\", which enables the batch sizes of Table I)"
     );
     emit_json("batch_lr", &rows);
+    trainbox_bench::emit_default_trace();
 }

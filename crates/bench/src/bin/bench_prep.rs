@@ -234,7 +234,7 @@ fn kernel_benches(smoke: bool, reps: usize) -> Vec<KernelBench> {
     });
 
     let n = 1024usize;
-    let plan = FftPlan::new(n);
+    let plan = FftPlan::new(n).expect("1024 is a power of two");
     let signal: Vec<Complex> = (0..n)
         .map(|i| Complex::new((i as f32 * 0.01).sin(), (i as f32 * 0.003).cos()))
         .collect();
@@ -380,4 +380,5 @@ fn main() {
         speedup_vs_pre_pr: speedup,
     };
     emit_json("bench_prep", &results);
+    trainbox_bench::emit_default_trace();
 }

@@ -293,4 +293,5 @@ fn main() {
         speedup_vs_pre_pr: speedup,
     };
     emit_json("bench_sim", &results);
+    trainbox_bench::emit_default_trace();
 }

@@ -26,4 +26,5 @@ fn main() {
         series.last().unwrap().1,
     );
     emit_json("fig02b", &series);
+    trainbox_bench::emit_default_trace();
 }

@@ -36,4 +36,5 @@ fn main() {
         last.preparation() / last.others(),
     );
     emit_json("fig03", &stages);
+    trainbox_bench::emit_default_trace();
 }

@@ -37,4 +37,5 @@ fn main() {
         100.0 * gap,
     );
     emit_json("fig05", &res);
+    trainbox_bench::emit_default_trace();
 }

@@ -37,4 +37,5 @@ fn main() {
         max_sat,
     );
     emit_json("fig08", &table);
+    trainbox_bench::emit_default_trace();
 }

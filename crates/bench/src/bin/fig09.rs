@@ -37,4 +37,5 @@ fn main() {
     let mean = shares.iter().sum::<f64>() / shares.len() as f64;
     compare("mean data-preparation share, % (paper: 98.1)", 98.1, 100.0 * mean);
     emit_json("fig09", &rows);
+    trainbox_bench::emit_default_trace();
 }

@@ -62,4 +62,5 @@ fn main() {
     compare("mean memory-BW multiplier at 256 (paper: 7.6x)", 7.6, means(1));
     compare("mean PCIe-BW multiplier at 256 (paper: 7.1x)", 7.1, means(2));
     emit_json("fig10", &dump);
+    trainbox_bench::emit_default_trace();
 }

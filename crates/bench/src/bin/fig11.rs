@@ -44,4 +44,5 @@ fn main() {
         100.0 * aud.mem_bytes.data_load / aud.mem_bytes.total(),
     );
     emit_json("fig11", &[("image", img), ("audio", aud)]);
+    trainbox_bench::emit_default_trace();
 }

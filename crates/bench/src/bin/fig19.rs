@@ -61,4 +61,5 @@ fn main() {
         step(ServerKind::AccFpgaP2p, ServerKind::TrainBox),
     );
     emit_json("fig19", &dump);
+    trainbox_bench::emit_default_trace();
 }

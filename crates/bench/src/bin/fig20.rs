@@ -33,4 +33,5 @@ fn main() {
         series.last().unwrap().1,
     );
     emit_json("fig20", &series);
+    trainbox_bench::emit_default_trace();
 }

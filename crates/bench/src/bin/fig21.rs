@@ -55,4 +55,5 @@ fn main() {
         throughput_of(ServerKind::TrainBox, 256, &sr).samples_per_sec / sr.accel_samples_per_sec,
     );
     emit_json("fig21", &dump);
+    trainbox_bench::emit_default_trace();
 }

@@ -51,4 +51,5 @@ fn main() {
         println!("  (paper: B+Acc doubles PCIe; P2P zeroes memory; TrainBox zeroes all three)");
     }
     emit_json("fig22", &dump);
+    trainbox_bench::emit_default_trace();
 }

@@ -50,4 +50,5 @@ fn main() {
         println!("  {label:<38} {:>10.0}", cost / 1000.0);
     }
     emit_json("scale_up_vs_out", &dump);
+    trainbox_bench::emit_default_trace();
 }

@@ -25,4 +25,5 @@ fn main() {
         );
     }
     emit_json("table01", &all);
+    trainbox_bench::emit_default_trace();
 }

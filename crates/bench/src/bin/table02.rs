@@ -44,4 +44,5 @@ fn main() {
         100.0 * total.bram
     );
     emit_json("table02", &total);
+    trainbox_bench::emit_default_trace();
 }

@@ -40,4 +40,5 @@ fn main() {
     compare("total BRAM %, audio (paper: 77.1)", 77.1, 100.0 * total.bram);
     compare("total DSP %, audio (paper: 12.2)", 12.2, 100.0 * total.dsp);
     emit_json("table03", &total);
+    trainbox_bench::emit_default_trace();
 }

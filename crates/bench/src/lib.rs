@@ -7,8 +7,14 @@
 
 use serde::Serialize;
 use std::io::Write;
-use std::path::PathBuf;
-use std::sync::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use trainbox_core::arch::{Server, ServerConfig, ServerKind};
+use trainbox_core::faults::FaultPlan;
+use trainbox_core::pipeline::{simulate_traced, SimConfig};
+use trainbox_nn::Workload;
+use trainbox_sim::{chrome_trace_json, RingTracer, TraceSummary};
 
 /// Print a figure/table banner.
 pub fn banner(id: &str, caption: &str) {
@@ -56,8 +62,17 @@ pub fn compare(metric: &str, paper: f64, measured: f64) {
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <fig-binary> [-j N | --jobs N] [--print-jobs]");
+    eprintln!("usage: <fig-binary> [-j N | --jobs N] [--print-jobs] [--trace out.json]");
     std::process::exit(2);
+}
+
+/// `--trace PATH` destination parsed by [`bench_cli`], if any.
+static TRACE_OUT: OnceLock<Option<PathBuf>> = OnceLock::new();
+
+/// Where `--trace` asked for a Chrome trace-event dump, if it did.
+/// `None` until [`bench_cli`] has run, or when the flag was absent.
+pub fn trace_out() -> Option<PathBuf> {
+    TRACE_OUT.get().cloned().flatten()
 }
 
 fn parse_jobs(s: &str) -> usize {
@@ -71,15 +86,19 @@ fn parse_jobs(s: &str) -> usize {
 /// sweep parallelism for [`run_sweep`].
 ///
 /// Accepted: `-j N` / `-jN` / `--jobs N` / `--jobs=N` (also via the
-/// `TRAINBOX_JOBS` env var, with the flag taking precedence) and
-/// `--print-jobs`, which prints `jobs=N` and exits 0 — `scripts/reproduce.sh`
-/// probes it so a binary that silently ignores `-j` fails the run instead of
-/// quietly degrading to sequential. Unknown arguments exit with status 2.
+/// `TRAINBOX_JOBS` env var, with the flag taking precedence),
+/// `--trace PATH` / `--trace=PATH` (record a structured trace of a
+/// representative DES run and write it as Chrome trace-event JSON to `PATH`;
+/// retrieve with [`trace_out`]), and `--print-jobs`, which prints `jobs=N`
+/// and exits 0 — `scripts/reproduce.sh` probes it so a binary that silently
+/// ignores `-j` fails the run instead of quietly degrading to sequential.
+/// Unknown arguments exit with status 2.
 pub fn bench_cli() -> usize {
     let mut jobs: usize = std::env::var("TRAINBOX_JOBS")
         .ok()
         .map(|v| parse_jobs(&v))
         .unwrap_or(1);
+    let mut trace: Option<PathBuf> = None;
     let mut print_jobs = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -90,8 +109,17 @@ pub fn bench_cli() -> usize {
                     .unwrap_or_else(|| usage_exit("missing value after -j/--jobs"));
                 jobs = parse_jobs(&v);
             }
+            "--trace" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_exit("missing value after --trace"));
+                trace = Some(PathBuf::from(v));
+            }
             "--print-jobs" => print_jobs = true,
             s if s.starts_with("--jobs=") => jobs = parse_jobs(&s["--jobs=".len()..]),
+            s if s.starts_with("--trace=") => {
+                trace = Some(PathBuf::from(&s["--trace=".len()..]));
+            }
             s if s.starts_with("-j") => jobs = parse_jobs(&s[2..]),
             other => usage_exit(&format!("unknown argument {other:?}")),
         }
@@ -100,7 +128,59 @@ pub fn bench_cli() -> usize {
         println!("jobs={jobs}");
         std::process::exit(0);
     }
+    let _ = TRACE_OUT.set(trace);
     jobs
+}
+
+/// Run one DES scenario with a [`RingTracer`] attached and write the Chrome
+/// trace-event JSON to the `--trace` destination. No-op when `--trace` was
+/// not passed, so binaries call this unconditionally; tracing happens in a
+/// *separate* instrumented run, leaving the figure's own output (stdout and
+/// any `results/` JSON) byte-identical with or without the flag.
+pub fn emit_scenario_trace(
+    server: &Server,
+    workload: &Workload,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+) {
+    let Some(path) = trace_out() else { return };
+    let (_, tracer) = simulate_traced(
+        server,
+        workload,
+        cfg,
+        plan,
+        RingTracer::new(RingTracer::DEFAULT_CAPACITY),
+    );
+    write_chrome_trace(&path, tracer);
+}
+
+/// [`emit_scenario_trace`] on the canonical scenario — a 16-accelerator
+/// TrainBox (no pool) training Inception-v4 — for binaries whose own sweep
+/// is analytic-only and has no DES configuration to borrow.
+pub fn emit_default_trace() {
+    if trace_out().is_none() {
+        return;
+    }
+    let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+        .batch_size(512)
+        .build();
+    let workload = Workload::inception_v4();
+    emit_scenario_trace(&server, &workload, &SimConfig::default(), &FaultPlan::empty());
+}
+
+/// Serialize `tracer`'s records as Chrome trace-event JSON to `path` and
+/// print the per-component utilization summary to stderr (stdout stays
+/// reserved for the figure's own rows).
+pub fn write_chrome_trace(path: &Path, tracer: RingTracer) {
+    let dropped = tracer.dropped();
+    let records = tracer.into_records();
+    let summary = TraceSummary::from_records(&records, dropped);
+    let json = chrome_trace_json(&records);
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("(wrote {} trace records to {})", records.len(), path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+    eprint!("{}", summary.render());
 }
 
 /// Run `f` over every sweep point on up to `jobs` scoped worker threads and

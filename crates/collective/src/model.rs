@@ -64,6 +64,26 @@ impl RingModel {
         SimTime::from_secs_f64(self.allreduce_secs(model_bytes, n))
     }
 
+    /// Per-step time boundaries of the `2(n-1)`-step ring, as offsets from
+    /// the start of the all-reduce: element `i` is when step `i` completes.
+    ///
+    /// The chunked ring spends the same time in every step — each moves an
+    /// `M/n`-byte segment over every link and pays one hop fill — so the
+    /// boundaries are a uniform partition of [`RingModel::allreduce_secs`];
+    /// the last boundary equals the total latency (up to rounding). Empty for
+    /// `n <= 1`. This feeds per-step collective spans in the trace layer; the
+    /// simulator's aggregate timing uses only the total, so tracing cannot
+    /// perturb results.
+    pub fn allreduce_steps(&self, model_bytes: u64, n: usize) -> Vec<f64> {
+        if n <= 1 {
+            return Vec::new();
+        }
+        let total = self.allreduce_secs(model_bytes, n);
+        let steps = 2 * (n - 1);
+        let per_step = total / steps as f64;
+        (1..=steps).map(|i| per_step * i as f64).collect()
+    }
+
     /// Latency normalized to the two-accelerator latency — the y-axis of
     /// Figure 2b.
     ///
@@ -163,6 +183,23 @@ mod tests {
         let t64 = m.allreduce_secs(bytes, 64);
         let t128 = m.allreduce_secs(bytes, 128);
         assert!(t128 / t64 < 1.1);
+    }
+
+    #[test]
+    fn step_boundaries_partition_the_total() {
+        let m = model();
+        let bytes = 97_500_000u64;
+        for n in [2usize, 4, 16] {
+            let steps = m.allreduce_steps(bytes, n);
+            assert_eq!(steps.len(), 2 * (n - 1));
+            let total = m.allreduce_secs(bytes, n);
+            assert!((steps.last().unwrap() - total).abs() < 1e-12 * total.max(1.0));
+            for w in steps.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+        }
+        assert!(m.allreduce_steps(bytes, 1).is_empty());
+        assert!(m.allreduce_steps(bytes, 0).is_empty());
     }
 
     #[test]

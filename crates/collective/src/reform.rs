@@ -44,6 +44,8 @@ pub fn reformed_ring_all_reduce(
     let mut pool: Vec<Option<Vec<f32>>> = buffers.into_iter().map(Some).collect();
     let survivors: Vec<Vec<f32>> = ring
         .iter()
+        // invariant: `surviving_ring` returns each alive rank exactly once,
+        // so no slot is taken twice.
         .map(|&r| pool[r].take().expect("rank appears once in the ring"))
         .collect();
     let reduced = ring_all_reduce(survivors);

@@ -53,6 +53,8 @@ pub fn ring_all_reduce(buffers: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
 
     let mut handles = Vec::with_capacity(n);
     for (rank, mut buf) in buffers.into_iter().enumerate() {
+        // invariant: each rank index occurs once in the enumerate, so every
+        // channel endpoint is taken exactly once.
         let to_right = senders[(rank + 1) % n].take().expect("sender taken once");
         let from_left = receivers[rank].take().expect("receiver taken once");
         handles.push(thread::spawn(move || {
@@ -86,9 +88,12 @@ pub fn ring_all_reduce(buffers: Vec<Vec<f32>>) -> Vec<Vec<f32>> {
 
     let mut out: Vec<Option<Vec<f32>>> = (0..n).map(|_| None).collect();
     for h in handles {
+        // Propagate a worker panic instead of deadlocking its neighbors; the
+        // send/recv expects above can only fire after such a panic anyway.
         let (rank, buf) = h.join().expect("ring worker panicked");
         out[rank] = Some(buf);
     }
+    // invariant: n workers covering ranks 0..n each filled their slot.
     out.into_iter().map(|b| b.expect("every rank returns")).collect()
 }
 

@@ -25,7 +25,10 @@ use trainbox_nn::Workload;
 use trainbox_pcie::boxes::{PrepPoolNet, ServerTopology};
 use trainbox_pcie::flow::{FlowId, FlowNet, FlowSim, FlowSpec};
 use trainbox_pcie::{LinkId, NodeId};
-use trainbox_sim::{Engine, EventKey, FifoServer, FxHashMap, Model, Scheduler, SimTime};
+use trainbox_sim::{
+    Component, Engine, EventKey, FifoServer, FxHashMap, Model, NoopTracer, Scheduler, SimError,
+    SimTime, Tracer,
+};
 
 /// Configuration of one DES run.
 #[derive(Debug, Clone, Copy)]
@@ -139,6 +142,9 @@ struct EthPool {
     /// Outstanding keyed completion-check event, cancelled when superseded.
     check: Option<EventKey>,
     cont: FxHashMap<FlowId, u64>,
+    /// Start instant of each in-flight Ethernet flow; populated only while a
+    /// real tracer is attached (span endpoints for the trace layer).
+    started: FxHashMap<FlowId, SimTime>,
     pool_servers: Vec<FifoServer>,
     pool_service: SimTime,
     /// Offload every `period`-th chunk per in-box FPGA (0 = never).
@@ -250,7 +256,7 @@ impl FaultRuntime {
     }
 }
 
-struct PipelineModel {
+struct PipelineModel<T: Tracer> {
     kind: ServerKind,
     topo: ServerTopology,
     sizes: SampleSizes,
@@ -293,10 +299,52 @@ struct PipelineModel {
     ring: RingModel,
     model_bytes: u64,
     faults: FaultRuntime,
+
+    /// Structured trace sink. With [`NoopTracer`] every hook below guards on
+    /// `enabled()` (a constant `false`) and monomorphizes to nothing, so the
+    /// untraced simulation is bit-identical to the pre-trace code.
+    tracer: T,
+    /// Start instant of each in-flight PCIe flow (span endpoints; populated
+    /// only while the tracer is enabled). Kept separate from the Ethernet
+    /// pool's map because the two [`FlowSim`]s have independent id spaces.
+    flow_started: FxHashMap<FlowId, SimTime>,
 }
 
-impl PipelineModel {
-    fn new(server: &Server, workload: &Workload, cfg: &SimConfig, plan: &FaultPlan) -> Self {
+/// Trace span name for a transfer leg, keyed by the stage the chunk was in
+/// when its flow completed.
+fn xfer_name(stage: Stage) -> &'static str {
+    match stage {
+        Stage::ToPrep => "xfer:to_prep",
+        Stage::HostToPrep => "xfer:host_to_prep",
+        Stage::PrepToHost => "xfer:prep_to_host",
+        Stage::ToAccel => "xfer:to_accel",
+        Stage::EthToPool => "eth:to_pool",
+        Stage::EthFromPool => "eth:from_pool",
+        _ => "xfer",
+    }
+}
+
+/// Trace track (lane) for a fault instant: the index of the device or link
+/// the fault targets.
+fn fault_track(kind: FaultKind) -> u32 {
+    match kind {
+        FaultKind::SsdStall { ssd, .. } => ssd as u32,
+        FaultKind::PrepCrash { dev }
+        | FaultKind::PrepSlowdown { dev, .. }
+        | FaultKind::PrepTransient { dev, .. } => dev as u32,
+        FaultKind::LinkDegrade { link, .. } => link as u32,
+        FaultKind::AccelDropout { acc } => acc as u32,
+    }
+}
+
+impl<T: Tracer> PipelineModel<T> {
+    fn new(
+        server: &Server,
+        workload: &Workload,
+        cfg: &SimConfig,
+        plan: &FaultPlan,
+        tracer: T,
+    ) -> Self {
         let kind = server.kind();
         let topo = server.topology().clone();
         let sizes = SampleSizes::for_input(workload.input);
@@ -308,8 +356,10 @@ impl PipelineModel {
         let t_sync = server.ring_model().allreduce_time(workload.model_bytes(), n);
 
         let n_links = topo.topo.link_count();
+        let traced = tracer.enabled();
         let mut flows = FlowSim::new(FlowNet::from_topology(&topo.topo));
         flows.set_reference_allocator(cfg.reference_allocator);
+        flows.set_trace(traced);
         // TrainBox-with-pool: set up the Ethernet network and the offload
         // cadence from the initializer's deficit analysis.
         let eth = if kind == ServerKind::TrainBox {
@@ -330,6 +380,7 @@ impl PipelineModel {
                 let period = (1.0 / frac).round().max(1.0) as u64;
                 let mut eth_flows = FlowSim::new(FlowNet::from_topology(&net.topo));
                 eth_flows.set_reference_allocator(cfg.reference_allocator);
+                eth_flows.set_trace(traced);
                 Some(EthPool {
                     flows: eth_flows,
                     pool_servers: net.pool_nics.iter().map(|_| FifoServer::new(1)).collect(),
@@ -338,6 +389,7 @@ impl PipelineModel {
                     counters: vec![0; net.box_nics.len()],
                     check: None,
                     cont: FxHashMap::default(),
+                    started: FxHashMap::default(),
                     rr_pool: 0,
                     net: net.clone(),
                 })
@@ -418,6 +470,32 @@ impl PipelineModel {
             ring: *server.ring_model(),
             model_bytes: workload.model_bytes(),
             faults,
+            tracer,
+            flow_started: FxHashMap::default(),
+        }
+    }
+
+    /// Convert accumulated flow-rate recompute logs into counter records.
+    /// Called once per handled event (and once at the end of a run) while
+    /// the tracer is enabled; a no-op drain otherwise.
+    fn drain_flow_trace(&mut self) {
+        for ev in self.flows.take_trace() {
+            self.tracer
+                .counter(Component::Flow, "pcie_active_flows", ev.at, ev.active as f64);
+            self.tracer
+                .counter(Component::Flow, "pcie_min_rate", ev.at, ev.min_rate);
+            self.tracer
+                .counter(Component::Flow, "pcie_max_rate", ev.at, ev.max_rate);
+        }
+        if let Some(eth) = self.eth.as_mut() {
+            for ev in eth.flows.take_trace() {
+                self.tracer
+                    .counter(Component::Flow, "eth_active_flows", ev.at, ev.active as f64);
+                self.tracer
+                    .counter(Component::Flow, "eth_min_rate", ev.at, ev.min_rate);
+                self.tracer
+                    .counter(Component::Flow, "eth_max_rate", ev.at, ev.max_rate);
+            }
         }
     }
 
@@ -486,6 +564,17 @@ impl PipelineModel {
                 samples as f64 * self.sizes.stored / SSD_READ_BYTES_PER_SEC,
             );
             let done_at = self.ssds[ssd].enqueue(now, read);
+            if self.tracer.enabled() {
+                // The FIFO server may start the read after `now`; the span
+                // covers the service interval, not the queueing delay.
+                self.tracer.span(
+                    Component::Pipeline,
+                    "ssd_read",
+                    ssd as u32,
+                    done_at.saturating_sub(read),
+                    done_at,
+                );
+            }
             sched.schedule_at(done_at, Ev::SsdDone(id));
         }
     }
@@ -511,6 +600,9 @@ impl PipelineModel {
             FlowSpec::new(route)
         };
         let fid = self.flows.add_flow(now, spec, bytes.max(1.0));
+        if self.tracer.enabled() {
+            self.flow_started.insert(fid, now);
+        }
         self.flow_cont.insert(fid, cont);
         self.bump_flows(sched);
     }
@@ -546,9 +638,13 @@ impl PipelineModel {
         cont: u64,
         sched: &mut Scheduler<Ev>,
     ) {
+        let traced = self.tracer.enabled();
         let eth = self.eth.as_mut().expect("ethernet pool active");
         let route = eth.net.topo.route(from, to);
         let fid = eth.flows.add_flow(now, FlowSpec::new(route), bytes.max(1.0));
+        if traced {
+            eth.started.insert(fid, now);
+        }
         eth.cont.insert(fid, cont);
         self.bump_eth(sched);
     }
@@ -632,6 +728,15 @@ impl PipelineModel {
         let service =
             SimTime::from_secs_f64(self.prep_service.as_secs_f64() / self.faults.prep_speed[dev]);
         let done = self.preps[dev].enqueue(now, service);
+        if self.tracer.enabled() {
+            self.tracer.span(
+                Component::Pipeline,
+                "prep",
+                dev as u32,
+                done.saturating_sub(service),
+                done,
+            );
+        }
         sched.schedule_at(done, Ev::PrepDone(id, attempt));
     }
 
@@ -696,7 +801,17 @@ impl PipelineModel {
             Stage::EthToPool => {
                 self.chunks.get_mut(&id).expect("chunk exists").stage = Stage::PoolPrep;
                 let eth = self.eth.as_mut().expect("ethernet pool active");
-                let done = eth.pool_servers[chunk.pool_dev].enqueue(now, eth.pool_service);
+                let service = eth.pool_service;
+                let done = eth.pool_servers[chunk.pool_dev].enqueue(now, service);
+                if self.tracer.enabled() {
+                    self.tracer.span(
+                        Component::Pipeline,
+                        "pool_prep",
+                        chunk.pool_dev as u32,
+                        done.saturating_sub(service),
+                        done,
+                    );
+                }
                 sched.schedule_at(done, Ev::PoolPrepDone(id));
             }
             Stage::EthFromPool => {
@@ -828,6 +943,15 @@ impl PipelineModel {
             st.buffered -= self.batch;
             st.computing = true;
             sched.schedule_in(now, self.t_comp, Ev::ComputeDone(acc));
+            if self.tracer.enabled() {
+                self.tracer.span(
+                    Component::Pipeline,
+                    "compute",
+                    acc as u32,
+                    now,
+                    now.saturating_add(self.t_comp),
+                );
+            }
             // Consuming a batch frees prefetch credit: start preparing the
             // next batch right away (next-batch prefetching).
             self.refill(now, acc, sched);
@@ -861,12 +985,39 @@ impl PipelineModel {
         if all_arrived {
             self.sync_in_progress = true;
             sched.schedule_in(now, self.t_sync, Ev::SyncDone);
+            if self.tracer.enabled() {
+                self.tracer.span(
+                    Component::Collective,
+                    "allreduce",
+                    0,
+                    now,
+                    now.saturating_add(self.t_sync),
+                );
+                // Per-step spans of the chunked ring over the surviving
+                // devices; boundaries come from the same analytic model that
+                // produced t_sync, so they partition the span exactly.
+                let survivors = self.faults.alive_accels();
+                let mut prev = 0.0;
+                for b in self.ring.allreduce_steps(self.model_bytes, survivors) {
+                    self.tracer.span(
+                        Component::Collective,
+                        "ring_step",
+                        1,
+                        now.saturating_add(SimTime::from_secs_f64(prev)),
+                        now.saturating_add(SimTime::from_secs_f64(b)),
+                    );
+                    prev = b;
+                }
+            }
         }
     }
 
     fn on_sync_done(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
         self.sync_in_progress = false;
         self.sync_gen += 1;
+        if self.tracer.enabled() {
+            self.tracer.instant(Component::Collective, "batch_sync", 0, now);
+        }
         self.batch_done_at.push(now);
         self.batch_samples.push(self.faults.alive_accels() as u64 * self.batch);
         if self.sync_gen >= self.target_batches {
@@ -884,6 +1035,9 @@ impl PipelineModel {
         self.faults.stats.injected += 1;
         let at_secs = now.as_secs_f64();
         let label = kind.label();
+        if self.tracer.enabled() {
+            self.tracer.instant(Component::Fault, label, fault_track(kind), now);
+        }
         // Windowed faults know their downtime up front; permanent losses are
         // recorded as NaN and resolved to time-to-end-of-run afterwards.
         let downtime = |secs: f64, stats: &mut FaultStats| {
@@ -978,6 +1132,9 @@ impl PipelineModel {
     /// End of fault plan entry `i`'s degradation window.
     fn on_fault_recover(&mut self, now: SimTime, i: usize, sched: &mut Scheduler<Ev>) {
         let (_, kind) = self.faults.events[i];
+        if self.tracer.enabled() {
+            self.tracer.instant(Component::Fault, "recover", fault_track(kind), now);
+        }
         match kind {
             FaultKind::PrepSlowdown { dev, .. } => {
                 if self.faults.prep_alive[dev] {
@@ -994,7 +1151,7 @@ impl PipelineModel {
     }
 }
 
-impl Model for PipelineModel {
+impl<T: Tracer> Model for PipelineModel<T> {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, ev: Ev, sched: &mut Scheduler<Ev>) {
@@ -1019,6 +1176,16 @@ impl Model for PipelineModel {
                         .flow_cont
                         .remove(&fid)
                         .expect("every flow has a continuation");
+                    if self.tracer.enabled() {
+                        if let Some(start) = self.flow_started.remove(&fid) {
+                            let (name, track) = self
+                                .chunks
+                                .get(&cont)
+                                .map(|c| (xfer_name(c.stage), c.acc as u32))
+                                .unwrap_or(("xfer", 0));
+                            self.tracer.span(Component::Flow, name, track, start, now);
+                        }
+                    }
                     self.on_flow_done(now, cont, sched);
                     self.bump_flows(sched);
                 }
@@ -1030,6 +1197,17 @@ impl Model for PipelineModel {
                     let at = t.max(eth.flows.now());
                     eth.flows.complete(at, fid);
                     let cont = eth.cont.remove(&fid).expect("eth continuation registered");
+                    let started = eth.started.remove(&fid);
+                    if self.tracer.enabled() {
+                        if let Some(start) = started {
+                            let (name, track) = self
+                                .chunks
+                                .get(&cont)
+                                .map(|c| (xfer_name(c.stage), c.pool_dev as u32))
+                                .unwrap_or(("eth", 0));
+                            self.tracer.span(Component::Flow, name, track, start, now);
+                        }
+                    }
                     self.on_eth_flow_done(now, cont, sched);
                     self.bump_eth(sched);
                 }
@@ -1041,6 +1219,9 @@ impl Model for PipelineModel {
             Ev::Fault(i) => self.on_fault(now, i, sched),
             Ev::FaultRecover(i) => self.on_fault_recover(now, i, sched),
             Ev::PrepRetry(id) => self.on_prep_retry(now, id, sched),
+        }
+        if self.tracer.enabled() {
+            self.drain_flow_trace();
         }
     }
 }
@@ -1088,19 +1269,83 @@ pub fn simulate_with_faults(
     cfg: &SimConfig,
     plan: &FaultPlan,
 ) -> SimResult {
+    match try_simulate_traced(server, workload, cfg, plan, NoopTracer) {
+        Ok((result, _)) => result,
+        Err(e) => panic!(
+            "simulation ended without completing {} batches: {e}",
+            cfg.batches
+        ),
+    }
+}
+
+/// [`try_simulate_traced`] that panics on failure, returning the result and
+/// the tracer. Convenience for the figure binaries' `--trace` path.
+///
+/// # Panics
+///
+/// Under the conditions of [`simulate_with_faults`].
+pub fn simulate_traced<T: Tracer>(
+    server: &Server,
+    workload: &Workload,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    tracer: T,
+) -> (SimResult, T) {
+    match try_simulate_traced(server, workload, cfg, plan, tracer) {
+        Ok(out) => out,
+        Err(e) => panic!(
+            "simulation ended without completing {} batches: {e}",
+            cfg.batches
+        ),
+    }
+}
+
+/// Run the DES with a caller-supplied [`Tracer`] attached and report
+/// failures as typed errors instead of panicking.
+///
+/// The tracer observes the simulation — span events for every pipeline
+/// stage (SSD reads, transfers, preparation, compute), collective
+/// synchronization steps, fault injections, and flow-rate counters — but
+/// never affects it: the traced run produces a [`SimResult`] identical to
+/// the untraced one. With [`NoopTracer`] every hook monomorphizes away.
+///
+/// Returns the result together with the tracer (so a
+/// [`trainbox_sim::RingTracer`]'s records can be exported).
+///
+/// # Errors
+///
+/// [`SimError::Stalled`] if the event queue drains or `cfg.max_events` is
+/// exceeded before the requested batches complete; [`SimError::TimeOverflow`]
+/// if simulated time overflows [`SimTime::MAX`].
+///
+/// # Panics
+///
+/// Panics on invalid input — `cfg.batches <= cfg.warmup_batches` or an
+/// invalid fault plan (see [`FaultPlan::validate`]) — and if every prep
+/// device or accelerator is lost to faults.
+pub fn try_simulate_traced<T: Tracer>(
+    server: &Server,
+    workload: &Workload,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    tracer: T,
+) -> Result<(SimResult, T), SimError> {
     assert!(cfg.batches > cfg.warmup_batches, "need batches after warmup");
-    let model = PipelineModel::new(server, workload, cfg, plan);
+    let model = PipelineModel::new(server, workload, cfg, plan, tracer);
     let mut engine = Engine::new(model);
     engine.schedule_at(SimTime::ZERO, Ev::Start);
-    let hit = engine.run_while(cfg.max_events, |m| m.done);
-    assert!(
-        hit,
-        "simulation ended without completing {} batches (events={}, queued={})",
-        cfg.batches,
-        engine.events_processed(),
-        engine.queued(),
-    );
-    let m = engine.model();
+    let hit = engine.run_while(cfg.max_events, |m| m.done)?;
+    if !hit {
+        return Err(SimError::Stalled {
+            events: engine.events_processed(),
+            queued: engine.queued(),
+        });
+    }
+    let events = engine.events_processed();
+    let mut m = engine.into_model();
+    if m.tracer.enabled() {
+        m.drain_flow_trace();
+    }
     let n0 = m.accels.len() as f64;
     let first = m.batch_done_at[cfg.warmup_batches as usize - 1];
     let last = *m.batch_done_at.last().expect("batches completed");
@@ -1137,15 +1382,16 @@ pub fn simulate_with_faults(
         effective * useful as f64 / (useful + stats.wasted_samples) as f64
     };
 
-    SimResult {
+    let result = SimResult {
         samples_per_sec: effective,
         batch_done_at: m.batch_done_at.clone(),
-        events: engine.events_processed(),
+        events,
         recomputes: m.flows.recomputes() + m.eth.as_ref().map_or(0, |e| e.flows.recomputes()),
         link_bytes: m.link_bytes.clone(),
         rc_bytes,
         faults: stats,
-    }
+    };
+    Ok((result, m.tracer))
 }
 
 #[cfg(test)]
@@ -1300,6 +1546,119 @@ mod tests {
         let a = simulate(&server, &w, &quick_cfg());
         let b = simulate(&server, &w, &quick_cfg());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tracing_observes_without_perturbing() {
+        use trainbox_sim::{Component, RingTracer, TraceRecord};
+        // A traced run must produce the identical SimResult and emit spans
+        // from the pipeline, flow, and collective components.
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .batch_size(512)
+            .build();
+        let plain = simulate(&server, &w, &quick_cfg());
+        let (traced, tracer) = simulate_traced(
+            &server,
+            &w,
+            &quick_cfg(),
+            &FaultPlan::empty(),
+            RingTracer::new(1 << 20),
+        );
+        assert_eq!(plain, traced);
+        let records = tracer.into_records();
+        assert!(!records.is_empty());
+        for component in [Component::Pipeline, Component::Flow, Component::Collective] {
+            assert!(
+                records.iter().any(|r| r.component() == component
+                    && matches!(r, TraceRecord::Span { .. })),
+                "no span from {component:?}"
+            );
+        }
+        assert!(records.iter().any(|r| r.name() == "ssd_read"));
+        assert!(records.iter().any(|r| r.name() == "prep"));
+        assert!(records.iter().any(|r| r.name() == "compute"));
+        assert!(records.iter().any(|r| r.name() == "allreduce"));
+        assert!(records.iter().any(|r| r.name() == "ring_step"));
+        assert!(records.iter().any(|r| r.name() == "pcie_active_flows"));
+    }
+
+    #[test]
+    fn traced_fault_storm_matches_untraced_and_records_injections() {
+        use trainbox_sim::{Component, RingTracer};
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .batch_size(512)
+            .build();
+        let probe = simulate(&server, &w, &quick_cfg());
+        let horizon = probe.batch_done_at.last().unwrap().as_secs_f64();
+        let domain = crate::faults::FaultDomain {
+            n_ssds: 4,
+            n_preps: 4,
+            n_accels: 16,
+            n_links: probe.link_bytes.len(),
+            horizon_secs: horizon,
+        };
+        let plan = FaultPlan::seeded(7, 4.0 / horizon, &domain);
+        let plain = simulate_with_faults(&server, &w, &quick_cfg(), &plan);
+        let (traced, tracer) =
+            simulate_traced(&server, &w, &quick_cfg(), &plan, RingTracer::new(1 << 20));
+        assert_eq!(plain, traced);
+        let injected = tracer
+            .records()
+            .filter(|r| r.component() == Component::Fault && r.name() != "recover")
+            .count() as u64;
+        assert_eq!(injected, traced.faults.injected);
+    }
+
+    #[test]
+    fn exhausted_event_budget_is_a_typed_stall() {
+        use trainbox_sim::{NoopTracer, SimError};
+        let w = Workload::inception_v4();
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .batch_size(512)
+            .build();
+        let cfg = SimConfig { max_events: 50, ..quick_cfg() };
+        let err = try_simulate_traced(&server, &w, &cfg, &FaultPlan::empty(), NoopTracer)
+            .expect_err("50 events cannot complete 8 batches");
+        assert!(matches!(err, SimError::Stalled { events: 50, .. }), "{err:?}");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(10))]
+
+        /// Tracing is purely observational: for ANY seeded fault plan and
+        /// server kind, the traced run produces the identical `SimResult` to
+        /// the untraced one (the `NoopTracer` monomorphization and the
+        /// `RingTracer` one drive the same event sequence).
+        #[test]
+        fn tracing_is_observational_under_random_fault_plans(
+            seed in proptest::prelude::any::<u64>(),
+            faults_per_run in 0u64..10,
+            kind_idx in 0usize..3,
+        ) {
+            use trainbox_sim::RingTracer;
+            let w = Workload::inception_v4();
+            let kind = [ServerKind::Baseline, ServerKind::TrainBoxNoPool, ServerKind::AccFpga]
+                [kind_idx];
+            let server = ServerConfig::new(kind, 8).batch_size(256).build();
+            let cfg = SimConfig { batches: 6, warmup_batches: 2, ..quick_cfg() };
+            let probe = simulate(&server, &w, &cfg);
+            let horizon = probe.batch_done_at.last().unwrap().as_secs_f64();
+            let domain = crate::faults::FaultDomain {
+                n_ssds: server.topology().ssds.len(),
+                n_preps: server.topology().preps.len(),
+                n_accels: server.n_accels(),
+                n_links: probe.link_bytes.len(),
+                horizon_secs: horizon,
+            };
+            let plan = FaultPlan::seeded(seed, faults_per_run as f64 / horizon, &domain);
+            let plain = simulate_with_faults(&server, &w, &cfg, &plan);
+            let (traced, tracer) =
+                simulate_traced(&server, &w, &cfg, &plan, RingTracer::new(1 << 18));
+            proptest::prop_assert_eq!(plain, traced);
+            proptest::prop_assert!(tracer.records().next().is_some());
+        }
     }
 
     #[test]

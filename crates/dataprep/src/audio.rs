@@ -10,6 +10,73 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Invalid input or configuration reaching the audio path's public
+/// constructors and kernels.
+///
+/// These conditions depend on caller-supplied data (sample rates, FFT
+/// lengths, band counts), so they are reported as values instead of
+/// panicking — a malformed clip must not take down a preparation worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AudioError {
+    /// A waveform needs at least one sample.
+    EmptyWaveform,
+    /// Sample rates must be positive.
+    ZeroSampleRate,
+    /// FFT lengths must be powers of two.
+    FftLengthNotPowerOfTwo {
+        /// The rejected length.
+        n: usize,
+    },
+    /// The STFT hop must be positive.
+    ZeroHop,
+    /// A Mel bank needs at least one band.
+    NoMelBands,
+    /// A Mel bank needs strictly more linear bins than Mel bands.
+    TooFewBins {
+        /// Requested Mel bands.
+        n_mels: usize,
+        /// Available linear bins.
+        n_bins: usize,
+    },
+    /// The pre-emphasis coefficient must lie in `[0, 1)`.
+    AlphaOutOfRange {
+        /// The rejected coefficient.
+        alpha: f32,
+    },
+    /// MFCC coefficient counts must be in `1..=n_mels`.
+    BadCoefficientCount {
+        /// Requested coefficients.
+        n_coeffs: usize,
+        /// Available Mel bands.
+        n_mels: usize,
+    },
+}
+
+impl std::fmt::Display for AudioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            AudioError::EmptyWaveform => write!(f, "waveform must not be empty"),
+            AudioError::ZeroSampleRate => write!(f, "sample rate must be positive"),
+            AudioError::FftLengthNotPowerOfTwo { n } => {
+                write!(f, "FFT length must be a power of two, got {n}")
+            }
+            AudioError::ZeroHop => write!(f, "hop must be positive"),
+            AudioError::NoMelBands => write!(f, "need at least one mel band"),
+            AudioError::TooFewBins { n_mels, n_bins } => {
+                write!(f, "need more linear bins than mel bands, got {n_bins} bins for {n_mels} bands")
+            }
+            AudioError::AlphaOutOfRange { alpha } => {
+                write!(f, "alpha must be in [0, 1), got {alpha}")
+            }
+            AudioError::BadCoefficientCount { n_coeffs, n_mels } => {
+                write!(f, "invalid coefficient count: {n_coeffs} not in 1..={n_mels}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AudioError {}
+
 /// A mono PCM waveform.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Waveform {
@@ -20,13 +87,18 @@ pub struct Waveform {
 impl Waveform {
     /// Wrap raw samples at `sample_rate` Hz.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `samples` is empty or `sample_rate` is zero.
-    pub fn new(samples: Vec<f32>, sample_rate: u32) -> Self {
-        assert!(!samples.is_empty(), "waveform must not be empty");
-        assert!(sample_rate > 0, "sample rate must be positive");
-        Waveform { samples, sample_rate }
+    /// [`AudioError::EmptyWaveform`] if `samples` is empty,
+    /// [`AudioError::ZeroSampleRate`] if `sample_rate` is zero.
+    pub fn new(samples: Vec<f32>, sample_rate: u32) -> Result<Self, AudioError> {
+        if samples.is_empty() {
+            return Err(AudioError::EmptyWaveform);
+        }
+        if sample_rate == 0 {
+            return Err(AudioError::ZeroSampleRate);
+        }
+        Ok(Waveform { samples, sample_rate })
     }
 
     /// The PCM samples.
@@ -118,11 +190,13 @@ pub struct FftPlan {
 impl FftPlan {
     /// Build a plan for `n`-point transforms.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n` is not a power of two.
-    pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    /// [`AudioError::FftLengthNotPowerOfTwo`] if `n` is not a power of two.
+    pub fn new(n: usize) -> Result<Self, AudioError> {
+        if !n.is_power_of_two() {
+            return Err(AudioError::FftLengthNotPowerOfTwo { n });
+        }
         let bits = n.trailing_zeros();
         let bitrev = (0..n)
             .map(|i| {
@@ -142,7 +216,7 @@ impl FftPlan {
             fwd.push(Complex::new(c, -s));
             inv.push(Complex::new(c, s));
         }
-        FftPlan { n, bitrev, fwd, inv }
+        Ok(FftPlan { n, bitrev, fwd, inv })
     }
 
     /// Transform size.
@@ -216,7 +290,9 @@ fn plan_cache(n: usize) -> std::sync::Arc<FftPlan> {
     static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
-    map.entry(n).or_insert_with(|| Arc::new(FftPlan::new(n))).clone()
+    map.entry(n)
+        .or_insert_with(|| Arc::new(FftPlan::new(n).unwrap_or_else(|e| panic!("{e}"))))
+        .clone()
 }
 
 /// In-place iterative radix-2 Cooley–Tukey FFT (precomputed-table plan,
@@ -409,12 +485,17 @@ impl Spectrogram {
 
 /// Hann-windowed power STFT: `frames × (n_fft/2 + 1)` power values.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `cfg.n_fft` is not a power of two or `cfg.hop` is zero.
-pub fn stft(wave: &Waveform, cfg: StftConfig) -> Spectrogram {
-    assert!(cfg.n_fft.is_power_of_two(), "n_fft must be a power of two");
-    assert!(cfg.hop > 0, "hop must be positive");
+/// [`AudioError::FftLengthNotPowerOfTwo`] if `cfg.n_fft` is not a power of
+/// two, [`AudioError::ZeroHop`] if `cfg.hop` is zero.
+pub fn stft(wave: &Waveform, cfg: StftConfig) -> Result<Spectrogram, AudioError> {
+    if !cfg.n_fft.is_power_of_two() {
+        return Err(AudioError::FftLengthNotPowerOfTwo { n: cfg.n_fft });
+    }
+    if cfg.hop == 0 {
+        return Err(AudioError::ZeroHop);
+    }
     let n = cfg.n_fft;
     let bins = n / 2 + 1;
     let window: Vec<f32> = (0..n)
@@ -439,7 +520,7 @@ pub fn stft(wave: &Waveform, cfg: StftConfig) -> Spectrogram {
             data.push(b.norm_sq());
         }
     }
-    Spectrogram::new(nframes, bins, data)
+    Ok(Spectrogram::new(nframes, bins, data))
 }
 
 /// Hz → Mel (HTK formula).
@@ -470,12 +551,22 @@ impl MelBank {
     /// Build a bank of `n_mels` triangular filters for spectra of `n_bins`
     /// linear bins covering `[0, sample_rate/2]` Hz.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `n_mels` or `n_bins` is too small to place the triangles.
-    pub fn new(n_mels: usize, n_bins: usize, sample_rate: u32) -> Self {
-        assert!(n_mels > 0, "need at least one mel band");
-        assert!(n_bins > n_mels, "need more linear bins than mel bands");
+    /// [`AudioError::NoMelBands`] if `n_mels` is zero,
+    /// [`AudioError::TooFewBins`] unless `n_bins > n_mels` (each triangle
+    /// needs its own bin band), [`AudioError::ZeroSampleRate`] if
+    /// `sample_rate` is zero.
+    pub fn new(n_mels: usize, n_bins: usize, sample_rate: u32) -> Result<Self, AudioError> {
+        if n_mels == 0 {
+            return Err(AudioError::NoMelBands);
+        }
+        if n_bins <= n_mels {
+            return Err(AudioError::TooFewBins { n_mels, n_bins });
+        }
+        if sample_rate == 0 {
+            return Err(AudioError::ZeroSampleRate);
+        }
         let f_max = sample_rate as f32 / 2.0;
         let m_max = hz_to_mel(f_max);
         // n_mels + 2 edge points, evenly spaced in Mel.
@@ -505,7 +596,7 @@ impl MelBank {
             }
             support.push((first.min(last) as u32, last as u32));
         }
-        MelBank { n_mels, n_bins, weights, support }
+        Ok(MelBank { n_mels, n_bins, weights, support })
     }
 
     /// Number of Mel bands.
@@ -541,9 +632,17 @@ impl MelBank {
 }
 
 /// Full audio formatting path: waveform → power STFT → log-Mel spectrogram.
-pub fn mel_spectrogram(wave: &Waveform, cfg: StftConfig, n_mels: usize) -> Spectrogram {
-    let spec = stft(wave, cfg);
-    MelBank::new(n_mels, spec.bins(), wave.sample_rate()).apply(&spec)
+///
+/// # Errors
+///
+/// Any error of [`stft`] or [`MelBank::new`] for the given configuration.
+pub fn mel_spectrogram(
+    wave: &Waveform,
+    cfg: StftConfig,
+    n_mels: usize,
+) -> Result<Spectrogram, AudioError> {
+    let spec = stft(wave, cfg)?;
+    Ok(MelBank::new(n_mels, spec.bins(), wave.sample_rate())?.apply(&spec))
 }
 
 
@@ -551,11 +650,13 @@ pub fn mel_spectrogram(wave: &Waveform, cfg: StftConfig, n_mels: usize) -> Spect
 /// front-end high-pass (part of "emerging complex data preparation
 /// algorithms", §III-C).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `alpha` is not in `[0, 1)`.
-pub fn pre_emphasis(wave: &Waveform, alpha: f32) -> Waveform {
-    assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+/// [`AudioError::AlphaOutOfRange`] if `alpha` is not in `[0, 1)`.
+pub fn pre_emphasis(wave: &Waveform, alpha: f32) -> Result<Waveform, AudioError> {
+    if !(0.0..1.0).contains(&alpha) {
+        return Err(AudioError::AlphaOutOfRange { alpha });
+    }
     let s = wave.samples();
     let mut out = Vec::with_capacity(s.len());
     out.push(s[0]);
@@ -568,12 +669,15 @@ pub fn pre_emphasis(wave: &Waveform, alpha: f32) -> Waveform {
 /// Type-II DCT over the Mel axis of a log-Mel spectrogram — MFCC features,
 /// keeping the first `n_coeffs` coefficients per frame.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n_coeffs` is zero or exceeds the Mel band count.
-pub fn mfcc(log_mel: &Spectrogram, n_coeffs: usize) -> Spectrogram {
+/// [`AudioError::BadCoefficientCount`] if `n_coeffs` is zero or exceeds the
+/// Mel band count.
+pub fn mfcc(log_mel: &Spectrogram, n_coeffs: usize) -> Result<Spectrogram, AudioError> {
     let m = log_mel.bins();
-    assert!(n_coeffs >= 1 && n_coeffs <= m, "invalid coefficient count");
+    if n_coeffs < 1 || n_coeffs > m {
+        return Err(AudioError::BadCoefficientCount { n_coeffs, n_mels: m });
+    }
     // Orthonormal DCT-II basis.
     let mut basis = vec![0.0f32; n_coeffs * m];
     for k in 0..n_coeffs {
@@ -597,7 +701,7 @@ pub fn mfcc(log_mel: &Spectrogram, n_coeffs: usize) -> Spectrogram {
             data.push(acc);
         }
     }
-    Spectrogram::new(log_mel.frames(), n_coeffs, data)
+    Ok(Spectrogram::new(log_mel.frames(), n_coeffs, data))
 }
 
 #[cfg(test)]
@@ -615,6 +719,7 @@ mod tests {
                 .collect(),
             rate,
         )
+        .unwrap()
     }
 
     #[test]
@@ -689,7 +794,7 @@ mod tests {
 
     #[test]
     fn plan_reuse_is_consistent_with_free_function() {
-        let plan = FftPlan::new(256);
+        let plan = FftPlan::new(256).unwrap();
         assert_eq!(plan.len(), 256);
         assert!(!plan.is_empty());
         let mut rng = StdRng::seed_from_u64(4);
@@ -712,7 +817,7 @@ mod tests {
     fn stft_shape_matches_config() {
         let w = tone(440.0, 1.0, 16_000);
         let cfg = StftConfig::speech_default();
-        let s = stft(&w, cfg);
+        let s = stft(&w, cfg).unwrap();
         assert_eq!(s.bins(), 257);
         assert_eq!(s.frames(), cfg.frames(16_000));
         assert_eq!(s.frames(), (16_000 - 512) / 160 + 1);
@@ -723,7 +828,7 @@ mod tests {
         let rate = 16_000;
         let w = tone(1000.0, 0.5, rate);
         let cfg = StftConfig::speech_default();
-        let s = stft(&w, cfg);
+        let s = stft(&w, cfg).unwrap();
         // Expected bin: 1000 Hz / (16000/512) = 32.
         let mid = s.frames() / 2;
         let peak = (0..s.bins()).max_by(|&a, &b| s.at(mid, a).partial_cmp(&s.at(mid, b)).unwrap()).unwrap();
@@ -740,7 +845,7 @@ mod tests {
 
     #[test]
     fn mel_bank_rows_cover_spectrum() {
-        let bank = MelBank::new(40, 257, 16_000);
+        let bank = MelBank::new(40, 257, 16_000).unwrap();
         assert_eq!(bank.n_mels(), 40);
         // Every filter has some mass; interior bins are covered by >= 1 filter.
         for m in 0..40 {
@@ -753,7 +858,7 @@ mod tests {
     fn mel_spectrogram_shape_for_librispeech_clip() {
         let w = crate::synth::librispeech_like_clip(1);
         let cfg = StftConfig::speech_default();
-        let mel = mel_spectrogram(&w, cfg, 80);
+        let mel = mel_spectrogram(&w, cfg, 80).unwrap();
         assert_eq!(mel.bins(), 80);
         assert!(mel.frames() > 400, "frames={}", mel.frames());
         // ~100 frames/s at 10ms hop.
@@ -783,7 +888,7 @@ mod tests {
     #[test]
     fn normalization_centers_bins() {
         let w = crate::synth::speech_like_waveform(1.0, 16_000, 6);
-        let mel = mel_spectrogram(&w, StftConfig::speech_default(), 40).normalized();
+        let mel = mel_spectrogram(&w, StftConfig::speech_default(), 40).unwrap().normalized();
         for b in 0..mel.bins() {
             let mean: f64 = (0..mel.frames()).map(|t| mel.at(t, b) as f64).sum::<f64>()
                 / mel.frames() as f64;
@@ -805,12 +910,12 @@ mod tests {
     #[test]
     fn pre_emphasis_flattens_dc_keeps_highs() {
         // DC input is almost eliminated; an alternating signal is boosted.
-        let dc = Waveform::new(vec![1.0; 256], 8000);
-        let hp = pre_emphasis(&dc, 0.97);
+        let dc = Waveform::new(vec![1.0; 256], 8000).unwrap();
+        let hp = pre_emphasis(&dc, 0.97).unwrap();
         let tail_energy: f32 = hp.samples()[1..].iter().map(|v| v * v).sum();
         assert!(tail_energy < 0.5, "dc should vanish: {tail_energy}");
-        let alt = Waveform::new((0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(), 8000);
-        let hp = pre_emphasis(&alt, 0.97);
+        let alt = Waveform::new((0..256).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect(), 8000).unwrap();
+        let hp = pre_emphasis(&alt, 0.97).unwrap();
         let energy: f32 = hp.samples()[1..].iter().map(|v| v * v).sum();
         let orig: f32 = alt.samples()[1..].iter().map(|v| v * v).sum();
         assert!(energy > orig, "highs should be boosted");
@@ -819,8 +924,8 @@ mod tests {
     #[test]
     fn mfcc_shape_and_dc_coefficient() {
         let w = crate::synth::speech_like_waveform(0.5, 16_000, 3);
-        let mel = mel_spectrogram(&w, StftConfig::speech_default(), 40);
-        let coeffs = mfcc(&mel, 13);
+        let mel = mel_spectrogram(&w, StftConfig::speech_default(), 40).unwrap();
+        let coeffs = mfcc(&mel, 13).unwrap();
         assert_eq!(coeffs.bins(), 13);
         assert_eq!(coeffs.frames(), mel.frames());
         // Coefficient 0 is the (scaled) frame mean of the log-Mel energies.
@@ -834,7 +939,7 @@ mod tests {
     fn mfcc_dct_is_orthonormal() {
         // Full-size DCT preserves per-frame energy (Parseval).
         let mel = Spectrogram::new(3, 16, (0..48).map(|i| ((i * 13) % 7) as f32 - 3.0).collect());
-        let c = mfcc(&mel, 16);
+        let c = mfcc(&mel, 16).unwrap();
         for t in 0..3 {
             let e_in: f32 = (0..16).map(|j| mel.at(t, j).powi(2)).sum();
             let e_out: f32 = (0..16).map(|k| c.at(t, k).powi(2)).sum();
@@ -843,10 +948,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "invalid coefficient count")]
     fn mfcc_rejects_too_many_coeffs() {
         let mel = Spectrogram::new(1, 8, vec![0.0; 8]);
-        mfcc(&mel, 9);
+        assert_eq!(
+            mfcc(&mel, 9),
+            Err(AudioError::BadCoefficientCount { n_coeffs: 9, n_mels: 8 })
+        );
+        assert_eq!(
+            mfcc(&mel, 0),
+            Err(AudioError::BadCoefficientCount { n_coeffs: 0, n_mels: 8 })
+        );
+    }
+
+    #[test]
+    fn constructors_reject_bad_inputs_as_values() {
+        assert_eq!(Waveform::new(vec![], 8000), Err(AudioError::EmptyWaveform));
+        assert_eq!(Waveform::new(vec![0.0], 0), Err(AudioError::ZeroSampleRate));
+        assert!(matches!(
+            FftPlan::new(12),
+            Err(AudioError::FftLengthNotPowerOfTwo { n: 12 })
+        ));
+        let w = tone(440.0, 0.1, 8000);
+        assert_eq!(
+            stft(&w, StftConfig { n_fft: 100, hop: 10 }),
+            Err(AudioError::FftLengthNotPowerOfTwo { n: 100 })
+        );
+        assert_eq!(
+            stft(&w, StftConfig { n_fft: 128, hop: 0 }),
+            Err(AudioError::ZeroHop)
+        );
+        assert_eq!(MelBank::new(0, 257, 16_000), Err(AudioError::NoMelBands));
+        assert_eq!(
+            MelBank::new(40, 40, 16_000),
+            Err(AudioError::TooFewBins { n_mels: 40, n_bins: 40 })
+        );
+        assert_eq!(MelBank::new(4, 9, 0), Err(AudioError::ZeroSampleRate));
+        assert_eq!(
+            pre_emphasis(&w, 1.0),
+            Err(AudioError::AlphaOutOfRange { alpha: 1.0 })
+        );
+        assert!(pre_emphasis(&w, f32::NAN).is_err());
+        // Errors render the same diagnostics the old asserts carried.
+        let msg = AudioError::FftLengthNotPowerOfTwo { n: 12 }.to_string();
+        assert!(msg.contains("power of two"), "{msg}");
     }
 
     proptest! {
@@ -867,6 +1011,32 @@ mod tests {
             for (a, b) in iterative.iter().zip(&recursive) {
                 prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
                 prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+
+        /// Satellite property: adversarial configurations reaching the audio
+        /// path's public constructors and kernels are rejected as
+        /// [`AudioError`] values — never as panics.
+        #[test]
+        fn adversarial_audio_configs_never_panic(
+            n_samples in 0usize..400,
+            rate in 0u32..50_000,
+            n_fft in 0usize..700,
+            hop in 0usize..80,
+            n_mels in 0usize..80,
+            alpha in -2.0f32..2.0,
+            n_coeffs in 0usize..90,
+        ) {
+            let _ = FftPlan::new(n_fft);
+            let _ = MelBank::new(n_mels, n_fft, rate);
+            if let Ok(w) = Waveform::new(vec![0.25; n_samples], rate) {
+                let cfg = StftConfig { n_fft, hop };
+                let _ = stft(&w, cfg);
+                let _ = mel_spectrogram(&w, cfg, n_mels);
+                let _ = pre_emphasis(&w, alpha);
+                if let Ok(mel) = mel_spectrogram(&w, StftConfig::speech_default(), 8) {
+                    let _ = mfcc(&mel, n_coeffs);
+                }
             }
         }
 

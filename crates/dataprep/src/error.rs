@@ -73,6 +73,15 @@ impl From<DecodeError> for PrepError {
     }
 }
 
+impl From<crate::audio::AudioError> for PrepError {
+    fn from(e: crate::audio::AudioError) -> Self {
+        // Audio constructor rejections are configuration/parameter problems
+        // from the pipeline's point of view; carry the rendered message so
+        // `PrepError` keeps its `Eq` derive (AudioError holds an `f32`).
+        PrepError::InvalidParam(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -245,7 +245,7 @@ impl PrepStage for SpectrogramStage {
     }
     fn apply(&self, item: DataItem, _rng: &mut dyn RngCore) -> Result<DataItem, PrepError> {
         match item {
-            DataItem::Waveform(w) => Ok(DataItem::Spectrogram(stft(&w, self.cfg))),
+            DataItem::Waveform(w) => Ok(DataItem::Spectrogram(stft(&w, self.cfg)?)),
             other => Err(mismatch(self, "waveform", &other)),
         }
     }
@@ -288,11 +288,18 @@ impl PrepStage for MelStage {
     fn apply(&self, item: DataItem, _rng: &mut dyn RngCore) -> Result<DataItem, PrepError> {
         match item {
             DataItem::Spectrogram(s) => {
-                let bank = self.bank.get_or_init(|| MelBank::new(self.n_mels, s.bins(), self.sample_rate));
+                if self.bank.get().is_none() {
+                    // Fallible first-time init: a bad (n_mels, bins, rate)
+                    // combination is the item's problem, not the worker's.
+                    let fresh = MelBank::new(self.n_mels, s.bins(), self.sample_rate)?;
+                    let _ = self.bank.set(fresh);
+                }
+                // invariant: set above (or by a racing worker) before get.
+                let bank = self.bank.get().expect("mel bank initialized above");
                 if bank.n_bins() != s.bins() {
                     // Bin count changed between items; rebuild rather than
                     // feed the cached bank a mismatched spectrogram.
-                    let fresh = MelBank::new(self.n_mels, s.bins(), self.sample_rate);
+                    let fresh = MelBank::new(self.n_mels, s.bins(), self.sample_rate)?;
                     return Ok(DataItem::Spectrogram(fresh.apply(&s)));
                 }
                 Ok(DataItem::Spectrogram(bank.apply(&s)))

@@ -127,7 +127,9 @@ pub fn speech_like_waveform(duration_secs: f64, sample_rate: u32, seed: u64) -> 
             *s *= g;
         }
     }
-    Waveform::new(samples, sample_rate)
+    // invariant: the duration/rate asserts above guarantee n >= 1 samples at
+    // a positive rate, so construction cannot fail.
+    Waveform::new(samples, sample_rate).expect("synthesized clip is non-empty at a positive rate")
 }
 
 /// A LibriSpeech-like clip: `~6.96 s` at 16 kHz with ±20% length jitter —

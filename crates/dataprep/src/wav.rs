@@ -109,7 +109,9 @@ pub fn decode(data: &[u8]) -> Result<Waveform, DecodeError> {
         }
         samples.push(acc / channels as f32);
     }
-    Ok(Waveform::new(samples, rate))
+    // invariant: nframes > 0 and rate != 0 were both checked above, so the
+    // constructor cannot reject this input.
+    Waveform::new(samples, rate).map_err(|e| DecodeError::Malformed(e.to_string()))
 }
 
 #[cfg(test)]

@@ -474,6 +474,27 @@ pub struct FlowSim {
     now: SimTime,
     next_id: u64,
     utilization: Vec<TimeWeighted>,
+    /// When enabled, every allocator recomputation appends one
+    /// [`FlowTraceEvent`] here; the trace layer drains it with
+    /// [`FlowSim::take_trace`]. Off by default — recording only observes the
+    /// rates already computed, never affects them.
+    trace: bool,
+    trace_log: Vec<FlowTraceEvent>,
+}
+
+/// One allocator recomputation observed by [`FlowSim`] rate tracing
+/// ([`FlowSim::set_trace`]): the instant, the population, and the spread of
+/// the max-min allocation that resulted.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowTraceEvent {
+    /// Simulated time of the recomputation.
+    pub at: SimTime,
+    /// Active flows after the triggering change.
+    pub active: usize,
+    /// Smallest allocated rate, bytes/s (0 when no flows are active).
+    pub min_rate: f64,
+    /// Largest allocated rate, bytes/s (0 when no flows are active).
+    pub max_rate: f64,
 }
 
 impl FlowSim {
@@ -497,6 +518,8 @@ impl FlowSim {
             now: SimTime::ZERO,
             next_id: 0,
             utilization,
+            trace: false,
+            trace_log: Vec::new(),
         }
     }
 
@@ -542,6 +565,23 @@ impl FlowSim {
         } else if !on {
             self.utilization = Vec::new();
         }
+    }
+
+    /// Enable (or disable) rate-change tracing: each allocator recomputation
+    /// appends one [`FlowTraceEvent`] to an internal log. Purely
+    /// observational — the rates themselves are identical with tracing on or
+    /// off. Disabling clears the log.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = on;
+        if !on {
+            self.trace_log = Vec::new();
+        }
+    }
+
+    /// Drain the rate-change trace log accumulated since the last call
+    /// (empty unless [`FlowSim::set_trace`] enabled tracing).
+    pub fn take_trace(&mut self) -> Vec<FlowTraceEvent> {
+        std::mem::take(&mut self.trace_log)
     }
 
     /// Find or create the class for `spec`, consuming its route.
@@ -599,14 +639,36 @@ impl FlowSim {
                 .collect();
             let rates = self.net.max_min_rates_ref(&specs);
             for (id, r) in self.order.iter().zip(&rates) {
+                // invariant: `order` and `flows` are mutated together
+                // (add_flow pushes both, complete removes both), so every
+                // ordered id is present in the map.
                 self.flows.get_mut(id).expect("ordered flow is active").rate = *r;
             }
         } else {
             solve_classes(&self.net.capacity, &self.classes, &mut self.scratch);
             for id in &self.order {
+                // invariant: see above — `order` and `flows` stay in sync.
                 let f = self.flows.get_mut(id).expect("ordered flow is active");
                 f.rate = self.scratch.rate[f.class];
             }
+        }
+        if self.trace {
+            let mut min_rate = f64::INFINITY;
+            let mut max_rate = 0.0f64;
+            for id in &self.order {
+                let r = self.flows[id].rate;
+                min_rate = min_rate.min(r);
+                max_rate = max_rate.max(r);
+            }
+            if self.order.is_empty() {
+                min_rate = 0.0;
+            }
+            self.trace_log.push(FlowTraceEvent {
+                at: self.now,
+                active: self.order.len(),
+                min_rate,
+                max_rate,
+            });
         }
         if self.utilization.is_empty() {
             return;
@@ -948,6 +1010,36 @@ mod tests {
         sim.advance(SimTime::from_secs(1));
         assert!((sim.mean_utilization(link(0)) - 0.5).abs() < 1e-6);
         assert_eq!(sim.peak_utilization(link(0)), 0.5);
+    }
+
+    #[test]
+    fn rate_trace_records_recomputes_without_affecting_rates() {
+        let net = FlowNet::from_capacities(vec![1e9]);
+        let mut traced = FlowSim::new(net.clone());
+        traced.set_trace(true);
+        let mut plain = FlowSim::new(net);
+
+        for sim in [&mut traced, &mut plain] {
+            let a = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 1e6);
+            let _b = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 2e6);
+            let (t, id) = sim.next_completion().unwrap();
+            assert_eq!(id, a);
+            sim.complete(t, id);
+        }
+        // Identical completions either way.
+        assert_eq!(traced.next_completion(), plain.next_completion());
+
+        let log = traced.take_trace();
+        assert_eq!(log.len(), 3, "add, add, complete each recompute");
+        // Two flows sharing 1 GB/s: min == max == 0.5 GB/s.
+        assert_eq!(log[1].active, 2);
+        assert!((log[1].min_rate - 0.5e9).abs() < 1.0);
+        assert!((log[1].max_rate - 0.5e9).abs() < 1.0);
+        // Survivor gets the full link.
+        assert_eq!(log[2].active, 1);
+        assert!((log[2].max_rate - 1e9).abs() < 1.0);
+        assert!(traced.take_trace().is_empty(), "drained");
+        assert!(plain.take_trace().is_empty(), "off by default");
     }
 
     #[test]

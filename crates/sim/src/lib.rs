@@ -39,23 +39,74 @@
 //!
 //! let mut engine = Engine::new(Counter { fired: 0 });
 //! engine.schedule_at(SimTime::ZERO, "tick");
-//! engine.run();
+//! engine.run().expect("no overflow");
 //! assert_eq!(engine.model().fired, 3);
 //! assert_eq!(engine.now(), SimTime::from_nanos(10));
 //! ```
+//!
+//! # Errors
+//!
+//! Relative scheduling (`schedule_in`/`schedule_keyed_in`) can push past
+//! [`SimTime::MAX`]; instead of panicking mid-run, the engine latches an
+//! overflow flag and the run methods return [`SimError::TimeOverflow`].
+//! Scheduling an event in the *past* remains a panic — that is a model bug,
+//! not an input condition.
 
 pub mod hash;
+pub mod json;
 pub mod queue;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use hash::{FxHashMap, FxHashSet};
 pub use queue::FifoServer;
-pub use stats::{Counter, Histogram, TimeWeighted};
+pub use stats::{Counter, Gauge, Histogram, TimeWeighted};
 pub use time::SimTime;
+pub use trace::{chrome_trace_json, Component, NoopTracer, RingTracer, TraceRecord, TraceSummary, Tracer};
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Why a simulation run could not complete normally.
+///
+/// Returned by [`Engine::run`] / [`Engine::run_until`] / [`Engine::run_while`]
+/// so that adversarial configurations (fault storms, enormous service times)
+/// surface as typed errors rather than aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A relative schedule pushed past [`SimTime::MAX`]. `at` is the clock
+    /// value when the overflow was detected.
+    TimeOverflow {
+        /// Simulated time at which the overflowing schedule was attempted.
+        at: SimTime,
+    },
+    /// The model stopped making progress: an event budget was exhausted
+    /// before the model reached its termination condition.
+    Stalled {
+        /// Events processed before the budget ran out.
+        events: u64,
+        /// Live events still queued when the run gave up.
+        queued: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::TimeOverflow { at } => {
+                write!(f, "simulated time overflowed SimTime::MAX at t={at}")
+            }
+            SimError::Stalled { events, queued } => write!(
+                f,
+                "simulation stalled: event budget exhausted after {events} events \
+                 with {queued} still queued"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Generation-stamped handle to a cancellable scheduled event.
 ///
@@ -101,6 +152,10 @@ pub struct Scheduler<E> {
     /// Next key generation; seeded from the engine so keys allocated here are
     /// globally unique, and adopted back by the engine after the handler.
     next_key: u64,
+    /// Set when a relative schedule overflowed `SimTime::MAX`; adopted by the
+    /// engine after the handler, which then fails the run with
+    /// [`SimError::TimeOverflow`].
+    overflowed: bool,
 }
 
 impl<E> std::fmt::Debug for Scheduler<E> {
@@ -123,8 +178,14 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedule `event` to fire `delay` after `now`.
+    ///
+    /// If `now + delay` overflows [`SimTime::MAX`] the event is dropped and
+    /// the engine's next run call returns [`SimError::TimeOverflow`].
     pub fn schedule_in(&mut self, now: SimTime, delay: SimTime, event: E) {
-        self.schedule_at(now + delay, event);
+        match now.checked_add(delay) {
+            Some(at) => self.schedule_at(at, event),
+            None => self.overflowed = true,
+        }
     }
 
     /// Schedule a cancellable `event` at absolute time `at`; see
@@ -137,8 +198,20 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedule a cancellable `event` to fire `delay` after `now`.
+    ///
+    /// On overflow of `now + delay` the event is dropped (the run will fail
+    /// with [`SimError::TimeOverflow`]); the returned key is valid but inert —
+    /// cancelling it is a harmless no-op.
     pub fn schedule_keyed_in(&mut self, now: SimTime, delay: SimTime, event: E) -> EventKey {
-        self.schedule_keyed_at(now + delay, event)
+        match now.checked_add(delay) {
+            Some(at) => self.schedule_keyed_at(at, event),
+            None => {
+                self.overflowed = true;
+                let key = EventKey(self.next_key);
+                self.next_key += 1;
+                key
+            }
+        }
     }
 
     /// Lazily cancel a keyed event; see [`Engine::cancel`]. The cancellation
@@ -149,25 +222,21 @@ impl<E> Scheduler<E> {
     }
 }
 
-/// Bounded ring buffer of recent event descriptions for debugging. The
-/// formatter is captured when tracing is enabled, which is where the
-/// `Debug` requirement on the event type lives.
-struct Trace<E> {
-    capacity: usize,
-    entries: std::collections::VecDeque<(SimTime, String)>,
+/// Bounded ring buffer of recent event descriptions for debugging, built on
+/// the shared [`trace::Ring`]. The formatter is captured when tracing is
+/// enabled, which is where the `Debug` requirement on the event type lives.
+struct DebugTrace<E> {
+    ring: trace::Ring<(SimTime, String)>,
     formatter: fn(&E) -> String,
 }
 
-impl<E> Trace<E> {
+impl<E> DebugTrace<E> {
     fn record(&mut self, at: SimTime, event: &E) {
-        if self.entries.len() == self.capacity {
-            self.entries.pop_front();
-        }
-        self.entries.push_back((at, (self.formatter)(event)));
+        self.ring.push((at, (self.formatter)(event)));
     }
 
     fn entries(&self) -> Vec<(SimTime, String)> {
-        self.entries.iter().cloned().collect()
+        self.ring.iter().cloned().collect()
     }
 }
 
@@ -206,7 +275,10 @@ pub struct Engine<M: Model> {
     seq: u64,
     events_processed: u64,
     queue: BinaryHeap<Reverse<QueueEntry<M::Event>>>,
-    trace: Option<Trace<M::Event>>,
+    trace: Option<DebugTrace<M::Event>>,
+    /// Latched when any relative schedule overflowed `SimTime::MAX`; run
+    /// methods report it as [`SimError::TimeOverflow`].
+    overflowed: bool,
     /// Keys of keyed events that have been scheduled but neither fired nor
     /// cancelled. A keyed queue entry whose key is absent here is stale.
     live: FxHashSet<EventKey>,
@@ -243,6 +315,7 @@ impl<M: Model> Engine<M> {
             events_processed: 0,
             queue: BinaryHeap::new(),
             trace: None,
+            overflowed: false,
             live: FxHashSet::default(),
             next_key: 0,
             stale_in_queue: 0,
@@ -258,16 +331,15 @@ impl<M: Model> Engine<M> {
     where
         M::Event: std::fmt::Debug,
     {
-        self.trace = Some(Trace {
-            capacity: capacity.max(1),
-            entries: std::collections::VecDeque::new(),
+        self.trace = Some(DebugTrace {
+            ring: trace::Ring::new(capacity),
             formatter: |e| format!("{e:?}"),
         });
     }
 
     /// The trace buffer contents, oldest first (empty when tracing is off).
     pub fn trace(&self) -> Vec<(SimTime, String)> {
-        self.trace.as_ref().map(Trace::entries).unwrap_or_default()
+        self.trace.as_ref().map(DebugTrace::entries).unwrap_or_default()
     }
 
     /// Current simulated time.
@@ -326,8 +398,14 @@ impl<M: Model> Engine<M> {
     }
 
     /// Schedule an event `delay` after the current time.
+    ///
+    /// If `now + delay` overflows [`SimTime::MAX`] the event is dropped and
+    /// the next run call returns [`SimError::TimeOverflow`].
     pub fn schedule_in(&mut self, delay: SimTime, event: M::Event) {
-        self.schedule_at(self.now + delay, event);
+        match self.now.checked_add(delay) {
+            Some(at) => self.schedule_at(at, event),
+            None => self.overflowed = true,
+        }
     }
 
     /// Schedule a cancellable event at absolute time `at`, returning a handle
@@ -344,8 +422,34 @@ impl<M: Model> Engine<M> {
     }
 
     /// Schedule a cancellable event `delay` after the current time.
+    ///
+    /// On overflow of `now + delay` the event is dropped (the run will fail
+    /// with [`SimError::TimeOverflow`]); the returned key is valid but inert —
+    /// cancelling it is a harmless no-op.
     pub fn schedule_keyed_in(&mut self, delay: SimTime, event: M::Event) -> EventKey {
-        self.schedule_keyed_at(self.now + delay, event)
+        match self.now.checked_add(delay) {
+            Some(at) => self.schedule_keyed_at(at, event),
+            None => {
+                self.overflowed = true;
+                let key = EventKey(self.next_key);
+                self.next_key += 1;
+                key
+            }
+        }
+    }
+
+    /// Whether a relative schedule has overflowed [`SimTime::MAX`]. Latched;
+    /// the run methods surface it as [`SimError::TimeOverflow`].
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    fn check_overflow(&self) -> Result<(), SimError> {
+        if self.overflowed {
+            Err(SimError::TimeOverflow { at: self.now })
+        } else {
+            Ok(())
+        }
     }
 
     /// Lazily cancel a keyed event. Returns `true` if the event was still
@@ -406,9 +510,11 @@ impl<M: Model> Engine<M> {
         let mut sched = Scheduler {
             ops: std::mem::take(&mut self.ops_scratch),
             next_key: self.next_key,
+            overflowed: false,
         };
         self.model.handle(self.now, entry.event, &mut sched);
         self.next_key = sched.next_key;
+        self.overflowed |= sched.overflowed;
         let mut ops = sched.ops;
         for op in ops.drain(..) {
             match op {
@@ -428,8 +534,22 @@ impl<M: Model> Engine<M> {
     }
 
     /// Run until the queue is empty.
-    pub fn run(&mut self) {
-        while self.step() {}
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TimeOverflow`] if any relative schedule pushed
+    /// past [`SimTime::MAX`]; events already queued before the overflow keep
+    /// their effects on the model (the run stops at the first check after
+    /// the overflowing handler).
+    pub fn run(&mut self) -> Result<(), SimError> {
+        loop {
+            self.check_overflow()?;
+            if !self.step() {
+                break;
+            }
+        }
+        self.check_overflow()?;
+        Ok(())
     }
 
     /// Run until the queue is empty or the clock passes `deadline`.
@@ -437,9 +557,15 @@ impl<M: Model> Engine<M> {
     /// Events at exactly `deadline` are processed; the first event strictly
     /// after `deadline` is left queued and the clock is advanced to
     /// `deadline`. Returns the number of events processed by this call.
-    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TimeOverflow`] on scheduling overflow; see
+    /// [`Engine::run`].
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<u64, SimError> {
         let start = self.events_processed;
         loop {
+            self.check_overflow()?;
             self.purge_stale_front();
             match self.queue.peek() {
                 None => break,
@@ -455,22 +581,33 @@ impl<M: Model> Engine<M> {
         if self.queue.is_empty() && self.now < deadline {
             self.now = deadline;
         }
-        self.events_processed - start
+        Ok(self.events_processed - start)
     }
 
     /// Run until `predicate(model)` becomes true after handling some event, the
     /// queue empties, or `max_events` are processed. Returns `true` if the
     /// predicate fired.
-    pub fn run_while(&mut self, max_events: u64, mut predicate: impl FnMut(&M) -> bool) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TimeOverflow`] on scheduling overflow; see
+    /// [`Engine::run`].
+    pub fn run_while(
+        &mut self,
+        max_events: u64,
+        mut predicate: impl FnMut(&M) -> bool,
+    ) -> Result<bool, SimError> {
         for _ in 0..max_events {
-            if !self.step() {
-                return false;
+            let stepped = self.step();
+            self.check_overflow()?;
+            if !stepped {
+                return Ok(false);
             }
             if predicate(&self.model) {
-                return true;
+                return Ok(true);
             }
         }
-        false
+        Ok(false)
     }
 }
 
@@ -505,7 +642,7 @@ mod tests {
         e.schedule_at(SimTime::from_nanos(30), 3);
         e.schedule_at(SimTime::from_nanos(10), 1);
         e.schedule_at(SimTime::from_nanos(20), 2);
-        e.run();
+        e.run().unwrap();
         assert_eq!(
             e.model().log,
             vec![
@@ -522,7 +659,7 @@ mod tests {
         for i in 0..100 {
             e.schedule_at(SimTime::from_nanos(5), i);
         }
-        e.run();
+        e.run().unwrap();
         let order: Vec<u32> = e.model().log.iter().map(|&(_, ev)| ev).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
@@ -531,7 +668,7 @@ mod tests {
     fn follow_up_events_fire() {
         let mut e = engine();
         e.schedule_at(SimTime::from_nanos(10), 100);
-        e.run();
+        e.run().unwrap();
         assert_eq!(e.model().log.len(), 3);
         assert_eq!(e.model().log[1], (SimTime::from_nanos(11), 101));
         assert_eq!(e.model().log[2], (SimTime::from_nanos(11), 102));
@@ -543,7 +680,7 @@ mod tests {
     fn scheduling_in_the_past_panics() {
         let mut e = engine();
         e.schedule_at(SimTime::from_nanos(10), 0);
-        e.run();
+        e.run().unwrap();
         e.schedule_at(SimTime::from_nanos(5), 1);
     }
 
@@ -553,18 +690,18 @@ mod tests {
         for i in 0..10 {
             e.schedule_at(SimTime::from_nanos(i * 10), i as u32);
         }
-        let n = e.run_until(SimTime::from_nanos(45));
+        let n = e.run_until(SimTime::from_nanos(45)).unwrap();
         assert_eq!(n, 5); // events at 0,10,20,30,40
         assert_eq!(e.now(), SimTime::from_nanos(45));
         assert_eq!(e.queued(), 5);
-        e.run();
+        e.run().unwrap();
         assert_eq!(e.model().log.len(), 10);
     }
 
     #[test]
     fn run_until_advances_clock_when_queue_empty() {
         let mut e = engine();
-        e.run_until(SimTime::from_micros(7));
+        e.run_until(SimTime::from_micros(7)).unwrap();
         assert_eq!(e.now(), SimTime::from_micros(7));
     }
 
@@ -574,10 +711,10 @@ mod tests {
         for i in 0..10 {
             e.schedule_at(SimTime::from_nanos(i), i as u32);
         }
-        let hit = e.run_while(u64::MAX, |m| m.log.len() == 4);
+        let hit = e.run_while(u64::MAX, |m| m.log.len() == 4).unwrap();
         assert!(hit);
         assert_eq!(e.model().log.len(), 4);
-        let hit = e.run_while(2, |m| m.log.len() == 100);
+        let hit = e.run_while(2, |m| m.log.len() == 100).unwrap();
         assert!(!hit);
         assert_eq!(e.model().log.len(), 6);
     }
@@ -589,7 +726,7 @@ mod tests {
         for i in 0..6 {
             e.schedule_at(SimTime::from_nanos(i), i as u32);
         }
-        e.run();
+        e.run().unwrap();
         let trace = e.trace();
         assert_eq!(trace.len(), 3, "ring buffer keeps the most recent");
         assert_eq!(trace[0].1, "3");
@@ -603,7 +740,7 @@ mod tests {
     #[test]
     fn empty_engine_runs_to_completion() {
         let mut e = engine();
-        e.run();
+        e.run().unwrap();
         assert_eq!(e.now(), SimTime::ZERO);
         assert_eq!(e.events_processed(), 0);
         assert!(!e.step());
@@ -620,7 +757,7 @@ mod tests {
         assert_eq!(e.queued(), 1, "live count excludes the stale entry");
         assert_eq!(e.queue_len(), 2, "heap still holds it (lazy)");
         assert_eq!(e.stale_in_queue(), 1);
-        e.run();
+        e.run().unwrap();
         assert_eq!(e.model().log, vec![(SimTime::from_nanos(20), 8)]);
         assert_eq!(e.stale_dropped(), 1);
         assert_eq!(e.stale_in_queue(), 0);
@@ -631,7 +768,7 @@ mod tests {
     fn cancel_after_fire_is_a_noop() {
         let mut e = engine();
         let k = e.schedule_keyed_at(SimTime::from_nanos(1), 1);
-        e.run();
+        e.run().unwrap();
         assert_eq!(e.model().log.len(), 1);
         assert!(!e.cancel(k));
         assert_eq!(e.stale_in_queue(), 0);
@@ -645,12 +782,87 @@ mod tests {
         e.cancel(k);
         // The stale entry at t=10 must not cause the live t=50 event to fire
         // "instead of it" before the deadline.
-        let n = e.run_until(SimTime::from_nanos(30));
+        let n = e.run_until(SimTime::from_nanos(30)).unwrap();
         assert_eq!(n, 0);
         assert_eq!(e.now(), SimTime::from_nanos(30));
         assert!(e.model().log.is_empty());
-        e.run();
+        e.run().unwrap();
         assert_eq!(e.model().log, vec![(SimTime::from_nanos(50), 2)]);
+    }
+
+    #[test]
+    fn engine_schedule_in_overflow_is_reported_not_panicked() {
+        let mut e = engine();
+        e.schedule_at(SimTime::from_nanos(1), 1);
+        e.run().unwrap(); // advance the clock off zero
+        e.schedule_at(SimTime::from_nanos(10), 2);
+        e.schedule_in(SimTime::MAX, 3); // 1ns + MAX overflows
+        assert!(e.overflowed());
+        let err = e.run().unwrap_err();
+        assert!(matches!(err, SimError::TimeOverflow { .. }));
+        // The queued non-overflowing event was never delivered: the run
+        // failed fast instead of silently continuing.
+        assert_eq!(e.model().log.len(), 1);
+    }
+
+    #[test]
+    fn engine_keyed_overflow_key_is_inert() {
+        let mut e = engine();
+        e.schedule_at(SimTime::from_nanos(1), 1);
+        e.run().unwrap(); // advance the clock off zero
+        let k = e.schedule_keyed_in(SimTime::MAX, 9);
+        assert!(e.overflowed());
+        assert!(!e.cancel(k), "overflow key was never live");
+        assert_eq!(e.stale_in_queue(), 0);
+        assert!(matches!(e.run(), Err(SimError::TimeOverflow { .. })));
+    }
+
+    struct OverflowModel;
+
+    impl Model for OverflowModel {
+        type Event = u8;
+        fn handle(&mut self, now: SimTime, ev: u8, sched: &mut Scheduler<u8>) {
+            if ev == 0 {
+                sched.schedule_in(now, SimTime::MAX, 1);
+            } else if ev == 2 {
+                let _ = sched.schedule_keyed_in(now, SimTime::MAX, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn scheduler_overflow_inside_handler_fails_the_run() {
+        for trigger in [0u8, 2u8] {
+            let mut e = Engine::new(OverflowModel);
+            e.schedule_at(SimTime::from_nanos(1), trigger);
+            let err = e.run().unwrap_err();
+            assert_eq!(err, SimError::TimeOverflow { at: SimTime::from_nanos(1) });
+            assert_eq!(e.events_processed(), 1);
+        }
+    }
+
+    #[test]
+    fn run_until_and_run_while_report_overflow() {
+        let mut e = Engine::new(OverflowModel);
+        e.schedule_at(SimTime::from_nanos(1), 0);
+        assert!(matches!(
+            e.run_until(SimTime::from_secs(1)),
+            Err(SimError::TimeOverflow { .. })
+        ));
+        let mut e = Engine::new(OverflowModel);
+        e.schedule_at(SimTime::from_nanos(1), 0);
+        assert!(matches!(
+            e.run_while(u64::MAX, |_| false),
+            Err(SimError::TimeOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn sim_error_displays() {
+        let e = SimError::TimeOverflow { at: SimTime::from_secs(2) };
+        assert!(e.to_string().contains("overflow"));
+        let s = SimError::Stalled { events: 10, queued: 3 };
+        assert!(s.to_string().contains("stalled"));
     }
 
     struct Rescheduler {
@@ -679,7 +891,7 @@ mod tests {
         e.model_mut().pending = Some(k0);
         e.schedule_at(SimTime::from_nanos(1), 0);
         e.schedule_at(SimTime::from_nanos(2), 0);
-        e.run();
+        e.run().unwrap();
         // The two triggers each cancel the outstanding 99 and schedule a new
         // one; exactly one 99 fires, at 2+100.
         assert_eq!(e.model().fired, vec![0, 0, 99]);
@@ -689,6 +901,36 @@ mod tests {
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Satellite property: adversarial schedules — including deltas that
+        /// push far past `SimTime::MAX` — never panic the engine. A run ends
+        /// in `Ok` or in a typed `SimError::TimeOverflow`, and overflow is
+        /// reported exactly when some relative schedule overflowed.
+        #[test]
+        fn adversarial_schedules_never_panic(
+            start in 1u64..=u64::MAX,
+            deltas in collection::vec(0u64..=u64::MAX, 1..30),
+        ) {
+            let mut e = engine();
+            // Advance the clock off zero so `now + delta` can actually
+            // overflow the u64 nanosecond domain.
+            let now = SimTime::from_picos(start);
+            e.schedule_at(now, 0);
+            e.run().unwrap();
+            for (i, &d) in deltas.iter().enumerate() {
+                // Relative scheduling only: absolute past-scheduling is a
+                // documented programming-error panic, not an input error.
+                e.schedule_in(SimTime::from_picos(d), i as u32 + 1);
+            }
+            let would_overflow =
+                deltas.iter().any(|&d| now.checked_add(SimTime::from_picos(d)).is_none());
+            prop_assert_eq!(e.overflowed(), would_overflow);
+            match e.run() {
+                Ok(()) => prop_assert!(!would_overflow),
+                Err(SimError::TimeOverflow { .. }) => prop_assert!(would_overflow),
+                Err(other) => prop_assert!(false, "unexpected error: {other:?}"),
+            }
+        }
 
         /// Lazy-cancelled events never fire, regardless of the interleaving of
         /// keyed/unkeyed schedules and cancels, and live events all do.
@@ -725,7 +967,7 @@ mod tests {
                     }
                 }
             }
-            e.run();
+            e.run().unwrap();
             expected.sort_by_key(|&(at, t)| (at, t));
             let mut fired = e.model().log.clone();
             fired.sort_by_key(|&(at, t)| (at, t));

@@ -60,11 +60,14 @@ impl FifoServer {
             .enumerate()
             .min_by_key(|&(_, &t)| t)
             .map(|(i, _)| i)
+            // invariant: `new` asserts servers > 0, so `free_at` is non-empty.
             .expect("at least one slot");
         let start = self.free_at[slot].max(arrival);
-        let done = start + service;
+        // Saturate rather than wrap at the end of simulated time: a server
+        // pinned at SimTime::MAX stays there instead of corrupting the queue.
+        let done = start.saturating_add(service);
         self.free_at[slot] = done;
-        self.busy_total += service;
+        self.busy_total = self.busy_total.saturating_add(service);
         self.jobs += 1;
         done
     }

@@ -133,6 +133,86 @@ impl TimeWeighted {
     }
 }
 
+/// A last-value-wins instantaneous metric (utilization fraction, queue depth
+/// at end of run, configured rate).
+///
+/// Unlike [`Counter`] it can move in both directions, and unlike
+/// [`TimeWeighted`] it has no time axis — it simply remembers the most recent
+/// value along with the extremes seen, which is what summary exporters want
+/// for "final state" readouts.
+///
+/// # Example
+///
+/// ```
+/// use trainbox_sim::Gauge;
+///
+/// let mut util = Gauge::new("link0.util");
+/// util.set(0.75);
+/// util.set(0.40);
+/// assert_eq!(util.value(), 0.40);
+/// assert_eq!(util.max(), Some(0.75));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Gauge {
+    name: String,
+    value: f64,
+    min: f64,
+    max: f64,
+    updates: u64,
+}
+
+impl Gauge {
+    /// Create a gauge with a diagnostic name, starting at 0 with no updates.
+    pub fn new(name: impl Into<String>) -> Self {
+        Gauge {
+            name: name.into(),
+            value: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            updates: 0,
+        }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Record a new value.
+    pub fn set(&mut self, v: f64) {
+        self.value = v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.updates += 1;
+    }
+
+    /// Adjust the value by `delta`.
+    pub fn adjust(&mut self, delta: f64) {
+        let v = self.value + delta;
+        self.set(v);
+    }
+
+    /// Most recently set value (0 before any update).
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Smallest value ever set (`None` before any update).
+    pub fn min(&self) -> Option<f64> {
+        (self.updates > 0).then_some(self.min)
+    }
+
+    /// Largest value ever set (`None` before any update).
+    pub fn max(&self) -> Option<f64> {
+        (self.updates > 0).then_some(self.max)
+    }
+
+    /// Number of updates recorded.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+}
+
 /// A fixed-bucket histogram over `f64` observations.
 ///
 /// Buckets are `[lo + i*width, lo + (i+1)*width)`, with underflow and
@@ -317,6 +397,22 @@ mod tests {
         assert!((45.0..=55.0).contains(&median), "median={median}");
         assert_eq!(h.quantile(1.0).unwrap(), 100.0);
         assert!(Histogram::new("e", 0.0, 1.0, 2).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn gauge_tracks_last_value_and_extremes() {
+        let mut g = Gauge::new("util");
+        assert_eq!(g.value(), 0.0);
+        assert_eq!(g.min(), None);
+        assert_eq!(g.max(), None);
+        g.set(0.75);
+        g.set(0.25);
+        g.adjust(0.05);
+        assert!((g.value() - 0.30).abs() < 1e-12);
+        assert_eq!(g.min(), Some(0.25));
+        assert_eq!(g.max(), Some(0.75));
+        assert_eq!(g.updates(), 3);
+        assert_eq!(g.name(), "util");
     }
 
     #[test]

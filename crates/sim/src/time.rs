@@ -112,6 +112,28 @@ impl SimTime {
         self.0.checked_add(rhs.0).map(SimTime)
     }
 
+    /// Saturating addition: clamps to [`SimTime::MAX`] instead of
+    /// overflowing.
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: SimTime) -> Option<SimTime> {
+        self.0.checked_sub(rhs.0).map(SimTime)
+    }
+
+    /// Checked multiplication by a scalar.
+    pub fn checked_mul(self, rhs: u64) -> Option<SimTime> {
+        self.0.checked_mul(rhs).map(SimTime)
+    }
+
+    /// Saturating multiplication by a scalar: clamps to [`SimTime::MAX`]
+    /// instead of overflowing.
+    pub fn saturating_mul(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_mul(rhs))
+    }
+
     /// The larger of two times.
     pub fn max(self, rhs: SimTime) -> SimTime {
         if self >= rhs {
@@ -241,6 +263,21 @@ mod tests {
         assert_eq!(b.saturating_sub(a), SimTime::ZERO);
         assert_eq!(a.max(b), a);
         assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn checked_and_saturating_variants() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(3);
+        assert_eq!(a.checked_add(b), Some(SimTime::from_nanos(13)));
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_picos(1)), None);
+        assert_eq!(SimTime::MAX.saturating_add(a), SimTime::MAX);
+        assert_eq!(a.checked_sub(b), Some(SimTime::from_nanos(7)));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_mul(4), Some(SimTime::from_nanos(40)));
+        assert_eq!(SimTime::MAX.checked_mul(2), None);
+        assert_eq!(SimTime::MAX.saturating_mul(2), SimTime::MAX);
+        assert_eq!(a.saturating_mul(0), SimTime::ZERO);
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn main() {
         clip.sample_rate(),
         clip.stored_byte_len() / 1024
     );
-    let mel = mel_spectrogram(&clip, StftConfig::speech_default(), 80);
+    let mel = mel_spectrogram(&clip, StftConfig::speech_default(), 80).expect("valid speech config");
     let mut rng = StdRng::seed_from_u64(5);
     let masked = mel.masked(2, 40, 2, 15, &mut rng).normalized();
     println!(

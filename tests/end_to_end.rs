@@ -35,7 +35,7 @@ fn stored_jpeg_to_training_tensor() {
 #[test]
 fn stored_audio_to_feature_matrix() {
     let clip = librispeech_like_clip(4);
-    let mel = mel_spectrogram(&clip, StftConfig::speech_default(), 80);
+    let mel = mel_spectrogram(&clip, StftConfig::speech_default(), 80).unwrap();
     let feats = Matrix::from_vec(mel.frames(), mel.bins(), mel.data().to_vec());
     assert_eq!(feats.cols(), 80);
     assert!(feats.rows() > 400);
@@ -177,8 +177,8 @@ fn wav_storage_to_mel_features() {
     let clip = librispeech_like_clip(6);
     let stored = wav::encode(&clip);
     let loaded = wav::decode(&stored).unwrap();
-    let mel = mel_spectrogram(&loaded, StftConfig::speech_default(), 80);
-    let reference = mel_spectrogram(&clip, StftConfig::speech_default(), 80);
+    let mel = mel_spectrogram(&loaded, StftConfig::speech_default(), 80).unwrap();
+    let reference = mel_spectrogram(&clip, StftConfig::speech_default(), 80).unwrap();
     assert_eq!(mel.frames(), reference.frames());
     // 16-bit quantization barely perturbs the features where there is
     // signal; near-silent bins amplify in log space, so gate on energy.

@@ -155,7 +155,7 @@ proptest! {
     /// WAV round-trips within 16-bit quantization error.
     #[test]
     fn wav_roundtrip(samples in proptest::collection::vec(-1.0f32..1.0, 1..2000)) {
-        let wform = Waveform::new(samples.clone(), 16_000);
+        let wform = Waveform::new(samples.clone(), 16_000).unwrap();
         let back = wav::decode(&wav::encode(&wform)).unwrap();
         prop_assert_eq!(back.samples().len(), samples.len());
         for (a, b) in samples.iter().zip(back.samples()) {
