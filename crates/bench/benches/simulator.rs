@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use trainbox_core::arch::{ServerConfig, ServerKind};
-use trainbox_core::pipeline::{simulate, SimConfig};
+use trainbox_core::pipeline::SimConfig;
+use trainbox_core::request::{SimOutcome, SimRequest};
 use trainbox_nn::Workload;
 use trainbox_pcie::boxes::ServerBuilder;
 use trainbox_pcie::flow::{FlowNet, FlowSpec};
@@ -56,10 +57,12 @@ fn bench_des(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(8));
     for n in [8usize, 16] {
         g.bench_with_input(BenchmarkId::new("trainbox", n), &n, |b, &n| {
-            let server = ServerConfig::new(ServerKind::TrainBoxNoPool, n)
-                .batch_size(512)
-                .build();
-            b.iter(|| simulate(&server, &w, &cfg).samples_per_sec)
+            let mut req = SimRequest::des(ServerKind::TrainBoxNoPool, n, w.clone(), cfg);
+            req.server.batch_size = Some(512);
+            b.iter(|| match req.run().expect("simulation runs").outcome {
+                SimOutcome::Des(r) => r.samples_per_sec,
+                SimOutcome::Analytic(_) => unreachable!(),
+            })
         });
     }
     g.finish();

@@ -5,62 +5,61 @@
 //! locally versus how much Ethernet/pool help it needs — the sizing question
 //! a TrainBox operator faces.
 
-use trainbox_bench::{banner, bench_cli, emit_json};
+use trainbox_bench::{emit_json, figure_main};
+use trainbox_core::calib::SampleSizes;
 use trainbox_core::calib::{
     ethernet_bytes_per_offloaded_sample, fpga_samples_per_sec, ETHERNET_BYTES_PER_SEC,
     SSD_READ_BYTES_PER_SEC,
 };
-use trainbox_core::calib::SampleSizes;
 use trainbox_nn::Workload;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Ablation", "Train-box composition: FPGAs per 8-accelerator box");
-    println!(
-        "{:<14} {:>12} | {:>14} {:>14} {:>14} {:>14}",
-        "workload", "demand/box", "1 FPGA", "2 FPGAs (paper)", "3 FPGAs", "4 FPGAs"
-    );
-    let mut dump = Vec::new();
-    for w in Workload::all() {
-        let demand = 8.0 * w.accel_samples_per_sec;
-        let f = fpga_samples_per_sec(w.input);
-        let eth_per_fpga = ETHERNET_BYTES_PER_SEC / ethernet_bytes_per_offloaded_sample(w.input);
-        print!("{:<14} {:>12.0} |", w.name, demand);
-        for k in 1..=4usize {
-            let local = k as f64 * f;
-            let with_pool = local + k as f64 * eth_per_fpga;
-            let tag = if local >= demand {
-                "local".to_string()
-            } else if with_pool >= demand {
-                format!("pool+{:.0}%", 100.0 * (demand - local) / local)
-            } else {
-                format!("SHORT {:.0}%", 100.0 * with_pool / demand)
-            };
-            print!(" {tag:>14}");
-            dump.push((w.name, k, local, with_pool, demand));
-        }
-        println!();
-    }
-    println!("\n(2 FPGAs/box serves every image CNN locally or with modest pool help;");
-    println!(" audio always leans on the pool — the workload adaptability argument of §IV-D)");
-
-    // SSDs per box: when does storage start to bind?
-    println!("\nSSD check (2 SSDs/box, {} GB/s each):", SSD_READ_BYTES_PER_SEC / 1e9);
-    for w in Workload::all() {
-        let demand = 8.0 * w.accel_samples_per_sec;
-        let s = SampleSizes::for_input(w.input);
-        let need = demand * s.stored;
-        let have = 2.0 * SSD_READ_BYTES_PER_SEC;
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Ablation", "Train-box composition: FPGAs per 8-accelerator box", |_jobs| {
         println!(
-            "  {:<14} needs {:>6.2} GB/s of {:>5.1} GB/s ({:>4.0}%)",
-            w.name,
-            need / 1e9,
-            have / 1e9,
-            100.0 * need / have
+            "{:<14} {:>12} | {:>14} {:>14} {:>14} {:>14}",
+            "workload", "demand/box", "1 FPGA", "2 FPGAs (paper)", "3 FPGAs", "4 FPGAs"
         );
-    }
-    emit_json("ablation_boxes", &dump);
-    trainbox_bench::emit_default_trace();
+        let mut dump = Vec::new();
+        for w in Workload::all() {
+            let demand = 8.0 * w.accel_samples_per_sec;
+            let f = fpga_samples_per_sec(w.input);
+            let eth_per_fpga =
+                ETHERNET_BYTES_PER_SEC / ethernet_bytes_per_offloaded_sample(w.input);
+            print!("{:<14} {:>12.0} |", w.name, demand);
+            for k in 1..=4usize {
+                let local = k as f64 * f;
+                let with_pool = local + k as f64 * eth_per_fpga;
+                let tag = if local >= demand {
+                    "local".to_string()
+                } else if with_pool >= demand {
+                    format!("pool+{:.0}%", 100.0 * (demand - local) / local)
+                } else {
+                    format!("SHORT {:.0}%", 100.0 * with_pool / demand)
+                };
+                print!(" {tag:>14}");
+                dump.push((w.name, k, local, with_pool, demand));
+            }
+            println!();
+        }
+        println!("\n(2 FPGAs/box serves every image CNN locally or with modest pool help;");
+        println!(" audio always leans on the pool — the workload adaptability argument of §IV-D)");
+
+        // SSDs per box: when does storage start to bind?
+        println!("\nSSD check (2 SSDs/box, {} GB/s each):", SSD_READ_BYTES_PER_SEC / 1e9);
+        for w in Workload::all() {
+            let demand = 8.0 * w.accel_samples_per_sec;
+            let s = SampleSizes::for_input(w.input);
+            let need = demand * s.stored;
+            let have = 2.0 * SSD_READ_BYTES_PER_SEC;
+            println!(
+                "  {:<14} needs {:>6.2} GB/s of {:>5.1} GB/s ({:>4.0}%)",
+                w.name,
+                need / 1e9,
+                have / 1e9,
+                100.0 * need / have
+            );
+        }
+        emit_json("ablation_boxes", &dump);
+    });
 }

@@ -8,10 +8,11 @@
 //! JSON dump — reproduces byte-identically run to run (asserted below).
 
 use serde::Serialize;
-use trainbox_bench::{banner, bench_cli, emit_json, emit_scenario_trace, run_sweep};
-use trainbox_core::arch::{Server, ServerConfig, ServerKind};
+use trainbox_bench::{emit_json, emit_scenario_trace, figure_main, run_sweep};
+use trainbox_core::arch::{Server, ServerKind};
 use trainbox_core::faults::{FaultDomain, FaultPlan};
-use trainbox_core::pipeline::{simulate, simulate_with_faults, SimConfig, SimResult};
+use trainbox_core::pipeline::{SimConfig, SimResult};
+use trainbox_core::request::{SimOutcome, SimRequest};
 use trainbox_nn::Workload;
 
 const SEED: u64 = 0x7ea1_b0c5;
@@ -24,6 +25,23 @@ fn cfg() -> SimConfig {
         prefetch_batches: 1,
         max_events: 10_000_000,
         reference_allocator: false,
+    }
+}
+
+/// The one scenario this ablation studies, as a canonical request:
+/// Inception-v4, 16 accelerators, batch 512, under `plan`.
+fn request(kind: ServerKind, plan: Option<FaultPlan>) -> SimRequest {
+    let mut req = SimRequest::des(kind, 16, Workload::inception_v4(), cfg());
+    req.server.batch_size = Some(512);
+    req.faults = plan;
+    req
+}
+
+fn run_des(req: &SimRequest) -> SimResult {
+    let resp = req.run().unwrap_or_else(|e| panic!("simulation failed: {e}"));
+    match resp.outcome {
+        SimOutcome::Des(r) => r,
+        SimOutcome::Analytic(_) => unreachable!("DES request produced an analytic outcome"),
     }
 }
 
@@ -40,7 +58,10 @@ struct Row {
     preps_lost: u64,
 }
 
-fn run(server: &Server, w: &Workload, intensity_faults: u64, healthy: &SimResult) -> Row {
+/// The storm is seeded against the *observed* healthy run (its horizon and
+/// link census), so the domain is built here rather than via
+/// `pipeline::fault_domain`, which has no horizon to offer.
+fn storm(server: &Server, healthy: &SimResult, intensity_faults: u64) -> FaultPlan {
     let horizon = healthy.batch_done_at.last().unwrap().as_secs_f64();
     let domain = FaultDomain {
         n_ssds: server.topology().ssds.len(),
@@ -49,9 +70,13 @@ fn run(server: &Server, w: &Workload, intensity_faults: u64, healthy: &SimResult
         n_links: healthy.link_bytes.len(),
         horizon_secs: horizon,
     };
-    let plan = FaultPlan::seeded(SEED, intensity_faults as f64 / horizon, &domain);
-    let r = simulate_with_faults(server, w, &cfg(), &plan);
-    let again = simulate_with_faults(server, w, &cfg(), &plan);
+    FaultPlan::seeded(SEED, intensity_faults as f64 / horizon, &domain)
+}
+
+fn run(kind: ServerKind, server: &Server, intensity_faults: u64, healthy: &SimResult) -> Row {
+    let plan = storm(server, healthy, intensity_faults);
+    let r = run_des(&request(kind, Some(plan.clone())));
+    let again = run_des(&request(kind, Some(plan)));
     assert_eq!(r, again, "seeded fault runs must be deterministic");
     Row {
         faults_per_run: intensity_faults,
@@ -66,8 +91,11 @@ fn run(server: &Server, w: &Workload, intensity_faults: u64, healthy: &SimResult
     }
 }
 
-fn sweep(jobs: usize, label: &str, server: &Server, w: &Workload) -> Vec<Row> {
-    let healthy = simulate(server, w, &cfg());
+fn sweep(jobs: usize, label: &str, kind: ServerKind) -> Vec<Row> {
+    let server = request(kind, None)
+        .build_server()
+        .unwrap_or_else(|e| panic!("invalid server configuration: {e}"));
+    let healthy = run_des(&request(kind, None));
     println!("\n{label}: healthy {:.0} samples/s", healthy.samples_per_sec);
     println!(
         "{:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>6} {:>6}",
@@ -75,7 +103,7 @@ fn sweep(jobs: usize, label: &str, server: &Server, w: &Workload) -> Vec<Row> {
     );
     // Each fault intensity is an independent seeded simulation; fan the rows
     // out and print them in sweep order once all are back.
-    let rows = run_sweep(jobs, vec![0u64, 2, 4, 8, 16], |_, k| run(server, w, k, &healthy));
+    let rows = run_sweep(jobs, vec![0u64, 2, 4, 8, 16], |_, k| run(kind, &server, k, &healthy));
     for row in &rows {
         println!(
             "{:>8} {:>10.0} {:>10.0} {:>10.0} {:>8} {:>8} {:>6} {:>6}",
@@ -93,38 +121,28 @@ fn sweep(jobs: usize, label: &str, server: &Server, w: &Workload) -> Vec<Row> {
 }
 
 fn main() {
-    let jobs = bench_cli();
-    banner("Ablation", "Fault intensity vs. delivered throughput");
-    println!("Seeded fault storms (seed {SEED:#x}) over 10 simulated batches,");
-    println!("Inception-v4, 16 accelerators, batch 512.");
+    figure_main("Ablation", "Fault intensity vs. delivered throughput", |jobs| {
+        println!("Seeded fault storms (seed {SEED:#x}) over 10 simulated batches,");
+        println!("Inception-v4, 16 accelerators, batch 512.");
 
-    let w = Workload::inception_v4();
-    let trainbox = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
-        .batch_size(512)
-        .build();
-    let baseline = ServerConfig::new(ServerKind::Baseline, 16).batch_size(512).build();
+        let tb = sweep(jobs, "TrainBox (no pool)", ServerKind::TrainBoxNoPool);
+        let base = sweep(jobs, "Baseline (host-centric)", ServerKind::Baseline);
 
-    let tb = sweep(jobs, "TrainBox (no pool)", &trainbox, &w);
-    let base = sweep(jobs, "Baseline (host-centric)", &baseline, &w);
+        println!("\nGoodput tracks effective throughput minus wasted work; nominal");
+        println!("is what the initial device complement would have sustained.");
+        emit_json("ablation_faults", &vec![("trainbox", tb), ("baseline", base)]);
 
-    println!("\nGoodput tracks effective throughput minus wasted work; nominal");
-    println!("is what the initial device complement would have sustained.");
-    emit_json("ablation_faults", &vec![("trainbox", tb), ("baseline", base)]);
-
-    // --trace: replay the 8-fault TrainBox storm with the tracer attached so
-    // the dump carries fault instants alongside the pipeline/flow/collective
-    // spans.
-    if trainbox_bench::trace_out().is_some() {
-        let healthy = simulate(&trainbox, &w, &cfg());
-        let horizon = healthy.batch_done_at.last().unwrap().as_secs_f64();
-        let domain = FaultDomain {
-            n_ssds: trainbox.topology().ssds.len(),
-            n_preps: trainbox.topology().preps.len(),
-            n_accels: trainbox.n_accels(),
-            n_links: healthy.link_bytes.len(),
-            horizon_secs: horizon,
-        };
-        let plan = FaultPlan::seeded(SEED, 8.0 / horizon, &domain);
-        emit_scenario_trace(&trainbox, &w, &cfg(), &plan);
-    }
+        // --trace: replay the 8-fault TrainBox storm with the tracer attached
+        // so the dump carries fault instants alongside the pipeline/flow/
+        // collective spans.
+        if trainbox_bench::trace_out().is_some() {
+            let kind = ServerKind::TrainBoxNoPool;
+            let server = request(kind, None)
+                .build_server()
+                .unwrap_or_else(|e| panic!("invalid server configuration: {e}"));
+            let healthy = run_des(&request(kind, None));
+            let plan = storm(&server, &healthy, 8);
+            emit_scenario_trace(&request(kind, Some(plan)));
+        }
+    });
 }

@@ -6,65 +6,63 @@
 //! (next-gen TPUs) and PCIe generation, and shows (a) the baseline falls
 //! further behind and (b) where TrainBox itself starts to need bigger boxes.
 
-use trainbox_bench::{banner, bench_cli, emit_json};
+use trainbox_bench::{emit_json, figure_main};
 use trainbox_core::arch::{ServerConfig, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Ablation", "Next-generation accelerators and links");
-    let base_w = Workload::resnet50();
-    println!("ResNet-50 at 256 accelerators, accelerator speed scaled:");
-    println!(
-        "{:>8} {:>14} {:>14} {:>14} {:>12}",
-        "speedup", "target", "baseline sat", "trainbox", "tb/target"
-    );
-    let mut dump = Vec::new();
-    for scale in [1.0f64, 2.0, 4.0, 8.0] {
-        let w = Workload {
-            accel_samples_per_sec: base_w.accel_samples_per_sec * scale,
-            ..base_w.clone()
-        };
-        let target = w.aggregate_demand(256);
-        let base = ServerConfig::new(ServerKind::Baseline, 256)
-            .build()
-            .throughput(&w)
-            .samples_per_sec;
-        let tb = ServerConfig::new(ServerKind::TrainBox, 256)
-            .build()
-            .throughput(&w)
-            .samples_per_sec;
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Ablation", "Next-generation accelerators and links", |_jobs| {
+        let base_w = Workload::resnet50();
+        println!("ResNet-50 at 256 accelerators, accelerator speed scaled:");
         println!(
-            "{:>7.0}x {:>14.0} {:>13.1}a {:>14.0} {:>11.0}%",
-            scale,
-            target,
-            base / w.accel_samples_per_sec,
-            tb,
-            100.0 * tb / target
+            "{:>8} {:>14} {:>14} {:>14} {:>12}",
+            "speedup", "target", "baseline sat", "trainbox", "tb/target"
         );
-        dump.push((scale, target, base, tb));
-    }
-    println!("\n(the baseline saturates at ever-fewer equivalent accelerators, while");
-    println!(" TrainBox holds the target until per-box FPGA+pool capacity runs out —");
-    println!(" the scaling knob is then more FPGAs per box, not host resources)");
+        let mut dump = Vec::new();
+        for scale in [1.0f64, 2.0, 4.0, 8.0] {
+            let w = Workload {
+                accel_samples_per_sec: base_w.accel_samples_per_sec * scale,
+                ..base_w.clone()
+            };
+            let target = w.aggregate_demand(256);
+            let base = ServerConfig::new(ServerKind::Baseline, 256)
+                .build()
+                .throughput(&w)
+                .samples_per_sec;
+            let tb = ServerConfig::new(ServerKind::TrainBox, 256)
+                .build()
+                .throughput(&w)
+                .samples_per_sec;
+            println!(
+                "{:>7.0}x {:>14.0} {:>13.1}a {:>14.0} {:>11.0}%",
+                scale,
+                target,
+                base / w.accel_samples_per_sec,
+                tb,
+                100.0 * tb / target
+            );
+            dump.push((scale, target, base, tb));
+        }
+        println!("\n(the baseline saturates at ever-fewer equivalent accelerators, while");
+        println!(" TrainBox holds the target until per-box FPGA+pool capacity runs out —");
+        println!(" the scaling knob is then more FPGAs per box, not host resources)");
 
-    // PCIe generation sweep for the staged design: Gen4/Gen5 only move the
-    // staged ceiling linearly; clustering removes it.
-    println!("\nstaged-design ceiling by PCIe generation (ResNet-50, 256 acc):");
-    for (label, kind) in [
-        ("Gen3 (B+Acc+P2P)", ServerKind::AccFpgaP2p),
-        ("Gen4 (B+Acc+P2P+Gen4)", ServerKind::AccFpgaP2pGen4),
-        ("TrainBox (Gen3!)", ServerKind::TrainBox),
-    ] {
-        let t = ServerConfig::new(kind, 256).build().throughput(&base_w);
-        println!(
-            "  {label:<24} {:>12.0} samples/s  ({})",
-            t.samples_per_sec,
-            t.bottleneck.label()
-        );
-    }
-    emit_json("ablation_nextgen", &dump);
-    trainbox_bench::emit_default_trace();
+        // PCIe generation sweep for the staged design: Gen4/Gen5 only move the
+        // staged ceiling linearly; clustering removes it.
+        println!("\nstaged-design ceiling by PCIe generation (ResNet-50, 256 acc):");
+        for (label, kind) in [
+            ("Gen3 (B+Acc+P2P)", ServerKind::AccFpgaP2p),
+            ("Gen4 (B+Acc+P2P+Gen4)", ServerKind::AccFpgaP2pGen4),
+            ("TrainBox (Gen3!)", ServerKind::TrainBox),
+        ] {
+            let t = ServerConfig::new(kind, 256).build().throughput(&base_w);
+            println!(
+                "  {label:<24} {:>12.0} samples/s  ({})",
+                t.samples_per_sec,
+                t.bottleneck.label()
+            );
+        }
+        emit_json("ablation_nextgen", &dump);
+    });
 }

@@ -6,48 +6,51 @@
 //! network bandwidth and shows which audio/image workloads can still reach
 //! their targets through the pool.
 
-use trainbox_bench::{banner, bench_cli, emit_json};
+use trainbox_bench::{emit_json, figure_main};
 use trainbox_core::calib::{ethernet_bytes_per_offloaded_sample, fpga_samples_per_sec};
 use trainbox_nn::Workload;
 use trainbox_pcie::boxes::PREPS_PER_TRAIN_BOX;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Ablation", "Prep-pool network bandwidth");
-    let nets = [
-        ("25 GbE", 3.125e9),
-        ("50 GbE", 6.25e9),
-        ("100 GbE (paper)", 12.5e9),
-        ("200 GbE", 25.0e9),
-        ("PCIe x16 share", 16.0e9),
-    ];
-    println!("{:<14} {:>12} |{}", "workload", "deficit/box", nets.map(|(n, _)| format!(" {n:>16}")).join(""));
-    let mut dump = Vec::new();
-    for w in Workload::all() {
-        let demand = 8.0 * w.accel_samples_per_sec;
-        let local = PREPS_PER_TRAIN_BOX as f64 * fpga_samples_per_sec(w.input);
-        let deficit = (demand - local).max(0.0);
-        print!("{:<14} {:>12.0} |", w.name, deficit);
-        for (name, bw) in nets {
-            let cap = PREPS_PER_TRAIN_BOX as f64 * bw
-                / ethernet_bytes_per_offloaded_sample(w.input);
-            let ok = deficit <= cap;
-            let cell = if deficit == 0.0 {
-                "n/a".to_string()
-            } else if ok {
-                format!("ok ({:.0}%)", 100.0 * deficit / cap)
-            } else {
-                format!("SHORT ({:.0}%)", 100.0 * cap / deficit)
-            };
-            print!(" {cell:>16}");
-            dump.push((w.name, name, deficit, cap));
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Ablation", "Prep-pool network bandwidth", |_jobs| {
+        let nets = [
+            ("25 GbE", 3.125e9),
+            ("50 GbE", 6.25e9),
+            ("100 GbE (paper)", 12.5e9),
+            ("200 GbE", 25.0e9),
+            ("PCIe x16 share", 16.0e9),
+        ];
+        println!(
+            "{:<14} {:>12} |{}",
+            "workload",
+            "deficit/box",
+            nets.map(|(n, _)| format!(" {n:>16}")).join("")
+        );
+        let mut dump = Vec::new();
+        for w in Workload::all() {
+            let demand = 8.0 * w.accel_samples_per_sec;
+            let local = PREPS_PER_TRAIN_BOX as f64 * fpga_samples_per_sec(w.input);
+            let deficit = (demand - local).max(0.0);
+            print!("{:<14} {:>12.0} |", w.name, deficit);
+            for (name, bw) in nets {
+                let cap = PREPS_PER_TRAIN_BOX as f64 * bw
+                    / ethernet_bytes_per_offloaded_sample(w.input);
+                let ok = deficit <= cap;
+                let cell = if deficit == 0.0 {
+                    "n/a".to_string()
+                } else if ok {
+                    format!("ok ({:.0}%)", 100.0 * deficit / cap)
+                } else {
+                    format!("SHORT ({:.0}%)", 100.0 * cap / deficit)
+                };
+                print!(" {cell:>16}");
+                dump.push((w.name, name, deficit, cap));
+            }
+            println!();
         }
-        println!();
-    }
-    println!("\n(100 GbE covers every deficit the 2-FPGA box leaves; halving it to");
-    println!(" 50 GbE starts to strand the caption RNNs, quantifying §IV-D's choice)");
-    emit_json("ablation_prepnet", &dump);
-    trainbox_bench::emit_default_trace();
+        println!("\n(100 GbE covers every deficit the 2-FPGA box leaves; halving it to");
+        println!(" 50 GbE starts to strand the caption RNNs, quantifying §IV-D's choice)");
+        emit_json("ablation_prepnet", &dump);
+    });
 }

@@ -6,44 +6,45 @@
 //! chunks stop mattering once fill is amortized, and hop latency is what
 //! ultimately breaks the ~2× saturation.
 
-use trainbox_bench::{banner, bench_cli, emit_json};
+use trainbox_bench::{emit_json, figure_main};
 use trainbox_collective::RingModel;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Ablation", "Ring synchronization: chunk size and hop latency");
-    let model_bytes = 97_500_000; // ResNet-50 gradients
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Ablation", "Ring synchronization: chunk size and hop latency", |_jobs| {
+        let model_bytes = 97_500_000; // ResNet-50 gradients
 
-    println!("normalized latency at n=256 (Fig 2b's right edge):");
-    println!("{:>12} | {:>10} {:>10} {:>10} {:>10}", "chunk", "50ns hop", "100ns", "500ns", "2us");
-    let mut dump = Vec::new();
-    for chunk in [512u64, 4096, 65_536, 1 << 20] {
-        print!("{:>11}B |", chunk);
-        for hop in [50e-9, 100e-9, 500e-9, 2e-6] {
-            let ring = RingModel {
-                link_bytes_per_sec: 300e9,
-                hop_latency_secs: hop,
-                chunk_bytes: chunk,
-            };
-            let v = ring.normalized_latency(model_bytes, 256);
-            print!(" {v:>10.2}");
-            dump.push((chunk, hop, v));
+        println!("normalized latency at n=256 (Fig 2b's right edge):");
+        println!(
+            "{:>12} | {:>10} {:>10} {:>10} {:>10}",
+            "chunk", "50ns hop", "100ns", "500ns", "2us"
+        );
+        let mut dump = Vec::new();
+        for chunk in [512u64, 4096, 65_536, 1 << 20] {
+            print!("{:>11}B |", chunk);
+            for hop in [50e-9, 100e-9, 500e-9, 2e-6] {
+                let ring = RingModel {
+                    link_bytes_per_sec: 300e9,
+                    hop_latency_secs: hop,
+                    chunk_bytes: chunk,
+                };
+                let v = ring.normalized_latency(model_bytes, 256);
+                print!(" {v:>10.2}");
+                dump.push((chunk, hop, v));
+            }
+            println!();
         }
-        println!();
-    }
-    println!("\n(the paper's 4KB/NVLink point keeps saturation ~2x; millisecond-class");
-    println!(" hop latencies — e.g. crossing a commodity network — would not)");
+        println!("\n(the paper's 4KB/NVLink point keeps saturation ~2x; millisecond-class");
+        println!(" hop latencies — e.g. crossing a commodity network — would not)");
 
-    // Absolute sync cost as a fraction of ResNet-50 batch compute.
-    let ring = RingModel::nvlink_default();
-    let t_comp = 8192.0 / 7431.0;
-    println!("\nsync/compute ratio (ResNet-50 batch, default ring):");
-    for n in [2usize, 16, 64, 256] {
-        let r = ring.allreduce_secs(model_bytes, n) / t_comp;
-        println!("  n={n:<4} sync = {:.4}% of batch compute", 100.0 * r);
-    }
-    emit_json("ablation_ring", &dump);
-    trainbox_bench::emit_default_trace();
+        // Absolute sync cost as a fraction of ResNet-50 batch compute.
+        let ring = RingModel::nvlink_default();
+        let t_comp = 8192.0 / 7431.0;
+        println!("\nsync/compute ratio (ResNet-50 batch, default ring):");
+        for n in [2usize, 16, 64, 256] {
+            let r = ring.allreduce_secs(model_bytes, n) / t_comp;
+            println!("  n={n:<4} sync = {:.4}% of batch compute", 100.0 * r);
+        }
+        emit_json("ablation_ring", &dump);
+    });
 }

@@ -27,7 +27,7 @@ use trainbox_dataprep::executor::{BatchExecutor, ExecutorConfig};
 use trainbox_dataprep::jpeg::dct;
 use trainbox_dataprep::pipeline::{DataItem, PrepPipeline};
 use trainbox_dataprep::synth;
-use trainbox_bench::{banner, bench_cli, emit_json};
+use trainbox_bench::{emit_json, figure_main};
 
 /// Throughputs measured at commit a901391 (the parent of this PR's kernel
 /// rewrite) on the same harness, single thread. These anchor the
@@ -266,13 +266,17 @@ fn kernel_benches(smoke: bool, reps: usize) -> Vec<KernelBench> {
 }
 
 fn main() {
-    let _ = bench_cli();
+    // Measurement body: wall-clock timed on this host, so it stays
+    // single-threaded; the sweep-runner would only add scheduler noise.
+    figure_main("bench_prep", "data-preparation kernel & executor throughput", |_jobs| run());
+}
+
+fn run() {
     let smoke = std::env::var_os("TRAINBOX_BENCH_SMOKE").is_some();
     let reps = if smoke { 1 } else { 9 };
     let host = host_parallelism();
     let counts = worker_counts(host);
 
-    banner("bench_prep", "data-preparation kernel & executor throughput");
     println!(
         "host parallelism: {host}   reps: {reps}{}",
         if smoke { "   (smoke mode: numbers not meaningful)" } else { "" }
@@ -380,5 +384,4 @@ fn main() {
         speedup_vs_pre_pr: speedup,
     };
     emit_json("bench_prep", &results);
-    trainbox_bench::emit_default_trace();
 }

@@ -22,10 +22,11 @@
 
 use serde::Serialize;
 use std::time::Instant;
-use trainbox_bench::{banner, bench_cli, emit_json};
-use trainbox_core::arch::{ServerConfig, ServerKind};
+use trainbox_bench::{emit_json, figure_main};
+use trainbox_core::arch::ServerKind;
 use trainbox_core::faults::{FaultDomain, FaultPlan};
-use trainbox_core::pipeline::{simulate, simulate_with_faults, SimConfig};
+use trainbox_core::pipeline::{SimConfig, SimResult};
+use trainbox_core::request::{SimOutcome, SimRequest};
 use trainbox_nn::Workload;
 
 /// Anchor commit: the tree immediately before this PR's simulator-core
@@ -58,6 +59,28 @@ fn sim_cfg(reference_allocator: bool) -> SimConfig {
         prefetch_batches: 1,
         max_events: 10_000_000,
         reference_allocator,
+    }
+}
+
+/// The fixed benchmark scenario — TrainBox, 16 accelerators, Inception-v4,
+/// batch 512 — as a canonical request.
+fn request(reference_allocator: bool, plan: Option<FaultPlan>) -> SimRequest {
+    let mut req = SimRequest::des(
+        ServerKind::TrainBox,
+        16,
+        Workload::inception_v4(),
+        sim_cfg(reference_allocator),
+    );
+    req.server.batch_size = Some(512);
+    req.faults = plan;
+    req
+}
+
+fn run_des(req: &SimRequest) -> SimResult {
+    let resp = req.run().unwrap_or_else(|e| panic!("simulation failed: {e}"));
+    match resp.outcome {
+        SimOutcome::Des(r) => r,
+        SimOutcome::Analytic(_) => unreachable!("DES request produced an analytic outcome"),
     }
 }
 
@@ -171,21 +194,26 @@ fn time_figures(reps: usize) -> Vec<FigureMs> {
 }
 
 fn main() {
-    let _ = bench_cli();
+    // Measurement body: wall-clock timed on this host, so it stays
+    // single-threaded; the sweep-runner would only add scheduler noise.
+    figure_main("bench_sim", "discrete-event simulator core throughput", |_jobs| run());
+}
+
+fn run() {
     let smoke = std::env::var_os("TRAINBOX_BENCH_SMOKE").is_some();
     let reps = if smoke { 1 } else { 5 };
 
-    banner("bench_sim", "discrete-event simulator core throughput");
     println!(
         "reps: {reps}{}",
         if smoke { "   (smoke mode: numbers not meaningful)" } else { "" }
     );
 
-    let w = Workload::inception_v4();
-    let server = ServerConfig::new(ServerKind::TrainBox, 16).batch_size(512).build();
+    let server = request(false, None)
+        .build_server()
+        .unwrap_or_else(|e| panic!("invalid server configuration: {e}"));
 
     // --- DES pipeline --------------------------------------------------
-    let (fast_ms, fast) = best_of(reps, || simulate(&server, &w, &sim_cfg(false)));
+    let (fast_ms, fast) = best_of(reps, || run_des(&request(false, None)));
     let des = DesBench {
         wall_ms: fast_ms,
         events: fast.events,
@@ -199,7 +227,7 @@ fn main() {
     );
 
     // --- fast vs reference allocator ----------------------------------
-    let (ref_ms, reference) = best_of(reps, || simulate(&server, &w, &sim_cfg(true)));
+    let (ref_ms, reference) = best_of(reps, || run_des(&request(true, None)));
     assert_eq!(
         fast, reference,
         "fast and reference allocators must produce identical simulations"
@@ -225,8 +253,8 @@ fn main() {
         horizon_secs: horizon,
     };
     let plan = FaultPlan::seeded(0x5eed_0b5e, 16.0 / horizon, &domain);
-    let (fault_ms, faulted) =
-        best_of(reps, || simulate_with_faults(&server, &w, &sim_cfg(false), &plan));
+    let storm = request(false, Some(plan));
+    let (fault_ms, faulted) = best_of(reps, || run_des(&storm));
     let faults = FaultBench {
         wall_ms: fault_ms,
         events: faulted.events,
@@ -293,5 +321,4 @@ fn main() {
         speedup_vs_pre_pr: speedup,
     };
     emit_json("bench_sim", &results);
-    trainbox_bench::emit_default_trace();
 }

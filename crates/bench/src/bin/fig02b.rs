@@ -1,30 +1,29 @@
 //! Figure 2b — model-synchronization latency of a 4-KB-chunked ring,
 //! normalized to the latency with two accelerators.
 
-use trainbox_bench::{banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main};
 use trainbox_collective::RingModel;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner(
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main(
         "Figure 2b",
         "Ring synchronization latency vs accelerator count (normalized to n=2)",
+        |_jobs| {
+            let ring = RingModel::nvlink_default();
+            let model_bytes = 97_500_000; // ResNet-50 class gradients
+            let counts = [2usize, 4, 8, 16, 32, 64, 128, 256];
+            let series = ring.figure_2b_series(model_bytes, &counts);
+            println!("{:>6} {:>20}", "n", "normalized latency");
+            for (n, v) in &series {
+                println!("{n:>6} {v:>20.3}");
+            }
+            compare(
+                "saturation level at n=256 (paper: ~2x)",
+                2.0,
+                series.last().unwrap().1,
+            );
+            emit_json("fig02b", &series);
+        },
     );
-    let ring = RingModel::nvlink_default();
-    let model_bytes = 97_500_000; // ResNet-50 class gradients
-    let counts = [2usize, 4, 8, 16, 32, 64, 128, 256];
-    let series = ring.figure_2b_series(model_bytes, &counts);
-    println!("{:>6} {:>20}", "n", "normalized latency");
-    for (n, v) in &series {
-        println!("{n:>6} {v:>20.3}");
-    }
-    compare(
-        "saturation level at n=256 (paper: ~2x)",
-        2.0,
-        series.last().unwrap().1,
-    );
-    emit_json("fig02b", &series);
-    trainbox_bench::emit_default_trace();
 }

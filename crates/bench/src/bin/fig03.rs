@@ -1,40 +1,39 @@
 //! Figure 3 — latency decomposition of ResNet-50 under successive
 //! accelerator/interconnect/synchronization advances.
 
-use trainbox_bench::{banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main};
 use trainbox_core::analytic::figure3_stages;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner(
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main(
         "Figure 3",
         "Latency decomposition (ResNet-50) as optimizations stack up",
+        |_jobs| {
+            let stages = figure3_stages();
+            println!(
+                "{:<22} {:>10} {:>10} {:>12} {:>10} {:>10}",
+                "stage", "prep %", "transfer %", "formatting %", "aug %", "others %"
+            );
+            for st in &stages {
+                let p = st.steps.percentages();
+                println!(
+                    "{:<22} {:>9.1}% {:>9.1}% {:>11.1}% {:>9.1}% {:>9.1}%",
+                    st.label,
+                    100.0 * st.steps.prep_share(),
+                    p[0].1,
+                    p[1].1,
+                    p[2].1,
+                    p[3].1 + p[4].1,
+                );
+            }
+            let last = &stages.last().unwrap().steps;
+            compare(
+                "prep/others ratio at final stage (paper: 54.9x)",
+                54.9,
+                last.preparation() / last.others(),
+            );
+            emit_json("fig03", &stages);
+        },
     );
-    let stages = figure3_stages();
-    println!(
-        "{:<22} {:>10} {:>10} {:>12} {:>10} {:>10}",
-        "stage", "prep %", "transfer %", "formatting %", "aug %", "others %"
-    );
-    for st in &stages {
-        let p = st.steps.percentages();
-        println!(
-            "{:<22} {:>9.1}% {:>9.1}% {:>11.1}% {:>9.1}% {:>9.1}%",
-            st.label,
-            100.0 * st.steps.prep_share(),
-            p[0].1,
-            p[1].1,
-            p[2].1,
-            p[3].1 + p[4].1,
-        );
-    }
-    let last = &stages.last().unwrap().steps;
-    compare(
-        "prep/others ratio at final stage (paper: 54.9x)",
-        54.9,
-        last.preparation() / last.others(),
-    );
-    emit_json("fig03", &stages);
-    trainbox_bench::emit_default_trace();
 }

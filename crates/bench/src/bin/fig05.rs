@@ -4,38 +4,37 @@
 //! the real crop/mirror/noise kernels in the training loop). Epoch count is
 //! adjustable with `TRAINBOX_FIG05_EPOCHS` (default 14).
 
-use trainbox_bench::{banner, bench_cli, compare, emit_json, run_sweep};
+use trainbox_bench::{compare, emit_json, figure_main, run_sweep};
 use trainbox_nn::train::{run_arm, AugExperimentConfig, AugExperimentResult};
 
 fn main() {
-    let jobs = bench_cli();
-    banner("Figure 5", "Accuracy with vs without data augmentation");
-    let epochs = std::env::var("TRAINBOX_FIG05_EPOCHS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(14);
-    let cfg = AugExperimentConfig { epochs, ..AugExperimentConfig::default() };
-    // The two arms are independent and self-seeded; run them concurrently.
-    let mut arms = run_sweep(jobs, vec![true, false], |_, augment| run_arm(&cfg, augment));
-    let without_augmentation = arms.pop().expect("un-augmented arm");
-    let with_augmentation = arms.pop().expect("augmented arm");
-    let res = AugExperimentResult { with_augmentation, without_augmentation };
-    println!("{:>6} {:>18} {:>18}", "epoch", "with aug (top-1)", "w/o aug (top-1)");
-    for e in 0..epochs {
-        println!(
-            "{:>6} {:>18.3} {:>18.3}",
-            e + 1,
-            res.with_augmentation.top1[e],
-            res.without_augmentation.top1[e]
+    figure_main("Figure 5", "Accuracy with vs without data augmentation", |jobs| {
+        let epochs = std::env::var("TRAINBOX_FIG05_EPOCHS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(14);
+        let cfg = AugExperimentConfig { epochs, ..AugExperimentConfig::default() };
+        // The two arms are independent and self-seeded; run them concurrently.
+        let mut arms = run_sweep(jobs, vec![true, false], |_, augment| run_arm(&cfg, augment));
+        let without_augmentation = arms.pop().expect("un-augmented arm");
+        let with_augmentation = arms.pop().expect("augmented arm");
+        let res = AugExperimentResult { with_augmentation, without_augmentation };
+        println!("{:>6} {:>18} {:>18}", "epoch", "with aug (top-1)", "w/o aug (top-1)");
+        for e in 0..epochs {
+            println!(
+                "{:>6} {:>18.3} {:>18.3}",
+                e + 1,
+                res.with_augmentation.top1[e],
+                res.without_augmentation.top1[e]
+            );
+        }
+        let gap = res.with_augmentation.top1.last().unwrap()
+            - res.without_augmentation.top1.last().unwrap();
+        compare(
+            "final accuracy gap, percentage points (paper: 29.1)",
+            29.1,
+            100.0 * gap,
         );
-    }
-    let gap = res.with_augmentation.top1.last().unwrap()
-        - res.without_augmentation.top1.last().unwrap();
-    compare(
-        "final accuracy gap, percentage points (paper: 29.1)",
-        29.1,
-        100.0 * gap,
-    );
-    emit_json("fig05", &res);
-    trainbox_bench::emit_default_trace();
+        emit_json("fig05", &res);
+    });
 }

@@ -2,40 +2,38 @@
 //! (throughput normalized to one accelerator).
 
 use std::collections::BTreeMap;
-use trainbox_bench::{ACCEL_SWEEP, banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main, ACCEL_SWEEP};
 use trainbox_core::arch::{throughput_of, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Figure 8", "Baseline throughput scalability (normalized to n=1)");
-    let mut table: BTreeMap<&str, Vec<(usize, f64)>> = BTreeMap::new();
-    print!("{:<14}", "workload");
-    for n in ACCEL_SWEEP {
-        print!(" {n:>8}");
-    }
-    println!();
-    let mut max_sat = 0.0f64;
-    for w in Workload::all() {
-        print!("{:<14}", w.name);
-        let base = throughput_of(ServerKind::Baseline, 1, &w).samples_per_sec;
-        let mut series = Vec::new();
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Figure 8", "Baseline throughput scalability (normalized to n=1)", |_jobs| {
+        let mut table: BTreeMap<&str, Vec<(usize, f64)>> = BTreeMap::new();
+        print!("{:<14}", "workload");
         for n in ACCEL_SWEEP {
-            let v = throughput_of(ServerKind::Baseline, n, &w).samples_per_sec / base;
-            print!(" {v:>8.1}");
-            series.push((n, v));
+            print!(" {n:>8}");
         }
         println!();
-        max_sat = max_sat.max(series.last().unwrap().1);
-        table.insert(w.name, series);
-    }
-    compare(
-        "best saturation point across models (paper: ~18 accelerators)",
-        18.0,
-        max_sat,
-    );
-    emit_json("fig08", &table);
-    trainbox_bench::emit_default_trace();
+        let mut max_sat = 0.0f64;
+        for w in Workload::all() {
+            print!("{:<14}", w.name);
+            let base = throughput_of(ServerKind::Baseline, 1, &w).samples_per_sec;
+            let mut series = Vec::new();
+            for n in ACCEL_SWEEP {
+                let v = throughput_of(ServerKind::Baseline, n, &w).samples_per_sec / base;
+                print!(" {v:>8.1}");
+                series.push((n, v));
+            }
+            println!();
+            max_sat = max_sat.max(series.last().unwrap().1);
+            table.insert(w.name, series);
+        }
+        compare(
+            "best saturation point across models (paper: ~18 accelerators)",
+            18.0,
+            max_sat,
+        );
+        emit_json("fig08", &table);
+    });
 }

@@ -1,41 +1,43 @@
 //! Figure 9 — latency decomposition of every workload on the 256-accelerator
 //! baseline.
 
-use trainbox_bench::{banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main};
 use trainbox_core::analytic::latency_decomposition;
 use trainbox_core::arch::{ServerConfig, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Figure 9", "Latency decomposition per workload (baseline, 256 accelerators)");
-    println!(
-        "{:<14} {:>10} {:>12} {:>8} {:>10} {:>8} {:>10}",
-        "workload", "transfer%", "formatting%", "aug%", "compute%", "sync%", "prep share"
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main(
+        "Figure 9",
+        "Latency decomposition per workload (baseline, 256 accelerators)",
+        |_jobs| {
+            println!(
+                "{:<14} {:>10} {:>12} {:>8} {:>10} {:>8} {:>10}",
+                "workload", "transfer%", "formatting%", "aug%", "compute%", "sync%", "prep share"
+            );
+            let server = ServerConfig::new(ServerKind::Baseline, 256).build();
+            let mut shares = Vec::new();
+            let mut rows = Vec::new();
+            for w in Workload::all() {
+                let d = latency_decomposition(&server, &w);
+                let p = d.percentages();
+                println!(
+                    "{:<14} {:>9.1}% {:>11.1}% {:>7.1}% {:>9.2}% {:>7.3}% {:>9.1}%",
+                    w.name,
+                    p[0].1,
+                    p[1].1,
+                    p[2].1,
+                    p[3].1,
+                    p[4].1,
+                    100.0 * d.prep_share()
+                );
+                shares.push(d.prep_share());
+                rows.push((w.name, d));
+            }
+            let mean = shares.iter().sum::<f64>() / shares.len() as f64;
+            compare("mean data-preparation share, % (paper: 98.1)", 98.1, 100.0 * mean);
+            emit_json("fig09", &rows);
+        },
     );
-    let server = ServerConfig::new(ServerKind::Baseline, 256).build();
-    let mut shares = Vec::new();
-    let mut rows = Vec::new();
-    for w in Workload::all() {
-        let d = latency_decomposition(&server, &w);
-        let p = d.percentages();
-        println!(
-            "{:<14} {:>9.1}% {:>11.1}% {:>7.1}% {:>9.2}% {:>7.3}% {:>9.1}%",
-            w.name,
-            p[0].1,
-            p[1].1,
-            p[2].1,
-            p[3].1,
-            p[4].1,
-            100.0 * d.prep_share()
-        );
-        shares.push(d.prep_share());
-        rows.push((w.name, d));
-    }
-    let mean = shares.iter().sum::<f64>() / shares.len() as f64;
-    compare("mean data-preparation share, % (paper: 98.1)", 98.1, 100.0 * mean);
-    emit_json("fig09", &rows);
-    trainbox_bench::emit_default_trace();
 }

@@ -2,65 +2,67 @@
 //! normalized to a DGX-2 class host: (a) CPU cores, (b) memory bandwidth,
 //! (c) PCIe bandwidth at the root complex.
 
-use trainbox_bench::{ACCEL_SWEEP, banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main, ACCEL_SWEEP};
 use trainbox_core::host::RequiredResources;
 use trainbox_nn::Workload;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Figure 10", "Required host resources vs accelerator count (normalized to DGX-2)");
-    let mut dump = Vec::new();
-    for (panel, pick) in [
-        ("(a) CPU cores", 0usize),
-        ("(b) Memory bandwidth", 1),
-        ("(c) PCIe bandwidth at the root complex", 2),
-    ] {
-        println!("\n{panel}");
-        print!("{:<14}", "workload");
-        for n in ACCEL_SWEEP {
-            print!(" {n:>8}");
-        }
-        println!();
-        for w in Workload::all() {
-            print!("{:<14}", w.name);
-            for n in ACCEL_SWEEP {
-                let norm = RequiredResources::baseline(&w, n).normalized();
-                let v = [norm.0, norm.1, norm.2][pick];
-                print!(" {v:>8.1}");
-                dump.push((panel, w.name, n, v));
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main(
+        "Figure 10",
+        "Required host resources vs accelerator count (normalized to DGX-2)",
+        |_jobs| {
+            let mut dump = Vec::new();
+            for (panel, pick) in [
+                ("(a) CPU cores", 0usize),
+                ("(b) Memory bandwidth", 1),
+                ("(c) PCIe bandwidth at the root complex", 2),
+            ] {
+                println!("\n{panel}");
+                print!("{:<14}", "workload");
+                for n in ACCEL_SWEEP {
+                    print!(" {n:>8}");
+                }
+                println!();
+                for w in Workload::all() {
+                    print!("{:<14}", w.name);
+                    for n in ACCEL_SWEEP {
+                        let norm = RequiredResources::baseline(&w, n).normalized();
+                        let v = [norm.0, norm.1, norm.2][pick];
+                        print!(" {v:>8.1}");
+                        dump.push((panel, w.name, n, v));
+                    }
+                    println!();
+                }
             }
+            // Paper anchors at 256 accelerators.
+            let maxima = |pick: usize| {
+                Workload::all()
+                    .iter()
+                    .map(|w| {
+                        let n = RequiredResources::baseline(w, 256).normalized();
+                        [n.0, n.1, n.2][pick]
+                    })
+                    .fold(0.0f64, f64::max)
+            };
+            let means = |pick: usize| {
+                let v: Vec<f64> = Workload::all()
+                    .iter()
+                    .map(|w| {
+                        let n = RequiredResources::baseline(w, 256).normalized();
+                        [n.0, n.1, n.2][pick]
+                    })
+                    .collect();
+                v.iter().sum::<f64>() / v.len() as f64
+            };
             println!();
-        }
-    }
-    // Paper anchors at 256 accelerators.
-    let maxima = |pick: usize| {
-        Workload::all()
-            .iter()
-            .map(|w| {
-                let n = RequiredResources::baseline(w, 256).normalized();
-                [n.0, n.1, n.2][pick]
-            })
-            .fold(0.0f64, f64::max)
-    };
-    let means = |pick: usize| {
-        let v: Vec<f64> = Workload::all()
-            .iter()
-            .map(|w| {
-                let n = RequiredResources::baseline(w, 256).normalized();
-                [n.0, n.1, n.2][pick]
-            })
-            .collect();
-        v.iter().sum::<f64>() / v.len() as f64
-    };
-    println!();
-    compare("max CPU multiplier at 256 (paper: 100.7x)", 100.7, maxima(0));
-    compare("max memory-BW multiplier at 256 (paper: 17.9x)", 17.9, maxima(1));
-    compare("max PCIe-BW multiplier at 256 (paper: 18.0x)", 18.0, maxima(2));
-    compare("mean CPU multiplier at 256 (paper: 50.0x)", 50.0, means(0));
-    compare("mean memory-BW multiplier at 256 (paper: 7.6x)", 7.6, means(1));
-    compare("mean PCIe-BW multiplier at 256 (paper: 7.1x)", 7.1, means(2));
-    emit_json("fig10", &dump);
-    trainbox_bench::emit_default_trace();
+            compare("max CPU multiplier at 256 (paper: 100.7x)", 100.7, maxima(0));
+            compare("max memory-BW multiplier at 256 (paper: 17.9x)", 17.9, maxima(1));
+            compare("max PCIe-BW multiplier at 256 (paper: 18.0x)", 18.0, maxima(2));
+            compare("mean CPU multiplier at 256 (paper: 50.0x)", 50.0, means(0));
+            compare("mean memory-BW multiplier at 256 (paper: 7.6x)", 7.6, means(1));
+            compare("mean PCIe-BW multiplier at 256 (paper: 7.1x)", 7.1, means(2));
+            emit_json("fig10", &dump);
+        },
+    );
 }

@@ -1,7 +1,7 @@
 //! Figure 11 — decomposition of baseline host-resource consumption by
 //! operation class, for image and audio inputs.
 
-use trainbox_bench::{banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main};
 use trainbox_core::host::{Datapath, PerSampleUsage};
 use trainbox_nn::InputKind;
 
@@ -26,23 +26,21 @@ fn print_panel(input: InputKind) -> PerSampleUsage {
 }
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Figure 11", "Decomposition of host resource consumption (baseline)");
-    let img = print_panel(InputKind::Image);
-    let aud = print_panel(InputKind::Audio);
-    println!();
-    compare(
-        "image data-load share of memory BW, % (paper: 36.7)",
-        36.7,
-        100.0 * img.mem_bytes.data_load / img.mem_bytes.total(),
-    );
-    compare(
-        "audio data-load share of memory BW, % (paper: 21.1)",
-        21.1,
-        100.0 * aud.mem_bytes.data_load / aud.mem_bytes.total(),
-    );
-    emit_json("fig11", &[("image", img), ("audio", aud)]);
-    trainbox_bench::emit_default_trace();
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Figure 11", "Decomposition of host resource consumption (baseline)", |_jobs| {
+        let img = print_panel(InputKind::Image);
+        let aud = print_panel(InputKind::Audio);
+        println!();
+        compare(
+            "image data-load share of memory BW, % (paper: 36.7)",
+            36.7,
+            100.0 * img.mem_bytes.data_load / img.mem_bytes.total(),
+        );
+        compare(
+            "audio data-load share of memory BW, % (paper: 21.1)",
+            21.1,
+            100.0 * aud.mem_bytes.data_load / aud.mem_bytes.total(),
+        );
+        emit_json("fig11", &[("image", img), ("audio", aud)]);
+    });
 }

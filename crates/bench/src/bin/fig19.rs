@@ -1,65 +1,64 @@
 //! Figure 19 — impact of TrainBox's optimizations at 256 accelerators:
 //! Baseline, B+Acc, B+Acc+P2P, B+Acc+P2P+Gen4, TrainBox.
 
-use trainbox_bench::{banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main};
 use trainbox_core::arch::{throughput_of, ServerKind};
 use trainbox_nn::Workload;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner(
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main(
         "Figure 19",
         "Throughput of each optimization step at 256 accelerators (normalized to baseline)",
-    );
-    let kinds = ServerKind::figure19_order();
-    print!("{:<14}", "workload");
-    for k in kinds {
-        print!(" {:>16}", k.label());
-    }
-    println!();
-    let mut speedups = Vec::new();
-    let mut dump = Vec::new();
-    for w in Workload::all() {
-        let base = throughput_of(ServerKind::Baseline, 256, &w).samples_per_sec;
-        print!("{:<14}", w.name);
-        for k in kinds {
-            let v = throughput_of(k, 256, &w).samples_per_sec / base;
-            print!(" {v:>15.1}x");
-            dump.push((w.name, k.label(), v));
-            if k == ServerKind::TrainBox {
-                speedups.push(v);
+        |_jobs| {
+            let kinds = ServerKind::figure19_order();
+            print!("{:<14}", "workload");
+            for k in kinds {
+                print!(" {:>16}", k.label());
             }
-        }
-        println!();
-    }
-    let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
-    let max = speedups.iter().copied().fold(0.0f64, f64::max);
-    println!();
-    compare("mean TrainBox speedup (paper: 44.4x)", 44.4, mean);
-    compare("max TrainBox speedup, TF-AA (paper: 84.3x)", 84.3, max);
-    // Step-wise means the paper quotes in §VI-C.
-    let step = |a: ServerKind, b: ServerKind| {
-        let v: Vec<f64> = Workload::all()
-            .iter()
-            .map(|w| {
-                throughput_of(b, 256, w).samples_per_sec
-                    / throughput_of(a, 256, w).samples_per_sec
-            })
-            .collect();
-        v.iter().sum::<f64>() / v.len() as f64
-    };
-    compare(
-        "mean gain from acceleration alone (paper: 3.32x)",
-        3.32,
-        step(ServerKind::Baseline, ServerKind::AccFpga),
+            println!();
+            let mut speedups = Vec::new();
+            let mut dump = Vec::new();
+            for w in Workload::all() {
+                let base = throughput_of(ServerKind::Baseline, 256, &w).samples_per_sec;
+                print!("{:<14}", w.name);
+                for k in kinds {
+                    let v = throughput_of(k, 256, &w).samples_per_sec / base;
+                    print!(" {v:>15.1}x");
+                    dump.push((w.name, k.label(), v));
+                    if k == ServerKind::TrainBox {
+                        speedups.push(v);
+                    }
+                }
+                println!();
+            }
+            let mean = speedups.iter().sum::<f64>() / speedups.len() as f64;
+            let max = speedups.iter().copied().fold(0.0f64, f64::max);
+            println!();
+            compare("mean TrainBox speedup (paper: 44.4x)", 44.4, mean);
+            compare("max TrainBox speedup, TF-AA (paper: 84.3x)", 84.3, max);
+            // Step-wise means the paper quotes in §VI-C.
+            let step = |a: ServerKind, b: ServerKind| {
+                let v: Vec<f64> = Workload::all()
+                    .iter()
+                    .map(|w| {
+                        throughput_of(b, 256, w).samples_per_sec
+                            / throughput_of(a, 256, w).samples_per_sec
+                    })
+                    .collect();
+                v.iter().sum::<f64>() / v.len() as f64
+            };
+            compare(
+                "mean gain from acceleration alone (paper: 3.32x)",
+                3.32,
+                step(ServerKind::Baseline, ServerKind::AccFpga),
+            );
+            compare(
+                "mean gain from clustering over P2P (paper: 13.4x)",
+                13.4,
+                step(ServerKind::AccFpgaP2p, ServerKind::TrainBox),
+            );
+            emit_json("fig19", &dump);
+        },
     );
-    compare(
-        "mean gain from clustering over P2P (paper: 13.4x)",
-        13.4,
-        step(ServerKind::AccFpgaP2p, ServerKind::TrainBox),
-    );
-    emit_json("fig19", &dump);
-    trainbox_bench::emit_default_trace();
 }

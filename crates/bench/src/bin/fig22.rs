@@ -1,7 +1,7 @@
 //! Figure 22 — host-side resource utilization of each server design,
 //! normalized to the baseline, decomposed by operation class.
 
-use trainbox_bench::{banner, bench_cli, emit_json};
+use trainbox_bench::{emit_json, figure_main};
 use trainbox_core::host::{figure22_rows, Datapath};
 use trainbox_nn::InputKind;
 
@@ -15,41 +15,45 @@ fn label(d: Datapath) -> &'static str {
 }
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Figure 22", "Host resource utilization by design (normalized to baseline)");
-    let mut dump = Vec::new();
-    for input in [InputKind::Image, InputKind::Audio] {
-        println!("\n({input:?})");
-        let rows = figure22_rows(input);
-        let base = rows[0].1;
-        println!(
-            "{:<16} {:>10} {:>12} {:>10}   dominant class",
-            "design", "CPU", "memory BW", "PCIe BW"
-        );
-        for (d, u) in &rows {
-            let cpu = u.cpu_secs.total() / base.cpu_secs.total();
-            let mem = u.mem_bytes.total() / base.mem_bytes.total();
-            let pcie = u.rc_pcie_bytes.total() / base.rc_pcie_bytes.total();
-            let dominant = u
-                .mem_bytes
-                .classes()
-                .iter()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .map(|(l, _)| *l)
-                .unwrap_or("-");
-            println!(
-                "{:<16} {:>10.3} {:>12.3} {:>10.3}   {dominant}",
-                label(*d),
-                cpu,
-                mem,
-                pcie
-            );
-            dump.push((format!("{input:?}"), label(*d), cpu, mem, pcie));
-        }
-        println!("  (paper: B+Acc doubles PCIe; P2P zeroes memory; TrainBox zeroes all three)");
-    }
-    emit_json("fig22", &dump);
-    trainbox_bench::emit_default_trace();
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main(
+        "Figure 22",
+        "Host resource utilization by design (normalized to baseline)",
+        |_jobs| {
+            let mut dump = Vec::new();
+            for input in [InputKind::Image, InputKind::Audio] {
+                println!("\n({input:?})");
+                let rows = figure22_rows(input);
+                let base = rows[0].1;
+                println!(
+                    "{:<16} {:>10} {:>12} {:>10}   dominant class",
+                    "design", "CPU", "memory BW", "PCIe BW"
+                );
+                for (d, u) in &rows {
+                    let cpu = u.cpu_secs.total() / base.cpu_secs.total();
+                    let mem = u.mem_bytes.total() / base.mem_bytes.total();
+                    let pcie = u.rc_pcie_bytes.total() / base.rc_pcie_bytes.total();
+                    let dominant = u
+                        .mem_bytes
+                        .classes()
+                        .iter()
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                        .map(|(l, _)| *l)
+                        .unwrap_or("-");
+                    println!(
+                        "{:<16} {:>10.3} {:>12.3} {:>10.3}   {dominant}",
+                        label(*d),
+                        cpu,
+                        mem,
+                        pcie
+                    );
+                    dump.push((format!("{input:?}"), label(*d), cpu, mem, pcie));
+                }
+                println!(
+                    "  (paper: B+Acc doubles PCIe; P2P zeroes memory; TrainBox zeroes all three)"
+                );
+            }
+            emit_json("fig22", &dump);
+        },
+    );
 }

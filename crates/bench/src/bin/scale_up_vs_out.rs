@@ -1,54 +1,51 @@
 //! §III-A's scale-up vs scale-out argument, quantified: synchronization
 //! efficiency of a DGX-2-style cluster vs one fabric, and host-resource TCO.
 
-use trainbox_bench::{banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main};
 use trainbox_core::scaleout::{ScaleOutCluster, TcoModel};
 use trainbox_nn::Workload;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Scale-up vs scale-out", "§III-A's case for the single giant node");
-
-    println!("scale-out speedup over one 16-accelerator node (global batch capped):");
-    print!("{:<14}", "workload");
-    let node_counts = [2usize, 8, 32, 96];
-    for n in node_counts {
-        print!(" {:>8}", format!("{n} nodes"));
-    }
-    println!(" {:>10}", "96-node eff");
-    let mut dump = Vec::new();
-    let mut best96 = 0.0f64;
-    for w in Workload::all() {
-        print!("{:<14}", w.name);
-        let mut s96 = 0.0;
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Scale-up vs scale-out", "§III-A's case for the single giant node", |_jobs| {
+        println!("scale-out speedup over one 16-accelerator node (global batch capped):");
+        print!("{:<14}", "workload");
+        let node_counts = [2usize, 8, 32, 96];
         for n in node_counts {
-            let s = ScaleOutCluster::dgx2_style(n).speedup_over_one_node(&w);
-            print!(" {s:>8.1}");
-            dump.push((w.name, n, s));
-            if n == 96 {
-                s96 = s;
-            }
+            print!(" {:>8}", format!("{n} nodes"));
         }
-        println!(" {:>9.0}%", 100.0 * s96 / 96.0);
-        best96 = best96.max(s96);
-    }
-    compare(
-        "best 96-node speedup (paper quotes MLPerf: 39.7x)",
-        39.7,
-        best96,
-    );
+        println!(" {:>10}", "96-node eff");
+        let mut dump = Vec::new();
+        let mut best96 = 0.0f64;
+        for w in Workload::all() {
+            print!("{:<14}", w.name);
+            let mut s96 = 0.0;
+            for n in node_counts {
+                let s = ScaleOutCluster::dgx2_style(n).speedup_over_one_node(&w);
+                print!(" {s:>8.1}");
+                dump.push((w.name, n, s));
+                if n == 96 {
+                    s96 = s;
+                }
+            }
+            println!(" {:>9.0}%", 100.0 * s96 / 96.0);
+            best96 = best96.max(s96);
+        }
+        compare(
+            "best 96-node speedup (paper quotes MLPerf: 39.7x)",
+            39.7,
+            best96,
+        );
 
-    println!("\nhost-resource TCO for 256 accelerators ($k, working cost model):");
-    let tco = TcoModel::default_costs();
-    for (label, cost) in [
-        ("scale-out, 1 accel/node", tco.scale_out_cost(256, 1)),
-        ("scale-out, 16 accels/node", tco.scale_out_cost(256, 16)),
-        ("scale-up TrainBox (host + 64 FPGAs)", tco.scale_up_cost(256)),
-    ] {
-        println!("  {label:<38} {:>10.0}", cost / 1000.0);
-    }
-    emit_json("scale_up_vs_out", &dump);
-    trainbox_bench::emit_default_trace();
+        println!("\nhost-resource TCO for 256 accelerators ($k, working cost model):");
+        let tco = TcoModel::default_costs();
+        for (label, cost) in [
+            ("scale-out, 1 accel/node", tco.scale_out_cost(256, 1)),
+            ("scale-out, 16 accels/node", tco.scale_out_cost(256, 16)),
+            ("scale-up TrainBox (host + 64 FPGAs)", tco.scale_up_cost(256)),
+        ] {
+            println!("  {label:<38} {:>10.0}", cost / 1000.0);
+        }
+        emit_json("scale_up_vs_out", &dump);
+    });
 }

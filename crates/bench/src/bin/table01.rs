@@ -1,29 +1,27 @@
 //! Table I — summary of workloads.
 
-use trainbox_bench::{banner, bench_cli, emit_json};
+use trainbox_bench::{emit_json, figure_main};
 use trainbox_nn::Workload;
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Table I", "Summary of workloads");
-    println!(
-        "{:<6} {:<14} {:<22} {:>8} {:>12} {:>14}",
-        "Type", "Name", "Task", "Batch", "Model (MB)", "Sample/s"
-    );
-    let all = Workload::all();
-    for w in &all {
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Table I", "Summary of workloads", |_jobs| {
         println!(
-            "{:<6} {:<14} {:<22} {:>8} {:>12.1} {:>14.0}",
-            format!("{:?}", w.kind),
-            w.name,
-            w.task,
-            w.batch_size,
-            w.model_mbytes,
-            w.accel_samples_per_sec
+            "{:<6} {:<14} {:<22} {:>8} {:>12} {:>14}",
+            "Type", "Name", "Task", "Batch", "Model (MB)", "Sample/s"
         );
-    }
-    emit_json("table01", &all);
-    trainbox_bench::emit_default_trace();
+        let all = Workload::all();
+        for w in &all {
+            println!(
+                "{:<6} {:<14} {:<22} {:>8} {:>12.1} {:>14.0}",
+                format!("{:?}", w.kind),
+                w.name,
+                w.task,
+                w.batch_size,
+                w.model_mbytes,
+                w.accel_samples_per_sec
+            );
+        }
+        emit_json("table01", &all);
+    });
 }

@@ -1,48 +1,46 @@
 //! Table II — FPGA resource utilization, image version.
 
-use trainbox_bench::{banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main};
 use trainbox_core::fpga::{allocate, engine_rows, image_engines, XCVU9P};
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Table II", "Resource utilization on an FPGA (image version, XCVU9P)");
-    println!(
-        "{:<28} {:>14} {:>14} {:>12} {:>12}",
-        "engine", "LUTs", "FF", "BRAM", "DSP"
-    );
-    for (e, u) in engine_rows(XCVU9P, &image_engines()) {
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Table II", "Resource utilization on an FPGA (image version, XCVU9P)", |_jobs| {
         println!(
-            "{:<28} {:>7}K ({:>4.1}%) {:>7}K ({:>4.1}%) {:>4} ({:>4.1}%) {:>4} ({:>4.1}%)",
-            e.name,
-            e.lut / 1000,
-            100.0 * u.lut,
-            e.ff / 1000,
-            100.0 * u.ff,
-            e.bram,
-            100.0 * u.bram,
-            e.dsp,
-            100.0 * u.dsp
+            "{:<28} {:>14} {:>14} {:>12} {:>12}",
+            "engine", "LUTs", "FF", "BRAM", "DSP"
         );
-    }
-    let total = allocate(XCVU9P, &image_engines()).expect("fits");
-    println!(
-        "{:<28} {:>14.1}% {:>13.1}% {:>11.1}% {:>11.1}%",
-        "Total",
-        100.0 * total.lut,
-        100.0 * total.ff,
-        100.0 * total.bram,
-        100.0 * total.dsp
-    );
-    compare("total LUT %, image (paper: 78.7)", 78.7, 100.0 * total.lut);
-    compare("total FF %, image (paper: 38.1)", 38.1, 100.0 * total.ff);
-    compare("total DSP %, image (paper: 30.5)", 30.5, 100.0 * total.dsp);
-    println!(
-        "  note: the paper prints a 51.5% BRAM total, but its own rows sum to {} blocks = {:.1}%",
-        1257,
-        100.0 * total.bram
-    );
-    emit_json("table02", &total);
-    trainbox_bench::emit_default_trace();
+        for (e, u) in engine_rows(XCVU9P, &image_engines()) {
+            println!(
+                "{:<28} {:>7}K ({:>4.1}%) {:>7}K ({:>4.1}%) {:>4} ({:>4.1}%) {:>4} ({:>4.1}%)",
+                e.name,
+                e.lut / 1000,
+                100.0 * u.lut,
+                e.ff / 1000,
+                100.0 * u.ff,
+                e.bram,
+                100.0 * u.bram,
+                e.dsp,
+                100.0 * u.dsp
+            );
+        }
+        let total = allocate(XCVU9P, &image_engines()).expect("fits");
+        println!(
+            "{:<28} {:>14.1}% {:>13.1}% {:>11.1}% {:>11.1}%",
+            "Total",
+            100.0 * total.lut,
+            100.0 * total.ff,
+            100.0 * total.bram,
+            100.0 * total.dsp
+        );
+        compare("total LUT %, image (paper: 78.7)", 78.7, 100.0 * total.lut);
+        compare("total FF %, image (paper: 38.1)", 38.1, 100.0 * total.ff);
+        compare("total DSP %, image (paper: 30.5)", 30.5, 100.0 * total.dsp);
+        println!(
+            "  note: the paper prints a 51.5% BRAM total, but its own rows sum to {} blocks = {:.1}%",
+            1257,
+            100.0 * total.bram
+        );
+        emit_json("table02", &total);
+    });
 }

@@ -1,44 +1,42 @@
 //! Table III — FPGA resource utilization, audio version.
 
-use trainbox_bench::{banner, bench_cli, compare, emit_json};
+use trainbox_bench::{compare, emit_json, figure_main};
 use trainbox_core::fpga::{allocate, audio_engines, engine_rows, XCVU9P};
 
 fn main() {
-    // Sequential binary: parses -j/--print-jobs for a uniform CLI, runs
-    // too quickly to benefit from the sweep-runner.
-    let _ = bench_cli();
-    banner("Table III", "Resource utilization on an FPGA (audio version, XCVU9P)");
-    println!(
-        "{:<28} {:>14} {:>14} {:>12} {:>12}",
-        "engine", "LUTs", "FF", "BRAM", "DSP"
-    );
-    for (e, u) in engine_rows(XCVU9P, &audio_engines()) {
+    // Sequential body: runs too quickly to benefit from the sweep-runner.
+    figure_main("Table III", "Resource utilization on an FPGA (audio version, XCVU9P)", |_jobs| {
         println!(
-            "{:<28} {:>7}K ({:>4.1}%) {:>7}K ({:>4.1}%) {:>4} ({:>4.1}%) {:>4} ({:>4.1}%)",
-            e.name,
-            e.lut / 1000,
-            100.0 * u.lut,
-            e.ff / 1000,
-            100.0 * u.ff,
-            e.bram,
-            100.0 * u.bram,
-            e.dsp,
-            100.0 * u.dsp
+            "{:<28} {:>14} {:>14} {:>12} {:>12}",
+            "engine", "LUTs", "FF", "BRAM", "DSP"
         );
-    }
-    let total = allocate(XCVU9P, &audio_engines()).expect("fits");
-    println!(
-        "{:<28} {:>14.1}% {:>13.1}% {:>11.1}% {:>11.1}%",
-        "Total",
-        100.0 * total.lut,
-        100.0 * total.ff,
-        100.0 * total.bram,
-        100.0 * total.dsp
-    );
-    compare("total LUT %, audio (paper: 80.2)", 80.2, 100.0 * total.lut);
-    compare("total FF %, audio (paper: 46.3)", 46.3, 100.0 * total.ff);
-    compare("total BRAM %, audio (paper: 77.1)", 77.1, 100.0 * total.bram);
-    compare("total DSP %, audio (paper: 12.2)", 12.2, 100.0 * total.dsp);
-    emit_json("table03", &total);
-    trainbox_bench::emit_default_trace();
+        for (e, u) in engine_rows(XCVU9P, &audio_engines()) {
+            println!(
+                "{:<28} {:>7}K ({:>4.1}%) {:>7}K ({:>4.1}%) {:>4} ({:>4.1}%) {:>4} ({:>4.1}%)",
+                e.name,
+                e.lut / 1000,
+                100.0 * u.lut,
+                e.ff / 1000,
+                100.0 * u.ff,
+                e.bram,
+                100.0 * u.bram,
+                e.dsp,
+                100.0 * u.dsp
+            );
+        }
+        let total = allocate(XCVU9P, &audio_engines()).expect("fits");
+        println!(
+            "{:<28} {:>14.1}% {:>13.1}% {:>11.1}% {:>11.1}%",
+            "Total",
+            100.0 * total.lut,
+            100.0 * total.ff,
+            100.0 * total.bram,
+            100.0 * total.dsp
+        );
+        compare("total LUT %, audio (paper: 80.2)", 80.2, 100.0 * total.lut);
+        compare("total FF %, audio (paper: 46.3)", 46.3, 100.0 * total.ff);
+        compare("total BRAM %, audio (paper: 77.1)", 77.1, 100.0 * total.bram);
+        compare("total DSP %, audio (paper: 12.2)", 12.2, 100.0 * total.dsp);
+        emit_json("table03", &total);
+    });
 }

@@ -8,11 +8,12 @@
 use serde::Serialize;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
-use trainbox_core::arch::{Server, ServerConfig, ServerKind};
-use trainbox_core::faults::FaultPlan;
-use trainbox_core::pipeline::{simulate_traced, SimConfig};
+use trainbox_core::arch::ServerKind;
+use trainbox_core::pipeline::SimConfig;
+use trainbox_core::request::{SimMode, SimRequest};
 use trainbox_nn::Workload;
 use trainbox_sim::{chrome_trace_json, RingTracer, TraceSummary};
 
@@ -132,40 +133,63 @@ pub fn bench_cli() -> usize {
     jobs
 }
 
-/// Run one DES scenario with a [`RingTracer`] attached and write the Chrome
+/// Whether a figure body already exported its own scenario trace, so
+/// [`figure_main`]'s fallback [`emit_default_trace`] must not clobber it.
+static SCENARIO_TRACED: AtomicBool = AtomicBool::new(false);
+
+/// Run one DES request with a [`RingTracer`] attached and write the Chrome
 /// trace-event JSON to the `--trace` destination. No-op when `--trace` was
 /// not passed, so binaries call this unconditionally; tracing happens in a
 /// *separate* instrumented run, leaving the figure's own output (stdout and
 /// any `results/` JSON) byte-identical with or without the flag.
-pub fn emit_scenario_trace(
-    server: &Server,
-    workload: &Workload,
-    cfg: &SimConfig,
-    plan: &FaultPlan,
-) {
+///
+/// `req.sim` must be a DES mode ([`SimMode::Des`]).
+pub fn emit_scenario_trace(req: &SimRequest) {
     let Some(path) = trace_out() else { return };
-    let (_, tracer) = simulate_traced(
-        server,
-        workload,
-        cfg,
-        plan,
-        RingTracer::new(RingTracer::DEFAULT_CAPACITY),
-    );
+    let (_, tracer) = req
+        .run_des_with_tracer(RingTracer::new(RingTracer::DEFAULT_CAPACITY))
+        .unwrap_or_else(|e| panic!("trace scenario failed: {e}"));
+    SCENARIO_TRACED.store(true, Ordering::Relaxed);
     write_chrome_trace(&path, tracer);
 }
 
-/// [`emit_scenario_trace`] on the canonical scenario — a 16-accelerator
-/// TrainBox (no pool) training Inception-v4 — for binaries whose own sweep
-/// is analytic-only and has no DES configuration to borrow.
+/// The canonical `--trace` scenario — a 16-accelerator TrainBox (no pool)
+/// training Inception-v4 at batch 512 — for binaries whose own sweep is
+/// analytic-only and has no DES configuration to borrow.
+pub fn default_trace_request() -> SimRequest {
+    let mut req = SimRequest::des(
+        ServerKind::TrainBoxNoPool,
+        16,
+        Workload::inception_v4(),
+        SimConfig::default(),
+    );
+    req.server.batch_size = Some(512);
+    req
+}
+
+/// [`emit_scenario_trace`] on [`default_trace_request`], unless the figure
+/// body already exported a scenario of its own.
 pub fn emit_default_trace() {
-    if trace_out().is_none() {
+    if trace_out().is_none() || SCENARIO_TRACED.load(Ordering::Relaxed) {
         return;
     }
-    let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
-        .batch_size(512)
-        .build();
-    let workload = Workload::inception_v4();
-    emit_scenario_trace(&server, &workload, &SimConfig::default(), &FaultPlan::empty());
+    emit_scenario_trace(&default_trace_request());
+}
+
+/// The figure-binary main: parse the standard CLI ([`bench_cli`]), print the
+/// banner, run the figure body with the requested sweep parallelism, then
+/// honor `--trace` ([`emit_default_trace`] — a no-op when the body already
+/// exported its own scenario via [`emit_scenario_trace`]).
+///
+/// Every binary in `src/bin/` is exactly
+/// `fn main() { figure_main("fig NN", "caption", body) }`; the shared
+/// prologue/epilogue lives here so CLI behavior cannot drift between
+/// figures.
+pub fn figure_main(id: &str, caption: &str, body: impl FnOnce(usize)) {
+    let jobs = bench_cli();
+    banner(id, caption);
+    body(jobs);
+    emit_default_trace();
 }
 
 /// Serialize `tracer`'s records as Chrome trace-event JSON to `path` and

@@ -83,6 +83,72 @@ impl ServerKind {
     }
 }
 
+/// Why a [`ServerConfig`] cannot be built into a [`Server`].
+///
+/// Each variant names the offending request field (dotted path into the
+/// canonical [`crate::request::SimRequest`] JSON form) via
+/// [`ConfigError::field`], so API layers can return field-level messages.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ConfigError {
+    /// `n_accels` was zero — a server needs at least one accelerator.
+    NoAccelerators,
+    /// An explicit batch-size override of zero.
+    ZeroBatch,
+    /// A prep-pool was requested on a design that has no Ethernet prep
+    /// network (only [`ServerKind::TrainBox`] attaches one; on every other
+    /// kind the pool would silently distort the analytic model while the
+    /// simulated datapath ignores it).
+    PoolWithoutPrepNet {
+        /// The kind that cannot host a pool.
+        kind: ServerKind,
+        /// The pool size that was requested.
+        pool_fpgas: usize,
+    },
+    /// The synchronization-fabric override is unphysical (non-finite or
+    /// non-positive bandwidth / negative hop latency / zero chunk).
+    BadRing {
+        /// Which `RingModel` field is out of range.
+        field: &'static str,
+    },
+}
+
+impl ConfigError {
+    /// Dotted path of the offending field in the canonical request form.
+    pub fn field(&self) -> &'static str {
+        match self {
+            ConfigError::NoAccelerators => "server.n_accels",
+            ConfigError::ZeroBatch => "server.batch_size",
+            ConfigError::PoolWithoutPrepNet { .. } => "server.pool_fpgas",
+            ConfigError::BadRing { field } => match *field {
+                "link_bytes_per_sec" => "server.ring.link_bytes_per_sec",
+                "hop_latency_secs" => "server.ring.hop_latency_secs",
+                _ => "server.ring.chunk_bytes",
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::NoAccelerators => {
+                write!(f, "a server needs at least one accelerator")
+            }
+            ConfigError::ZeroBatch => write!(f, "batch size must be positive"),
+            ConfigError::PoolWithoutPrepNet { kind, pool_fpgas } => write!(
+                f,
+                "{pool_fpgas} prep-pool FPGAs requested, but {} has no Ethernet prep network",
+                kind.label()
+            ),
+            ConfigError::BadRing { field } => {
+                write!(f, "ring model field `{field}` is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Builder for a [`Server`].
 ///
 /// # Example
@@ -107,11 +173,10 @@ pub struct ServerConfig {
 impl ServerConfig {
     /// A server of `kind` with `n_accels` neural-network accelerators.
     ///
-    /// # Panics
-    ///
-    /// Panics if `n_accels` is zero.
+    /// Construction never fails; validation happens in [`Self::try_build`]
+    /// (or panics in [`Self::build`]), so an invalid count can surface as a
+    /// typed [`ConfigError`] instead of a panic mid-request.
     pub fn new(kind: ServerKind, n_accels: usize) -> Self {
-        assert!(n_accels > 0, "a server needs at least one accelerator");
         ServerConfig {
             kind,
             n_accels,
@@ -124,7 +189,6 @@ impl ServerConfig {
     /// Override the per-accelerator batch size (defaults to each workload's
     /// Table-I batch). Used for the Fig 20 sweep.
     pub fn batch_size(mut self, batch: u64) -> Self {
-        assert!(batch > 0, "batch size must be positive");
         self.batch_override = Some(batch);
         self
     }
@@ -142,8 +206,68 @@ impl ServerConfig {
         self
     }
 
-    /// Build the server, materializing its PCIe topology.
-    pub fn build(self) -> Server {
+    /// The design kind this configuration builds.
+    pub fn kind(&self) -> ServerKind {
+        self.kind
+    }
+
+    /// The requested accelerator count.
+    pub fn n_accels(&self) -> usize {
+        self.n_accels
+    }
+
+    /// The explicit batch-size override, if one was set.
+    pub fn batch_override(&self) -> Option<u64> {
+        self.batch_override
+    }
+
+    /// The explicit prep-pool size override, if one was set.
+    pub fn pool_override(&self) -> Option<usize> {
+        self.pool_fpgas
+    }
+
+    /// The synchronization fabric model in effect.
+    pub fn ring(&self) -> &RingModel {
+        &self.ring
+    }
+
+    /// Validate the configuration. `Ok(())` iff [`Self::try_build`] would
+    /// succeed.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.n_accels == 0 {
+            return Err(ConfigError::NoAccelerators);
+        }
+        if self.batch_override == Some(0) {
+            return Err(ConfigError::ZeroBatch);
+        }
+        if let Some(pool) = self.pool_fpgas {
+            if pool > 0 && self.kind != ServerKind::TrainBox {
+                return Err(ConfigError::PoolWithoutPrepNet { kind: self.kind, pool_fpgas: pool });
+            }
+        }
+        let r = &self.ring;
+        if !(r.link_bytes_per_sec.is_finite() && r.link_bytes_per_sec > 0.0) {
+            return Err(ConfigError::BadRing { field: "link_bytes_per_sec" });
+        }
+        if !(r.hop_latency_secs.is_finite() && r.hop_latency_secs >= 0.0) {
+            return Err(ConfigError::BadRing { field: "hop_latency_secs" });
+        }
+        if r.chunk_bytes == 0 {
+            return Err(ConfigError::BadRing { field: "chunk_bytes" });
+        }
+        Ok(())
+    }
+
+    /// Build the server, materializing its PCIe topology, after checking
+    /// that the configuration is self-consistent.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] when the configuration cannot describe a real server:
+    /// zero accelerators, a zero batch override, a prep-pool on a design
+    /// without an Ethernet prep network, or an unphysical ring model.
+    pub fn try_build(self) -> Result<Server, ConfigError> {
+        self.validate()?;
         let gen = self.kind.pcie_generation();
         let builder = ServerBuilder::new(gen);
         let n = self.n_accels;
@@ -163,7 +287,19 @@ impl ServerConfig {
                 (topo, Some(net))
             }
         };
-        Server { config: self, topology, prep_pool }
+        Ok(Server { config: self, topology, prep_pool })
+    }
+
+    /// Build the server, materializing its PCIe topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`Self::try_build`] reports a [`ConfigError`].
+    pub fn build(self) -> Server {
+        match self.try_build() {
+            Ok(server) => server,
+            Err(e) => panic!("invalid server configuration: {e}"),
+        }
     }
 
     fn effective_pool(&self) -> usize {
@@ -370,8 +506,17 @@ impl Server {
 
 /// Evaluate the throughput of `kind` at `n` accelerators for `workload` —
 /// shorthand used by the figure binaries.
+///
+/// Routed through the canonical [`crate::request::SimRequest`] entry point,
+/// so every analytic figure exercises exactly the code path the
+/// `trainbox-serve` service answers queries with.
 pub fn throughput_of(kind: ServerKind, n: usize, workload: &Workload) -> Throughput {
-    ServerConfig::new(kind, n).build().throughput(workload)
+    let req = crate::request::SimRequest::analytic(kind, n, workload.clone());
+    match req.run().map(|resp| resp.outcome) {
+        Ok(crate::request::SimOutcome::Analytic(t)) => t,
+        Ok(_) => unreachable!("analytic request produced a non-analytic outcome"),
+        Err(e) => panic!("invalid server configuration: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -563,5 +708,89 @@ mod tests {
             .build();
         assert_eq!(starved.throughput(&w).bottleneck, Bottleneck::PrepAccel);
         let _ = InputKind::Audio;
+    }
+
+    #[test]
+    fn try_build_rejects_zero_accelerators() {
+        let err = ServerConfig::new(ServerKind::Baseline, 0).try_build().unwrap_err();
+        assert_eq!(err, ConfigError::NoAccelerators);
+        assert_eq!(err.field(), "server.n_accels");
+    }
+
+    #[test]
+    fn try_build_rejects_zero_batch() {
+        let err = ServerConfig::new(ServerKind::TrainBox, 16)
+            .batch_size(0)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroBatch);
+        assert_eq!(err.field(), "server.batch_size");
+    }
+
+    #[test]
+    fn try_build_rejects_pool_without_prep_net() {
+        // A pool on TrainBoxNoPool would feed the analytic model while the
+        // simulated datapath has no Ethernet fabric to carry it.
+        for kind in [
+            ServerKind::Baseline,
+            ServerKind::AccFpga,
+            ServerKind::AccGpu,
+            ServerKind::AccFpgaP2p,
+            ServerKind::AccFpgaP2pGen4,
+            ServerKind::TrainBoxNoPool,
+        ] {
+            let err = ServerConfig::new(kind, 16).pool_fpgas(8).try_build().unwrap_err();
+            assert_eq!(err, ConfigError::PoolWithoutPrepNet { kind, pool_fpgas: 8 });
+            assert_eq!(err.field(), "server.pool_fpgas");
+        }
+        // An explicitly *empty* pool is fine anywhere — it changes nothing.
+        assert!(ServerConfig::new(ServerKind::TrainBoxNoPool, 16)
+            .pool_fpgas(0)
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn try_build_rejects_unphysical_ring() {
+        let mut ring = RingModel::nvlink_default();
+        ring.link_bytes_per_sec = 0.0;
+        let err = ServerConfig::new(ServerKind::TrainBox, 16)
+            .ring_model(ring)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field(), "server.ring.link_bytes_per_sec");
+
+        let mut ring = RingModel::nvlink_default();
+        ring.hop_latency_secs = f64::NAN;
+        let err = ServerConfig::new(ServerKind::TrainBox, 16)
+            .ring_model(ring)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field(), "server.ring.hop_latency_secs");
+
+        let mut ring = RingModel::nvlink_default();
+        ring.chunk_bytes = 0;
+        let err = ServerConfig::new(ServerKind::TrainBox, 16)
+            .ring_model(ring)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err.field(), "server.ring.chunk_bytes");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one accelerator")]
+    fn build_panics_on_invalid_config() {
+        let _ = ServerConfig::new(ServerKind::Baseline, 0).build();
+    }
+
+    #[test]
+    fn config_accessors_reflect_builder_calls() {
+        let cfg = ServerConfig::new(ServerKind::TrainBox, 64).batch_size(512).pool_fpgas(32);
+        assert_eq!(cfg.kind(), ServerKind::TrainBox);
+        assert_eq!(cfg.n_accels(), 64);
+        assert_eq!(cfg.batch_override(), Some(512));
+        assert_eq!(cfg.pool_override(), Some(32));
+        assert!(cfg.ring().link_bytes_per_sec > 0.0);
+        assert!(cfg.validate().is_ok());
     }
 }

@@ -23,14 +23,14 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One kind of fault, with its target and (where applicable) duration.
 ///
 /// Device indices refer to the simulated server's device arrays (SSD, prep
 /// device, accelerator order of the topology); link indices refer to the
 /// PCIe topology's directed links.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// SSD `ssd` stops serving reads for `secs` (controller hiccup, GC
     /// pause). Queued reads wait it out.
@@ -69,7 +69,7 @@ impl FaultKind {
 }
 
 /// A fault scheduled at an absolute simulation time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct FaultEvent {
     /// Injection time, seconds from simulation start.
     pub at_secs: f64,
@@ -78,7 +78,7 @@ pub struct FaultEvent {
 }
 
 /// Retry discipline for transiently failing prep requests.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RetryPolicy {
     /// Retries before a request is declared failed (its chunk is re-read
     /// from the SSD and the samples counted as wasted).
@@ -141,6 +141,29 @@ pub struct FaultPlan {
 impl Default for FaultPlan {
     fn default() -> Self {
         FaultPlan::empty()
+    }
+}
+
+// Hand-written so a request may omit `retry` and get the default policy —
+// the derive would insist on every field being present.
+impl Deserialize for FaultPlan {
+    fn from_json(v: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::json::JsonError::type_mismatch("FaultPlan", "object"))?;
+        let events = obj
+            .iter()
+            .find(|(k, _)| k == "events")
+            .map(|(_, v)| Deserialize::from_json(v))
+            .transpose()?
+            .unwrap_or_default();
+        let retry = obj
+            .iter()
+            .find(|(k, _)| k == "retry")
+            .map(|(_, v)| Deserialize::from_json(v))
+            .transpose()?
+            .unwrap_or_default();
+        Ok(FaultPlan { events, retry })
     }
 }
 

@@ -28,7 +28,11 @@
 //! * [`faults`] — deterministic fault injection (SSD stalls, prep crashes
 //!   and slowdowns, link degradation, accelerator dropout, transient
 //!   request failures) and the degraded-mode accounting the pipeline
-//!   reports.
+//!   reports;
+//! * [`request`] — the canonical what-if query API: one [`SimRequest`]
+//!   subsumes every analytic and DES entry point, with a stable
+//!   content hash that the `trainbox-serve` HTTP service keys its result
+//!   cache on.
 //!
 //! # Quickstart
 //!
@@ -53,7 +57,9 @@ pub mod host;
 pub mod initializer;
 pub mod multijob;
 pub mod pipeline;
+pub mod request;
 pub mod scaleout;
 pub mod staticprep;
 
-pub use arch::{Bottleneck, Server, ServerConfig, ServerKind, Throughput};
+pub use arch::{Bottleneck, ConfigError, Server, ServerConfig, ServerKind, Throughput};
+pub use request::{SimMode, SimOutcome, SimRequest, SimResponse};

@@ -31,7 +31,7 @@ use trainbox_sim::{
 };
 
 /// Configuration of one DES run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
 pub struct SimConfig {
     /// Samples per chunk (event granularity).
     pub chunk_samples: u64,
@@ -62,8 +62,38 @@ impl Default for SimConfig {
     }
 }
 
+// Hand-written so requests may state only the knobs they care about; every
+// omitted field falls back to [`SimConfig::default`].
+impl serde::Deserialize for SimConfig {
+    fn from_json(v: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::json::JsonError::type_mismatch("SimConfig", "object"))?;
+        let mut cfg = SimConfig::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "chunk_samples" => cfg.chunk_samples = serde::Deserialize::from_json(val)?,
+                "batches" => cfg.batches = serde::Deserialize::from_json(val)?,
+                "warmup_batches" => cfg.warmup_batches = serde::Deserialize::from_json(val)?,
+                "prefetch_batches" => cfg.prefetch_batches = serde::Deserialize::from_json(val)?,
+                "max_events" => cfg.max_events = serde::Deserialize::from_json(val)?,
+                "reference_allocator" => {
+                    cfg.reference_allocator = serde::Deserialize::from_json(val)?
+                }
+                _ => {
+                    return Err(serde::json::JsonError::type_mismatch(
+                        "SimConfig",
+                        "known field",
+                    ))
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
 /// Result of a DES run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
 pub struct SimResult {
     /// Steady-state throughput over the measured window, samples/s.
     pub samples_per_sec: f64,
@@ -424,13 +454,10 @@ impl<T: Tracer> PipelineModel<T> {
             }
         };
 
-        let domain = FaultDomain {
-            n_ssds: ssds.len(),
-            n_preps: preps.len(),
-            n_accels: n,
-            n_links,
-            horizon_secs: f64::INFINITY,
-        };
+        let domain = fault_domain(server);
+        debug_assert_eq!(domain.n_ssds, ssds.len());
+        debug_assert_eq!(domain.n_preps, preps.len());
+        debug_assert_eq!(domain.n_links, n_links);
         if let Err(e) = plan.validate(&domain) {
             panic!("invalid fault plan: {e}");
         }
@@ -1226,6 +1253,30 @@ impl<T: Tracer> Model for PipelineModel<T> {
     }
 }
 
+/// The fault-plan domain `server` exposes to the DES: the device and
+/// directed-link counts exactly as the pipeline will see them, with an
+/// unbounded horizon (a plan may schedule faults at any time).
+///
+/// [`FaultPlan::validate`] against this domain accepts precisely the plans
+/// the simulation entry points accept; the request layer uses it to turn
+/// what would be a panic into a typed error before the run starts.
+pub fn fault_domain(server: &Server) -> FaultDomain {
+    let topo = server.topology();
+    // The baseline preps on the host: one fluid CPU pool, not per-device
+    // prep servers, so it exposes a single prep target.
+    let n_preps = match server.kind() {
+        ServerKind::Baseline => 1,
+        _ => topo.preps.len(),
+    };
+    FaultDomain {
+        n_ssds: topo.ssds.len(),
+        n_preps,
+        n_accels: server.n_accels(),
+        n_links: topo.topo.link_count(),
+        horizon_secs: f64::INFINITY,
+    }
+}
+
 /// Simulate `workload` on `server` and report steady-state throughput.
 ///
 /// Equivalent to [`simulate_with_faults`] with the empty plan: the fault
@@ -1237,7 +1288,12 @@ impl<T: Tracer> Model for PipelineModel<T> {
 /// Panics if `cfg.batches <= cfg.warmup_batches`, or if the simulation
 /// stalls (queue drains or `cfg.max_events` is exceeded before the requested
 /// batches complete).
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `request::SimRequest` with `SimMode::Des` and call `run()`"
+)]
 pub fn simulate(server: &Server, workload: &Workload, cfg: &SimConfig) -> SimResult {
+    #[allow(deprecated)]
     simulate_with_faults(server, workload, cfg, &FaultPlan::empty())
 }
 
@@ -1263,6 +1319,10 @@ pub fn simulate(server: &Server, workload: &Workload, cfg: &SimConfig) -> SimRes
 ///
 /// Panics on an invalid plan (see [`FaultPlan::validate`]), if every prep
 /// device or accelerator is lost, or under the conditions of [`simulate`].
+#[deprecated(
+    since = "0.1.0",
+    note = "build a `request::SimRequest` with `SimMode::Des` and a fault plan, then call `run()`"
+)]
 pub fn simulate_with_faults(
     server: &Server,
     workload: &Workload,
@@ -1284,6 +1344,10 @@ pub fn simulate_with_faults(
 /// # Panics
 ///
 /// Under the conditions of [`simulate_with_faults`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `request::SimRequest::run_des_with_tracer`, which returns typed errors"
+)]
 pub fn simulate_traced<T: Tracer>(
     server: &Server,
     workload: &Workload,
@@ -1396,6 +1460,11 @@ pub fn try_simulate_traced<T: Tracer>(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `simulate*` wrappers are exercised deliberately: they
+    // must keep producing byte-identical results to the canonical
+    // `SimRequest` path for as long as they exist.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::arch::ServerConfig;
 

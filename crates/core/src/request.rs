@@ -1,0 +1,676 @@
+//! The canonical what-if query API.
+//!
+//! Every question this reproduction can answer — "what does workload W
+//! sustain on server S, analytically or under the DES, with or without a
+//! fault storm?" — is one [`SimRequest`] answered by [`SimRequest::run`].
+//! The figure binaries, the test suites, and the `trainbox-serve` HTTP
+//! service all speak this one type; the three historical `simulate*` free
+//! functions in [`crate::pipeline`] are thin deprecated wrappers over the
+//! same engine path.
+//!
+//! # Canonical form and content hashing
+//!
+//! A request accepts lenient JSON on the way in (omitted knobs fall back to
+//! defaults, workloads may be named instead of spelled out) and normalizes
+//! to a *canonical form* on parse: [`SimRequest::canonical_json`]
+//! re-serializes the parsed struct with every field present, fields in
+//! declaration order, and named workloads resolved to their full Table-I
+//! parameter sets. [`SimRequest::canonical_hash`] is FNV-1a 64 over those
+//! bytes, so two clients asking the same question — regardless of key
+//! order, whitespace, spelling a workload by name or by value, or stating
+//! a default explicitly as `null` — produce the same hash. The serving
+//! layer uses that hash as its cache and coalescing key; correctness rests
+//! on the simulator's determinism (same request, same answer, always).
+//!
+//! ```
+//! use trainbox_core::request::SimRequest;
+//!
+//! let req = SimRequest::from_json_str(
+//!     r#"{"server": {"kind": "TrainBox", "n_accels": 256},
+//!         "workload": "Resnet-50"}"#,
+//! )
+//! .unwrap();
+//! let resp = req.run().unwrap();
+//! assert_eq!(resp.config_hash, req.hash_hex());
+//! ```
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use crate::arch::{ConfigError, Server, ServerConfig, ServerKind, Throughput};
+use crate::faults::FaultPlan;
+use crate::pipeline::{fault_domain, try_simulate_traced, SimConfig, SimResult};
+use serde::{Deserialize, Serialize};
+use trainbox_collective::RingModel;
+use trainbox_nn::Workload;
+use trainbox_sim::{NoopTracer, RingTracer, TraceSummary, Tracer};
+
+/// The server half of a request: which design, at what scale, with which
+/// overrides. Mirrors [`ServerConfig`]'s builder knobs as plain data.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServerSpec {
+    /// Which of the paper's seven designs to build.
+    pub kind: ServerKind,
+    /// Accelerator count.
+    pub n_accels: usize,
+    /// Per-accelerator batch override (`null`/omitted = the workload's
+    /// Table-I batch).
+    pub batch_size: Option<u64>,
+    /// Prep-pool FPGA count (`null`/omitted = 256 for
+    /// [`ServerKind::TrainBox`], 0 otherwise).
+    pub pool_fpgas: Option<usize>,
+    /// Synchronization-fabric override (`null`/omitted = the NVLink-class
+    /// default).
+    pub ring: Option<RingModel>,
+}
+
+impl ServerSpec {
+    /// A spec with no overrides.
+    pub fn new(kind: ServerKind, n_accels: usize) -> Self {
+        ServerSpec { kind, n_accels, batch_size: None, pool_fpgas: None, ring: None }
+    }
+
+    /// The equivalent [`ServerConfig`] builder state.
+    pub fn to_config(&self) -> ServerConfig {
+        let mut cfg = ServerConfig::new(self.kind, self.n_accels);
+        if let Some(batch) = self.batch_size {
+            cfg = cfg.batch_size(batch);
+        }
+        if let Some(pool) = self.pool_fpgas {
+            cfg = cfg.pool_fpgas(pool);
+        }
+        if let Some(ring) = self.ring {
+            cfg = cfg.ring_model(ring);
+        }
+        cfg
+    }
+}
+
+// Lenient: only `kind` and `n_accels` are required.
+impl Deserialize for ServerSpec {
+    fn from_json(v: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::json::JsonError::type_mismatch("ServerSpec", "object"))?;
+        let mut kind = None;
+        let mut spec = ServerSpec::new(ServerKind::Baseline, 0);
+        for (key, val) in obj {
+            match key.as_str() {
+                "kind" => kind = Some(Deserialize::from_json(val)?),
+                "n_accels" => spec.n_accels = Deserialize::from_json(val)?,
+                "batch_size" => spec.batch_size = Deserialize::from_json(val)?,
+                "pool_fpgas" => spec.pool_fpgas = Deserialize::from_json(val)?,
+                "ring" => spec.ring = Deserialize::from_json(val)?,
+                other => {
+                    return Err(serde::json::JsonError::new(format!(
+                        "unknown field `{other}` in server spec"
+                    )))
+                }
+            }
+        }
+        spec.kind = kind
+            .ok_or_else(|| serde::json::JsonError::missing_field("ServerSpec", "kind"))?;
+        if !obj.iter().any(|(k, _)| k == "n_accels") {
+            return Err(serde::json::JsonError::missing_field("ServerSpec", "n_accels"));
+        }
+        Ok(spec)
+    }
+}
+
+/// The workload half of a request, always resolved to a full [`Workload`].
+///
+/// On the wire it may be a Table-I name (`"Resnet-50"`, case-insensitive)
+/// or a complete workload object; both parse to the same canonical value,
+/// so they hash — and cache — identically.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec(pub Workload);
+
+impl WorkloadSpec {
+    /// Resolve a Table-I workload name (case-insensitive).
+    pub fn named(name: &str) -> Option<Self> {
+        Workload::by_name(name).map(WorkloadSpec)
+    }
+
+    /// The resolved workload.
+    pub fn workload(&self) -> &Workload {
+        &self.0
+    }
+}
+
+impl From<Workload> for WorkloadSpec {
+    fn from(w: Workload) -> Self {
+        WorkloadSpec(w)
+    }
+}
+
+impl Serialize for WorkloadSpec {
+    fn to_json(&self) -> serde::json::Json {
+        self.0.to_json()
+    }
+}
+
+impl Deserialize for WorkloadSpec {
+    fn from_json(v: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
+        if let Some(name) = v.as_str() {
+            return WorkloadSpec::named(name).ok_or_else(|| {
+                let known: Vec<&str> = Workload::all().iter().map(|w| w.name).collect();
+                serde::json::JsonError::new(format!(
+                    "unknown workload `{name}` (known: {})",
+                    known.join(", ")
+                ))
+            });
+        }
+        Ok(WorkloadSpec(Workload::from_json(v)?))
+    }
+}
+
+/// How to answer the question: the closed-form bottleneck model or the
+/// discrete-event simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimMode {
+    /// The analytic throughput model ([`Server::throughput`]); instant, no
+    /// fault support.
+    Analytic,
+    /// The full DES ([`crate::pipeline`]) under the given configuration.
+    Des(SimConfig),
+}
+
+/// One canonical what-if question.
+///
+/// Parse with [`Self::from_json_str`] (lenient), answer with [`Self::run`],
+/// key caches with [`Self::canonical_hash`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SimRequest {
+    /// Which server to ask about.
+    pub server: ServerSpec,
+    /// Which workload to train.
+    pub workload: WorkloadSpec,
+    /// Analytic model or DES (omitted = analytic).
+    pub sim: SimMode,
+    /// Faults to replay during a DES run (omitted = fault-free; rejected
+    /// for analytic runs, which cannot exercise them).
+    pub faults: Option<FaultPlan>,
+    /// Collect a structured execution trace during a DES run and attach its
+    /// per-component utilization summary to the response. Ignored by
+    /// analytic runs. Never changes the simulation result.
+    pub trace: bool,
+}
+
+// Lenient: `server` and `workload` are required, everything else defaults.
+impl Deserialize for SimRequest {
+    fn from_json(v: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::json::JsonError::type_mismatch("SimRequest", "object"))?;
+        let mut server = None;
+        let mut workload = None;
+        let mut sim = SimMode::Analytic;
+        let mut faults = None;
+        let mut trace = false;
+        for (key, val) in obj {
+            match key.as_str() {
+                "server" => server = Some(Deserialize::from_json(val)?),
+                "workload" => workload = Some(Deserialize::from_json(val)?),
+                "sim" => {
+                    if !matches!(val, serde::json::Json::Null) {
+                        sim = Deserialize::from_json(val)?;
+                    }
+                }
+                "faults" => faults = Deserialize::from_json(val)?,
+                "trace" => {
+                    if !matches!(val, serde::json::Json::Null) {
+                        trace = Deserialize::from_json(val)?;
+                    }
+                }
+                other => {
+                    return Err(serde::json::JsonError::new(format!(
+                        "unknown field `{other}` in request"
+                    )))
+                }
+            }
+        }
+        Ok(SimRequest {
+            server: server
+                .ok_or_else(|| serde::json::JsonError::missing_field("SimRequest", "server"))?,
+            workload: workload
+                .ok_or_else(|| serde::json::JsonError::missing_field("SimRequest", "workload"))?,
+            sim,
+            faults,
+            trace,
+        })
+    }
+}
+
+/// What went wrong answering a [`SimRequest`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum SimError {
+    /// The request body was not valid JSON or not a valid request shape.
+    Parse(String),
+    /// The server spec cannot describe a real server.
+    Config(ConfigError),
+    /// The fault plan does not fit the server it targets.
+    InvalidPlan(String),
+    /// The DES configuration is self-contradictory (e.g. no batches left
+    /// after warmup).
+    InvalidSim(String),
+    /// Faults were supplied with the analytic model, which cannot replay
+    /// them; ignoring them silently would misreport degraded throughput.
+    FaultsRequireDes,
+    /// The engine could not complete the run (event-budget exhaustion,
+    /// simulated-time overflow).
+    Engine(String),
+}
+
+impl SimError {
+    /// Dotted path of the request field at fault, for field-level HTTP 400
+    /// messages ("body" when the problem precedes field resolution).
+    pub fn field(&self) -> &'static str {
+        match self {
+            SimError::Parse(_) => "body",
+            SimError::Config(e) => e.field(),
+            SimError::InvalidPlan(_) | SimError::FaultsRequireDes => "faults",
+            SimError::InvalidSim(_) => "sim",
+            SimError::Engine(_) => "sim",
+        }
+    }
+
+    /// Whether the request itself was at fault (an HTTP 400), as opposed to
+    /// the engine failing to complete a well-formed request.
+    pub fn is_client_error(&self) -> bool {
+        !matches!(self, SimError::Engine(_))
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Parse(msg) => write!(f, "invalid request: {msg}"),
+            SimError::Config(e) => write!(f, "invalid server config: {e}"),
+            SimError::InvalidPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            SimError::InvalidSim(msg) => write!(f, "invalid sim config: {msg}"),
+            SimError::FaultsRequireDes => {
+                write!(f, "fault plans require a DES sim mode; the analytic model cannot replay them")
+            }
+            SimError::Engine(msg) => write!(f, "simulation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// The answer payload: which model produced it and what it said.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum SimOutcome {
+    /// Closed-form bottleneck analysis.
+    Analytic(Throughput),
+    /// Discrete-event simulation.
+    Des(SimResult),
+}
+
+impl SimOutcome {
+    /// Steady-state throughput, samples/s, whichever model produced it.
+    pub fn samples_per_sec(&self) -> f64 {
+        match self {
+            SimOutcome::Analytic(t) => t.samples_per_sec,
+            SimOutcome::Des(r) => r.samples_per_sec,
+        }
+    }
+}
+
+/// A [`SimRequest`]'s answer plus provenance: enough to tell *which code*
+/// answered *which question*, and what it cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct SimResponse {
+    /// [`SimRequest::hash_hex`] of the canonical request — the cache key
+    /// this answer is stored under.
+    pub config_hash: String,
+    /// The answer.
+    pub outcome: SimOutcome,
+    /// `git describe --always --dirty` of the serving tree ("unknown"
+    /// outside a git checkout).
+    pub git_describe: String,
+    /// Crate version of the answering engine.
+    pub version: String,
+    /// Wall-clock time the computation took, milliseconds. Provenance, not
+    /// part of the deterministic answer.
+    pub wall_ms: f64,
+    /// Per-component utilization rollup of the traced run (DES with
+    /// `trace: true` only).
+    pub trace: Option<TraceSummary>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// `git describe --always --dirty` of the working tree, computed once per
+/// process. "unknown" when git or the checkout is unavailable.
+pub fn git_describe() -> &'static str {
+    static DESCRIBE: OnceLock<String> = OnceLock::new();
+    DESCRIBE.get_or_init(|| {
+        std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+impl SimRequest {
+    /// An analytic request with no overrides — the shorthand behind
+    /// [`crate::arch::throughput_of`].
+    pub fn analytic(kind: ServerKind, n_accels: usize, workload: Workload) -> Self {
+        SimRequest {
+            server: ServerSpec::new(kind, n_accels),
+            workload: WorkloadSpec(workload),
+            sim: SimMode::Analytic,
+            faults: None,
+            trace: false,
+        }
+    }
+
+    /// A DES request with no faults and no overrides.
+    pub fn des(kind: ServerKind, n_accels: usize, workload: Workload, cfg: SimConfig) -> Self {
+        SimRequest {
+            server: ServerSpec::new(kind, n_accels),
+            workload: WorkloadSpec(workload),
+            sim: SimMode::Des(cfg),
+            faults: None,
+            trace: false,
+        }
+    }
+
+    /// Parse a request from lenient JSON text (the HTTP wire format).
+    pub fn from_json_str(text: &str) -> Result<Self, SimError> {
+        let value = trainbox_sim::json::parse(text)
+            .map_err(|e| SimError::Parse(e.to_string()))?;
+        let bridged = sim_value_to_serde(&value);
+        Deserialize::from_json(&bridged).map_err(|e| SimError::Parse(e.to_string()))
+    }
+
+    /// The canonical serialization: every field present, declaration order,
+    /// named workloads resolved. Equal requests — under any wire spelling —
+    /// produce equal canonical bytes.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("request serialization is infallible")
+    }
+
+    /// FNV-1a 64 over [`Self::canonical_json`] — the cache/coalescing key.
+    pub fn canonical_hash(&self) -> u64 {
+        fnv1a64(self.canonical_json().as_bytes())
+    }
+
+    /// [`Self::canonical_hash`] as fixed-width lowercase hex.
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.canonical_hash())
+    }
+
+    /// Validate and build the server this request targets.
+    pub fn build_server(&self) -> Result<Server, SimError> {
+        Ok(self.server.to_config().try_build()?)
+    }
+
+    /// Answer the question.
+    ///
+    /// This is *the* simulation entry point: analytic requests evaluate the
+    /// bottleneck model, DES requests run the event-driven datapath (with
+    /// faults and tracing as requested). Every failure mode is a typed
+    /// [`SimError`]; nothing panics on bad input.
+    pub fn run(&self) -> Result<SimResponse, SimError> {
+        let started = Instant::now();
+        let server = self.build_server()?;
+        let workload = self.workload.workload();
+        let (outcome, trace) = match self.sim {
+            SimMode::Analytic => {
+                if self.faults.as_ref().is_some_and(|p| !p.is_empty()) {
+                    return Err(SimError::FaultsRequireDes);
+                }
+                (SimOutcome::Analytic(server.throughput(workload)), None)
+            }
+            SimMode::Des(cfg) => {
+                if self.trace {
+                    let (result, tracer) =
+                        self.checked_des(&server, &cfg, RingTracer::new(RingTracer::DEFAULT_CAPACITY))?;
+                    let records: Vec<_> = tracer.records().cloned().collect();
+                    let summary = TraceSummary::from_records(&records, tracer.dropped());
+                    (SimOutcome::Des(result), Some(summary))
+                } else {
+                    let (result, _) = self.checked_des(&server, &cfg, NoopTracer)?;
+                    (SimOutcome::Des(result), None)
+                }
+            }
+        };
+        Ok(SimResponse {
+            config_hash: self.hash_hex(),
+            outcome,
+            git_describe: git_describe().to_string(),
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            trace,
+        })
+    }
+
+    /// DES with a caller-supplied tracer (the figure binaries' `--trace`
+    /// export path, which needs the raw records, not just the summary).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`]; additionally [`SimError::InvalidSim`] when the
+    /// request's mode is analytic.
+    pub fn run_des_with_tracer<T: Tracer>(&self, tracer: T) -> Result<(SimResult, T), SimError> {
+        let server = self.build_server()?;
+        let SimMode::Des(cfg) = self.sim else {
+            return Err(SimError::InvalidSim(
+                "run_des_with_tracer needs a DES sim mode".to_string(),
+            ));
+        };
+        self.checked_des(&server, &cfg, tracer)
+    }
+
+    /// Validate everything the engine would otherwise assert on, then run.
+    fn checked_des<T: Tracer>(
+        &self,
+        server: &Server,
+        cfg: &SimConfig,
+        tracer: T,
+    ) -> Result<(SimResult, T), SimError> {
+        if cfg.batches == 0 || cfg.batches <= cfg.warmup_batches {
+            return Err(SimError::InvalidSim(format!(
+                "need at least one measured batch after warmup (batches = {}, warmup_batches = {})",
+                cfg.batches, cfg.warmup_batches
+            )));
+        }
+        let plan = self.faults.clone().unwrap_or_default();
+        plan.validate(&fault_domain(server)).map_err(SimError::InvalidPlan)?;
+        try_simulate_traced(server, self.workload.workload(), cfg, &plan, tracer)
+            .map_err(|e| SimError::Engine(e.to_string()))
+    }
+}
+
+/// Bridge the strict [`trainbox_sim::json`] parse tree into the vendored
+/// serde data model. The parser keeps every number as `f64`; integral
+/// values in `u64`/`i64` range come back as integer flavors so integer
+/// fields deserialize exactly.
+pub fn sim_value_to_serde(v: &trainbox_sim::json::Value) -> serde::json::Json {
+    use trainbox_sim::json::Value;
+    match v {
+        Value::Null => serde::json::Json::Null,
+        Value::Bool(b) => serde::json::Json::Bool(*b),
+        Value::Number(x) => {
+            if x.fract() == 0.0 && x.abs() <= 2f64.powi(53) {
+                if *x >= 0.0 {
+                    serde::json::Json::U64(*x as u64)
+                } else {
+                    serde::json::Json::I64(*x as i64)
+                }
+            } else {
+                serde::json::Json::F64(*x)
+            }
+        }
+        Value::String(s) => serde::json::Json::Str(s.clone()),
+        Value::Array(items) => {
+            serde::json::Json::Array(items.iter().map(sim_value_to_serde).collect())
+        }
+        Value::Object(fields) => serde::json::Json::Object(
+            fields.iter().map(|(k, v)| (k.clone(), sim_value_to_serde(v))).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultDomain, FaultKind};
+
+    #[test]
+    fn minimal_request_parses_with_defaults() {
+        let req = SimRequest::from_json_str(
+            r#"{"server": {"kind": "Baseline", "n_accels": 4}, "workload": "VGG-19"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.server.kind, ServerKind::Baseline);
+        assert_eq!(req.server.n_accels, 4);
+        assert_eq!(req.server.batch_size, None);
+        assert_eq!(req.sim, SimMode::Analytic);
+        assert_eq!(req.faults, None);
+        assert!(!req.trace);
+        assert_eq!(req.workload.workload().name, "VGG-19");
+    }
+
+    #[test]
+    fn wire_spelling_does_not_change_the_hash() {
+        // Key order, whitespace, workload-by-name vs by-value, explicit
+        // nulls, and explicit defaults (`sim`, `trace`) all normalize away.
+        let a = SimRequest::from_json_str(
+            r#"{"server": {"kind": "TrainBox", "n_accels": 256}, "workload": "Resnet-50"}"#,
+        )
+        .unwrap();
+        let spelled = serde_json::to_string(&Workload::resnet50()).unwrap();
+        let b = SimRequest::from_json_str(&format!(
+            r#"{{
+                "workload": {spelled},
+                "trace": false,
+                "sim": "Analytic",
+                "faults": null,
+                "server": {{"ring": null, "n_accels": 256, "kind": "TrainBox"}}
+            }}"#
+        ))
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.canonical_json(), b.canonical_json());
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
+    }
+
+    #[test]
+    fn different_questions_hash_differently() {
+        let a = SimRequest::analytic(ServerKind::TrainBox, 256, Workload::resnet50());
+        let mut b = a.clone();
+        b.server.n_accels = 128;
+        assert_ne!(a.canonical_hash(), b.canonical_hash());
+        let mut c = a.clone();
+        c.sim = SimMode::Des(SimConfig::default());
+        assert_ne!(a.canonical_hash(), c.canonical_hash());
+        let mut d = a.clone();
+        d.trace = true;
+        assert_ne!(a.canonical_hash(), d.canonical_hash());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_the_request() {
+        let mut req = SimRequest::des(
+            ServerKind::TrainBoxNoPool,
+            16,
+            Workload::inception_v4(),
+            SimConfig { batches: 6, warmup_batches: 2, ..SimConfig::default() },
+        );
+        req.server.batch_size = Some(512);
+        req.faults = Some(FaultPlan::empty().at(0.5, FaultKind::PrepCrash { dev: 1 }));
+        req.trace = true;
+        let text = req.canonical_json();
+        let back = SimRequest::from_json_str(&text).unwrap();
+        assert_eq!(req, back);
+        assert_eq!(req.canonical_hash(), back.canonical_hash());
+    }
+
+    #[test]
+    fn analytic_run_matches_the_throughput_model() {
+        let req = SimRequest::analytic(ServerKind::TrainBox, 256, Workload::resnet50());
+        let resp = req.run().unwrap();
+        let direct = ServerConfig::new(ServerKind::TrainBox, 256)
+            .build()
+            .throughput(&Workload::resnet50());
+        match resp.outcome {
+            SimOutcome::Analytic(t) => assert_eq!(t, direct),
+            SimOutcome::Des(_) => panic!("analytic request answered with DES"),
+        }
+        assert_eq!(resp.config_hash, req.hash_hex());
+        assert!(resp.trace.is_none());
+    }
+
+    #[test]
+    fn errors_are_typed_not_panics() {
+        let zero = SimRequest::analytic(ServerKind::Baseline, 0, Workload::vgg19());
+        assert_eq!(zero.run().unwrap_err(), SimError::Config(ConfigError::NoAccelerators));
+
+        let mut faulted = SimRequest::analytic(ServerKind::TrainBox, 16, Workload::vgg19());
+        faulted.faults =
+            Some(FaultPlan::empty().at(0.1, FaultKind::PrepCrash { dev: 0 }));
+        assert_eq!(faulted.run().unwrap_err(), SimError::FaultsRequireDes);
+
+        let mut warm = SimRequest::des(
+            ServerKind::TrainBox,
+            16,
+            Workload::vgg19(),
+            SimConfig { batches: 4, warmup_batches: 4, ..SimConfig::default() },
+        );
+        assert!(matches!(warm.run().unwrap_err(), SimError::InvalidSim(_)));
+        warm.sim = SimMode::Des(SimConfig::default());
+        warm.faults =
+            Some(FaultPlan::empty().at(0.1, FaultKind::PrepCrash { dev: 999 }));
+        let err = warm.run().unwrap_err();
+        assert!(matches!(err, SimError::InvalidPlan(_)), "{err:?}");
+        assert_eq!(err.field(), "faults");
+        assert!(err.is_client_error());
+    }
+
+    #[test]
+    fn unknown_workload_lists_the_known_names() {
+        let err = SimRequest::from_json_str(
+            r#"{"server": {"kind": "Baseline", "n_accels": 4}, "workload": "AlexNet"}"#,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown workload `AlexNet`"), "{msg}");
+        assert!(msg.contains("Resnet-50"), "{msg}");
+    }
+
+    #[test]
+    fn fault_domain_matches_engine_acceptance() {
+        // A plan the domain accepts must not panic the engine; one it
+        // rejects must be exactly what the engine would have asserted on.
+        let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 16).build();
+        let domain = fault_domain(&server);
+        assert_eq!(domain.n_accels, 16);
+        assert!(domain.n_preps > 0);
+        assert!(domain.n_links > 0);
+        let _ = FaultDomain { ..domain };
+    }
+}

@@ -1,0 +1,135 @@
+//! Sharded LRU cache for finished simulation responses.
+//!
+//! Keyed by [`SimRequest::canonical_hash`], so every wire spelling of the
+//! same question hits the same entry. Sharding keeps the hot path a short
+//! single-shard critical section instead of one service-wide lock; the
+//! per-shard LRU is exact (last-use ticks, evict the stalest), which is
+//! O(shard capacity) on eviction — fine at service cache sizes, where the
+//! simulation behind a miss costs orders of magnitude more than the scan.
+//!
+//! [`SimRequest::canonical_hash`]: trainbox_core::request::SimRequest::canonical_hash
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    body: Arc<String>,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+}
+
+pub struct ShardedLru {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    /// Global logical clock for recency; relaxed is fine — ticks only need
+    /// to be distinct-ish and roughly ordered, not sequentially consistent.
+    clock: AtomicU64,
+}
+
+impl ShardedLru {
+    /// A cache holding at most `capacity` responses, spread over `shards`
+    /// independently-locked shards. `capacity = 0` disables caching.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedLru {
+            per_shard_capacity: capacity.div_ceil(shards),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // The canonical hash is FNV-1a: well-mixed in the low bits.
+        &self.shards[(key as usize) % self.shards.len()]
+    }
+
+    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().unwrap();
+        let entry = shard.map.get_mut(&key)?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.body))
+    }
+
+    pub fn insert(&self, key: u64, body: Arc<String>) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().unwrap();
+        if shard.map.len() >= self.per_shard_capacity && !shard.map.contains_key(&key) {
+            if let Some(&stalest) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            {
+                shard.map.remove(&stalest);
+            }
+        }
+        shard.map.insert(key, Entry { body, last_used: tick });
+    }
+
+    /// Total entries across all shards (metrics gauge).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().map.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<String> {
+        Arc::new(s.to_string())
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_body() {
+        let c = ShardedLru::new(8, 2);
+        c.insert(1, body("a"));
+        assert_eq!(c.get(1).as_deref().map(String::as_str), Some("a"));
+        assert!(c.get(2).is_none());
+    }
+
+    #[test]
+    fn eviction_drops_the_least_recently_used() {
+        // One shard, capacity 2: keys collide into the same shard.
+        let c = ShardedLru::new(2, 1);
+        c.insert(1, body("a"));
+        c.insert(2, body("b"));
+        c.get(1); // 2 is now the stalest
+        c.insert(3, body("c"));
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_none(), "stalest entry must be evicted");
+        assert!(c.get(3).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = ShardedLru::new(0, 4);
+        c.insert(1, body("a"));
+        assert!(c.get(1).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_at_capacity_does_not_evict_a_sibling() {
+        let c = ShardedLru::new(2, 1);
+        c.insert(1, body("a"));
+        c.insert(2, body("b"));
+        c.insert(2, body("b2"));
+        assert!(c.get(1).is_some());
+        assert_eq!(c.get(2).as_deref().map(String::as_str), Some("b2"));
+        assert_eq!(c.len(), 2);
+    }
+}

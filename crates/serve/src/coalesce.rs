@@ -1,0 +1,115 @@
+//! In-flight request coalescing ("single-flight").
+//!
+//! When several clients ask the same canonical question concurrently, only
+//! the first runs the simulation; the rest block on the leader's flight and
+//! receive the same response bytes. Keyed by the canonical request hash,
+//! like the cache, so coalescing sees through wire-spelling differences.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a flight resolves to: the HTTP status and response body the leader
+/// produced. Errors coalesce too — an invalid request is invalid for every
+/// waiter asking the same thing.
+pub type Outcome = (u16, Arc<String>);
+
+pub struct Flight {
+    slot: Mutex<Option<Outcome>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight { slot: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    /// Block until the leader completes the flight.
+    pub fn wait(&self) -> Outcome {
+        let mut slot = self.slot.lock().unwrap();
+        while slot.is_none() {
+            slot = self.cv.wait(slot).unwrap();
+        }
+        slot.clone().unwrap()
+    }
+
+    fn fill(&self, outcome: Outcome) {
+        *self.slot.lock().unwrap() = Some(outcome);
+        self.cv.notify_all();
+    }
+}
+
+pub enum Role {
+    /// This caller runs the simulation and must call [`Coalescer::complete`].
+    Leader,
+    /// Another caller is already running it; wait on the flight.
+    Follower(Arc<Flight>),
+}
+
+#[derive(Default)]
+pub struct Coalescer {
+    inflight: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+impl Coalescer {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Join the flight for `key`, creating it if absent.
+    pub fn begin(&self, key: u64) -> Role {
+        let mut map = self.inflight.lock().unwrap();
+        match map.get(&key) {
+            Some(flight) => Role::Follower(Arc::clone(flight)),
+            None => {
+                map.insert(key, Arc::new(Flight::new()));
+                Role::Leader
+            }
+        }
+    }
+
+    /// Leader only: publish the outcome to every follower and retire the
+    /// flight. Later requests for `key` start fresh (or hit the cache).
+    pub fn complete(&self, key: u64, outcome: Outcome) {
+        let flight = self.inflight.lock().unwrap().remove(&key);
+        if let Some(flight) = flight {
+            flight.fill(outcome);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn followers_receive_the_leaders_outcome() {
+        let c = Arc::new(Coalescer::new());
+        assert!(matches!(c.begin(7), Role::Leader));
+        let mut waiters = Vec::new();
+        for _ in 0..4 {
+            let Role::Follower(flight) = c.begin(7) else {
+                panic!("second begin must be a follower");
+            };
+            waiters.push(thread::spawn(move || flight.wait()));
+        }
+        c.complete(7, (200, Arc::new("body".to_string())));
+        for w in waiters {
+            let (status, body) = w.join().unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body.as_str(), "body");
+        }
+        // The flight is retired: a new request leads again.
+        assert!(matches!(c.begin(7), Role::Leader));
+        c.complete(7, (200, Arc::new(String::new())));
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let c = Coalescer::new();
+        assert!(matches!(c.begin(1), Role::Leader));
+        assert!(matches!(c.begin(2), Role::Leader));
+        c.complete(1, (200, Arc::new(String::new())));
+        c.complete(2, (200, Arc::new(String::new())));
+    }
+}

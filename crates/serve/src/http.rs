@@ -1,0 +1,257 @@
+//! Minimal std-only HTTP/1.1 plumbing: request parsing, response writing,
+//! and the bounded admission queue between the acceptor and the workers.
+//!
+//! The service speaks just enough HTTP for its API — one request per
+//! connection (`Connection: close`), `Content-Length` bodies only. That
+//! keeps the parser a few dozen lines, auditable, and dependency-free,
+//! which is the point: the container has no HTTP framework to lean on.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+
+/// Largest request body accepted, matching the service's use: a SimRequest
+/// is well under a kilobyte; anything megabytes long is not one.
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: String,
+}
+
+#[derive(Debug)]
+pub enum ParseError {
+    Io(io::Error),
+    /// Malformed request line, header, or body framing; the message is
+    /// client-facing.
+    Bad(String),
+    TooLarge,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error reading request: {e}"),
+            ParseError::Bad(msg) => write!(f, "malformed HTTP request: {msg}"),
+            ParseError::TooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+/// Read one HTTP/1.1 request (line + headers + `Content-Length` body).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m.to_string(), p.to_string()),
+        _ => return Err(ParseError::Bad(format!("bad request line {line:?}"))),
+    };
+
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(ParseError::Bad("connection closed mid-headers".to_string()));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Bad(format!("bad header {header:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Bad(format!("bad content-length {value:?}")))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ParseError::Bad("request body is not UTF-8".to_string()))?;
+    Ok(Request { method, path, body })
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write a full JSON response and flush. Failures are returned for the
+/// caller to log; a client that hung up mid-write is not a server error.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &str,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Answer a connection that is being refused *before* its request was read
+/// (load shedding): write the response, half-close, then discard whatever
+/// the client had already sent. Closing with unread data queued would RST
+/// the socket and destroy the response before the client reads it. The
+/// drain is bounded (read timeout + byte cap) so a slow-trickling client
+/// cannot pin the acceptor.
+pub fn refuse(mut stream: TcpStream, status: u16, headers: &[(&str, &str)], body: &str) {
+    let _ = write_response(&mut stream, status, headers, body);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+    let mut discard = [0u8; 4096];
+    let mut budget = MAX_BODY_BYTES;
+    while budget > 0 {
+        match stream.read(&mut discard) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+/// Bounded MPMC hand-off between the acceptor and the worker pool.
+///
+/// `push` never blocks: over capacity the item comes straight back so the
+/// acceptor can shed load (HTTP 429) instead of building an invisible
+/// backlog. `pop` blocks until an item arrives or the queue is closed *and*
+/// drained — closing is how graceful shutdown lets workers finish the
+/// admitted backlog before exiting.
+pub struct BoundedQueue<T> {
+    inner: Mutex<QueueInner<T>>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admit `item`, or hand it back if the queue is full or closed.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.items.len() >= self.capacity {
+            return Err(item);
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Next admitted item; `None` once closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Stop admitting; wake every blocked `pop` so workers can drain out.
+    pub fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Current backlog (metrics gauge).
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn push_over_capacity_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3), "third push must shed");
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok(), "space freed by pop re-admits");
+    }
+
+    #[test]
+    fn close_drains_the_backlog_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let waiter = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        q.close();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,284 @@
+//! `trainbox-serve`: the what-if simulation service.
+//!
+//! One canonical question format — [`SimRequest`] — over plain HTTP/1.1:
+//!
+//! * `POST /simulate` — body is a SimRequest (lenient wire JSON); answer is
+//!   the [`SimResponse`] with outcome and provenance. Config errors come
+//!   back as HTTP 400 with the offending field named.
+//! * `GET /metrics` — cache hit rate, queue depth, shed count, and p50/p99
+//!   simulate latency, as JSON.
+//! * `GET /healthz` — liveness probe.
+//! * `POST /admin/shutdown` — graceful shutdown: stop accepting, drain the
+//!   admitted backlog, answer everything in flight, then exit.
+//!
+//! Production behaviors, all std-only:
+//!
+//! * **Result cache** — sharded LRU keyed by the canonical content hash, so
+//!   any wire spelling of an already-answered question is served from
+//!   memory ([`cache`]).
+//! * **Request coalescing** — concurrent identical questions run the
+//!   simulation once; followers receive the leader's bytes ([`coalesce`]).
+//! * **Load shedding** — a bounded admission queue between the acceptor
+//!   and the worker pool; over capacity the service answers 429 with
+//!   `Retry-After` instead of queueing unboundedly ([`http::BoundedQueue`]).
+//!
+//! [`SimRequest`]: trainbox_core::request::SimRequest
+//! [`SimResponse`]: trainbox_core::request::SimResponse
+
+pub mod cache;
+pub mod coalesce;
+pub mod http;
+pub mod metrics;
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cache::ShardedLru;
+use coalesce::{Coalescer, Role};
+use http::{read_request, write_response, BoundedQueue, ParseError};
+use metrics::Metrics;
+use trainbox_core::request::{SimError, SimRequest};
+
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (tests).
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are shed with 429.
+    pub queue_depth: usize,
+    /// Result-cache capacity in responses; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            cache_capacity: 256,
+        }
+    }
+}
+
+struct Ctx {
+    addr: SocketAddr,
+    cache: ShardedLru,
+    coalescer: Coalescer,
+    metrics: Metrics,
+    queue: BoundedQueue<TcpStream>,
+    shutdown: AtomicBool,
+}
+
+/// A running service. Dropping the handle does NOT stop the server; call
+/// [`ServeHandle::shutdown`] (tests) or let `POST /admin/shutdown` end it
+/// and [`ServeHandle::join`] the threads.
+pub struct ServeHandle {
+    ctx: Arc<Ctx>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.ctx.addr
+    }
+
+    /// Block until the service exits (via `/admin/shutdown` or [`Self::shutdown`]).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Trigger graceful shutdown and wait for the drain to finish.
+    pub fn shutdown(self) {
+        initiate_shutdown(&self.ctx);
+        self.join();
+    }
+}
+
+/// Bind and start the service: one acceptor thread plus a worker pool.
+pub fn serve(cfg: ServeConfig) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let ctx = Arc::new(Ctx {
+        addr,
+        cache: ShardedLru::new(cfg.cache_capacity, 8),
+        coalescer: Coalescer::new(),
+        metrics: Metrics::new(),
+        queue: BoundedQueue::new(cfg.queue_depth),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let mut threads = Vec::new();
+    for _ in 0..cfg.workers.max(1) {
+        let ctx = Arc::clone(&ctx);
+        threads.push(std::thread::spawn(move || {
+            while let Some(mut stream) = ctx.queue.pop() {
+                handle_conn(&mut stream, &ctx);
+            }
+        }));
+    }
+
+    {
+        let ctx = Arc::clone(&ctx);
+        threads.push(std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                if let Err(shed) = ctx.queue.push(stream) {
+                    ctx.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+                    http::refuse(
+                        shed,
+                        429,
+                        &[("retry-after", "1")],
+                        "{\"error\":\"admission queue full, retry later\",\"field\":\"\"}",
+                    );
+                }
+            }
+            // Stop admitting and let the workers drain what was accepted.
+            ctx.queue.close();
+        }));
+    }
+
+    Ok(ServeHandle { ctx, threads })
+}
+
+fn initiate_shutdown(ctx: &Ctx) {
+    ctx.shutdown.store(true, Ordering::SeqCst);
+    // Unblock the acceptor: it only observes the flag after `accept`
+    // returns, so poke it with a throwaway connection.
+    let _ = TcpStream::connect(ctx.addr);
+}
+
+#[derive(serde::Serialize)]
+struct ErrorBody {
+    error: String,
+    field: String,
+}
+
+fn error_json(e: &SimError) -> Arc<String> {
+    let body = ErrorBody { error: e.to_string(), field: e.field().to_string() };
+    Arc::new(serde_json::to_string(&body).expect("error serialization is infallible"))
+}
+
+fn handle_conn(stream: &mut TcpStream, ctx: &Ctx) {
+    ctx.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
+    let req = match read_request(stream) {
+        Ok(req) => req,
+        Err(ParseError::Io(_)) => return, // client hung up; nothing to answer
+        Err(e @ ParseError::Bad(_)) => {
+            ctx.metrics.http_400.fetch_add(1, Ordering::Relaxed);
+            let body = format!("{{\"error\":{:?},\"field\":\"body\"}}", e.to_string());
+            let _ = write_response(stream, 400, &[], &body);
+            return;
+        }
+        Err(ParseError::TooLarge) => {
+            ctx.metrics.http_400.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                stream,
+                413,
+                &[],
+                "{\"error\":\"request body too large\",\"field\":\"body\"}",
+            );
+            return;
+        }
+    };
+
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/simulate") => simulate(stream, ctx, &req.body),
+        ("GET", "/metrics") => {
+            let body = ctx.metrics.render(ctx.queue.len(), ctx.cache.len());
+            let _ = write_response(stream, 200, &[], &body);
+        }
+        ("GET", "/healthz") => {
+            let _ = write_response(stream, 200, &[], "{\"status\":\"ok\"}");
+        }
+        ("POST", "/admin/shutdown") => {
+            let _ = write_response(stream, 200, &[], "{\"status\":\"shutting down\"}");
+            initiate_shutdown(ctx);
+        }
+        (_, "/simulate" | "/metrics" | "/healthz" | "/admin/shutdown") => {
+            let _ = write_response(
+                stream,
+                405,
+                &[],
+                "{\"error\":\"method not allowed\",\"field\":\"\"}",
+            );
+        }
+        _ => {
+            let _ = write_response(stream, 404, &[], "{\"error\":\"no such endpoint\",\"field\":\"\"}");
+        }
+    }
+}
+
+fn simulate(stream: &mut TcpStream, ctx: &Ctx, body: &str) {
+    ctx.metrics.simulate_requests.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let (status, body, disposition) = simulate_outcome(ctx, body);
+    match status {
+        400 => drop(ctx.metrics.http_400.fetch_add(1, Ordering::Relaxed)),
+        500 => drop(ctx.metrics.http_500.fetch_add(1, Ordering::Relaxed)),
+        _ => {}
+    }
+    let _ = write_response(stream, status, &[("x-cache", disposition)], &body);
+    ctx.metrics.simulate_latency.record(started.elapsed());
+}
+
+fn simulate_outcome(ctx: &Ctx, text: &str) -> (u16, Arc<String>, &'static str) {
+    let req = match SimRequest::from_json_str(text) {
+        Ok(req) => req,
+        Err(e) => return (400, error_json(&e), "none"),
+    };
+    let key = req.canonical_hash();
+
+    if let Some(body) = ctx.cache.get(key) {
+        ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+        return (200, body, "hit");
+    }
+    ctx.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    match ctx.coalescer.begin(key) {
+        Role::Follower(flight) => {
+            ctx.metrics.coalesced_waits.fetch_add(1, Ordering::Relaxed);
+            let (status, body) = flight.wait();
+            (status, body, "coalesced")
+        }
+        Role::Leader => {
+            // A panic inside the engine must not strand followers on an
+            // unfinished flight (or kill the worker); surface it as a 500.
+            let outcome = catch_unwind(AssertUnwindSafe(|| req.run()));
+            let (status, body) = match outcome {
+                Ok(Ok(resp)) => {
+                    let body = serde_json::to_string(&resp)
+                        .expect("response serialization is infallible");
+                    (200, Arc::new(body))
+                }
+                Ok(Err(e)) => {
+                    let status = if e.is_client_error() { 400 } else { 500 };
+                    (status, error_json(&e))
+                }
+                Err(_) => (
+                    500,
+                    Arc::new(
+                        "{\"error\":\"simulation panicked\",\"field\":\"sim\"}".to_string(),
+                    ),
+                ),
+            };
+            if status == 200 {
+                ctx.cache.insert(key, Arc::clone(&body));
+            }
+            ctx.coalescer.complete(key, (status, Arc::clone(&body)));
+            (status, body, "miss")
+        }
+    }
+}

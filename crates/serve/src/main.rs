@@ -1,0 +1,74 @@
+//! `trainbox-serve` — run the what-if simulation service.
+//!
+//! ```sh
+//! trainbox-serve --port 8080
+//! curl -s localhost:8080/simulate -d \
+//!   '{"server":{"kind":"TrainBox","n_accels":256},"workload":"Resnet-50"}'
+//! ```
+//!
+//! Stop it with `POST /admin/shutdown`; in-flight and queued requests are
+//! answered before the process exits.
+
+use trainbox_serve::{serve, ServeConfig};
+
+const USAGE: &str = "usage: trainbox-serve [--port N] [--addr HOST:PORT] \
+[--workers N] [--queue-depth N] [--cache-capacity N]";
+
+fn parse_args() -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--port" => {
+                let port: u16 = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("bad --port: {e}"))?;
+                cfg.addr = format!("127.0.0.1:{port}");
+            }
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?;
+            }
+            "--cache-capacity" => {
+                cfg.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-capacity: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() {
+    let cfg = parse_args().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+    let workers = cfg.workers;
+    let handle = serve(cfg).unwrap_or_else(|e| {
+        eprintln!("failed to bind: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "trainbox-serve listening on http://{} ({workers} workers); \
+         POST /admin/shutdown to stop",
+        handle.addr()
+    );
+    handle.join();
+    println!("trainbox-serve: drained and stopped");
+}

@@ -1,0 +1,145 @@
+//! Service counters and a lock-free log-bucketed latency histogram.
+//!
+//! Everything is plain atomics so the request hot path never takes a lock
+//! for accounting. The histogram buckets latency by `floor(log2(µs))`,
+//! which bounds quantile error to 2× — plenty for a p50/p99 health signal
+//! on a path whose cost spans microseconds (cache hit) to hundreds of
+//! milliseconds (cold DES run).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const BUCKETS: usize = 40; // 2^40 µs ≈ 13 days: unreachable in practice
+
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().max(1) as u64;
+        let bucket = (63 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (0..=1), in
+    /// milliseconds; 0.0 when nothing has been recorded.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, &n) in counts.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return (1u64 << (i + 1)) as f64 / 1e3;
+            }
+        }
+        (1u64 << BUCKETS) as f64 / 1e3
+    }
+
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[derive(Default)]
+pub struct Metrics {
+    pub requests_total: AtomicU64,
+    pub simulate_requests: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub coalesced_waits: AtomicU64,
+    pub shed_total: AtomicU64,
+    pub http_400: AtomicU64,
+    pub http_500: AtomicU64,
+    pub simulate_latency: Histogram,
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Render the `/metrics` JSON document. Queue depth and cache size are
+    /// gauges owned elsewhere, so the caller passes current readings.
+    pub fn render(&self, queue_depth: usize, cache_entries: usize) -> String {
+        let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let hits = get(&self.cache_hits);
+        let misses = get(&self.cache_misses);
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+        format!(
+            concat!(
+                "{{\"requests_total\":{},\"simulate_requests\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{},",
+                "\"cache_entries\":{},\"coalesced_waits\":{},",
+                "\"queue_depth\":{},\"shed_total\":{},",
+                "\"http_400\":{},\"http_500\":{},",
+                "\"simulate_latency_ms\":{{\"count\":{},\"p50\":{},\"p99\":{}}}}}"
+            ),
+            get(&self.requests_total),
+            get(&self.simulate_requests),
+            hits,
+            misses,
+            hit_rate,
+            cache_entries,
+            get(&self.coalesced_waits),
+            queue_depth,
+            get(&self.shed_total),
+            get(&self.http_400),
+            get(&self.http_500),
+            self.simulate_latency.count(),
+            self.simulate_latency.quantile_ms(0.50),
+            self.simulate_latency.quantile_ms(0.99),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_recorded_latencies() {
+        let h = Histogram::default();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // bucket 6: 64..128 µs
+        }
+        h.record(Duration::from_millis(80)); // the single tail outlier
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_ms(0.50);
+        assert!(p50 <= 0.2, "p50 {p50} ms must sit in the 100 µs bucket");
+        let p99 = h.quantile_ms(0.99);
+        assert!(p99 <= 0.2, "p99 {p99} ms: 99 of 100 samples are ~100 µs");
+        let p100 = h.quantile_ms(1.0);
+        assert!(p100 >= 80.0, "max {p100} ms must cover the 80 ms outlier");
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_ms(0.99), 0.0);
+    }
+
+    #[test]
+    fn render_is_valid_json_shape() {
+        let m = Metrics::new();
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let doc = m.render(2, 5);
+        assert!(doc.contains("\"cache_hit_rate\":0.75"));
+        assert!(doc.contains("\"queue_depth\":2"));
+        assert!(doc.contains("\"cache_entries\":5"));
+        assert!(doc.starts_with('{') && doc.ends_with('}'));
+    }
+}

@@ -14,7 +14,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trainbox::core::arch::{ServerConfig, ServerKind};
-use trainbox::core::pipeline::{simulate, SimConfig};
+use trainbox::core::pipeline::SimConfig;
+use trainbox::core::request::{SimOutcome, SimRequest};
 use trainbox::dataprep::pipeline::{DataItem, PrepPipeline};
 use trainbox::dataprep::synth::imagenet_like_jpeg;
 use trainbox::nn::train::{run_experiment, AugExperimentConfig};
@@ -67,10 +68,12 @@ fn main() {
 
     // --- 4. Cross-check one point with the discrete-event simulator.
     let w = Workload::inception_v4();
-    let server = ServerConfig::new(ServerKind::TrainBoxNoPool, 32)
-        .batch_size(512)
-        .build();
-    let des = simulate(&server, &w, &SimConfig::default());
+    let mut req = SimRequest::des(ServerKind::TrainBoxNoPool, 32, w.clone(), SimConfig::default());
+    req.server.batch_size = Some(512);
+    let server = req.build_server().expect("valid configuration");
+    let SimOutcome::Des(des) = req.run().expect("simulation runs").outcome else {
+        panic!("DES request produced a non-DES outcome");
+    };
     let ana = server.throughput(&w).samples_per_sec;
     println!(
         "\nDES cross-check (TrainBox, 32 accelerators, Inception-v4, batch 512):"

@@ -5,7 +5,8 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use trainbox::core::arch::{ServerConfig, ServerKind};
-use trainbox::core::pipeline::{simulate, SimConfig};
+use trainbox::core::pipeline::SimConfig;
+use trainbox::core::request::{SimOutcome, SimRequest};
 use trainbox::dataprep::audio::{mel_spectrogram, StftConfig};
 use trainbox::dataprep::image::Image;
 use trainbox::dataprep::pipeline::{DataItem, PrepPipeline};
@@ -72,8 +73,13 @@ fn des_and_analytic_agree_across_designs() {
         (ServerKind::TrainBoxNoPool, 16, 512, 0.10),
         (ServerKind::TrainBoxNoPool, 32, 512, 0.10),
     ] {
-        let server = ServerConfig::new(kind, n).batch_size(batch).build();
-        let des = simulate(&server, &w, &cfg).samples_per_sec;
+        let mut req = SimRequest::des(kind, n, w.clone(), cfg);
+        req.server.batch_size = Some(batch);
+        let server = req.build_server().expect("valid configuration");
+        let SimOutcome::Des(sim) = req.run().expect("simulation runs").outcome else {
+            panic!("DES request produced a non-DES outcome");
+        };
+        let des = sim.samples_per_sec;
         let ana = server.throughput(&w).samples_per_sec;
         let err = (des - ana).abs() / ana;
         assert!(
