@@ -1394,16 +1394,77 @@ pub fn try_simulate_traced<T: Tracer>(
     plan: &FaultPlan,
     tracer: T,
 ) -> Result<(SimResult, T), SimError> {
+    try_simulate_traced_deadline(server, workload, cfg, plan, tracer, None).map_err(|f| f.error)
+}
+
+/// Why a deadline-aware DES run could not complete, with whatever the fault
+/// layer had observed by then. The partial statistics let a timed-out
+/// request report *how degraded* the simulated server already was instead
+/// of discarding everything the run learned.
+#[derive(Debug, Clone)]
+pub struct DesFailure {
+    /// The engine's typed failure (deadline, stall, or time overflow).
+    pub error: SimError,
+    /// Events processed before the run gave up.
+    pub events: u64,
+    /// Fault-layer statistics accumulated up to the failure point.
+    pub partial_faults: FaultStats,
+}
+
+impl std::fmt::Display for DesFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({} faults injected)", self.error, self.partial_faults.injected)
+    }
+}
+
+impl std::error::Error for DesFailure {}
+
+/// [`try_simulate_traced`] under an optional wall-clock deadline.
+///
+/// With `deadline: None` this is exactly the untimed path — same event
+/// order, byte-identical results. With a deadline, the engine checks the
+/// wall clock cooperatively (every [`Engine::DEADLINE_CHECK_INTERVAL`]
+/// events for a `PipelineModel`) and cancels the run once it expires;
+/// failures carry the partial [`FaultStats`] so callers can surface what
+/// the run had already observed.
+///
+/// # Errors
+///
+/// A [`DesFailure`] wrapping [`SimError::DeadlineExceeded`] when the
+/// deadline expires, or [`SimError::Stalled`] / [`SimError::TimeOverflow`]
+/// under the conditions of [`try_simulate_traced`].
+///
+/// # Panics
+///
+/// Under the conditions of [`try_simulate_traced`] (invalid config or
+/// fault plan).
+pub fn try_simulate_traced_deadline<T: Tracer>(
+    server: &Server,
+    workload: &Workload,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+    tracer: T,
+    deadline: Option<std::time::Instant>,
+) -> Result<(SimResult, T), DesFailure> {
     assert!(cfg.batches > cfg.warmup_batches, "need batches after warmup");
     let model = PipelineModel::new(server, workload, cfg, plan, tracer);
     let mut engine = Engine::new(model);
     engine.schedule_at(SimTime::ZERO, Ev::Start);
-    let hit = engine.run_while(cfg.max_events, |m| m.done)?;
+    let fail = |engine: Engine<PipelineModel<T>>, error: SimError| {
+        let events = engine.events_processed();
+        let m = engine.into_model();
+        DesFailure { error, events, partial_faults: m.faults.stats.clone() }
+    };
+    let hit = match engine.run_while_deadline(cfg.max_events, deadline, |m| m.done) {
+        Ok(hit) => hit,
+        Err(e) => return Err(fail(engine, e)),
+    };
     if !hit {
-        return Err(SimError::Stalled {
+        let stalled = SimError::Stalled {
             events: engine.events_processed(),
             queued: engine.queued(),
-        });
+        };
+        return Err(fail(engine, stalled));
     }
     let events = engine.events_processed();
     let mut m = engine.into_model();

@@ -39,7 +39,8 @@ use std::time::Instant;
 
 use crate::arch::{ConfigError, Server, ServerConfig, ServerKind, Throughput};
 use crate::faults::FaultPlan;
-use crate::pipeline::{fault_domain, try_simulate_traced, SimConfig, SimResult};
+use crate::faults::FaultStats;
+use crate::pipeline::{fault_domain, try_simulate_traced_deadline, SimConfig, SimResult};
 use serde::{Deserialize, Serialize};
 use trainbox_collective::RingModel;
 use trainbox_nn::Workload;
@@ -179,7 +180,7 @@ pub enum SimMode {
 ///
 /// Parse with [`Self::from_json_str`] (lenient), answer with [`Self::run`],
 /// key caches with [`Self::canonical_hash`].
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimRequest {
     /// Which server to ask about.
     pub server: ServerSpec,
@@ -194,6 +195,31 @@ pub struct SimRequest {
     /// per-component utilization summary to the response. Ignored by
     /// analytic runs. Never changes the simulation result.
     pub trace: bool,
+    /// Wall-clock budget for answering, in milliseconds (omitted = no
+    /// deadline). A DES run checks the clock cooperatively and fails with
+    /// [`SimError::DeadlineExceeded`] once it expires; a run that completes
+    /// in time produces exactly the untimed answer.
+    ///
+    /// A deadline is a quality-of-service hint, **not part of the
+    /// question**: it is excluded from [`Self::canonical_json`] and
+    /// [`Self::canonical_hash`], so timed and untimed spellings of the same
+    /// what-if share one cache entry.
+    pub deadline_ms: Option<u64>,
+}
+
+// Hand-written (not derived) to keep `deadline_ms` out of the canonical
+// form: the canonical bytes answer "what is being asked", and a deadline
+// only says how long the asker will wait.
+impl Serialize for SimRequest {
+    fn to_json(&self) -> serde::json::Json {
+        serde::json::Json::Object(vec![
+            ("server".to_string(), self.server.to_json()),
+            ("workload".to_string(), self.workload.to_json()),
+            ("sim".to_string(), self.sim.to_json()),
+            ("faults".to_string(), self.faults.to_json()),
+            ("trace".to_string(), self.trace.to_json()),
+        ])
+    }
 }
 
 // Lenient: `server` and `workload` are required, everything else defaults.
@@ -207,6 +233,7 @@ impl Deserialize for SimRequest {
         let mut sim = SimMode::Analytic;
         let mut faults = None;
         let mut trace = false;
+        let mut deadline_ms = None;
         for (key, val) in obj {
             match key.as_str() {
                 "server" => server = Some(Deserialize::from_json(val)?),
@@ -222,6 +249,7 @@ impl Deserialize for SimRequest {
                         trace = Deserialize::from_json(val)?;
                     }
                 }
+                "deadline_ms" => deadline_ms = Deserialize::from_json(val)?,
                 other => {
                     return Err(serde::json::JsonError::new(format!(
                         "unknown field `{other}` in request"
@@ -237,6 +265,7 @@ impl Deserialize for SimRequest {
             sim,
             faults,
             trace,
+            deadline_ms,
         })
     }
 }
@@ -259,6 +288,17 @@ pub enum SimError {
     /// The engine could not complete the run (event-budget exhaustion,
     /// simulated-time overflow).
     Engine(String),
+    /// The request's wall-clock deadline expired before the DES finished.
+    /// Carries what the run had observed so far rather than a bare timeout.
+    DeadlineExceeded {
+        /// The deadline that expired, milliseconds.
+        deadline_ms: u64,
+        /// Events the engine processed before giving up.
+        events: u64,
+        /// Fault-layer statistics accumulated up to the cancellation point
+        /// (all-zero for a fault-free run).
+        partial_faults: FaultStats,
+    },
 }
 
 impl SimError {
@@ -271,13 +311,14 @@ impl SimError {
             SimError::InvalidPlan(_) | SimError::FaultsRequireDes => "faults",
             SimError::InvalidSim(_) => "sim",
             SimError::Engine(_) => "sim",
+            SimError::DeadlineExceeded { .. } => "deadline_ms",
         }
     }
 
     /// Whether the request itself was at fault (an HTTP 400), as opposed to
     /// the engine failing to complete a well-formed request.
     pub fn is_client_error(&self) -> bool {
-        !matches!(self, SimError::Engine(_))
+        !matches!(self, SimError::Engine(_) | SimError::DeadlineExceeded { .. })
     }
 }
 
@@ -292,6 +333,12 @@ impl std::fmt::Display for SimError {
                 write!(f, "fault plans require a DES sim mode; the analytic model cannot replay them")
             }
             SimError::Engine(msg) => write!(f, "simulation failed: {msg}"),
+            SimError::DeadlineExceeded { deadline_ms, events, partial_faults } => write!(
+                f,
+                "deadline of {deadline_ms} ms exceeded after {events} events \
+                 ({} faults observed)",
+                partial_faults.injected
+            ),
         }
     }
 }
@@ -340,6 +387,12 @@ pub struct SimResponse {
     /// Wall-clock time the computation took, milliseconds. Provenance, not
     /// part of the deterministic answer.
     pub wall_ms: f64,
+    /// True when a serving layer answered a DES question with the cheaper
+    /// analytic model because the DES tier was unavailable or out of
+    /// deadline budget. [`SimRequest::run`] itself always sets this false;
+    /// degradation is a serving-policy decision, flagged honestly in the
+    /// provenance so a degraded answer can never masquerade as the real one.
+    pub degraded: bool,
     /// Per-component utilization rollup of the traced run (DES with
     /// `trace: true` only).
     pub trace: Option<TraceSummary>,
@@ -384,6 +437,7 @@ impl SimRequest {
             sim: SimMode::Analytic,
             faults: None,
             trace: false,
+            deadline_ms: None,
         }
     }
 
@@ -395,7 +449,15 @@ impl SimRequest {
             sim: SimMode::Des(cfg),
             faults: None,
             trace: false,
+            deadline_ms: None,
         }
+    }
+
+    /// Builder-style deadline: the run must answer within `ms` milliseconds
+    /// or fail with [`SimError::DeadlineExceeded`].
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
     }
 
     /// Parse a request from lenient JSON text (the HTTP wire format).
@@ -436,6 +498,12 @@ impl SimRequest {
     /// [`SimError`]; nothing panics on bad input.
     pub fn run(&self) -> Result<SimResponse, SimError> {
         let started = Instant::now();
+        // The deadline clock starts when the engine does, covering server
+        // construction and the full DES; the analytic model is closed-form
+        // (microseconds), so no deadline can be "too tight" for it.
+        let deadline = self
+            .deadline_ms
+            .map(|ms| started + std::time::Duration::from_millis(ms));
         let server = self.build_server()?;
         let workload = self.workload.workload();
         let (outcome, trace) = match self.sim {
@@ -447,13 +515,17 @@ impl SimRequest {
             }
             SimMode::Des(cfg) => {
                 if self.trace {
-                    let (result, tracer) =
-                        self.checked_des(&server, &cfg, RingTracer::new(RingTracer::DEFAULT_CAPACITY))?;
+                    let (result, tracer) = self.checked_des(
+                        &server,
+                        &cfg,
+                        RingTracer::new(RingTracer::DEFAULT_CAPACITY),
+                        deadline,
+                    )?;
                     let records: Vec<_> = tracer.records().cloned().collect();
                     let summary = TraceSummary::from_records(&records, tracer.dropped());
                     (SimOutcome::Des(result), Some(summary))
                 } else {
-                    let (result, _) = self.checked_des(&server, &cfg, NoopTracer)?;
+                    let (result, _) = self.checked_des(&server, &cfg, NoopTracer, deadline)?;
                     (SimOutcome::Des(result), None)
                 }
             }
@@ -464,6 +536,7 @@ impl SimRequest {
             git_describe: git_describe().to_string(),
             version: env!("CARGO_PKG_VERSION").to_string(),
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            degraded: false,
             trace,
         })
     }
@@ -482,7 +555,10 @@ impl SimRequest {
                 "run_des_with_tracer needs a DES sim mode".to_string(),
             ));
         };
-        self.checked_des(&server, &cfg, tracer)
+        let deadline = self
+            .deadline_ms
+            .map(|ms| Instant::now() + std::time::Duration::from_millis(ms));
+        self.checked_des(&server, &cfg, tracer, deadline)
     }
 
     /// Validate everything the engine would otherwise assert on, then run.
@@ -491,6 +567,7 @@ impl SimRequest {
         server: &Server,
         cfg: &SimConfig,
         tracer: T,
+        deadline: Option<Instant>,
     ) -> Result<(SimResult, T), SimError> {
         if cfg.batches == 0 || cfg.batches <= cfg.warmup_batches {
             return Err(SimError::InvalidSim(format!(
@@ -500,8 +577,15 @@ impl SimRequest {
         }
         let plan = self.faults.clone().unwrap_or_default();
         plan.validate(&fault_domain(server)).map_err(SimError::InvalidPlan)?;
-        try_simulate_traced(server, self.workload.workload(), cfg, &plan, tracer)
-            .map_err(|e| SimError::Engine(e.to_string()))
+        try_simulate_traced_deadline(server, self.workload.workload(), cfg, &plan, tracer, deadline)
+            .map_err(|failure| match failure.error {
+                trainbox_sim::SimError::DeadlineExceeded { .. } => SimError::DeadlineExceeded {
+                    deadline_ms: self.deadline_ms.unwrap_or(0),
+                    events: failure.events,
+                    partial_faults: failure.partial_faults,
+                },
+                other => SimError::Engine(other.to_string()),
+            })
     }
 }
 

@@ -90,6 +90,25 @@ proptest! {
         let legacy = simulate(&server, &Workload::inception_v4(), &quick_cfg());
         proptest::prop_assert_eq!(des_result(&req), legacy);
     }
+
+    /// A deadline the run comfortably beats changes NOTHING: the timed
+    /// answer equals the untimed one field for field, and the deadline is
+    /// invisible to the canonical form (one cache entry for both
+    /// spellings). This is the byte-identity guarantee the figure
+    /// regeneration leans on.
+    #[test]
+    fn generous_deadline_is_byte_identical_to_no_deadline(
+        kind_idx in 0usize..3,
+        n_idx in 0usize..3,
+    ) {
+        let kind = KINDS[kind_idx];
+        let n = [8usize, 16, 32][n_idx];
+        let untimed = des_request(kind, n, 512);
+        let timed = untimed.clone().with_deadline_ms(600_000);
+        proptest::prop_assert_eq!(untimed.canonical_json(), timed.canonical_json());
+        proptest::prop_assert_eq!(untimed.canonical_hash(), timed.canonical_hash());
+        proptest::prop_assert_eq!(des_result(&untimed), des_result(&timed));
+    }
 }
 
 proptest! {

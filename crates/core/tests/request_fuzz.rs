@@ -1,0 +1,73 @@
+//! Adversarial fuzzing of the request API: [`SimRequest::from_json_str`]
+//! must answer every byte stream — arbitrary text, truncated canonical
+//! JSON, bit-flipped canonical JSON — with `Ok` or a typed `Err`, never a
+//! panic. Whatever parses must also hash and re-serialize without panicking
+//! (the serving layer calls both on every request).
+
+use proptest::prelude::*;
+use trainbox_core::arch::ServerKind;
+use trainbox_core::pipeline::SimConfig;
+use trainbox_core::request::SimRequest;
+use trainbox_nn::Workload;
+
+/// Exercise everything the serve tier does to a parsed request short of
+/// running it.
+fn parse_and_probe(text: &str) {
+    if let Ok(req) = SimRequest::from_json_str(text) {
+        let _ = req.canonical_hash();
+        let _ = req.canonical_json();
+    }
+}
+
+/// A full-featured valid request to mutate: DES mode, faults, trace, and a
+/// deadline, so flips can corrupt every section.
+fn valid_text() -> String {
+    let mut req = SimRequest::des(
+        ServerKind::TrainBox,
+        16,
+        Workload::resnet50(),
+        SimConfig { batches: 4, warmup_batches: 1, ..SimConfig::default() },
+    )
+    .with_deadline_ms(250);
+    req.trace = true;
+    // canonical_json excludes deadline_ms by design; splice it back in so
+    // the fuzzer also mutates the deadline field's wire form.
+    let canonical = req.canonical_json();
+    format!("{{\"deadline_ms\":250,{}", &canonical[1..])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_text_never_panics(
+        chars in proptest::collection::vec(32u8..127, 0..512),
+    ) {
+        let text = String::from_utf8(chars).expect("printable ASCII");
+        parse_and_probe(&text);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        parse_and_probe(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn truncated_canonical_json_never_panics(cut in 0usize..600) {
+        let mut text = valid_text();
+        text.truncate(cut.min(text.len()));
+        parse_and_probe(&text);
+    }
+
+    #[test]
+    fn bit_flipped_canonical_json_never_panics(
+        flips in proptest::collection::vec((0usize..600, 0u8..8), 1..10),
+    ) {
+        let mut bytes = valid_text().into_bytes();
+        let n = bytes.len();
+        for (pos, bit) in flips {
+            bytes[pos % n] ^= 1 << bit;
+        }
+        parse_and_probe(&String::from_utf8_lossy(&bytes));
+    }
+}

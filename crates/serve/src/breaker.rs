@@ -1,0 +1,230 @@
+//! Circuit breaker around the DES simulation tier.
+//!
+//! The DES is the expensive path: a request that times out or panics has
+//! already burned a worker for its whole deadline. When that starts
+//! happening *consecutively* the box is overloaded (or the engine is
+//! tripping over a pathological input family), and letting more DES
+//! requests pile in turns a latency problem into queue collapse. The
+//! breaker converts that state into fast, honest, degraded answers:
+//!
+//! * **Closed** — normal operation. Failures increment a consecutive
+//!   counter; any completed run resets it. At `threshold` consecutive
+//!   failures the breaker opens.
+//! * **Open** — DES admission is refused outright (callers degrade to the
+//!   analytic model or shed) until `cooldown` has elapsed.
+//! * **Half-open** — after the cooldown, exactly one probe request is let
+//!   through. Success closes the breaker; failure re-opens it for another
+//!   cooldown.
+//!
+//! "Failure" means a deadline timeout or an engine panic — the signals of
+//! an unhealthy tier. Typed request errors (bad config, invalid plan)
+//! complete promptly and count as successes: they prove the tier answers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker position, as reported by [`CircuitBreaker::state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Lowercase name for `/metrics` and `/readyz`.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Verdict of [`CircuitBreaker::try_acquire`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Run the DES. `probe: true` marks the single half-open trial whose
+    /// outcome decides whether the breaker closes or re-opens.
+    Allow { probe: bool },
+    /// The breaker is open (or a probe is already in flight): do not run
+    /// the DES; answer degraded or shed.
+    Reject,
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+}
+
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+    trips: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// `threshold` consecutive failures open the breaker for `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    /// Ask to run one DES request. An `Allow` MUST be paired with exactly
+    /// one later [`Self::on_success`] or [`Self::on_failure`] carrying the
+    /// same `probe` flag, or a half-open breaker would wedge waiting for
+    /// its probe verdict.
+    pub fn try_acquire(&self) -> Admission {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Closed => Admission::Allow { probe: false },
+            BreakerState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.cooldown);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = true;
+                    Admission::Allow { probe: true }
+                } else {
+                    Admission::Reject
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    Admission::Reject
+                } else {
+                    inner.probe_in_flight = true;
+                    Admission::Allow { probe: true }
+                }
+            }
+        }
+    }
+
+    /// The admitted run completed (with any answer, including typed request
+    /// errors): the tier is responsive.
+    pub fn on_success(&self, probe: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        if probe {
+            inner.probe_in_flight = false;
+        }
+        inner.consecutive_failures = 0;
+        inner.state = BreakerState::Closed;
+        inner.opened_at = None;
+    }
+
+    /// The admitted run timed out or panicked.
+    pub fn on_failure(&self, probe: bool) {
+        let mut inner = self.inner.lock().unwrap();
+        if probe {
+            inner.probe_in_flight = false;
+            self.open(&mut inner);
+            return;
+        }
+        inner.consecutive_failures += 1;
+        if inner.state == BreakerState::Closed && inner.consecutive_failures >= self.threshold {
+            self.open(&mut inner);
+        }
+    }
+
+    fn open(&self, inner: &mut Inner) {
+        inner.state = BreakerState::Open;
+        inner.opened_at = Some(Instant::now());
+        inner.consecutive_failures = 0;
+        self.trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current position. An open breaker whose cooldown has elapsed reads
+    /// as half-open (the next acquire would probe), without mutating state.
+    pub fn state(&self) -> BreakerState {
+        let inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Open
+                if inner
+                    .opened_at
+                    .is_some_and(|at| at.elapsed() >= self.cooldown) =>
+            {
+                BreakerState::HalfOpen
+            }
+            s => s,
+        }
+    }
+
+    /// Times the breaker has opened over its lifetime (metrics counter).
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, cooldown_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(threshold, Duration::from_millis(cooldown_ms))
+    }
+
+    #[test]
+    fn opens_after_consecutive_failures_only() {
+        let b = breaker(3, 60_000);
+        for _ in 0..2 {
+            assert_eq!(b.try_acquire(), Admission::Allow { probe: false });
+            b.on_failure(false);
+        }
+        // A success resets the streak: two more failures stay closed.
+        b.on_success(false);
+        b.on_failure(false);
+        b.on_failure(false);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.try_acquire(), Admission::Reject);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn half_open_probe_decides_the_outcome() {
+        let b = breaker(1, 0); // zero cooldown: open immediately probes
+        b.on_failure(false);
+        assert_eq!(b.state(), BreakerState::HalfOpen, "cooldown elapsed");
+        let Admission::Allow { probe: true } = b.try_acquire() else {
+            panic!("cooled-down breaker must admit a probe");
+        };
+        // Only one probe at a time.
+        assert_eq!(b.try_acquire(), Admission::Reject);
+        b.on_failure(true);
+        assert_eq!(b.trips(), 2, "failed probe re-opens");
+
+        let Admission::Allow { probe: true } = b.try_acquire() else {
+            panic!("re-cooled breaker must admit another probe");
+        };
+        b.on_success(true);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.try_acquire(), Admission::Allow { probe: false });
+    }
+
+    #[test]
+    fn open_breaker_rejects_until_cooldown() {
+        let b = breaker(1, 50);
+        b.on_failure(false);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.try_acquire(), Admission::Reject);
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(matches!(b.try_acquire(), Admission::Allow { probe: true }));
+    }
+}

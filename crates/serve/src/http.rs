@@ -15,11 +15,24 @@ use std::sync::{Condvar, Mutex};
 /// is well under a kilobyte; anything megabytes long is not one.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
 
+/// Longest accepted request line, bytes. Our longest real path is a few
+/// dozen characters; 8 KiB matches common server defaults.
+pub const MAX_REQUEST_LINE_BYTES: usize = 8 * 1024;
+
+/// Longest accepted single header line, bytes.
+pub const MAX_HEADER_LINE_BYTES: usize = 8 * 1024;
+
+/// Most headers accepted on one request. The API needs three.
+pub const MAX_HEADERS: usize = 64;
+
 #[derive(Debug)]
 pub struct Request {
     pub method: String,
     pub path: String,
     pub body: String,
+    /// Value of the `X-Deadline-Ms` header, if the client sent one: the
+    /// wall-clock budget it is willing to wait for the answer.
+    pub deadline_ms: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -28,7 +41,15 @@ pub enum ParseError {
     /// Malformed request line, header, or body framing; the message is
     /// client-facing.
     Bad(String),
+    /// Body longer than [`MAX_BODY_BYTES`] (HTTP 413).
     TooLarge,
+    /// Request line or header section over the caps (HTTP 431); the
+    /// message names the violated limit.
+    HeadersTooLarge(String),
+    /// The socket read timeout (or the overall header budget) expired
+    /// before a full request arrived (HTTP 408): a slowloris or stalled
+    /// client, disconnected instead of pinning the worker.
+    Timeout,
 }
 
 impl std::fmt::Display for ParseError {
@@ -37,21 +58,93 @@ impl std::fmt::Display for ParseError {
             ParseError::Io(e) => write!(f, "i/o error reading request: {e}"),
             ParseError::Bad(msg) => write!(f, "malformed HTTP request: {msg}"),
             ParseError::TooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+            ParseError::HeadersTooLarge(msg) => write!(f, "request header section too large: {msg}"),
+            ParseError::Timeout => write!(f, "timed out waiting for the request"),
         }
     }
 }
 
 impl From<io::Error> for ParseError {
     fn from(e: io::Error) -> Self {
-        ParseError::Io(e)
+        classify_io(e)
+    }
+}
+
+/// Sort an I/O failure: a read that hit the socket timeout is a slow
+/// client (408), everything else is a transport error.
+fn classify_io(e: io::Error) -> ParseError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ParseError::Timeout,
+        _ => ParseError::Io(e),
+    }
+}
+
+/// Read one CRLF/LF-terminated line of at most `cap` bytes. `Ok(None)`
+/// means clean EOF before any byte arrived; EOF mid-line is an error
+/// (truncated request). The cap is enforced *while* reading, so a client
+/// streaming an endless line is cut off at `cap`, not buffered forever.
+fn read_line_bounded(
+    reader: &mut impl BufRead,
+    cap: usize,
+    what: &str,
+) -> Result<Option<String>, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(ref e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(classify_io(e)),
+        };
+        if available.is_empty() {
+            if line.is_empty() {
+                return Ok(None);
+            }
+            return Err(ParseError::Bad(format!("connection closed mid-{what}")));
+        }
+        let (chunk, terminated) = match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => (pos + 1, true),
+            None => (available.len(), false),
+        };
+        if line.len() + chunk > cap + 2 {
+            // +2 tolerates the CR LF terminator on an exactly-cap line.
+            reader.consume(chunk);
+            return Err(ParseError::HeadersTooLarge(format!("{what} exceeds {cap} bytes")));
+        }
+        line.extend_from_slice(&available[..chunk]);
+        reader.consume(chunk);
+        if terminated {
+            while matches!(line.last(), Some(b'\n' | b'\r')) {
+                line.pop();
+            }
+            return String::from_utf8(line)
+                .map(Some)
+                .map_err(|_| ParseError::Bad(format!("{what} is not UTF-8")));
+        }
     }
 }
 
 /// Read one HTTP/1.1 request (line + headers + `Content-Length` body).
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
+///
+/// Every read is bounded twice over: the stream's socket read timeout caps
+/// each wait for bytes, and `header_budget` caps the *total* wall-clock
+/// spent on the request line + headers — so a client trickling one byte
+/// per just-under-timeout cannot stretch the read indefinitely.
+pub fn read_request(
+    stream: &mut TcpStream,
+    header_budget: std::time::Duration,
+) -> Result<Request, ParseError> {
+    let started = std::time::Instant::now();
     let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    reader.read_line(&mut line)?;
+    let line = match read_line_bounded(&mut reader, MAX_REQUEST_LINE_BYTES, "request line")? {
+        Some(line) => line,
+        // Closed without sending anything: nothing to answer.
+        None => {
+            return Err(ParseError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before any request",
+            )))
+        }
+    };
     let mut parts = line.split_whitespace();
     let (method, path) = match (parts.next(), parts.next()) {
         (Some(m), Some(p)) => (m.to_string(), p.to_string()),
@@ -59,14 +152,22 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     };
 
     let mut content_length = 0usize;
+    let mut deadline_ms = None;
+    let mut n_headers = 0usize;
     loop {
-        let mut header = String::new();
-        if reader.read_line(&mut header)? == 0 {
-            return Err(ParseError::Bad("connection closed mid-headers".to_string()));
+        if started.elapsed() > header_budget {
+            return Err(ParseError::Timeout);
         }
-        let header = header.trim_end();
+        let header = match read_line_bounded(&mut reader, MAX_HEADER_LINE_BYTES, "header")? {
+            Some(header) => header,
+            None => return Err(ParseError::Bad("connection closed mid-headers".to_string())),
+        };
         if header.is_empty() {
             break;
+        }
+        n_headers += 1;
+        if n_headers > MAX_HEADERS {
+            return Err(ParseError::HeadersTooLarge(format!("more than {MAX_HEADERS} headers")));
         }
         let Some((name, value)) = header.split_once(':') else {
             return Err(ParseError::Bad(format!("bad header {header:?}")));
@@ -76,6 +177,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
                 .trim()
                 .parse()
                 .map_err(|_| ParseError::Bad(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("x-deadline-ms") {
+            let ms: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Bad(format!("bad x-deadline-ms {value:?}")))?;
+            deadline_ms = Some(ms);
         }
     }
     if content_length > MAX_BODY_BYTES {
@@ -83,10 +190,18 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ParseError> {
     }
 
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    reader.read_exact(&mut body).map_err(|e| match e.kind() {
+        // The client promised `content-length` bytes and hung up early: a
+        // framing violation answered with a clean 400 + close, never a
+        // blocked read.
+        io::ErrorKind::UnexpectedEof => ParseError::Bad(format!(
+            "body shorter than content-length {content_length}"
+        )),
+        _ => classify_io(e),
+    })?;
     let body = String::from_utf8(body)
         .map_err(|_| ParseError::Bad("request body is not UTF-8".to_string()))?;
-    Ok(Request { method, path, body })
+    Ok(Request { method, path, body, deadline_ms })
 }
 
 fn reason(status: u16) -> &'static str {
@@ -95,9 +210,13 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
         429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -211,6 +330,11 @@ impl<T> BoundedQueue<T> {
         self.inner.lock().unwrap().items.len()
     }
 
+    /// Admission capacity (readiness gauge).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -219,8 +343,131 @@ impl<T> BoundedQueue<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::net::TcpListener;
     use std::sync::Arc;
     use std::thread;
+    use std::time::Duration;
+
+    /// A connected client/server socket pair over loopback.
+    fn pipe() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    const BUDGET: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn well_formed_request_parses_with_deadline_header() {
+        let (mut client, mut server) = pipe();
+        client
+            .write_all(
+                b"POST /simulate HTTP/1.1\r\nX-Deadline-Ms: 250\r\n\
+                  content-length: 4\r\n\r\nbody",
+            )
+            .unwrap();
+        let req = read_request(&mut server, BUDGET).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/simulate");
+        assert_eq!(req.body, "body");
+        assert_eq!(req.deadline_ms, Some(250));
+    }
+
+    #[test]
+    fn endless_request_line_is_cut_off_at_the_cap() {
+        let (mut client, mut server) = pipe();
+        let writer = thread::spawn(move || {
+            // No newline ever: a client streaming one endless "line".
+            let chunk = [b'A'; 4096];
+            for _ in 0..8 {
+                if client.write_all(&chunk).is_err() {
+                    break;
+                }
+            }
+        });
+        let err = read_request(&mut server, BUDGET).unwrap_err();
+        assert!(
+            matches!(err, ParseError::HeadersTooLarge(_)),
+            "cap must trip while reading, got {err:?}"
+        );
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn too_many_headers_is_rejected() {
+        let (mut client, mut server) = pipe();
+        let mut raw = String::from("GET /healthz HTTP/1.1\r\n");
+        for i in 0..(MAX_HEADERS + 1) {
+            raw.push_str(&format!("x-filler-{i}: {i}\r\n"));
+        }
+        raw.push_str("\r\n");
+        client.write_all(raw.as_bytes()).unwrap();
+        let err = read_request(&mut server, BUDGET).unwrap_err();
+        assert!(matches!(err, ParseError::HeadersTooLarge(_)), "{err:?}");
+    }
+
+    #[test]
+    fn short_body_is_a_clean_400_not_a_blocked_read() {
+        let (mut client, mut server) = pipe();
+        client
+            .write_all(b"POST /simulate HTTP/1.1\r\ncontent-length: 100\r\n\r\nshort")
+            .unwrap();
+        drop(client); // hang up 95 bytes early
+        let err = read_request(&mut server, BUDGET).unwrap_err();
+        match err {
+            ParseError::Bad(msg) => assert!(msg.contains("content-length"), "{msg}"),
+            other => panic!("expected Bad, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_client_hits_the_socket_timeout() {
+        let (_client, mut server) = pipe();
+        server.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let started = std::time::Instant::now();
+        let err = read_request(&mut server, BUDGET).unwrap_err();
+        assert!(matches!(err, ParseError::Timeout), "{err:?}");
+        assert!(started.elapsed() < Duration::from_secs(2), "must not block");
+    }
+
+    #[test]
+    fn trickler_is_cut_off_by_the_header_budget() {
+        // One byte per 20 ms keeps every socket read alive, so only the
+        // overall budget can end this request.
+        let (mut client, mut server) = pipe();
+        server.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+        let writer = thread::spawn(move || {
+            for b in b"GET /healthz HTTP/1.1\r\nx-slow: 1\r".iter() {
+                if client.write_all(&[*b]).is_err() {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+            // Never send the final newline; keep the socket open.
+            thread::sleep(Duration::from_millis(500));
+        });
+        let started = std::time::Instant::now();
+        let err = read_request(&mut server, Duration::from_millis(150)).unwrap_err();
+        assert!(matches!(err, ParseError::Timeout), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_millis(1500),
+            "budget must bound total header time, took {:?}",
+            started.elapsed()
+        );
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_header_must_be_numeric() {
+        let (mut client, mut server) = pipe();
+        client
+            .write_all(b"POST /simulate HTTP/1.1\r\nx-deadline-ms: soon\r\n\r\n")
+            .unwrap();
+        let err = read_request(&mut server, BUDGET).unwrap_err();
+        assert!(matches!(err, ParseError::Bad(_)), "{err:?}");
+    }
 
     #[test]
     fn push_over_capacity_returns_the_item() {

@@ -4,10 +4,14 @@
 //!
 //! * `POST /simulate` — body is a SimRequest (lenient wire JSON); answer is
 //!   the [`SimResponse`] with outcome and provenance. Config errors come
-//!   back as HTTP 400 with the offending field named.
-//! * `GET /metrics` — cache hit rate, queue depth, shed count, and p50/p99
-//!   simulate latency, as JSON.
-//! * `GET /healthz` — liveness probe.
+//!   back as HTTP 400 with the offending field named. An optional deadline
+//!   (`deadline_ms` in the body, or an `X-Deadline-Ms` header) bounds the
+//!   wall-clock spent answering.
+//! * `GET /metrics` — cache hit rate, queue depth, shed count, breaker
+//!   state, degradation counters, and p50/p99 simulate latency, as JSON.
+//! * `GET /healthz` — liveness probe: the process answers.
+//! * `GET /readyz` — readiness probe: 200 only when the service should
+//!   receive traffic (not shutting down, breaker not open, queue not full).
 //! * `POST /admin/shutdown` — graceful shutdown: stop accepting, drain the
 //!   admitted backlog, answer everything in flight, then exit.
 //!
@@ -18,13 +22,30 @@
 //!   memory ([`cache`]).
 //! * **Request coalescing** — concurrent identical questions run the
 //!   simulation once; followers receive the leader's bytes ([`coalesce`]).
+//!   Deadline'd requests bypass coalescing: a follower must never stall on
+//!   an untimed leader, and an untimed follower must never inherit a
+//!   deadline failure.
 //! * **Load shedding** — a bounded admission queue between the acceptor
 //!   and the worker pool; over capacity the service answers 429 with
 //!   `Retry-After` instead of queueing unboundedly ([`http::BoundedQueue`]).
+//! * **Socket hygiene** — read/write timeouts on every accepted connection
+//!   plus an overall header budget, so a trickling or stalled client is cut
+//!   off (408) instead of pinning a worker ([`http::read_request`]).
+//! * **Graceful degradation** — a deadline'd DES question that cannot be
+//!   answered in budget (deadline too tight, queue too deep, breaker open,
+//!   or the run cancelled at its deadline) falls back to the analytic model
+//!   with `degraded: true` in the provenance and an `x-degraded` reason
+//!   header — unless the request carries faults the analytic model cannot
+//!   replay, in which case it is refused honestly (503/504).
+//! * **Circuit breaker** — consecutive DES timeouts/panics open the breaker
+//!   ([`breaker`]); while open, deadline'd DES work is answered degraded
+//!   (or refused) without burning a worker, and a half-open probe decides
+//!   recovery.
 //!
 //! [`SimRequest`]: trainbox_core::request::SimRequest
 //! [`SimResponse`]: trainbox_core::request::SimResponse
 
+pub mod breaker;
 pub mod cache;
 pub mod coalesce;
 pub mod http;
@@ -36,13 +57,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use breaker::{Admission, BreakerState, CircuitBreaker};
 use cache::ShardedLru;
 use coalesce::{Coalescer, Role};
 use http::{read_request, write_response, BoundedQueue, ParseError};
 use metrics::Metrics;
-use trainbox_core::request::{SimError, SimRequest};
+use trainbox_core::request::{SimError, SimMode, SimRequest};
 
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -54,6 +76,23 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Result-cache capacity in responses; 0 disables caching.
     pub cache_capacity: usize,
+    /// Socket read timeout per wait, milliseconds; 0 disables socket
+    /// timeouts *and* the header budget (test/debug only).
+    pub read_timeout_ms: u64,
+    /// Socket write timeout, milliseconds; 0 disables.
+    pub write_timeout_ms: u64,
+    /// Consecutive DES timeouts/panics that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses DES work before probing,
+    /// milliseconds.
+    pub breaker_cooldown_ms: u64,
+    /// Admission-queue depth at which deadline'd DES requests degrade to
+    /// the analytic model instead of queueing behind a backlog they would
+    /// time out in anyway.
+    pub degrade_queue_depth: usize,
+    /// Deadlines below this many milliseconds are assumed too tight for any
+    /// DES run and degrade immediately.
+    pub min_des_deadline_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -63,6 +102,12 @@ impl Default for ServeConfig {
             workers: 4,
             queue_depth: 64,
             cache_capacity: 256,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            breaker_threshold: 5,
+            breaker_cooldown_ms: 1_000,
+            degrade_queue_depth: 48,
+            min_des_deadline_ms: 10,
         }
     }
 }
@@ -74,6 +119,15 @@ struct Ctx {
     metrics: Metrics,
     queue: BoundedQueue<TcpStream>,
     shutdown: AtomicBool,
+    breaker: CircuitBreaker,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    /// Total wall-clock allowed for request line + headers (2× the read
+    /// timeout): per-read timeouts alone can be stretched indefinitely by a
+    /// client trickling one byte per just-under-timeout.
+    header_budget: Duration,
+    degrade_queue_depth: usize,
+    min_des_deadline_ms: u64,
 }
 
 /// A running service. Dropping the handle does NOT stop the server; call
@@ -108,6 +162,7 @@ impl ServeHandle {
 pub fn serve(cfg: ServeConfig) -> io::Result<ServeHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    let read_timeout = (cfg.read_timeout_ms > 0).then(|| Duration::from_millis(cfg.read_timeout_ms));
     let ctx = Arc::new(Ctx {
         addr,
         cache: ShardedLru::new(cfg.cache_capacity, 8),
@@ -115,6 +170,16 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServeHandle> {
         metrics: Metrics::new(),
         queue: BoundedQueue::new(cfg.queue_depth),
         shutdown: AtomicBool::new(false),
+        breaker: CircuitBreaker::new(
+            cfg.breaker_threshold,
+            Duration::from_millis(cfg.breaker_cooldown_ms),
+        ),
+        read_timeout,
+        write_timeout: (cfg.write_timeout_ms > 0)
+            .then(|| Duration::from_millis(cfg.write_timeout_ms)),
+        header_budget: read_timeout.map_or(Duration::MAX, |t| t * 2),
+        degrade_queue_depth: cfg.degrade_queue_depth.max(1),
+        min_des_deadline_ms: cfg.min_des_deadline_ms,
     });
 
     let mut threads = Vec::new();
@@ -135,6 +200,10 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServeHandle> {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
+                // Socket timeouts are the first line of defense: no read or
+                // write on this connection may block a worker indefinitely.
+                let _ = stream.set_read_timeout(ctx.read_timeout);
+                let _ = stream.set_write_timeout(ctx.write_timeout);
                 if let Err(shed) = ctx.queue.push(stream) {
                     ctx.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
                     http::refuse(
@@ -173,7 +242,7 @@ fn error_json(e: &SimError) -> Arc<String> {
 
 fn handle_conn(stream: &mut TcpStream, ctx: &Ctx) {
     ctx.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-    let req = match read_request(stream) {
+    let req = match read_request(stream, ctx.header_budget) {
         Ok(req) => req,
         Err(ParseError::Io(_)) => return, // client hung up; nothing to answer
         Err(e @ ParseError::Bad(_)) => {
@@ -192,22 +261,62 @@ fn handle_conn(stream: &mut TcpStream, ctx: &Ctx) {
             );
             return;
         }
+        Err(e @ ParseError::HeadersTooLarge(_)) => {
+            ctx.metrics.http_431.fetch_add(1, Ordering::Relaxed);
+            let body = format!("{{\"error\":{:?},\"field\":\"\"}}", e.to_string());
+            let _ = write_response(stream, 431, &[], &body);
+            return;
+        }
+        Err(ParseError::Timeout) => {
+            // A trickling or stalled client: answer 408 if it is still
+            // listening and close either way — the worker moves on.
+            ctx.metrics.http_408.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                stream,
+                408,
+                &[],
+                "{\"error\":\"timed out waiting for the request\",\"field\":\"\"}",
+            );
+            return;
+        }
     };
 
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/simulate") => simulate(stream, ctx, &req.body),
+        ("POST", "/simulate") => simulate(stream, ctx, &req),
         ("GET", "/metrics") => {
-            let body = ctx.metrics.render(ctx.queue.len(), ctx.cache.len());
+            let body = ctx.metrics.render(
+                ctx.queue.len(),
+                ctx.cache.len(),
+                ctx.breaker.state().name(),
+                ctx.breaker.trips(),
+            );
             let _ = write_response(stream, 200, &[], &body);
         }
         ("GET", "/healthz") => {
             let _ = write_response(stream, 200, &[], "{\"status\":\"ok\"}");
         }
+        ("GET", "/readyz") => {
+            let breaker = ctx.breaker.state();
+            let shutting_down = ctx.shutdown.load(Ordering::SeqCst);
+            let queue_depth = ctx.queue.len();
+            let queue_capacity = ctx.queue.capacity();
+            // Ready = this instance should receive new traffic. A half-open
+            // breaker counts as ready: the tier is probing its way back.
+            let ready =
+                !shutting_down && breaker != BreakerState::Open && queue_depth < queue_capacity;
+            let body = format!(
+                "{{\"ready\":{ready},\"shutting_down\":{shutting_down},\
+                 \"breaker\":\"{}\",\"queue_depth\":{queue_depth},\
+                 \"queue_capacity\":{queue_capacity}}}",
+                breaker.name()
+            );
+            let _ = write_response(stream, if ready { 200 } else { 503 }, &[], &body);
+        }
         ("POST", "/admin/shutdown") => {
             let _ = write_response(stream, 200, &[], "{\"status\":\"shutting down\"}");
             initiate_shutdown(ctx);
         }
-        (_, "/simulate" | "/metrics" | "/healthz" | "/admin/shutdown") => {
+        (_, "/simulate" | "/metrics" | "/healthz" | "/readyz" | "/admin/shutdown") => {
             let _ = write_response(
                 stream,
                 405,
@@ -221,37 +330,61 @@ fn handle_conn(stream: &mut TcpStream, ctx: &Ctx) {
     }
 }
 
-fn simulate(stream: &mut TcpStream, ctx: &Ctx, body: &str) {
+/// One `/simulate` verdict: status, body, `x-cache` disposition, and the
+/// `x-degraded` reason when the analytic model stood in for the DES.
+type Outcome = (u16, Arc<String>, &'static str, Option<&'static str>);
+
+fn simulate(stream: &mut TcpStream, ctx: &Ctx, req: &http::Request) {
     ctx.metrics.simulate_requests.fetch_add(1, Ordering::Relaxed);
     let started = Instant::now();
-    let (status, body, disposition) = simulate_outcome(ctx, body);
+    let (status, body, disposition, degraded) = simulate_outcome(ctx, &req.body, req.deadline_ms);
     match status {
         400 => drop(ctx.metrics.http_400.fetch_add(1, Ordering::Relaxed)),
         500 => drop(ctx.metrics.http_500.fetch_add(1, Ordering::Relaxed)),
+        503 => drop(ctx.metrics.http_503.fetch_add(1, Ordering::Relaxed)),
+        504 => drop(ctx.metrics.http_504.fetch_add(1, Ordering::Relaxed)),
         _ => {}
     }
-    let _ = write_response(stream, status, &[("x-cache", disposition)], &body);
+    let mut headers = vec![("x-cache", disposition)];
+    if let Some(reason) = degraded {
+        headers.push(("x-degraded", reason));
+    }
+    if status == 503 {
+        headers.push(("retry-after", "1"));
+    }
+    let _ = write_response(stream, status, &headers, &body);
     ctx.metrics.simulate_latency.record(started.elapsed());
 }
 
-fn simulate_outcome(ctx: &Ctx, text: &str) -> (u16, Arc<String>, &'static str) {
-    let req = match SimRequest::from_json_str(text) {
+fn simulate_outcome(ctx: &Ctx, text: &str, header_deadline_ms: Option<u64>) -> Outcome {
+    let mut req = match SimRequest::from_json_str(text) {
         Ok(req) => req,
-        Err(e) => return (400, error_json(&e), "none"),
+        Err(e) => return (400, error_json(&e), "none", None),
     };
+    // The body's own deadline wins; the header covers clients that cannot
+    // edit the body (load balancers, curl one-liners).
+    if req.deadline_ms.is_none() {
+        req.deadline_ms = header_deadline_ms;
+    }
     let key = req.canonical_hash();
 
+    // The key excludes the deadline, so a timed asker shares the cache
+    // entry of the untimed question — the fastest possible answer.
     if let Some(body) = ctx.cache.get(key) {
         ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return (200, body, "hit");
+        return (200, body, "hit", None);
     }
     ctx.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    if req.deadline_ms.is_some() {
+        return simulate_deadlined(ctx, &req, key);
+    }
 
     match ctx.coalescer.begin(key) {
         Role::Follower(flight) => {
             ctx.metrics.coalesced_waits.fetch_add(1, Ordering::Relaxed);
             let (status, body) = flight.wait();
-            (status, body, "coalesced")
+            (status, body, "coalesced", None)
         }
         Role::Leader => {
             // A panic inside the engine must not strand followers on an
@@ -278,7 +411,151 @@ fn simulate_outcome(ctx: &Ctx, text: &str) -> (u16, Arc<String>, &'static str) {
                 ctx.cache.insert(key, Arc::clone(&body));
             }
             ctx.coalescer.complete(key, (status, Arc::clone(&body)));
-            (status, body, "miss")
+            (status, body, "miss", None)
+        }
+    }
+}
+
+/// The deadline'd request path: no coalescing, DES work gated by the
+/// breaker and degradation pre-checks.
+fn simulate_deadlined(ctx: &Ctx, req: &SimRequest, key: u64) -> Outcome {
+    let deadline_ms = req.deadline_ms.expect("caller checked deadline_ms");
+
+    // Analytic answers are closed-form — microseconds. No deadline is too
+    // tight for them and the breaker (which guards the DES tier) does not
+    // apply.
+    if matches!(req.sim, SimMode::Analytic) {
+        return run_uncoalesced(ctx, req, key);
+    }
+
+    // A faulted request cannot degrade: the analytic model has no fault
+    // replay, and silently dropping the fault plan would answer a different
+    // question than was asked.
+    let degradable = req.faults.as_ref().is_none_or(|p| p.is_empty());
+
+    // Pre-checks, cheapest first, all BEFORE breaker admission so a
+    // degrade here can never leak a half-open probe slot.
+    if deadline_ms < ctx.min_des_deadline_ms {
+        return degrade_or_refuse(ctx, req, "deadline_too_tight", degradable);
+    }
+    if ctx.queue.len() >= ctx.degrade_queue_depth {
+        return degrade_or_refuse(ctx, req, "queue_deep", degradable);
+    }
+    let probe = match ctx.breaker.try_acquire() {
+        Admission::Reject => return degrade_or_refuse(ctx, req, "breaker_open", degradable),
+        Admission::Allow { probe } => probe,
+    };
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| req.run()));
+    match outcome {
+        Ok(Ok(resp)) => {
+            ctx.breaker.on_success(probe);
+            let body = Arc::new(
+                serde_json::to_string(&resp).expect("response serialization is infallible"),
+            );
+            // A timed run that finished in budget IS the untimed answer:
+            // safe to cache under the deadline-free canonical key.
+            ctx.cache.insert(key, Arc::clone(&body));
+            (200, body, "miss", None)
+        }
+        Ok(Err(e @ SimError::DeadlineExceeded { .. })) => {
+            ctx.breaker.on_failure(probe);
+            ctx.metrics.deadline_timeouts.fetch_add(1, Ordering::Relaxed);
+            if degradable {
+                degrade(ctx, req, "deadline_exceeded")
+            } else {
+                // The error message carries the partial progress (events
+                // processed, faults observed so far).
+                (504, error_json(&e), "miss", None)
+            }
+        }
+        Ok(Err(e)) => {
+            // Typed request errors complete promptly: the tier is healthy.
+            ctx.breaker.on_success(probe);
+            let status = if e.is_client_error() { 400 } else { 500 };
+            (status, error_json(&e), "miss", None)
+        }
+        Err(_) => {
+            ctx.breaker.on_failure(probe);
+            (
+                500,
+                Arc::new("{\"error\":\"simulation panicked\",\"field\":\"sim\"}".to_string()),
+                "miss",
+                None,
+            )
+        }
+    }
+}
+
+/// Run a request directly (no coalescing, no breaker), caching a 200.
+fn run_uncoalesced(ctx: &Ctx, req: &SimRequest, key: u64) -> Outcome {
+    let outcome = catch_unwind(AssertUnwindSafe(|| req.run()));
+    match outcome {
+        Ok(Ok(resp)) => {
+            let body = Arc::new(
+                serde_json::to_string(&resp).expect("response serialization is infallible"),
+            );
+            ctx.cache.insert(key, Arc::clone(&body));
+            (200, body, "miss", None)
+        }
+        Ok(Err(e)) => {
+            let status = if e.is_client_error() { 400 } else { 500 };
+            (status, error_json(&e), "miss", None)
+        }
+        Err(_) => (
+            500,
+            Arc::new("{\"error\":\"simulation panicked\",\"field\":\"sim\"}".to_string()),
+            "miss",
+            None,
+        ),
+    }
+}
+
+/// Degrade if the fault plan allows it, else refuse with 503 so the client
+/// can retry against a recovered tier.
+fn degrade_or_refuse(
+    ctx: &Ctx,
+    req: &SimRequest,
+    reason: &'static str,
+    degradable: bool,
+) -> Outcome {
+    if degradable {
+        return degrade(ctx, req, reason);
+    }
+    let body = format!(
+        "{{\"error\":\"DES tier unavailable ({reason}); faulted requests cannot \
+         degrade to the analytic model\",\"field\":\"sim\"}}"
+    );
+    (503, Arc::new(body), "none", None)
+}
+
+/// Answer a DES question with the analytic model, honestly flagged:
+/// `degraded: true` in the body, the *original* request's `config_hash` in
+/// the provenance, an `x-degraded` reason header — and never cached, since
+/// the canonical key names the DES answer this is standing in for.
+fn degrade(ctx: &Ctx, req: &SimRequest, reason: &'static str) -> Outcome {
+    let twin = SimRequest {
+        server: req.server.clone(),
+        workload: req.workload.clone(),
+        sim: SimMode::Analytic,
+        faults: None,
+        trace: false,
+        deadline_ms: None,
+    };
+    match twin.run() {
+        Ok(mut resp) => {
+            resp.degraded = true;
+            resp.config_hash = req.hash_hex();
+            ctx.metrics.degraded_total.fetch_add(1, Ordering::Relaxed);
+            let body = Arc::new(
+                serde_json::to_string(&resp).expect("response serialization is infallible"),
+            );
+            (200, body, "degraded", Some(reason))
+        }
+        // The spec itself is broken (bad server config): tell the client.
+        Err(e) => {
+            let status = if e.is_client_error() { 400 } else { 500 };
+            (status, error_json(&e), "none", None)
         }
     }
 }

@@ -12,7 +12,10 @@
 use trainbox_serve::{serve, ServeConfig};
 
 const USAGE: &str = "usage: trainbox-serve [--port N] [--addr HOST:PORT] \
-[--workers N] [--queue-depth N] [--cache-capacity N]";
+[--workers N] [--queue-depth N] [--cache-capacity N] \
+[--read-timeout-ms N] [--write-timeout-ms N] \
+[--breaker-threshold N] [--breaker-cooldown-ms N] \
+[--degrade-queue-depth N] [--min-des-deadline-ms N]";
 
 fn parse_args() -> Result<ServeConfig, String> {
     let mut cfg = ServeConfig::default();
@@ -43,6 +46,36 @@ fn parse_args() -> Result<ServeConfig, String> {
                 cfg.cache_capacity = value("--cache-capacity")?
                     .parse()
                     .map_err(|e| format!("bad --cache-capacity: {e}"))?;
+            }
+            "--read-timeout-ms" => {
+                cfg.read_timeout_ms = value("--read-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --read-timeout-ms: {e}"))?;
+            }
+            "--write-timeout-ms" => {
+                cfg.write_timeout_ms = value("--write-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --write-timeout-ms: {e}"))?;
+            }
+            "--breaker-threshold" => {
+                cfg.breaker_threshold = value("--breaker-threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --breaker-threshold: {e}"))?;
+            }
+            "--breaker-cooldown-ms" => {
+                cfg.breaker_cooldown_ms = value("--breaker-cooldown-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --breaker-cooldown-ms: {e}"))?;
+            }
+            "--degrade-queue-depth" => {
+                cfg.degrade_queue_depth = value("--degrade-queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --degrade-queue-depth: {e}"))?;
+            }
+            "--min-des-deadline-ms" => {
+                cfg.min_des_deadline_ms = value("--min-des-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --min-des-deadline-ms: {e}"))?;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -62,6 +62,21 @@ pub struct Metrics {
     pub shed_total: AtomicU64,
     pub http_400: AtomicU64,
     pub http_500: AtomicU64,
+    /// Clients cut off for trickling or stalling (HTTP 408).
+    pub http_408: AtomicU64,
+    /// Requests over the header caps (HTTP 431).
+    pub http_431: AtomicU64,
+    /// DES requests refused while the breaker was open and no degraded
+    /// answer was possible (HTTP 503).
+    pub http_503: AtomicU64,
+    /// DES runs cancelled at their deadline with no degraded fallback
+    /// (HTTP 504).
+    pub http_504: AtomicU64,
+    /// DES runs cancelled by their wall-clock deadline (whether or not a
+    /// degraded answer followed).
+    pub deadline_timeouts: AtomicU64,
+    /// DES questions answered by the analytic model with `degraded: true`.
+    pub degraded_total: AtomicU64,
     pub simulate_latency: Histogram,
 }
 
@@ -70,9 +85,16 @@ impl Metrics {
         Self::default()
     }
 
-    /// Render the `/metrics` JSON document. Queue depth and cache size are
-    /// gauges owned elsewhere, so the caller passes current readings.
-    pub fn render(&self, queue_depth: usize, cache_entries: usize) -> String {
+    /// Render the `/metrics` JSON document. Queue depth, cache size, and
+    /// breaker readings are gauges owned elsewhere, so the caller passes
+    /// current values.
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        cache_entries: usize,
+        breaker_state: &str,
+        breaker_trips: u64,
+    ) -> String {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let hits = get(&self.cache_hits);
         let misses = get(&self.cache_misses);
@@ -84,7 +106,10 @@ impl Metrics {
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{},",
                 "\"cache_entries\":{},\"coalesced_waits\":{},",
                 "\"queue_depth\":{},\"shed_total\":{},",
-                "\"http_400\":{},\"http_500\":{},",
+                "\"http_400\":{},\"http_500\":{},\"http_408\":{},\"http_431\":{},",
+                "\"http_503\":{},\"http_504\":{},",
+                "\"deadline_timeouts\":{},\"degraded_total\":{},",
+                "\"breaker_state\":\"{}\",\"breaker_trips\":{},",
                 "\"simulate_latency_ms\":{{\"count\":{},\"p50\":{},\"p99\":{}}}}}"
             ),
             get(&self.requests_total),
@@ -98,6 +123,14 @@ impl Metrics {
             get(&self.shed_total),
             get(&self.http_400),
             get(&self.http_500),
+            get(&self.http_408),
+            get(&self.http_431),
+            get(&self.http_503),
+            get(&self.http_504),
+            get(&self.deadline_timeouts),
+            get(&self.degraded_total),
+            breaker_state,
+            breaker_trips,
             self.simulate_latency.count(),
             self.simulate_latency.quantile_ms(0.50),
             self.simulate_latency.quantile_ms(0.99),
@@ -136,10 +169,16 @@ mod tests {
         let m = Metrics::new();
         m.cache_hits.fetch_add(3, Ordering::Relaxed);
         m.cache_misses.fetch_add(1, Ordering::Relaxed);
-        let doc = m.render(2, 5);
+        m.deadline_timeouts.fetch_add(2, Ordering::Relaxed);
+        m.degraded_total.fetch_add(1, Ordering::Relaxed);
+        let doc = m.render(2, 5, "closed", 7);
         assert!(doc.contains("\"cache_hit_rate\":0.75"));
         assert!(doc.contains("\"queue_depth\":2"));
         assert!(doc.contains("\"cache_entries\":5"));
+        assert!(doc.contains("\"deadline_timeouts\":2"));
+        assert!(doc.contains("\"degraded_total\":1"));
+        assert!(doc.contains("\"breaker_state\":\"closed\""));
+        assert!(doc.contains("\"breaker_trips\":7"));
         assert!(doc.starts_with('{') && doc.ends_with('}'));
     }
 }

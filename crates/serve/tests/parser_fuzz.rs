@@ -1,0 +1,76 @@
+//! Adversarial fuzzing of the HTTP parser: arbitrary, truncated, and
+//! bit-flipped byte streams must never panic [`read_request`] and must
+//! always resolve promptly — a typed error, a parsed request, or a clean
+//! close — never a hang.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+use trainbox_serve::http::read_request;
+
+/// Feed `bytes` to the parser over a real socket (close after writing) and
+/// return how long it took to resolve. Panics propagate to proptest.
+fn parse_bytes(bytes: Vec<u8>) -> Duration {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let writer = thread::spawn(move || {
+        if let Ok(mut client) = TcpStream::connect(addr) {
+            let _ = client.set_write_timeout(Some(Duration::from_secs(5)));
+            let _ = client.write_all(&bytes);
+        }
+        // Dropping the stream closes it: the parser sees EOF, not a stall.
+    });
+    let (mut server, _) = listener.accept().expect("accept");
+    server.set_read_timeout(Some(Duration::from_millis(500))).unwrap();
+    let started = Instant::now();
+    let _ = read_request(&mut server, Duration::from_secs(2));
+    let elapsed = started.elapsed();
+    writer.join().unwrap();
+    elapsed
+}
+
+/// A well-formed request to mutate.
+fn valid_request() -> Vec<u8> {
+    b"POST /simulate HTTP/1.1\r\nhost: fuzz\r\nx-deadline-ms: 250\r\ncontent-length: 24\r\n\r\n{\"server\":{},\"workload\"}"
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary byte soup: typed error or parsed request, never a panic,
+    /// never unbounded time.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_parser(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let elapsed = parse_bytes(bytes);
+        prop_assert!(elapsed < Duration::from_secs(10), "parser took {elapsed:?}");
+    }
+
+    /// A valid request cut off at any byte: the parser must classify the
+    /// truncation (EOF mid-line, mid-headers, or short body) cleanly.
+    #[test]
+    fn truncated_requests_resolve_cleanly(cut in 0usize..100) {
+        let mut bytes = valid_request();
+        bytes.truncate(cut.min(bytes.len()));
+        let elapsed = parse_bytes(bytes);
+        prop_assert!(elapsed < Duration::from_secs(10), "parser took {elapsed:?}");
+    }
+
+    /// A valid request with random bit flips: framing fields (method,
+    /// content-length, header names) corrupt in arbitrary ways.
+    #[test]
+    fn bit_flipped_requests_resolve_cleanly(
+        flips in proptest::collection::vec((0usize..100, 0u8..8), 1..8),
+    ) {
+        let mut bytes = valid_request();
+        let n = bytes.len();
+        for (pos, bit) in flips {
+            bytes[pos % n] ^= 1 << bit;
+        }
+        let elapsed = parse_bytes(bytes);
+        prop_assert!(elapsed < Duration::from_secs(10), "parser took {elapsed:?}");
+    }
+}

@@ -167,6 +167,13 @@ fn unknown_routes_and_methods_are_rejected() {
     let (status, _, body) = http(addr, "GET", "/healthz", "");
     assert_eq!(status, 200);
     assert!(body.contains("ok"));
+    // A freshly started idle service is ready: breaker closed, queue empty.
+    let (status, _, body) = http(addr, "GET", "/readyz", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ready\":true"), "{body}");
+    assert!(body.contains("\"breaker\":\"closed\""), "{body}");
+    let (status, _, _) = http(addr, "PUT", "/readyz", "");
+    assert_eq!(status, 405);
     handle.shutdown();
 }
 

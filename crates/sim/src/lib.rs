@@ -67,6 +67,7 @@ pub use trace::{chrome_trace_json, Component, NoopTracer, RingTracer, TraceRecor
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::time::Instant;
 
 /// Why a simulation run could not complete normally.
 ///
@@ -89,6 +90,15 @@ pub enum SimError {
         /// Live events still queued when the run gave up.
         queued: usize,
     },
+    /// A wall-clock deadline expired before the run completed
+    /// ([`Engine::run_while_deadline`]). The model keeps whatever state it
+    /// reached, so callers can extract partial statistics.
+    DeadlineExceeded {
+        /// Events processed before the deadline expired.
+        events: u64,
+        /// Live events still queued when the run was cancelled.
+        queued: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -100,6 +110,11 @@ impl std::fmt::Display for SimError {
             SimError::Stalled { events, queued } => write!(
                 f,
                 "simulation stalled: event budget exhausted after {events} events \
+                 with {queued} still queued"
+            ),
+            SimError::DeadlineExceeded { events, queued } => write!(
+                f,
+                "simulation deadline exceeded after {events} events \
                  with {queued} still queued"
             ),
         }
@@ -609,6 +624,64 @@ impl<M: Model> Engine<M> {
         }
         Ok(false)
     }
+
+    /// [`Engine::run_while`] under an optional wall-clock deadline.
+    ///
+    /// With `deadline: None` this *is* `run_while` — same code path, same
+    /// event order, same results. With a deadline, the clock is consulted
+    /// once every [`Self::DEADLINE_CHECK_INTERVAL`] events (amortizing the
+    /// `Instant::now` syscall to noise) and the run is cancelled
+    /// cooperatively once it expires. The model keeps whatever state it had
+    /// reached, so callers can report partial statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeadlineExceeded`] when the deadline expires mid-run;
+    /// [`SimError::TimeOverflow`] on scheduling overflow (see
+    /// [`Engine::run`]).
+    pub fn run_while_deadline(
+        &mut self,
+        max_events: u64,
+        deadline: Option<Instant>,
+        mut predicate: impl FnMut(&M) -> bool,
+    ) -> Result<bool, SimError> {
+        let Some(deadline) = deadline else {
+            return self.run_while(max_events, predicate);
+        };
+        let deadline_err = |e: &Self| SimError::DeadlineExceeded {
+            events: e.events_processed(),
+            queued: e.queued(),
+        };
+        if Instant::now() >= deadline {
+            return Err(deadline_err(self));
+        }
+        let mut until_check = Self::DEADLINE_CHECK_INTERVAL;
+        for _ in 0..max_events {
+            let stepped = self.step();
+            self.check_overflow()?;
+            if !stepped {
+                return Ok(false);
+            }
+            if predicate(&self.model) {
+                return Ok(true);
+            }
+            until_check -= 1;
+            if until_check == 0 {
+                until_check = Self::DEADLINE_CHECK_INTERVAL;
+                if Instant::now() >= deadline {
+                    return Err(deadline_err(self));
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Events between wall-clock deadline checks in
+    /// [`Self::run_while_deadline`]. At the engine's measured millions of
+    /// events per second this polls every millisecond or two — fine-grained
+    /// enough for request deadlines, coarse enough to keep `Instant::now`
+    /// off the hot path.
+    pub const DEADLINE_CHECK_INTERVAL: u64 = 4096;
 }
 
 #[cfg(test)]
@@ -863,6 +936,66 @@ mod tests {
         assert!(e.to_string().contains("overflow"));
         let s = SimError::Stalled { events: 10, queued: 3 };
         assert!(s.to_string().contains("stalled"));
+        let d = SimError::DeadlineExceeded { events: 5, queued: 1 };
+        assert!(d.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn run_while_deadline_none_matches_run_while() {
+        let mut timed = engine();
+        let mut plain = engine();
+        for e in [&mut timed, &mut plain] {
+            for i in 0..10 {
+                e.schedule_at(SimTime::from_nanos(i * 3), i as u32);
+            }
+        }
+        let hit = timed.run_while_deadline(u64::MAX, None, |m| m.log.len() == 7).unwrap();
+        assert!(hit);
+        plain.run_while(u64::MAX, |m| m.log.len() == 7).unwrap();
+        assert_eq!(timed.model().log, plain.model().log, "None must be the untimed path");
+        assert_eq!(timed.now(), plain.now());
+    }
+
+    /// An event loop that reschedules itself forever: without the deadline
+    /// this would spin until the event budget; with one it must cancel
+    /// cooperatively, keeping the partial model state.
+    struct Forever {
+        fired: u64,
+    }
+
+    impl Model for Forever {
+        type Event = ();
+        fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+            self.fired += 1;
+            sched.schedule_in(now, SimTime::from_nanos(1), ());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_cancels_the_run_with_partial_state() {
+        let mut e = Engine::new(Forever { fired: 0 });
+        e.schedule_at(SimTime::ZERO, ());
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(20);
+        let err = e
+            .run_while_deadline(u64::MAX, Some(deadline), |_| false)
+            .unwrap_err();
+        let SimError::DeadlineExceeded { events, queued } = err else {
+            panic!("expected DeadlineExceeded, got {err:?}");
+        };
+        assert!(events > 0, "some events ran before the deadline");
+        assert_eq!(queued, 1, "the self-rescheduled event is still pending");
+        assert_eq!(e.model().fired, events, "partial model state is preserved");
+    }
+
+    #[test]
+    fn already_expired_deadline_fails_before_stepping() {
+        let mut e = engine();
+        e.schedule_at(SimTime::from_nanos(1), 1);
+        let err = e
+            .run_while_deadline(u64::MAX, Some(std::time::Instant::now()), |_| false)
+            .unwrap_err();
+        assert!(matches!(err, SimError::DeadlineExceeded { events: 0, .. }));
+        assert!(e.model().log.is_empty(), "no event fired past the dead deadline");
     }
 
     struct Rescheduler {
