@@ -50,6 +50,7 @@ fn bench_des(c: &mut Criterion) {
         prefetch_batches: 1,
         max_events: 5_000_000,
         reference_allocator: false,
+        parallel_workers: 0,
     };
     let mut g = c.benchmark_group("des");
     g.sample_size(10);

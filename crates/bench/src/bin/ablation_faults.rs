@@ -25,6 +25,7 @@ fn cfg() -> SimConfig {
         prefetch_batches: 1,
         max_events: 10_000_000,
         reference_allocator: false,
+        parallel_workers: 0,
     }
 }
 
@@ -41,7 +42,7 @@ fn run_des(req: &SimRequest) -> SimResult {
     let resp = req.run().unwrap_or_else(|e| panic!("simulation failed: {e}"));
     match resp.outcome {
         SimOutcome::Des(r) => r,
-        SimOutcome::Analytic(_) => unreachable!("DES request produced an analytic outcome"),
+        other => unreachable!("DES request produced a non-DES outcome: {other:?}"),
     }
 }
 

@@ -23,6 +23,7 @@ fn cfg_for(depth: u64, chunk: u64) -> SimConfig {
         prefetch_batches: depth,
         max_events: 10_000_000,
         reference_allocator: false,
+        parallel_workers: 0,
     }
 }
 
@@ -38,7 +39,7 @@ fn run_des(cfg: SimConfig) -> SimResult {
     let resp = request(cfg).run().unwrap_or_else(|e| panic!("simulation failed: {e}"));
     match resp.outcome {
         SimOutcome::Des(r) => r,
-        SimOutcome::Analytic(_) => unreachable!("DES request produced an analytic outcome"),
+        other => unreachable!("DES request produced a non-DES outcome: {other:?}"),
     }
 }
 

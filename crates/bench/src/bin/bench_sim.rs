@@ -22,11 +22,12 @@
 
 use serde::Serialize;
 use std::time::Instant;
-use trainbox_bench::{emit_json, figure_main};
+use trainbox_bench::{emit_json, figure_main, sim_workers};
 use trainbox_core::arch::ServerKind;
 use trainbox_core::faults::{FaultDomain, FaultPlan};
 use trainbox_core::pipeline::{SimConfig, SimResult};
 use trainbox_core::request::{SimOutcome, SimRequest};
+use trainbox_core::scaleout::{ClusterResult, ClusterSpec};
 use trainbox_nn::Workload;
 
 /// Anchor commit: the tree immediately before this PR's simulator-core
@@ -46,9 +47,9 @@ const PRE_PR_FIGURE_MS: &[(&str, f64)] = &[
 /// (keep the two lists in sync).
 const FIGURE_BINS: &[&str] = &[
     "table01", "fig02b", "fig03", "fig05", "fig08", "fig09", "fig10", "fig11",
-    "table02", "table03", "fig19", "fig20", "fig21", "fig22", "ablation_ring",
-    "ablation_boxes", "ablation_nextgen", "ablation_prepnet", "ablation_prefetch",
-    "batch_lr", "scale_up_vs_out", "ablation_faults",
+    "table02", "table03", "fig19", "fig20", "fig21", "fig21_cluster", "fig22",
+    "ablation_ring", "ablation_boxes", "ablation_nextgen", "ablation_prepnet",
+    "ablation_prefetch", "batch_lr", "scale_up_vs_out", "ablation_faults",
 ];
 
 fn sim_cfg(reference_allocator: bool) -> SimConfig {
@@ -59,6 +60,7 @@ fn sim_cfg(reference_allocator: bool) -> SimConfig {
         prefetch_batches: 1,
         max_events: 10_000_000,
         reference_allocator,
+        parallel_workers: 0,
     }
 }
 
@@ -80,7 +82,37 @@ fn run_des(req: &SimRequest) -> SimResult {
     let resp = req.run().unwrap_or_else(|e| panic!("simulation failed: {e}"));
     match resp.outcome {
         SimOutcome::Des(r) => r,
-        SimOutcome::Analytic(_) => unreachable!("DES request produced an analytic outcome"),
+        other => unreachable!("DES request produced a non-DES outcome: {other:?}"),
+    }
+}
+
+/// The parallel-engine scenario: a rack-scale cluster of TrainBox (no pool)
+/// servers, one logical process each. Sized so a full run stays around a
+/// second while every server carries real flow-simulation work.
+fn cluster_request(workers: usize, smoke: bool) -> SimRequest {
+    let mut req = SimRequest::des(
+        ServerKind::TrainBoxNoPool,
+        8,
+        Workload::inception_v4(),
+        SimConfig {
+            chunk_samples: 64,
+            batches: if smoke { 3 } else { 5 },
+            warmup_batches: 1,
+            prefetch_batches: 1,
+            max_events: 50_000_000,
+            reference_allocator: false,
+            parallel_workers: workers,
+        },
+    );
+    req.server.batch_size = Some(256);
+    req.with_cluster(ClusterSpec::rack_default(if smoke { 4 } else { 16 }))
+}
+
+fn run_cluster(req: &SimRequest) -> ClusterResult {
+    let resp = req.run().unwrap_or_else(|e| panic!("cluster simulation failed: {e}"));
+    match resp.outcome {
+        SimOutcome::Cluster(r) => r,
+        other => unreachable!("cluster request produced a non-cluster outcome: {other:?}"),
     }
 }
 
@@ -106,6 +138,40 @@ struct FaultBench {
     events: u64,
     recomputes: u64,
     injected: u64,
+}
+
+#[derive(Serialize)]
+struct ParallelPoint {
+    workers: usize,
+    wall_ms: f64,
+    events_per_sec: f64,
+    /// Measured wall-clock speedup over the sequential reference engine on
+    /// *this host* — bounded by `host_cores`.
+    speedup_vs_sequential: f64,
+}
+
+#[derive(Serialize)]
+struct ParallelBench {
+    servers: usize,
+    /// Hardware threads available to this process. Measured speedups cannot
+    /// exceed this; on a 1-core host they are flat at ~1.0 regardless of
+    /// worker count.
+    host_cores: usize,
+    /// `--sim-workers` / `TRAINBOX_SIM_WORKERS` as passed (0 = unset).
+    requested_sim_workers: usize,
+    sequential_wall_ms: f64,
+    events: u64,
+    events_per_sec_sequential: f64,
+    points: Vec<ParallelPoint>,
+    /// Max/mean ratio of per-server event counts (1.0 = perfectly balanced
+    /// partitions).
+    imbalance: f64,
+    /// Deterministic work-span bound at 4 workers, computed from the real
+    /// per-window per-server event counts of this run: the speedup a 4-core
+    /// host could reach on this partition, independent of this host's core
+    /// count. Byte-identical across runs, unlike the wall-clock columns.
+    work_span_speedup_4: f64,
+    note: &'static str,
 }
 
 #[derive(Serialize)]
@@ -142,6 +208,7 @@ struct BenchSim {
     des: DesBench,
     allocator: AllocatorBench,
     faults: FaultBench,
+    parallel: ParallelBench,
     figures: Vec<FigureMs>,
     full_regen_ms: Option<f64>,
     pre_pr_baseline: Baseline,
@@ -266,6 +333,61 @@ fn run() {
         faults.wall_ms, faults.events, faults.recomputes, faults.injected
     );
 
+    // --- parallel cluster engine ---------------------------------------
+    // Correctness first: every worker count must reproduce the sequential
+    // reference byte-for-byte. Then the clock: measured wall speedup
+    // (honest — bounded by this host's cores) plus the deterministic
+    // work-span bound derived from the run's own per-window event counts.
+    let par_reps = reps.min(3);
+    let (seq_ms, seq) = best_of(par_reps, || run_cluster(&cluster_request(0, smoke)));
+    let seq_events_per_sec = seq.events as f64 / (seq_ms / 1e3);
+    let mut points = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (ms, r) = best_of(par_reps, || run_cluster(&cluster_request(workers, smoke)));
+        assert_eq!(
+            r, seq,
+            "parallel engine ({workers} workers) diverged from the sequential reference"
+        );
+        points.push(ParallelPoint {
+            workers,
+            wall_ms: ms,
+            events_per_sec: r.events as f64 / (ms / 1e3),
+            speedup_vs_sequential: seq_ms / ms,
+        });
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let parallel = ParallelBench {
+        servers: seq.servers,
+        host_cores,
+        requested_sim_workers: sim_workers(),
+        sequential_wall_ms: seq_ms,
+        events: seq.events,
+        events_per_sec_sequential: seq_events_per_sec,
+        imbalance: seq.imbalance,
+        work_span_speedup_4: seq.work_span_speedup_4,
+        points,
+        note: "speedup_vs_sequential is measured wall-clock on this host and \
+               saturates at host_cores; work_span_speedup_4 is the deterministic \
+               parallelism bound of this partition at 4 workers, computed from \
+               per-window event counts",
+    };
+    println!(
+        "parallel cluster ({} servers): sequential {:.1} ms ({:.0} events/s), \
+         imbalance x{:.2}, work-span bound x{:.2} @ 4 workers (host has {} cores)",
+        parallel.servers,
+        parallel.sequential_wall_ms,
+        parallel.events_per_sec_sequential,
+        parallel.imbalance,
+        parallel.work_span_speedup_4,
+        parallel.host_cores,
+    );
+    for p in &parallel.points {
+        println!(
+            "  {} workers: {:>8.1} ms ({:>12.0} events/s, x{:.2} measured), identical result",
+            p.workers, p.wall_ms, p.events_per_sec, p.speedup_vs_sequential
+        );
+    }
+
     // --- per-figure wall-clock ----------------------------------------
     let figures = time_figures(reps.min(3));
     let full_regen_ms = (figures.len() == FIGURE_BINS.len())
@@ -300,12 +422,13 @@ fn run() {
     }
 
     let results = BenchSim {
-        schema: "trainbox.bench_sim.v1",
+        schema: "trainbox.bench_sim.v2",
         smoke,
         reps,
         des,
         allocator,
         faults,
+        parallel,
         figures,
         full_regen_ms,
         pre_pr_baseline: Baseline {

@@ -1,0 +1,118 @@
+//! Figure 21 (cluster extension) — scalability carried past one server:
+//! multi-rack TrainBox clusters joined by a ToR + spine Ethernet fabric,
+//! 1 to 128 servers (up to 32 768 accelerators — 10–100× the paper's
+//! largest configuration).
+//!
+//! The paper's evaluation stops at a single 256-accelerator server; its
+//! §III-A scale-*out* analysis (Fig 4) shows why naive many-node clusters
+//! waste their accelerators on synchronization. This figure asks the
+//! follow-up: how far do *balanced* TrainBox servers scale when clustered,
+//! with the cross-server all-reduce modeled hierarchically (ring within the
+//! rack, ring across racks)?
+//!
+//! Two answers, cross-checked:
+//!
+//! * the closed-form cluster model ([`ClusterSpec::analytic`]) sweeps the
+//!   full 1–128-server range for Inception-v4 and TF-SR;
+//! * the parallel DES ([`SimOutcome::Cluster`]) validates the small sizes at
+//!   full datapath fidelity — one logical process per server, advanced by
+//!   `--sim-workers` threads (byte-identical to the sequential engine).
+
+use trainbox_bench::{emit_json, figure_main, sim_workers};
+use trainbox_core::arch::ServerKind;
+use trainbox_core::pipeline::SimConfig;
+use trainbox_core::request::{SimOutcome, SimRequest};
+use trainbox_core::scaleout::ClusterSpec;
+use trainbox_nn::Workload;
+
+const SERVER_SWEEP: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+fn main() {
+    figure_main(
+        "Figure 21 (cluster)",
+        "TrainBox cluster scalability, 1-128 servers over ToR + spine Ethernet",
+        |_jobs| {
+            let mut dump = Vec::new();
+
+            // --- closed-form sweep: full-size TrainBox servers ----------
+            for w in [Workload::inception_v4(), Workload::transformer_sr()] {
+                let server = SimRequest::analytic(ServerKind::TrainBox, 256, w.clone())
+                    .build_server()
+                    .expect("paper-scale TrainBox");
+                println!("\n({}, 256-accel TrainBox servers)", w.name);
+                println!(
+                    "{:<10} {:>14} {:>18} {:>16} {:>14}",
+                    "servers", "racks", "samples/s", "speedup", "cross-sync ms"
+                );
+                for &n in SERVER_SWEEP {
+                    let spec = ClusterSpec::rack_default(n);
+                    let t = spec.analytic(&server, &w);
+                    println!(
+                        "{n:<10} {:>14} {:>18.0} {:>16.1} {:>14.3}",
+                        spec.racks(),
+                        t.samples_per_sec,
+                        t.speedup_over_one_server,
+                        t.cross_sync_secs * 1e3,
+                    );
+                    dump.push((
+                        w.name,
+                        "analytic",
+                        n,
+                        t.samples_per_sec,
+                        t.speedup_over_one_server,
+                        t.cross_sync_secs,
+                    ));
+                }
+            }
+
+            // --- DES cross-check: small clusters at full fidelity --------
+            // Scaled-down servers keep the runs fast; the point is that the
+            // event-driven datapath (SSD reads, prep, PCIe contention,
+            // local ring sync, global barrier) agrees with the closed form
+            // on the *scaling trend*, not absolute throughput.
+            let workers = sim_workers();
+            println!(
+                "\n(DES cross-check: 8-accel TrainBoxNoPool servers, Inception-v4, \
+                 {workers} sim workers)"
+            );
+            println!("{:<10} {:>18} {:>16} {:>12}", "servers", "samples/s", "speedup", "events");
+            let mut one_server = None;
+            for &n in &[1usize, 2, 4, 8] {
+                let mut req = SimRequest::des(
+                    ServerKind::TrainBoxNoPool,
+                    8,
+                    Workload::inception_v4(),
+                    SimConfig {
+                        chunk_samples: 64,
+                        batches: 4,
+                        warmup_batches: 1,
+                        parallel_workers: workers,
+                        ..SimConfig::default()
+                    },
+                )
+                .with_cluster(ClusterSpec::rack_default(n));
+                req.server.batch_size = Some(256);
+                let resp = req.run().unwrap_or_else(|e| panic!("cluster DES failed: {e}"));
+                let SimOutcome::Cluster(r) = resp.outcome else {
+                    unreachable!("cluster request produced a non-cluster outcome");
+                };
+                let base = *one_server.get_or_insert(r.samples_per_sec);
+                let speedup = r.samples_per_sec / base;
+                println!(
+                    "{n:<10} {:>18.0} {:>16.2} {:>12}",
+                    r.samples_per_sec, speedup, r.events
+                );
+                dump.push((
+                    "Inception-v4 (DES, 8-accel servers)",
+                    "des",
+                    n,
+                    r.samples_per_sec,
+                    speedup,
+                    r.cross_sync_secs,
+                ));
+            }
+
+            emit_json("fig21_cluster", &dump);
+        },
+    );
+}

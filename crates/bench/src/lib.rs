@@ -63,7 +63,10 @@ pub fn compare(metric: &str, paper: f64, measured: f64) {
 
 fn usage_exit(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: <fig-binary> [-j N | --jobs N] [--print-jobs] [--trace out.json]");
+    eprintln!(
+        "usage: <fig-binary> [-j N | --jobs N] [--print-jobs] [--trace out.json] \
+         [--sim-workers N]"
+    );
     std::process::exit(2);
 }
 
@@ -74,6 +77,20 @@ static TRACE_OUT: OnceLock<Option<PathBuf>> = OnceLock::new();
 /// `None` until [`bench_cli`] has run, or when the flag was absent.
 pub fn trace_out() -> Option<PathBuf> {
     TRACE_OUT.get().cloned().flatten()
+}
+
+/// `--sim-workers N` parsed by [`bench_cli`], if any.
+static SIM_WORKERS: OnceLock<usize> = OnceLock::new();
+
+/// Worker threads for the parallel DES engine inside each simulation
+/// (`SimConfig::parallel_workers` on cluster runs). `0` — the default —
+/// selects the sequential reference engine. Distinct from `-j`, which runs
+/// *independent sweep points* concurrently: `-j` parallelism multiplies
+/// with `--sim-workers`, so `-j 4 --sim-workers 4` asks for 16 runnable
+/// threads — oversubscription unless the host has the cores. Results are
+/// byte-identical for any value; only wall-clock changes.
+pub fn sim_workers() -> usize {
+    SIM_WORKERS.get().copied().unwrap_or(0)
 }
 
 fn parse_jobs(s: &str) -> usize {
@@ -99,6 +116,11 @@ pub fn bench_cli() -> usize {
         .ok()
         .map(|v| parse_jobs(&v))
         .unwrap_or(1);
+    // Unlike jobs, 0 is legal here: it names the sequential reference.
+    let mut sim_workers: usize = std::env::var("TRAINBOX_SIM_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     let mut trace: Option<PathBuf> = None;
     let mut print_jobs = false;
     let mut args = std::env::args().skip(1);
@@ -116,10 +138,24 @@ pub fn bench_cli() -> usize {
                     .unwrap_or_else(|| usage_exit("missing value after --trace"));
                 trace = Some(PathBuf::from(v));
             }
+            "--sim-workers" => {
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_exit("missing value after --sim-workers"));
+                sim_workers = v.parse().unwrap_or_else(|_| {
+                    usage_exit(&format!("invalid --sim-workers {v:?} (want an integer)"))
+                });
+            }
             "--print-jobs" => print_jobs = true,
             s if s.starts_with("--jobs=") => jobs = parse_jobs(&s["--jobs=".len()..]),
             s if s.starts_with("--trace=") => {
                 trace = Some(PathBuf::from(&s["--trace=".len()..]));
+            }
+            s if s.starts_with("--sim-workers=") => {
+                let v = &s["--sim-workers=".len()..];
+                sim_workers = v.parse().unwrap_or_else(|_| {
+                    usage_exit(&format!("invalid --sim-workers {v:?} (want an integer)"))
+                });
             }
             s if s.starts_with("-j") => jobs = parse_jobs(&s[2..]),
             other => usage_exit(&format!("unknown argument {other:?}")),
@@ -130,6 +166,7 @@ pub fn bench_cli() -> usize {
         std::process::exit(0);
     }
     let _ = TRACE_OUT.set(trace);
+    let _ = SIM_WORKERS.set(sim_workers);
     jobs
 }
 

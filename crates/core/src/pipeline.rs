@@ -31,7 +31,7 @@ use trainbox_sim::{
 };
 
 /// Configuration of one DES run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
     /// Samples per chunk (event granularity).
     pub chunk_samples: u64,
@@ -47,6 +47,18 @@ pub struct SimConfig {
     /// Use the per-flow reference max-min allocator instead of the fast
     /// classed one (same results bit-for-bit; kept for A/B benchmarking).
     pub reference_allocator: bool,
+    /// Worker threads for the parallel DES runner (`trainbox_sim::par`).
+    /// `0` or `1` selects the sequential reference; any value produces
+    /// byte-identical results (the parallel path only changes which thread
+    /// advances each partition, never the merge order). Only cluster runs
+    /// have more than one partition today — a single-server simulation is
+    /// one logical process and always runs sequentially.
+    ///
+    /// Like `deadline_ms` on a request, this is a quality-of-service hint,
+    /// **not part of the question**: it is excluded from the canonical
+    /// serialization and hash, so parallel and sequential spellings of the
+    /// same what-if share one cache entry.
+    pub parallel_workers: usize,
 }
 
 impl Default for SimConfig {
@@ -58,7 +70,29 @@ impl Default for SimConfig {
             prefetch_batches: 1,
             max_events: 20_000_000,
             reference_allocator: false,
+            parallel_workers: 0,
         }
+    }
+}
+
+// Hand-written (not derived) to keep `parallel_workers` out of the canonical
+// form: the canonical bytes answer "what is being asked", and the worker
+// count only says how the host should compute the (identical) answer. Field
+// order matches the declaration order the previous derived impl emitted, so
+// existing canonical bytes and hashes are unchanged.
+impl serde::Serialize for SimConfig {
+    fn to_json(&self) -> serde::json::Json {
+        serde::json::Json::Object(vec![
+            ("chunk_samples".to_string(), serde::Serialize::to_json(&self.chunk_samples)),
+            ("batches".to_string(), serde::Serialize::to_json(&self.batches)),
+            ("warmup_batches".to_string(), serde::Serialize::to_json(&self.warmup_batches)),
+            ("prefetch_batches".to_string(), serde::Serialize::to_json(&self.prefetch_batches)),
+            ("max_events".to_string(), serde::Serialize::to_json(&self.max_events)),
+            (
+                "reference_allocator".to_string(),
+                serde::Serialize::to_json(&self.reference_allocator),
+            ),
+        ])
     }
 }
 
@@ -79,6 +113,9 @@ impl serde::Deserialize for SimConfig {
                 "max_events" => cfg.max_events = serde::Deserialize::from_json(val)?,
                 "reference_allocator" => {
                     cfg.reference_allocator = serde::Deserialize::from_json(val)?
+                }
+                "parallel_workers" => {
+                    cfg.parallel_workers = serde::Deserialize::from_json(val)?
                 }
                 _ => {
                     return Err(serde::json::JsonError::type_mismatch(
@@ -198,7 +235,7 @@ struct AccelState {
 }
 
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     /// Prime the pipeline at t = 0.
     Start,
     /// An SSD finished reading a chunk.
@@ -223,6 +260,9 @@ enum Ev {
     FaultRecover(usize),
     /// Backoff elapsed: re-dispatch the chunk's prep request.
     PrepRetry(u64),
+    /// Cluster mode only: the coordinator released the global synchronization
+    /// barrier — close the generation at the granted global time.
+    ClusterResume,
 }
 
 /// Mutable degraded-mode state: who is alive, how fast, and what the fault
@@ -286,7 +326,7 @@ impl FaultRuntime {
     }
 }
 
-struct PipelineModel<T: Tracer> {
+pub(crate) struct PipelineModel<T: Tracer> {
     kind: ServerKind,
     topo: ServerTopology,
     sizes: SampleSizes,
@@ -323,6 +363,14 @@ struct PipelineModel<T: Tracer> {
     rr_ssd: usize,
     rr_prep: usize,
     done: bool,
+
+    /// Cluster mode: when set, a finished local ring sync does **not** close
+    /// the generation — the model parks at the global barrier
+    /// (`at_barrier`) until the cluster coordinator grants a resume time.
+    cluster_hold: bool,
+    /// Parked at the global synchronization barrier, waiting for
+    /// [`Ev::ClusterResume`]. Read-and-cleared by the cluster runner.
+    at_barrier: bool,
 
     /// Ring latency model and gradient size, kept so the synchronization
     /// time can be recomputed when the ring re-forms after a dropout.
@@ -368,7 +416,7 @@ fn fault_track(kind: FaultKind) -> u32 {
 }
 
 impl<T: Tracer> PipelineModel<T> {
-    fn new(
+    pub(crate) fn new(
         server: &Server,
         workload: &Workload,
         cfg: &SimConfig,
@@ -494,12 +542,78 @@ impl<T: Tracer> PipelineModel<T> {
             rr_ssd: 0,
             rr_prep: 0,
             done: false,
+            cluster_hold: false,
+            at_barrier: false,
             ring: *server.ring_model(),
             model_bytes: workload.model_bytes(),
             faults,
             tracer,
             flow_started: FxHashMap::default(),
         }
+    }
+
+    // --- cluster-runner interface (crate-private) -------------------------
+    //
+    // The cluster DES in `crate::scaleout` drives one `PipelineModel` per
+    // server as a logical process: it needs to switch the model into
+    // barrier-hold mode, observe/clear the barrier flag, and pull the
+    // per-generation records out at the end. Nothing here changes solo-run
+    // behavior.
+
+    /// Switch into cluster mode: local syncs park at the global barrier
+    /// instead of closing generations (see [`Ev::ClusterResume`]).
+    pub(crate) fn set_cluster_hold(&mut self) {
+        self.cluster_hold = true;
+    }
+
+    /// Parked at the global barrier? (Read-only form for run predicates.)
+    pub(crate) fn at_barrier(&self) -> bool {
+        self.at_barrier
+    }
+
+    /// Read **and clear** the barrier flag. Clearing keeps the runner's
+    /// "advance until barrier or done" predicate from re-firing before the
+    /// resume event is processed.
+    pub(crate) fn take_barrier(&mut self) -> bool {
+        std::mem::take(&mut self.at_barrier)
+    }
+
+    /// Whether the run reached its target batches.
+    pub(crate) fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Samples synchronized by each closed generation.
+    pub(crate) fn batch_samples(&self) -> &[u64] {
+        &self.batch_samples
+    }
+
+    /// Accelerators this server started with.
+    pub(crate) fn n_accels(&self) -> usize {
+        self.accels.len()
+    }
+
+    /// Per-accelerator batch size.
+    pub(crate) fn batch_size(&self) -> u64 {
+        self.batch
+    }
+
+    /// Max-min recomputations across both flow simulators.
+    pub(crate) fn recompute_count(&self) -> u64 {
+        self.flows.recomputes() + self.eth.as_ref().map_or(0, |e| e.flows.recomputes())
+    }
+
+    /// Fault-layer statistics observed so far.
+    pub(crate) fn fault_stats(&self) -> &FaultStats {
+        &self.faults.stats
+    }
+
+    /// Drain any pending flow-trace counters and hand back the tracer.
+    pub(crate) fn into_tracer(mut self) -> T {
+        if self.tracer.enabled() {
+            self.drain_flow_trace();
+        }
+        self.tracer
     }
 
     /// Convert accumulated flow-rate recompute logs into counter records.
@@ -1041,6 +1155,22 @@ impl<T: Tracer> PipelineModel<T> {
 
     fn on_sync_done(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
         self.sync_in_progress = false;
+        if self.cluster_hold {
+            // The local (intra-server) ring reduction is done, but in a
+            // cluster the generation only closes once every server has
+            // finished and the cross-server phase has run — park at the
+            // barrier and let the coordinator grant the resume time.
+            self.at_barrier = true;
+            return;
+        }
+        self.finish_generation(now, sched);
+    }
+
+    /// Close the current generation at `now`: record it, and either finish
+    /// the run or start the next generation's compute. In solo mode `now` is
+    /// the local sync completion; in cluster mode it is the coordinator's
+    /// global release time.
+    fn finish_generation(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
         self.sync_gen += 1;
         if self.tracer.enabled() {
             self.tracer.instant(Component::Collective, "batch_sync", 0, now);
@@ -1246,6 +1376,7 @@ impl<T: Tracer> Model for PipelineModel<T> {
             Ev::Fault(i) => self.on_fault(now, i, sched),
             Ev::FaultRecover(i) => self.on_fault_recover(now, i, sched),
             Ev::PrepRetry(id) => self.on_prep_retry(now, id, sched),
+            Ev::ClusterResume => self.finish_generation(now, sched),
         }
         if self.tracer.enabled() {
             self.drain_flow_trace();
@@ -1537,6 +1668,7 @@ mod tests {
             prefetch_batches: 1,
             max_events: 5_000_000,
             reference_allocator: false,
+            parallel_workers: 0,
         }
     }
 
@@ -1804,6 +1936,7 @@ mod tests {
             prefetch_batches: 1,
             max_events: 5_000_000,
             reference_allocator: false,
+            parallel_workers: 0,
         };
         let no_pool = ServerConfig::new(ServerKind::TrainBoxNoPool, 16).build();
         let without = simulate(&no_pool, &w, &cfg).samples_per_sec;

@@ -41,10 +41,14 @@ use crate::arch::{ConfigError, Server, ServerConfig, ServerKind, Throughput};
 use crate::faults::FaultPlan;
 use crate::faults::FaultStats;
 use crate::pipeline::{fault_domain, try_simulate_traced_deadline, SimConfig, SimResult};
+use crate::scaleout::{
+    simulate_cluster_traced_deadline, ClusterResult, ClusterSpec, ClusterThroughput,
+    CLUSTER_TRACK_STRIDE,
+};
 use serde::{Deserialize, Serialize};
 use trainbox_collective::RingModel;
 use trainbox_nn::Workload;
-use trainbox_sim::{NoopTracer, RingTracer, TraceSummary, Tracer};
+use trainbox_sim::{merge_lp_records, NoopTracer, RingTracer, TraceSummary, Tracer};
 
 /// The server half of a request: which design, at what scale, with which
 /// overrides. Mirrors [`ServerConfig`]'s builder knobs as plain data.
@@ -205,6 +209,17 @@ pub struct SimRequest {
     /// [`Self::canonical_hash`], so timed and untimed spellings of the same
     /// what-if share one cache entry.
     pub deadline_ms: Option<u64>,
+    /// Ask about a multi-server cluster of identical `server`s instead of a
+    /// single server (omitted = single server). Analytic requests answer
+    /// with [`ClusterSpec::analytic`]; DES requests simulate every server as
+    /// a logical process under the conservative parallel runner
+    /// ([`simulate_cluster_traced_deadline`]) and a fault plan replays on
+    /// server 0.
+    ///
+    /// Unlike `deadline_ms` this *is* part of the question and of the
+    /// canonical form — but it is emitted only when present, so existing
+    /// single-server requests keep their canonical bytes and hashes.
+    pub cluster: Option<ClusterSpec>,
 }
 
 // Hand-written (not derived) to keep `deadline_ms` out of the canonical
@@ -212,13 +227,19 @@ pub struct SimRequest {
 // only says how long the asker will wait.
 impl Serialize for SimRequest {
     fn to_json(&self) -> serde::json::Json {
-        serde::json::Json::Object(vec![
+        let mut fields = vec![
             ("server".to_string(), self.server.to_json()),
             ("workload".to_string(), self.workload.to_json()),
             ("sim".to_string(), self.sim.to_json()),
             ("faults".to_string(), self.faults.to_json()),
             ("trace".to_string(), self.trace.to_json()),
-        ])
+        ];
+        // Emitted only when present so single-server requests keep the
+        // canonical bytes (and hashes) they had before clusters existed.
+        if let Some(cluster) = &self.cluster {
+            fields.push(("cluster".to_string(), cluster.to_json()));
+        }
+        serde::json::Json::Object(fields)
     }
 }
 
@@ -234,6 +255,7 @@ impl Deserialize for SimRequest {
         let mut faults = None;
         let mut trace = false;
         let mut deadline_ms = None;
+        let mut cluster = None;
         for (key, val) in obj {
             match key.as_str() {
                 "server" => server = Some(Deserialize::from_json(val)?),
@@ -250,6 +272,7 @@ impl Deserialize for SimRequest {
                     }
                 }
                 "deadline_ms" => deadline_ms = Deserialize::from_json(val)?,
+                "cluster" => cluster = Deserialize::from_json(val)?,
                 other => {
                     return Err(serde::json::JsonError::new(format!(
                         "unknown field `{other}` in request"
@@ -266,6 +289,7 @@ impl Deserialize for SimRequest {
             faults,
             trace,
             deadline_ms,
+            cluster,
         })
     }
 }
@@ -282,6 +306,9 @@ pub enum SimError {
     /// The DES configuration is self-contradictory (e.g. no batches left
     /// after warmup).
     InvalidSim(String),
+    /// The cluster spec cannot describe a real cluster (zero servers,
+    /// non-positive fabric bandwidth, …).
+    InvalidCluster(String),
     /// Faults were supplied with the analytic model, which cannot replay
     /// them; ignoring them silently would misreport degraded throughput.
     FaultsRequireDes,
@@ -310,6 +337,7 @@ impl SimError {
             SimError::Config(e) => e.field(),
             SimError::InvalidPlan(_) | SimError::FaultsRequireDes => "faults",
             SimError::InvalidSim(_) => "sim",
+            SimError::InvalidCluster(_) => "cluster",
             SimError::Engine(_) => "sim",
             SimError::DeadlineExceeded { .. } => "deadline_ms",
         }
@@ -329,6 +357,7 @@ impl std::fmt::Display for SimError {
             SimError::Config(e) => write!(f, "invalid server config: {e}"),
             SimError::InvalidPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             SimError::InvalidSim(msg) => write!(f, "invalid sim config: {msg}"),
+            SimError::InvalidCluster(msg) => write!(f, "invalid cluster spec: {msg}"),
             SimError::FaultsRequireDes => {
                 write!(f, "fault plans require a DES sim mode; the analytic model cannot replay them")
             }
@@ -358,6 +387,11 @@ pub enum SimOutcome {
     Analytic(Throughput),
     /// Discrete-event simulation.
     Des(SimResult),
+    /// Closed-form cluster analysis ([`ClusterSpec::analytic`]).
+    ClusterAnalytic(ClusterThroughput),
+    /// Cluster discrete-event simulation (one logical process per server
+    /// under the conservative parallel runner).
+    Cluster(ClusterResult),
 }
 
 impl SimOutcome {
@@ -366,6 +400,8 @@ impl SimOutcome {
         match self {
             SimOutcome::Analytic(t) => t.samples_per_sec,
             SimOutcome::Des(r) => r.samples_per_sec,
+            SimOutcome::ClusterAnalytic(t) => t.samples_per_sec,
+            SimOutcome::Cluster(r) => r.samples_per_sec,
         }
     }
 }
@@ -438,6 +474,7 @@ impl SimRequest {
             faults: None,
             trace: false,
             deadline_ms: None,
+            cluster: None,
         }
     }
 
@@ -450,6 +487,7 @@ impl SimRequest {
             faults: None,
             trace: false,
             deadline_ms: None,
+            cluster: None,
         }
     }
 
@@ -457,6 +495,13 @@ impl SimRequest {
     /// or fail with [`SimError::DeadlineExceeded`].
     pub fn with_deadline_ms(mut self, ms: u64) -> Self {
         self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Builder-style cluster: ask about `spec.servers` copies of the server
+    /// joined by `spec`'s Ethernet fabric instead of a single server.
+    pub fn with_cluster(mut self, spec: ClusterSpec) -> Self {
+        self.cluster = Some(spec);
         self
     }
 
@@ -506,14 +551,56 @@ impl SimRequest {
             .map(|ms| started + std::time::Duration::from_millis(ms));
         let server = self.build_server()?;
         let workload = self.workload.workload();
-        let (outcome, trace) = match self.sim {
-            SimMode::Analytic => {
+        if let Some(cluster) = &self.cluster {
+            cluster.validate().map_err(SimError::InvalidCluster)?;
+        }
+        let (outcome, trace) = match (self.sim, &self.cluster) {
+            (SimMode::Analytic, _) => {
                 if self.faults.as_ref().is_some_and(|p| !p.is_empty()) {
                     return Err(SimError::FaultsRequireDes);
                 }
-                (SimOutcome::Analytic(server.throughput(workload)), None)
+                let outcome = match &self.cluster {
+                    Some(c) => SimOutcome::ClusterAnalytic(c.analytic(&server, workload)),
+                    None => SimOutcome::Analytic(server.throughput(workload)),
+                };
+                (outcome, None)
             }
-            SimMode::Des(cfg) => {
+            (SimMode::Des(cfg), Some(cluster)) => {
+                let cluster = *cluster;
+                if self.trace {
+                    let (result, tracers) = self.checked_cluster_des(
+                        &server,
+                        &cfg,
+                        &cluster,
+                        |_| RingTracer::new(RingTracer::DEFAULT_CAPACITY),
+                        deadline,
+                    )?;
+                    // Per-server record streams merge deterministically:
+                    // sort by (time, server), server lanes offset by the
+                    // track stride. The summary therefore does not depend
+                    // on how many workers advanced the servers.
+                    let dropped = tracers.iter().map(RingTracer::dropped).sum();
+                    let records = merge_lp_records(
+                        tracers
+                            .into_iter()
+                            .map(|t| t.records().cloned().collect())
+                            .collect(),
+                        CLUSTER_TRACK_STRIDE,
+                    );
+                    let summary = TraceSummary::from_records(&records, dropped);
+                    (SimOutcome::Cluster(result), Some(summary))
+                } else {
+                    let (result, _) = self.checked_cluster_des(
+                        &server,
+                        &cfg,
+                        &cluster,
+                        |_| NoopTracer,
+                        deadline,
+                    )?;
+                    (SimOutcome::Cluster(result), None)
+                }
+            }
+            (SimMode::Des(cfg), None) => {
                 if self.trace {
                     let (result, tracer) = self.checked_des(
                         &server,
@@ -586,6 +673,45 @@ impl SimRequest {
                 },
                 other => SimError::Engine(other.to_string()),
             })
+    }
+
+    /// Cluster analogue of [`Self::checked_des`]: validate, then run every
+    /// server as a logical process under the parallel runner. The fault
+    /// plan is validated against one server's domain — it replays on
+    /// server 0 only.
+    fn checked_cluster_des<T: Tracer + Send>(
+        &self,
+        server: &Server,
+        cfg: &SimConfig,
+        cluster: &ClusterSpec,
+        make_tracer: impl FnMut(usize) -> T,
+        deadline: Option<Instant>,
+    ) -> Result<(ClusterResult, Vec<T>), SimError> {
+        if cfg.batches == 0 || cfg.batches <= cfg.warmup_batches {
+            return Err(SimError::InvalidSim(format!(
+                "need at least one measured batch after warmup (batches = {}, warmup_batches = {})",
+                cfg.batches, cfg.warmup_batches
+            )));
+        }
+        let plan = self.faults.clone().unwrap_or_default();
+        plan.validate(&fault_domain(server)).map_err(SimError::InvalidPlan)?;
+        simulate_cluster_traced_deadline(
+            server,
+            self.workload.workload(),
+            cfg,
+            &plan,
+            cluster,
+            make_tracer,
+            deadline,
+        )
+        .map_err(|failure| match failure.error {
+            trainbox_sim::SimError::DeadlineExceeded { .. } => SimError::DeadlineExceeded {
+                deadline_ms: self.deadline_ms.unwrap_or(0),
+                events: failure.events,
+                partial_faults: failure.partial_faults,
+            },
+            other => SimError::Engine(other.to_string()),
+        })
     }
 }
 
@@ -703,7 +829,7 @@ mod tests {
             .throughput(&Workload::resnet50());
         match resp.outcome {
             SimOutcome::Analytic(t) => assert_eq!(t, direct),
-            SimOutcome::Des(_) => panic!("analytic request answered with DES"),
+            other => panic!("analytic request answered with {other:?}"),
         }
         assert_eq!(resp.config_hash, req.hash_hex());
         assert!(resp.trace.is_none());
@@ -744,6 +870,62 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("unknown workload `AlexNet`"), "{msg}");
         assert!(msg.contains("Resnet-50"), "{msg}");
+    }
+
+    #[test]
+    fn cluster_requests_hash_differently_and_round_trip() {
+        let solo = SimRequest::analytic(ServerKind::TrainBox, 16, Workload::resnet50());
+        let clustered = solo.clone().with_cluster(ClusterSpec::rack_default(4));
+        assert_ne!(solo.canonical_hash(), clustered.canonical_hash());
+        let mut other = clustered.clone();
+        other.cluster.as_mut().unwrap().servers = 8;
+        assert_ne!(clustered.canonical_hash(), other.canonical_hash());
+        // Canonical JSON of a single-server request never mentions clusters.
+        assert!(!solo.canonical_json().contains("cluster"));
+        let back = SimRequest::from_json_str(&clustered.canonical_json()).unwrap();
+        assert_eq!(clustered, back);
+        assert_eq!(clustered.canonical_hash(), back.canonical_hash());
+    }
+
+    #[test]
+    fn cluster_requests_run_both_modes() {
+        let spec = ClusterSpec::rack_default(4);
+        let analytic = SimRequest::analytic(ServerKind::TrainBoxNoPool, 16, Workload::rnn_s())
+            .with_cluster(spec);
+        let resp = analytic.run().unwrap();
+        let SimOutcome::ClusterAnalytic(t) = resp.outcome else {
+            panic!("expected a cluster-analytic outcome");
+        };
+        assert_eq!(t.servers, 4);
+        assert!(t.samples_per_sec > 0.0);
+
+        let mut des = SimRequest::des(
+            ServerKind::TrainBoxNoPool,
+            4,
+            Workload::rnn_s(),
+            SimConfig {
+                batches: 4,
+                warmup_batches: 1,
+                parallel_workers: 2,
+                ..SimConfig::default()
+            },
+        )
+        .with_cluster(ClusterSpec::rack_default(2));
+        des.server.batch_size = Some(64);
+        des.trace = true;
+        let resp = des.run().unwrap();
+        let SimOutcome::Cluster(r) = &resp.outcome else {
+            panic!("expected a cluster DES outcome");
+        };
+        assert_eq!(r.servers, 2);
+        assert_eq!(r.batch_done_at.len(), 4);
+        assert!(resp.trace.is_some(), "traced cluster run returns a summary");
+
+        let invalid = analytic.clone().with_cluster(ClusterSpec::rack_default(0));
+        let err = invalid.run().unwrap_err();
+        assert!(matches!(err, SimError::InvalidCluster(_)), "{err:?}");
+        assert_eq!(err.field(), "cluster");
+        assert!(err.is_client_error());
     }
 
     #[test]

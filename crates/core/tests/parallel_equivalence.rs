@@ -1,0 +1,101 @@
+//! The parallel cluster engine against its sequential reference: for any
+//! worker count, any server design, any seed, and any seeded fault storm,
+//! the parallel runner must produce the **byte-identical** `ClusterResult`
+//! and the identical `TraceSummary` rollup. Same discipline as the
+//! allocator's `max_min_rates_ref` twin: the sequential path is the spec,
+//! the parallel path is the optimization, and equivalence is property, not
+//! hope.
+
+use proptest::prelude::*;
+use trainbox_core::arch::ServerKind;
+use trainbox_core::faults::{FaultDomain, FaultPlan};
+use trainbox_core::pipeline::{fault_domain, SimConfig};
+use trainbox_core::request::{SimError, SimRequest, SimOutcome};
+use trainbox_core::scaleout::ClusterSpec;
+use trainbox_nn::Workload;
+
+fn quick_cfg(workers: usize) -> SimConfig {
+    SimConfig {
+        chunk_samples: 128,
+        batches: 4,
+        warmup_batches: 1,
+        prefetch_batches: 1,
+        max_events: 5_000_000,
+        reference_allocator: false,
+        parallel_workers: workers,
+    }
+}
+
+/// A small cluster request: 3 servers of 4 accelerators, reduced batch so
+/// each case stays fast, optionally under a seeded fault storm (which the
+/// engine replays on server 0).
+fn cluster_request(kind: ServerKind, workers: usize, storm_seed: Option<u64>) -> SimRequest {
+    let mut req = SimRequest::des(kind, 4, Workload::rnn_s(), quick_cfg(workers))
+        .with_cluster(ClusterSpec::rack_default(3));
+    req.server.batch_size = Some(64);
+    req.trace = true;
+    if let Some(seed) = storm_seed {
+        let server = req.build_server().expect("valid server");
+        // `fault_domain` leaves the horizon open; bound it near the run's
+        // simulated length so storms actually land mid-run.
+        let domain = FaultDomain { horizon_secs: 0.02, ..fault_domain(&server) };
+        req.faults = Some(FaultPlan::seeded(seed, 4.0 / 0.02, &domain));
+    }
+    req
+}
+
+fn run_to_bytes(req: &SimRequest) -> (String, String) {
+    let resp = req.run().unwrap_or_else(|e| panic!("cluster run must succeed: {e}"));
+    let SimOutcome::Cluster(result) = &resp.outcome else {
+        panic!("expected a cluster DES outcome");
+    };
+    let result_bytes = serde_json::to_string(result).expect("result serializes");
+    let summary_bytes =
+        serde_json::to_string(resp.trace.as_ref().expect("traced run returns a summary"))
+            .expect("summary serializes");
+    (result_bytes, summary_bytes)
+}
+
+proptest! {
+    // Each case runs a sequential reference plus a parallel run; keep the
+    // case count modest so the suite stays in CI budget.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Workers 2, 3, or 8 (more workers than servers included) reproduce
+    /// the sequential reference bit-for-bit — results *and* trace rollups,
+    /// healthy *and* under fault storms, on every server design.
+    #[test]
+    fn parallel_cluster_matches_sequential_reference(
+        kind_idx in 0usize..3,
+        workers_idx in 0usize..3,
+        with_storm in any::<bool>(),
+        seed in 0u64..1024,
+    ) {
+        let kind = [ServerKind::Baseline, ServerKind::TrainBoxNoPool, ServerKind::TrainBox]
+            [kind_idx];
+        let workers = [2usize, 3, 8][workers_idx];
+        let storm_seed = with_storm.then_some(seed);
+        let reference = run_to_bytes(&cluster_request(kind, 0, storm_seed));
+        let sequential_one = run_to_bytes(&cluster_request(kind, 1, storm_seed));
+        let parallel = run_to_bytes(&cluster_request(kind, workers, storm_seed));
+        prop_assert_eq!(&reference, &sequential_one, "workers=1 must be the reference");
+        prop_assert_eq!(&reference, &parallel, "workers={} diverged", workers);
+    }
+}
+
+/// An already-expired deadline fails with the typed `DeadlineExceeded` —
+/// no panic, no deadlock — whether the servers advance sequentially or on
+/// worker threads.
+#[test]
+fn expired_deadline_is_typed_at_any_worker_count() {
+    for workers in [0usize, 4] {
+        let req = cluster_request(ServerKind::TrainBoxNoPool, workers, Some(7))
+            .with_deadline_ms(0);
+        let err = req.run().expect_err("a 0 ms deadline must trip");
+        assert!(
+            matches!(err, SimError::DeadlineExceeded { .. }),
+            "workers={workers}: {err:?}"
+        );
+        assert!(!err.is_client_error());
+    }
+}

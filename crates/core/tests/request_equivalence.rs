@@ -30,6 +30,7 @@ fn quick_cfg() -> SimConfig {
         prefetch_batches: 1,
         max_events: 10_000_000,
         reference_allocator: false,
+        parallel_workers: 0,
     }
 }
 
@@ -45,7 +46,7 @@ fn des_result(req: &SimRequest) -> trainbox_core::pipeline::SimResult {
     let resp = req.run().unwrap_or_else(|e| panic!("request must run: {e}"));
     match resp.outcome {
         SimOutcome::Des(result) => result,
-        SimOutcome::Analytic(_) => panic!("DES request produced an analytic outcome"),
+        other => panic!("DES request produced a non-DES outcome: {other:?}"),
     }
 }
 

@@ -119,6 +119,70 @@ impl FlowNet {
         }
     }
 
+    /// Partition the links into **flow domains**: connected components of the
+    /// "can contend" relation, where two links are coupled when some route in
+    /// `routes` crosses both. Rates in one domain are independent of flows
+    /// and capacities in every other — max-min progressive filling only
+    /// propagates pressure along shared links — so a domain is the unit a
+    /// parallel simulation may own exclusively without synchronizing rate
+    /// recomputations.
+    ///
+    /// Deterministic: domain ids are dense and assigned in ascending order of
+    /// each domain's smallest link index. Links no route touches belong to no
+    /// domain ([`FlowDomains::domain_of`] returns `None`) — they can never
+    /// contend with anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a route references an unknown link.
+    pub fn domains<'a>(&self, routes: impl IntoIterator<Item = &'a [LinkId]>) -> FlowDomains {
+        // Union-find over link indices, path-halving, union by attaching the
+        // larger root index under the smaller so roots stay minimal.
+        let n = self.capacity.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        let mut used = vec![false; n];
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for route in routes {
+            let mut first: Option<usize> = None;
+            for l in route {
+                assert!(l.index() < n, "route references unknown link");
+                used[l.index()] = true;
+                match first {
+                    None => first = Some(l.index()),
+                    Some(f) => {
+                        let (a, b) = (find(&mut parent, f), find(&mut parent, l.index()));
+                        if a != b {
+                            let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                            parent[hi] = lo;
+                        }
+                    }
+                }
+            }
+        }
+        let mut domain_of = vec![None; n];
+        let mut next = 0usize;
+        let mut id_of_root: FxHashMap<usize, usize> = FxHashMap::default();
+        for i in 0..n {
+            if !used[i] {
+                continue;
+            }
+            let root = find(&mut parent, i);
+            let id = *id_of_root.entry(root).or_insert_with(|| {
+                let id = next;
+                next += 1;
+                id
+            });
+            domain_of[i] = Some(id);
+        }
+        FlowDomains { domain_of, count: next }
+    }
+
     fn validate(&self, f: &FlowSpec) {
         assert!(
             !f.route.is_empty() || f.demand.is_some(),
@@ -274,6 +338,44 @@ impl FlowNet {
             }
         }
         load
+    }
+}
+
+/// Result of [`FlowNet::domains`]: a dense labeling of links by the flow
+/// domain that owns them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowDomains {
+    domain_of: Vec<Option<usize>>,
+    count: usize,
+}
+
+impl FlowDomains {
+    /// Number of distinct domains (coupled link groups).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Domain owning `link`, or `None` when no route touches it.
+    pub fn domain_of(&self, link: LinkId) -> Option<usize> {
+        self.domain_of.get(link.index()).copied().flatten()
+    }
+
+    /// Links per domain, indexed by domain id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for d in self.domain_of.iter().flatten() {
+            sizes[*d] += 1;
+        }
+        sizes
+    }
+
+    /// True when `a` and `b` can never influence each other's rates: they
+    /// belong to different domains (or one is untouched by any route).
+    pub fn independent(&self, a: LinkId, b: LinkId) -> bool {
+        match (self.domain_of(a), self.domain_of(b)) {
+            (Some(da), Some(db)) => da != db,
+            _ => true,
+        }
     }
 }
 
@@ -857,6 +959,55 @@ mod tests {
         for r in rates {
             assert!((r - 2.5).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn domains_partition_links_by_route_coupling() {
+        let net = FlowNet::from_capacities(vec![1.0; 7]);
+        // Routes: {0,1}, {1,2} (couples with the first), {4,5}; links 3 and 6
+        // are untouched.
+        let routes: Vec<Vec<LinkId>> = vec![
+            vec![link(0), link(1)],
+            vec![link(1), link(2)],
+            vec![link(4), link(5)],
+        ];
+        let d = net.domains(routes.iter().map(Vec::as_slice));
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.domain_of(link(0)), Some(0));
+        assert_eq!(d.domain_of(link(1)), Some(0));
+        assert_eq!(d.domain_of(link(2)), Some(0));
+        assert_eq!(d.domain_of(link(3)), None);
+        assert_eq!(d.domain_of(link(4)), Some(1));
+        assert_eq!(d.domain_of(link(5)), Some(1));
+        assert_eq!(d.sizes(), vec![3, 2]);
+        assert!(d.independent(link(0), link(4)));
+        assert!(d.independent(link(0), link(3)));
+        assert!(!d.independent(link(0), link(2)));
+        // Labeling is insensitive to route order (ids follow smallest link).
+        let mut rev = routes.clone();
+        rev.reverse();
+        assert_eq!(d, net.domains(rev.iter().map(Vec::as_slice)));
+    }
+
+    #[test]
+    fn domain_rates_are_independent_across_domains() {
+        // Two disjoint domains: squeezing a link in one must not move rates
+        // in the other — the property that makes domains safe parallel units.
+        let net = FlowNet::from_capacities(vec![10.0, 10.0, 8.0, 8.0]);
+        let flows = vec![
+            FlowSpec::new(vec![link(0), link(1)]),
+            FlowSpec::new(vec![link(1)]),
+            FlowSpec::new(vec![link(2), link(3)]),
+        ];
+        let d = net.domains(flows.iter().map(|f| f.route.as_slice()));
+        assert_eq!(d.count(), 2);
+        let before = net.max_min_rates(&flows);
+        let mut squeezed = net.clone();
+        squeezed.set_capacity(link(2), 1.0);
+        let after = squeezed.max_min_rates(&flows);
+        assert_eq!(before[0], after[0]);
+        assert_eq!(before[1], after[1]);
+        assert!(after[2] < before[2]);
     }
 
     #[test]

@@ -93,6 +93,17 @@ pub struct ServeConfig {
     /// Deadlines below this many milliseconds are assumed too tight for any
     /// DES run and degrade immediately.
     pub min_des_deadline_ms: u64,
+    /// Worker threads for the *parallel DES engine* inside each simulation
+    /// (cluster requests only; a single-server DES is one logical process
+    /// and always runs sequentially). `0` (the default) leaves every run on
+    /// the sequential reference engine: the serve worker pool already runs
+    /// `workers` simulations concurrently, and `workers × des_workers`
+    /// threads would oversubscribe the host. Raise it only when the service
+    /// runs few concurrent simulations on a many-core box. Applied as a
+    /// default — a request whose own `sim.parallel_workers` is set keeps
+    /// its value — and never part of the cache key (like `deadline_ms`,
+    /// it changes how fast the answer arrives, not what is asked).
+    pub des_workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +119,7 @@ impl Default for ServeConfig {
             breaker_cooldown_ms: 1_000,
             degrade_queue_depth: 48,
             min_des_deadline_ms: 10,
+            des_workers: 0,
         }
     }
 }
@@ -128,6 +140,7 @@ struct Ctx {
     header_budget: Duration,
     degrade_queue_depth: usize,
     min_des_deadline_ms: u64,
+    des_workers: usize,
 }
 
 /// A running service. Dropping the handle does NOT stop the server; call
@@ -180,6 +193,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServeHandle> {
         header_budget: read_timeout.map_or(Duration::MAX, |t| t * 2),
         degrade_queue_depth: cfg.degrade_queue_depth.max(1),
         min_des_deadline_ms: cfg.min_des_deadline_ms,
+        des_workers: cfg.des_workers,
     });
 
     let mut threads = Vec::new();
@@ -366,6 +380,17 @@ fn simulate_outcome(ctx: &Ctx, text: &str, header_deadline_ms: Option<u64>) -> O
     if req.deadline_ms.is_none() {
         req.deadline_ms = header_deadline_ms;
     }
+    // Service-level parallel-DES default: like the deadline, a QoS knob,
+    // excluded from the canonical hash — injecting it here cannot split the
+    // cache, and every downstream path (deadline'd, breaker-gated,
+    // coalesced) sees the same effective config.
+    if ctx.des_workers > 1 {
+        if let SimMode::Des(ref mut cfg) = req.sim {
+            if cfg.parallel_workers == 0 {
+                cfg.parallel_workers = ctx.des_workers;
+            }
+        }
+    }
     let key = req.canonical_hash();
 
     // The key excludes the deadline, so a timed asker shares the cache
@@ -534,6 +559,8 @@ fn degrade_or_refuse(
 /// the provenance, an `x-degraded` reason header — and never cached, since
 /// the canonical key names the DES answer this is standing in for.
 fn degrade(ctx: &Ctx, req: &SimRequest, reason: &'static str) -> Outcome {
+    // Keeping `cluster` means a degraded cluster question still answers the
+    // cluster (via the closed-form cluster model), not a single server.
     let twin = SimRequest {
         server: req.server.clone(),
         workload: req.workload.clone(),
@@ -541,6 +568,7 @@ fn degrade(ctx: &Ctx, req: &SimRequest, reason: &'static str) -> Outcome {
         faults: None,
         trace: false,
         deadline_ms: None,
+        cluster: req.cluster,
     };
     match twin.run() {
         Ok(mut resp) => {

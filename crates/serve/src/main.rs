@@ -15,7 +15,7 @@ const USAGE: &str = "usage: trainbox-serve [--port N] [--addr HOST:PORT] \
 [--workers N] [--queue-depth N] [--cache-capacity N] \
 [--read-timeout-ms N] [--write-timeout-ms N] \
 [--breaker-threshold N] [--breaker-cooldown-ms N] \
-[--degrade-queue-depth N] [--min-des-deadline-ms N]";
+[--degrade-queue-depth N] [--min-des-deadline-ms N] [--des-workers N]";
 
 fn parse_args() -> Result<ServeConfig, String> {
     let mut cfg = ServeConfig::default();
@@ -76,6 +76,14 @@ fn parse_args() -> Result<ServeConfig, String> {
                 cfg.min_des_deadline_ms = value("--min-des-deadline-ms")?
                     .parse()
                     .map_err(|e| format!("bad --min-des-deadline-ms: {e}"))?;
+            }
+            // Default 0 = sequential engine: the serve pool already runs
+            // `--workers` simulations concurrently, so parallel DES inside
+            // each one oversubscribes unless the host has cores to spare.
+            "--des-workers" => {
+                cfg.des_workers = value("--des-workers")?
+                    .parse()
+                    .map_err(|e| format!("bad --des-workers: {e}"))?;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

@@ -32,6 +32,7 @@ fn chaos_config() -> ServeConfig {
         breaker_cooldown_ms: 800,
         degrade_queue_depth: 12,
         min_des_deadline_ms: 10,
+        des_workers: 2,
     }
 }
 

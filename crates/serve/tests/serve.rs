@@ -273,3 +273,42 @@ fn graceful_shutdown_drains_and_exits() {
     // The listener is gone: new connections are refused.
     assert!(TcpStream::connect(addr).is_err(), "listener must be closed after shutdown");
 }
+
+#[test]
+fn cluster_requests_answer_over_http_with_the_service_des_workers_default() {
+    // `des_workers: 3` exercises the service-level parallel default; the
+    // answer must be identical to the sequential engine (the request API
+    // proptests that invariant), so the wire behavior here is just: a
+    // cluster DES question answers 200 with a Cluster outcome, and the
+    // repeat hits the cache under the worker-free canonical key.
+    let (addr, handle) =
+        start(ServeConfig { workers: 2, des_workers: 3, ..ServeConfig::default() });
+    let body = r#"{"server": {"kind": "TrainBoxNoPool", "n_accels": 4, "batch_size": 64},
+        "workload": "RNN-S",
+        "sim": {"Des": {"batches": 4, "warmup_batches": 1}},
+        "cluster": {"servers": 3}}"#;
+    let (status, head, resp) = post_simulate(addr, body);
+    assert_eq!(status, 200, "cluster simulate failed: {resp}");
+    assert!(head.contains("x-cache: miss"), "{head}");
+    let v = json(&resp);
+    let servers = v
+        .get("outcome")
+        .and_then(|o| o.get("Cluster"))
+        .and_then(|c| c.get("servers"))
+        .and_then(|s| s.as_f64())
+        .unwrap_or_else(|| panic!("no cluster outcome in {resp}"));
+    assert_eq!(servers as usize, 3);
+
+    let (status, head, repeat) = post_simulate(addr, body);
+    assert_eq!(status, 200);
+    assert!(head.contains("x-cache: hit"), "{head}");
+    assert_eq!(resp, repeat, "cached answer must be the same bytes");
+
+    // An invalid cluster spec is a field-level 400.
+    let bad = body.replace("{\"servers\": 3}", "{\"servers\": 0}");
+    let (status, _, err) = post_simulate(addr, &bad);
+    assert_eq!(status, 400, "{err}");
+    assert!(err.contains("\"field\":\"cluster\""), "{err}");
+
+    handle.shutdown();
+}

@@ -54,16 +54,21 @@
 
 pub mod hash;
 pub mod json;
+pub mod par;
 pub mod queue;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use hash::{FxHashMap, FxHashSet};
+pub use par::{imbalance, run_windows, work_span_speedup, Coordinator, RunStats, WindowedLp};
 pub use queue::FifoServer;
 pub use stats::{Counter, Gauge, Histogram, TimeWeighted};
 pub use time::SimTime;
-pub use trace::{chrome_trace_json, Component, NoopTracer, RingTracer, TraceRecord, TraceSummary, Tracer};
+pub use trace::{
+    chrome_trace_json, merge_lp_records, Component, NoopTracer, RingTracer, TraceRecord,
+    TraceSummary, Tracer,
+};
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

@@ -66,6 +66,7 @@ fn des_and_analytic_agree_across_designs() {
         prefetch_batches: 1,
         max_events: 5_000_000,
         reference_allocator: false,
+        parallel_workers: 0,
     };
     for (kind, n, batch, tol) in [
         (ServerKind::Baseline, 16, 512u64, 0.10),
