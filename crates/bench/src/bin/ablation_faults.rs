@@ -8,7 +8,7 @@
 //! JSON dump — reproduces byte-identically run to run (asserted below).
 
 use serde::Serialize;
-use trainbox_bench::{emit_json, emit_scenario_trace, figure_main, run_sweep};
+use trainbox_bench::{emit_json, emit_scenario_trace, figure_main, run_sweep, sim_workers};
 use trainbox_core::arch::{Server, ServerKind};
 use trainbox_core::faults::{FaultDomain, FaultPlan};
 use trainbox_core::pipeline::{SimConfig, SimResult};
@@ -25,7 +25,10 @@ fn cfg() -> SimConfig {
         prefetch_batches: 1,
         max_events: 10_000_000,
         reference_allocator: false,
-        parallel_workers: 0,
+        // Byte-identical at any worker count; `--sim-workers` only moves
+        // wall-clock (and CI's TRAINBOX_SIM_WORKERS=2 regen re-diff relies
+        // on figures honoring it).
+        parallel_workers: sim_workers(),
     }
 }
 

@@ -6,7 +6,7 @@
 //! (deeper prefetch only adds buffer memory) and (b) the measured throughput
 //! is insensitive to the event granularity — a stability check on the DES.
 
-use trainbox_bench::{emit_json, figure_main, run_sweep};
+use trainbox_bench::{emit_json, figure_main, run_sweep, sim_workers};
 use trainbox_core::arch::ServerKind;
 use trainbox_core::pipeline::{SimConfig, SimResult};
 use trainbox_core::request::{SimOutcome, SimRequest};
@@ -23,7 +23,10 @@ fn cfg_for(depth: u64, chunk: u64) -> SimConfig {
         prefetch_batches: depth,
         max_events: 10_000_000,
         reference_allocator: false,
-        parallel_workers: 0,
+        // Byte-identical at any worker count; `--sim-workers` only moves
+        // wall-clock (and CI's TRAINBOX_SIM_WORKERS=2 regen re-diff relies
+        // on figures honoring it).
+        parallel_workers: sim_workers(),
     }
 }
 

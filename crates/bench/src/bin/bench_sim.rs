@@ -10,6 +10,10 @@
 //!   — only the clock may differ);
 //! * a seeded fault storm, exercising batched capacity changes and lazy
 //!   event cancellation;
+//! * the parallel engines — the per-server cluster runner *and* the
+//!   intra-server lane runner on a fig20-scale single server — over a
+//!   worker ladder, with every point asserted byte-identical to the
+//!   sequential reference before its clock is believed;
 //! * every figure/table binary, timed end to end, summed into the full
 //!   figure-regeneration wall-clock the repo's perf trajectory tracks.
 //!
@@ -29,6 +33,7 @@ use trainbox_core::pipeline::{SimConfig, SimResult};
 use trainbox_core::request::{SimOutcome, SimRequest};
 use trainbox_core::scaleout::{ClusterResult, ClusterSpec};
 use trainbox_nn::Workload;
+use trainbox_sim::par;
 
 /// Anchor commit: the tree immediately before this PR's simulator-core
 /// optimizations (classed allocator, lazy event cancellation, nn matmul
@@ -116,6 +121,33 @@ fn run_cluster(req: &SimRequest) -> ClusterResult {
     }
 }
 
+/// The intra-server lane scenario: one fig20-scale server — TrainBox (no
+/// pool), 256 accelerators, ResNet-50 — whose pipeline partitions into 64
+/// four-accelerator lanes. Same SimConfig for every worker count; only the
+/// thread count changes.
+fn intra_server_cfg(workers: usize, smoke: bool) -> SimConfig {
+    SimConfig {
+        chunk_samples: 32,
+        batches: if smoke { 3 } else { 5 },
+        warmup_batches: 1,
+        prefetch_batches: 1,
+        max_events: 50_000_000,
+        reference_allocator: false,
+        parallel_workers: workers,
+    }
+}
+
+fn intra_server_request(workers: usize, smoke: bool) -> SimRequest {
+    let mut req = SimRequest::des(
+        ServerKind::TrainBoxNoPool,
+        256,
+        Workload::resnet50(),
+        intra_server_cfg(workers, smoke),
+    );
+    req.server.batch_size = Some(if smoke { 8_192 } else { 16_384 });
+    req
+}
+
 #[derive(Serialize)]
 struct DesBench {
     wall_ms: f64,
@@ -150,27 +182,51 @@ struct ParallelPoint {
     speedup_vs_sequential: f64,
 }
 
+/// One parallel engine's ladder: the sequential reference clock, measured
+/// wall at each worker count (each asserted byte-identical first), and the
+/// deterministic partition-quality figures.
+#[derive(Serialize)]
+struct EngineLadder {
+    sequential_wall_ms: f64,
+    events: u64,
+    events_per_sec_sequential: f64,
+    points: Vec<ParallelPoint>,
+    /// Max/mean ratio of per-LP event counts (1.0 = perfectly balanced
+    /// partitions).
+    imbalance: f64,
+    /// Deterministic work-span bound at 4 workers, computed from the real
+    /// per-window per-LP event counts of this run: the speedup a 4-core
+    /// host could reach on this partition, independent of this host's core
+    /// count. Byte-identical across runs, unlike the wall-clock columns.
+    work_span_speedup_4: f64,
+}
+
+#[derive(Serialize)]
+struct ClusterParBench {
+    servers: usize,
+    ladder: EngineLadder,
+}
+
+#[derive(Serialize)]
+struct IntraServerBench {
+    accels: usize,
+    /// Four-accelerator lanes the server partitioned into.
+    lanes: usize,
+    ladder: EngineLadder,
+}
+
 #[derive(Serialize)]
 struct ParallelBench {
-    servers: usize,
     /// Hardware threads available to this process. Measured speedups cannot
     /// exceed this; on a 1-core host they are flat at ~1.0 regardless of
     /// worker count.
     host_cores: usize,
     /// `--sim-workers` / `TRAINBOX_SIM_WORKERS` as passed (0 = unset).
     requested_sim_workers: usize,
-    sequential_wall_ms: f64,
-    events: u64,
-    events_per_sec_sequential: f64,
-    points: Vec<ParallelPoint>,
-    /// Max/mean ratio of per-server event counts (1.0 = perfectly balanced
-    /// partitions).
-    imbalance: f64,
-    /// Deterministic work-span bound at 4 workers, computed from the real
-    /// per-window per-server event counts of this run: the speedup a 4-core
-    /// host could reach on this partition, independent of this host's core
-    /// count. Byte-identical across runs, unlike the wall-clock columns.
-    work_span_speedup_4: f64,
+    /// One logical process per *server* of a rack-scale cluster.
+    cluster: ClusterParBench,
+    /// One logical process per *lane* of a single fig20-scale server.
+    intra_server: IntraServerBench,
     note: &'static str,
 }
 
@@ -213,6 +269,52 @@ struct BenchSim {
     full_regen_ms: Option<f64>,
     pre_pr_baseline: Baseline,
     speedup_vs_pre_pr: Speedups,
+}
+
+/// Time one parallel engine over the worker ladder. `reference` comes from
+/// a prior sequential run (whose per-LP accounting supplied the quality
+/// figures); every timed run — the sequential one included — must equal it
+/// byte-for-byte before its clock is believed.
+fn engine_ladder<R: PartialEq + std::fmt::Debug>(
+    par_reps: usize,
+    reference: R,
+    events: u64,
+    (imbalance, work_span_speedup_4): (f64, f64),
+    mut run: impl FnMut(usize) -> R,
+) -> EngineLadder {
+    let (seq_ms, seq) = best_of(par_reps, || run(0));
+    assert_eq!(seq, reference, "sequential runs must be reproducible");
+    let mut points = Vec::new();
+    for workers in [1usize, 2, 4, 8] {
+        let (ms, r) = best_of(par_reps, || run(workers));
+        assert_eq!(
+            r, reference,
+            "parallel engine ({workers} workers) diverged from the sequential reference"
+        );
+        points.push(ParallelPoint {
+            workers,
+            wall_ms: ms,
+            events_per_sec: events as f64 / (ms / 1e3),
+            speedup_vs_sequential: seq_ms / ms,
+        });
+    }
+    EngineLadder {
+        sequential_wall_ms: seq_ms,
+        events,
+        events_per_sec_sequential: events as f64 / (seq_ms / 1e3),
+        points,
+        imbalance,
+        work_span_speedup_4,
+    }
+}
+
+fn print_ladder(ladder: &EngineLadder) {
+    for p in &ladder.points {
+        println!(
+            "  {} workers: {:>8.1} ms ({:>12.0} events/s, x{:.2} measured), identical result",
+            p.workers, p.wall_ms, p.events_per_sec, p.speedup_vs_sequential
+        );
+    }
 }
 
 /// Best-of-`reps` wall time of `f`, in milliseconds, with the last result.
@@ -333,39 +435,57 @@ fn run() {
         faults.wall_ms, faults.events, faults.recomputes, faults.injected
     );
 
-    // --- parallel cluster engine ---------------------------------------
+    // --- parallel engines ----------------------------------------------
     // Correctness first: every worker count must reproduce the sequential
     // reference byte-for-byte. Then the clock: measured wall speedup
     // (honest — bounded by this host's cores) plus the deterministic
     // work-span bound derived from the run's own per-window event counts.
     let par_reps = reps.min(3);
-    let (seq_ms, seq) = best_of(par_reps, || run_cluster(&cluster_request(0, smoke)));
-    let seq_events_per_sec = seq.events as f64 / (seq_ms / 1e3);
-    let mut points = Vec::new();
-    for workers in [1usize, 2, 4, 8] {
-        let (ms, r) = best_of(par_reps, || run_cluster(&cluster_request(workers, smoke)));
-        assert_eq!(
-            r, seq,
-            "parallel engine ({workers} workers) diverged from the sequential reference"
-        );
-        points.push(ParallelPoint {
-            workers,
-            wall_ms: ms,
-            events_per_sec: r.events as f64 / (ms / 1e3),
-            speedup_vs_sequential: seq_ms / ms,
-        });
-    }
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // One LP per server of a rack-scale cluster.
+    let seq = run_cluster(&cluster_request(0, smoke));
+    let servers = seq.servers;
+    let cluster_events = seq.events;
+    let cluster_quality = (seq.imbalance, seq.work_span_speedup_4);
+    let cluster_ladder =
+        engine_ladder(par_reps, seq, cluster_events, cluster_quality, |workers| {
+            run_cluster(&cluster_request(workers, smoke))
+        });
+
+    // One LP per lane of a single fig20-scale server. The partition-quality
+    // figures come from the lane runner's own per-window accounting —
+    // deterministic, so one extra run suffices.
+    let intra_seq = run_des(&intra_server_request(0, smoke));
+    let intra_server = intra_server_request(0, smoke)
+        .build_server()
+        .unwrap_or_else(|e| panic!("invalid server configuration: {e}"));
+    let (lanes, lane_stats) = trainbox_core::pipeline::intra_server_run_stats(
+        &intra_server,
+        &Workload::resnet50(),
+        &intra_server_cfg(0, smoke),
+        &FaultPlan::empty(),
+    )
+    .expect("a fig20-scale TrainBoxNoPool server partitions into lanes");
+    let intra_quality = (
+        par::imbalance(&lane_stats.lp_events),
+        par::work_span_speedup(&lane_stats.window_events, 4),
+    );
+    let intra_events = intra_seq.events;
+    let intra_ladder =
+        engine_ladder(par_reps, intra_seq, intra_events, intra_quality, |workers| {
+            run_des(&intra_server_request(workers, smoke))
+        });
+
     let parallel = ParallelBench {
-        servers: seq.servers,
         host_cores,
         requested_sim_workers: sim_workers(),
-        sequential_wall_ms: seq_ms,
-        events: seq.events,
-        events_per_sec_sequential: seq_events_per_sec,
-        imbalance: seq.imbalance,
-        work_span_speedup_4: seq.work_span_speedup_4,
-        points,
+        cluster: ClusterParBench { servers, ladder: cluster_ladder },
+        intra_server: IntraServerBench {
+            accels: intra_server.n_accels(),
+            lanes,
+            ladder: intra_ladder,
+        },
         note: "speedup_vs_sequential is measured wall-clock on this host and \
                saturates at host_cores; work_span_speedup_4 is the deterministic \
                parallelism bound of this partition at 4 workers, computed from \
@@ -374,19 +494,25 @@ fn run() {
     println!(
         "parallel cluster ({} servers): sequential {:.1} ms ({:.0} events/s), \
          imbalance x{:.2}, work-span bound x{:.2} @ 4 workers (host has {} cores)",
-        parallel.servers,
-        parallel.sequential_wall_ms,
-        parallel.events_per_sec_sequential,
-        parallel.imbalance,
-        parallel.work_span_speedup_4,
+        parallel.cluster.servers,
+        parallel.cluster.ladder.sequential_wall_ms,
+        parallel.cluster.ladder.events_per_sec_sequential,
+        parallel.cluster.ladder.imbalance,
+        parallel.cluster.ladder.work_span_speedup_4,
         parallel.host_cores,
     );
-    for p in &parallel.points {
-        println!(
-            "  {} workers: {:>8.1} ms ({:>12.0} events/s, x{:.2} measured), identical result",
-            p.workers, p.wall_ms, p.events_per_sec, p.speedup_vs_sequential
-        );
-    }
+    print_ladder(&parallel.cluster.ladder);
+    println!(
+        "intra-server lanes ({} accels, {} lanes): sequential {:.1} ms ({:.0} events/s), \
+         imbalance x{:.2}, work-span bound x{:.2} @ 4 workers",
+        parallel.intra_server.accels,
+        parallel.intra_server.lanes,
+        parallel.intra_server.ladder.sequential_wall_ms,
+        parallel.intra_server.ladder.events_per_sec_sequential,
+        parallel.intra_server.ladder.imbalance,
+        parallel.intra_server.ladder.work_span_speedup_4,
+    );
+    print_ladder(&parallel.intra_server.ladder);
 
     // --- per-figure wall-clock ----------------------------------------
     let figures = time_figures(reps.min(3));
@@ -422,7 +548,7 @@ fn run() {
     }
 
     let results = BenchSim {
-        schema: "trainbox.bench_sim.v2",
+        schema: "trainbox.bench_sim.v3",
         smoke,
         reps,
         des,

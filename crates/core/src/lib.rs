@@ -55,6 +55,7 @@ pub mod faults;
 pub mod fpga;
 pub mod host;
 pub mod initializer;
+pub(crate) mod intraserver;
 pub mod multijob;
 pub mod pipeline;
 pub mod request;

@@ -26,8 +26,8 @@ use trainbox_pcie::boxes::{PrepPoolNet, ServerTopology};
 use trainbox_pcie::flow::{FlowId, FlowNet, FlowSim, FlowSpec};
 use trainbox_pcie::{LinkId, NodeId};
 use trainbox_sim::{
-    Component, Engine, EventKey, FifoServer, FxHashMap, Model, NoopTracer, Scheduler, SimError,
-    SimTime, Tracer,
+    Component, Engine, EventKey, FifoServer, ForkTracer, FxHashMap, Model, NoopTracer, Scheduler,
+    SimError, SimTime, Tracer,
 };
 
 /// Configuration of one DES run.
@@ -50,9 +50,11 @@ pub struct SimConfig {
     /// Worker threads for the parallel DES runner (`trainbox_sim::par`).
     /// `0` or `1` selects the sequential reference; any value produces
     /// byte-identical results (the parallel path only changes which thread
-    /// advances each partition, never the merge order). Only cluster runs
-    /// have more than one partition today — a single-server simulation is
-    /// one logical process and always runs sequentially.
+    /// advances each partition, never the merge order). Cluster runs
+    /// partition per server; eligible single-server runs partition into
+    /// intra-server lanes (`crate::intraserver`) — the partition itself is
+    /// chosen by the request, never by the worker count, so `0` remains the
+    /// byte-identical reference for every configuration.
     ///
     /// Like `deadline_ms` on a request, this is a quality-of-service hint,
     /// **not part of the question**: it is excluded from the canonical
@@ -372,6 +374,14 @@ pub(crate) struct PipelineModel<T: Tracer> {
     /// [`Ev::ClusterResume`]. Read-and-cleared by the cluster runner.
     at_barrier: bool,
 
+    /// Intra-server lane mode: when set, this model instance simulates only
+    /// the accelerators in the range (plus their nominally assigned SSD and
+    /// prep device). The lane parks at the ring barrier once *its* devices
+    /// arrive — without scheduling [`Ev::SyncDone`] — and the lane
+    /// coordinator (`crate::intraserver`) grants the global release time,
+    /// exactly the role the cluster coordinator plays one level up.
+    lane: Option<std::ops::Range<usize>>,
+
     /// Ring latency model and gradient size, kept so the synchronization
     /// time can be recomputed when the ring re-forms after a dropout.
     ring: RingModel,
@@ -544,6 +554,7 @@ impl<T: Tracer> PipelineModel<T> {
             done: false,
             cluster_hold: false,
             at_barrier: false,
+            lane: None,
             ring: *server.ring_model(),
             model_bytes: workload.model_bytes(),
             faults,
@@ -564,6 +575,25 @@ impl<T: Tracer> PipelineModel<T> {
     /// instead of closing generations (see [`Ev::ClusterResume`]).
     pub(crate) fn set_cluster_hold(&mut self) {
         self.cluster_hold = true;
+    }
+
+    /// Switch into intra-server lane mode: simulate only accelerators
+    /// `lane` (their refill traffic, prep work, and compute), and park at
+    /// the ring barrier once they all arrive. Used by `crate::intraserver`.
+    pub(crate) fn set_lane(&mut self, lane: std::ops::Range<usize>) {
+        debug_assert!(!lane.is_empty() && lane.end <= self.accels.len());
+        self.lane = Some(lane);
+    }
+
+    /// The accelerator indices this model instance drives: the lane in lane
+    /// mode, every accelerator otherwise.
+    fn lane_range(&self) -> std::ops::Range<usize> {
+        self.lane.clone().unwrap_or(0..self.accels.len())
+    }
+
+    /// Bytes moved over each directed PCIe link so far.
+    pub(crate) fn link_bytes(&self) -> &[f64] {
+        &self.link_bytes
     }
 
     /// Parked at the global barrier? (Read-only form for run predicates.)
@@ -1118,13 +1148,21 @@ impl<T: Tracer> PipelineModel<T> {
         if self.sync_in_progress || self.done {
             return;
         }
-        let all_arrived = self
-            .accels
+        let r = self.lane_range();
+        let all_arrived = self.accels[r.clone()]
             .iter()
-            .zip(&self.faults.accel_alive)
+            .zip(&self.faults.accel_alive[r])
             .all(|(st, &alive)| !alive || st.batches_computed > self.sync_gen);
         if all_arrived {
             self.sync_in_progress = true;
+            if self.lane.is_some() {
+                // Lane mode: the ring spans *all* lanes, so this lane cannot
+                // know when the sync completes — park at the barrier and let
+                // the lane coordinator grant max(lane arrivals) + t_sync,
+                // exactly what the solo path's SyncDone would compute.
+                self.at_barrier = true;
+                return;
+            }
             sched.schedule_in(now, self.t_sync, Ev::SyncDone);
             if self.tracer.enabled() {
                 self.tracer.span(
@@ -1176,14 +1214,55 @@ impl<T: Tracer> PipelineModel<T> {
             self.tracer.instant(Component::Collective, "batch_sync", 0, now);
         }
         self.batch_done_at.push(now);
-        self.batch_samples.push(self.faults.alive_accels() as u64 * self.batch);
+        // In lane mode each lane records only its own accelerators' samples;
+        // the runner sums the lanes into the full server's per-generation
+        // counts.
+        let counted = match &self.lane {
+            Some(r) => self.faults.accel_alive[r.clone()].iter().filter(|&&a| a).count(),
+            None => self.faults.alive_accels(),
+        };
+        self.batch_samples.push(counted as u64 * self.batch);
         if self.sync_gen >= self.target_batches {
             self.done = true;
             return;
         }
-        for acc in 0..self.accels.len() {
+        for acc in self.lane_range() {
             self.try_start_compute(now, acc, sched);
         }
+    }
+
+    /// A coordinator release arrived ([`Ev::ClusterResume`]).
+    ///
+    /// Cluster mode: the local sync already completed (`on_sync_done` parked
+    /// at the barrier), so this just closes the generation at the global
+    /// release time. Lane mode: the lane parked *before* any [`Ev::SyncDone`]
+    /// was scheduled — the ring sync is implicit in the release time
+    /// (`max(lane arrivals) + t_sync`) — so the in-progress flag is cleared
+    /// here, and lane 0 emits the global all-reduce spans the solo path
+    /// would have traced.
+    fn on_resume(&mut self, now: SimTime, sched: &mut Scheduler<Ev>) {
+        if self.lane.is_some() {
+            self.sync_in_progress = false;
+            if self.tracer.enabled() && self.lane_range().start == 0 {
+                // `now - t_sync` is exactly the global max arrival: the same
+                // span the solo path records when the last device arrives.
+                let start = now.saturating_sub(self.t_sync);
+                self.tracer.span(Component::Collective, "allreduce", 0, start, now);
+                let survivors = self.faults.alive_accels();
+                let mut prev = 0.0;
+                for b in self.ring.allreduce_steps(self.model_bytes, survivors) {
+                    self.tracer.span(
+                        Component::Collective,
+                        "ring_step",
+                        1,
+                        start.saturating_add(SimTime::from_secs_f64(prev)),
+                        start.saturating_add(SimTime::from_secs_f64(b)),
+                    );
+                    prev = b;
+                }
+            }
+        }
+        self.finish_generation(now, sched);
     }
 
     /// Inject fault plan entry `i`.
@@ -1318,7 +1397,7 @@ impl<T: Tracer> Model for PipelineModel<T> {
                     let (at, _) = self.faults.events[i];
                     sched.schedule_at(at, Ev::Fault(i));
                 }
-                for acc in 0..self.accels.len() {
+                for acc in self.lane_range() {
                     self.refill(now, acc, sched);
                 }
             }
@@ -1376,7 +1455,7 @@ impl<T: Tracer> Model for PipelineModel<T> {
             Ev::Fault(i) => self.on_fault(now, i, sched),
             Ev::FaultRecover(i) => self.on_fault_recover(now, i, sched),
             Ev::PrepRetry(id) => self.on_prep_retry(now, id, sched),
-            Ev::ClusterResume => self.finish_generation(now, sched),
+            Ev::ClusterResume => self.on_resume(now, sched),
         }
         if self.tracer.enabled() {
             self.drain_flow_trace();
@@ -1479,7 +1558,7 @@ pub fn simulate_with_faults(
     since = "0.1.0",
     note = "use `request::SimRequest::run_des_with_tracer`, which returns typed errors"
 )]
-pub fn simulate_traced<T: Tracer>(
+pub fn simulate_traced<T: ForkTracer + Send>(
     server: &Server,
     workload: &Workload,
     cfg: &SimConfig,
@@ -1518,7 +1597,7 @@ pub fn simulate_traced<T: Tracer>(
 /// Panics on invalid input — `cfg.batches <= cfg.warmup_batches` or an
 /// invalid fault plan (see [`FaultPlan::validate`]) — and if every prep
 /// device or accelerator is lost to faults.
-pub fn try_simulate_traced<T: Tracer>(
+pub fn try_simulate_traced<T: ForkTracer + Send>(
     server: &Server,
     workload: &Workload,
     cfg: &SimConfig,
@@ -1569,7 +1648,7 @@ impl std::error::Error for DesFailure {}
 ///
 /// Under the conditions of [`try_simulate_traced`] (invalid config or
 /// fault plan).
-pub fn try_simulate_traced_deadline<T: Tracer>(
+pub fn try_simulate_traced_deadline<T: ForkTracer + Send>(
     server: &Server,
     workload: &Workload,
     cfg: &SimConfig,
@@ -1578,6 +1657,15 @@ pub fn try_simulate_traced_deadline<T: Tracer>(
     deadline: Option<std::time::Instant>,
 ) -> Result<(SimResult, T), DesFailure> {
     assert!(cfg.batches > cfg.warmup_batches, "need batches after warmup");
+    // Eligible configurations always run lane-partitioned — the partition is
+    // part of the canonical result, chosen from `(server, plan)` alone, and
+    // `cfg.parallel_workers` only picks how many threads advance the lanes.
+    if let Some(part) = crate::intraserver::LanePartition::of(server, plan) {
+        return crate::intraserver::simulate_lanes_traced_deadline(
+            server, workload, cfg, plan, &part, tracer, deadline,
+        )
+        .map(|(result, tracer, _stats)| (result, tracer));
+    }
     let model = PipelineModel::new(server, workload, cfg, plan, tracer);
     let mut engine = Engine::new(model);
     engine.schedule_at(SimTime::ZERO, Ev::Start);
@@ -1648,6 +1736,41 @@ pub fn try_simulate_traced_deadline<T: Tracer>(
         faults: stats,
     };
     Ok((result, m.tracer))
+}
+
+/// Diagnostic entry for benchmarks: if `(server, plan)` is eligible for the
+/// intra-server lane partition, run the simulation once lane-partitioned and
+/// return `(lanes, RunStats)` — the window runner's per-LP and per-window
+/// event accounting, which feeds the deterministic load-imbalance and
+/// work-span figures `bench_sim` reports. `None` when the configuration
+/// falls back to the single-engine path (in which case there is no
+/// partition to account for).
+///
+/// The stats are a property of the partition, not of the clock: they are
+/// byte-identical across worker counts and across runs.
+///
+/// # Panics
+///
+/// Under the conditions of [`try_simulate_traced`], or if the lane run
+/// fails (benchmarks run healthy, deadline-free configurations).
+pub fn intra_server_run_stats(
+    server: &Server,
+    workload: &Workload,
+    cfg: &SimConfig,
+    plan: &FaultPlan,
+) -> Option<(usize, trainbox_sim::par::RunStats)> {
+    let part = crate::intraserver::LanePartition::of(server, plan)?;
+    let (_, _, stats) = crate::intraserver::simulate_lanes_traced_deadline(
+        server,
+        workload,
+        cfg,
+        plan,
+        &part,
+        trainbox_sim::NoopTracer,
+        None,
+    )
+    .unwrap_or_else(|e| panic!("lane-partitioned run failed: {e}"));
+    Some((part.lanes, stats))
 }
 
 #[cfg(test)]

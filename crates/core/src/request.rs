@@ -48,7 +48,7 @@ use crate::scaleout::{
 use serde::{Deserialize, Serialize};
 use trainbox_collective::RingModel;
 use trainbox_nn::Workload;
-use trainbox_sim::{merge_lp_records, NoopTracer, RingTracer, TraceSummary, Tracer};
+use trainbox_sim::{merge_lp_records, ForkTracer, NoopTracer, RingTracer, TraceSummary, Tracer};
 
 /// The server half of a request: which design, at what scale, with which
 /// overrides. Mirrors [`ServerConfig`]'s builder knobs as plain data.
@@ -635,7 +635,10 @@ impl SimRequest {
     ///
     /// As [`Self::run`]; additionally [`SimError::InvalidSim`] when the
     /// request's mode is analytic.
-    pub fn run_des_with_tracer<T: Tracer>(&self, tracer: T) -> Result<(SimResult, T), SimError> {
+    pub fn run_des_with_tracer<T: ForkTracer + Send>(
+        &self,
+        tracer: T,
+    ) -> Result<(SimResult, T), SimError> {
         let server = self.build_server()?;
         let SimMode::Des(cfg) = self.sim else {
             return Err(SimError::InvalidSim(
@@ -649,7 +652,7 @@ impl SimRequest {
     }
 
     /// Validate everything the engine would otherwise assert on, then run.
-    fn checked_des<T: Tracer>(
+    fn checked_des<T: ForkTracer + Send>(
         &self,
         server: &Server,
         cfg: &SimConfig,

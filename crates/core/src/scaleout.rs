@@ -337,16 +337,21 @@ pub struct ClusterResult {
     pub faults: FaultStats,
 }
 
-/// One server of the cluster as a logical process: a private engine plus its
-/// share of the global event budget and the shared wall-clock deadline.
-struct ClusterLp<T: Tracer> {
-    engine: Engine<PipelineModel<T>>,
-    max_events: u64,
-    deadline: Option<Instant>,
+/// One barrier-parking partition as a logical process: a private engine plus
+/// its share of the global event budget and the shared wall-clock deadline.
+///
+/// Shared between the cluster runner (one LP per server) and the
+/// intra-server lane runner (`crate::intraserver`, one LP per lane) — both
+/// partitions park their model at `at_barrier` and resume on a coordinator
+/// grant.
+pub(crate) struct ClusterLp<T: Tracer> {
+    pub(crate) engine: Engine<PipelineModel<T>>,
+    pub(crate) max_events: u64,
+    pub(crate) deadline: Option<Instant>,
 }
 
-/// What a server reports at a window boundary.
-enum LpOffer {
+/// What a partition reports at a window boundary.
+pub(crate) enum LpOffer {
     /// Local ring sync finished at `now`; parked at the global barrier.
     Barrier(SimTime),
     /// All generations closed.
@@ -433,7 +438,7 @@ impl<T: Tracer + Send> Coordinator for BarrierCoord<T> {
     }
 }
 
-fn merge_fault_stats(per_server: Vec<FaultStats>) -> FaultStats {
+pub(crate) fn merge_fault_stats(per_server: Vec<FaultStats>) -> FaultStats {
     let mut merged = FaultStats::default();
     for s in per_server {
         merged.injected += s.injected;

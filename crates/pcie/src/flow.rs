@@ -422,6 +422,68 @@ struct AllocScratch {
     load: Vec<f64>,
 }
 
+/// Persistent scratch for the domain-incremental solver ([`FlowSim`]'s hot
+/// path). The link-indexed vectors are full-size but only the entries of the
+/// domain being solved are ever touched, so a recompute costs O(domain), not
+/// O(links) — the per-batch reallocation the classed path used to pay on
+/// every capacity change is gone.
+#[derive(Debug, Clone, Default)]
+struct DomainScratch {
+    /// Links of the domain under solve (deduplicated via `link_epoch`).
+    links: Vec<usize>,
+    /// Dedup stamps for `links`; a link is in the current domain's list iff
+    /// its stamp equals the current epoch. Never cleared, only outdated.
+    link_epoch: Vec<u64>,
+    epoch: u64,
+    /// Residual capacity, refreshed per solve on domain links only.
+    residual: Vec<f64>,
+    /// Unfrozen member count per link; zeroed back after every solve so the
+    /// next domain starts clean without a full sweep.
+    unfrozen_on: Vec<usize>,
+    /// Per-domain-class state, indexed by position in the solve's class list.
+    rate: Vec<f64>,
+    frozen: Vec<bool>,
+    /// Class ids of the dirty domains, grouped per root.
+    class_ids: Vec<usize>,
+    /// Dirty domain roots of the current recompute (deduplicated).
+    dirty_roots: Vec<usize>,
+    root_epoch: Vec<u64>,
+}
+
+/// Monotone union-find over link indices: links sharing a route are merged
+/// when a class first appears and never split, so the partition only
+/// coarsens. Coarser-than-necessary domains cost extra solve work, never
+/// wrong rates — and in the DES the route set is fixed after warm-up, so the
+/// partition converges to exactly [`FlowNet::domains`].
+#[derive(Debug, Clone, Default)]
+struct LinkDomains {
+    parent: Vec<usize>,
+}
+
+impl LinkDomains {
+    fn new(n_links: usize) -> Self {
+        LinkDomains { parent: (0..n_links).collect() }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Deterministic tie-break: smaller index wins the root, so the
+            // domain structure is a pure function of the interning history.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
 /// Progressive filling at flow-class granularity.
 ///
 /// Bit-identical to the per-flow reference by construction:
@@ -523,6 +585,111 @@ fn solve_classes(capacity: &[f64], classes: &[FlowClass], scratch: &mut AllocScr
     }
 }
 
+/// Progressive filling over a single link domain, touching only the
+/// domain's links. `ds.class_ids` names the domain's live classes
+/// (ascending class index); rates land in `class_rate`.
+///
+/// Bit-identical to [`FlowNet::max_min_rates_ref`] run on the domain's flows
+/// alone, by the same increment-chain argument as [`solve_classes`]: within
+/// a round every unfrozen flow takes the same increment, the round minimum
+/// is exact (no rounding), and per-member repeated subtraction replays the
+/// reference's residual arithmetic. Restricting the round scan to the
+/// domain's links loses nothing — every link with a nonzero unfrozen count
+/// is in the domain by construction.
+///
+/// The link-indexed scratch vectors are refreshed only on the domain's links
+/// (epoch-stamped dedup), so a solve costs O(domain), independent of the
+/// fabric size — no per-call reallocation, no full-capacity copy.
+fn solve_domain(
+    capacity: &[f64],
+    classes: &[FlowClass],
+    ds: &mut DomainScratch,
+    class_rate: &mut [f64],
+) {
+    let n = ds.class_ids.len();
+    ds.links.clear();
+    ds.rate.clear();
+    ds.rate.resize(n, 0.0);
+    ds.frozen.clear();
+    ds.frozen.resize(n, false);
+    for k in 0..n {
+        let cl = &classes[ds.class_ids[k]];
+        for l in &cl.route {
+            let li = l.index();
+            if ds.link_epoch[li] != ds.epoch {
+                ds.link_epoch[li] = ds.epoch;
+                ds.links.push(li);
+                ds.residual[li] = capacity[li];
+                ds.unfrozen_on[li] = 0;
+            }
+            ds.unfrozen_on[li] += cl.members;
+        }
+    }
+    let mut unfrozen = n;
+    while unfrozen > 0 {
+        let mut inc = f64::INFINITY;
+        for &li in &ds.links {
+            if ds.unfrozen_on[li] > 0 {
+                inc = inc.min(ds.residual[li] / ds.unfrozen_on[li] as f64);
+            }
+        }
+        for k in 0..n {
+            if ds.frozen[k] {
+                continue;
+            }
+            if let Some(d) = classes[ds.class_ids[k]].demand {
+                inc = inc.min(d - ds.rate[k]);
+            }
+        }
+        if !inc.is_finite() {
+            // Mirrors the reference's termination guard; unreachable while a
+            // validated unfrozen class remains (its links bound the round).
+            break;
+        }
+        let inc = inc.max(0.0);
+        for k in 0..n {
+            if ds.frozen[k] {
+                continue;
+            }
+            ds.rate[k] += inc;
+            let cl = &classes[ds.class_ids[k]];
+            for l in &cl.route {
+                let r = &mut ds.residual[l.index()];
+                for _ in 0..cl.members {
+                    *r -= inc;
+                }
+            }
+        }
+        const EPS: f64 = 1e-9;
+        for k in 0..n {
+            if ds.frozen[k] {
+                continue;
+            }
+            let cl = &classes[ds.class_ids[k]];
+            let at_demand = cl.demand.is_some_and(|d| ds.rate[k] >= d - EPS * d.max(1.0));
+            let on_saturated = cl
+                .route
+                .iter()
+                .any(|l| ds.residual[l.index()] <= EPS * capacity[l.index()]);
+            if at_demand || on_saturated {
+                ds.frozen[k] = true;
+                unfrozen -= 1;
+                for l in &cl.route {
+                    ds.unfrozen_on[l.index()] -= cl.members;
+                }
+            }
+        }
+    }
+    for k in 0..n {
+        class_rate[ds.class_ids[k]] = ds.rate[k];
+    }
+    // Leave the unfrozen counts zeroed for the next solve (they already are
+    // unless the termination guard broke the loop early).
+    for &li in &ds.links {
+        ds.unfrozen_on[li] = 0;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct ActiveFlow {
     /// Index into the simulator's class table.
@@ -571,7 +738,20 @@ pub struct FlowSim {
     /// Set when the flow set or a capacity changed since the last
     /// recomputation; a clean simulator skips the allocator entirely.
     dirty: bool,
+    /// Monotone link partition: which links can currently share a bottleneck.
+    domains: LinkDomains,
+    /// Links whose domain must be re-solved at the next recomputation
+    /// (route links of added/completed flows, links with capacity changes).
+    dirty_links: Vec<usize>,
+    /// Set when a link-free class (empty route, demand-capped) appeared or
+    /// disappeared; such classes form their own pseudo-domains.
+    dirty_nolink: bool,
+    /// Per-class rate from the last solve of that class's domain; classes in
+    /// clean domains keep their rates without any allocator work.
+    class_rate: Vec<f64>,
+    dscratch: DomainScratch,
     recomputes: u64,
+    domain_solves: u64,
     reference: bool,
     now: SimTime,
     next_id: u64,
@@ -606,6 +786,7 @@ impl FlowSim {
     /// [`FlowSim::set_track_utilization`] before adding flows to record it.
     pub fn new(net: FlowNet) -> Self {
         let utilization = Vec::new();
+        let n_links = net.link_count();
         FlowSim {
             net,
             flows: FxHashMap::default(),
@@ -615,7 +796,13 @@ impl FlowSim {
             free_classes: Vec::new(),
             scratch: AllocScratch::default(),
             dirty: false,
+            domains: LinkDomains::new(n_links),
+            dirty_links: Vec::new(),
+            dirty_nolink: false,
+            class_rate: Vec::new(),
+            dscratch: DomainScratch::default(),
             recomputes: 0,
+            domain_solves: 0,
             reference: false,
             now: SimTime::ZERO,
             next_id: 0,
@@ -644,6 +831,14 @@ impl FlowSim {
     /// cost metric `bench_sim` tracks.
     pub fn recomputes(&self) -> u64 {
         self.recomputes
+    }
+
+    /// Number of per-domain allocator solves performed so far. One
+    /// recomputation re-solves only the *dirty* domains, so on a server whose
+    /// links split into several independent groups this grows slower than
+    /// `recomputes × domains` — the domain-incremental win.
+    pub fn domain_solves(&self) -> u64 {
+        self.domain_solves
     }
 
     /// Route every recomputation through the per-flow reference allocator
@@ -686,14 +881,22 @@ impl FlowSim {
         std::mem::take(&mut self.trace_log)
     }
 
-    /// Find or create the class for `spec`, consuming its route.
+    /// Find or create the class for `spec`, consuming its route. Marks the
+    /// class's domain dirty and merges the route's links into one domain
+    /// (they now share a potential bottleneck).
     fn intern_class(&mut self, spec: FlowSpec) -> usize {
         let key = ClassKey::of(&spec);
         if let Some(&c) = self.class_index.get(&key) {
             self.classes[c].members += 1;
+            self.mark_route_dirty(c);
             return c;
         }
         let class = FlowClass { route: spec.route, demand: spec.demand, members: 1 };
+        if let Some((&first, rest)) = class.route.split_first() {
+            for l in rest {
+                self.domains.union(first.index(), l.index());
+            }
+        }
         let c = match self.free_classes.pop() {
             Some(slot) => {
                 self.classes[slot] = class;
@@ -704,12 +907,31 @@ impl FlowSim {
                 self.classes.len() - 1
             }
         };
+        if self.class_rate.len() <= c {
+            self.class_rate.resize(c + 1, 0.0);
+        }
+        self.class_rate[c] = 0.0;
         self.class_index.insert(key, c);
+        self.mark_route_dirty(c);
         c
+    }
+
+    /// Mark class `c`'s domain dirty (its member set or environment changed).
+    fn mark_route_dirty(&mut self, c: usize) {
+        let route = &self.classes[c].route;
+        if route.is_empty() {
+            self.dirty_nolink = true;
+        } else {
+            // One route link suffices: every link of the route is already in
+            // the same domain by the union in `intern_class`.
+            self.dirty_links.push(route[0].index());
+        }
+        self.dirty = true;
     }
 
     /// Drop one membership from class `c`, tombstoning the slot when empty.
     fn release_class(&mut self, c: usize) {
+        self.mark_route_dirty(c);
         let cl = &mut self.classes[c];
         cl.members -= 1;
         if cl.members == 0 {
@@ -722,37 +944,27 @@ impl FlowSim {
         }
     }
 
+    /// Re-solve the max-min allocation **incrementally**: only the domains a
+    /// change touched since the last recomputation are solved; every other
+    /// domain's classes keep their persistent rates untouched. Domains are
+    /// max-min-independent by construction (no shared link ⇒ no shared
+    /// bottleneck), so solving them separately gives the same allocation a
+    /// joint solve would — and both allocator modes (classed fast path and
+    /// per-flow reference) decompose identically, keeping them bit-identical
+    /// to each other on every history.
     fn recompute(&mut self) {
         if !self.dirty {
             return;
         }
         self.dirty = false;
         self.recomputes += 1;
-        if self.reference {
-            // Rebuild per-flow specs in arrival order and run the reference
-            // allocator — the pre-classes hot path, kept for benchmarking.
-            let specs: Vec<FlowSpec> = self
-                .order
-                .iter()
-                .map(|id| {
-                    let cl = &self.classes[self.flows[id].class];
-                    FlowSpec { route: cl.route.clone(), demand: cl.demand }
-                })
-                .collect();
-            let rates = self.net.max_min_rates_ref(&specs);
-            for (id, r) in self.order.iter().zip(&rates) {
-                // invariant: `order` and `flows` are mutated together
-                // (add_flow pushes both, complete removes both), so every
-                // ordered id is present in the map.
-                self.flows.get_mut(id).expect("ordered flow is active").rate = *r;
-            }
-        } else {
-            solve_classes(&self.net.capacity, &self.classes, &mut self.scratch);
-            for id in &self.order {
-                // invariant: see above — `order` and `flows` stay in sync.
-                let f = self.flows.get_mut(id).expect("ordered flow is active");
-                f.rate = self.scratch.rate[f.class];
-            }
+        self.solve_dirty_domains();
+        for id in &self.order {
+            // invariant: `order` and `flows` are mutated together (add_flow
+            // pushes both, complete removes both), so every ordered id is
+            // present in the map.
+            let f = self.flows.get_mut(id).expect("ordered flow is active");
+            f.rate = self.class_rate[f.class];
         }
         if self.trace {
             let mut min_rate = f64::INFINITY;
@@ -788,6 +1000,129 @@ impl FlowSim {
         }
         for (li, load) in self.scratch.load.iter().enumerate() {
             self.utilization[li].set(self.now, load / self.net.capacity[li]);
+        }
+    }
+
+    /// Solve every domain marked dirty since the last recomputation,
+    /// updating the persistent `class_rate` table in place.
+    fn solve_dirty_domains(&mut self) {
+        let n_links = self.net.capacity.len();
+        let ds = &mut self.dscratch;
+        if ds.link_epoch.len() < n_links {
+            ds.link_epoch.resize(n_links, 0);
+            ds.root_epoch.resize(n_links, 0);
+            ds.residual.resize(n_links, 0.0);
+            ds.unfrozen_on.resize(n_links, 0);
+        }
+        ds.epoch += 1;
+        ds.dirty_roots.clear();
+        for &l in &self.dirty_links {
+            let r = self.domains.find(l);
+            if ds.root_epoch[r] != ds.epoch {
+                ds.root_epoch[r] = ds.epoch;
+                ds.dirty_roots.push(r);
+            }
+        }
+        self.dirty_links.clear();
+        // Dirty marks arrive in event order; solve in root order so the
+        // allocator's work schedule is a function of the state, not the
+        // history that produced it.
+        ds.dirty_roots.sort_unstable();
+
+        // Link-free classes are their own pseudo-domains: crossing no link,
+        // their max-min rate is exactly the (validated, mandatory) demand —
+        // the same value the reference allocator assigns them solved alone.
+        if self.dirty_nolink {
+            self.dirty_nolink = false;
+            for (c, cl) in self.classes.iter().enumerate() {
+                if cl.members > 0 && cl.route.is_empty() {
+                    self.class_rate[c] =
+                        cl.demand.expect("validated: a link-free flow carries a demand");
+                }
+            }
+        }
+
+        for ri in 0..self.dscratch.dirty_roots.len() {
+            let root = self.dscratch.dirty_roots[ri];
+            // The domain's live classes, in class-index order. Finding the
+            // root of one route link suffices: `intern_class` unioned every
+            // route into a single domain.
+            self.dscratch.class_ids.clear();
+            for (c, cl) in self.classes.iter().enumerate() {
+                if cl.members == 0 || cl.route.is_empty() {
+                    continue;
+                }
+                if self.domains.find(cl.route[0].index()) == root {
+                    self.dscratch.class_ids.push(c);
+                }
+            }
+            if self.dscratch.class_ids.is_empty() {
+                continue;
+            }
+            self.domain_solves += 1;
+            if self.reference {
+                // Per-flow reference restricted to the domain, in arrival
+                // order — the same decomposition as the fast path, so the
+                // two modes stay bit-identical on every history.
+                let mut cids = Vec::new();
+                let mut specs = Vec::new();
+                for id in &self.order {
+                    let c = self.flows[id].class;
+                    let cl = &self.classes[c];
+                    if cl.route.is_empty() {
+                        continue;
+                    }
+                    if self.domains.find(cl.route[0].index()) == root {
+                        cids.push(c);
+                        specs.push(FlowSpec { route: cl.route.clone(), demand: cl.demand });
+                    }
+                }
+                let rates = self.net.max_min_rates_ref(&specs);
+                for (c, r) in cids.iter().zip(&rates) {
+                    // Members of one class get bit-equal rates (same route,
+                    // same demand, same increments), so the last write wins
+                    // losslessly.
+                    self.class_rate[*c] = *r;
+                }
+            } else {
+                solve_domain(
+                    &self.net.capacity,
+                    &self.classes,
+                    &mut self.dscratch,
+                    &mut self.class_rate,
+                );
+                #[cfg(debug_assertions)]
+                self.assert_domain_matches_reference(root);
+            }
+        }
+    }
+
+    /// Debug-build cross-check of the domain-incremental fast path: the
+    /// domain's rates must match [`FlowNet::max_min_rates_ref`] run on the
+    /// domain's flows alone, bit for bit.
+    #[cfg(debug_assertions)]
+    fn assert_domain_matches_reference(&mut self, root: usize) {
+        let mut cids = Vec::new();
+        let mut specs = Vec::new();
+        for id in &self.order {
+            let c = self.flows[id].class;
+            let cl = &self.classes[c];
+            if cl.route.is_empty() {
+                continue;
+            }
+            if self.domains.find(cl.route[0].index()) == root {
+                cids.push(c);
+                specs.push(FlowSpec { route: cl.route.clone(), demand: cl.demand });
+            }
+        }
+        let rates = self.net.max_min_rates_ref(&specs);
+        for (c, r) in cids.iter().zip(&rates) {
+            debug_assert!(
+                self.class_rate[*c].to_bits() == r.to_bits(),
+                "domain-incremental solve diverged from max_min_rates_ref \
+                 (class {c}: fast {} vs reference {r})",
+                self.class_rate[*c],
+            );
         }
     }
 
@@ -847,7 +1182,6 @@ impl FlowSim {
         let class = self.intern_class(spec);
         self.flows.insert(id, ActiveFlow { class, remaining: bytes, rate: 0.0 });
         self.order.push(id);
-        self.dirty = true;
         self.recompute();
         id
     }
@@ -882,6 +1216,7 @@ impl FlowSim {
             assert!(link.index() < self.net.capacity.len(), "unknown link");
             if self.net.capacity(link) != bytes_per_sec {
                 self.net.set_capacity(link, bytes_per_sec);
+                self.dirty_links.push(link.index());
                 self.dirty = true;
             }
         }
@@ -929,7 +1264,6 @@ impl FlowSim {
         };
         self.release_class(flow.class);
         self.order.retain(|&f| f != id);
-        self.dirty = true;
         self.recompute();
     }
 
@@ -1271,6 +1605,27 @@ mod tests {
         assert_eq!(sim.recomputes(), before + 1, "storm must cost one recompute");
         assert!((sim.rate(FlowId(0)).unwrap() - 4.0).abs() < 1e-9);
         assert!((sim.rate(FlowId(1)).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_change_resolves_only_the_dirty_domain() {
+        // Two flows on disjoint links form two independent domains. Squeezing
+        // link 0 must cost exactly one domain solve, and the untouched
+        // domain's rate must come out bit-identical — not merely close.
+        let net = FlowNet::from_capacities(vec![1e9, 1e9]);
+        let mut sim = FlowSim::new(net);
+        let a = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(0)]), 1e6);
+        let b = sim.add_flow(SimTime::ZERO, FlowSpec::new(vec![link(1)]), 1e6);
+        let b_rate = sim.rate(b).unwrap();
+        let solves = sim.domain_solves();
+        sim.set_capacity(SimTime::ZERO, link(0), 0.5e9);
+        assert_eq!(
+            sim.domain_solves(),
+            solves + 1,
+            "only link 0's domain is dirty; link 1's must not be re-solved"
+        );
+        assert_eq!(sim.rate(b).unwrap().to_bits(), b_rate.to_bits());
+        assert!((sim.rate(a).unwrap() - 0.5e9).abs() < 1e-9);
     }
 
     #[test]

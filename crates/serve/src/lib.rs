@@ -93,11 +93,14 @@ pub struct ServeConfig {
     /// Deadlines below this many milliseconds are assumed too tight for any
     /// DES run and degrade immediately.
     pub min_des_deadline_ms: u64,
-    /// Worker threads for the *parallel DES engine* inside each simulation
-    /// (cluster requests only; a single-server DES is one logical process
-    /// and always runs sequentially). `0` (the default) leaves every run on
-    /// the sequential reference engine: the serve worker pool already runs
-    /// `workers` simulations concurrently, and `workers × des_workers`
+    /// Worker threads for the *parallel DES engine* inside each simulation.
+    /// Cluster requests partition one logical process per server; eligible
+    /// single-server requests partition into intra-server lanes (four
+    /// accelerators plus their nominal SSD/prep each) — both engines are
+    /// byte-identical to the sequential reference at any worker count, so
+    /// this knob only moves wall-clock. `0` (the default) leaves every run
+    /// on the sequential reference engine: the serve worker pool already
+    /// runs `workers` simulations concurrently, and `workers × des_workers`
     /// threads would oversubscribe the host. Raise it only when the service
     /// runs few concurrent simulations on a many-core box. Applied as a
     /// default — a request whose own `sim.parallel_workers` is set keeps

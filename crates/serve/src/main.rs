@@ -80,6 +80,9 @@ fn parse_args() -> Result<ServeConfig, String> {
             // Default 0 = sequential engine: the serve pool already runs
             // `--workers` simulations concurrently, so parallel DES inside
             // each one oversubscribes unless the host has cores to spare.
+            // Applies to cluster requests (one LP per server) and eligible
+            // single-server requests (one LP per intra-server lane) alike;
+            // results are byte-identical at any worker count.
             "--des-workers" => {
                 cfg.des_workers = value("--des-workers")?
                     .parse()

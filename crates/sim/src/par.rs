@@ -140,6 +140,36 @@ pub fn work_span_speedup(window_events: &[Vec<u64>], workers: usize) -> f64 {
     }
 }
 
+/// Per-window scheduling knobs for [`run_windows_with`].
+///
+/// Fine-grained partitions (e.g. intra-server lanes) produce far more, far
+/// cheaper windows than the cluster barrier: their lookahead is one ring
+/// sync, not a cross-server phase. Spawning scoped threads for a window of a
+/// few hundred events costs more than the events themselves, so the policy
+/// lets the runner fall back to the sequential path for cheap windows —
+/// decided from the *previous* window's total event count, which is itself
+/// deterministic and worker-invariant, so the fast path never perturbs
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowPolicy {
+    /// Advance a window sequentially (even with `workers >= 2`) when the
+    /// previous window processed fewer than this many events in total.
+    /// `0` disables the fast path (the [`run_windows`] behavior); the first
+    /// window of a run always takes the parallel path.
+    pub sequential_below: u64,
+}
+
+impl WindowPolicy {
+    /// Default threshold for fine-grained partitions: windows cheaper than
+    /// this are dominated by thread spawn/join, not simulation work.
+    pub const CHEAP_WINDOW_EVENTS: u64 = 2048;
+
+    /// Policy for short-lookahead partitions: cheap windows run inline.
+    pub fn fine_grained() -> Self {
+        WindowPolicy { sequential_below: Self::CHEAP_WINDOW_EVENTS }
+    }
+}
+
 /// Run `lps` to completion under `coord`'s window protocol.
 ///
 /// `workers <= 1` is the sequential reference: each window advances LPs one
@@ -156,15 +186,30 @@ pub fn run_windows<C: Coordinator>(
     lps: &mut [C::Lp],
     workers: usize,
 ) -> Result<RunStats, SimError> {
+    run_windows_with(coord, lps, workers, WindowPolicy::default())
+}
+
+/// [`run_windows`] with an explicit [`WindowPolicy`] (cheap-window fast
+/// path). Results are byte-identical for any `workers` and any policy; the
+/// policy only moves work between the calling thread and scoped workers.
+pub fn run_windows_with<C: Coordinator>(
+    coord: &mut C,
+    lps: &mut [C::Lp],
+    workers: usize,
+    policy: WindowPolicy,
+) -> Result<RunStats, SimError> {
     let n = lps.len();
     let mut stats =
         RunStats { windows: 0, lp_events: vec![0; n], window_events: Vec::new() };
     if n == 0 {
         return Ok(stats);
     }
+    // The first window has no history; assume it is worth parallelizing.
+    let mut prev_window_events = u64::MAX;
     loop {
         let before: Vec<u64> = lps.iter().map(|lp| lp.events_processed()).collect();
-        let advanced = if workers <= 1 || n == 1 {
+        let cheap = prev_window_events < policy.sequential_below;
+        let advanced = if workers <= 1 || n == 1 || cheap {
             advance_sequential(lps)
         } else {
             advance_parallel(lps, workers)
@@ -174,6 +219,7 @@ pub fn run_windows<C: Coordinator>(
             .zip(&before)
             .map(|(lp, b)| lp.events_processed().saturating_sub(*b))
             .collect();
+        prev_window_events = window.iter().sum();
         stats.window_events.push(window);
         stats.windows += 1;
         for (slot, lp) in stats.lp_events.iter_mut().zip(lps.iter()) {
@@ -368,6 +414,30 @@ mod tests {
         let (_, stats, _) = reference.unwrap();
         assert_eq!(stats.windows, 6, "5 barrier windows + 1 all-done window");
         assert_eq!(stats.total_events(), (10..19).sum::<u64>() * 5);
+    }
+
+    #[test]
+    fn window_policy_only_moves_work_never_changes_results() {
+        // Every (workers, threshold) combination must agree with the
+        // sequential reference bit-for-bit: the cheap-window fast path only
+        // decides *where* a window runs.
+        let mut lps = toys(9, 5);
+        let mut coord = MaxBarrier { releases: Vec::new() };
+        let stats = run_windows(&mut coord, &mut lps, 0).expect("reference ok");
+        let clocks: Vec<u64> = lps.iter().map(|l| l.clock).collect();
+        for workers in [2usize, 4, 16] {
+            for threshold in [0u64, 1, 200, u64::MAX] {
+                let mut lps = toys(9, 5);
+                let mut coord2 = MaxBarrier { releases: Vec::new() };
+                let policy = WindowPolicy { sequential_below: threshold };
+                let st = run_windows_with(&mut coord2, &mut lps, workers, policy)
+                    .expect("policy run ok");
+                let cl: Vec<u64> = lps.iter().map(|l| l.clock).collect();
+                assert_eq!(coord2.releases, coord.releases, "w={workers} t={threshold}");
+                assert_eq!(st, stats, "w={workers} t={threshold}");
+                assert_eq!(cl, clocks, "w={workers} t={threshold}");
+            }
+        }
     }
 
     #[test]

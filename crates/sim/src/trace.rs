@@ -163,6 +163,28 @@ pub trait Tracer {
     fn counter(&mut self, component: Component, name: &'static str, at: SimTime, value: f64);
 }
 
+/// A tracer that can split into per-LP streams for a partitioned run and
+/// deterministically merge them back.
+///
+/// Sharing one tracer across logical processes would interleave records in
+/// thread order, destroying determinism. Partitioned runners (the cluster
+/// scale-out layer, intra-server lanes) instead `fork()` one empty stream
+/// per LP, let each LP record privately, and `absorb()` the streams back in
+/// LP-index order at the end — same discipline as the runner's offer fold,
+/// so traced results stay byte-identical for any worker count.
+pub trait ForkTracer: Tracer + Sized {
+    /// An empty tracer of the same kind and configuration, for one LP's
+    /// private stream.
+    fn fork(&self) -> Self;
+
+    /// Merge per-LP streams (index order) back into `self`. Records are
+    /// interleaved by [`merge_lp_records`]: LP `i`'s tracks are offset by
+    /// `i * track_stride` and the merged sequence is sorted by
+    /// `(time, lp, position)` — deterministic regardless of how many
+    /// workers produced the streams.
+    fn absorb(&mut self, parts: Vec<Self>, track_stride: u32);
+}
+
 /// The do-nothing tracer: every method is an empty `#[inline]` body and
 /// `enabled()` is a constant `false`, so models monomorphized over it carry
 /// no tracing cost at all.
@@ -180,6 +202,15 @@ impl Tracer for NoopTracer {
     fn instant(&mut self, _: Component, _: &'static str, _: u32, _: SimTime) {}
     #[inline(always)]
     fn counter(&mut self, _: Component, _: &'static str, _: SimTime, _: f64) {}
+}
+
+impl ForkTracer for NoopTracer {
+    #[inline(always)]
+    fn fork(&self) -> Self {
+        NoopTracer
+    }
+    #[inline(always)]
+    fn absorb(&mut self, _: Vec<Self>, _: u32) {}
 }
 
 /// A bounded FIFO ring buffer: pushing past `capacity` evicts the oldest
@@ -308,6 +339,28 @@ impl Tracer for RingTracer {
 
     fn counter(&mut self, component: Component, name: &'static str, at: SimTime, value: f64) {
         self.ring.push(TraceRecord::Counter { component, name, at, value });
+    }
+}
+
+impl ForkTracer for RingTracer {
+    fn fork(&self) -> Self {
+        RingTracer::new(self.ring.capacity())
+    }
+
+    fn absorb(&mut self, parts: Vec<Self>, track_stride: u32) {
+        let mut dropped = 0;
+        let streams: Vec<Vec<TraceRecord>> = parts
+            .into_iter()
+            .map(|p| {
+                dropped += p.ring.dropped();
+                p.into_records()
+            })
+            .collect();
+        for record in merge_lp_records(streams, track_stride) {
+            self.ring.push(record);
+        }
+        // Evictions inside the per-LP rings stay observable after the merge.
+        self.ring.dropped += dropped;
     }
 }
 
