@@ -62,7 +62,7 @@ fn bench_des(c: &mut Criterion) {
             req.server.batch_size = Some(512);
             b.iter(|| match req.run().expect("simulation runs").outcome {
                 SimOutcome::Des(r) => r.samples_per_sec,
-                SimOutcome::Analytic(_) => unreachable!(),
+                _ => unreachable!("single-server DES request"),
             })
         });
     }

@@ -718,6 +718,245 @@ impl SimRequest {
     }
 }
 
+/// FNV-1a 64 over arbitrary canonical bytes — the same function behind
+/// [`SimRequest::canonical_hash`], exported so callers that already hold
+/// the canonical JSON (the serving tier's verified cache) can key without
+/// re-serializing.
+pub fn canonical_hash_of(canonical_json: &str) -> u64 {
+    fnv1a64(canonical_json.as_bytes())
+}
+
+/// A parameter grid swept over one [`SimRequest`] template: the cross
+/// product batch size × accelerator count × link generation (ring model) ×
+/// fault plan. An omitted (or `null`) axis keeps the template's value; a
+/// present axis must be non-empty. `faults` entries may be `null` for the
+/// fault-free point.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepGrid {
+    pub batch_size: Vec<u64>,
+    pub n_accels: Vec<usize>,
+    pub ring: Vec<RingModel>,
+    pub faults: Vec<Option<FaultPlan>>,
+}
+
+impl SweepGrid {
+    /// Number of grid points ( = the product of present axis lengths).
+    pub fn n_points(&self) -> usize {
+        let len = |n: usize| n.max(1);
+        len(self.batch_size.len())
+            * len(self.n_accels.len())
+            * len(self.ring.len())
+            * len(self.faults.len())
+    }
+}
+
+impl Deserialize for SweepGrid {
+    fn from_json(v: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::json::JsonError::type_mismatch("SweepGrid", "object"))?;
+        let mut grid = SweepGrid::default();
+        fn axis<T: Deserialize>(
+            name: &str,
+            val: &serde::json::Json,
+        ) -> Result<Vec<T>, serde::json::JsonError> {
+            let parsed: Vec<T> = Deserialize::from_json(val)?;
+            if parsed.is_empty() {
+                return Err(serde::json::JsonError::new(format!(
+                    "sweep axis `{name}` must be non-empty when present \
+                     (omit the axis to keep the template's value)"
+                )));
+            }
+            Ok(parsed)
+        }
+        for (key, val) in obj {
+            if matches!(val, serde::json::Json::Null) {
+                continue; // null axis = omitted
+            }
+            match key.as_str() {
+                "batch_size" => grid.batch_size = axis(key, val)?,
+                "n_accels" => grid.n_accels = axis(key, val)?,
+                "ring" => grid.ring = axis(key, val)?,
+                "faults" => grid.faults = axis(key, val)?,
+                other => {
+                    return Err(serde::json::JsonError::new(format!(
+                        "unknown axis `{other}` in sweep grid \
+                         (known: batch_size, n_accels, ring, faults)"
+                    )))
+                }
+            }
+        }
+        Ok(grid)
+    }
+}
+
+/// One expanded grid point: the concrete [`SimRequest`] to answer plus the
+/// axis values that produced it (per-point provenance for the stream).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Position in the expansion order (row-major: batch_size outermost,
+    /// then n_accels, ring, faults innermost).
+    pub index: usize,
+    /// The template with this point's axis values applied. Canonically
+    /// hashable like any request — a sweep point and an individual
+    /// `/simulate` asking the same question share one cache entry.
+    pub request: SimRequest,
+    /// Compact JSON object naming exactly the applied axis values.
+    pub params: String,
+}
+
+/// A [`SimRequest`] template plus a [`SweepGrid`] to expand over it —
+/// the body of `POST /sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRequest {
+    pub template: SimRequest,
+    pub grid: SweepGrid,
+}
+
+/// A raw [`serde::json::Json`] value made serializable (the vendored serde
+/// has no blanket impl for its own value type).
+struct RawJson(serde::json::Json);
+
+impl Serialize for RawJson {
+    fn to_json(&self) -> serde::json::Json {
+        self.0.clone()
+    }
+}
+
+impl SweepRequest {
+    /// Hard ceiling on expanded points, independent of any serving-layer
+    /// cap: a grid beyond this is a typo or an attack, not an experiment.
+    pub const MAX_POINTS: usize = 65_536;
+
+    /// Parse from lenient wire JSON: `{"template": {...}, "grid": {...}}`.
+    /// `grid` may be omitted (a one-point sweep). Validated before return.
+    pub fn from_json_str(text: &str) -> Result<Self, SimError> {
+        let value = trainbox_sim::json::parse(text)
+            .map_err(|e| SimError::Parse(e.to_string()))?;
+        let bridged = sim_value_to_serde(&value);
+        let obj = bridged
+            .as_object()
+            .ok_or_else(|| SimError::Parse("sweep request must be an object".to_string()))?;
+        let mut template = None;
+        let mut grid = SweepGrid::default();
+        for (key, val) in obj {
+            match key.as_str() {
+                "template" => {
+                    template = Some(
+                        SimRequest::from_json(val).map_err(|e| SimError::Parse(e.to_string()))?,
+                    )
+                }
+                "grid" => {
+                    if !matches!(val, serde::json::Json::Null) {
+                        grid = SweepGrid::from_json(val)
+                            .map_err(|e| SimError::Parse(e.to_string()))?;
+                    }
+                }
+                other => {
+                    return Err(SimError::Parse(format!(
+                        "unknown field `{other}` in sweep request (known: template, grid)"
+                    )))
+                }
+            }
+        }
+        let sweep = SweepRequest {
+            template: template
+                .ok_or_else(|| SimError::Parse("missing field `template`".to_string()))?,
+            grid,
+        };
+        sweep.validate()?;
+        Ok(sweep)
+    }
+
+    /// Shape checks beyond parsing: the template must not carry a deadline
+    /// (deadlines are per-request QoS, not part of a sweep's question) and
+    /// the expansion must stay under [`Self::MAX_POINTS`].
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.template.deadline_ms.is_some() {
+            return Err(SimError::Parse(
+                "sweep template must not set deadline_ms; a sweep streams at \
+                 the pool's pace and each point answers untimed"
+                    .to_string(),
+            ));
+        }
+        let points = self.grid.n_points();
+        if points > Self::MAX_POINTS {
+            return Err(SimError::Parse(format!(
+                "sweep expands to {points} points, over the limit of {}",
+                Self::MAX_POINTS
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of points this sweep expands to.
+    pub fn n_points(&self) -> usize {
+        self.grid.n_points()
+    }
+
+    /// Expand the grid in deterministic row-major order (`batch_size`
+    /// outermost, then `n_accels`, `ring`, `faults` innermost). Every point
+    /// is a full [`SimRequest`] plus the compact-JSON `params` provenance.
+    pub fn expand(&self) -> Vec<SweepPoint> {
+        use serde::json::Json;
+        let batch: Vec<Option<u64>> = if self.grid.batch_size.is_empty() {
+            vec![None]
+        } else {
+            self.grid.batch_size.iter().map(|&b| Some(b)).collect()
+        };
+        let accels: Vec<Option<usize>> = if self.grid.n_accels.is_empty() {
+            vec![None]
+        } else {
+            self.grid.n_accels.iter().map(|&a| Some(a)).collect()
+        };
+        let rings: Vec<Option<RingModel>> = if self.grid.ring.is_empty() {
+            vec![None]
+        } else {
+            self.grid.ring.iter().map(|&r| Some(r)).collect()
+        };
+        let faults: Vec<Option<&Option<FaultPlan>>> = if self.grid.faults.is_empty() {
+            vec![None]
+        } else {
+            self.grid.faults.iter().map(Some).collect()
+        };
+        let mut points = Vec::with_capacity(self.n_points());
+        for &b in &batch {
+            for &a in &accels {
+                for &r in &rings {
+                    for &f in &faults {
+                        let mut request = self.template.clone();
+                        let mut params: Vec<(String, Json)> = Vec::new();
+                        if let Some(b) = b {
+                            request.server.batch_size = Some(b);
+                            params.push(("batch_size".to_string(), Json::U64(b)));
+                        }
+                        if let Some(a) = a {
+                            request.server.n_accels = a;
+                            params.push(("n_accels".to_string(), Json::U64(a as u64)));
+                        }
+                        if let Some(r) = r {
+                            request.server.ring = Some(r);
+                            params.push(("ring".to_string(), r.to_json()));
+                        }
+                        if let Some(f) = f {
+                            request.faults = f.clone();
+                            let rendered = match f {
+                                Some(plan) => plan.to_json(),
+                                None => Json::Null,
+                            };
+                            params.push(("faults".to_string(), rendered));
+                        }
+                        let params = serde_json::to_string(&RawJson(Json::Object(params)))
+                            .expect("params serialization is infallible");
+                        points.push(SweepPoint { index: points.len(), request, params });
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
 /// Bridge the strict [`trainbox_sim::json`] parse tree into the vendored
 /// serde data model. The parser keeps every number as `f64`; integral
 /// values in `u64`/`i64` range come back as integer flavors so integer
@@ -929,6 +1168,124 @@ mod tests {
         assert!(matches!(err, SimError::InvalidCluster(_)), "{err:?}");
         assert_eq!(err.field(), "cluster");
         assert!(err.is_client_error());
+    }
+
+    #[test]
+    fn sweep_expands_row_major_with_provenance() {
+        let sweep = SweepRequest::from_json_str(
+            r#"{"template": {"server": {"kind": "TrainBox", "n_accels": 16},
+                             "workload": "Resnet-50"},
+                "grid": {"batch_size": [8, 32], "n_accels": [16, 64, 256]}}"#,
+        )
+        .unwrap();
+        assert_eq!(sweep.n_points(), 6);
+        let points = sweep.expand();
+        assert_eq!(points.len(), 6);
+        // Row-major: batch_size outermost, n_accels inner.
+        let got: Vec<(Option<u64>, usize)> = points
+            .iter()
+            .map(|p| (p.request.server.batch_size, p.request.server.n_accels))
+            .collect();
+        let want = vec![
+            (Some(8), 16),
+            (Some(8), 64),
+            (Some(8), 256),
+            (Some(32), 16),
+            (Some(32), 64),
+            (Some(32), 256),
+        ];
+        assert_eq!(got, want);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        assert_eq!(points[0].params, r#"{"batch_size":8,"n_accels":16}"#);
+        // Every point hashes like the individually-spelled request.
+        let mut individual = SimRequest::analytic(ServerKind::TrainBox, 64, Workload::resnet50());
+        individual.server.batch_size = Some(32);
+        assert_eq!(points[4].request.canonical_hash(), individual.canonical_hash());
+        // All six points are distinct questions.
+        let mut hashes: Vec<u64> = points.iter().map(|p| p.request.canonical_hash()).collect();
+        hashes.sort_unstable();
+        hashes.dedup();
+        assert_eq!(hashes.len(), 6);
+    }
+
+    #[test]
+    fn sweep_grid_defaults_axes_to_the_template() {
+        let sweep = SweepRequest::from_json_str(
+            r#"{"template": {"server": {"kind": "Baseline", "n_accels": 8, "batch_size": 128},
+                             "workload": "VGG-19"}}"#,
+        )
+        .unwrap();
+        let points = sweep.expand();
+        assert_eq!(points.len(), 1, "no grid = a one-point sweep");
+        assert_eq!(points[0].request, sweep.template);
+        assert_eq!(points[0].params, "{}", "no axes applied, empty provenance");
+    }
+
+    #[test]
+    fn sweep_faults_axis_carries_null_and_plans() {
+        let sweep = SweepRequest::from_json_str(
+            r#"{"template": {"server": {"kind": "TrainBoxNoPool", "n_accels": 16},
+                             "workload": "Resnet-50",
+                             "sim": {"Des": {"batches": 4, "warmup_batches": 1}}},
+                "grid": {"faults": [null,
+                                    {"events": [{"at_secs": 0.5,
+                                                 "kind": {"PrepCrash": {"dev": 0}}}]}]}}"#,
+        )
+        .unwrap();
+        let points = sweep.expand();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].request.faults, None);
+        assert!(points[0].params.contains("\"faults\":null"), "{}", points[0].params);
+        assert!(points[1].request.faults.is_some());
+        assert_ne!(
+            points[0].request.canonical_hash(),
+            points[1].request.canonical_hash(),
+            "fault-free and faulted points are different questions"
+        );
+    }
+
+    #[test]
+    fn sweep_validation_rejects_bad_shapes() {
+        let deadline = SweepRequest::from_json_str(
+            r#"{"template": {"server": {"kind": "TrainBox", "n_accels": 16},
+                             "workload": "Resnet-50", "deadline_ms": 100}}"#,
+        )
+        .unwrap_err();
+        assert!(deadline.to_string().contains("deadline_ms"), "{deadline}");
+
+        let empty_axis = SweepRequest::from_json_str(
+            r#"{"template": {"server": {"kind": "TrainBox", "n_accels": 16},
+                             "workload": "Resnet-50"},
+                "grid": {"batch_size": []}}"#,
+        )
+        .unwrap_err();
+        assert!(empty_axis.to_string().contains("non-empty"), "{empty_axis}");
+
+        let unknown_axis = SweepRequest::from_json_str(
+            r#"{"template": {"server": {"kind": "TrainBox", "n_accels": 16},
+                             "workload": "Resnet-50"},
+                "grid": {"pool_fpgas": [1, 2]}}"#,
+        )
+        .unwrap_err();
+        assert!(unknown_axis.to_string().contains("unknown axis"), "{unknown_axis}");
+
+        let huge: Vec<String> = (0..300).map(|i| i.to_string()).collect();
+        let over_cap = SweepRequest::from_json_str(&format!(
+            r#"{{"template": {{"server": {{"kind": "TrainBox", "n_accels": 16}},
+                              "workload": "Resnet-50"}},
+                 "grid": {{"batch_size": [{0}], "n_accels": [{0}]}}}}"#,
+            huge.join(",")
+        ))
+        .unwrap_err();
+        assert!(over_cap.to_string().contains("over the limit"), "{over_cap}");
+    }
+
+    #[test]
+    fn canonical_hash_of_matches_the_method() {
+        let req = SimRequest::analytic(ServerKind::TrainBox, 256, Workload::resnet50());
+        assert_eq!(canonical_hash_of(&req.canonical_json()), req.canonical_hash());
     }
 
     #[test]

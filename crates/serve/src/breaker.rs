@@ -168,6 +168,20 @@ impl CircuitBreaker {
     pub fn trips(&self) -> u64 {
         self.trips.load(Ordering::Relaxed)
     }
+
+    /// How much of the cooldown is left while open; `None` when the breaker
+    /// is closed, half-open, or already cooled. Drives honest `Retry-After`
+    /// values on breaker refusals.
+    pub fn cooldown_remaining(&self) -> Option<Duration> {
+        let inner = self.inner.lock().unwrap();
+        match inner.state {
+            BreakerState::Open => {
+                let remaining = self.cooldown.saturating_sub(inner.opened_at?.elapsed());
+                (remaining > Duration::ZERO).then_some(remaining)
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -226,5 +240,17 @@ mod tests {
         std::thread::sleep(Duration::from_millis(60));
         assert_eq!(b.state(), BreakerState::HalfOpen);
         assert!(matches!(b.try_acquire(), Admission::Allow { probe: true }));
+    }
+
+    #[test]
+    fn cooldown_remaining_tracks_the_open_window() {
+        let b = breaker(1, 60_000);
+        assert!(b.cooldown_remaining().is_none(), "closed breaker has no cooldown");
+        b.on_failure(false);
+        let remaining = b.cooldown_remaining().expect("open breaker reports remaining");
+        assert!(remaining <= Duration::from_millis(60_000));
+        assert!(remaining > Duration::from_millis(55_000), "{remaining:?}");
+        b.on_success(false);
+        assert!(b.cooldown_remaining().is_none(), "closing clears it");
     }
 }

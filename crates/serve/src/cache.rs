@@ -1,11 +1,18 @@
 //! Sharded LRU cache for finished simulation responses.
 //!
 //! Keyed by [`SimRequest::canonical_hash`], so every wire spelling of the
-//! same question hits the same entry. Sharding keeps the hot path a short
-//! single-shard critical section instead of one service-wide lock; the
-//! per-shard LRU is exact (last-use ticks, evict the stalest), which is
-//! O(shard capacity) on eviction — fine at service cache sizes, where the
-//! simulation behind a miss costs orders of magnitude more than the scan.
+//! same question hits the same entry. The 64-bit FNV-1a hash alone is not
+//! proof of identity — on a collision two distinct requests would silently
+//! serve each other's results — so every entry also stores the canonical
+//! JSON it answers and a hit verifies the bytes match; a mismatch is
+//! reported as [`Lookup::Collision`] and treated as a miss (the caller
+//! counts it in `/metrics` as `cache_collisions`).
+//!
+//! Sharding keeps the hot path a short single-shard critical section
+//! instead of one service-wide lock; the per-shard LRU is exact (last-use
+//! ticks, evict the stalest), which is O(shard capacity) on eviction —
+//! fine at service cache sizes, where the simulation behind a miss costs
+//! orders of magnitude more than the scan.
 //!
 //! [`SimRequest::canonical_hash`]: trainbox_core::request::SimRequest::canonical_hash
 
@@ -14,6 +21,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 struct Entry {
+    /// The canonical request JSON this body answers; checked on every hit.
+    canonical: Box<str>,
     body: Arc<String>,
     last_used: u64,
 }
@@ -21,6 +30,18 @@ struct Entry {
 #[derive(Default)]
 struct Shard {
     map: HashMap<u64, Entry>,
+}
+
+/// Result of a verified cache lookup.
+#[derive(Debug)]
+pub enum Lookup {
+    /// Key present and the canonical bytes match: a true hit.
+    Hit(Arc<String>),
+    /// Key present but stored for a *different* canonical request — a
+    /// 64-bit hash collision. Treated as a miss by callers; surfaced so
+    /// `/metrics` can count how often the improbable happens.
+    Collision,
+    Miss,
 }
 
 pub struct ShardedLru {
@@ -48,15 +69,23 @@ impl ShardedLru {
         &self.shards[(key as usize) % self.shards.len()]
     }
 
-    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+    /// Look up `key`, verifying the entry answers exactly `canonical`.
+    pub fn get(&self, key: u64, canonical: &str) -> Lookup {
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(key).lock().unwrap();
-        let entry = shard.map.get_mut(&key)?;
+        let Some(entry) = shard.map.get_mut(&key) else {
+            return Lookup::Miss;
+        };
+        if &*entry.canonical != canonical {
+            return Lookup::Collision;
+        }
         entry.last_used = tick;
-        Some(Arc::clone(&entry.body))
+        Lookup::Hit(Arc::clone(&entry.body))
     }
 
-    pub fn insert(&self, key: u64, body: Arc<String>) {
+    /// Store `body` as the answer to `canonical`. On a hash collision the
+    /// newer entry wins — the displaced question simply recomputes later.
+    pub fn insert(&self, key: u64, canonical: &str, body: Arc<String>) {
         if self.per_shard_capacity == 0 {
             return;
         }
@@ -72,7 +101,9 @@ impl ShardedLru {
                 shard.map.remove(&stalest);
             }
         }
-        shard.map.insert(key, Entry { body, last_used: tick });
+        shard
+            .map
+            .insert(key, Entry { canonical: Box::from(canonical), body, last_used: tick });
     }
 
     /// Total entries across all shards (metrics gauge).
@@ -93,43 +124,64 @@ mod tests {
         Arc::new(s.to_string())
     }
 
+    fn hit(c: &ShardedLru, key: u64, canonical: &str) -> Option<String> {
+        match c.get(key, canonical) {
+            Lookup::Hit(b) => Some(b.as_str().to_string()),
+            _ => None,
+        }
+    }
+
     #[test]
     fn hit_returns_the_inserted_body() {
         let c = ShardedLru::new(8, 2);
-        c.insert(1, body("a"));
-        assert_eq!(c.get(1).as_deref().map(String::as_str), Some("a"));
-        assert!(c.get(2).is_none());
+        c.insert(1, "q1", body("a"));
+        assert_eq!(hit(&c, 1, "q1").as_deref(), Some("a"));
+        assert!(matches!(c.get(2, "q2"), Lookup::Miss));
+    }
+
+    #[test]
+    fn colliding_key_with_different_canonical_is_not_served() {
+        let c = ShardedLru::new(8, 2);
+        c.insert(1, "question A", body("answer A"));
+        // Same 64-bit key, different question: must never serve A's answer.
+        assert!(matches!(c.get(1, "question B"), Lookup::Collision));
+        // The original is still intact and served.
+        assert_eq!(hit(&c, 1, "question A").as_deref(), Some("answer A"));
+        // The collider overwrites; the displaced question recomputes later.
+        c.insert(1, "question B", body("answer B"));
+        assert_eq!(hit(&c, 1, "question B").as_deref(), Some("answer B"));
+        assert!(matches!(c.get(1, "question A"), Lookup::Collision));
     }
 
     #[test]
     fn eviction_drops_the_least_recently_used() {
         // One shard, capacity 2: keys collide into the same shard.
         let c = ShardedLru::new(2, 1);
-        c.insert(1, body("a"));
-        c.insert(2, body("b"));
-        c.get(1); // 2 is now the stalest
-        c.insert(3, body("c"));
-        assert!(c.get(1).is_some());
-        assert!(c.get(2).is_none(), "stalest entry must be evicted");
-        assert!(c.get(3).is_some());
+        c.insert(1, "q1", body("a"));
+        c.insert(2, "q2", body("b"));
+        c.get(1, "q1"); // 2 is now the stalest
+        c.insert(3, "q3", body("c"));
+        assert!(hit(&c, 1, "q1").is_some());
+        assert!(matches!(c.get(2, "q2"), Lookup::Miss), "stalest entry must be evicted");
+        assert!(hit(&c, 3, "q3").is_some());
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let c = ShardedLru::new(0, 4);
-        c.insert(1, body("a"));
-        assert!(c.get(1).is_none());
+        c.insert(1, "q1", body("a"));
+        assert!(matches!(c.get(1, "q1"), Lookup::Miss));
         assert!(c.is_empty());
     }
 
     #[test]
     fn reinsert_at_capacity_does_not_evict_a_sibling() {
         let c = ShardedLru::new(2, 1);
-        c.insert(1, body("a"));
-        c.insert(2, body("b"));
-        c.insert(2, body("b2"));
-        assert!(c.get(1).is_some());
-        assert_eq!(c.get(2).as_deref().map(String::as_str), Some("b2"));
+        c.insert(1, "q1", body("a"));
+        c.insert(2, "q2", body("b"));
+        c.insert(2, "q2", body("b2"));
+        assert!(hit(&c, 1, "q1").is_some());
+        assert_eq!(hit(&c, 2, "q2").as_deref(), Some("b2"));
         assert_eq!(c.len(), 2);
     }
 }

@@ -7,30 +7,62 @@
 //!   back as HTTP 400 with the offending field named. An optional deadline
 //!   (`deadline_ms` in the body, or an `X-Deadline-Ms` header) bounds the
 //!   wall-clock spent answering.
+//! * `POST /sweep` — body is a SimRequest *template* plus a parameter grid
+//!   (batch size × accelerator count × link generation × fault plan). The
+//!   grid is expanded server-side and streamed back as NDJSON over chunked
+//!   transfer encoding: one line per point, in grid order, each carrying
+//!   the point's parameters and the exact bytes `/simulate` would answer
+//!   for it, then a summary line. Every point shares the `/simulate` cache.
 //! * `GET /metrics` — cache hit rate, queue depth, shed count, breaker
-//!   state, degradation counters, and p50/p99 simulate latency, as JSON.
+//!   state, degradation counters, sweep counters, and p50/p99 simulate
+//!   latency, as JSON.
 //! * `GET /healthz` — liveness probe: the process answers.
 //! * `GET /readyz` — readiness probe: 200 only when the service should
 //!   receive traffic (not shutting down, breaker not open, queue not full).
 //! * `POST /admin/shutdown` — graceful shutdown: stop accepting, drain the
 //!   admitted backlog, answer everything in flight, then exit.
 //!
+//! # Architecture
+//!
+//! The tier is readiness-driven, not thread-per-connection:
+//!
+//! ```text
+//!  acceptor ──round-robin──▶ event-loop shards (epoll/poll, nonblocking)
+//!                                │  parse / route / write / stream
+//!                                ▼  bounded job queue (shed ▶ 429)
+//!                           compute pool (blocking DES workers)
+//!                                │  completions + wakeup
+//!                                ▼
+//!                           back to the owning shard
+//! ```
+//!
+//! Each shard owns its connections outright: nonblocking sockets, a
+//! per-connection push parser ([`http::RequestParser`]), explicit timeout
+//! bookkeeping, and the outbound byte queue. Simulation never runs on a
+//! shard — `/simulate` bodies and expanded sweep points travel to the
+//! compute pool over a [`http::BoundedQueue`], and finished answers come
+//! back as completions through a [`sys::wake_pair`] wakeup. A slow or
+//! stalled client therefore costs one connection slot, never a worker.
+//!
 //! Production behaviors, all std-only:
 //!
-//! * **Result cache** — sharded LRU keyed by the canonical content hash, so
-//!   any wire spelling of an already-answered question is served from
-//!   memory ([`cache`]).
+//! * **Result cache** — sharded LRU keyed by the canonical content hash
+//!   *and verified against the canonical bytes* on every hit, so a 64-bit
+//!   hash collision is counted (`cache_collisions`) and recomputed instead
+//!   of serving the wrong answer ([`cache`]).
 //! * **Request coalescing** — concurrent identical questions run the
 //!   simulation once; followers receive the leader's bytes ([`coalesce`]).
 //!   Deadline'd requests bypass coalescing: a follower must never stall on
 //!   an untimed leader, and an untimed follower must never inherit a
 //!   deadline failure.
-//! * **Load shedding** — a bounded admission queue between the acceptor
-//!   and the worker pool; over capacity the service answers 429 with
-//!   `Retry-After` instead of queueing unboundedly ([`http::BoundedQueue`]).
-//! * **Socket hygiene** — read/write timeouts on every accepted connection
-//!   plus an overall header budget, so a trickling or stalled client is cut
-//!   off (408) instead of pinning a worker ([`http::read_request`]).
+//! * **Load shedding** — a bounded job queue between the shards and the
+//!   compute pool; over capacity the service answers 429 with a
+//!   `Retry-After` derived from the live backlog and breaker state instead
+//!   of queueing unboundedly. A connection cap sheds at the acceptor.
+//! * **Socket hygiene** — per-connection read/write inactivity deadlines
+//!   plus an overall header budget, enforced by the shard's timer wheel, so
+//!   a trickling or stalled client is cut off (408) without ever occupying
+//!   a compute worker.
 //! * **Graceful degradation** — a deadline'd DES question that cannot be
 //!   answered in budget (deadline too tight, queue too deep, breaker open,
 //!   or the run cancelled at its deadline) falls back to the analytic model
@@ -48,47 +80,59 @@
 pub mod breaker;
 pub mod cache;
 pub mod coalesce;
+mod conn;
 pub mod http;
 pub mod metrics;
+mod sweep;
+pub mod sys;
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use breaker::{Admission, BreakerState, CircuitBreaker};
-use cache::ShardedLru;
+use breaker::{Admission, CircuitBreaker};
+use cache::{Lookup, ShardedLru};
 use coalesce::{Coalescer, Role};
-use http::{read_request, write_response, BoundedQueue, ParseError};
+use conn::{Completion, ShardHandle};
+use http::BoundedQueue;
 use metrics::Metrics;
-use trainbox_core::request::{SimError, SimMode, SimRequest};
+use trainbox_core::request::{canonical_hash_of, SimError, SimMode, SimRequest};
 
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks a free port (tests).
     pub addr: String,
-    /// Simulation worker threads.
+    /// Simulation worker threads (the compute pool).
     pub workers: usize,
-    /// Admission-queue capacity; connections beyond it are shed with 429.
+    /// Event-loop shard threads; 0 picks a default from the host's
+    /// parallelism. Shards only do socket I/O and parsing, so a handful
+    /// carries thousands of connections.
+    pub loops: usize,
+    /// Job-queue capacity between the shards and the compute pool;
+    /// simulate/sweep work beyond it is shed with 429.
     pub queue_depth: usize,
+    /// Open connections accepted at once; beyond it the acceptor refuses
+    /// with 429 before reading a byte.
+    pub max_connections: usize,
     /// Result-cache capacity in responses; 0 disables caching.
     pub cache_capacity: usize,
-    /// Socket read timeout per wait, milliseconds; 0 disables socket
-    /// timeouts *and* the header budget (test/debug only).
+    /// Read-inactivity timeout, milliseconds; 0 disables inactivity
+    /// deadlines *and* the header budget (test/debug only).
     pub read_timeout_ms: u64,
-    /// Socket write timeout, milliseconds; 0 disables.
+    /// Write-stall timeout, milliseconds; 0 disables.
     pub write_timeout_ms: u64,
     /// Consecutive DES timeouts/panics that open the circuit breaker.
     pub breaker_threshold: u32,
     /// How long an open breaker refuses DES work before probing,
     /// milliseconds.
     pub breaker_cooldown_ms: u64,
-    /// Admission-queue depth at which deadline'd DES requests degrade to
-    /// the analytic model instead of queueing behind a backlog they would
-    /// time out in anyway.
+    /// Job-queue depth at which deadline'd DES requests degrade to the
+    /// analytic model instead of queueing behind a backlog they would time
+    /// out in anyway.
     pub degrade_queue_depth: usize,
     /// Deadlines below this many milliseconds are assumed too tight for any
     /// DES run and degrade immediately.
@@ -107,6 +151,13 @@ pub struct ServeConfig {
     /// its value — and never part of the cache key (like `deadline_ms`,
     /// it changes how fast the answer arrives, not what is asked).
     pub des_workers: usize,
+    /// Largest grid one `POST /sweep` may expand to on this server (the
+    /// core caps at [`trainbox_core::request::SweepRequest::MAX_POINTS`]
+    /// regardless); over it is a 400.
+    pub sweep_max_points: usize,
+    /// Sweeps streaming concurrently; beyond it `POST /sweep` answers 429
+    /// so a burst of grids cannot starve interactive `/simulate` traffic.
+    pub max_active_sweeps: usize,
 }
 
 impl Default for ServeConfig {
@@ -114,7 +165,9 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:8080".to_string(),
             workers: 4,
+            loops: 0,
             queue_depth: 64,
+            max_connections: 1024,
             cache_capacity: 256,
             read_timeout_ms: 5_000,
             write_timeout_ms: 5_000,
@@ -123,27 +176,59 @@ impl Default for ServeConfig {
             degrade_queue_depth: 48,
             min_des_deadline_ms: 10,
             des_workers: 0,
+            sweep_max_points: 4_096,
+            max_active_sweeps: 2,
         }
     }
 }
 
-struct Ctx {
+/// A unit of compute handed from an event-loop shard to the worker pool.
+/// Carries the shard index and connection id so the finished answer can be
+/// routed back as a [`Completion`].
+pub(crate) enum Job {
+    Simulate {
+        conn_id: u64,
+        shard: usize,
+        body: String,
+        deadline_ms: Option<u64>,
+        started: Instant,
+    },
+    SweepPoint {
+        conn_id: u64,
+        shard: usize,
+        index: usize,
+        params: String,
+        request: Box<SimRequest>,
+    },
+}
+
+pub(crate) struct Ctx {
     addr: SocketAddr,
-    cache: ShardedLru,
-    coalescer: Coalescer,
-    metrics: Metrics,
-    queue: BoundedQueue<TcpStream>,
-    shutdown: AtomicBool,
-    breaker: CircuitBreaker,
-    read_timeout: Option<Duration>,
-    write_timeout: Option<Duration>,
+    pub(crate) cache: ShardedLru,
+    pub(crate) coalescer: Coalescer,
+    pub(crate) metrics: Metrics,
+    pub(crate) jobs: BoundedQueue<Job>,
+    pub(crate) shutdown: AtomicBool,
+    /// Set by the acceptor after it stops: no more connections will ever be
+    /// submitted, so a drained shard may exit.
+    pub(crate) acceptor_done: AtomicBool,
+    pub(crate) breaker: CircuitBreaker,
+    pub(crate) read_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
     /// Total wall-clock allowed for request line + headers (2× the read
-    /// timeout): per-read timeouts alone can be stretched indefinitely by a
-    /// client trickling one byte per just-under-timeout.
-    header_budget: Duration,
-    degrade_queue_depth: usize,
-    min_des_deadline_ms: u64,
-    des_workers: usize,
+    /// timeout): per-read inactivity deadlines alone can be stretched
+    /// indefinitely by a client trickling one byte per just-under-timeout.
+    pub(crate) header_budget: Duration,
+    pub(crate) degrade_queue_depth: usize,
+    pub(crate) min_des_deadline_ms: u64,
+    pub(crate) des_workers: usize,
+    pub(crate) workers: usize,
+    pub(crate) shards: Vec<ShardHandle>,
+    pub(crate) active_connections: AtomicUsize,
+    pub(crate) max_connections: usize,
+    pub(crate) sweep_max_points: usize,
+    pub(crate) max_active_sweeps: usize,
+    pub(crate) active_sweeps: AtomicUsize,
 }
 
 /// A running service. Dropping the handle does NOT stop the server; call
@@ -151,7 +236,9 @@ struct Ctx {
 /// and [`ServeHandle::join`] the threads.
 pub struct ServeHandle {
     ctx: Arc<Ctx>,
-    threads: Vec<JoinHandle<()>>,
+    acceptor: JoinHandle<()>,
+    loops: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl ServeHandle {
@@ -160,9 +247,18 @@ impl ServeHandle {
         self.ctx.addr
     }
 
-    /// Block until the service exits (via `/admin/shutdown` or [`Self::shutdown`]).
+    /// Block until the service exits (via `/admin/shutdown` or
+    /// [`Self::shutdown`]). Join order mirrors the data flow: the acceptor
+    /// stops first, then the shards drain their connections (which keeps
+    /// feeding the job queue), and only then is the queue closed so the
+    /// workers can run out the admitted backlog and exit.
     pub fn join(self) {
-        for t in self.threads {
+        let _ = self.acceptor.join();
+        for t in self.loops {
+            let _ = t.join();
+        }
+        self.ctx.jobs.close();
+        for t in self.workers {
             let _ = t.join();
         }
     }
@@ -174,18 +270,34 @@ impl ServeHandle {
     }
 }
 
-/// Bind and start the service: one acceptor thread plus a worker pool.
+/// Bind and start the service: one acceptor, `loops` event-loop shards,
+/// and a `workers`-deep compute pool.
 pub fn serve(cfg: ServeConfig) -> io::Result<ServeHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
+    let n_loops = if cfg.loops == 0 {
+        std::thread::available_parallelism().map_or(2, |n| n.get().clamp(1, 4))
+    } else {
+        cfg.loops
+    };
     let read_timeout = (cfg.read_timeout_ms > 0).then(|| Duration::from_millis(cfg.read_timeout_ms));
+
+    let mut shards = Vec::with_capacity(n_loops);
+    let mut wake_rxs = Vec::with_capacity(n_loops);
+    for _ in 0..n_loops {
+        let (tx, rx) = sys::wake_pair()?;
+        shards.push(ShardHandle::new(tx));
+        wake_rxs.push(rx);
+    }
+
     let ctx = Arc::new(Ctx {
         addr,
         cache: ShardedLru::new(cfg.cache_capacity, 8),
         coalescer: Coalescer::new(),
         metrics: Metrics::new(),
-        queue: BoundedQueue::new(cfg.queue_depth),
+        jobs: BoundedQueue::new(cfg.queue_depth),
         shutdown: AtomicBool::new(false),
+        acceptor_done: AtomicBool::new(false),
         breaker: CircuitBreaker::new(
             cfg.breaker_threshold,
             Duration::from_millis(cfg.breaker_cooldown_ms),
@@ -197,53 +309,88 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServeHandle> {
         degrade_queue_depth: cfg.degrade_queue_depth.max(1),
         min_des_deadline_ms: cfg.min_des_deadline_ms,
         des_workers: cfg.des_workers,
+        workers: cfg.workers.max(1),
+        shards,
+        active_connections: AtomicUsize::new(0),
+        max_connections: cfg.max_connections.max(1),
+        sweep_max_points: cfg.sweep_max_points.max(1),
+        max_active_sweeps: cfg.max_active_sweeps.max(1),
+        active_sweeps: AtomicUsize::new(0),
     });
 
-    let mut threads = Vec::new();
-    for _ in 0..cfg.workers.max(1) {
+    let mut workers = Vec::new();
+    for _ in 0..ctx.workers {
         let ctx = Arc::clone(&ctx);
-        threads.push(std::thread::spawn(move || {
-            while let Some(mut stream) = ctx.queue.pop() {
-                handle_conn(&mut stream, &ctx);
-            }
-        }));
+        workers.push(std::thread::spawn(move || worker_loop(&ctx)));
     }
 
-    {
+    let mut loops = Vec::new();
+    for (idx, rx) in wake_rxs.into_iter().enumerate() {
         let ctx = Arc::clone(&ctx);
-        threads.push(std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if ctx.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                // Socket timeouts are the first line of defense: no read or
-                // write on this connection may block a worker indefinitely.
-                let _ = stream.set_read_timeout(ctx.read_timeout);
-                let _ = stream.set_write_timeout(ctx.write_timeout);
-                if let Err(shed) = ctx.queue.push(stream) {
-                    ctx.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
-                    http::refuse(
-                        shed,
-                        429,
-                        &[("retry-after", "1")],
-                        "{\"error\":\"admission queue full, retry later\",\"field\":\"\"}",
-                    );
-                }
-            }
-            // Stop admitting and let the workers drain what was accepted.
-            ctx.queue.close();
-        }));
+        loops.push(std::thread::spawn(move || conn::run_shard(ctx, idx, rx)));
     }
 
-    Ok(ServeHandle { ctx, threads })
+    let acceptor = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::spawn(move || acceptor_loop(&ctx, listener))
+    };
+
+    Ok(ServeHandle { ctx, acceptor, loops, workers })
 }
 
-fn initiate_shutdown(ctx: &Ctx) {
+fn acceptor_loop(ctx: &Ctx, listener: TcpListener) {
+    let n_shards = ctx.shards.len();
+    let mut next = 0usize;
+    for stream in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if ctx.active_connections.load(Ordering::SeqCst) >= ctx.max_connections {
+            ctx.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+            let ra = retry_after_secs(ctx).to_string();
+            http::refuse(
+                stream,
+                429,
+                &[("retry-after", &ra)],
+                "{\"error\":\"connection limit reached, retry later\",\"field\":\"\"}",
+            );
+            continue;
+        }
+        ctx.active_connections.fetch_add(1, Ordering::SeqCst);
+        ctx.shards[next % n_shards].submit(stream);
+        next = next.wrapping_add(1);
+    }
+    // No further submissions are possible; let drained shards exit.
+    ctx.acceptor_done.store(true, Ordering::SeqCst);
+    for shard in &ctx.shards {
+        shard.wake();
+    }
+}
+
+pub(crate) fn initiate_shutdown(ctx: &Ctx) {
     ctx.shutdown.store(true, Ordering::SeqCst);
     // Unblock the acceptor: it only observes the flag after `accept`
     // returns, so poke it with a throwaway connection.
     let _ = TcpStream::connect(ctx.addr);
+    for shard in &ctx.shards {
+        shard.wake();
+    }
+}
+
+/// Honest `Retry-After` seconds: how long until this server can plausibly
+/// take the refused work. Backlog drain time (queue depth × p50 latency ÷
+/// workers) or the breaker's remaining cooldown, whichever is longer,
+/// clamped to [1, 60] so a cold histogram still answers something sane.
+pub(crate) fn retry_after_secs(ctx: &Ctx) -> u64 {
+    let backlog = (ctx.jobs.len() + 1) as f64;
+    let p50_ms = ctx.metrics.simulate_latency.quantile_ms(0.50).max(1.0);
+    let drain = (backlog * p50_ms / 1_000.0 / ctx.workers as f64).ceil() as u64;
+    let cooldown = ctx
+        .breaker
+        .cooldown_remaining()
+        .map_or(0, |d| d.as_secs_f64().ceil() as u64);
+    drain.max(cooldown).clamp(1, 60)
 }
 
 #[derive(serde::Serialize)]
@@ -252,97 +399,47 @@ struct ErrorBody {
     field: String,
 }
 
-fn error_json(e: &SimError) -> Arc<String> {
+pub(crate) fn error_json(e: &SimError) -> Arc<String> {
     let body = ErrorBody { error: e.to_string(), field: e.field().to_string() };
     Arc::new(serde_json::to_string(&body).expect("error serialization is infallible"))
 }
 
-fn handle_conn(stream: &mut TcpStream, ctx: &Ctx) {
-    ctx.metrics.requests_total.fetch_add(1, Ordering::Relaxed);
-    let req = match read_request(stream, ctx.header_budget) {
-        Ok(req) => req,
-        Err(ParseError::Io(_)) => return, // client hung up; nothing to answer
-        Err(e @ ParseError::Bad(_)) => {
-            ctx.metrics.http_400.fetch_add(1, Ordering::Relaxed);
-            let body = format!("{{\"error\":{:?},\"field\":\"body\"}}", e.to_string());
-            let _ = write_response(stream, 400, &[], &body);
-            return;
-        }
-        Err(ParseError::TooLarge) => {
-            ctx.metrics.http_400.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(
-                stream,
-                413,
-                &[],
-                "{\"error\":\"request body too large\",\"field\":\"body\"}",
-            );
-            return;
-        }
-        Err(e @ ParseError::HeadersTooLarge(_)) => {
-            ctx.metrics.http_431.fetch_add(1, Ordering::Relaxed);
-            let body = format!("{{\"error\":{:?},\"field\":\"\"}}", e.to_string());
-            let _ = write_response(stream, 431, &[], &body);
-            return;
-        }
-        Err(ParseError::Timeout) => {
-            // A trickling or stalled client: answer 408 if it is still
-            // listening and close either way — the worker moves on.
-            ctx.metrics.http_408.fetch_add(1, Ordering::Relaxed);
-            let _ = write_response(
-                stream,
-                408,
-                &[],
-                "{\"error\":\"timed out waiting for the request\",\"field\":\"\"}",
-            );
-            return;
-        }
-    };
-
-    match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/simulate") => simulate(stream, ctx, &req),
-        ("GET", "/metrics") => {
-            let body = ctx.metrics.render(
-                ctx.queue.len(),
-                ctx.cache.len(),
-                ctx.breaker.state().name(),
-                ctx.breaker.trips(),
-            );
-            let _ = write_response(stream, 200, &[], &body);
-        }
-        ("GET", "/healthz") => {
-            let _ = write_response(stream, 200, &[], "{\"status\":\"ok\"}");
-        }
-        ("GET", "/readyz") => {
-            let breaker = ctx.breaker.state();
-            let shutting_down = ctx.shutdown.load(Ordering::SeqCst);
-            let queue_depth = ctx.queue.len();
-            let queue_capacity = ctx.queue.capacity();
-            // Ready = this instance should receive new traffic. A half-open
-            // breaker counts as ready: the tier is probing its way back.
-            let ready =
-                !shutting_down && breaker != BreakerState::Open && queue_depth < queue_capacity;
-            let body = format!(
-                "{{\"ready\":{ready},\"shutting_down\":{shutting_down},\
-                 \"breaker\":\"{}\",\"queue_depth\":{queue_depth},\
-                 \"queue_capacity\":{queue_capacity}}}",
-                breaker.name()
-            );
-            let _ = write_response(stream, if ready { 200 } else { 503 }, &[], &body);
-        }
-        ("POST", "/admin/shutdown") => {
-            let _ = write_response(stream, 200, &[], "{\"status\":\"shutting down\"}");
-            initiate_shutdown(ctx);
-        }
-        (_, "/simulate" | "/metrics" | "/healthz" | "/readyz" | "/admin/shutdown") => {
-            let _ = write_response(
-                stream,
-                405,
-                &[],
-                "{\"error\":\"method not allowed\",\"field\":\"\"}",
-            );
-        }
-        _ => {
-            let _ = write_response(stream, 404, &[], "{\"error\":\"no such endpoint\",\"field\":\"\"}");
+/// The compute pool: pops jobs, runs the simulation tier, posts the
+/// finished bytes back to the owning shard.
+fn worker_loop(ctx: &Arc<Ctx>) {
+    while let Some(job) = ctx.jobs.pop() {
+        match job {
+            Job::Simulate { conn_id, shard, body, deadline_ms, started } => {
+                let (status, body, disposition, degraded) =
+                    simulate_outcome(ctx, &body, deadline_ms);
+                match status {
+                    400 => drop(ctx.metrics.http_400.fetch_add(1, Ordering::Relaxed)),
+                    500 => drop(ctx.metrics.http_500.fetch_add(1, Ordering::Relaxed)),
+                    503 => drop(ctx.metrics.http_503.fetch_add(1, Ordering::Relaxed)),
+                    504 => drop(ctx.metrics.http_504.fetch_add(1, Ordering::Relaxed)),
+                    _ => {}
+                }
+                let mut headers = vec![("x-cache", disposition)];
+                if let Some(reason) = degraded {
+                    headers.push(("x-degraded", reason));
+                }
+                let ra;
+                if status == 503 {
+                    ra = retry_after_secs(ctx).to_string();
+                    headers.push(("retry-after", &ra));
+                }
+                let bytes = http::response_bytes(status, &headers, &body);
+                ctx.metrics.simulate_latency.record(started.elapsed());
+                ctx.shards[shard].post(Completion::Simulate { conn_id, bytes });
+            }
+            Job::SweepPoint { conn_id, shard, index, params, request } => {
+                let outcome = answer(ctx, &request);
+                let (line, ok) = sweep::point_line(index, &params, &outcome);
+                if !ok {
+                    ctx.metrics.sweep_point_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                ctx.shards[shard].post(Completion::SweepPoint { conn_id, index, line, ok });
+            }
         }
     }
 }
@@ -350,28 +447,6 @@ fn handle_conn(stream: &mut TcpStream, ctx: &Ctx) {
 /// One `/simulate` verdict: status, body, `x-cache` disposition, and the
 /// `x-degraded` reason when the analytic model stood in for the DES.
 type Outcome = (u16, Arc<String>, &'static str, Option<&'static str>);
-
-fn simulate(stream: &mut TcpStream, ctx: &Ctx, req: &http::Request) {
-    ctx.metrics.simulate_requests.fetch_add(1, Ordering::Relaxed);
-    let started = Instant::now();
-    let (status, body, disposition, degraded) = simulate_outcome(ctx, &req.body, req.deadline_ms);
-    match status {
-        400 => drop(ctx.metrics.http_400.fetch_add(1, Ordering::Relaxed)),
-        500 => drop(ctx.metrics.http_500.fetch_add(1, Ordering::Relaxed)),
-        503 => drop(ctx.metrics.http_503.fetch_add(1, Ordering::Relaxed)),
-        504 => drop(ctx.metrics.http_504.fetch_add(1, Ordering::Relaxed)),
-        _ => {}
-    }
-    let mut headers = vec![("x-cache", disposition)];
-    if let Some(reason) = degraded {
-        headers.push(("x-degraded", reason));
-    }
-    if status == 503 {
-        headers.push(("retry-after", "1"));
-    }
-    let _ = write_response(stream, status, &headers, &body);
-    ctx.metrics.simulate_latency.record(started.elapsed());
-}
 
 fn simulate_outcome(ctx: &Ctx, text: &str, header_deadline_ms: Option<u64>) -> Outcome {
     let mut req = match SimRequest::from_json_str(text) {
@@ -383,6 +458,15 @@ fn simulate_outcome(ctx: &Ctx, text: &str, header_deadline_ms: Option<u64>) -> O
     if req.deadline_ms.is_none() {
         req.deadline_ms = header_deadline_ms;
     }
+    answer(ctx, &req)
+}
+
+/// Answer one fully-formed request: verified cache, then the deadline'd or
+/// coalesced simulation path. Shared verbatim by `/simulate` bodies and
+/// every expanded sweep point, which is what makes a sweep point
+/// byte-identical to the individual ask.
+pub(crate) fn answer(ctx: &Ctx, req: &SimRequest) -> Outcome {
+    let mut req = req.clone();
     // Service-level parallel-DES default: like the deadline, a QoS knob,
     // excluded from the canonical hash — injecting it here cannot split the
     // cache, and every downstream path (deadline'd, breaker-gated,
@@ -394,18 +478,27 @@ fn simulate_outcome(ctx: &Ctx, text: &str, header_deadline_ms: Option<u64>) -> O
             }
         }
     }
-    let key = req.canonical_hash();
+    let canonical = req.canonical_json();
+    let key = canonical_hash_of(&canonical);
 
     // The key excludes the deadline, so a timed asker shares the cache
-    // entry of the untimed question — the fastest possible answer.
-    if let Some(body) = ctx.cache.get(key) {
-        ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-        return (200, body, "hit", None);
+    // entry of the untimed question — the fastest possible answer. The
+    // stored canonical bytes are verified on every hit; a 64-bit collision
+    // is counted and recomputed, never served cross-keyed.
+    match ctx.cache.get(key, &canonical) {
+        Lookup::Hit(body) => {
+            ctx.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return (200, body, "hit", None);
+        }
+        Lookup::Collision => {
+            ctx.metrics.cache_collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        Lookup::Miss => {}
     }
     ctx.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
 
     if req.deadline_ms.is_some() {
-        return simulate_deadlined(ctx, &req, key);
+        return simulate_deadlined(ctx, &req, key, &canonical);
     }
 
     match ctx.coalescer.begin(key) {
@@ -436,7 +529,7 @@ fn simulate_outcome(ctx: &Ctx, text: &str, header_deadline_ms: Option<u64>) -> O
                 ),
             };
             if status == 200 {
-                ctx.cache.insert(key, Arc::clone(&body));
+                ctx.cache.insert(key, &canonical, Arc::clone(&body));
             }
             ctx.coalescer.complete(key, (status, Arc::clone(&body)));
             (status, body, "miss", None)
@@ -446,14 +539,14 @@ fn simulate_outcome(ctx: &Ctx, text: &str, header_deadline_ms: Option<u64>) -> O
 
 /// The deadline'd request path: no coalescing, DES work gated by the
 /// breaker and degradation pre-checks.
-fn simulate_deadlined(ctx: &Ctx, req: &SimRequest, key: u64) -> Outcome {
+fn simulate_deadlined(ctx: &Ctx, req: &SimRequest, key: u64, canonical: &str) -> Outcome {
     let deadline_ms = req.deadline_ms.expect("caller checked deadline_ms");
 
     // Analytic answers are closed-form — microseconds. No deadline is too
     // tight for them and the breaker (which guards the DES tier) does not
     // apply.
     if matches!(req.sim, SimMode::Analytic) {
-        return run_uncoalesced(ctx, req, key);
+        return run_uncoalesced(ctx, req, key, canonical);
     }
 
     // A faulted request cannot degrade: the analytic model has no fault
@@ -466,7 +559,7 @@ fn simulate_deadlined(ctx: &Ctx, req: &SimRequest, key: u64) -> Outcome {
     if deadline_ms < ctx.min_des_deadline_ms {
         return degrade_or_refuse(ctx, req, "deadline_too_tight", degradable);
     }
-    if ctx.queue.len() >= ctx.degrade_queue_depth {
+    if ctx.jobs.len() >= ctx.degrade_queue_depth {
         return degrade_or_refuse(ctx, req, "queue_deep", degradable);
     }
     let probe = match ctx.breaker.try_acquire() {
@@ -483,7 +576,7 @@ fn simulate_deadlined(ctx: &Ctx, req: &SimRequest, key: u64) -> Outcome {
             );
             // A timed run that finished in budget IS the untimed answer:
             // safe to cache under the deadline-free canonical key.
-            ctx.cache.insert(key, Arc::clone(&body));
+            ctx.cache.insert(key, canonical, Arc::clone(&body));
             (200, body, "miss", None)
         }
         Ok(Err(e @ SimError::DeadlineExceeded { .. })) => {
@@ -516,14 +609,14 @@ fn simulate_deadlined(ctx: &Ctx, req: &SimRequest, key: u64) -> Outcome {
 }
 
 /// Run a request directly (no coalescing, no breaker), caching a 200.
-fn run_uncoalesced(ctx: &Ctx, req: &SimRequest, key: u64) -> Outcome {
+fn run_uncoalesced(ctx: &Ctx, req: &SimRequest, key: u64, canonical: &str) -> Outcome {
     let outcome = catch_unwind(AssertUnwindSafe(|| req.run()));
     match outcome {
         Ok(Ok(resp)) => {
             let body = Arc::new(
                 serde_json::to_string(&resp).expect("response serialization is infallible"),
             );
-            ctx.cache.insert(key, Arc::clone(&body));
+            ctx.cache.insert(key, canonical, Arc::clone(&body));
             (200, body, "miss", None)
         }
         Ok(Err(e)) => {

@@ -15,7 +15,9 @@ const USAGE: &str = "usage: trainbox-serve [--port N] [--addr HOST:PORT] \
 [--workers N] [--queue-depth N] [--cache-capacity N] \
 [--read-timeout-ms N] [--write-timeout-ms N] \
 [--breaker-threshold N] [--breaker-cooldown-ms N] \
-[--degrade-queue-depth N] [--min-des-deadline-ms N] [--des-workers N]";
+[--degrade-queue-depth N] [--min-des-deadline-ms N] [--des-workers N] \
+[--loops N] [--max-connections N] [--sweep-max-points N] \
+[--max-active-sweeps N]";
 
 fn parse_args() -> Result<ServeConfig, String> {
     let mut cfg = ServeConfig::default();
@@ -87,6 +89,28 @@ fn parse_args() -> Result<ServeConfig, String> {
                 cfg.des_workers = value("--des-workers")?
                     .parse()
                     .map_err(|e| format!("bad --des-workers: {e}"))?;
+            }
+            // 0 = auto-size from available parallelism. Event loops are
+            // cheap (they only shuffle bytes); a couple is plenty.
+            "--loops" => {
+                cfg.loops = value("--loops")?
+                    .parse()
+                    .map_err(|e| format!("bad --loops: {e}"))?;
+            }
+            "--max-connections" => {
+                cfg.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-connections: {e}"))?;
+            }
+            "--sweep-max-points" => {
+                cfg.sweep_max_points = value("--sweep-max-points")?
+                    .parse()
+                    .map_err(|e| format!("bad --sweep-max-points: {e}"))?;
+            }
+            "--max-active-sweeps" => {
+                cfg.max_active_sweeps = value("--max-active-sweeps")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-active-sweeps: {e}"))?;
             }
             "--help" | "-h" => {
                 println!("{USAGE}");

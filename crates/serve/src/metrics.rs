@@ -58,7 +58,17 @@ pub struct Metrics {
     pub simulate_requests: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
+    /// Verified-hit failures: the 64-bit canonical hash matched an entry
+    /// whose stored canonical bytes differ — a real FNV-1a collision,
+    /// served as a miss instead of the wrong answer.
+    pub cache_collisions: AtomicU64,
     pub coalesced_waits: AtomicU64,
+    /// `POST /sweep` requests accepted (grid expanded and streamed).
+    pub sweep_requests: AtomicU64,
+    /// Grid points dispatched across all sweeps.
+    pub sweep_points_total: AtomicU64,
+    /// Grid points that answered with an error line (the stream survives).
+    pub sweep_point_errors: AtomicU64,
     pub shed_total: AtomicU64,
     pub http_400: AtomicU64,
     pub http_500: AtomicU64,
@@ -72,6 +82,9 @@ pub struct Metrics {
     /// DES runs cancelled at their deadline with no degraded fallback
     /// (HTTP 504).
     pub http_504: AtomicU64,
+    /// Requests using HTTP the service deliberately does not speak —
+    /// today, `Transfer-Encoding: chunked` bodies (HTTP 501).
+    pub http_501: AtomicU64,
     /// DES runs cancelled by their wall-clock deadline (whether or not a
     /// degraded answer followed).
     pub deadline_timeouts: AtomicU64,
@@ -85,15 +98,16 @@ impl Metrics {
         Self::default()
     }
 
-    /// Render the `/metrics` JSON document. Queue depth, cache size, and
-    /// breaker readings are gauges owned elsewhere, so the caller passes
-    /// current values.
+    /// Render the `/metrics` JSON document. Queue depth, cache size,
+    /// connection count, and breaker readings are gauges owned elsewhere,
+    /// so the caller passes current values.
     pub fn render(
         &self,
         queue_depth: usize,
         cache_entries: usize,
         breaker_state: &str,
         breaker_trips: u64,
+        active_connections: usize,
     ) -> String {
         let get = |a: &AtomicU64| a.load(Ordering::Relaxed);
         let hits = get(&self.cache_hits);
@@ -104,10 +118,13 @@ impl Metrics {
             concat!(
                 "{{\"requests_total\":{},\"simulate_requests\":{},",
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_hit_rate\":{},",
+                "\"cache_collisions\":{},",
                 "\"cache_entries\":{},\"coalesced_waits\":{},",
-                "\"queue_depth\":{},\"shed_total\":{},",
+                "\"sweep_requests\":{},\"sweep_points_total\":{},",
+                "\"sweep_point_errors\":{},",
+                "\"queue_depth\":{},\"shed_total\":{},\"active_connections\":{},",
                 "\"http_400\":{},\"http_500\":{},\"http_408\":{},\"http_431\":{},",
-                "\"http_503\":{},\"http_504\":{},",
+                "\"http_501\":{},\"http_503\":{},\"http_504\":{},",
                 "\"deadline_timeouts\":{},\"degraded_total\":{},",
                 "\"breaker_state\":\"{}\",\"breaker_trips\":{},",
                 "\"simulate_latency_ms\":{{\"count\":{},\"p50\":{},\"p99\":{}}}}}"
@@ -117,14 +134,20 @@ impl Metrics {
             hits,
             misses,
             hit_rate,
+            get(&self.cache_collisions),
             cache_entries,
             get(&self.coalesced_waits),
+            get(&self.sweep_requests),
+            get(&self.sweep_points_total),
+            get(&self.sweep_point_errors),
             queue_depth,
             get(&self.shed_total),
+            active_connections,
             get(&self.http_400),
             get(&self.http_500),
             get(&self.http_408),
             get(&self.http_431),
+            get(&self.http_501),
             get(&self.http_503),
             get(&self.http_504),
             get(&self.deadline_timeouts),
@@ -171,8 +194,13 @@ mod tests {
         m.cache_misses.fetch_add(1, Ordering::Relaxed);
         m.deadline_timeouts.fetch_add(2, Ordering::Relaxed);
         m.degraded_total.fetch_add(1, Ordering::Relaxed);
-        let doc = m.render(2, 5, "closed", 7);
+        m.cache_collisions.fetch_add(1, Ordering::Relaxed);
+        m.sweep_points_total.fetch_add(9, Ordering::Relaxed);
+        let doc = m.render(2, 5, "closed", 7, 3);
         assert!(doc.contains("\"cache_hit_rate\":0.75"));
+        assert!(doc.contains("\"cache_collisions\":1"));
+        assert!(doc.contains("\"sweep_points_total\":9"));
+        assert!(doc.contains("\"active_connections\":3"));
         assert!(doc.contains("\"queue_depth\":2"));
         assert!(doc.contains("\"cache_entries\":5"));
         assert!(doc.contains("\"deadline_timeouts\":2"));

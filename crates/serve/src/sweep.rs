@@ -1,0 +1,201 @@
+//! `/sweep` streaming state: grid expansion, windowed dispatch, in-order
+//! NDJSON emission.
+//!
+//! A sweep is one HTTP request that fans a parameter grid across the
+//! compute pool and streams one NDJSON line per point as chunked transfer
+//! encoding. The shard owns a [`SweepState`] per streaming connection:
+//!
+//! * **Windowed dispatch** — at most `window` points of one sweep sit in
+//!   the job queue at a time, so a 4096-point sweep cannot monopolize the
+//!   bounded queue and starve `/simulate` traffic.
+//! * **In-order emission** — workers finish points out of order; lines are
+//!   buffered by index and released in grid order so the stream is
+//!   deterministic and clients can line up points against the grid without
+//!   bookkeeping.
+//! * **Failure isolation** — a point that fails (bad config for that
+//!   combination, deadline, engine error) becomes a `"status":"error"`
+//!   line; the stream continues and the trailing summary line counts it.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::Ordering;
+
+use trainbox_core::request::SweepRequest;
+
+use crate::http;
+use crate::{error_json, Ctx, Job, Outcome};
+
+/// Per-connection streaming state for one active sweep.
+pub(crate) struct SweepState {
+    /// Total points in the expanded grid.
+    total: usize,
+    /// Points not yet handed to the compute pool, in grid order.
+    pending: VecDeque<PendingPoint>,
+    /// Points currently in the job queue or running on a worker.
+    in_flight: usize,
+    /// Next grid index the stream owes the client.
+    next_emit: usize,
+    /// Finished lines waiting for their turn (completion order is not
+    /// grid order).
+    buffered: BTreeMap<usize, String>,
+    ok: usize,
+    errors: usize,
+    /// Max points of this sweep in the job queue at once.
+    window: usize,
+    /// Done line and last-chunk emitted; connection closes once drained.
+    pub(crate) finished: bool,
+}
+
+struct PendingPoint {
+    index: usize,
+    params: String,
+    request: Box<trainbox_core::request::SimRequest>,
+}
+
+impl SweepState {
+    /// True when no progress can arrive without a retry: points remain but
+    /// none are in flight (the job queue was full at dispatch time).
+    pub(crate) fn starved(&self) -> bool {
+        self.in_flight == 0 && !self.pending.is_empty()
+    }
+}
+
+/// Parse and validate a sweep body; admit it against the concurrent-sweep
+/// cap. On success the caller owes the stream a `200` chunked head and a
+/// dispatch pass. On failure returns `(status, body)` for a plain response.
+pub(crate) fn begin(ctx: &Ctx, body: &str) -> Result<SweepState, (u16, String)> {
+    let req = match SweepRequest::from_json_str(body) {
+        Ok(req) => req,
+        Err(e) => return Err((400, error_json(&e).as_str().to_owned())),
+    };
+    let n_points = req.n_points();
+    if n_points > ctx.sweep_max_points {
+        return Err((
+            400,
+            format!(
+                "{{\"error\":\"sweep grid has {} points, over the limit of {}\",\
+                 \"field\":\"grid\"}}",
+                n_points, ctx.sweep_max_points
+            ),
+        ));
+    }
+    // Sweeps hold a connection and stream for a long time; cap how many run
+    // at once so a burst of grids cannot crowd out interactive traffic.
+    let prev = ctx.active_sweeps.fetch_add(1, Ordering::SeqCst);
+    if prev >= ctx.max_active_sweeps {
+        ctx.active_sweeps.fetch_sub(1, Ordering::SeqCst);
+        return Err((429, "{\"error\":\"too many active sweeps, retry later\",\"field\":\"\"}".into()));
+    }
+    ctx.metrics.sweep_requests.fetch_add(1, Ordering::Relaxed);
+    let points = req.expand();
+    let total = points.len();
+    let pending = points
+        .into_iter()
+        .map(|p| PendingPoint {
+            index: p.index,
+            params: p.params,
+            request: Box::new(p.request),
+        })
+        .collect();
+    Ok(SweepState {
+        total,
+        pending,
+        in_flight: 0,
+        next_emit: 0,
+        buffered: BTreeMap::new(),
+        ok: 0,
+        errors: 0,
+        window: (ctx.workers * 2).clamp(1, 32),
+        finished: false,
+    })
+}
+
+/// Feed the compute pool up to the window. Called after every completion
+/// and on the shard's starvation-retry tick; a full job queue just leaves
+/// the remainder pending for next time.
+pub(crate) fn dispatch(ctx: &Ctx, shard_idx: usize, conn_id: u64, st: &mut SweepState) {
+    while st.in_flight < st.window {
+        let Some(point) = st.pending.pop_front() else { break };
+        let job = Job::SweepPoint {
+            conn_id,
+            shard: shard_idx,
+            index: point.index,
+            params: point.params,
+            request: point.request,
+        };
+        match ctx.jobs.push(job) {
+            Ok(()) => {
+                st.in_flight += 1;
+                ctx.metrics.sweep_points_total.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(job) => {
+                // Queue full: put the point back and wait for a slot.
+                let Job::SweepPoint { index, params, request, .. } = job else {
+                    unreachable!("push returns the job it was given");
+                };
+                st.pending.push_front(PendingPoint { index, params, request });
+                break;
+            }
+        }
+    }
+}
+
+/// Absorb one finished point and return the chunk bytes now due on the
+/// wire: zero or more in-order point lines, plus the summary line and
+/// terminating chunk when the grid is complete.
+pub(crate) fn on_point(
+    ctx: &Ctx,
+    st: &mut SweepState,
+    index: usize,
+    line: &str,
+    ok: bool,
+) -> Vec<u8> {
+    st.in_flight = st.in_flight.saturating_sub(1);
+    if ok {
+        st.ok += 1;
+    } else {
+        st.errors += 1;
+    }
+    st.buffered.insert(index, line.to_owned());
+
+    let mut out = Vec::new();
+    while let Some(line) = st.buffered.remove(&st.next_emit) {
+        out.extend_from_slice(&http::chunk_bytes(&line));
+        st.next_emit += 1;
+    }
+    if st.next_emit == st.total && st.pending.is_empty() && st.in_flight == 0 {
+        let done = format!(
+            "{{\"done\":true,\"points\":{},\"ok\":{},\"errors\":{}}}",
+            st.total, st.ok, st.errors
+        );
+        out.extend_from_slice(&http::chunk_bytes(&done));
+        out.extend_from_slice(http::LAST_CHUNK);
+        st.finished = true;
+        ctx.active_sweeps.fetch_sub(1, Ordering::SeqCst);
+    }
+    out
+}
+
+/// Render one point's NDJSON line from its simulate outcome. The happy
+/// path embeds the cached/computed response JSON **verbatim** as the
+/// `response` field, so a sweep point is byte-identical to the body an
+/// individual `POST /simulate` of the same request would return.
+pub(crate) fn point_line(index: usize, params: &str, outcome: &Outcome) -> (String, bool) {
+    let (status, body, cache, _) = outcome;
+    if *status == 200 {
+        (
+            format!(
+                "{{\"point\":{index},\"params\":{params},\"status\":\"ok\",\
+                 \"cache\":\"{cache}\",\"response\":{body}}}"
+            ),
+            true,
+        )
+    } else {
+        (
+            format!(
+                "{{\"point\":{index},\"params\":{params},\"status\":\"error\",\
+                 \"http_status\":{status},\"error\":{body}}}"
+            ),
+            false,
+        )
+    }
+}

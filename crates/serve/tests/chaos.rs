@@ -33,6 +33,7 @@ fn chaos_config() -> ServeConfig {
         degrade_queue_depth: 12,
         min_des_deadline_ms: 10,
         des_workers: 2,
+        ..ServeConfig::default()
     }
 }
 
