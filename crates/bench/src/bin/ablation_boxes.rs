@@ -38,7 +38,7 @@ fn main() {
                     format!("SHORT {:.0}%", 100.0 * with_pool / demand)
                 };
                 print!(" {tag:>14}");
-                dump.push((w.name, k, local, with_pool, demand));
+                dump.push((w.name.clone(), k, local, with_pool, demand));
             }
             println!();
         }

@@ -45,7 +45,7 @@ fn main() {
                     format!("SHORT ({:.0}%)", 100.0 * cap / deficit)
                 };
                 print!(" {cell:>16}");
-                dump.push((w.name, name, deficit, cap));
+                dump.push((w.name.clone(), name, deficit, cap));
             }
             println!();
         }

@@ -9,7 +9,7 @@ use trainbox_nn::Workload;
 fn main() {
     // Sequential body: runs too quickly to benefit from the sweep-runner.
     figure_main("Figure 8", "Baseline throughput scalability (normalized to n=1)", |_jobs| {
-        let mut table: BTreeMap<&str, Vec<(usize, f64)>> = BTreeMap::new();
+        let mut table: BTreeMap<String, Vec<(usize, f64)>> = BTreeMap::new();
         print!("{:<14}", "workload");
         for n in ACCEL_SWEEP {
             print!(" {n:>8}");
@@ -27,7 +27,7 @@ fn main() {
             }
             println!();
             max_sat = max_sat.max(series.last().unwrap().1);
-            table.insert(w.name, series);
+            table.insert(w.name.clone(), series);
         }
         compare(
             "best saturation point across models (paper: ~18 accelerators)",

@@ -33,7 +33,7 @@ fn main() {
                     100.0 * d.prep_share()
                 );
                 shares.push(d.prep_share());
-                rows.push((w.name, d));
+                rows.push((w.name.clone(), d));
             }
             let mean = shares.iter().sum::<f64>() / shares.len() as f64;
             compare("mean data-preparation share, % (paper: 98.1)", 98.1, 100.0 * mean);

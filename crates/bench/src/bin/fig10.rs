@@ -30,7 +30,7 @@ fn main() {
                         let norm = RequiredResources::baseline(&w, n).normalized();
                         let v = [norm.0, norm.1, norm.2][pick];
                         print!(" {v:>8.1}");
-                        dump.push((panel, w.name, n, v));
+                        dump.push((panel, w.name.clone(), n, v));
                     }
                     println!();
                 }

@@ -25,7 +25,7 @@ fn main() {
                 for k in kinds {
                     let v = throughput_of(k, 256, &w).samples_per_sec / base;
                     print!(" {v:>15.1}x");
-                    dump.push((w.name, k.label(), v));
+                    dump.push((w.name.clone(), k.label(), v));
                     if k == ServerKind::TrainBox {
                         speedups.push(v);
                     }

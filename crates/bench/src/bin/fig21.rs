@@ -57,7 +57,7 @@ fn main() {
                     for (di, d) in designs.into_iter().enumerate() {
                         let v = series[di][ni];
                         print!(" {v:>22.1}");
-                        dump.push((w.name, d.label(), n, v));
+                        dump.push((w.name.clone(), d.label(), n, v));
                     }
                     println!();
                 }

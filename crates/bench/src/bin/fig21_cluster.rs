@@ -55,7 +55,7 @@ fn main() {
                         t.cross_sync_secs * 1e3,
                     );
                     dump.push((
-                        w.name,
+                        w.name.clone(),
                         "analytic",
                         n,
                         t.samples_per_sec,
@@ -103,7 +103,7 @@ fn main() {
                     r.samples_per_sec, speedup, r.events
                 );
                 dump.push((
-                    "Inception-v4 (DES, 8-accel servers)",
+                    "Inception-v4 (DES, 8-accel servers)".to_string(),
                     "des",
                     n,
                     r.samples_per_sec,

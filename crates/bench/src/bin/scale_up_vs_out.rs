@@ -23,7 +23,7 @@ fn main() {
             for n in node_counts {
                 let s = ScaleOutCluster::dgx2_style(n).speedup_over_one_node(&w);
                 print!(" {s:>8.1}");
-                dump.push((w.name, n, s));
+                dump.push((w.name.clone(), n, s));
                 if n == 96 {
                     s96 = s;
                 }

@@ -20,9 +20,11 @@ pub mod hierarchical;
 pub mod model;
 pub mod reform;
 pub mod ring;
+pub mod sync;
 
 pub use halving::halving_doubling_all_reduce;
 pub use hierarchical::{HierarchicalModel, Tier};
 pub use model::RingModel;
 pub use reform::{reformed_ring_all_reduce, surviving_ring};
 pub use ring::{ring_all_reduce, tree_all_reduce};
+pub use sync::{AllToAllModel, PsModel, SyncModel};

@@ -1,0 +1,294 @@
+//! Synchronization-pattern latency models beyond the ring: sharded
+//! parameter servers and pairwise all-to-all exchange, plus the
+//! [`SyncModel`] dispatcher the server simulator drives.
+//!
+//! The ring all-reduce ([`crate::model::RingModel`]) stays the paper's
+//! pattern; these models give the workload DSL its `ParameterServer` and
+//! `AllToAll` alternatives on the same accelerator fabric (same per-link
+//! bandwidth and hop latency), so a sync-pattern comparison isolates the
+//! *algorithm*, not the wires:
+//!
+//! * **Parameter server** (Parameter-Box-style): gradients shard across
+//!   `s` server endpoints; every worker pushes its full `M` bytes (each
+//!   shard absorbing an `n·M/s`-byte incast) and pulls fresh weights back.
+//!   Latency `2·n·M/(s·B) + 2 hops` — *grows linearly in `n`* instead of
+//!   saturating, which is exactly why the paper's ring wins at scale.
+//! * **All-to-all**: each of `n` peers exchanges an `M/n` slice with every
+//!   other peer (embedding-style synchronization). Per-link traffic is
+//!   `(n-1)·M/n` — like the ring's reduce-scatter half without the
+//!   all-gather, so it saturates near **1×** the 2-node full-exchange
+//!   latency rather than the ring's 2×.
+//!
+//! All three models take the *survivor count* as `n`, so fault-plan ring
+//! re-formation generalizes: after a dropout the pattern re-forms over the
+//! survivors (a parameter server also loses any shards hosted on the
+//! failed endpoints — `s` is capped at the survivor count).
+
+use serde::{Deserialize, Serialize};
+use trainbox_sim::SimTime;
+
+use crate::model::RingModel;
+
+/// Sharded parameter-server synchronization latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PsModel {
+    /// Per-direction link bandwidth toward a shard, bytes/s.
+    pub link_bytes_per_sec: f64,
+    /// Per-hop propagation + switch latency, seconds.
+    pub hop_latency_secs: f64,
+    /// Parameter shards (server endpoints). Capped at the worker count at
+    /// evaluation time: a 2-worker job cannot spread over 16 shards.
+    pub shards: usize,
+}
+
+impl PsModel {
+    /// The default shard count used when a workload declares
+    /// `ParameterServer` without elaboration.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// A parameter-server model on the same fabric as `ring`.
+    pub fn on_fabric(ring: &RingModel, shards: usize) -> Self {
+        PsModel {
+            link_bytes_per_sec: ring.link_bytes_per_sec,
+            hop_latency_secs: ring.hop_latency_secs,
+            shards: shards.max(1),
+        }
+    }
+
+    /// Push+pull latency for `model_bytes` of gradients across `n`
+    /// workers. Zero for `n <= 1` (a lone worker updates in place).
+    pub fn sync_secs(&self, model_bytes: u64, n: usize) -> f64 {
+        assert!(self.link_bytes_per_sec > 0.0, "bandwidth must be positive");
+        if n <= 1 {
+            return 0.0;
+        }
+        let shards = self.shards.min(n).max(1) as f64;
+        // Each shard's link carries n workers' slices (M/s bytes each) in
+        // the push incast, then the same volume back out on the pull.
+        let per_phase =
+            (n as f64) * (model_bytes as f64 / shards) / self.link_bytes_per_sec
+                + self.hop_latency_secs;
+        2.0 * per_phase
+    }
+
+    /// Phase boundaries (push complete, pull complete) as offsets from the
+    /// start of the exchange. Empty for `n <= 1`.
+    pub fn steps(&self, model_bytes: u64, n: usize) -> Vec<f64> {
+        if n <= 1 {
+            return Vec::new();
+        }
+        let total = self.sync_secs(model_bytes, n);
+        vec![total / 2.0, total]
+    }
+}
+
+/// Pairwise all-to-all exchange latency.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AllToAllModel {
+    /// Per-direction link bandwidth, bytes/s.
+    pub link_bytes_per_sec: f64,
+    /// Per-hop propagation + switch latency, seconds.
+    pub hop_latency_secs: f64,
+}
+
+impl AllToAllModel {
+    /// An all-to-all model on the same fabric as `ring`.
+    pub fn on_fabric(ring: &RingModel) -> Self {
+        AllToAllModel {
+            link_bytes_per_sec: ring.link_bytes_per_sec,
+            hop_latency_secs: ring.hop_latency_secs,
+        }
+    }
+
+    /// Full-exchange latency for `model_bytes` across `n` peers: `n-1`
+    /// rounds, each moving an `M/n`-byte slice over every link plus one
+    /// hop. Zero for `n <= 1`.
+    pub fn sync_secs(&self, model_bytes: u64, n: usize) -> f64 {
+        assert!(self.link_bytes_per_sec > 0.0, "bandwidth must be positive");
+        if n <= 1 {
+            return 0.0;
+        }
+        let nf = n as f64;
+        let rounds = nf - 1.0;
+        rounds * ((model_bytes as f64 / nf) / self.link_bytes_per_sec + self.hop_latency_secs)
+    }
+
+    /// Per-round boundaries (uniform partition of the total). Empty for
+    /// `n <= 1`.
+    pub fn steps(&self, model_bytes: u64, n: usize) -> Vec<f64> {
+        if n <= 1 {
+            return Vec::new();
+        }
+        let total = self.sync_secs(model_bytes, n);
+        let rounds = n - 1;
+        let per = total / rounds as f64;
+        (1..=rounds).map(|i| per * i as f64).collect()
+    }
+}
+
+/// The synchronization model a server drives for one workload: the
+/// declared pattern bound to the server's fabric.
+///
+/// The `Ring` arm **delegates verbatim** to [`RingModel`] — same calls,
+/// same floating-point expressions — so a legacy ring workload's DES and
+/// analytic results are bit-identical to the pre-DSL code path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyncModel {
+    /// The paper's chunked ring all-reduce.
+    Ring(RingModel),
+    /// Sharded parameter servers (push + pull).
+    Ps(PsModel),
+    /// Pairwise all-to-all exchange.
+    AllToAll(AllToAllModel),
+}
+
+impl SyncModel {
+    /// Synchronization latency in seconds across `n` participants (the
+    /// survivor count under faults).
+    pub fn sync_secs(&self, model_bytes: u64, n: usize) -> f64 {
+        match self {
+            SyncModel::Ring(m) => m.allreduce_secs(model_bytes, n),
+            SyncModel::Ps(m) => m.sync_secs(model_bytes, n),
+            SyncModel::AllToAll(m) => m.sync_secs(model_bytes, n),
+        }
+    }
+
+    /// Same, as a [`SimTime`] for the simulator.
+    pub fn sync_time(&self, model_bytes: u64, n: usize) -> SimTime {
+        match self {
+            SyncModel::Ring(m) => m.allreduce_time(model_bytes, n),
+            SyncModel::Ps(m) => SimTime::from_secs_f64(m.sync_secs(model_bytes, n)),
+            SyncModel::AllToAll(m) => SimTime::from_secs_f64(m.sync_secs(model_bytes, n)),
+        }
+    }
+
+    /// Per-step boundaries for trace spans (offsets from the start of the
+    /// exchange; the last boundary is the total). The simulator's timing
+    /// uses only [`Self::sync_time`]; these feed the trace layer.
+    pub fn steps(&self, model_bytes: u64, n: usize) -> Vec<f64> {
+        match self {
+            SyncModel::Ring(m) => m.allreduce_steps(model_bytes, n),
+            SyncModel::Ps(m) => m.steps(model_bytes, n),
+            SyncModel::AllToAll(m) => m.steps(model_bytes, n),
+        }
+    }
+
+    /// Trace-span name of the whole exchange (the ring keeps its
+    /// historical `"allreduce"` label so legacy traces are unchanged).
+    pub fn span_label(&self) -> &'static str {
+        match self {
+            SyncModel::Ring(_) => "allreduce",
+            SyncModel::Ps(_) => "ps_sync",
+            SyncModel::AllToAll(_) => "a2a_sync",
+        }
+    }
+
+    /// Trace-span name of one step of the exchange.
+    pub fn step_label(&self) -> &'static str {
+        match self {
+            SyncModel::Ring(_) => "ring_step",
+            SyncModel::Ps(_) => "ps_step",
+            SyncModel::AllToAll(_) => "a2a_step",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> RingModel {
+        RingModel::nvlink_default()
+    }
+
+    const M: u64 = 97_500_000; // ResNet-50-sized gradients
+
+    #[test]
+    fn ring_arm_is_bit_identical_to_the_ring_model() {
+        let ring = fabric();
+        let sync = SyncModel::Ring(ring);
+        for n in [0usize, 1, 2, 7, 64, 256] {
+            assert_eq!(sync.sync_secs(M, n).to_bits(), ring.allreduce_secs(M, n).to_bits());
+            assert_eq!(sync.sync_time(M, n), ring.allreduce_time(M, n));
+            assert_eq!(sync.steps(M, n), ring.allreduce_steps(M, n));
+        }
+        assert_eq!(sync.span_label(), "allreduce");
+        assert_eq!(sync.step_label(), "ring_step");
+    }
+
+    #[test]
+    fn parameter_server_grows_linearly_while_the_ring_saturates() {
+        let ps = PsModel::on_fabric(&fabric(), PsModel::DEFAULT_SHARDS);
+        let ring = fabric();
+        let t64 = ps.sync_secs(M, 64);
+        let t256 = ps.sync_secs(M, 256);
+        // Linear in n once shards saturate: 4x the workers, ~4x the incast.
+        assert!((t256 / t64 - 4.0).abs() < 0.05, "ratio {}", t256 / t64);
+        // The ring saturates, so at scale PS loses badly — the Fig-2b
+        // argument for the ring, reproduced from the other side.
+        assert!(t256 > 5.0 * ring.allreduce_secs(M, 256));
+        assert_eq!(ps.sync_secs(M, 1), 0.0);
+        assert_eq!(ps.sync_secs(M, 0), 0.0);
+    }
+
+    #[test]
+    fn parameter_server_shards_cap_at_the_survivor_count() {
+        let ps = PsModel::on_fabric(&fabric(), 16);
+        // With 2 workers only 2 shards can hold parameters; the incast per
+        // shard is 2 workers × M/2 — the same as 1 worker × M.
+        let two = ps.sync_secs(M, 2);
+        let direct = 2.0 * (2.0 * (M as f64 / 2.0) / 300e9 + 100e-9);
+        assert!((two - direct).abs() < 1e-12, "{two} vs {direct}");
+        // More shards than DEFAULT never hurt small n: capped identically.
+        let wide = PsModel::on_fabric(&fabric(), 4096);
+        assert_eq!(wide.sync_secs(M, 2), two);
+    }
+
+    #[test]
+    fn all_to_all_saturates_below_the_ring() {
+        let a2a = AllToAllModel::on_fabric(&fabric());
+        let ring = fabric();
+        // Per-link traffic is (n-1)/n · M vs the ring's 2(n-1)/n · M: at
+        // scale the full exchange costs about half an all-reduce.
+        let a = a2a.sync_secs(M, 256);
+        let r = ring.allreduce_secs(M, 256);
+        assert!(a < r, "a2a {a} should undercut the ring {r}");
+        assert!(a > 0.4 * r, "but only by about half: {}", a / r);
+        assert_eq!(a2a.sync_secs(M, 1), 0.0);
+    }
+
+    #[test]
+    fn step_boundaries_partition_the_totals() {
+        for sync in [
+            SyncModel::Ps(PsModel::on_fabric(&fabric(), 8)),
+            SyncModel::AllToAll(AllToAllModel::on_fabric(&fabric())),
+        ] {
+            for n in [2usize, 5, 16] {
+                let steps = sync.steps(M, n);
+                assert!(!steps.is_empty());
+                let total = sync.sync_secs(M, n);
+                assert!((steps.last().unwrap() - total).abs() < 1e-12 * total.max(1.0));
+                for w in steps.windows(2) {
+                    assert!(w[1] > w[0]);
+                }
+            }
+            assert!(sync.steps(M, 1).is_empty());
+        }
+    }
+
+    #[test]
+    fn survivor_reformation_shrinks_every_pattern() {
+        // Dropping survivors must never *increase* sync latency for PS
+        // (smaller incast) or A2A (fewer rounds); the ring's fill term
+        // shrinks too.
+        for sync in [
+            SyncModel::Ring(fabric()),
+            SyncModel::Ps(PsModel::on_fabric(&fabric(), 16)),
+            SyncModel::AllToAll(AllToAllModel::on_fabric(&fabric())),
+        ] {
+            let full = sync.sync_secs(M, 64);
+            let degraded = sync.sync_secs(M, 48);
+            assert!(degraded <= full, "{sync:?}: {degraded} > {full}");
+        }
+    }
+}

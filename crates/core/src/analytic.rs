@@ -65,6 +65,7 @@ impl StepLatencies {
 
 /// Figure 9: step-latency decomposition of `workload` on `server`.
 pub fn latency_decomposition(server: &Server, workload: &Workload) -> StepLatencies {
+    let workload = &crate::profile::effective_workload(workload);
     let n = server.n_accels();
     let batch = server.batch_for(workload);
     let global_batch = n as f64 * batch as f64;
@@ -79,15 +80,15 @@ pub fn latency_decomposition(server: &Server, workload: &Workload) -> StepLatenc
         .fold(f64::INFINITY, f64::min);
     let prep_secs = global_batch / prep_rate;
     // Split preparation by operation class: transfer = IO-ish classes.
-    let f = cpu_fractions(workload.input);
+    let f = crate::profile::PrepProfile::of(workload).fractions;
     let transfer_frac = f.ssd_read + f.data_load + f.others;
 
     let t_comp = batch as f64
         / (workload.accel_samples_per_sec
             * crate::calib::batch_efficiency(batch, workload.batch_size));
     let t_sync = server
-        .ring_model()
-        .allreduce_secs(workload.model_bytes(), n);
+        .sync_model(workload)
+        .sync_secs(workload.model_bytes(), n);
 
     StepLatencies {
         data_transfer: prep_secs * transfer_frac,

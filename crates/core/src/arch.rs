@@ -7,14 +7,12 @@
 //! bottleneck". This module evaluates that minimum for every design the
 //! paper compares (Figures 8, 19, 20, 21).
 
-use crate::calib::{
-    batch_efficiency, ethernet_bytes_per_offloaded_sample, fpga_samples_per_sec,
-    gpu_prep_samples_per_sec, SampleSizes, DGX2, ETHERNET_BYTES_PER_SEC, SSD_READ_BYTES_PER_SEC,
-};
+use crate::calib::{batch_efficiency, DGX2, ETHERNET_BYTES_PER_SEC, SSD_READ_BYTES_PER_SEC};
 use crate::host::{baseline_ssd_count, Datapath, PerSampleUsage};
+use crate::profile::PrepProfile;
 use serde::{Deserialize, Serialize};
-use trainbox_collective::RingModel;
-use trainbox_nn::Workload;
+use trainbox_collective::{AllToAllModel, PsModel, RingModel, SyncModel};
+use trainbox_nn::{SyncPattern, Workload};
 use trainbox_pcie::boxes::{
     PrepPoolNet, ServerBuilder, ServerTopology, ACCS_PER_TRAIN_BOX, PREPS_PER_TRAIN_BOX,
     SSDS_PER_TRAIN_BOX,
@@ -387,6 +385,22 @@ impl Server {
         &self.config.ring
     }
 
+    /// The synchronization model `workload` declares, realized on this
+    /// server's fabric: the configured ring for
+    /// [`SyncPattern::RingAllReduce`] (bit-identical to the pre-DSL path),
+    /// or a parameter-server / all-to-all latency model sharing the ring's
+    /// link bandwidth and hop latency.
+    pub fn sync_model(&self, workload: &Workload) -> SyncModel {
+        let ring = &self.config.ring;
+        match workload.sync {
+            SyncPattern::RingAllReduce => SyncModel::Ring(*ring),
+            SyncPattern::ParameterServer => {
+                SyncModel::Ps(PsModel::on_fabric(ring, PsModel::DEFAULT_SHARDS))
+            }
+            SyncPattern::AllToAll => SyncModel::AllToAll(AllToAllModel::on_fabric(ring)),
+        }
+    }
+
     /// Effective batch size for `workload`.
     pub fn batch_for(&self, workload: &Workload) -> u64 {
         self.config.batch_override.unwrap_or(workload.batch_size)
@@ -401,7 +415,7 @@ impl Server {
         let eff = batch_efficiency(batch, workload.batch_size);
         let per_acc = workload.accel_samples_per_sec * eff;
         let t_comp = batch as f64 / per_acc;
-        let t_sync = self.config.ring.allreduce_secs(workload.model_bytes(), n);
+        let t_sync = self.sync_model(workload).sync_secs(workload.model_bytes(), n);
         n as f64 * batch as f64 / (t_comp + t_sync)
     }
 
@@ -413,9 +427,9 @@ impl Server {
 
     /// The preparation-side ceilings for `workload`, in samples/s.
     fn prep_ceilings(&self, workload: &Workload) -> Vec<(Bottleneck, f64)> {
-        let input = workload.input;
-        let sizes = SampleSizes::for_input(input);
-        let usage = PerSampleUsage::new(self.kind().datapath(), input);
+        let profile = PrepProfile::of(workload);
+        let sizes = profile.sizes;
+        let usage = PerSampleUsage::of_profile(self.kind().datapath(), &profile);
         let n = self.config.n_accels;
         let mut ceilings = Vec::new();
 
@@ -448,14 +462,14 @@ impl Server {
                 ceilings.push((Bottleneck::Ssd, ssd_rate));
             }
             ServerKind::AccFpga | ServerKind::AccFpgaP2p | ServerKind::AccFpgaP2pGen4 => {
-                let per = fpga_samples_per_sec(input);
+                let per = profile.fpga_samples_per_sec;
                 ceilings.push((Bottleneck::PrepAccel, self.n_prep_accels() as f64 * per));
                 let ssd_rate =
                     self.topology.ssds.len() as f64 * SSD_READ_BYTES_PER_SEC / sizes.stored;
                 ceilings.push((Bottleneck::Ssd, ssd_rate));
             }
             ServerKind::AccGpu => {
-                let per = gpu_prep_samples_per_sec(input);
+                let per = profile.gpu_samples_per_sec;
                 ceilings.push((Bottleneck::PrepAccel, self.n_prep_accels() as f64 * per));
                 let ssd_rate =
                     self.topology.ssds.len() as f64 * SSD_READ_BYTES_PER_SEC / sizes.stored;
@@ -463,14 +477,14 @@ impl Server {
             }
             ServerKind::TrainBoxNoPool | ServerKind::TrainBox => {
                 let boxes = n.div_ceil(ACCS_PER_TRAIN_BOX) as f64;
-                let f = fpga_samples_per_sec(input);
+                let f = profile.fpga_samples_per_sec;
                 let in_box = PREPS_PER_TRAIN_BOX as f64 * f;
                 // Offload capacity: each in-box FPGA can ship raw input to
                 // the pool and receive prepared tensors back over its
                 // 100 GbE link, bounded by the pool compute available to
                 // this box.
                 let eth_cap = PREPS_PER_TRAIN_BOX as f64 * ETHERNET_BYTES_PER_SEC
-                    / ethernet_bytes_per_offloaded_sample(input);
+                    / profile.ethernet_bytes_per_offloaded_sample();
                 let pool = self.config.effective_pool() as f64 * f / boxes;
                 let boost = eth_cap.min(pool);
                 let prep_rate = boxes * (in_box + boost);
@@ -488,6 +502,9 @@ impl Server {
     /// prefetching: the minimum of the accelerator side and every
     /// preparation-side ceiling.
     pub fn throughput(&self, workload: &Workload) -> Throughput {
+        // Tenanted workloads evaluate as their blended flat aggregate (the
+        // prep side blends through `PrepProfile::of` either way).
+        let workload = &crate::profile::effective_workload(workload);
         let mut ceilings = self.prep_ceilings(workload);
         ceilings.push((Bottleneck::Accelerators, self.accelerator_side(workload)));
         let (bottleneck, samples_per_sec) = ceilings

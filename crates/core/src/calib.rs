@@ -52,10 +52,23 @@ impl SampleSizes {
     ///   float log-Mel tensor (693 frames × 128 bins × 4 B) is 354,816 B —
     ///   the "amplified data size due to ... SFFT for Mel spectrogram"
     ///   (§III-C).
+    ///
+    /// The DSL modalities (no paper row; anchored to their preset graphs):
+    ///
+    /// * Text: one packed 2048-token sequence ≈ 16 KB of UTF-8 in, 8 KB of
+    ///   `u32` token ids out (tokenization *compresses*, the one modality
+    ///   that does).
+    /// * Video: an 8-frame MJPEG clip ≈ 280 KB stored; 8 frames of the
+    ///   image tensor (8 × 602,112 B) out.
+    /// * Tabular: a 512 B click-log record in; dense features + looked-up
+    ///   embedding rows (2,176 B) out.
     pub fn for_input(input: InputKind) -> SampleSizes {
         match input {
             InputKind::Image => SampleSizes { stored: 35_000.0, tensor: 602_112.0 },
             InputKind::Audio => SampleSizes { stored: 222_720.0, tensor: 354_816.0 },
+            InputKind::Text => SampleSizes { stored: 16_384.0, tensor: 8_192.0 },
+            InputKind::Video => SampleSizes { stored: 280_000.0, tensor: 4_816_896.0 },
+            InputKind::Tabular => SampleSizes { stored: 512.0, tensor: 2_176.0 },
         }
     }
 }
@@ -73,10 +86,18 @@ impl SampleSizes {
 ///   `48 / (2001 × c) = 4.4 ⇒ c = 5.452 ms`. Cross-check: TF-AA's TrainBox
 ///   speedup then comes out at `256×2889 / (48/5.452ms) = 84.0×` — the
 ///   paper's 84.3× maximum (§VI-C).
+///
+/// The DSL modalities equal their preset stage-graph sums (so a flat
+/// workload over the new modality and the preset's explicit graph agree):
+/// Text = BPE tokenization of a long sequence; Video = 8 per-frame decodes
+/// plus demux/sampling; Tabular = microseconds of lookup assembly.
 pub fn cpu_secs_per_sample(input: InputKind) -> f64 {
     match input {
         InputKind::Image => 1.5705e-3,
         InputKind::Audio => 5.452e-3,
+        InputKind::Text => 2.9e-3,
+        InputKind::Video => 8.01e-3,
+        InputKind::Tabular => 9.5e-6,
     }
 }
 
@@ -120,6 +141,33 @@ pub fn baseline_mem_bytes_per_sample(input: InputKind) -> MemBreakdown {
             data_load: s.tensor,
             data_copy: 0.0,
             others: 30_000.0,
+        },
+        // DSL modalities: working-set passes scaled from the preset
+        // graphs' byte flows (tokenize buffers ~3x the text; video decode
+        // touches the frame tensor; tabular is lookup-table reads).
+        InputKind::Text => MemBreakdown {
+            ssd_read: s.stored,
+            formatting: 48_000.0,
+            augmentation: 0.0,
+            data_load: s.tensor,
+            data_copy: 0.0,
+            others: 8_000.0,
+        },
+        InputKind::Video => MemBreakdown {
+            ssd_read: s.stored,
+            formatting: 3_700_000.0,
+            augmentation: 1_000_000.0,
+            data_load: s.tensor,
+            data_copy: 0.0,
+            others: 30_000.0,
+        },
+        InputKind::Tabular => MemBreakdown {
+            ssd_read: s.stored,
+            formatting: 0.0,
+            augmentation: 2_176.0,
+            data_load: s.tensor,
+            data_copy: 0.0,
+            others: 512.0,
         },
     }
 }
@@ -168,6 +216,30 @@ pub fn cpu_fractions(input: InputKind) -> CpuFractions {
             data_load: 0.07,
             others: 0.03,
         },
+        // DSL modalities, proportioned like their preset graphs:
+        // tokenization dominates text, per-frame decode dominates video,
+        // and tabular prep is mostly irregular lookup/data-load time.
+        InputKind::Text => CpuFractions {
+            ssd_read: 0.02,
+            formatting: 0.90,
+            augmentation: 0.0,
+            data_load: 0.08,
+            others: 0.0,
+        },
+        InputKind::Video => CpuFractions {
+            ssd_read: 0.02,
+            formatting: 0.86,
+            augmentation: 0.05,
+            data_load: 0.07,
+            others: 0.0,
+        },
+        InputKind::Tabular => CpuFractions {
+            ssd_read: 0.13,
+            formatting: 0.0,
+            augmentation: 0.19,
+            data_load: 0.68,
+            others: 0.0,
+        },
     }
 }
 
@@ -198,10 +270,17 @@ pub struct CpuFractions {
 ///   prep-pool") while ResNet-50 and the caption RNNs need pool help:
 ///   20,000 sample/s ≈ 0.7 GB/s of JPEG input per FPGA, ~31× one Xeon core —
 ///   in line with the paper's claim that a few FPGAs replace dozens of cores.
+///
+/// DSL modalities: tokenization pipelines on FPGAs stream ~24k
+/// sequences/s; video decode is 8 image decodes per clip (20,000/8 =
+/// 2,500 clips/s); tabular assembly is bandwidth-bound and very fast.
 pub fn fpga_samples_per_sec(input: InputKind) -> f64 {
     match input {
         InputKind::Image => 20_000.0,
         InputKind::Audio => 5_200.0,
+        InputKind::Text => 24_000.0,
+        InputKind::Video => 2_500.0,
+        InputKind::Tabular => 1_500_000.0,
     }
 }
 
@@ -213,6 +292,13 @@ pub fn gpu_prep_samples_per_sec(input: InputKind) -> f64 {
     match input {
         InputKind::Image => 4_500.0,
         InputKind::Audio => 2_600.0,
+        // Branchy BPE merges resist GPU parallelization even more than
+        // Huffman decode; video inherits the image decode gap per frame;
+        // tabular gather/scatter maps well but stays below the FPGA NIC
+        // path.
+        InputKind::Text => 3_000.0,
+        InputKind::Video => 560.0,
+        InputKind::Tabular => 900_000.0,
     }
 }
 

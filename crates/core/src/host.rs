@@ -6,10 +6,8 @@
 //! class (Fig 11). §VI-E then shows how each TrainBox optimization removes a
 //! slice (Fig 22). This module computes all of those numbers.
 
-use crate::calib::{
-    baseline_mem_bytes_per_sample, cpu_driver_secs_per_sample, cpu_fractions,
-    cpu_secs_per_sample, SampleSizes, DGX2,
-};
+use crate::calib::{cpu_driver_secs_per_sample, DGX2};
+use crate::profile::PrepProfile;
 use serde::{Deserialize, Serialize};
 use trainbox_nn::{InputKind, Workload};
 
@@ -80,23 +78,23 @@ pub struct PerSampleUsage {
 }
 
 impl PerSampleUsage {
-    /// Usage of one sample of `input` under `path`.
+    /// Usage of one sample of `input` under `path` — the legacy
+    /// modality-keyed entry point, equivalent to profiling the input's
+    /// calibration.
     pub fn new(path: Datapath, input: InputKind) -> PerSampleUsage {
-        let s = SampleSizes::for_input(input);
+        PerSampleUsage::of_profile(path, &PrepProfile::of_input(input))
+    }
+
+    /// Usage of one sample whose preparation is described by `profile`,
+    /// under `path`. All datapath arithmetic lives here; the profile
+    /// supplies the per-sample costs and sizes.
+    pub fn of_profile(path: Datapath, p: &PrepProfile) -> PerSampleUsage {
+        let s = p.sizes;
         match path {
             Datapath::HostCpu => {
-                let c = cpu_secs_per_sample(input);
-                let f = cpu_fractions(input);
-                let m = baseline_mem_bytes_per_sample(input);
+                let m = p.mem;
                 PerSampleUsage {
-                    cpu_secs: Breakdown {
-                        ssd_read: c * f.ssd_read,
-                        formatting: c * f.formatting,
-                        augmentation: c * f.augmentation,
-                        data_load: c * f.data_load,
-                        data_copy: 0.0,
-                        others: c * f.others,
-                    },
+                    cpu_secs: p.cpu,
                     mem_bytes: Breakdown {
                         ssd_read: m.ssd_read,
                         formatting: m.formatting,
@@ -191,7 +189,7 @@ pub struct RequiredResources {
 impl RequiredResources {
     /// Baseline requirement for `workload` at `n` accelerators.
     pub fn baseline(workload: &Workload, n: usize) -> RequiredResources {
-        let usage = PerSampleUsage::new(Datapath::HostCpu, workload.input);
+        let usage = PerSampleUsage::of_profile(Datapath::HostCpu, &PrepProfile::of(workload));
         let demand = workload.aggregate_demand(n);
         RequiredResources {
             cpu_cores: demand * usage.cpu_secs.total(),
@@ -236,6 +234,7 @@ pub fn baseline_ssd_count(n_accels: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::calib::{baseline_mem_bytes_per_sample, cpu_secs_per_sample, SampleSizes};
 
     #[test]
     fn baseline_breakdowns_match_calibration() {

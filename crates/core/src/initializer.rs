@@ -8,7 +8,8 @@
 //! groups.
 
 use crate::arch::Server;
-use crate::calib::{ethernet_bytes_per_offloaded_sample, fpga_samples_per_sec, ETHERNET_BYTES_PER_SEC};
+use crate::calib::ETHERNET_BYTES_PER_SEC;
+use crate::profile::PrepProfile;
 use serde::{Deserialize, Serialize};
 use trainbox_nn::Workload;
 use trainbox_pcie::boxes::{ACCS_PER_TRAIN_BOX, PREPS_PER_TRAIN_BOX};
@@ -74,7 +75,8 @@ pub fn plan(server: &Server, workload: &Workload, pool_available: usize) -> Trai
 
     let boxes = n.div_ceil(ACCS_PER_TRAIN_BOX);
     let in_box_fpgas = boxes * PREPS_PER_TRAIN_BOX;
-    let f = fpga_samples_per_sec(workload.input);
+    let profile = PrepProfile::of(workload);
+    let f = profile.fpga_samples_per_sec;
     let in_box_rate = in_box_fpgas as f64 * f;
 
     let deficit = (required - in_box_rate).max(0.0);
@@ -83,7 +85,7 @@ pub fn plan(server: &Server, workload: &Workload, pool_available: usize) -> Trai
 
     // Ethernet ceiling on what the granted pool can actually deliver.
     let eth_cap = in_box_fpgas as f64 * ETHERNET_BYTES_PER_SEC
-        / ethernet_bytes_per_offloaded_sample(workload.input);
+        / profile.ethernet_bytes_per_offloaded_sample();
     let pool_rate = (granted as f64 * f).min(eth_cap);
 
     TrainPlan {
@@ -155,7 +157,7 @@ mod tests {
         let w = Workload::rnn_s();
         let p = plan(&s, &w, 10_000);
         let eth_cap = 2.0 * ETHERNET_BYTES_PER_SEC
-            / ethernet_bytes_per_offloaded_sample(w.input);
+            / crate::calib::ethernet_bytes_per_offloaded_sample(w.input);
         assert!(p.achievable_prep_rate <= p.in_box_prep_rate + eth_cap * 1.0001);
     }
 }

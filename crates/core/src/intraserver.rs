@@ -244,8 +244,9 @@ pub(crate) fn simulate_lanes_traced_deadline<T: ForkTracer + Send>(
     let n = server.n_accels();
     // Same expression the model evaluates for its own `t_sync`, so the
     // coordinator's releases are bit-identical to the solo path's SyncDone
-    // times.
-    let t_sync = server.ring_model().allreduce_time(workload.model_bytes(), n);
+    // times (for any declared sync pattern, not just the ring).
+    let eff = crate::profile::effective_workload(workload);
+    let t_sync = server.sync_model(&eff).sync_time(eff.model_bytes(), n);
 
     let mut lps: Vec<ClusterLp<T>> = (0..part.lanes)
         .map(|l| {
@@ -344,6 +345,7 @@ pub(crate) fn simulate_lanes_traced_deadline<T: ForkTracer + Send>(
         link_bytes,
         rc_bytes,
         faults,
+        tenancy: None,
     };
     // Per-lane streams merge in lane-index order — deterministic for any
     // worker count, same discipline as the cluster runner.

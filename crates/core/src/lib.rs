@@ -58,9 +58,11 @@ pub mod initializer;
 pub(crate) mod intraserver;
 pub mod multijob;
 pub mod pipeline;
+pub mod profile;
 pub mod request;
 pub mod scaleout;
 pub mod staticprep;
 
 pub use arch::{Bottleneck, ConfigError, Server, ServerConfig, ServerKind, Throughput};
+pub use profile::{effective_workload, lower_legacy, PrepProfile};
 pub use request::{SimMode, SimOutcome, SimRequest, SimResponse};

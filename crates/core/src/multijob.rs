@@ -9,7 +9,7 @@
 //! deficit, and route surplus FPGA capacity (over the Ethernet prep network)
 //! to the jobs that need it.
 
-use crate::calib::{ethernet_bytes_per_offloaded_sample, fpga_samples_per_sec, ETHERNET_BYTES_PER_SEC};
+use crate::calib::ETHERNET_BYTES_PER_SEC;
 use crate::initializer;
 use serde::{Deserialize, Serialize};
 use trainbox_nn::Workload;
@@ -106,9 +106,10 @@ pub fn balance_rack(jobs: &[JobPlacement]) -> RackPlan {
             )
             .build();
             let plan = initializer::plan(&server, &j.workload, 0);
-            let fpga_rate = fpga_samples_per_sec(j.workload.input);
+            let profile = crate::profile::PrepProfile::of(&j.workload);
+            let fpga_rate = profile.fpga_samples_per_sec;
             let eth_cap = j.fpgas() as f64 * ETHERNET_BYTES_PER_SEC
-                / ethernet_bytes_per_offloaded_sample(j.workload.input);
+                / profile.ethernet_bytes_per_offloaded_sample();
             Tmp {
                 demand: plan.required_prep_rate,
                 local: plan.in_box_prep_rate,

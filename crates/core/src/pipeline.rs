@@ -15,12 +15,10 @@
 //! overlap discipline of §II-B.
 
 use crate::arch::{Server, ServerKind};
-use crate::calib::{
-    cpu_secs_per_sample, fpga_samples_per_sec, gpu_prep_samples_per_sec, SampleSizes, DGX2,
-    SSD_READ_BYTES_PER_SEC,
-};
+use crate::calib::{SampleSizes, DGX2, SSD_READ_BYTES_PER_SEC};
 use crate::faults::{FaultDomain, FaultDowntime, FaultKind, FaultPlan, FaultStats, RetryPolicy};
-use trainbox_collective::RingModel;
+use crate::profile::PrepProfile;
+use trainbox_collective::SyncModel;
 use trainbox_nn::Workload;
 use trainbox_pcie::boxes::{PrepPoolNet, ServerTopology};
 use trainbox_pcie::flow::{FlowId, FlowNet, FlowSim, FlowSpec};
@@ -131,8 +129,75 @@ impl serde::Deserialize for SimConfig {
     }
 }
 
-/// Result of a DES run.
+/// Per-tenant outcome of a mixed-tenancy run: how the shared box's
+/// throughput divides between the tenants, and what each gave up relative
+/// to running alone.
 #[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TenantShare {
+    /// Tenant workload name.
+    pub name: String,
+    /// Fraction of the interleaved sample stream that is this tenant's
+    /// (its batch share).
+    pub share: f64,
+    /// Samples/s this tenant achieved inside the mixture.
+    pub samples_per_sec: f64,
+    /// Analytic samples/s the tenant would achieve running the box alone
+    /// (same server configuration), scaled to its share of the batch.
+    pub solo_samples_per_sec: f64,
+    /// `solo / achieved` — ≥ 1 when interference costs the tenant
+    /// throughput.
+    pub slowdown: f64,
+}
+
+/// Interference and fairness accounting for a mixed-tenancy run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct TenancyStats {
+    /// One entry per tenant, in declaration order.
+    pub tenants: Vec<TenantShare>,
+    /// Jain's fairness index over the tenants' normalized rates
+    /// (`achieved / solo`); 1.0 = perfectly even interference.
+    pub jain_fairness: f64,
+}
+
+impl TenancyStats {
+    /// Compute the tenancy decomposition of `result` on `server`:
+    /// per-tenant achieved rates (batch-share split of the mixture's
+    /// throughput), solo analytic rates, slowdowns, and Jain's index.
+    pub fn of(server: &Server, tenants: &[Workload], total_samples_per_sec: f64) -> TenancyStats {
+        let total_batch: f64 = tenants.iter().map(|t| t.batch_size as f64).sum();
+        let mut shares = Vec::with_capacity(tenants.len());
+        for t in tenants {
+            let share = t.batch_size as f64 / total_batch;
+            let achieved = share * total_samples_per_sec;
+            let solo = share * server.throughput(t).samples_per_sec;
+            let slowdown = if achieved > 0.0 { solo / achieved } else { f64::INFINITY };
+            shares.push(TenantShare {
+                name: t.name.clone(),
+                share,
+                samples_per_sec: achieved,
+                solo_samples_per_sec: solo,
+                slowdown,
+            });
+        }
+        let norm: Vec<f64> = shares
+            .iter()
+            .map(|s| {
+                if s.solo_samples_per_sec > 0.0 {
+                    s.samples_per_sec / s.solo_samples_per_sec
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let sum: f64 = norm.iter().sum();
+        let sq: f64 = norm.iter().map(|x| x * x).sum();
+        let jain = if sq > 0.0 { sum * sum / (norm.len() as f64 * sq) } else { 0.0 };
+        TenancyStats { tenants: shares, jain_fairness: jain }
+    }
+}
+
+/// Result of a DES run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimResult {
     /// Steady-state throughput over the measured window, samples/s.
     pub samples_per_sec: f64,
@@ -151,6 +216,31 @@ pub struct SimResult {
     /// What the fault layer injected and observed (all-zero for a run
     /// without a fault plan).
     pub faults: FaultStats,
+    /// Mixed-tenancy decomposition — present only when the simulated
+    /// workload declared tenants.
+    pub tenancy: Option<TenancyStats>,
+}
+
+// Hand-written so the `tenancy` key is emitted only when present: every
+// pre-DSL result serializes to exactly the bytes the derived impl produced
+// (same fields, declaration order), keeping cached single-workload result
+// JSON byte-identical.
+impl serde::Serialize for SimResult {
+    fn to_json(&self) -> serde::json::Json {
+        let mut fields = vec![
+            ("samples_per_sec".to_string(), serde::Serialize::to_json(&self.samples_per_sec)),
+            ("batch_done_at".to_string(), serde::Serialize::to_json(&self.batch_done_at)),
+            ("events".to_string(), serde::Serialize::to_json(&self.events)),
+            ("recomputes".to_string(), serde::Serialize::to_json(&self.recomputes)),
+            ("link_bytes".to_string(), serde::Serialize::to_json(&self.link_bytes)),
+            ("rc_bytes".to_string(), serde::Serialize::to_json(&self.rc_bytes)),
+            ("faults".to_string(), serde::Serialize::to_json(&self.faults)),
+        ];
+        if let Some(t) = &self.tenancy {
+            fields.push(("tenancy".to_string(), serde::Serialize::to_json(t)));
+        }
+        serde::json::Json::Object(fields)
+    }
 }
 
 impl SimResult {
@@ -382,9 +472,11 @@ pub(crate) struct PipelineModel<T: Tracer> {
     /// exactly the role the cluster coordinator plays one level up.
     lane: Option<std::ops::Range<usize>>,
 
-    /// Ring latency model and gradient size, kept so the synchronization
-    /// time can be recomputed when the ring re-forms after a dropout.
-    ring: RingModel,
+    /// Synchronization latency model (ring, parameter server, or
+    /// all-to-all, per the workload's declared pattern) and gradient size,
+    /// kept so the synchronization time can be recomputed when the group
+    /// re-forms over the survivors after a dropout.
+    sync: SyncModel,
     model_bytes: u64,
     faults: FaultRuntime,
 
@@ -433,15 +525,20 @@ impl<T: Tracer> PipelineModel<T> {
         plan: &FaultPlan,
         tracer: T,
     ) -> Self {
+        // Tenanted workloads simulate as their blended flat aggregate; the
+        // prep profile blends the per-sample costs the same way.
+        let workload = &crate::profile::effective_workload(workload);
         let kind = server.kind();
         let topo = server.topology().clone();
-        let sizes = SampleSizes::for_input(workload.input);
+        let profile = PrepProfile::of(workload);
+        let sizes = profile.sizes;
         let batch = server.batch_for(workload);
         let n = server.n_accels();
         let eff = crate::calib::batch_efficiency(batch, workload.batch_size);
         let t_comp =
             SimTime::from_secs_f64(batch as f64 / (workload.accel_samples_per_sec * eff));
-        let t_sync = server.ring_model().allreduce_time(workload.model_bytes(), n);
+        let sync = server.sync_model(workload);
+        let t_sync = sync.sync_time(workload.model_bytes(), n);
 
         let n_links = topo.topo.link_count();
         let traced = tracer.enabled();
@@ -455,7 +552,7 @@ impl<T: Tracer> PipelineModel<T> {
                 if net.pool_nics.is_empty() {
                     return None;
                 }
-                let f = fpga_samples_per_sec(workload.input);
+                let f = profile.fpga_samples_per_sec;
                 let plan = crate::initializer::plan(server, workload, net.pool_nics.len());
                 let demand = plan.required_prep_rate;
                 let local = plan.in_box_prep_rate;
@@ -490,21 +587,21 @@ impl<T: Tracer> PipelineModel<T> {
             ServerKind::Baseline => {
                 // One fluid CPU pool: each chunk occupies one of the 48
                 // core-slots for `chunk x per-sample-core-time`.
-                let per = cpu_secs_per_sample(workload.input);
+                let per = profile.cpu_secs_per_sample;
                 (
                     vec![FifoServer::new(DGX2.cpu_cores as usize)],
                     SimTime::from_secs_f64(cfg.chunk_samples as f64 * per),
                 )
             }
             ServerKind::AccGpu => {
-                let per = gpu_prep_samples_per_sec(workload.input);
+                let per = profile.gpu_samples_per_sec;
                 (
                     topo.preps.iter().map(|_| FifoServer::new(1)).collect(),
                     SimTime::from_secs_f64(cfg.chunk_samples as f64 / per),
                 )
             }
             _ => {
-                let per = fpga_samples_per_sec(workload.input);
+                let per = profile.fpga_samples_per_sec;
                 (
                     topo.preps.iter().map(|_| FifoServer::new(1)).collect(),
                     SimTime::from_secs_f64(cfg.chunk_samples as f64 / per),
@@ -555,7 +652,7 @@ impl<T: Tracer> PipelineModel<T> {
             cluster_hold: false,
             at_barrier: false,
             lane: None,
-            ring: *server.ring_model(),
+            sync,
             model_bytes: workload.model_bytes(),
             faults,
             tracer,
@@ -1167,20 +1264,20 @@ impl<T: Tracer> PipelineModel<T> {
             if self.tracer.enabled() {
                 self.tracer.span(
                     Component::Collective,
-                    "allreduce",
+                    self.sync.span_label(),
                     0,
                     now,
                     now.saturating_add(self.t_sync),
                 );
-                // Per-step spans of the chunked ring over the surviving
+                // Per-step spans of the synchronization over the surviving
                 // devices; boundaries come from the same analytic model that
                 // produced t_sync, so they partition the span exactly.
                 let survivors = self.faults.alive_accels();
                 let mut prev = 0.0;
-                for b in self.ring.allreduce_steps(self.model_bytes, survivors) {
+                for b in self.sync.steps(self.model_bytes, survivors) {
                     self.tracer.span(
                         Component::Collective,
-                        "ring_step",
+                        self.sync.step_label(),
                         1,
                         now.saturating_add(SimTime::from_secs_f64(prev)),
                         now.saturating_add(SimTime::from_secs_f64(b)),
@@ -1247,13 +1344,13 @@ impl<T: Tracer> PipelineModel<T> {
                 // `now - t_sync` is exactly the global max arrival: the same
                 // span the solo path records when the last device arrives.
                 let start = now.saturating_sub(self.t_sync);
-                self.tracer.span(Component::Collective, "allreduce", 0, start, now);
+                self.tracer.span(Component::Collective, self.sync.span_label(), 0, start, now);
                 let survivors = self.faults.alive_accels();
                 let mut prev = 0.0;
-                for b in self.ring.allreduce_steps(self.model_bytes, survivors) {
+                for b in self.sync.steps(self.model_bytes, survivors) {
                     self.tracer.span(
                         Component::Collective,
-                        "ring_step",
+                        self.sync.step_label(),
                         1,
                         start.saturating_add(SimTime::from_secs_f64(prev)),
                         start.saturating_add(SimTime::from_secs_f64(b)),
@@ -1348,9 +1445,10 @@ impl<T: Tracer> PipelineModel<T> {
                 st.buffered = 0;
                 let survivors = self.faults.alive_accels();
                 assert!(survivors > 0, "all accelerators dropped out");
-                // Re-form the ring over the survivors: the synchronization
-                // latency from here on is the smaller ring's.
-                self.t_sync = self.ring.allreduce_time(self.model_bytes, survivors);
+                // Re-form the synchronization group over the survivors: the
+                // latency from here on is the smaller group's (a smaller
+                // ring, fewer PS pushers, fewer all-to-all peers).
+                self.t_sync = self.sync.sync_time(self.model_bytes, survivors);
                 // The dead device may have been the barrier holdout.
                 self.maybe_start_sync(now, sched);
             }
@@ -1657,6 +1755,15 @@ pub fn try_simulate_traced_deadline<T: ForkTracer + Send>(
     deadline: Option<std::time::Instant>,
 ) -> Result<(SimResult, T), DesFailure> {
     assert!(cfg.batches > cfg.warmup_batches, "need batches after warmup");
+    // Tenanted workloads get their interference decomposition attached to
+    // whichever path produced the result.
+    let attach = |mut result: SimResult| {
+        if !workload.tenants.is_empty() {
+            result.tenancy =
+                Some(TenancyStats::of(server, &workload.tenants, result.samples_per_sec));
+        }
+        result
+    };
     // Eligible configurations always run lane-partitioned — the partition is
     // part of the canonical result, chosen from `(server, plan)` alone, and
     // `cfg.parallel_workers` only picks how many threads advance the lanes.
@@ -1664,7 +1771,7 @@ pub fn try_simulate_traced_deadline<T: ForkTracer + Send>(
         return crate::intraserver::simulate_lanes_traced_deadline(
             server, workload, cfg, plan, &part, tracer, deadline,
         )
-        .map(|(result, tracer, _stats)| (result, tracer));
+        .map(|(result, tracer, _stats)| (attach(result), tracer));
     }
     let model = PipelineModel::new(server, workload, cfg, plan, tracer);
     let mut engine = Engine::new(model);
@@ -1734,8 +1841,9 @@ pub fn try_simulate_traced_deadline<T: ForkTracer + Send>(
         link_bytes: m.link_bytes.clone(),
         rc_bytes,
         faults: stats,
+        tenancy: None,
     };
-    Ok((result, m.tracer))
+    Ok((attach(result), m.tracer))
 }
 
 /// Diagnostic entry for benchmarks: if `(server, plan)` is eligible for the

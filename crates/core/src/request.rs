@@ -158,14 +158,22 @@ impl Deserialize for WorkloadSpec {
     fn from_json(v: &serde::json::Json) -> Result<Self, serde::json::JsonError> {
         if let Some(name) = v.as_str() {
             return WorkloadSpec::named(name).ok_or_else(|| {
-                let known: Vec<&str> = Workload::all().iter().map(|w| w.name).collect();
+                let known: Vec<String> =
+                    Workload::presets().into_iter().map(|w| w.name).collect();
                 serde::json::JsonError::new(format!(
                     "unknown workload `{name}` (known: {})",
                     known.join(", ")
                 ))
             });
         }
-        Ok(WorkloadSpec(Workload::from_json(v)?))
+        // Inline specs (flat, stage-graph, or tenanted) must pass the DSL's
+        // own validation so a malformed workload fails the parse with a
+        // field-level message instead of panicking mid-simulation.
+        let w = Workload::from_json(v)?;
+        w.validate().map_err(|e| {
+            serde::json::JsonError::new(format!("invalid workload: {e} (field `{}`)", e.field()))
+        })?;
+        Ok(WorkloadSpec(w))
     }
 }
 
@@ -726,13 +734,46 @@ pub fn canonical_hash_of(canonical_json: &str) -> u64 {
     fnv1a64(canonical_json.as_bytes())
 }
 
+/// The preset catalog behind `GET /workloads`: every preset (seven Table-I
+/// workloads plus the DSL families), each with its canonical workload JSON
+/// and the stage-graph DSL it lowers to. Flat presets are lowered through
+/// [`crate::profile::lower_legacy`]; DSL presets show their own graph;
+/// tenanted presets blend rather than lower, so their `lowered_stages` is
+/// `null`.
+pub fn workload_catalog_json() -> String {
+    use serde::json::Json;
+    let entries: Vec<Json> = Workload::presets()
+        .into_iter()
+        .map(|w| {
+            let lowered = match &w.stages {
+                Some(g) => g.to_json(),
+                None if w.tenants.is_empty() => crate::profile::lower_legacy(&w).to_json(),
+                None => Json::Null,
+            };
+            Json::Object(vec![
+                ("name".to_string(), Json::Str(w.name.clone())),
+                ("sync".to_string(), w.sync.to_json()),
+                ("workload".to_string(), w.to_json()),
+                ("lowered_stages".to_string(), lowered),
+            ])
+        })
+        .collect();
+    serde_json::to_string(&RawJson(Json::Object(vec![(
+        "workloads".to_string(),
+        Json::Array(entries),
+    )])))
+    .expect("catalog serialization is infallible")
+}
+
 /// A parameter grid swept over one [`SimRequest`] template: the cross
-/// product batch size × accelerator count × link generation (ring model) ×
-/// fault plan. An omitted (or `null`) axis keeps the template's value; a
-/// present axis must be non-empty. `faults` entries may be `null` for the
-/// fault-free point.
+/// product workload × batch size × accelerator count × link generation
+/// (ring model) × fault plan. An omitted (or `null`) axis keeps the
+/// template's value; a present axis must be non-empty. `faults` entries may
+/// be `null` for the fault-free point; `workload` entries are anything the
+/// `workload` request field accepts (preset names or inline specs).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepGrid {
+    pub workload: Vec<WorkloadSpec>,
     pub batch_size: Vec<u64>,
     pub n_accels: Vec<usize>,
     pub ring: Vec<RingModel>,
@@ -743,7 +784,8 @@ impl SweepGrid {
     /// Number of grid points ( = the product of present axis lengths).
     pub fn n_points(&self) -> usize {
         let len = |n: usize| n.max(1);
-        len(self.batch_size.len())
+        len(self.workload.len())
+            * len(self.batch_size.len())
             * len(self.n_accels.len())
             * len(self.ring.len())
             * len(self.faults.len())
@@ -774,6 +816,7 @@ impl Deserialize for SweepGrid {
                 continue; // null axis = omitted
             }
             match key.as_str() {
+                "workload" => grid.workload = axis(key, val)?,
                 "batch_size" => grid.batch_size = axis(key, val)?,
                 "n_accels" => grid.n_accels = axis(key, val)?,
                 "ring" => grid.ring = axis(key, val)?,
@@ -781,7 +824,7 @@ impl Deserialize for SweepGrid {
                 other => {
                     return Err(serde::json::JsonError::new(format!(
                         "unknown axis `{other}` in sweep grid \
-                         (known: batch_size, n_accels, ring, faults)"
+                         (known: workload, batch_size, n_accels, ring, faults)"
                     )))
                 }
             }
@@ -794,8 +837,8 @@ impl Deserialize for SweepGrid {
 /// axis values that produced it (per-point provenance for the stream).
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepPoint {
-    /// Position in the expansion order (row-major: batch_size outermost,
-    /// then n_accels, ring, faults innermost).
+    /// Position in the expansion order (row-major: workload outermost, then
+    /// batch_size, n_accels, ring, faults innermost).
     pub index: usize,
     /// The template with this point's axis values applied. Canonically
     /// hashable like any request — a sweep point and an individual
@@ -894,11 +937,17 @@ impl SweepRequest {
         self.grid.n_points()
     }
 
-    /// Expand the grid in deterministic row-major order (`batch_size`
-    /// outermost, then `n_accels`, `ring`, `faults` innermost). Every point
-    /// is a full [`SimRequest`] plus the compact-JSON `params` provenance.
+    /// Expand the grid in deterministic row-major order (`workload`
+    /// outermost, then `batch_size`, `n_accels`, `ring`, `faults`
+    /// innermost). Every point is a full [`SimRequest`] plus the
+    /// compact-JSON `params` provenance.
     pub fn expand(&self) -> Vec<SweepPoint> {
         use serde::json::Json;
+        let works: Vec<Option<&WorkloadSpec>> = if self.grid.workload.is_empty() {
+            vec![None]
+        } else {
+            self.grid.workload.iter().map(Some).collect()
+        };
         let batch: Vec<Option<u64>> = if self.grid.batch_size.is_empty() {
             vec![None]
         } else {
@@ -920,12 +969,22 @@ impl SweepRequest {
             self.grid.faults.iter().map(Some).collect()
         };
         let mut points = Vec::with_capacity(self.n_points());
+        for &w in &works {
         for &b in &batch {
             for &a in &accels {
                 for &r in &rings {
                     for &f in &faults {
                         let mut request = self.template.clone();
                         let mut params: Vec<(String, Json)> = Vec::new();
+                        if let Some(w) = w {
+                            request.workload = w.clone();
+                            // Provenance names the point by workload name;
+                            // the request itself carries the full spec.
+                            params.push((
+                                "workload".to_string(),
+                                Json::Str(w.workload().name.clone()),
+                            ));
+                        }
                         if let Some(b) = b {
                             request.server.batch_size = Some(b);
                             params.push(("batch_size".to_string(), Json::U64(b)));
@@ -952,6 +1011,7 @@ impl SweepRequest {
                     }
                 }
             }
+        }
         }
         points
     }

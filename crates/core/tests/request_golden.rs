@@ -32,6 +32,13 @@ fn wire_cases() -> Vec<(&'static str, Vec<&'static str>)> {
                 // defaults — all the same question.
                 r#"{"workload": "RESNET-50", "trace": false, "sim": "Analytic",
                     "server": {"batch_size": null, "n_accels": 256, "kind": "TrainBox"}}"#,
+                // The same workload as an inline spec object: the legacy
+                // name is nothing but a preset for this spelling, so the
+                // canonical form (and hence the cache key) must not differ.
+                r#"{"server": {"kind": "TrainBox", "n_accels": 256},
+                    "workload": {"name": "Resnet-50", "kind": "Cnn", "input": "Image",
+                                 "task": "Image classification", "batch_size": 8192,
+                                 "model_mbytes": 97.5, "accel_samples_per_sec": 7431.0}}"#,
             ],
         ),
         (
@@ -79,6 +86,44 @@ fn wire_cases() -> Vec<(&'static str, Vec<&'static str>)> {
                                "ring": {"link_bytes_per_sec": 3e11,
                                         "hop_latency_secs": 1e-7, "chunk_bytes": 4096}},
                     "workload": "TF-SR"}"#,
+            ],
+        ),
+        // ----- DSL-era cases, appended: the six rows above predate the
+        // workload DSL and their canonical bytes and hashes must never move.
+        (
+            "llm_preset_by_name",
+            vec![
+                r#"{"server": {"kind": "TrainBox", "n_accels": 256}, "workload": "LLM-7B"}"#,
+                // Case-insensitive, like every legacy name.
+                r#"{"server": {"kind": "TrainBox", "n_accels": 256}, "workload": "llm-7b"}"#,
+            ],
+        ),
+        (
+            "recsys_alltoall",
+            vec![r#"{"server": {"kind": "TrainBox", "n_accels": 256}, "workload": "DLRM"}"#],
+        ),
+        (
+            "mixed_tenancy",
+            vec![
+                r#"{"server": {"kind": "TrainBox", "n_accels": 256},
+                    "workload": "Mixed-RN50-TFSR"}"#,
+            ],
+        ),
+        (
+            "inline_custom_spec",
+            vec![
+                r#"{"server": {"kind": "TrainBox", "n_accels": 64},
+                    "workload": {"name": "My-PS-Net", "kind": "Transformer", "input": "Text",
+                                 "task": "Custom", "batch_size": 1024, "model_mbytes": 512.0,
+                                 "accel_samples_per_sec": 1200.0, "sync": "ParameterServer",
+                                 "stages": {"stages": [
+                                   {"name": "read", "class": "SsdRead",
+                                    "cost": {"HostCpuSecs": 1e-5}, "bytes_in": 4096,
+                                    "bytes_out": 4096},
+                                   {"name": "tokenize", "class": "Formatting",
+                                    "cost": {"HostCpuSecs": 1e-3}, "bytes_in": 4096,
+                                    "bytes_out": 2048, "parallelism": 4,
+                                    "after": ["read"]}]}}}"#,
             ],
         ),
     ]

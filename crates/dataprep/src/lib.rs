@@ -38,6 +38,7 @@ pub mod png;
 pub mod sampler;
 pub mod shard;
 pub mod synth;
+pub mod tokenize;
 pub mod video;
 pub mod wav;
 pub mod ziggurat;

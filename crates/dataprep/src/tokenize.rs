@@ -1,0 +1,191 @@
+//! Text input: deterministic byte-level BPE tokenization for the LLM
+//! family.
+//!
+//! The LLM-7B preset's dominant preparation stage is tokenizing long packed
+//! text sequences. This module is the functional engine behind that cost
+//! model: train byte-pair merges on a corpus (deterministically — ties
+//! break on the smaller pair), apply them greedily by merge rank, and
+//! detokenize exactly. The calibrated per-sequence constants the preset
+//! declares live here so the DSL and the kernel cannot drift apart.
+
+use std::collections::HashMap;
+
+/// Stored UTF-8 bytes of one packed LLM sequence (16 KiB ≈ 2048 tokens of
+/// ~8 bytes each before packing).
+pub const LLM_SEQ_BYTES: u64 = 16_384;
+
+/// Token-id bytes shipped per packed sequence: 2048 `u32` ids.
+pub const LLM_TOKEN_BYTES: u64 = 8_192;
+
+/// Calibrated host-CPU seconds to tokenize one packed sequence.
+pub const LLM_TOKENIZE_SECS: f64 = 2.6e-3;
+
+/// Host-CPU seconds to tokenize `seq_bytes` of UTF-8, scaled linearly from
+/// the calibrated packed-sequence cost.
+pub fn tokenize_cost_secs(seq_bytes: u64) -> f64 {
+    LLM_TOKENIZE_SECS * (seq_bytes as f64 / LLM_SEQ_BYTES as f64)
+}
+
+/// Bytes of `u32` token ids produced for `n_tokens` tokens.
+pub fn token_id_bytes(n_tokens: usize) -> u64 {
+    4 * n_tokens as u64
+}
+
+/// A byte-level BPE tokenizer: ids `0..=255` are the raw bytes, higher ids
+/// are learned merges in rank order.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab: Vec<Vec<u8>>,
+    merges: HashMap<(u32, u32), u32>,
+}
+
+impl Tokenizer {
+    /// Learn `n_merges` byte-pair merges from `corpus`. Deterministic: the
+    /// most frequent adjacent pair wins each round, ties broken by the
+    /// numerically smaller pair.
+    pub fn train(corpus: &[u8], n_merges: usize) -> Tokenizer {
+        let mut vocab: Vec<Vec<u8>> = (0..=255u8).map(|b| vec![b]).collect();
+        let mut merges = HashMap::new();
+        let mut ids: Vec<u32> = corpus.iter().map(|&b| b as u32).collect();
+        for _ in 0..n_merges {
+            let mut counts: HashMap<(u32, u32), usize> = HashMap::new();
+            for w in ids.windows(2) {
+                *counts.entry((w[0], w[1])).or_insert(0) += 1;
+            }
+            let Some((&pair, _)) = counts
+                .iter()
+                .filter(|&(_, &c)| c >= 2)
+                .min_by_key(|&(&p, &c)| (usize::MAX - c, p))
+            else {
+                break;
+            };
+            let id = vocab.len() as u32;
+            let mut bytes = vocab[pair.0 as usize].clone();
+            bytes.extend_from_slice(&vocab[pair.1 as usize]);
+            vocab.push(bytes);
+            merges.insert(pair, id);
+            ids = merge_pair(&ids, pair, id);
+        }
+        Tokenizer { vocab, merges }
+    }
+
+    /// Vocabulary size (256 byte tokens + learned merges).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Tokenize: start from raw bytes and apply the lowest-ranked
+    /// applicable merge until none remains.
+    pub fn encode(&self, text: &[u8]) -> Vec<u32> {
+        let mut ids: Vec<u32> = text.iter().map(|&b| b as u32).collect();
+        loop {
+            let Some((&pair, &id)) = ids
+                .windows(2)
+                .filter_map(|w| self.merges.get_key_value(&(w[0], w[1])))
+                .min_by_key(|&(_, &id)| id)
+            else {
+                return ids;
+            };
+            ids = merge_pair(&ids, pair, id);
+        }
+    }
+
+    /// Exact inverse of [`encode`](Self::encode): every id expands to its
+    /// vocabulary bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id outside the vocabulary.
+    pub fn decode(&self, ids: &[u32]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for &id in ids {
+            out.extend_from_slice(&self.vocab[id as usize]);
+        }
+        out
+    }
+}
+
+/// Replace every non-overlapping occurrence of `pair` with `id`.
+fn merge_pair(ids: &[u32], pair: (u32, u32), id: u32) -> Vec<u32> {
+    let mut out = Vec::with_capacity(ids.len());
+    let mut i = 0;
+    while i < ids.len() {
+        if i + 1 < ids.len() && (ids[i], ids[i + 1]) == pair {
+            out.push(id);
+            i += 2;
+        } else {
+            out.push(ids[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A deterministic synthetic text corpus: a small vocabulary of "words"
+/// repeated with seeded variation, so BPE has real structure to learn.
+pub fn synthetic_text(bytes: usize, seed: u64) -> Vec<u8> {
+    const WORDS: [&str; 12] = [
+        "the", "model", "gradient", "train", "box", "server", "data", "prep", "batch", "sync",
+        "ring", "tensor",
+    ];
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut out = Vec::with_capacity(bytes);
+    while out.len() < bytes {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        out.extend_from_slice(WORDS[(state % WORDS.len() as u64) as usize].as_bytes());
+        out.push(b' ');
+    }
+    out.truncate(bytes);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_arbitrary_bytes() {
+        let corpus = synthetic_text(4096, 1);
+        let tok = Tokenizer::train(&corpus, 64);
+        for text in [&b"the model trains"[..], &[0u8, 255, 7, 128], b""] {
+            let ids = tok.encode(text);
+            assert_eq!(tok.decode(&ids), text);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let corpus = synthetic_text(4096, 9);
+        let a = Tokenizer::train(&corpus, 100);
+        let b = Tokenizer::train(&corpus, 100);
+        assert_eq!(a.vocab, b.vocab);
+        assert_eq!(a.encode(&corpus), b.encode(&corpus));
+    }
+
+    #[test]
+    fn learned_merges_compress_corpus_like_text() {
+        let corpus = synthetic_text(8192, 3);
+        let tok = Tokenizer::train(&corpus, 200);
+        assert!(tok.vocab_size() > 256, "no merges learned");
+        let held_out = synthetic_text(2048, 4);
+        let ids = tok.encode(&held_out);
+        assert!(
+            ids.len() * 2 < held_out.len(),
+            "expected >2x compression: {} ids for {} bytes",
+            ids.len(),
+            held_out.len()
+        );
+        assert_eq!(tok.decode(&ids), held_out);
+    }
+
+    #[test]
+    fn cost_model_matches_the_llm_calibration() {
+        // The preset's formatting stage declares exactly the packed-sequence
+        // cost; scaling is linear in bytes.
+        assert_eq!(tokenize_cost_secs(LLM_SEQ_BYTES).to_bits(), LLM_TOKENIZE_SECS.to_bits());
+        assert!((tokenize_cost_secs(LLM_SEQ_BYTES / 2) - LLM_TOKENIZE_SECS / 2.0).abs() < 1e-12);
+        assert_eq!(token_id_bytes(2048), LLM_TOKEN_BYTES);
+    }
+}

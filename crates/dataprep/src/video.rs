@@ -106,6 +106,35 @@ impl VideoClip {
     }
 }
 
+/// Frames decoded per sample in the Video-TF preset (one 8-frame clip).
+pub const CLIP_FRAMES: usize = 8;
+
+/// Calibrated host-CPU seconds to decode one [`CLIP_FRAMES`]-frame clip —
+/// the Video-TF preset's `frame_decode` formatting stage.
+pub const CLIP_DECODE_SECS: f64 = 6.9e-3;
+
+/// Host-CPU seconds to decode `frames` independent JPEG frames, scaled
+/// linearly from the calibrated clip cost. Multi-frame decode is the
+/// dominant preparation term for video, so this is the number a custom
+/// video workload's formatting stage should declare.
+pub fn multi_frame_decode_secs(frames: usize) -> f64 {
+    CLIP_DECODE_SECS * (frames as f64 / CLIP_FRAMES as f64)
+}
+
+/// Decode the sampled frames of a clip in index order (the functional
+/// counterpart of the cost model above).
+///
+/// # Errors
+///
+/// Frame decode errors.
+///
+/// # Panics
+///
+/// Panics if an index is out of range.
+pub fn decode_sampled(clip: &VideoClip, indices: &[usize]) -> Result<Vec<Image>, DecodeError> {
+    indices.iter().map(|&i| clip.decode_frame(i)).collect()
+}
+
 /// Uniform temporal sampling with random phase: pick `n` frames spread over
 /// the clip (the standard video-training front end).
 ///
@@ -194,6 +223,25 @@ mod tests {
         assert!(*idx.last().unwrap() < 30);
         assert!(sample_frames(&clip, 0, &mut rng).is_err());
         assert!(sample_frames(&clip, 31, &mut rng).is_err());
+    }
+
+    #[test]
+    fn decode_cost_scales_linearly_from_the_clip_calibration() {
+        assert_eq!(multi_frame_decode_secs(CLIP_FRAMES).to_bits(), CLIP_DECODE_SECS.to_bits());
+        assert!((multi_frame_decode_secs(16) - 2.0 * CLIP_DECODE_SECS).abs() < 1e-12);
+        assert_eq!(multi_frame_decode_secs(0), 0.0);
+    }
+
+    #[test]
+    fn decode_sampled_returns_frames_in_index_order() {
+        let clip = synthetic_clip(32, 10, 10, 6);
+        let mut rng = StdRng::seed_from_u64(8);
+        let idx = sample_frames(&clip, 4, &mut rng).unwrap();
+        let frames = decode_sampled(&clip, &idx).unwrap();
+        assert_eq!(frames.len(), 4);
+        for (k, &i) in idx.iter().enumerate() {
+            assert_eq!(frames[k], clip.decode_frame(i).unwrap());
+        }
     }
 
     #[test]

@@ -22,4 +22,7 @@ pub mod train;
 pub mod workload;
 
 pub use tensor::Matrix;
-pub use workload::{InputKind, NnKind, Workload};
+pub use workload::{
+    InputKind, NnKind, PrepClass, StageCost, StageGraph, StageSpec, SyncPattern, Workload,
+    WorkloadBuilder, WorkloadError,
+};

@@ -555,6 +555,10 @@ fn route(ctx: &Ctx, shard_idx: usize, id: u64, conn: &mut Conn, req: Request) {
             );
             conn.respond(200, &[], &body);
         }
+        ("GET", "/workloads") => {
+            let body = trainbox_core::request::workload_catalog_json();
+            conn.respond(200, &[], &body);
+        }
         ("GET", "/healthz") => conn.respond(200, &[], "{\"status\":\"ok\"}"),
         ("GET", "/readyz") => {
             let breaker = ctx.breaker.state();
@@ -577,7 +581,11 @@ fn route(ctx: &Ctx, shard_idx: usize, id: u64, conn: &mut Conn, req: Request) {
             conn.respond(200, &[], "{\"status\":\"shutting down\"}");
             crate::initiate_shutdown(ctx);
         }
-        (_, "/simulate" | "/sweep" | "/metrics" | "/healthz" | "/readyz" | "/admin/shutdown") => {
+        (
+            _,
+            "/simulate" | "/sweep" | "/workloads" | "/metrics" | "/healthz" | "/readyz"
+            | "/admin/shutdown",
+        ) => {
             conn.respond(405, &[], "{\"error\":\"method not allowed\",\"field\":\"\"}");
         }
         _ => conn.respond(404, &[], "{\"error\":\"no such endpoint\",\"field\":\"\"}"),

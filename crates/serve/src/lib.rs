@@ -8,11 +8,16 @@
 //!   (`deadline_ms` in the body, or an `X-Deadline-Ms` header) bounds the
 //!   wall-clock spent answering.
 //! * `POST /sweep` — body is a SimRequest *template* plus a parameter grid
-//!   (batch size × accelerator count × link generation × fault plan). The
-//!   grid is expanded server-side and streamed back as NDJSON over chunked
-//!   transfer encoding: one line per point, in grid order, each carrying
-//!   the point's parameters and the exact bytes `/simulate` would answer
-//!   for it, then a summary line. Every point shares the `/simulate` cache.
+//!   (workload × batch size × accelerator count × link generation × fault
+//!   plan). The grid is expanded server-side and streamed back as NDJSON
+//!   over chunked transfer encoding: one line per point, in grid order,
+//!   each carrying the point's parameters and the exact bytes `/simulate`
+//!   would answer for it, then a summary line. Every point shares the
+//!   `/simulate` cache.
+//! * `GET /workloads` — the preset catalog: every Table-I name plus the
+//!   DSL families (LLM, recsys, video, mixed tenancy), each with its
+//!   declared sync pattern, full workload JSON, and the stage graph it
+//!   lowers to.
 //! * `GET /metrics` — cache hit rate, queue depth, shed count, breaker
 //!   state, degradation counters, sweep counters, and p50/p99 simulate
 //!   latency, as JSON.

@@ -178,6 +178,40 @@ fn unknown_routes_and_methods_are_rejected() {
 }
 
 #[test]
+fn workload_catalog_lists_presets_with_lowered_stages() {
+    let (addr, handle) = start(ServeConfig::default());
+    let (status, _, body) = http(addr, "GET", "/workloads", "");
+    assert_eq!(status, 200, "{body}");
+    let v = json(&body);
+    let entries = v.get("workloads").and_then(|w| w.as_array()).expect("workloads array");
+    let names: Vec<&str> = entries
+        .iter()
+        .map(|e| e.get("name").and_then(|n| n.as_str()).expect("name"))
+        .collect();
+    for expect in ["Resnet-50", "TF-SR", "LLM-7B", "DLRM", "Video-TF", "Mixed-RN50-TFSR"] {
+        assert!(names.contains(&expect), "missing {expect} in {names:?}");
+    }
+    // Every non-tenanted entry carries the stage graph it lowers to.
+    for e in entries {
+        let name = e.get("name").and_then(|n| n.as_str()).unwrap();
+        assert!(e.get("sync").is_some(), "{name}: sync pattern missing");
+        assert!(e.get("workload").is_some(), "{name}: workload body missing");
+        if name != "Mixed-RN50-TFSR" {
+            let stages = e
+                .get("lowered_stages")
+                .and_then(|s| s.get("stages"))
+                .and_then(|s| s.as_array())
+                .unwrap_or_else(|| panic!("{name}: lowered stage graph missing"));
+            assert!(!stages.is_empty(), "{name}: empty stage graph");
+        }
+    }
+    // Catalog is read-only.
+    let (status, _, _) = http(addr, "POST", "/workloads", "{}");
+    assert_eq!(status, 405);
+    handle.shutdown();
+}
+
+#[test]
 fn concurrent_identical_questions_coalesce() {
     let (addr, handle) = start(ServeConfig::default());
 

@@ -140,6 +140,41 @@ fn sweep_streams_a_64_point_grid_in_order_and_byte_identical() {
 }
 
 #[test]
+fn sweep_workload_axis_matches_individual_simulate() {
+    let (addr, handle) = start(ServeConfig::default());
+    let names = ["Resnet-50", "LLM-7B", "DLRM"];
+    let body = format!(
+        r#"{{"template": {TEMPLATE},
+            "grid": {{"workload": {names:?}, "n_accels": [64, 256]}}}}"#
+    );
+    let (status, _, raw) = http(addr, "POST", "/sweep", &body);
+    assert_eq!(status, 200, "{raw}");
+    let lines = dechunk(&raw);
+    assert_eq!(lines.len(), 7, "6 points + 1 summary line: {raw}");
+    for (i, line) in lines[..6].iter().enumerate() {
+        let v = json(line);
+        assert_eq!(v.get("status").and_then(|s| s.as_str()), Some("ok"), "{line}");
+        // Workload is the outermost axis.
+        let params = v.get("params").expect("params provenance");
+        assert_eq!(
+            params.get("workload").and_then(|w| w.as_str()),
+            Some(names[i / 2]),
+            "{line}"
+        );
+        let individual = format!(
+            r#"{{"server": {{"kind": "TrainBox", "n_accels": {}}},
+                "workload": "{}"}}"#,
+            [64, 256][i % 2],
+            names[i / 2]
+        );
+        let (istatus, _, ibody) = http(addr, "POST", "/simulate", &individual);
+        assert_eq!(istatus, 200, "{ibody}");
+        assert_eq!(response_bytes(line), ibody, "point {i} diverged from /simulate");
+    }
+    handle.shutdown();
+}
+
+#[test]
 fn sweep_reports_failing_points_without_killing_the_stream() {
     let (addr, handle) = start(ServeConfig::default());
     // n_accels = 0 is parseable but unbuildable: that one point must come

@@ -63,6 +63,9 @@ fn main() {
         let input = match w.input {
             InputKind::Image => "image",
             InputKind::Audio => "audio",
+            InputKind::Text => "text",
+            InputKind::Video => "video",
+            InputKind::Tabular => "tabular",
         };
         println!(
             "{:<14} {:>7} {:>12.0} {:>12} {:>10} {:>22}",

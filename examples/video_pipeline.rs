@@ -53,15 +53,14 @@ fn main() {
     // --- 3. Size a hypothetical video workload on the server designs.
     //     Per "sample" = one 8-frame clip; the accelerator consumes clips
     //     at a video-transformer-ish rate.
-    let video = Workload {
-        name: "Video-TF",
-        kind: NnKind::Transformer,
-        input: InputKind::Image, // per-frame preparation is the image path
-        task: "Video understanding",
-        batch_size: 256,
-        model_mbytes: 300.0,
-        accel_samples_per_sec: 900.0,
-    };
+    let video = Workload::builder("Video-TF")
+        .kind(NnKind::Transformer)
+        .input(InputKind::Image) // per-frame preparation is the image path
+        .task("Video understanding")
+        .batch_size(256)
+        .model_mbytes(300.0)
+        .accel_samples_per_sec(900.0)
+        .build();
     println!("\nhypothetical {} at 256 accelerators:", video.name);
     for kind in [ServerKind::Baseline, ServerKind::TrainBox] {
         // 8 prepared frames per clip: scale the demand accordingly by

@@ -28,7 +28,8 @@ export TRAINBOX_RESULTS_DIR="${1:-results}"
 bins=(table01 fig02b fig03 fig05 fig08 fig09 fig10 fig11 table02 table03
       fig19 fig20 fig21 fig21_cluster fig22
       ablation_ring ablation_boxes ablation_nextgen ablation_prepnet
-      ablation_prefetch batch_lr scale_up_vs_out ablation_faults)
+      ablation_prefetch batch_lr scale_up_vs_out ablation_faults
+      ablation_sync)
 
 cargo build --release -q -p trainbox-bench "${bins[@]/#/--bin=}"
 

@@ -35,11 +35,11 @@ fn headline_average_speedup() {
 /// §VI-C: "the improvement (84.3×) is the largest with TF-AA."
 #[test]
 fn largest_improvement_is_tf_aa() {
-    let mut best = ("", 0.0f64);
+    let mut best = (String::new(), 0.0f64);
     for w in Workload::all() {
         let s = tp(ServerKind::TrainBox, 256, &w) / tp(ServerKind::Baseline, 256, &w);
         if s > best.1 {
-            best = (w.name, s);
+            best = (w.name.clone(), s);
         }
     }
     assert_eq!(best.0, "TF-AA");
